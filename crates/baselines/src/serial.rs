@@ -1,0 +1,347 @@
+//! Sequential triangle-counting kernels (paper §3.1).
+//!
+//! These are the reference algorithms everything else is validated
+//! against: both enumeration rules (⟨i,j,k⟩ and ⟨j,i,k⟩) crossed with
+//! both intersection methods (sorted-list merge and hash map). All
+//! kernels run on a degree-ordered *orientation* of the graph — the
+//! upper-triangular adjacency `A(v) = {w ∈ Adj(v) : w > v}` after
+//! non-decreasing-degree relabeling — so every triangle `i < j < k` is
+//! counted exactly once.
+
+use tc_graph::degree::relabel_by_degree;
+use tc_graph::edgelist::{EdgeList, VertexId};
+use tc_graph::vset::{sorted_intersection_count, VertexSet};
+
+/// Which vertex enumeration rule drives the outer loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enumeration {
+    /// ⟨i,j,k⟩: iterate row-wise over `U`, hash/merge the *smaller*
+    /// endpoint's list.
+    Ijk,
+    /// ⟨j,i,k⟩: iterate column-wise over `U` (row-wise over `L`),
+    /// hash the *larger* endpoint's list — the paper's preferred
+    /// scheme (§3.1, §7.3: 72.8 % faster).
+    Jik,
+}
+
+/// Which set-intersection method to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intersection {
+    /// Joint traversal of two sorted lists.
+    List,
+    /// Hash one list, probe with the other (reusing the map across
+    /// the outer vertex's tasks).
+    Map,
+}
+
+/// Degree-ordered orientation of a simple undirected graph.
+///
+/// `upper` rows hold `A(v)` (neighbours with larger label), `lower`
+/// rows hold the reverse orientation; both ascending. Labels are the
+/// *degree-ordered* ids; `perm[old] = new` maps back to input ids.
+#[derive(Debug, Clone)]
+pub struct Oriented {
+    n: usize,
+    upper_xadj: Vec<usize>,
+    upper_adj: Vec<VertexId>,
+    lower_xadj: Vec<usize>,
+    lower_adj: Vec<VertexId>,
+    perm: Vec<VertexId>,
+}
+
+impl Oriented {
+    /// Degree-orders and orients a simplified edge list.
+    pub fn build(el: &EdgeList) -> Self {
+        assert!(el.is_simple(), "orientation requires a simplified edge list");
+        let (ordered, perm) = relabel_by_degree(el.clone());
+        let n = ordered.num_vertices;
+        let mut up_deg = vec![0usize; n];
+        let mut lo_deg = vec![0usize; n];
+        for &(u, v) in &ordered.edges {
+            up_deg[u as usize] += 1; // u < v by canonical form
+            lo_deg[v as usize] += 1;
+        }
+        let prefix = |deg: &[usize]| {
+            let mut x = Vec::with_capacity(n + 1);
+            x.push(0usize);
+            let mut acc = 0;
+            for &d in deg {
+                acc += d;
+                x.push(acc);
+            }
+            x
+        };
+        let upper_xadj = prefix(&up_deg);
+        let lower_xadj = prefix(&lo_deg);
+        let mut upper_adj = vec![0 as VertexId; *upper_xadj.last().unwrap()];
+        let mut lower_adj = vec![0 as VertexId; *lower_xadj.last().unwrap()];
+        let mut ucur = upper_xadj[..n].to_vec();
+        let mut lcur = lower_xadj[..n].to_vec();
+        for &(u, v) in &ordered.edges {
+            upper_adj[ucur[u as usize]] = v;
+            ucur[u as usize] += 1;
+            lower_adj[lcur[v as usize]] = u;
+            lcur[v as usize] += 1;
+        }
+        // Canonical edge order makes upper rows ascending already, and
+        // lower rows ascending too (edges sorted by (u,v) insert u's in
+        // increasing u per row v). Assert in debug builds.
+        debug_assert!((0..n).all(|v| upper_adj[upper_xadj[v]..upper_xadj[v + 1]]
+            .windows(2)
+            .all(|w| w[0] < w[1])));
+        debug_assert!((0..n).all(|v| lower_adj[lower_xadj[v]..lower_xadj[v + 1]]
+            .windows(2)
+            .all(|w| w[0] < w[1])));
+        Self { n, upper_xadj, upper_adj, lower_xadj, lower_adj, perm }
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Upper row `A(v)` in degree-ordered labels.
+    pub fn upper(&self, v: VertexId) -> &[VertexId] {
+        &self.upper_adj[self.upper_xadj[v as usize]..self.upper_xadj[v as usize + 1]]
+    }
+
+    /// Lower row of `v` in degree-ordered labels.
+    pub fn lower(&self, v: VertexId) -> &[VertexId] {
+        &self.lower_adj[self.lower_xadj[v as usize]..self.lower_xadj[v as usize + 1]]
+    }
+
+    /// `perm[old] = new` degree-order permutation.
+    pub fn perm(&self) -> &[VertexId] {
+        &self.perm
+    }
+
+    /// Longest upper row (sizes the intersection hash map).
+    pub fn max_upper_degree(&self) -> usize {
+        (0..self.n).map(|v| self.upper_xadj[v + 1] - self.upper_xadj[v]).max().unwrap_or(0)
+    }
+}
+
+fn count_list_ijk(g: &Oriented) -> u64 {
+    let mut total = 0u64;
+    for i in 0..g.n as VertexId {
+        let ai = g.upper(i);
+        for &j in ai {
+            total += sorted_intersection_count(ai, g.upper(j));
+        }
+    }
+    total
+}
+
+fn count_list_jik(g: &Oriented) -> u64 {
+    let mut total = 0u64;
+    for j in 0..g.n as VertexId {
+        let aj = g.upper(j);
+        if aj.is_empty() {
+            continue;
+        }
+        for &i in g.lower(j) {
+            total += sorted_intersection_count(g.upper(i), aj);
+        }
+    }
+    total
+}
+
+fn count_map_ijk(g: &Oriented) -> u64 {
+    let mut set = VertexSet::with_capacity(g.max_upper_degree());
+    let mut total = 0u64;
+    for i in 0..g.n as VertexId {
+        let ai = g.upper(i);
+        if ai.len() < 2 {
+            continue; // cannot close a triangle from this row
+        }
+        set.clear();
+        set.insert_all(ai);
+        for &j in ai {
+            total += set.count_hits(g.upper(j));
+        }
+    }
+    total
+}
+
+fn count_map_jik(g: &Oriented) -> u64 {
+    let mut set = VertexSet::with_capacity(g.max_upper_degree());
+    let mut total = 0u64;
+    for j in 0..g.n as VertexId {
+        let aj = g.upper(j);
+        let lj = g.lower(j);
+        if aj.is_empty() || lj.is_empty() {
+            continue;
+        }
+        set.clear();
+        set.insert_all(aj);
+        for &i in lj {
+            total += set.count_hits(g.upper(i));
+        }
+    }
+    total
+}
+
+/// Counts triangles of a prepared orientation with the chosen kernel.
+pub fn count_oriented(g: &Oriented, e: Enumeration, m: Intersection) -> u64 {
+    match (e, m) {
+        (Enumeration::Ijk, Intersection::List) => count_list_ijk(g),
+        (Enumeration::Ijk, Intersection::Map) => count_map_ijk(g),
+        (Enumeration::Jik, Intersection::List) => count_list_jik(g),
+        (Enumeration::Jik, Intersection::Map) => count_map_jik(g),
+    }
+}
+
+/// One-shot count on an edge list (orders + orients internally).
+pub fn count(el: &EdgeList, e: Enumeration, m: Intersection) -> u64 {
+    count_oriented(&Oriented::build(el), e, m)
+}
+
+/// The paper's preferred serial configuration: map-based ⟨j,i,k⟩.
+pub fn count_default(el: &EdgeList) -> u64 {
+    count(el, Enumeration::Jik, Intersection::Map)
+}
+
+/// Counts triangles *per input vertex* (each triangle credits all
+/// three corners), plus the total. Drives the clustering-coefficient
+/// example.
+pub fn per_vertex_counts(el: &EdgeList) -> (u64, Vec<u64>) {
+    let g = Oriented::build(el);
+    let mut per_new = vec![0u64; g.n];
+    let mut set = VertexSet::with_capacity(g.max_upper_degree());
+    let mut total = 0u64;
+    for j in 0..g.n as VertexId {
+        let aj = g.upper(j);
+        let lj = g.lower(j);
+        if aj.is_empty() || lj.is_empty() {
+            continue;
+        }
+        set.clear();
+        set.insert_all(aj);
+        for &i in lj {
+            for &k in g.upper(i) {
+                if set.contains(k) {
+                    total += 1;
+                    per_new[i as usize] += 1;
+                    per_new[j as usize] += 1;
+                    per_new[k as usize] += 1;
+                }
+            }
+        }
+    }
+    // Translate back to input labels: perm[old] = new.
+    let mut per_old = vec![0u64; g.n];
+    for (old, &new) in g.perm.iter().enumerate() {
+        per_old[old] = per_new[new as usize];
+    }
+    (total, per_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants(el: &EdgeList) -> Vec<u64> {
+        [
+            (Enumeration::Ijk, Intersection::List),
+            (Enumeration::Ijk, Intersection::Map),
+            (Enumeration::Jik, Intersection::List),
+            (Enumeration::Jik, Intersection::Map),
+        ]
+        .iter()
+        .map(|&(e, m)| count(el, e, m))
+        .collect()
+    }
+
+    #[test]
+    fn triangle_graph() {
+        let el = EdgeList::new(3, vec![(0, 1), (0, 2), (1, 2)]).simplify();
+        assert_eq!(all_variants(&el), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn k5_has_ten_triangles() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        let el = EdgeList::new(5, edges).simplify();
+        assert_eq!(all_variants(&el), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        // Star and path have zero triangles.
+        let star = EdgeList::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).simplify();
+        let path = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3)]).simplify();
+        assert_eq!(all_variants(&star), vec![0, 0, 0, 0]);
+        assert_eq!(all_variants(&path), vec![0, 0, 0, 0]);
+        assert_eq!(count_default(&EdgeList::empty(0)), 0);
+    }
+
+    #[test]
+    fn two_sharing_triangles() {
+        // 0-1-2 triangle and 1-2-3 triangle sharing edge (1,2).
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).simplify();
+        assert_eq!(all_variants(&el), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn oriented_rows_partition_adjacency() {
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)]).simplify();
+        let g = Oriented::build(&el);
+        let mut upper_total = 0;
+        let mut lower_total = 0;
+        for v in 0..5u32 {
+            upper_total += g.upper(v).len();
+            lower_total += g.lower(v).len();
+            assert!(g.upper(v).iter().all(|&w| w > v));
+            assert!(g.lower(v).iter().all(|&w| w < v));
+        }
+        assert_eq!(upper_total, el.num_edges());
+        assert_eq!(lower_total, el.num_edges());
+    }
+
+    #[test]
+    fn per_vertex_counts_credit_corners() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)]).simplify();
+        let (total, per) = per_vertex_counts(&el);
+        assert_eq!(total, 1);
+        assert_eq!(per, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn per_vertex_sum_is_three_times_total() {
+        let el = tc_graph_test_graph();
+        let (total, per) = per_vertex_counts(&el);
+        assert_eq!(per.iter().sum::<u64>(), 3 * total);
+        assert_eq!(total, count_default(&el));
+    }
+
+    fn tc_graph_test_graph() -> EdgeList {
+        // Deterministic pseudo-random graph, dense enough to have many
+        // triangles.
+        let n = 60u32;
+        let mut edges = Vec::new();
+        let mut x = 12345u64;
+        for u in 0..n {
+            for v in u + 1..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (x >> 33) % 5 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        EdgeList::new(n as usize, edges).simplify()
+    }
+
+    #[test]
+    fn variants_agree_on_random_graph() {
+        let el = tc_graph_test_graph();
+        let v = all_variants(&el);
+        assert!(v.iter().all(|&c| c == v[0]), "{v:?}");
+        assert!(v[0] > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Blob-serialization micro-benchmarks: the paper's single-allocation
+//! block transport (§5.2) versus field-by-field serialization.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tc_mps::{BlobBuilder, BlobReader};
+
+fn sample_arrays(n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let xadj: Vec<u32> = (0..n as u32 + 1).map(|i| i * 4).collect();
+    let cols: Vec<u32> = (0..4 * n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let nonempty: Vec<u32> = (0..n as u32).collect();
+    (xadj, cols, nonempty)
+}
+
+fn bench_blob_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blob");
+    for n in [1_000usize, 100_000] {
+        let (xadj, cols, nonempty) = sample_arrays(n);
+        group.bench_function(format!("encode_rows{n}"), |b| {
+            b.iter(|| {
+                BlobBuilder::new()
+                    .push(black_box(&xadj))
+                    .push(black_box(&cols))
+                    .push(black_box(&nonempty))
+                    .finish()
+            });
+        });
+        let blob = BlobBuilder::new().push(&xadj).push(&cols).push(&nonempty).finish();
+        group.bench_function(format!("decode_rows{n}"), |b| {
+            b.iter(|| {
+                let r = BlobReader::new(black_box(blob.clone()));
+                (r.typed::<u32>(0).len(), r.typed::<u32>(1).len(), r.typed::<u32>(2).len())
+            });
+        });
+        // The naive alternative: three separate buffer copies with
+        // their own length prefixes (what "serializing field by field"
+        // costs, per §5.2).
+        group.bench_function(format!("naive_field_by_field_rows{n}"), |b| {
+            b.iter(|| {
+                let enc = |v: &[u32]| -> Bytes {
+                    let mut buf = Vec::with_capacity(8 + 4 * v.len());
+                    buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                    for &x in v {
+                        buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                    Bytes::from(buf)
+                };
+                (enc(black_box(&xadj)), enc(black_box(&cols)), enc(black_box(&nonempty)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blob_roundtrip);
+criterion_main!(benches);

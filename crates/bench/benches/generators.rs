@@ -1,0 +1,32 @@
+//! Generator throughput benchmarks (the paper generates its synthetic
+//! inputs in-process before every run, so generation speed matters to
+//! the harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tc_gen::{graph500, rmat, RmatParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_scale12");
+    group.sample_size(10);
+    group.bench_function("rmat_graph500", |b| {
+        b.iter(|| graph500(black_box(12), 42).num_edges());
+    });
+    group.bench_function("rmat_uniform", |b| {
+        b.iter(|| rmat(black_box(12), 16, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 42).num_edges());
+    });
+    group.bench_function("erdos_renyi", |b| {
+        b.iter(|| tc_gen::er::gnm(black_box(1 << 12), 16 << 12, 42).num_edges());
+    });
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| tc_gen::ba::barabasi_albert(black_box(1 << 12), 16, 42).num_edges());
+    });
+    group.bench_function("simplify", |b| {
+        let el = graph500(12, 42);
+        b.iter(|| black_box(el.clone()).simplify().num_edges());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

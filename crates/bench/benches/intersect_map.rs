@@ -1,0 +1,86 @@
+//! Intersection-map micro-benchmarks: the direct bitwise-AND fast path
+//! versus probing (§5.2's "modifying the hashing routine"), and the
+//! map-based versus sorted-merge intersection primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tc_core::hashmap::IntersectMap;
+use tc_graph::vset::{sorted_intersection_count, VertexSet};
+
+/// A block-like row: entries congruent mod q, strided sparsely.
+fn block_row(len: usize, q: u32, stride: u32, class: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| class + q * (i * stride)).collect()
+}
+
+fn bench_load_modes(c: &mut Criterion) {
+    let q = 4u32;
+    let row = block_row(64, q, 3, 1);
+    let probes = block_row(64, q, 5, 1);
+    let mut group = c.benchmark_group("intersect_map_row64");
+    group.bench_function("direct_load_probe", |b| {
+        let mut m = IntersectMap::new(64, q as usize);
+        b.iter(|| {
+            m.load_row(black_box(&row), true);
+            let mut hits = 0u64;
+            for &k in &probes {
+                if m.contains(k) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("hashed_load_probe", |b| {
+        let mut m = IntersectMap::new(64, q as usize);
+        b.iter(|| {
+            m.load_row(black_box(&row), false);
+            let mut hits = 0u64;
+            for &k in &probes {
+                if m.contains(k) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("sorted_merge", |b| {
+        b.iter(|| sorted_intersection_count(black_box(&row), black_box(&probes)));
+    });
+    group.bench_function("vertex_set", |b| {
+        let mut s = VertexSet::with_capacity(64);
+        b.iter(|| {
+            s.clear();
+            s.insert_all(black_box(&row));
+            s.count_hits(black_box(&probes))
+        });
+    });
+    group.finish();
+}
+
+fn bench_row_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_scaling");
+    for len in [8usize, 64, 512, 4096] {
+        let a = block_row(len, 1, 3, 0);
+        let bb = block_row(len, 1, 5, 0);
+        group.bench_function(format!("map_len{len}"), |b| {
+            let mut m = IntersectMap::new(len, 1);
+            b.iter(|| {
+                m.load_row(black_box(&a), true);
+                let mut hits = 0u64;
+                for &k in &bb {
+                    if m.contains(k) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+        group.bench_function(format!("merge_len{len}"), |b| {
+            b.iter(|| sorted_intersection_count(black_box(&a), black_box(&bb)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_modes, bench_row_lengths);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Serial kernel micro-benchmarks: the §3.1 design space (list vs map
+//! intersection × ⟨i,j,k⟩ vs ⟨j,i,k⟩ enumeration) that motivates the
+//! paper's choice of map-based ⟨j,i,k⟩.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tc_baselines::serial::{count_oriented, Enumeration, Intersection, Oriented};
+use tc_gen::graph500;
+
+fn bench_kernels(c: &mut Criterion) {
+    let el = graph500(12, 42).simplify();
+    let g = Oriented::build(&el);
+    let mut group = c.benchmark_group("serial_kernels_g500_s12");
+    for (name, e, m) in [
+        ("list_ijk", Enumeration::Ijk, Intersection::List),
+        ("map_ijk", Enumeration::Ijk, Intersection::Map),
+        ("list_jik", Enumeration::Jik, Intersection::List),
+        ("map_jik", Enumeration::Jik, Intersection::Map),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| count_oriented(black_box(&g), e, m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_threads(c: &mut Criterion) {
+    let el = graph500(12, 42).simplify();
+    let g = Oriented::build(&el);
+    let mut group = c.benchmark_group("shared_memory_threads");
+    for t in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| tc_baselines::shared::count_shared_oriented(black_box(&g), t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_orientation_build(c: &mut Criterion) {
+    let el = graph500(12, 42).simplify();
+    c.bench_function("orientation_build_g500_s12", |b| {
+        b.iter(|| Oriented::build(black_box(&el)));
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_shared_threads, bench_orientation_build);
+criterion_main!(benches);

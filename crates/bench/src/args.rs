@@ -1,0 +1,152 @@
+//! Minimal command-line parsing shared by the experiment binaries
+//! (kept dependency-free: the offline crate set has no argument
+//! parser, and the flags are few).
+
+use tc_gen::Preset;
+
+/// Parsed common flags.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Base dataset scale (log2 vertices of the largest instance).
+    pub scale: u32,
+    /// Rank sweep.
+    pub ranks: Vec<usize>,
+    /// Restrict to one preset, if given.
+    pub preset: Option<Preset>,
+    /// Generator seed.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            scale: 13,
+            ranks: crate::DEFAULT_RANKS.to_vec(),
+            preset: None,
+            seed: tc_gen::DEFAULT_SEED,
+            csv: None,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: <bin> [--scale N] [--ranks a,b,c] [--preset NAME] \
+                     [--seed S] [--csv PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    out.scale = value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed =
+                        value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                }
+                "--ranks" => {
+                    let v = value("--ranks")?;
+                    out.ranks = v
+                        .split(',')
+                        .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad rank: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    for &p in &out.ranks {
+                        if tc_mps::perfect_square_side(p).is_none() {
+                            return Err(format!("rank count {p} is not a perfect square"));
+                        }
+                    }
+                }
+                "--preset" => {
+                    let name = value("--preset")?;
+                    out.preset = Some(
+                        Preset::parse(&name).ok_or_else(|| format!("unknown preset {name:?}"))?,
+                    );
+                }
+                "--csv" => out.csv = Some(value("--csv")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The datasets this invocation covers: the single `--preset`, or
+    /// the Table 1 testbed at `--scale`.
+    pub fn datasets(&self) -> Vec<Preset> {
+        match self.preset {
+            Some(p) => vec![p],
+            None => tc_gen::table1_testbed(self.scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse_from(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 13);
+        assert_eq!(a.ranks, crate::DEFAULT_RANKS);
+        assert!(a.preset.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--scale", "10", "--ranks", "4,9,16", "--preset", "g500-s9", "--seed", "7",
+            "--csv", "/tmp/x.csv",
+        ])
+        .unwrap();
+        assert_eq!(a.scale, 10);
+        assert_eq!(a.ranks, vec![4, 9, 16]);
+        assert_eq!(a.preset, Some(Preset::G500 { scale: 9 }));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn rejects_non_square_ranks() {
+        assert!(parse(&["--ranks", "4,10"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_preset() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--preset", "nope"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+    }
+
+    #[test]
+    fn datasets_prefers_explicit_preset() {
+        let a = parse(&["--preset", "g500-s8"]).unwrap();
+        assert_eq!(a.datasets().len(), 1);
+        let b = parse(&["--scale", "11"]).unwrap();
+        assert_eq!(b.datasets().len(), 6);
+    }
+}

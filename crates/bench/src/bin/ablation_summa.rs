@@ -1,0 +1,64 @@
+//! Design-choice ablation: Cannon shifts on a square grid versus SUMMA
+//! panel broadcasts (the paper's §8 extension) at equal rank counts,
+//! including rectangular shapes and panel-count sensitivity.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::{count_triangles, count_triangles_summa, SummaGrid, TcConfig};
+use tc_gen::Preset;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
+    let el = build_dataset(preset, args.seed);
+    let mut t = Table::new(
+        &format!("Ablation: Cannon vs SUMMA, {}", preset.name()),
+        &["variant", "ranks", "ppt-model(s)", "tct-model(s)", "bytes-sent", "tasks"],
+    );
+    let cfg = TcConfig::paper();
+
+    let mut push = |name: String, r: tc_core::TcResult| {
+        t.row(vec![
+            name,
+            r.num_ranks.to_string(),
+            format!("{:.3}", r.modeled_ppt_time().as_secs_f64()),
+            format!("{:.3}", r.modeled_tct_time().as_secs_f64()),
+            r.total_bytes_sent().to_string(),
+            r.total_tasks().to_string(),
+        ]);
+    };
+
+    // Square comparisons at every perfect square in the sweep.
+    for &p in &args.ranks {
+        if let Some(q) = tc_mps::perfect_square_side(p) {
+            push(format!("cannon-{q}x{q}"), count_triangles(&el, p, &cfg));
+            push(
+                format!("summa-{q}x{q}"),
+                count_triangles_summa(&el, SummaGrid::new(q, q), &cfg),
+            );
+        }
+    }
+    // Rectangles with the same area as the largest square.
+    if let Some(&pmax) = args.ranks.iter().max() {
+        if let Some(q) = tc_mps::perfect_square_side(pmax) {
+            for (pr, pc) in [(q / 2, q * 2), (1, pmax)] {
+                if pr >= 1 && pr * pc == pmax {
+                    push(
+                        format!("summa-{pr}x{pc}"),
+                        count_triangles_summa(&el, SummaGrid::new(pr, pc), &cfg),
+                    );
+                }
+            }
+            // Panel-count sensitivity on the square SUMMA grid.
+            for k in [q, 2 * q, 4 * q] {
+                push(
+                    format!("summa-{q}x{q}-panels{k}"),
+                    count_triangles_summa(&el, SummaGrid::new(q, q).with_panels(k), &cfg),
+                );
+            }
+        }
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

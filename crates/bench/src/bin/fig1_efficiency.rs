@@ -1,0 +1,41 @@
+//! Figure 1 — parallel efficiency of the preprocessing step, the
+//! triangle counting step, and the overall runtime, using the first
+//! grid of the sweep as the baseline (the paper's Fig. 1 uses the
+//! 4×4 grid): `E(p) = p₀·T(p₀) / (p·T(p))`.
+//!
+//! Uses the critical-path model times (slowest rank's CPU time per
+//! phase) — see the Table 2 binary for why.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+
+fn main() {
+    let args = ExpArgs::parse();
+    for preset in args.datasets() {
+        let el = build_dataset(preset, args.seed);
+        let mut t = Table::new(
+            &format!("Figure 1: efficiency vs ranks, {}", preset.name()),
+            &["ranks", "eff-ppt", "eff-tct", "eff-overall"],
+        );
+        let mut base: Option<(f64, f64, f64, f64)> = None;
+        for &p in &args.ranks {
+            let r = count_triangles_default(&el, p);
+            let (ppt, tct) =
+                (r.modeled_ppt_time().as_secs_f64(), r.modeled_tct_time().as_secs_f64());
+            let all = ppt + tct;
+            let (b_ppt, b_tct, b_all, b_p) =
+                *base.get_or_insert((ppt, tct, all, p as f64));
+            let eff = |b: f64, x: f64| b_p * b / (p as f64 * x.max(1e-12));
+            t.row(vec![
+                p.to_string(),
+                format!("{:.3}", eff(b_ppt, ppt)),
+                format!("{:.3}", eff(b_tct, tct)),
+                format!("{:.3}", eff(b_all, all)),
+            ]);
+        }
+        t.print();
+        t.maybe_csv(&args.csv);
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 2 — aggregate operation rate (kOps/s) of the preprocessing
+//! phase and the triangle counting phase as the rank count grows, on
+//! the largest dataset of the testbed (the paper plots g500-s29).
+//!
+//! Operations: for ppt, adjacency entries processed across all
+//! preprocessing passes; for tct, hash-map inserts + lookups. Rates
+//! divide by the critical-path model times (slowest rank's CPU time).
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+use tc_gen::Preset;
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Largest dataset only, unless a preset was forced.
+    let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
+    let el = build_dataset(preset, args.seed);
+    let mut t = Table::new(
+        &format!("Figure 2: operation rate, {}", preset.name()),
+        &["ranks", "ppt-kops/s", "tct-kops/s", "ppt-ops", "tct-ops"],
+    );
+    for &p in &args.ranks {
+        let r = count_triangles_default(&el, p);
+        let ppt_ops: u64 = r.ranks.iter().map(|m| m.ppt_ops).sum();
+        let tct_ops: u64 = r.ranks.iter().map(|m| m.tct_ops).sum();
+        let ppt_rate = ppt_ops as f64 / r.modeled_ppt_time().as_secs_f64().max(1e-12) / 1e3;
+        let tct_rate = tct_ops as f64 / r.modeled_tct_time().as_secs_f64().max(1e-12) / 1e3;
+        t.row(vec![
+            p.to_string(),
+            format!("{ppt_rate:.0}"),
+            format!("{tct_rate:.0}"),
+            r.ranks.iter().map(|m| m.ppt_ops).sum::<u64>().to_string(),
+            r.ranks.iter().map(|m| m.tct_ops).sum::<u64>().to_string(),
+        ]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

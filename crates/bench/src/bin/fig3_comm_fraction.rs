@@ -1,0 +1,31 @@
+//! Figure 3 — fraction of phase time spent in communication for the
+//! preprocessing and triangle counting phases, versus rank count, on
+//! the largest dataset (the paper plots g500-s29 and observes the
+//! fraction growing with ranks while compute still dominates).
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+use tc_gen::Preset;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
+    let el = build_dataset(preset, args.seed);
+    let mut t = Table::new(
+        &format!("Figure 3: communication fraction, {}", preset.name()),
+        &["ranks", "ppt-comm-%", "tct-comm-%", "bytes-sent"],
+    );
+    for &p in &args.ranks {
+        let r = count_triangles_default(&el, p);
+        t.row(vec![
+            p.to_string(),
+            format!("{:.1}", 100.0 * r.ppt_comm_fraction()),
+            format!("{:.1}", 100.0 * r.tct_comm_fraction()),
+            r.total_bytes_sent().to_string(),
+        ]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

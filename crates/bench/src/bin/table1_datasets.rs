@@ -1,0 +1,32 @@
+//! Table 1 — dataset inventory: vertices, edges, triangle counts.
+//!
+//! Paper values (at scales 26–29 / real twitter & friendster) are
+//! printed alongside for shape comparison; absolute sizes differ
+//! because the stand-ins run at laptop scale.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::table::Table;
+use tc_bench::{build_dataset, secs};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut t = Table::new(
+        "Table 1: datasets used in the experiments",
+        &["graph", "#vertices", "#edges", "#triangles", "serial-tct(s)"],
+    );
+    for preset in args.datasets() {
+        let el = build_dataset(preset, args.seed);
+        let t0 = std::time::Instant::now();
+        let tri = tc_baselines::serial::count_default(&el);
+        let dt = t0.elapsed();
+        t.row(vec![
+            preset.name(),
+            el.num_vertices.to_string(),
+            el.num_edges().to_string(),
+            tri.to_string(),
+            secs(dt),
+        ]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

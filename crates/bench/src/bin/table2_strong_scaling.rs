@@ -1,0 +1,59 @@
+//! Table 2 — strong-scaling sweep: preprocessing time (ppt), triangle
+//! counting time (tct), overall runtime, and speedups relative to the
+//! smallest grid in the sweep (the paper uses its 16-rank run as the
+//! baseline; here the first entry of `--ranks` plays that role).
+//!
+//! Times are the **critical-path model**: per phase, the slowest
+//! rank's thread-CPU time (per shift for tct). On a host with one core
+//! per rank this equals phase wall time; on an oversubscribed host it
+//! is the only metric that still measures scaling (wall time would
+//! just measure the scheduler). The wall column is printed too.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+
+fn main() {
+    let args = ExpArgs::parse();
+    for preset in args.datasets() {
+        let el = build_dataset(preset, args.seed);
+        let mut t = Table::new(
+            &format!("Table 2: parallel performance, {}", preset.name()),
+            &[
+                "ranks",
+                "expected-speedup",
+                "ppt(s)",
+                "ppt-speedup",
+                "tct(s)",
+                "tct-speedup",
+                "overall(s)",
+                "overall-speedup",
+                "wall(s)",
+                "triangles",
+            ],
+        );
+        let mut base: Option<(f64, f64, f64, usize)> = None;
+        for &p in &args.ranks {
+            let r = count_triangles_default(&el, p);
+            let ppt = r.modeled_ppt_time().as_secs_f64();
+            let tct = r.modeled_tct_time().as_secs_f64();
+            let overall = ppt + tct;
+            let (bppt, btct, ball, bp) = *base.get_or_insert((ppt, tct, overall, p));
+            t.row(vec![
+                p.to_string(),
+                format!("{:.2}", p as f64 / bp as f64),
+                format!("{ppt:.3}"),
+                format!("{:.2}", bppt / ppt.max(1e-12)),
+                format!("{tct:.3}"),
+                format!("{:.2}", btct / tct.max(1e-12)),
+                format!("{overall:.3}"),
+                format!("{:.2}", ball / overall.max(1e-12)),
+                format!("{:.3}", r.overall_time().as_secs_f64()),
+                r.triangles.to_string(),
+            ]);
+        }
+        t.print();
+        t.maybe_csv(&args.csv);
+    }
+}

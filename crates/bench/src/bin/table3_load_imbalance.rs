@@ -1,0 +1,39 @@
+//! Table 3 — per-shift compute-time load imbalance: the summed
+//! per-shift maximum rank time, the summed per-shift mean, and their
+//! ratio (the paper reports 1.05 at 25 ranks and 1.14 at 36 ranks on
+//! g500-s29), plus the task-placement imbalance the paper quotes as
+//! "less than 6 %".
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_bench::secs;
+use tc_core::count_triangles_default;
+use tc_gen::Preset;
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    // The paper measures 25 and 36 ranks; keep that default.
+    if args.ranks == tc_bench::DEFAULT_RANKS {
+        args.ranks = vec![25, 36];
+    }
+    let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
+    let el = build_dataset(preset, args.seed);
+    let mut t = Table::new(
+        &format!("Table 3: per-shift load imbalance, {}", preset.name()),
+        &["ranks", "max-runtime(s)", "avg-runtime(s)", "load-imbalance", "task-imbalance"],
+    );
+    for &p in &args.ranks {
+        let r = count_triangles_default(&el, p);
+        let (mx, avg, imb) = r.shift_imbalance();
+        t.row(vec![
+            p.to_string(),
+            secs(mx),
+            secs(avg),
+            format!("{imb:.2}"),
+            format!("{:.3}", r.task_imbalance()),
+        ]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

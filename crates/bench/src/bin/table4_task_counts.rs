@@ -1,0 +1,35 @@
+//! Table 4 — growth of the number of map-based set-intersection tasks
+//! with the rank count (the paper's redundant-work measurement:
+//! g500-s29 grew +25 % from 16→25 ranks and +20 % from 25→36).
+
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+use tc_gen::Preset;
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    if args.ranks == tc_bench::DEFAULT_RANKS {
+        args.ranks = vec![16, 25, 36];
+    }
+    let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
+    let el = build_dataset(preset, args.seed);
+    let mut t = Table::new(
+        &format!("Table 4: task-count growth, {}", preset.name()),
+        &["ranks", "task-counts", "increase-vs-previous-%"],
+    );
+    let mut prev: Option<u64> = None;
+    for &p in &args.ranks {
+        let r = count_triangles_default(&el, p);
+        let tasks = r.total_tasks();
+        let pct = match prev {
+            Some(q) if q > 0 => format!("{:.0}%", 100.0 * (tasks as f64 - q as f64) / q as f64),
+            _ => String::new(),
+        };
+        prev = Some(tasks);
+        t.row(vec![p.to_string(), tasks.to_string(), pct]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

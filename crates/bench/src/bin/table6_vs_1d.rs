@@ -1,0 +1,77 @@
+//! Table 6 — the twitter-graph comparison against the 1D
+//! distributed-memory approaches: AOP (communication-avoiding,
+//! overlapping partitions), Surrogate (space-efficient push), and
+//! OPT-PSP (blocked push). The paper quotes numbers from the original
+//! papers on different machines; here all four algorithms run on the
+//! same substrate and the same rank count, which makes the comparison
+//! stricter than the paper's.
+
+use tc_baselines::{count_aop1d, count_psp1d, count_push1d};
+use tc_bench::args::ExpArgs;
+use tc_bench::build_dataset;
+use tc_bench::table::Table;
+use tc_bench::secs;
+use tc_core::count_triangles_default;
+use tc_gen::Preset;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let p = *args.ranks.iter().max().expect("non-empty rank sweep");
+    let preset = args
+        .preset
+        .unwrap_or(Preset::TwitterLike { scale: args.scale.saturating_sub(1) });
+    let el = build_dataset(preset, args.seed);
+
+    let mut t = Table::new(
+        &format!("Table 6: {} runtime vs 1D approaches ({p} ranks)", preset.name()),
+        &["algorithm", "setup(s)", "count(s)", "total(s)", "bytes-sent", "peak-ghost-entries"],
+    );
+
+    let ours = count_triangles_default(&el, p);
+    t.row(vec![
+        "our-2d".into(),
+        secs(ours.ppt_time()),
+        secs(ours.tct_time()),
+        secs(ours.overall_time()),
+        ours.total_bytes_sent().to_string(),
+        "0".into(),
+    ]);
+
+    let expect = ours.triangles;
+    let aop = count_aop1d(&el, p);
+    assert_eq!(aop.triangles, expect);
+    t.row(vec![
+        "aop-1d".into(),
+        secs(aop.setup),
+        secs(aop.count),
+        secs(aop.total()),
+        aop.bytes_sent.to_string(),
+        aop.max_ghost_entries.to_string(),
+    ]);
+
+    let push = count_push1d(&el, p);
+    assert_eq!(push.triangles, expect);
+    t.row(vec![
+        "surrogate-push-1d".into(),
+        secs(push.setup),
+        secs(push.count),
+        secs(push.total()),
+        push.bytes_sent.to_string(),
+        push.max_ghost_entries.to_string(),
+    ]);
+
+    let psp = count_psp1d(&el, p, 8);
+    assert_eq!(psp.triangles, expect);
+    t.row(vec![
+        "opt-psp-1d(8 blocks)".into(),
+        secs(psp.setup),
+        secs(psp.count),
+        secs(psp.total()),
+        psp.bytes_sent.to_string(),
+        psp.max_ghost_entries.to_string(),
+    ]);
+
+    t.print();
+    t.maybe_csv(&args.csv);
+    println!("triangles: {expect}");
+}

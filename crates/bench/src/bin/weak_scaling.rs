@@ -1,0 +1,56 @@
+//! Weak scaling (extension experiment): grow the problem with the
+//! rank count so per-rank work stays constant, and check the §5.4 cost
+//! model's prediction — the triangle-counting phase's per-rank work is
+//! `(n/√p)·(d²_avg/p)` per shift over `√p` shifts, so with `m ∝ p` the
+//! modeled phase time should stay roughly flat while redundant work
+//! (Table 4's effect) pushes it up slowly.
+//!
+//! The paper's OPT-PSP comparison (§7.4) references this style of
+//! scaling study; the paper itself only reports strong scaling.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::table::Table;
+use tc_core::count_triangles_default;
+use tc_gen::graph500;
+
+fn main() {
+    let mut args = ExpArgs::parse();
+    if args.ranks == tc_bench::DEFAULT_RANKS {
+        args.ranks = vec![4, 16, 64];
+    }
+    // Scale the edge budget with p: every 4x in ranks doubles the
+    // scale twice (2^scale vertices, edge factor fixed at 16).
+    let base_scale = args.scale.saturating_sub(4);
+    let mut t = Table::new(
+        "Weak scaling: ~constant edges per rank",
+        &[
+            "ranks",
+            "scale",
+            "edges",
+            "edges/rank",
+            "ppt-model(s)",
+            "tct-model(s)",
+            "tasks/rank",
+            "triangles",
+        ],
+    );
+    for &p in &args.ranks {
+        // p = 4^k -> scale = base + 2k keeps m/p constant.
+        let k = (p as f64).log(4.0).round() as u32;
+        let scale = base_scale + 2 * k;
+        let el = graph500(scale, args.seed).simplify();
+        let r = count_triangles_default(&el, p);
+        t.row(vec![
+            p.to_string(),
+            scale.to_string(),
+            el.num_edges().to_string(),
+            (el.num_edges() / p).to_string(),
+            format!("{:.3}", r.modeled_ppt_time().as_secs_f64()),
+            format!("{:.3}", r.modeled_tct_time().as_secs_f64()),
+            (r.total_tasks() / p as u64).to_string(),
+            r.triangles.to_string(),
+        ]);
+    }
+    t.print();
+    t.maybe_csv(&args.csv);
+}

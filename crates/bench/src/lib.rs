@@ -1,0 +1,46 @@
+//! # tc-bench — experiment harness
+//!
+//! Shared machinery for the binaries that regenerate every table and
+//! figure of the paper's evaluation section (see `src/bin/`), plus
+//! Criterion micro-benchmarks of the hot kernels (see `benches/`).
+//!
+//! Every experiment binary accepts:
+//!
+//! - `--scale N` — log2 of the base dataset size (default 13; the
+//!   paper's runs used 26–29, which do not fit a laptop),
+//! - `--ranks a,b,c` — the rank sweep (must be perfect squares),
+//! - `--preset NAME` — a single dataset instead of the full testbed,
+//! - `--seed S` — generator seed,
+//! - `--csv PATH` — also dump machine-readable rows.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod table;
+
+use tc_gen::Preset;
+use tc_graph::EdgeList;
+
+/// The default rank sweep: perfect squares like the paper's 16…169
+/// sweep, scaled down (thread oversubscription makes the largest grids
+/// unrepresentative on a laptop; pass `--ranks` to extend).
+pub const DEFAULT_RANKS: &[usize] = &[4, 9, 16, 25, 36, 49, 64];
+
+/// Builds a dataset and reports basic facts while doing so.
+pub fn build_dataset(preset: Preset, seed: u64) -> EdgeList {
+    let t = std::time::Instant::now();
+    let el = preset.build(seed);
+    eprintln!(
+        "# built {} : {} vertices, {} edges ({:.2?})",
+        preset.name(),
+        el.num_vertices,
+        el.num_edges(),
+        t.elapsed()
+    );
+    el
+}
+
+/// Formats a `Duration` in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}

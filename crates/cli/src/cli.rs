@@ -1,0 +1,352 @@
+//! Argument parsing and command dispatch for `tricount`.
+
+use std::path::PathBuf;
+
+use tc_core::{Enumeration, SummaGrid, TcConfig};
+use tc_gen::Preset;
+
+/// Which counting algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's 2D Cannon-grid algorithm (default).
+    TwoD,
+    /// SUMMA on a rectangular grid.
+    Summa,
+    /// Serial map-based ⟨j,i,k⟩.
+    Serial,
+    /// Shared-memory threads.
+    Shared,
+    /// 1D overlapping partitions (AOP).
+    Aop,
+    /// 1D space-efficient push (Surrogate).
+    Push,
+    /// 1D blocked push (OPT-PSP).
+    Psp,
+    /// Havoq-style wedge checking.
+    Wedge,
+}
+
+impl Algorithm {
+    /// Parses the `--algorithm` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "2d" => Algorithm::TwoD,
+            "summa" => Algorithm::Summa,
+            "serial" => Algorithm::Serial,
+            "shared" => Algorithm::Shared,
+            "aop" => Algorithm::Aop,
+            "push" => Algorithm::Push,
+            "psp" => Algorithm::Psp,
+            "wedge" => Algorithm::Wedge,
+            other => return Err(format!("unknown algorithm {other:?}")),
+        })
+    }
+}
+
+/// The source of the input graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// Read from a file (format by extension: .mtx, .bin, else text).
+    File(PathBuf),
+    /// Generate a named preset in-process.
+    Preset(Preset),
+}
+
+/// A parsed `tricount` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Count triangles.
+    Count {
+        /// Where the graph comes from.
+        input: Input,
+        /// Algorithm selection.
+        algorithm: Algorithm,
+        /// Rank / thread count.
+        ranks: usize,
+        /// SUMMA grid (when `algorithm == Summa`).
+        grid: Option<(usize, usize)>,
+        /// Optimization configuration for the 2D paths.
+        config: TcConfig,
+        /// Generator seed for preset inputs.
+        seed: u64,
+        /// Also print clustering statistics.
+        stats: bool,
+    },
+    /// Generate a preset and write it to a file.
+    Generate {
+        /// The preset to build.
+        preset: Preset,
+        /// Generator seed.
+        seed: u64,
+        /// Output path (.bin or text by extension).
+        output: PathBuf,
+    },
+    /// Print basic facts about a graph.
+    Info {
+        /// Where the graph comes from.
+        input: Input,
+    },
+    /// k-truss decomposition (distributed peeling).
+    Truss {
+        /// Where the graph comes from.
+        input: Input,
+        /// Rank count.
+        ranks: usize,
+        /// Generator seed for preset inputs.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+tricount — distributed-memory triangle counting (Tom & Karypis, ICPP 2019)
+
+USAGE:
+  tricount count  <FILE|PRESET> [--algorithm 2d|summa|serial|shared|aop|push|psp|wedge]
+                  [--ranks N] [--grid RxC] [--seed S] [--stats]
+                  [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
+                  [--no-early-break]
+  tricount generate <PRESET> --out FILE [--seed S]
+  tricount info   <FILE|PRESET>
+  tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
+  tricount help
+
+PRESETs: g500-sN, twitter-like-N, friendster-like-N (N = log2 vertices).
+FILE formats: .mtx (Matrix Market), .bin (tricount binary), other (text edge list).
+";
+
+fn parse_input(s: &str) -> Input {
+    match Preset::parse(s) {
+        Some(p) => Input::Preset(p),
+        None => Input::File(PathBuf::from(s)),
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.as_str(),
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => {
+            let input = it.next().ok_or("info needs an input")?;
+            Ok(Command::Info { input: parse_input(input) })
+        }
+        "truss" => {
+            let input = parse_input(it.next().ok_or("truss needs an input")?);
+            let mut ranks = 4usize;
+            let mut seed = tc_gen::DEFAULT_SEED;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--ranks" => {
+                        ranks = it
+                            .next()
+                            .ok_or("--ranks needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad ranks: {e}"))?;
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Truss { input, ranks, seed })
+        }
+        "generate" => {
+            let name = it.next().ok_or("generate needs a preset")?;
+            let preset =
+                Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
+            let mut seed = tc_gen::DEFAULT_SEED;
+            let mut output = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    "--out" => output = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Generate {
+                preset,
+                seed,
+                output: output.ok_or("generate requires --out FILE")?,
+            })
+        }
+        "count" => {
+            let input = parse_input(it.next().ok_or("count needs an input")?);
+            let mut algorithm = Algorithm::TwoD;
+            let mut ranks = 4usize;
+            let mut grid = None;
+            let mut config = TcConfig::paper();
+            let mut seed = tc_gen::DEFAULT_SEED;
+            let mut stats = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--algorithm" => {
+                        algorithm = Algorithm::parse(it.next().ok_or("--algorithm needs a value")?)?;
+                    }
+                    "--ranks" => {
+                        ranks = it
+                            .next()
+                            .ok_or("--ranks needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad ranks: {e}"))?;
+                    }
+                    "--grid" => {
+                        let v = it.next().ok_or("--grid needs RxC")?;
+                        let (r, c) = v.split_once('x').ok_or("grid must look like 3x4")?;
+                        grid = Some((
+                            r.parse().map_err(|e| format!("bad grid rows: {e}"))?,
+                            c.parse().map_err(|e| format!("bad grid cols: {e}"))?,
+                        ));
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    "--enumeration" => {
+                        config.enumeration = match it.next().ok_or("--enumeration needs a value")?.as_str() {
+                            "jik" => Enumeration::Jik,
+                            "ijk" => Enumeration::Ijk,
+                            other => return Err(format!("unknown enumeration {other:?}")),
+                        };
+                    }
+                    "--no-doubly-sparse" => config.doubly_sparse = false,
+                    "--no-direct-hash" => config.direct_hash = false,
+                    "--no-early-break" => config.reverse_early_break = false,
+                    "--stats" => stats = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if algorithm == Algorithm::TwoD && tc_mps::perfect_square_side(ranks).is_none() {
+                return Err(format!(
+                    "the 2d algorithm needs a perfect-square rank count, got {ranks} \
+                     (use --algorithm summa --grid RxC for rectangles)"
+                ));
+            }
+            if algorithm == Algorithm::Summa && grid.is_none() {
+                // Derive a near-square rectangle from --ranks.
+                let r = (ranks as f64).sqrt() as usize;
+                let r = (1..=r.max(1)).rev().find(|d| ranks % d == 0).unwrap_or(1);
+                grid = Some((r, ranks / r));
+            }
+            Ok(Command::Count { input, algorithm, ranks, grid, config, seed, stats })
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Builds a [`SummaGrid`] from the parsed pair.
+pub fn summa_grid(grid: (usize, usize)) -> SummaGrid {
+    SummaGrid::new(grid.0, grid.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn count_defaults() {
+        match p(&["count", "g500-s10"]).unwrap() {
+            Command::Count { input, algorithm, ranks, config, stats, .. } => {
+                assert_eq!(input, Input::Preset(Preset::G500 { scale: 10 }));
+                assert_eq!(algorithm, Algorithm::TwoD);
+                assert_eq!(ranks, 4);
+                assert_eq!(config, TcConfig::paper());
+                assert!(!stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_full_flags() {
+        match p(&[
+            "count", "graph.mtx", "--algorithm", "summa", "--grid", "2x3", "--seed", "9",
+            "--no-direct-hash", "--enumeration", "ijk", "--stats",
+        ])
+        .unwrap()
+        {
+            Command::Count { input, algorithm, grid, config, seed, stats, .. } => {
+                assert_eq!(input, Input::File(PathBuf::from("graph.mtx")));
+                assert_eq!(algorithm, Algorithm::Summa);
+                assert_eq!(grid, Some((2, 3)));
+                assert!(!config.direct_hash);
+                assert_eq!(config.enumeration, Enumeration::Ijk);
+                assert_eq!(seed, 9);
+                assert!(stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn summa_grid_derived_from_ranks() {
+        match p(&["count", "g500-s8", "--algorithm", "summa", "--ranks", "12"]).unwrap() {
+            Command::Count { grid, .. } => assert_eq!(grid, Some((3, 4))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_2d() {
+        assert!(p(&["count", "g500-s8", "--ranks", "6"]).is_err());
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(p(&["generate", "g500-s8"]).is_err());
+        match p(&["generate", "g500-s8", "--out", "/tmp/x.bin", "--seed", "3"]).unwrap() {
+            Command::Generate { preset, seed, output } => {
+                assert_eq!(preset, Preset::G500 { scale: 8 });
+                assert_eq!(seed, 3);
+                assert_eq!(output, PathBuf::from("/tmp/x.bin"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truss_parses() {
+        match p(&["truss", "g500-s8", "--ranks", "3"]).unwrap() {
+            Command::Truss { ranks, .. } => assert_eq!(ranks, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(p(&["count", "g500-s8", "--bogus"]).is_err());
+        assert!(p(&["count", "g500-s8", "--algorithm", "magic"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+        assert!(p(&["generate", "not-a-preset", "--out", "x"]).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! `tricount` — command-line triangle counting.
+//!
+//! A thin front end over the workspace: load or generate a graph, run
+//! any of the eight counting algorithms, print counts, phase times,
+//! and (optionally) clustering statistics.
+
+mod cli;
+
+use std::time::Instant;
+
+use cli::{Algorithm, Command, Input, USAGE};
+use tc_graph::{io, Csr, EdgeList};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(cmd) => {
+            if let Err(e) = run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(input: &Input, seed: u64) -> Result<EdgeList, String> {
+    match input {
+        Input::Preset(p) => {
+            eprintln!("# generating {}", p.name());
+            Ok(p.build(seed))
+        }
+        Input::File(path) => {
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            let el = match ext {
+                "mtx" => io::read_matrix_market(
+                    std::fs::File::open(path).map_err(|e| e.to_string())?,
+                ),
+                "bin" => io::read_binary_edges_path(path),
+                _ => io::read_text_edges_path(path),
+            }
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+            Ok(el.simplify())
+        }
+    }
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Truss { input, ranks, seed } => {
+            let el = load(&input, seed)?;
+            eprintln!("# {} vertices, {} edges", el.num_vertices, el.num_edges());
+            let d = tc_apps::truss_decomposition_dist(&el, ranks);
+            println!("max trussness : {}", d.max_truss);
+            println!("peel rounds   : {}", d.rounds);
+            println!("time          : {:.3?}", d.time);
+            let mut hist = vec![0usize; d.max_truss as usize + 1];
+            for &t in &d.trussness {
+                hist[t as usize] += 1;
+            }
+            for (k, c) in hist.iter().enumerate().skip(2) {
+                if *c > 0 {
+                    println!("  trussness {k:>3}: {c} edges");
+                }
+            }
+            Ok(())
+        }
+        Command::Info { input } => {
+            let el = load(&input, tc_gen::DEFAULT_SEED)?;
+            let csr = Csr::from_edge_list(&el);
+            println!("vertices      : {}", el.num_vertices);
+            println!("edges         : {}", el.num_edges());
+            println!("max degree    : {}", csr.max_degree());
+            println!("avg degree    : {:.2}", tc_graph::stats::average_degree(&csr));
+            println!("wedges        : {}", tc_graph::stats::total_wedges(&csr));
+            Ok(())
+        }
+        Command::Generate { preset, seed, output } => {
+            let el = preset.build(seed);
+            let ext = output.extension().and_then(|e| e.to_str()).unwrap_or("");
+            if ext == "bin" {
+                io::write_binary_edges_path(&el, &output).map_err(|e| e.to_string())?;
+            } else {
+                io::write_text_edges(
+                    &el,
+                    std::fs::File::create(&output).map_err(|e| e.to_string())?,
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            println!(
+                "wrote {} ({} vertices, {} edges)",
+                output.display(),
+                el.num_vertices,
+                el.num_edges()
+            );
+            Ok(())
+        }
+        Command::Count { input, algorithm, ranks, grid, config, seed, stats } => {
+            let el = load(&input, seed)?;
+            eprintln!("# {} vertices, {} edges", el.num_vertices, el.num_edges());
+            let t0 = Instant::now();
+            let triangles = match algorithm {
+                Algorithm::TwoD => {
+                    let r = tc_core::count_triangles(&el, ranks, &config);
+                    println!("preprocessing : {:.3?}", r.ppt_time());
+                    println!("counting      : {:.3?}", r.tct_time());
+                    println!("tasks         : {}", r.total_tasks());
+                    println!("bytes sent    : {}", r.total_bytes_sent());
+                    r.triangles
+                }
+                Algorithm::Summa => {
+                    let g = cli::summa_grid(grid.expect("grid derived at parse time"));
+                    let r = tc_core::count_triangles_summa(&el, g, &config);
+                    println!("grid          : {}x{} ({} panels)", g.pr, g.pc, g.panels);
+                    println!("preprocessing : {:.3?}", r.ppt_time());
+                    println!("counting      : {:.3?}", r.tct_time());
+                    r.triangles
+                }
+                Algorithm::Serial => tc_baselines::serial::count_default(&el),
+                Algorithm::Shared => tc_baselines::count_shared(&el, ranks),
+                Algorithm::Aop => {
+                    let r = tc_baselines::count_aop1d(&el, ranks);
+                    println!("setup         : {:.3?}", r.setup);
+                    println!("counting      : {:.3?}", r.count);
+                    println!("ghost entries : {}", r.max_ghost_entries);
+                    r.triangles
+                }
+                Algorithm::Push => tc_baselines::count_push1d(&el, ranks).triangles,
+                Algorithm::Psp => tc_baselines::count_psp1d(&el, ranks, 8).triangles,
+                Algorithm::Wedge => {
+                    let r = tc_baselines::count_wedge(&el, ranks);
+                    println!("2-core        : {:.3?} ({} peeled)", r.two_core, r.peeled);
+                    println!("wedge check   : {:.3?} ({} wedges)", r.wedge_count, r.wedges);
+                    r.triangles
+                }
+            };
+            println!("total time    : {:.3?}", t0.elapsed());
+            println!("triangles     : {triangles}");
+            if stats {
+                let csr = Csr::from_edge_list(&el);
+                println!("transitivity  : {:.6}", tc_graph::stats::transitivity(&csr, triangles));
+            }
+            Ok(())
+        }
+    }
+}

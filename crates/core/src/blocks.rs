@@ -1,0 +1,197 @@
+//! Per-processor sparse blocks of the 2D decomposition.
+//!
+//! Three block kinds live on each rank `P(x, y)` of the `q × q` grid
+//! (`q = √p`):
+//!
+//! - the **task block** — the non-zeros of `L` (for ⟨j,i,k⟩) or `U`
+//!   (for ⟨i,j,k⟩) that fall in this rank's 2D-cyclic cell; one task
+//!   per edge of the graph, never moves;
+//! - the **hash-side operand** `U(x, w)` — rows `v ≡ x`, columns
+//!   `k ≡ w` of the upper adjacency; travels *left* along the grid row;
+//! - the **probe-side operand** `L(w, y)` (stored column-accessible,
+//!   i.e. as rows `v ≡ y` with entries `k ≡ w` of the upper
+//!   adjacency); travels *up* the grid column.
+//!
+//! Blocks keep a *full* row-pointer array indexed by the transformed
+//! index `v ÷ q` (paper: "the adjacency list of a vertex vᵢ is
+//! accessed using the transformed index vᵢ ÷ √p") **plus** a list of
+//! non-empty rows for the doubly-sparse traversal of §5.2.
+
+use tc_mps::{BlobBuilder, BlobReader};
+
+/// A CSR-like sparse block with full row indexing and a non-empty row
+/// list. Row ids are *local* (global ÷ q); column ids are *global*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBlock {
+    /// Full row-pointer array, length `num_rows + 1`.
+    xadj: Vec<u32>,
+    /// Column entries (global vertex ids), sorted ascending per row.
+    cols: Vec<u32>,
+    /// Local ids of non-empty rows, ascending (the DCSR index).
+    nonempty: Vec<u32>,
+}
+
+impl SparseBlock {
+    /// Builds a block from `(row_global, col_global)` pairs.
+    ///
+    /// `q` is the grid side, `num_rows` the row count of the block's
+    /// vertex class (`Cyclic2D::class_count`). Rows are addressed by
+    /// `row_global ÷ q`; pairs may arrive in any order.
+    pub fn from_pairs(num_rows: usize, q: usize, pairs: &mut Vec<(u32, u32)>) -> Self {
+        // Counting-sort by local row, then sort columns within rows.
+        let mut counts = vec![0u32; num_rows + 1];
+        for &(r, _) in pairs.iter() {
+            let lr = r as usize / q;
+            debug_assert!(lr < num_rows, "row {r} out of class range");
+            counts[lr + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let xadj = counts.clone();
+        let mut cols = vec![0u32; pairs.len()];
+        let mut cursor = counts;
+        for &(r, c) in pairs.iter() {
+            let lr = r as usize / q;
+            cols[cursor[lr] as usize] = c;
+            cursor[lr] += 1;
+        }
+        for lr in 0..num_rows {
+            cols[xadj[lr] as usize..xadj[lr + 1] as usize].sort_unstable();
+        }
+        pairs.clear(); // signal consumption; callers reuse the buffer
+        let nonempty =
+            (0..num_rows).filter(|&r| xadj[r + 1] > xadj[r]).map(|r| r as u32).collect();
+        Self { xadj, cols, nonempty }
+    }
+
+    /// An empty block with `num_rows` rows.
+    pub fn empty(num_rows: usize) -> Self {
+        Self { xadj: vec![0; num_rows + 1], cols: Vec::new(), nonempty: Vec::new() }
+    }
+
+    /// Number of rows (empty ones included).
+    pub fn num_rows(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of stored entries.
+    pub fn num_entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Entries of local row `lr`, sorted ascending (O(1) access via the
+    /// full row pointer — the "indexing scheme used to avoid
+    /// maintaining offsets").
+    #[inline]
+    pub fn row(&self, lr: usize) -> &[u32] {
+        &self.cols[self.xadj[lr] as usize..self.xadj[lr + 1] as usize]
+    }
+
+    /// Entry-array offset of local row `lr` (pairs with
+    /// [`SparseBlock::row`] to give absolute entry indices).
+    #[inline]
+    pub fn row_start(&self, lr: usize) -> usize {
+        self.xadj[lr] as usize
+    }
+
+    /// Absolute entry index of column `col` in local row `lr`, if
+    /// present (rows are sorted, so this is a binary search).
+    pub fn find_entry(&self, lr: usize, col: u32) -> Option<usize> {
+        self.row(lr).binary_search(&col).ok().map(|pos| self.row_start(lr) + pos)
+    }
+
+    /// Local ids of non-empty rows.
+    pub fn nonempty_rows(&self) -> &[u32] {
+        &self.nonempty
+    }
+
+    /// Length of the longest row.
+    pub fn max_row_len(&self) -> usize {
+        self.nonempty
+            .iter()
+            .map(|&lr| (self.xadj[lr as usize + 1] - self.xadj[lr as usize]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serializes into a single contiguous buffer (paper §5.2:
+    /// "allocate the memory associated with all of the information for
+    /// a sparse matrix as a single blob").
+    pub fn to_blob(&self) -> bytes::Bytes {
+        BlobBuilder::new().push(&self.xadj).push(&self.cols).push(&self.nonempty).finish()
+    }
+
+    /// Deserializes a buffer produced by [`SparseBlock::to_blob`].
+    pub fn from_blob(data: bytes::Bytes) -> Self {
+        let r = BlobReader::new(data);
+        assert_eq!(r.num_sections(), 3, "operand blob must have 3 sections");
+        Self {
+            xadj: r.typed::<u32>(0).into_vec(),
+            cols: r.typed::<u32>(1).into_vec(),
+            nonempty: r.typed::<u32>(2).into_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_strided_rows() {
+        // q = 3, class 1 (rows 1, 4, 7, ...), num_rows = 3.
+        let mut pairs = vec![(4, 9), (1, 5), (4, 3), (7, 2), (1, 0)];
+        let b = SparseBlock::from_pairs(3, 3, &mut pairs);
+        assert!(pairs.is_empty());
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.row(0), &[0, 5]); // global row 1
+        assert_eq!(b.row(1), &[3, 9]); // global row 4
+        assert_eq!(b.row(2), &[2]); // global row 7
+        assert_eq!(b.nonempty_rows(), &[0, 1, 2]);
+        assert_eq!(b.max_row_len(), 2);
+    }
+
+    #[test]
+    fn nonempty_index_skips_holes() {
+        // Rows 0 and 2 of 4 are empty.
+        let mut pairs = vec![(2, 1), (6, 4)]; // q=2, class 0: rows 0,2,4,6
+        let b = SparseBlock::from_pairs(4, 2, &mut pairs);
+        assert_eq!(b.nonempty_rows(), &[1, 3]);
+        assert_eq!(b.row(0), &[] as &[u32]);
+        assert_eq!(b.row(1), &[1]);
+        assert_eq!(b.num_entries(), 2);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = SparseBlock::empty(5);
+        assert_eq!(b.num_rows(), 5);
+        assert_eq!(b.num_entries(), 0);
+        assert!(b.nonempty_rows().is_empty());
+        assert_eq!(b.max_row_len(), 0);
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let mut pairs = vec![(0, 7), (3, 1), (3, 2), (9, 9)];
+        let b = SparseBlock::from_pairs(4, 3, &mut pairs);
+        let back = SparseBlock::from_blob(b.to_blob());
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn blob_roundtrip_empty() {
+        let b = SparseBlock::empty(0);
+        assert_eq!(SparseBlock::from_blob(b.to_blob()), b);
+    }
+
+    #[test]
+    fn duplicate_columns_are_kept_sorted() {
+        // The pipeline never produces duplicates, but the container
+        // itself must not lose or reorder them.
+        let mut pairs = vec![(0, 5), (0, 5), (0, 1)];
+        let b = SparseBlock::from_pairs(1, 1, &mut pairs);
+        assert_eq!(b.row(0), &[1, 5, 5]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cannon-pattern orchestration of the counting phase (paper §5.1).
+//!
+//! The counting phase performs, in order:
+//!
+//! 1. the **initial skew**: `U(x, y)` moves left by `x` so that
+//!    `P(x, y)` holds `U(x, (x+y) % q)`, and `L` moves up by `y` so
+//!    that `P(x, y)` holds `L((x+y) % q, y)`;
+//! 2. `q = √p` **compute steps**, each counting against the currently
+//!    held operand pair (Eq. 6's term `z`), separated by single-step
+//!    shifts (`U` left, `L` up), with operands travelling as single
+//!    contiguous blobs;
+//! 3. a final **global reduction** of the per-rank counts.
+
+use std::time::Duration;
+
+use tc_mps::{Comm, Grid};
+
+use crate::blocks::SparseBlock;
+use crate::config::TcConfig;
+use crate::count::count_shift;
+use crate::hashmap::IntersectMap;
+use crate::preprocess::PrepOutput;
+
+/// Per-rank outcome of the counting phase.
+#[derive(Debug)]
+pub struct CountOutput {
+    /// Global triangle count (identical on every rank after the
+    /// reduction).
+    pub triangles: u64,
+    /// Triangles found by this rank's tasks.
+    pub local_triangles: u64,
+    /// Compute-only duration of each shift.
+    pub shift_compute: Vec<Duration>,
+    /// Tasks that performed at least one lookup (Table 4 metric).
+    pub tasks: u64,
+    /// Final intersection-map statistics.
+    pub map_stats: crate::hashmap::MapStats,
+    /// When requested: `(a, b, support)` for every task of this rank,
+    /// in degree-order labels, zero-support tasks included.
+    pub per_edge: Option<Vec<(u32, u32, u64)>>,
+}
+
+/// Runs skew + shifts + reduction for one rank.
+pub fn cannon_count(comm: &Comm, prep: PrepOutput, cfg: &TcConfig) -> CountOutput {
+    cannon_count_impl(comm, prep, cfg, false)
+}
+
+/// [`cannon_count`] that also accumulates per-edge triangle supports
+/// (the per-task totals across all shifts).
+pub fn cannon_count_per_edge(comm: &Comm, prep: PrepOutput, cfg: &TcConfig) -> CountOutput {
+    cannon_count_impl(comm, prep, cfg, true)
+}
+
+fn cannon_count_impl(
+    comm: &Comm,
+    mut prep: PrepOutput,
+    cfg: &TcConfig,
+    collect_per_edge: bool,
+) -> CountOutput {
+    let grid = Grid::new(comm);
+    let q = prep.q;
+    debug_assert_eq!(grid.q(), q);
+    let (x, y) = (prep.x, prep.y);
+    let ublock_init = std::mem::replace(&mut prep.ublock, SparseBlock::empty(0));
+    let lblock_init = std::mem::replace(&mut prep.lblock, SparseBlock::empty(0));
+
+    // Initial skew. With q == 1 the blocks are already aligned.
+    let (mut ublock, mut lblock) = if q > 1 {
+        let u_dst = (x, (y + q - x) % q);
+        let u_src = (x, (x + y) % q);
+        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, ublock_init.to_blob(), u_src.0, u_src.1);
+        let l_dst = ((x + q - y) % q, y);
+        let l_src = ((x + y) % q, y);
+        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, lblock_init.to_blob(), l_src.0, l_src.1);
+        (SparseBlock::from_blob(ub), SparseBlock::from_blob(lb))
+    } else {
+        (ublock_init, lblock_init)
+    };
+
+    let mut map = IntersectMap::new(prep.max_hash_row, q);
+    let mut local = 0u64;
+    let mut tasks = 0u64;
+    let mut shift_compute = Vec::with_capacity(q);
+    // Per-edge mode records every (task entry, closing vertex k) hit.
+    let mut hits: Option<Vec<(u32, u32)>> = collect_per_edge.then(Vec::new);
+    for z in 0..q {
+        let t0 = tc_mps::CpuTimer::start();
+        local += match hits.as_mut() {
+            None => count_shift(&prep.task, &ublock, &lblock, &mut map, q, cfg, &mut tasks),
+            Some(h) => crate::count::count_shift_recording(
+                &prep.task,
+                &ublock,
+                &lblock,
+                &mut map,
+                q,
+                cfg,
+                &mut tasks,
+                |idx, k| h.push((idx as u32, k)),
+            ),
+        };
+        shift_compute.push(t0.elapsed());
+        if z + 1 < q {
+            ublock = SparseBlock::from_blob(grid.shift_left(ublock.to_blob()));
+            lblock = SparseBlock::from_blob(grid.shift_up(lblock.to_blob()));
+        }
+    }
+
+    let triangles = comm.allreduce_sum_u64(local);
+    let per_edge =
+        hits.map(|h| resolve_per_edge(comm, &prep, cfg, h, q));
+    CountOutput {
+        triangles,
+        local_triangles: local,
+        shift_compute,
+        tasks,
+        map_stats: map.stats,
+        per_edge,
+    }
+}
+
+/// Turns the raw per-hit records into full per-edge supports.
+///
+/// A hit on task `(a, b)` with closing vertex `k` is one triangle
+/// `{i, j, k}` (degree-order `i < j < k`); it contributes support to
+/// all **three** edges, but only the `(i, j)` edge is a local task —
+/// the `(i, k)` and `(j, k)` credits belong to tasks on other ranks
+/// and are delivered with one personalized all-to-all.
+fn resolve_per_edge(
+    comm: &Comm,
+    prep: &PrepOutput,
+    cfg: &TcConfig,
+    hits: Vec<(u32, u32)>,
+    q: usize,
+) -> Vec<(u32, u32, u64)> {
+    let p = comm.size();
+    // Entry metadata: global (a, b) per task entry index.
+    let mut entry_a = vec![0u32; prep.task.num_entries()];
+    let mut entry_b = vec![0u32; prep.task.num_entries()];
+    for &lr in prep.task.nonempty_rows() {
+        let a = lr * q as u32 + prep.x as u32;
+        let base = prep.task.row_start(lr as usize);
+        for (pos, &b) in prep.task.row(lr as usize).iter().enumerate() {
+            entry_a[base + pos] = a;
+            entry_b[base + pos] = b;
+        }
+    }
+
+    // Task key of an edge (min, max): hash-side vertex first.
+    let task_key = |lo: u32, hi: u32| -> (u32, u32) {
+        match cfg.enumeration {
+            crate::config::Enumeration::Jik => (hi, lo),
+            crate::config::Enumeration::Ijk => (lo, hi),
+        }
+    };
+
+    let mut supports = vec![0u64; prep.task.num_entries()];
+    let mut credit_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+    for (idx, k) in hits {
+        supports[idx as usize] += 1;
+        let (av, bv) = (entry_a[idx as usize], entry_b[idx as usize]);
+        let (i, j) = (av.min(bv), av.max(bv));
+        // k closes the triangle and is the largest label (operand rows
+        // hold upper neighbours only).
+        debug_assert!(k > j);
+        for (lo, hi) in [(i, k), (j, k)] {
+            let (ka, kb) = task_key(lo, hi);
+            let dst = (ka as usize % q) * q + kb as usize % q;
+            credit_sends[dst].push([ka, kb]);
+        }
+    }
+    for msg in comm.alltoallv(&credit_sends) {
+        for [ka, kb] in msg {
+            let idx = prep
+                .task
+                .find_entry(ka as usize / q, kb)
+                .unwrap_or_else(|| panic!("credited edge ({ka},{kb}) has no local task"));
+            supports[idx] += 1;
+        }
+    }
+
+    let mut out = Vec::with_capacity(supports.len());
+    for (idx, s) in supports.into_iter().enumerate() {
+        out.push((entry_a[idx], entry_b[idx], s));
+    }
+    out
+}

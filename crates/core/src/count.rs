@@ -1,0 +1,187 @@
+//! The per-shift map-based intersection kernel (paper §5.1–5.2).
+//!
+//! On each of the `√p` shifts a rank holds three blocks: its immobile
+//! task block, the current hash-side operand (rows `A(a) ∩ {k ≡ w}`),
+//! and the current probe-side operand (rows `A(b) ∩ {k ≡ w}`). For
+//! every task `(a, b)` the kernel hashes row `a` (once per task row —
+//! the map-reuse of [21]) and probes with row `b`; every hit is a
+//! triangle `{b, a, k}` (⟨j,i,k⟩) counted exactly once grid-wide.
+
+use crate::blocks::SparseBlock;
+use crate::config::TcConfig;
+use crate::hashmap::IntersectMap;
+
+/// Counts the triangles contributed by one shift.
+///
+/// `tasks_counter` is incremented once per task that performs at least
+/// one hash lookup this shift — the quantity Table 4 reports as "tasks
+/// that result in the map-based set intersection operation".
+pub fn count_shift(
+    task: &SparseBlock,
+    hash_block: &SparseBlock,
+    probe_block: &SparseBlock,
+    map: &mut IntersectMap,
+    q: usize,
+    cfg: &TcConfig,
+    tasks_counter: &mut u64,
+) -> u64 {
+    count_shift_recording(task, hash_block, probe_block, map, q, cfg, tasks_counter, |_, _| {})
+}
+
+/// [`count_shift`] that additionally reports every individual
+/// triangle: `record(entry_index, k)` fires once per hit, where
+/// `entry_index` is the position of the task in the block's entry
+/// array and `k` the triangle-closing vertex. Accumulated across
+/// shifts this yields the per-edge triangle support that k-truss-style
+/// analyses consume (one of the paper's §1 motivating applications).
+#[allow(clippy::too_many_arguments)] // mirrors count_shift plus the sink
+pub fn count_shift_recording(
+    task: &SparseBlock,
+    hash_block: &SparseBlock,
+    probe_block: &SparseBlock,
+    map: &mut IntersectMap,
+    q: usize,
+    cfg: &TcConfig,
+    tasks_counter: &mut u64,
+    mut record: impl FnMut(usize, u32),
+) -> u64 {
+    let mut found = 0u64;
+
+    let mut run_row = |la: usize| {
+        let trow = task.row(la);
+        if trow.is_empty() {
+            return;
+        }
+        let hrow = hash_block.row(la);
+        map.load_row(hrow, cfg.direct_hash);
+        // Entries of the hash row are ascending; anything below the
+        // smallest can never hit (the §5.2 early-break bound). An
+        // empty hash row degenerates to "break immediately".
+        let min_h = hrow.first().copied().unwrap_or(u32::MAX);
+        let row_base = task.row_start(la);
+        for (pos, &b) in trow.iter().enumerate() {
+            let prow = probe_block.row(b as usize / q);
+            let before = map.stats.lookups;
+            if cfg.reverse_early_break {
+                for &k in prow.iter().rev() {
+                    if k < min_h {
+                        break;
+                    }
+                    if map.contains(k) {
+                        found += 1;
+                        record(row_base + pos, k);
+                    }
+                }
+            } else {
+                for &k in prow {
+                    if map.contains(k) {
+                        found += 1;
+                        record(row_base + pos, k);
+                    }
+                }
+            }
+            if map.stats.lookups > before {
+                *tasks_counter += 1;
+            }
+        }
+    };
+
+    if cfg.doubly_sparse {
+        for &la in task.nonempty_rows() {
+            run_row(la as usize);
+        }
+    } else {
+        for la in 0..task.num_rows() {
+            run_row(la);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TcConfig;
+
+    /// Builds a single-rank (q = 1) scenario: every class is class 0,
+    /// local row id == vertex id.
+    fn single_rank_blocks() -> (SparseBlock, SparseBlock, SparseBlock) {
+        // Graph: triangle 0-1-2 plus edge 2-3. Upper adjacency:
+        // A(0) = {1, 2}, A(1) = {2}, A(2) = {3}.
+        let a_entries = vec![(0u32, 1u32), (0, 2), (1, 2), (2, 3)];
+        let n = 4;
+        let mut u_pairs = a_entries.clone();
+        let ublock = SparseBlock::from_pairs(n, 1, &mut u_pairs);
+        let mut l_pairs = a_entries.clone();
+        let lblock = SparseBlock::from_pairs(n, 1, &mut l_pairs);
+        // ⟨j,i,k⟩ tasks: one per edge, (a, b) = (larger, smaller).
+        let mut t_pairs = vec![(1u32, 0u32), (2, 0), (2, 1), (3, 2)];
+        let task = SparseBlock::from_pairs(n, 1, &mut t_pairs);
+        (task, ublock, lblock)
+    }
+
+    #[test]
+    fn counts_triangle_single_rank() {
+        let (task, ub, lb) = single_rank_blocks();
+        for cfg in [TcConfig::default(), TcConfig::unoptimized()] {
+            let mut map = IntersectMap::new(ub.max_row_len(), 1);
+            let mut tasks = 0u64;
+            let c = count_shift(&task, &ub, &lb, &mut map, 1, &cfg, &mut tasks);
+            assert_eq!(c, 1, "{cfg:?}");
+            assert!(tasks >= 1);
+        }
+    }
+
+    #[test]
+    fn optimized_performs_fewer_lookups() {
+        let (task, ub, lb) = single_rank_blocks();
+        let run = |cfg: &TcConfig| {
+            let mut map = IntersectMap::new(ub.max_row_len(), 1);
+            let mut tasks = 0u64;
+            let c = count_shift(&task, &ub, &lb, &mut map, 1, cfg, &mut tasks);
+            (c, map.stats.lookups)
+        };
+        let (c_opt, l_opt) = run(&TcConfig::default());
+        let (c_raw, l_raw) = run(&TcConfig::unoptimized());
+        assert_eq!(c_opt, c_raw);
+        assert!(l_opt <= l_raw, "optimized {l_opt} > raw {l_raw}");
+    }
+
+    #[test]
+    fn empty_blocks_count_zero() {
+        let task = SparseBlock::empty(3);
+        let ub = SparseBlock::empty(3);
+        let lb = SparseBlock::empty(3);
+        let mut map = IntersectMap::new(0, 1);
+        let mut tasks = 0;
+        let c =
+            count_shift(&task, &ub, &lb, &mut map, 1, &TcConfig::default(), &mut tasks);
+        assert_eq!(c, 0);
+        assert_eq!(tasks, 0);
+    }
+
+    #[test]
+    fn early_break_skips_empty_hash_rows() {
+        // Task row exists but its hash row is empty: with the early
+        // break no lookups happen; without it every probe entry is
+        // looked up (and misses).
+        let mut t_pairs = vec![(0u32, 1u32)];
+        let task = SparseBlock::from_pairs(2, 1, &mut t_pairs);
+        let ub = SparseBlock::empty(2);
+        let mut l_pairs = vec![(1u32, 5u32), (1, 6)];
+        let lb = SparseBlock::from_pairs(2, 1, &mut l_pairs);
+
+        let mut map = IntersectMap::new(4, 1);
+        let mut tasks = 0;
+        let c = count_shift(&task, &ub, &lb, &mut map, 1, &TcConfig::default(), &mut tasks);
+        assert_eq!((c, tasks, map.stats.lookups), (0, 0, 0));
+
+        let mut map = IntersectMap::new(4, 1);
+        let mut tasks = 0;
+        let cfg = TcConfig::default().with_reverse_early_break(false);
+        let c = count_shift(&task, &ub, &lb, &mut map, 1, &cfg, &mut tasks);
+        assert_eq!(c, 0);
+        assert_eq!(tasks, 1);
+        assert_eq!(map.stats.lookups, 2);
+    }
+}

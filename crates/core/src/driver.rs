@@ -1,0 +1,289 @@
+//! End-to-end driver: spawn the grid, preprocess, count, aggregate.
+
+use std::time::Instant;
+
+use tc_graph::{Csr, EdgeList};
+use tc_mps::Universe;
+
+use crate::config::TcConfig;
+use crate::metrics::{RankMetrics, TcResult};
+use crate::preprocess::preprocess;
+
+/// Counts the triangles of `el` on `p` ranks with the 2D algorithm.
+///
+/// `p` must be a perfect square (the paper's `√p × √p` grid). The
+/// graph is handed to the ranks in the paper's assumed input state —
+/// a 1D block distribution of vertices with their full adjacency
+/// lists — and everything after that (cyclic redistribution, degree
+/// ordering, U/L split, 2D redistribution, Cannon shifts, reduction)
+/// happens over explicit messages.
+///
+/// # Panics
+///
+/// Panics if `p` is not a perfect square or `el` is not simplified.
+pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
+    assert!(
+        tc_mps::perfect_square_side(p).is_some(),
+        "rank count {p} is not a perfect square"
+    );
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+
+    // The shared immutable CSR stands in for the pre-placed on-disk
+    // input; each rank only reads its own 1D block of rows.
+    let global = Csr::from_edge_list(el);
+
+    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+        let mut metrics = RankMetrics::default();
+
+        // ---- preprocessing phase ("ppt") ----
+        comm.barrier();
+        let stats0 = comm.stats();
+        let t0 = Instant::now();
+        let cpu0 = tc_mps::CpuTimer::start();
+        let prep = preprocess(comm, &global, cfg);
+        metrics.ppt_cpu = cpu0.elapsed();
+        comm.barrier();
+        metrics.ppt = t0.elapsed();
+        let stats1 = comm.stats();
+        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
+        metrics.ppt_ops = prep.ops;
+
+        // ---- triangle counting phase ("tct") ----
+        let t1 = Instant::now();
+        let cpu1 = tc_mps::CpuTimer::start();
+        let out = crate::cannon::cannon_count(comm, prep, cfg);
+        metrics.tct_cpu = cpu1.elapsed();
+        comm.barrier();
+        metrics.tct = t1.elapsed();
+        let stats2 = comm.stats();
+        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+
+        metrics.shift_compute = out.shift_compute;
+        metrics.tasks = out.tasks;
+        metrics.probes = out.map_stats.probe_steps;
+        metrics.lookups = out.map_stats.lookups;
+        metrics.direct_rows = out.map_stats.direct_rows;
+        metrics.probed_rows = out.map_stats.probed_rows;
+        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
+        metrics.local_triangles = out.local_triangles;
+        (out.triangles, metrics)
+    });
+
+    let mut ranks = Vec::with_capacity(p);
+    let triangles = rank_outs[0].0;
+    for ((t, mut m), cs) in rank_outs.into_iter().zip(comm_stats) {
+        assert_eq!(t, triangles, "ranks disagree on the reduced count");
+        m.bytes_sent = cs.bytes_sent;
+        ranks.push(m);
+    }
+    TcResult { triangles, num_ranks: p, ranks }
+}
+
+/// Convenience wrapper with the paper's default configuration.
+pub fn count_triangles_default(el: &EdgeList, p: usize) -> TcResult {
+    count_triangles(el, p, &TcConfig::default())
+}
+
+/// Triangle support of one input edge (`u < v`, input labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSupport {
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+    /// Number of triangles containing the edge.
+    pub support: u64,
+}
+
+/// Counts triangles *per edge* (the edge "support" that k-truss
+/// decomposition and related analyses consume — one of the paper's §1
+/// motivating applications), alongside the usual aggregate result.
+///
+/// Supports are accumulated shift-by-shift on each task's owner, then
+/// gathered and translated back to input vertex labels. The returned
+/// list covers every edge of the graph, sorted by `(u, v)`.
+pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec<EdgeSupport>) {
+    assert!(
+        tc_mps::perfect_square_side(p).is_some(),
+        "rank count {p} is not a perfect square"
+    );
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    let global = Csr::from_edge_list(el);
+    let n = global.num_vertices();
+
+    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+        let mut metrics = RankMetrics::default();
+        comm.barrier();
+        let stats0 = comm.stats();
+        let t0 = Instant::now();
+        let cpu0 = tc_mps::CpuTimer::start();
+        let prep = preprocess(comm, &global, cfg);
+        let label_pairs: Vec<[u32; 2]> =
+            prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
+        metrics.ppt_cpu = cpu0.elapsed();
+        comm.barrier();
+        metrics.ppt = t0.elapsed();
+        let stats1 = comm.stats();
+        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
+        metrics.ppt_ops = prep.ops;
+
+        let t1 = Instant::now();
+        let cpu1 = tc_mps::CpuTimer::start();
+        let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg);
+        metrics.tct_cpu = cpu1.elapsed();
+        comm.barrier();
+        metrics.tct = t1.elapsed();
+        let stats2 = comm.stats();
+        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+
+        metrics.shift_compute = out.shift_compute;
+        metrics.tasks = out.tasks;
+        metrics.probes = out.map_stats.probe_steps;
+        metrics.lookups = out.map_stats.lookups;
+        metrics.direct_rows = out.map_stats.direct_rows;
+        metrics.probed_rows = out.map_stats.probed_rows;
+        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
+        metrics.local_triangles = out.local_triangles;
+
+        // Gather label maps and per-task supports on rank 0 for the
+        // translation back to input ids.
+        let triples: Vec<[u32; 3]> = out
+            .per_edge
+            .expect("per-edge collection was requested")
+            .into_iter()
+            .map(|(a, b, s)| {
+                debug_assert!(s <= u32::MAX as u64, "support exceeds u32");
+                [a, b, s as u32]
+            })
+            .collect();
+        let labels_at_root = comm.gatherv(0, &label_pairs);
+        let triples_at_root = comm.gatherv(0, &triples);
+
+        let supports = labels_at_root.map(|labels| {
+            let mut old_of_new = vec![0u32; n];
+            for msg in labels {
+                for [old, new] in msg {
+                    old_of_new[new as usize] = old;
+                }
+            }
+            let mut edges = Vec::new();
+            for msg in triples_at_root.expect("root gathers both") {
+                for [a, b, s] in msg {
+                    let (ou, ov) = (old_of_new[a as usize], old_of_new[b as usize]);
+                    let (u, v) = (ou.min(ov), ou.max(ov));
+                    edges.push(EdgeSupport { u, v, support: s as u64 });
+                }
+            }
+            edges.sort_unstable_by_key(|e| (e.u, e.v));
+            edges
+        });
+        (out.triangles, metrics, supports)
+    });
+
+    let mut ranks = Vec::with_capacity(p);
+    let triangles = rank_outs[0].0;
+    let mut supports = None;
+    for ((t, mut m, sup), cs) in rank_outs.into_iter().zip(comm_stats) {
+        assert_eq!(t, triangles, "ranks disagree on the reduced count");
+        m.bytes_sent = cs.bytes_sent;
+        ranks.push(m);
+        if sup.is_some() {
+            supports = sup;
+        }
+    }
+    let supports = supports.expect("rank 0 produced the support list");
+    (TcResult { triangles, num_ranks: p, ranks }, supports)
+}
+
+/// Counts triangles when the whole graph initially lives on **rank 0**
+/// (e.g. it was just loaded from disk there): rank 0 scatters the 1D
+/// block rows to their owners, then the standard pipeline runs on the
+/// physically distributed data.
+///
+/// The scatter is reported as part of the preprocessing phase — it
+/// replaces the "graph is initially stored using a 1D distribution"
+/// assumption of §5.3 with an explicit distribution step.
+pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
+    assert!(
+        tc_mps::perfect_square_side(p).is_some(),
+        "rank count {p} is not a perfect square"
+    );
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    let n = el.num_vertices;
+    // Only rank 0's closure touches this (the "graph on one node").
+    let root_csr = Csr::from_edge_list(el);
+    let block = tc_graph::Block1D::new(n, p);
+
+    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+        let mut metrics = RankMetrics::default();
+        comm.barrier();
+        let stats0 = comm.stats();
+        let t0 = Instant::now();
+        let cpu0 = tc_mps::CpuTimer::start();
+
+        // Rank 0 carves its CSR into per-rank block streams:
+        // [lo-local xadj..., adj...] — two sections per rank, framed as
+        // one u32 stream: [num_rows, xadj..., adj...].
+        let pieces: Option<Vec<Vec<u32>>> = (comm.rank() == 0).then(|| {
+            (0..p)
+                .map(|r| {
+                    let (lo, hi) = block.range(r);
+                    let mut buf = Vec::new();
+                    buf.push((hi - lo) as u32);
+                    let mut off = 0u32;
+                    buf.push(0);
+                    for v in lo..hi {
+                        off += root_csr.degree(v as u32) as u32;
+                        buf.push(off);
+                    }
+                    for v in lo..hi {
+                        buf.extend_from_slice(root_csr.neighbors(v as u32));
+                    }
+                    buf
+                })
+                .collect()
+        });
+        let mine = comm.scatterv(0, pieces.as_deref());
+        let rows = mine[0] as usize;
+        let xadj = mine[1..2 + rows].to_vec();
+        let adj = mine[2 + rows..].to_vec();
+        let (lo, _) = block.range(comm.rank());
+        let input = crate::preprocess::BlockInput::Owned { lo: lo as u32, xadj, adj };
+
+        let prep = crate::preprocess::preprocess_from(comm, n, &input, cfg);
+        metrics.ppt_cpu = cpu0.elapsed();
+        comm.barrier();
+        metrics.ppt = t0.elapsed();
+        let stats1 = comm.stats();
+        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
+        metrics.ppt_ops = prep.ops;
+
+        let t1 = Instant::now();
+        let cpu1 = tc_mps::CpuTimer::start();
+        let out = crate::cannon::cannon_count(comm, prep, cfg);
+        metrics.tct_cpu = cpu1.elapsed();
+        comm.barrier();
+        metrics.tct = t1.elapsed();
+        let stats2 = comm.stats();
+        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+
+        metrics.shift_compute = out.shift_compute;
+        metrics.tasks = out.tasks;
+        metrics.probes = out.map_stats.probe_steps;
+        metrics.lookups = out.map_stats.lookups;
+        metrics.direct_rows = out.map_stats.direct_rows;
+        metrics.probed_rows = out.map_stats.probed_rows;
+        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
+        metrics.local_triangles = out.local_triangles;
+        (out.triangles, metrics)
+    });
+
+    let mut ranks = Vec::with_capacity(p);
+    let triangles = rank_outs[0].0;
+    for ((t, mut m), cs) in rank_outs.into_iter().zip(comm_stats) {
+        assert_eq!(t, triangles, "ranks disagree on the reduced count");
+        m.bytes_sent = cs.bytes_sent;
+        ranks.push(m);
+    }
+    TcResult { triangles, num_ranks: p, ranks }
+}

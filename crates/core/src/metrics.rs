@@ -1,0 +1,286 @@
+//! Per-rank and aggregate measurements.
+//!
+//! The evaluation section of the paper is built from a small set of
+//! per-rank quantities — phase wall times (Table 2 / Fig. 1), per-shift
+//! compute times (Table 3), map-intersection task counts (Table 4),
+//! operation counts (Fig. 2), communication time and volume (Fig. 3),
+//! and hash-probe counts (§7.1). [`RankMetrics`] carries all of them;
+//! [`TcResult`] aggregates across ranks the way the paper does
+//! (phase time = slowest rank, counts summed).
+
+use std::time::Duration;
+
+use tc_mps::CommStats;
+
+/// Everything one rank measured during a run.
+#[derive(Debug, Clone, Default)]
+pub struct RankMetrics {
+    /// Preprocessing wall time ("ppt").
+    pub ppt: Duration,
+    /// Triangle-counting wall time ("tct").
+    pub tct: Duration,
+    /// CPU time this rank's thread spent in preprocessing. On an
+    /// oversubscribed host (ranks > cores) this, not wall time, still
+    /// measures the rank's work — see [`TcResult::modeled_ppt_time`].
+    pub ppt_cpu: Duration,
+    /// CPU time this rank's thread spent in the counting phase.
+    pub tct_cpu: Duration,
+    /// Compute-only *CPU* time of each of the √p shifts (excludes the
+    /// shift communication) — Table 3's per-shift load-imbalance data,
+    /// and the raw material of the critical-path speedup model.
+    pub shift_compute: Vec<Duration>,
+    /// Tasks that resulted in a map-based set intersection (Table 4).
+    pub tasks: u64,
+    /// Hash-probe steps beyond the home slot (§7.1's probe metric).
+    pub probes: u64,
+    /// Hash lookups performed.
+    pub lookups: u64,
+    /// Rows loaded into the intersection map via the direct fast path.
+    pub direct_rows: u64,
+    /// Rows loaded via probing.
+    pub probed_rows: u64,
+    /// Preprocessing operation count (adjacency entries processed) —
+    /// the numerator of Fig. 2's ppt kOps/s.
+    pub ppt_ops: u64,
+    /// Counting-phase operation count (hash inserts + lookups) —
+    /// Fig. 2's tct kOps/s numerator.
+    pub tct_ops: u64,
+    /// Time inside communication calls during preprocessing.
+    pub ppt_comm: Duration,
+    /// Time inside communication calls during counting.
+    pub tct_comm: Duration,
+    /// Payload bytes this rank sent over the whole run.
+    pub bytes_sent: u64,
+    /// Triangles found by this rank's tasks.
+    pub local_triangles: u64,
+}
+
+impl RankMetrics {
+    /// Communication-time delta between two [`CommStats`] snapshots.
+    pub fn comm_delta(before: &CommStats, after: &CommStats) -> Duration {
+        Duration::from_nanos(
+            (after.send_ns + after.recv_ns).saturating_sub(before.send_ns + before.recv_ns),
+        )
+    }
+}
+
+/// Result of a distributed triangle-counting run.
+#[derive(Debug, Clone)]
+pub struct TcResult {
+    /// Total number of unique triangles.
+    pub triangles: u64,
+    /// Rank count `p`.
+    pub num_ranks: usize,
+    /// Per-rank measurements, indexed by rank.
+    pub ranks: Vec<RankMetrics>,
+}
+
+impl TcResult {
+    /// Preprocessing time: slowest rank (the paper reports phase wall
+    /// clock, which is gated by the slowest rank).
+    pub fn ppt_time(&self) -> Duration {
+        self.ranks.iter().map(|r| r.ppt).max().unwrap_or_default()
+    }
+
+    /// Triangle-counting time: slowest rank.
+    pub fn tct_time(&self) -> Duration {
+        self.ranks.iter().map(|r| r.tct).max().unwrap_or_default()
+    }
+
+    /// Overall runtime (ppt + tct, per the paper's Table 2 columns).
+    pub fn overall_time(&self) -> Duration {
+        self.ppt_time() + self.tct_time()
+    }
+
+    /// Critical-path *model* of the preprocessing time: the slowest
+    /// rank's CPU time. On a real cluster (one core per rank) this is
+    /// what the phase's wall time would be, up to communication
+    /// latency; on an oversubscribed single machine it is the only
+    /// meaningful scaling metric, because wall time just measures the
+    /// scheduler. DESIGN.md §1 discusses this substitution.
+    pub fn modeled_ppt_time(&self) -> Duration {
+        self.ranks.iter().map(|r| r.ppt_cpu).max().unwrap_or_default()
+    }
+
+    /// Critical-path model of the counting time: per shift, the
+    /// slowest rank's compute CPU time, summed over shifts (the shifts
+    /// are globally synchronized by the operand exchange).
+    pub fn modeled_tct_time(&self) -> Duration {
+        self.shift_imbalance().0
+    }
+
+    /// Modeled overall runtime.
+    pub fn modeled_overall_time(&self) -> Duration {
+        self.modeled_ppt_time() + self.modeled_tct_time()
+    }
+
+    /// Total map-based intersection tasks across ranks (Table 4).
+    pub fn total_tasks(&self) -> u64 {
+        self.ranks.iter().map(|r| r.tasks).sum()
+    }
+
+    /// Total probe steps across ranks (§7.1).
+    pub fn total_probes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.probes).sum()
+    }
+
+    /// Total lookups across ranks.
+    pub fn total_lookups(&self) -> u64 {
+        self.ranks.iter().map(|r| r.lookups).sum()
+    }
+
+    /// Total payload bytes moved.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Aggregate preprocessing operation rate in kOps/s (Fig. 2).
+    pub fn ppt_kops_per_sec(&self) -> f64 {
+        let ops: u64 = self.ranks.iter().map(|r| r.ppt_ops).sum();
+        let t = self.ppt_time().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            ops as f64 / t / 1e3
+        }
+    }
+
+    /// Aggregate counting operation rate in kOps/s (Fig. 2).
+    pub fn tct_kops_per_sec(&self) -> f64 {
+        let ops: u64 = self.ranks.iter().map(|r| r.tct_ops).sum();
+        let t = self.tct_time().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            ops as f64 / t / 1e3
+        }
+    }
+
+    /// Fraction of preprocessing time spent communicating (Fig. 3):
+    /// summed comm time over summed phase time.
+    pub fn ppt_comm_fraction(&self) -> f64 {
+        let comm: f64 = self.ranks.iter().map(|r| r.ppt_comm.as_secs_f64()).sum();
+        let total: f64 = self.ranks.iter().map(|r| r.ppt.as_secs_f64()).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            comm / total
+        }
+    }
+
+    /// Fraction of counting time spent communicating (Fig. 3).
+    pub fn tct_comm_fraction(&self) -> f64 {
+        let comm: f64 = self.ranks.iter().map(|r| r.tct_comm.as_secs_f64()).sum();
+        let total: f64 = self.ranks.iter().map(|r| r.tct.as_secs_f64()).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            comm / total
+        }
+    }
+
+    /// Table 3's per-shift compute statistics: `(Σ_shift max_rank,
+    /// Σ_shift mean_rank, imbalance = max/mean)`.
+    pub fn shift_imbalance(&self) -> (Duration, Duration, f64) {
+        let shifts = self.ranks.iter().map(|r| r.shift_compute.len()).max().unwrap_or(0);
+        let mut max_total = Duration::ZERO;
+        let mut avg_total = Duration::ZERO;
+        for s in 0..shifts {
+            let times: Vec<Duration> = self
+                .ranks
+                .iter()
+                .map(|r| r.shift_compute.get(s).copied().unwrap_or_default())
+                .collect();
+            let mx = times.iter().max().copied().unwrap_or_default();
+            let sum: Duration = times.iter().sum();
+            max_total += mx;
+            avg_total += sum / self.num_ranks.max(1) as u32;
+        }
+        let imb = if avg_total.is_zero() {
+            1.0
+        } else {
+            max_total.as_secs_f64() / avg_total.as_secs_f64()
+        };
+        (max_total, avg_total, imb)
+    }
+
+    /// Load imbalance of *task placement* (§7.2 "we count the number
+    /// of non-zero tasks associated with each rank"): max/mean of
+    /// per-rank task counts.
+    pub fn task_imbalance(&self) -> f64 {
+        let max = self.ranks.iter().map(|r| r.tasks).max().unwrap_or(0) as f64;
+        let sum: u64 = self.ranks.iter().map(|r| r.tasks).sum();
+        if sum == 0 {
+            1.0
+        } else {
+            max / (sum as f64 / self.num_ranks as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(ppt_ms: u64, tct_ms: u64, tasks: u64) -> RankMetrics {
+        RankMetrics {
+            ppt: Duration::from_millis(ppt_ms),
+            tct: Duration::from_millis(tct_ms),
+            tasks,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn phase_times_take_slowest_rank() {
+        let r = TcResult {
+            triangles: 0,
+            num_ranks: 2,
+            ranks: vec![mk(10, 5, 3), mk(7, 9, 5)],
+        };
+        assert_eq!(r.ppt_time(), Duration::from_millis(10));
+        assert_eq!(r.tct_time(), Duration::from_millis(9));
+        assert_eq!(r.overall_time(), Duration::from_millis(19));
+        assert_eq!(r.total_tasks(), 8);
+    }
+
+    #[test]
+    fn task_imbalance_max_over_mean() {
+        let r = TcResult {
+            triangles: 0,
+            num_ranks: 2,
+            ranks: vec![mk(0, 0, 30), mk(0, 0, 10)],
+        };
+        assert!((r.task_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_imbalance_sums_per_shift_maxima() {
+        let mut a = mk(0, 0, 0);
+        a.shift_compute = vec![Duration::from_millis(4), Duration::from_millis(2)];
+        let mut b = mk(0, 0, 0);
+        b.shift_compute = vec![Duration::from_millis(2), Duration::from_millis(6)];
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![a, b] };
+        let (mx, avg, imb) = r.shift_imbalance();
+        assert_eq!(mx, Duration::from_millis(10));
+        assert_eq!(avg, Duration::from_millis(7));
+        assert!((imb - 10.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_fraction_bounds() {
+        let mut a = mk(10, 10, 0);
+        a.ppt_comm = Duration::from_millis(5);
+        a.tct_comm = Duration::from_millis(0);
+        let r = TcResult { triangles: 0, num_ranks: 1, ranks: vec![a] };
+        assert!((r.ppt_comm_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(r.tct_comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rates_handle_zero_time() {
+        let r = TcResult { triangles: 0, num_ranks: 1, ranks: vec![RankMetrics::default()] };
+        assert_eq!(r.ppt_kops_per_sec(), 0.0);
+        assert_eq!(r.tct_kops_per_sec(), 0.0);
+    }
+}

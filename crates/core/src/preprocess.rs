@@ -1,0 +1,308 @@
+//! The distributed preprocessing phase (paper §5.3).
+//!
+//! Starting from the assumed input state — "the graph is initially
+//! stored using a 1D distribution, in which each processor has n/p
+//! vertices and its associated adjacency lists" — each rank performs:
+//!
+//! 1. **Initial cyclic redistribution**: vertices move to rank
+//!    `v % p`, breaking up localized dense regions.
+//! 2. **Degree ordering via distributed counting sort**: global max
+//!    degree (allreduce), per-degree histogram, vector exclusive scan
+//!    for cross-rank positions (the `dmax·log p` term of §5.4), local
+//!    placement; then a push-based all-to-all that delivers
+//!    `old → new` labels to every rank holding the vertex in an
+//!    adjacency list.
+//! 3. **U/L split**: with degree = label order, the split is a local
+//!    label comparison per adjacency entry.
+//! 4. **2D cyclic redistribution**: each upper entry `(v, k)` is sent
+//!    to the owners of its `U` block, its `L` block, and its task
+//!    block on the `√p × √p` grid.
+//!
+//! The initial Cannon *skew* is deliberately **not** done here — the
+//! paper counts it in the triangle-counting phase (§5.1 "the initial
+//! shifts of Cannon's algorithm"), and `cannon.rs` performs it.
+
+use std::collections::HashMap;
+
+use tc_graph::{Block1D, Csr, Cyclic1D, Cyclic2D};
+use tc_mps::Comm;
+
+use crate::blocks::SparseBlock;
+use crate::config::{Enumeration, TcConfig};
+
+/// Everything the counting phase needs, as produced on one rank.
+#[derive(Debug)]
+pub struct PrepOutput {
+    /// Grid side `√p`.
+    pub q: usize,
+    /// This rank's grid row.
+    pub x: usize,
+    /// This rank's grid column.
+    pub y: usize,
+    /// Global vertex count.
+    pub n: usize,
+    /// Task block `C[L](x, y)` (or `C[U]` under ⟨i,j,k⟩): rows are the
+    /// hash-side vertices (class `x`), columns the probe-side vertices
+    /// (class `y`). One entry per graph edge, grid-wide.
+    pub task: SparseBlock,
+    /// Operand block `U(x, y)` — *unskewed*; `cannon` aligns it.
+    pub ublock: SparseBlock,
+    /// Operand block `L` holding entries `(k ≡ x, v ≡ y)` stored by
+    /// probe vertex `v` — unskewed.
+    pub lblock: SparseBlock,
+    /// Global maximum operand-row length (sizes the intersection map).
+    pub max_hash_row: usize,
+    /// Preprocessing operation count (adjacency entries processed).
+    pub ops: u64,
+    /// `(old, new)` labels of this rank's cyclic-owned vertices
+    /// (needed to translate per-edge results back to input ids).
+    pub label_pairs: Vec<(u32, u32)>,
+}
+
+/// Result of the grid-agnostic front half of preprocessing (steps
+/// 1–3): this rank's share of the *relabeled upper* adjacency entries.
+#[derive(Debug)]
+pub struct RelabeledEntries {
+    /// Upper entries `(v, k)` with `v < k` in degree-order labels;
+    /// across all ranks each graph edge appears exactly once.
+    pub entries: Vec<(u32, u32)>,
+    /// `(old, new)` labels of this rank's cyclic-owned vertices.
+    pub label_pairs: Vec<(u32, u32)>,
+    /// Operation count so far.
+    pub ops: u64,
+}
+
+/// A rank's share of the input graph under the assumed 1D block
+/// distribution: either a window into a shared pre-placed structure,
+/// or rows that physically arrived at runtime (e.g. scattered from a
+/// root rank that loaded the graph).
+#[derive(Debug)]
+pub enum BlockInput<'a> {
+    /// Window into the shared immutable input CSR.
+    Shared(&'a Csr),
+    /// Materialized rows of the block `[lo, hi)`: `xadj` is local
+    /// (length `hi - lo + 1`), `adj` the concatenated neighbours.
+    Owned {
+        /// First owned vertex.
+        lo: u32,
+        /// Local row pointers.
+        xadj: Vec<u32>,
+        /// Concatenated adjacency.
+        adj: Vec<u32>,
+    },
+}
+
+impl BlockInput<'_> {
+    /// Adjacency of owned vertex `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        match self {
+            BlockInput::Shared(csr) => csr.neighbors(v),
+            BlockInput::Owned { lo, xadj, adj } => {
+                let i = (v - lo) as usize;
+                &adj[xadj[i] as usize..xadj[i + 1] as usize]
+            }
+        }
+    }
+}
+
+/// Steps 1–3 of §5.3 — initial cyclic redistribution, distributed
+/// counting-sort relabeling, and the label push — shared by the Cannon
+/// (square-grid) and SUMMA (rectangular-grid) back halves.
+pub fn relabel_phase(comm: &Comm, global: &Csr) -> RelabeledEntries {
+    relabel_phase_from(comm, global.num_vertices(), &BlockInput::Shared(global))
+}
+
+/// [`relabel_phase`] over an explicit per-rank input source.
+pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> RelabeledEntries {
+    let p = comm.size();
+    let rank = comm.rank();
+    let block = Block1D::new(n, p);
+    let cyc = Cyclic1D::new(n, p);
+    let mut ops: u64 = 0;
+
+    // -- Step 1: initial cyclic redistribution --------------------------
+    // Wire format per destination: repeated [v, deg, neighbors...].
+    let (lo, hi) = block.range(rank);
+    let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    for v in lo..hi {
+        let row = input.neighbors(v as u32);
+        let dst = cyc.owner(v as u32);
+        let buf = &mut sends[dst];
+        buf.push(v as u32);
+        buf.push(row.len() as u32);
+        buf.extend_from_slice(row);
+        ops += row.len() as u64 + 1;
+    }
+    let received = comm.alltoallv(&sends);
+    drop(sends);
+
+    // Decode into cyclic-local adjacency, indexed by v ÷ p.
+    let local_cnt = cyc.count(rank);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); local_cnt];
+    for msg in &received {
+        let mut i = 0usize;
+        while i < msg.len() {
+            let v = msg[i];
+            let deg = msg[i + 1] as usize;
+            debug_assert_eq!(cyc.owner(v), rank);
+            adj[cyc.local(v)] = msg[i + 2..i + 2 + deg].to_vec();
+            ops += deg as u64;
+            i += 2 + deg;
+        }
+    }
+    drop(received);
+
+    // -- Step 2: distributed counting sort ------------------------------
+    let local_dmax = adj.iter().map(|a| a.len() as u64).max().unwrap_or(0);
+    let dmax = comm.allreduce_max_u64(local_dmax) as usize;
+    let mut hist = vec![0u64; dmax + 1];
+    for a in &adj {
+        hist[a.len()] += 1;
+    }
+    ops += local_cnt as u64;
+    // Cross-rank offsets within each degree bucket, then global bucket
+    // starts (the dmax-long prefix data of §5.4).
+    let before_me = comm.exscan(&hist, 0u64, |a, b| *a += *b);
+    let totals = comm.allreduce(&hist, |a, b| *a += *b);
+    let mut start = vec![0u64; dmax + 2];
+    for d in 0..=dmax {
+        start[d + 1] = start[d] + totals[d];
+    }
+    ops += dmax as u64;
+    let mut seen = vec![0u64; dmax + 1];
+    let mut new_label = vec![0u32; local_cnt];
+    for (i, a) in adj.iter().enumerate() {
+        let d = a.len();
+        new_label[i] = (start[d] + before_me[d] + seen[d]) as u32;
+        seen[d] += 1;
+    }
+    drop(seen);
+
+    // -- Step 2b: push old→new labels to every rank that references us --
+    // Owner of u knows Adj(u); by symmetry each rank holding u in one
+    // of its lists owns some w ∈ Adj(u), so pushing (u_old, u_new) to
+    // the owners of u's neighbours covers exactly the demand set.
+    let mut label_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+    let mut dest_stamp = vec![u32::MAX; p];
+    for (i, a) in adj.iter().enumerate() {
+        let u_old = cyc.global(rank, i);
+        let pair = [u_old, new_label[i]];
+        for &w in a {
+            let dst = cyc.owner(w);
+            if dest_stamp[dst] != i as u32 {
+                dest_stamp[dst] = i as u32;
+                label_sends[dst].push(pair);
+            }
+            ops += 1;
+        }
+    }
+    let label_msgs = comm.alltoallv(&label_sends);
+    drop(label_sends);
+    let mut old_to_new: HashMap<u32, u32> =
+        HashMap::with_capacity(label_msgs.iter().map(|m| m.len()).sum());
+    for msg in &label_msgs {
+        for &[o, nl] in msg {
+            old_to_new.insert(o, nl);
+        }
+    }
+    drop(label_msgs);
+
+    // -- Step 3b: U/L split in new labels -------------------------------
+    // Emit each upper entry (v, k), v < k, exactly once grid-wide (the
+    // owner of the smaller-label endpoint emits).
+    let mut entries = Vec::new();
+    let label_pairs: Vec<(u32, u32)> =
+        (0..local_cnt).map(|i| (cyc.global(rank, i), new_label[i])).collect();
+    for (i, a) in adj.iter().enumerate() {
+        let nv = new_label[i];
+        for &w in a {
+            let nk = *old_to_new.get(&w).unwrap_or_else(|| {
+                panic!("rank {rank}: no relabel entry for neighbour {w}")
+            });
+            ops += 1;
+            if nv < nk {
+                entries.push((nv, nk));
+            }
+        }
+    }
+    RelabeledEntries { entries, label_pairs, ops }
+}
+
+/// Runs the full Cannon-grid preprocessing pipeline on this rank.
+///
+/// `global` is the shared, immutable input graph; the rank only reads
+/// the rows of its own 1D block (simulating the pre-placed input), and
+/// all cross-rank data flow goes through `comm`.
+pub fn preprocess(comm: &Comm, global: &Csr, cfg: &TcConfig) -> PrepOutput {
+    preprocess_from(comm, global.num_vertices(), &BlockInput::Shared(global), cfg)
+}
+
+/// [`preprocess`] over an explicit per-rank input source.
+pub fn preprocess_from(
+    comm: &Comm,
+    n: usize,
+    input: &BlockInput<'_>,
+    cfg: &TcConfig,
+) -> PrepOutput {
+    let p = comm.size();
+    let q = tc_mps::perfect_square_side(p).expect("rank count must be a perfect square");
+    let grid2d = Cyclic2D::new(q);
+    let mut relabeled = relabel_phase_from(comm, n, input);
+    let mut ops = relabeled.ops;
+    let label_pairs = std::mem::take(&mut relabeled.label_pairs);
+
+    // -- Step 4: 2D cyclic redistribution -------------------------------
+    // Ship each upper entry (v, k) to the three grid cells that need it:
+    //   U block U(v%q, k%q)        at P(v%q, k%q)
+    //   L block L(k%q, v%q)        at P(k%q, v%q)  (stored by column v)
+    //   task (a, b)                at P(a%q, b%q)
+    // where (a, b) = (k, v) under ⟨j,i,k⟩ and (v, k) under ⟨i,j,k⟩.
+    let mut u_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+    let mut l_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+    let mut t_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+    for &(nv, nk) in &relabeled.entries {
+        ops += 1;
+        let (vx, vy) = (nv as usize % q, nk as usize % q);
+        u_sends[grid2d.q * vx + vy].push([nv, nk]);
+        l_sends[grid2d.q * vy + vx].push([nv, nk]);
+        let (a_vert, b_vert) = match cfg.enumeration {
+            Enumeration::Jik => (nk, nv),
+            Enumeration::Ijk => (nv, nk),
+        };
+        let (tx, ty) = (a_vert as usize % q, b_vert as usize % q);
+        t_sends[grid2d.q * tx + ty].push([a_vert, b_vert]);
+    }
+    drop(relabeled);
+
+    let u_recv = comm.alltoallv(&u_sends);
+    drop(u_sends);
+    let l_recv = comm.alltoallv(&l_sends);
+    drop(l_sends);
+    let t_recv = comm.alltoallv(&t_sends);
+    drop(t_sends);
+
+    let x = comm.rank() / q;
+    let y = comm.rank() % q;
+    let flatten = |msgs: Vec<Vec<[u32; 2]>>| -> Vec<(u32, u32)> {
+        msgs.into_iter().flatten().map(|[a, b]| (a, b)).collect()
+    };
+
+    // U(x, y): rows are class x.
+    let mut u_pairs = flatten(u_recv);
+    ops += u_pairs.len() as u64;
+    let ublock = SparseBlock::from_pairs(grid2d.class_count(n, x), q, &mut u_pairs);
+
+    // L(x, y) stored by probe vertex: rows are class y.
+    let mut l_pairs = flatten(l_recv);
+    ops += l_pairs.len() as u64;
+    let lblock = SparseBlock::from_pairs(grid2d.class_count(n, y), q, &mut l_pairs);
+
+    // Task block: rows are the hash-side vertices, class x.
+    let mut t_pairs = flatten(t_recv);
+    ops += t_pairs.len() as u64;
+    let task = SparseBlock::from_pairs(grid2d.class_count(n, x), q, &mut t_pairs);
+
+    let max_hash_row = comm.allreduce_max_u64(ublock.max_row_len() as u64) as usize;
+
+    PrepOutput { q, x, y, n, task, ublock, lblock, max_hash_row, ops, label_pairs }
+}

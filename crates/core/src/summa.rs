@@ -1,0 +1,304 @@
+//! SUMMA-style triangle counting on rectangular processor grids.
+//!
+//! The paper's conclusion notes that the formulation "can be easily
+//! extended to deal with rectangular processor grids using the SUMMA
+//! algorithm" — this module is that extension. Instead of Cannon's
+//! point-to-point shifts on a square grid, the inner dimension (the
+//! triangle-closing vertices `k`) is cut into `K` contiguous panels;
+//! at step `w` the owner column of `U`-panel `w` broadcasts it along
+//! each grid row and the owner row of `L`-panel `w` broadcasts it down
+//! each grid column, and every rank runs the same intersection kernel
+//! as the Cannon path (`count::count_shift`).
+//!
+//! Tasks are distributed 2D-cyclically over the `pr × pc` grid exactly
+//! as in the square formulation, so correctness rests on the same
+//! partition argument: the panels partition the `k` axis, hence the
+//! per-panel intersection counts sum to the exact per-edge count.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use tc_graph::{Csr, EdgeList};
+use tc_mps::{Comm, Universe};
+
+use crate::blocks::SparseBlock;
+use crate::config::{Enumeration, TcConfig};
+use crate::hashmap::IntersectMap;
+use crate::metrics::{RankMetrics, TcResult};
+use crate::preprocess::relabel_phase;
+
+/// Rectangular grid geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaGrid {
+    /// Grid rows.
+    pub pr: usize,
+    /// Grid columns.
+    pub pc: usize,
+    /// Number of inner-dimension panels (`K`).
+    pub panels: usize,
+}
+
+impl SummaGrid {
+    /// A `pr × pc` grid with the default panel count `max(pr, pc)`.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0, "grid dimensions must be positive");
+        Self { pr, pc, panels: pr.max(pc) }
+    }
+
+    /// Overrides the panel count.
+    pub fn with_panels(mut self, k: usize) -> Self {
+        assert!(k > 0, "need at least one panel");
+        self.panels = k;
+        self
+    }
+
+    /// Total ranks.
+    pub fn size(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    fn rank_of(&self, x: usize, y: usize) -> usize {
+        x * self.pc + y
+    }
+
+    fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// Panel index of inner vertex `k` for an `n`-vertex graph.
+    fn panel_of(&self, k: u32, n: usize) -> usize {
+        let width = n.div_ceil(self.panels).max(1);
+        (k as usize / width).min(self.panels - 1)
+    }
+
+    /// Rows owned by grid-row class `x` (stride `pr`).
+    fn row_count(&self, n: usize, x: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (n + self.pr - 1 - x) / self.pr
+        }
+    }
+
+    /// Rows owned by grid-column class `y` (stride `pc`).
+    fn col_count(&self, n: usize, y: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (n + self.pc - 1 - y) / self.pc
+        }
+    }
+}
+
+/// Reserved user-tag base for SUMMA broadcasts.
+const SUMMA_TAG: u64 = (1 << 46) + 0x51;
+
+/// Broadcasts `mine` (present on the root) within an explicit rank
+/// group; linear fan-out is fine at grid-row/column sizes.
+fn group_bcast(comm: &Comm, root: usize, members: &[usize], tag: u64, mine: Option<Bytes>) -> Bytes {
+    if comm.rank() == root {
+        let data = mine.expect("root must hold the panel");
+        for &m in members {
+            if m != root {
+                comm.send_bytes(m, tag, data.clone());
+            }
+        }
+        data
+    } else {
+        comm.recv_bytes(root, tag)
+    }
+}
+
+/// Counts triangles on a `pr × pc` grid with SUMMA broadcasts.
+///
+/// # Panics
+///
+/// Panics if `el` is not simplified.
+pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> TcResult {
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    let p = grid.size();
+    let global = Csr::from_edge_list(el);
+    let n = global.num_vertices();
+
+    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+        let mut metrics = RankMetrics::default();
+        let (x, y) = grid.coords(comm.rank());
+
+        // ---- preprocessing ----
+        comm.barrier();
+        let stats0 = comm.stats();
+        let t0 = Instant::now();
+        let cpu0 = tc_mps::CpuTimer::start();
+        let relabeled = relabel_phase(comm, &global);
+        let mut ops = relabeled.ops;
+
+        // Route every upper entry to its task cell, U-panel owner, and
+        // L-panel owner.
+        let mut u_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+        let mut l_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+        let mut t_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
+        for &(nv, nk) in &relabeled.entries {
+            ops += 1;
+            let w = grid.panel_of(nk, n);
+            u_sends[grid.rank_of(nv as usize % grid.pr, w % grid.pc)].push([nv, nk]);
+            l_sends[grid.rank_of(w % grid.pr, nv as usize % grid.pc)].push([nv, nk]);
+            let (a_vert, b_vert) = match cfg.enumeration {
+                Enumeration::Jik => (nk, nv),
+                Enumeration::Ijk => (nv, nk),
+            };
+            t_sends[grid.rank_of(a_vert as usize % grid.pr, b_vert as usize % grid.pc)]
+                .push([a_vert, b_vert]);
+        }
+        drop(relabeled);
+        let u_recv = comm.alltoallv(&u_sends);
+        drop(u_sends);
+        let l_recv = comm.alltoallv(&l_sends);
+        drop(l_sends);
+        let t_recv = comm.alltoallv(&t_sends);
+        drop(t_sends);
+
+        // Build this rank's panels, bucketed by panel index.
+        let bucket = |msgs: Vec<Vec<[u32; 2]>>| -> Vec<Vec<(u32, u32)>> {
+            let mut by_panel: Vec<Vec<(u32, u32)>> = vec![Vec::new(); grid.panels];
+            for msg in msgs {
+                for [v, k] in msg {
+                    by_panel[grid.panel_of(k, n)].push((v, k));
+                }
+            }
+            by_panel
+        };
+        let mut u_panels: Vec<Option<SparseBlock>> = vec![None; grid.panels];
+        for (w, mut pairs) in bucket(u_recv).into_iter().enumerate() {
+            if w % grid.pc == y {
+                ops += pairs.len() as u64;
+                u_panels[w] =
+                    Some(SparseBlock::from_pairs(grid.row_count(n, x), grid.pr, &mut pairs));
+            } else {
+                debug_assert!(pairs.is_empty(), "panel routed to wrong owner");
+            }
+        }
+        let mut l_panels: Vec<Option<SparseBlock>> = vec![None; grid.panels];
+        for (w, mut pairs) in bucket(l_recv).into_iter().enumerate() {
+            if w % grid.pr == x {
+                ops += pairs.len() as u64;
+                l_panels[w] =
+                    Some(SparseBlock::from_pairs(grid.col_count(n, y), grid.pc, &mut pairs));
+            } else {
+                debug_assert!(pairs.is_empty(), "panel routed to wrong owner");
+            }
+        }
+        let mut t_pairs: Vec<(u32, u32)> =
+            t_recv.into_iter().flatten().map(|[a, b]| (a, b)).collect();
+        ops += t_pairs.len() as u64;
+        let task = SparseBlock::from_pairs(grid.row_count(n, x), grid.pr, &mut t_pairs);
+
+        let local_max_row =
+            u_panels.iter().flatten().map(|b| b.max_row_len()).max().unwrap_or(0);
+        let max_hash_row = comm.allreduce_max_u64(local_max_row as u64) as usize;
+        metrics.ppt_cpu = cpu0.elapsed();
+        comm.barrier();
+        metrics.ppt = t0.elapsed();
+        let stats1 = comm.stats();
+        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
+        metrics.ppt_ops = ops;
+
+        // ---- counting: K panel steps, row + column broadcasts ----
+        let t1 = Instant::now();
+        let cpu1 = tc_mps::CpuTimer::start();
+        // Panels are contiguous in k, so the map hashes raw ids
+        // (stride 1) rather than the Cannon path's `k ÷ q` transform.
+        let mut map = IntersectMap::new(max_hash_row, 1);
+        let mut local = 0u64;
+        let mut tasks = 0u64;
+        let row_members: Vec<usize> = (0..grid.pc).map(|yy| grid.rank_of(x, yy)).collect();
+        let col_members: Vec<usize> = (0..grid.pr).map(|xx| grid.rank_of(xx, y)).collect();
+        for w in 0..grid.panels {
+            let step0 = tc_mps::CpuTimer::start();
+            let u_root = grid.rank_of(x, w % grid.pc);
+            let u_blob = group_bcast(
+                comm,
+                u_root,
+                &row_members,
+                SUMMA_TAG + (w as u64) * 4,
+                u_panels[w].take().map(|b| b.to_blob()),
+            );
+            let l_root = grid.rank_of(w % grid.pr, y);
+            let l_blob = group_bcast(
+                comm,
+                l_root,
+                &col_members,
+                SUMMA_TAG + (w as u64) * 4 + 1,
+                l_panels[w].take().map(|b| b.to_blob()),
+            );
+            let hash_block = SparseBlock::from_blob(u_blob);
+            let probe_block = SparseBlock::from_blob(l_blob);
+            local += crate::count::count_shift(
+                &task,
+                &hash_block,
+                &probe_block,
+                &mut map,
+                grid.pc,
+                cfg,
+                &mut tasks,
+            );
+            metrics.shift_compute.push(step0.elapsed());
+        }
+        let triangles = comm.allreduce_sum_u64(local);
+        metrics.tct_cpu = cpu1.elapsed();
+        comm.barrier();
+        metrics.tct = t1.elapsed();
+        let stats2 = comm.stats();
+        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+
+        metrics.tasks = tasks;
+        metrics.probes = map.stats.probe_steps;
+        metrics.lookups = map.stats.lookups;
+        metrics.direct_rows = map.stats.direct_rows;
+        metrics.probed_rows = map.stats.probed_rows;
+        metrics.tct_ops = map.stats.lookups + map.stats.inserts;
+        metrics.local_triangles = local;
+        (triangles, metrics)
+    });
+
+    let triangles = rank_outs[0].0;
+    let mut ranks = Vec::with_capacity(p);
+    for ((t, mut m), cs) in rank_outs.into_iter().zip(comm_stats) {
+        assert_eq!(t, triangles, "ranks disagree on the reduced count");
+        m.bytes_sent = cs.bytes_sent;
+        ranks.push(m);
+    }
+    TcResult { triangles, num_ranks: p, ranks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry() {
+        let g = SummaGrid::new(2, 3);
+        assert_eq!(g.size(), 6);
+        assert_eq!(g.panels, 3);
+        assert_eq!(g.coords(5), (1, 2));
+        assert_eq!(g.rank_of(1, 2), 5);
+        assert_eq!(g.with_panels(7).panels, 7);
+    }
+
+    #[test]
+    fn panel_of_covers_range() {
+        let g = SummaGrid::new(2, 2).with_panels(4);
+        let n = 10;
+        for k in 0..10u32 {
+            let w = g.panel_of(k, n);
+            assert!(w < 4, "k={k} w={w}");
+        }
+        assert_eq!(g.panel_of(0, n), 0);
+        assert_eq!(g.panel_of(9, n), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dim() {
+        SummaGrid::new(0, 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Produces power-law degree distributions with substantial clustering
+//! around old hubs — the twitter-like regime (the paper attributes
+//! twitter's higher per-rank work to exactly this shape, §7.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tc_graph::edgelist::{EdgeList, VertexId};
+
+/// Grows a graph to `n` vertices, attaching each new vertex to
+/// `attach` existing vertices chosen proportionally to degree (via the
+/// repeated-endpoint urn). Deterministic per seed.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> EdgeList {
+    assert!(n <= u32::MAX as usize, "vertex count exceeds u32");
+    assert!(attach >= 1, "each new vertex must attach at least once");
+    let m0 = attach + 1;
+    if n <= m0 {
+        // Too small to grow: return a clique on n vertices.
+        let mut edges = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                edges.push((u, v));
+            }
+        }
+        return EdgeList::new(n, edges);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    // Urn holds each endpoint once per incident edge; sampling from it
+    // is degree-proportional.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * attach * n);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(attach * n);
+    // Seed clique on m0 vertices.
+    for u in 0..m0 as VertexId {
+        for v in u + 1..m0 as VertexId {
+            edges.push((u, v));
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    for new in m0 as VertexId..n as VertexId {
+        let mut targets = Vec::with_capacity(attach);
+        while targets.len() < attach {
+            let t = urn[rng.random_range(0..urn.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            edges.push((t, new));
+            urn.push(t);
+            urn.push(new);
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_growth() {
+        let n = 500;
+        let attach = 3;
+        let el = barabasi_albert(n, attach, 11).simplify();
+        let m0 = attach + 1;
+        let expect = m0 * (m0 - 1) / 2 + (n - m0) * attach;
+        assert_eq!(el.num_edges(), expect);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(100, 2, 4), barabasi_albert(100, 2, 4));
+        assert_ne!(barabasi_albert(100, 2, 4), barabasi_albert(100, 2, 5));
+    }
+
+    #[test]
+    fn small_n_is_clique() {
+        let el = barabasi_albert(3, 4, 0);
+        assert_eq!(el.num_edges(), 3);
+    }
+
+    #[test]
+    fn old_vertices_become_hubs() {
+        let el = barabasi_albert(2000, 2, 1).simplify();
+        let deg = el.degrees();
+        let head_max = *deg[..20].iter().max().unwrap();
+        let tail_max = *deg[1980..].iter().max().unwrap();
+        assert!(head_max > tail_max * 3, "head {head_max} tail {tail_max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "attach")]
+    fn rejects_zero_attach() {
+        barabasi_albert(10, 0, 0);
+    }
+}

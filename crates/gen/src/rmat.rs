@@ -1,0 +1,149 @@
+//! Graph500-style RMAT (recursive-matrix / Kronecker) generator.
+//!
+//! The paper's synthetic inputs g500-s26 … g500-s29 "were generated
+//! using the graph500 generator … these follow the RMAT graph
+//! specifications" (§6.1). This is that generator: `2^scale` vertices,
+//! `edgefactor · 2^scale` edge samples, each sample drawn by `scale`
+//! recursive quadrant choices with probabilities `(a, b, c, d)`;
+//! Graph500 fixes `(0.57, 0.19, 0.19, 0.05)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tc_graph::edgelist::{EdgeList, VertexId};
+
+/// RMAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters (d = 0.05 implied).
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19 };
+
+    /// Implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Validates that the probabilities form a distribution.
+    pub fn validate(&self) {
+        assert!(
+            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= -1e-12,
+            "RMAT probabilities must be non-negative and sum to at most 1"
+        );
+    }
+}
+
+/// Generates a raw RMAT edge list (duplicates and self loops included,
+/// as emitted by the reference generator; callers `simplify()`).
+///
+/// Deterministic for a given `(scale, edge_factor, params, seed)`.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    assert!(scale <= 31, "scale {scale} would overflow u32 vertex ids");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5bd1_e995_9e37_79b9);
+    let ab = params.a + params.b;
+    let a_norm_top = if ab > 0.0 { params.a / ab } else { 0.0 };
+    let cd = params.c + params.d();
+    let c_norm_bottom = if cd > 0.0 { params.c / cd } else { 0.0 };
+
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut u: u64 = 0;
+        let mut v: u64 = 0;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            // First choose top/bottom half (row bit), then left/right
+            // (column bit) conditioned on it.
+            let top = rng.random::<f64>() < ab;
+            let left = if top {
+                rng.random::<f64>() < a_norm_top
+            } else {
+                rng.random::<f64>() < c_norm_bottom
+            };
+            if !top {
+                u |= 1;
+            }
+            if !left {
+                v |= 1;
+            }
+        }
+        edges.push((u as VertexId, v as VertexId));
+    }
+    EdgeList::new(n, edges)
+}
+
+/// Graph500 preset: RMAT with the reference parameters and the
+/// standard edge factor 16 (the paper's g500-sNN inputs).
+pub fn graph500(scale: u32, seed: u64) -> EdgeList {
+    rmat(scale, 16, RmatParams::GRAPH500, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_volume() {
+        let el = rmat(8, 4, RmatParams::GRAPH500, 1);
+        assert_eq!(el.num_vertices, 256);
+        assert_eq!(el.num_edges(), 1024);
+        assert!(el.edges.iter().all(|&(u, v)| u < 256 && v < 256));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(6, 8, RmatParams::GRAPH500, 42);
+        let b = rmat(6, 8, RmatParams::GRAPH500, 42);
+        let c = rmat(6, 8, RmatParams::GRAPH500, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_produces_heavy_head() {
+        // With Graph500 params, low-id vertices should be much hotter
+        // than high-id ones after simplification.
+        let el = graph500(10, 7).simplify();
+        let deg = el.degrees();
+        let n = deg.len();
+        let head: u64 = deg[..n / 8].iter().map(|&d| d as u64).sum();
+        let tail: u64 = deg[7 * n / 8..].iter().map(|&d| d as u64).sum();
+        assert!(head > tail * 4, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn uniform_params_are_balanced() {
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25 };
+        let el = rmat(10, 8, p, 3).simplify();
+        let deg = el.degrees();
+        let n = deg.len();
+        let head: u64 = deg[..n / 2].iter().map(|&d| d as u64).sum();
+        let tail: u64 = deg[n / 2..].iter().map(|&d| d as u64).sum();
+        let ratio = head as f64 / tail.max(1) as f64;
+        assert!(ratio > 0.8 && ratio < 1.25, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn rejects_bad_params() {
+        rmat(4, 1, RmatParams { a: 0.9, b: 0.9, c: 0.9 }, 0);
+    }
+
+    #[test]
+    fn scale_zero_is_single_vertex() {
+        let el = rmat(0, 4, RmatParams::GRAPH500, 0);
+        assert_eq!(el.num_vertices, 1);
+        // All samples are (0,0) self loops; simplification empties it.
+        assert_eq!(el.simplify().num_edges(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Doubly-compressed sparse row storage.
+//!
+//! With a 2D cyclic decomposition "multiple vertices allocated to a
+//! processor may not contain any adjacent vertices" (paper §5.2); the
+//! fix — inspired by Buluç & Gilbert's DCSR — keeps an auxiliary list
+//! of the rows that are non-empty so kernels skip empty rows without
+//! losing O(1) row indexing. [`Dcsr`] is that structure: a plain CSR
+//! plus the non-empty row index.
+
+use crate::csr::Csr;
+use crate::edgelist::VertexId;
+
+/// CSR plus an index of non-empty rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dcsr {
+    xadj: Vec<usize>,
+    adjncy: Vec<VertexId>,
+    /// Row ids with at least one entry, ascending.
+    nonempty: Vec<VertexId>,
+}
+
+impl Dcsr {
+    /// Wraps raw CSR arrays, computing the non-empty row index.
+    pub fn from_parts(xadj: Vec<usize>, adjncy: Vec<VertexId>) -> Self {
+        assert!(!xadj.is_empty(), "xadj must have at least one entry");
+        assert_eq!(*xadj.last().unwrap(), adjncy.len(), "xadj end must equal adjncy length");
+        let nonempty = (0..xadj.len() - 1)
+            .filter(|&r| xadj[r + 1] > xadj[r])
+            .map(|r| r as VertexId)
+            .collect();
+        Self { xadj, adjncy, nonempty }
+    }
+
+    /// Converts a full CSR.
+    pub fn from_csr(csr: &Csr) -> Self {
+        Self::from_parts(csr.xadj().to_vec(), csr.adjncy().to_vec())
+    }
+
+    /// Number of rows (including empty ones).
+    pub fn num_rows(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of stored entries.
+    pub fn num_entries(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// Number of non-empty rows.
+    pub fn num_nonempty(&self) -> usize {
+        self.nonempty.len()
+    }
+
+    /// Entries of row `r` (possibly empty).
+    pub fn row(&self, r: usize) -> &[VertexId] {
+        &self.adjncy[self.xadj[r]..self.xadj[r + 1]]
+    }
+
+    /// The non-empty row index (ascending row ids).
+    pub fn nonempty_rows(&self) -> &[VertexId] {
+        &self.nonempty
+    }
+
+    /// Iterates `(row, entries)` over non-empty rows only — the
+    /// "doubly sparse traversal" of the paper.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        self.nonempty.iter().map(move |&r| (r, self.row(r as usize)))
+    }
+
+    /// Fraction of rows that are empty (diagnostic for the
+    /// optimization's benefit).
+    pub fn empty_fraction(&self) -> f64 {
+        if self.num_rows() == 0 {
+            0.0
+        } else {
+            1.0 - self.nonempty.len() as f64 / self.num_rows() as f64
+        }
+    }
+
+    /// Raw row-pointer array.
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// Raw adjacency array.
+    pub fn adjncy(&self) -> &[VertexId] {
+        &self.adjncy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    #[test]
+    fn nonempty_index_skips_holes() {
+        // Rows: 0 -> [5], 1 -> [], 2 -> [], 3 -> [7, 9], 4 -> []
+        let d = Dcsr::from_parts(vec![0, 1, 1, 1, 3, 3], vec![5, 7, 9]);
+        assert_eq!(d.num_rows(), 5);
+        assert_eq!(d.nonempty_rows(), &[0, 3]);
+        assert_eq!(d.row(3), &[7, 9]);
+        assert_eq!(d.row(1), &[] as &[u32]);
+        let visited: Vec<_> = d.iter_nonempty().map(|(r, _)| r).collect();
+        assert_eq!(visited, vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_fraction_diagnostic() {
+        let d = Dcsr::from_parts(vec![0, 1, 1, 1, 3, 3], vec![5, 7, 9]);
+        assert!((d.empty_fraction() - 0.6).abs() < 1e-12);
+        let all_empty = Dcsr::from_parts(vec![0, 0, 0], vec![]);
+        assert!((all_empty.empty_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_csr_matches_rows() {
+        let csr = Csr::from_edge_list(&EdgeList::new(4, vec![(0, 2), (2, 3)]).simplify());
+        let d = Dcsr::from_csr(&csr);
+        assert_eq!(d.num_rows(), 4);
+        assert_eq!(d.nonempty_rows(), &[0, 2, 3]);
+        assert_eq!(d.row(2), csr.neighbors(2));
+        assert_eq!(d.num_entries(), csr.num_entries());
+    }
+
+    #[test]
+    fn zero_rows() {
+        let d = Dcsr::from_parts(vec![0], vec![]);
+        assert_eq!(d.num_rows(), 0);
+        assert_eq!(d.num_nonempty(), 0);
+        assert_eq!(d.iter_nonempty().count(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Degree-based vertex ordering.
+//!
+//! "Ordering the vertices in non-decreasing degree before the triangle
+//! counting step leads to lower runtimes" (paper §3.1, citing
+//! Arifuzzaman et al.); the 2D algorithm additionally *relies* on the
+//! ordering for its load-balance argument (§5.1: successive rows have
+//! similar non-zero counts) and for the local U/L split (§5.3: degree
+//! comparison becomes label comparison). This module provides the
+//! sequential counting-sort version; the distributed version lives in
+//! `tc-core::preprocess` and is cross-validated against this one.
+
+use crate::edgelist::{EdgeList, VertexId};
+
+/// Computes the non-decreasing-degree permutation by counting sort.
+///
+/// Returns `perm` with `perm[old] = new`; ties broken by old id so the
+/// permutation is deterministic.
+pub fn degree_order(degrees: &[u32]) -> Vec<VertexId> {
+    let n = degrees.len();
+    let dmax = degrees.iter().copied().max().unwrap_or(0) as usize;
+    // Histogram and exclusive prefix: start[d] = #vertices with degree < d.
+    let mut start = vec![0usize; dmax + 2];
+    for &d in degrees {
+        start[d as usize + 1] += 1;
+    }
+    for i in 1..start.len() {
+        start[i] += start[i - 1];
+    }
+    let mut perm = vec![0 as VertexId; n];
+    for (old, &d) in degrees.iter().enumerate() {
+        perm[old] = start[d as usize] as VertexId;
+        start[d as usize] += 1;
+    }
+    perm
+}
+
+/// Inverse of a permutation given as `perm[old] = new`.
+pub fn invert_permutation(perm: &[VertexId]) -> Vec<VertexId> {
+    let mut inv = vec![0 as VertexId; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new as usize] = old as VertexId;
+    }
+    inv
+}
+
+/// Relabels a simplified edge list into non-decreasing-degree order;
+/// returns the relabeled list and the permutation (`perm[old] = new`).
+pub fn relabel_by_degree(el: EdgeList) -> (EdgeList, Vec<VertexId>) {
+    let perm = degree_order(&el.degrees());
+    let out = el.relabel(&perm);
+    (out, perm)
+}
+
+/// Checks the defining property of the ordering: `u < v` implies
+/// `degree(u) <= degree(v)`.
+pub fn is_degree_ordered(degrees: &[u32]) -> bool {
+    degrees.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_degree_with_stable_ties() {
+        let degrees = vec![3, 1, 2, 1, 0];
+        let perm = degree_order(&degrees);
+        // Sorted order: v4(0), v1(1), v3(1), v2(2), v0(3)
+        assert_eq!(perm, vec![4, 1, 3, 2, 0]);
+        let new_degrees: Vec<u32> = {
+            let inv = invert_permutation(&perm);
+            inv.iter().map(|&old| degrees[old as usize]).collect()
+        };
+        assert!(is_degree_ordered(&new_degrees));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let perm = vec![2u32, 0, 3, 1];
+        let inv = invert_permutation(&perm);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        assert_eq!(invert_permutation(&inv), perm);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        // Star: vertex 0 has degree 3, leaves degree 1.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3)]).simplify();
+        let (out, perm) = relabel_by_degree(el);
+        // Hub must get the largest label.
+        assert_eq!(perm[0], 3);
+        assert_eq!(out.num_edges(), 3);
+        let d = out.degrees();
+        assert!(is_degree_ordered(&d));
+        assert_eq!(d, vec![1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(degree_order(&[]).is_empty());
+        assert_eq!(degree_order(&[5]), vec![0]);
+    }
+
+    #[test]
+    fn all_equal_degrees_is_identity() {
+        let perm = degree_order(&[2, 2, 2, 2]);
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+    }
+}

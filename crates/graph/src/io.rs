@@ -1,0 +1,333 @@
+//! Graph input/output.
+//!
+//! Three interchange formats:
+//!
+//! - **Text edge list** — one `u v` pair per line, `#`/`%` comments.
+//! - **Binary edge list** — little-endian `u64 n, u64 m` header
+//!   followed by `m` pairs of `u32`; the format used by the workload
+//!   cache in `tc-bench` so large synthetic graphs are generated once.
+//! - **Matrix Market** (`%%MatrixMarket matrix coordinate pattern
+//!   general|symmetric`) — the format most public graph repositories
+//!   (SuiteSparse, Graph Challenge — the paper's twitter/friendster
+//!   sources) distribute.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::edgelist::{EdgeList, VertexId};
+
+/// Errors raised by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid content (message, 1-based line if known).
+    Parse(String, Option<usize>),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(msg, Some(line)) => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Parse(msg, None) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Result alias for this module.
+pub type Result<T> = std::result::Result<T, IoError>;
+
+fn parse_pair(line: &str, lineno: usize) -> Result<Option<(u64, u64)>> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = t.split_whitespace();
+    let a = it
+        .next()
+        .ok_or_else(|| IoError::Parse("missing first endpoint".into(), Some(lineno)))?;
+    let b = it
+        .next()
+        .ok_or_else(|| IoError::Parse("missing second endpoint".into(), Some(lineno)))?;
+    let a: u64 = a
+        .parse()
+        .map_err(|_| IoError::Parse(format!("bad vertex id {a:?}"), Some(lineno)))?;
+    let b: u64 = b
+        .parse()
+        .map_err(|_| IoError::Parse(format!("bad vertex id {b:?}"), Some(lineno)))?;
+    Ok(Some((a, b)))
+}
+
+/// Reads a text edge list; vertex count is `max id + 1`.
+pub fn read_text_edges(reader: impl Read) -> Result<EdgeList> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        if let Some((a, b)) = parse_pair(&line, lineno)? {
+            if a > u32::MAX as u64 || b > u32::MAX as u64 {
+                return Err(IoError::Parse("vertex id exceeds u32".into(), Some(lineno)));
+            }
+            max_id = max_id.max(a).max(b);
+            edges.push((a as VertexId, b as VertexId));
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Reads a text edge-list file.
+pub fn read_text_edges_path(path: impl AsRef<Path>) -> Result<EdgeList> {
+    read_text_edges(File::open(path)?)
+}
+
+/// Writes a simplified edge list as text (`# n m` header comment).
+pub fn write_text_edges(el: &EdgeList, writer: impl Write) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", el.num_vertices, el.num_edges())?;
+    for &(u, v) in &el.edges {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const BIN_MAGIC: u64 = 0x5443_4247_5241_5048; // "TCBGRAPH"
+
+/// Writes the compact binary format.
+pub fn write_binary_edges(el: &EdgeList, writer: impl Write) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&BIN_MAGIC.to_le_bytes())?;
+    w.write_all(&(el.num_vertices as u64).to_le_bytes())?;
+    w.write_all(&(el.edges.len() as u64).to_le_bytes())?;
+    for &(u, v) in &el.edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the binary format to a file path.
+pub fn write_binary_edges_path(el: &EdgeList, path: impl AsRef<Path>) -> Result<()> {
+    write_binary_edges(el, File::create(path)?)
+}
+
+/// Reads the compact binary format.
+pub fn read_binary_edges(reader: impl Read) -> Result<EdgeList> {
+    let mut r = BufReader::new(reader);
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    if u64::from_le_bytes(buf8) != BIN_MAGIC {
+        return Err(IoError::Parse("bad binary magic".into(), None));
+    }
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut edges = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        if u as usize >= n || v as usize >= n {
+            return Err(IoError::Parse("edge endpoint out of range".into(), None));
+        }
+        edges.push((u, v));
+    }
+    Ok(EdgeList::new(n, edges))
+}
+
+/// Reads the binary format from a file path.
+pub fn read_binary_edges_path(path: impl AsRef<Path>) -> Result<EdgeList> {
+    read_binary_edges(File::open(path)?)
+}
+
+/// Reads a Matrix Market coordinate-pattern file (1-based indices;
+/// `general` or `symmetric`). Entry values, if present, are ignored
+/// (pattern semantics), matching how graph repositories ship adjacency
+/// matrices.
+pub fn read_matrix_market(reader: impl Read) -> Result<EdgeList> {
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(IoError::Parse("empty file".into(), Some(1)));
+    }
+    let header = line.trim().to_ascii_lowercase();
+    if !header.starts_with("%%matrixmarket") {
+        return Err(IoError::Parse("missing MatrixMarket banner".into(), Some(1)));
+    }
+    if !header.contains("coordinate") {
+        return Err(IoError::Parse("only coordinate format supported".into(), Some(1)));
+    }
+    if !(header.contains("general") || header.contains("symmetric")) {
+        return Err(IoError::Parse(
+            "only general/symmetric symmetry supported".into(),
+            Some(1),
+        ));
+    }
+
+    // Skip comments to the size line.
+    let mut lineno = 1usize;
+    let (rows, cols, nnz) = loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(IoError::Parse("missing size line".into(), Some(lineno)));
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<u64> = t
+            .split_whitespace()
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| IoError::Parse(format!("bad size field {s:?}"), Some(lineno)))
+            })
+            .collect::<Result<_>>()?;
+        if parts.len() != 3 {
+            return Err(IoError::Parse("size line needs 3 fields".into(), Some(lineno)));
+        }
+        break (parts[0], parts[1], parts[2]);
+    };
+    if rows != cols {
+        return Err(IoError::Parse("adjacency matrix must be square".into(), Some(lineno)));
+    }
+    let n = rows as usize;
+    let mut edges = Vec::with_capacity(nnz as usize);
+    let mut seen = 0u64;
+    while seen < nnz {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(IoError::Parse(
+                format!("expected {nnz} entries, found {seen}"),
+                Some(lineno),
+            ));
+        }
+        lineno += 1;
+        if let Some((a, b)) = parse_pair(&line, lineno)? {
+            if a == 0 || b == 0 || a > rows || b > cols {
+                return Err(IoError::Parse("index out of range (1-based)".into(), Some(lineno)));
+            }
+            edges.push(((a - 1) as VertexId, (b - 1) as VertexId));
+            seen += 1;
+        }
+    }
+    Ok(EdgeList::new(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let el = EdgeList::new(5, vec![(0, 1), (2, 4), (1, 3)]).simplify();
+        let mut buf = Vec::new();
+        write_text_edges(&el, &mut buf).unwrap();
+        let back = read_text_edges(&buf[..]).unwrap().simplify();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let src = "# comment\n\n0 1\n% more\n1 2\n";
+        let el = read_text_edges(src.as_bytes()).unwrap();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(el.num_vertices, 3);
+    }
+
+    #[test]
+    fn text_reports_bad_line() {
+        let src = "0 1\nfoo bar\n";
+        let err = read_text_edges(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse(_, Some(2))));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let el = EdgeList::new(100, vec![(0, 99), (50, 51), (2, 3)]).simplify();
+        let mut buf = Vec::new();
+        write_binary_edges(&el, &mut buf).unwrap();
+        let back = read_binary_edges(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let mut buf = Vec::new();
+        write_binary_edges(&el, &mut buf).unwrap();
+        buf[0] ^= 0xff;
+        assert!(read_binary_edges(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_endpoint() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&super::BIN_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // m = 1
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes()); // 7 >= n
+        assert!(read_binary_edges(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_market_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   % triangle\n\
+                   3 3 3\n\
+                   2 1\n3 1\n3 2\n";
+        let el = read_matrix_market(src.as_bytes()).unwrap().simplify();
+        assert_eq!(el.num_vertices, 3);
+        assert_eq!(el.edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn matrix_market_general_with_values_field() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 2\n\
+                   1 2 1.0\n2 1 1.0\n";
+        let el = read_matrix_market(src.as_bytes()).unwrap().simplify();
+        assert_eq!(el.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_rectangular() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_index() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_truncated() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+}

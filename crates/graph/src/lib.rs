@@ -1,0 +1,32 @@
+//! # tc-graph — graph substrate
+//!
+//! Shared graph machinery for the triangle-counting workspace:
+//!
+//! - [`EdgeList`] — raw edges plus cleaning to simple undirected form.
+//! - [`Csr`] / [`Dcsr`] — compressed (and doubly-compressed) sparse
+//!   row adjacency storage.
+//! - [`degree`] — non-decreasing-degree ordering via counting sort
+//!   (sequential reference for the distributed sort in `tc-core`).
+//! - [`partition`] — 1D block, 1D cyclic, and 2D cyclic ownership maps
+//!   with the paper's `v ÷ √p` local indexing.
+//! - [`io`] — text/binary edge lists and Matrix Market reading.
+//! - [`stats`] — wedges, transitivity, clustering coefficients.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dcsr;
+pub mod degree;
+pub mod edgelist;
+pub mod io;
+pub mod kcore;
+pub mod partition;
+pub mod stats;
+pub mod truss;
+pub mod vset;
+
+pub use csr::Csr;
+pub use dcsr::Dcsr;
+pub use edgelist::{EdgeList, VertexId};
+pub use partition::{Block1D, Cyclic1D, Cyclic2D};
+pub use vset::VertexSet;

@@ -1,0 +1,249 @@
+//! Ownership maps for distributed decompositions.
+//!
+//! Three distributions appear in the paper's pipeline:
+//!
+//! 1. **1D block** — the assumed *input* distribution (§5.3: "each
+//!    processor has n/p vertices and its associated adjacency lists").
+//! 2. **1D cyclic** — the initial redistribution that breaks up
+//!    localized dense regions (§5.3 "Initial redistribution").
+//! 3. **2D cyclic** — the distribution of the task matrix and of the
+//!    `U`/`L` operand blocks over the `√p × √p` grid (§5.1), with the
+//!    local "transformed index `v ÷ √p`" addressing scheme.
+
+use crate::edgelist::VertexId;
+
+/// 1D block distribution of `n` vertices over `p` ranks: rank `r` owns
+/// the contiguous range `[r·⌈n/p⌉ .. min((r+1)·⌈n/p⌉, n))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block1D {
+    /// Total vertex count.
+    pub n: usize,
+    /// Rank count.
+    pub p: usize,
+}
+
+impl Block1D {
+    /// Creates the map.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self { n, p }
+    }
+
+    /// Vertices per rank (last rank may own fewer).
+    pub fn chunk(&self) -> usize {
+        self.n.div_ceil(self.p)
+    }
+
+    /// Owner of vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        debug_assert!((v as usize) < self.n);
+        if self.n == 0 {
+            0
+        } else {
+            (v as usize / self.chunk()).min(self.p - 1)
+        }
+    }
+
+    /// Vertex range `[lo, hi)` owned by `rank`.
+    pub fn range(&self, rank: usize) -> (usize, usize) {
+        let c = self.chunk();
+        let lo = (rank * c).min(self.n);
+        let hi = ((rank + 1) * c).min(self.n);
+        (lo, hi)
+    }
+
+    /// Local index of `v` on its owner.
+    pub fn local(&self, v: VertexId) -> usize {
+        v as usize - self.range(self.owner(v)).0
+    }
+}
+
+/// 1D cyclic distribution: rank `r` owns every vertex `v ≡ r (mod p)`;
+/// the local index is `v ÷ p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cyclic1D {
+    /// Total vertex count.
+    pub n: usize,
+    /// Rank count.
+    pub p: usize,
+}
+
+impl Cyclic1D {
+    /// Creates the map.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Self { n, p }
+    }
+
+    /// Owner of vertex `v`.
+    pub fn owner(&self, v: VertexId) -> usize {
+        v as usize % self.p
+    }
+
+    /// Local index of `v` on its owner (`v ÷ p`).
+    pub fn local(&self, v: VertexId) -> usize {
+        v as usize / self.p
+    }
+
+    /// Global id of the `i`-th local vertex on `rank`.
+    pub fn global(&self, rank: usize, i: usize) -> VertexId {
+        (i * self.p + rank) as VertexId
+    }
+
+    /// Number of vertices owned by `rank`.
+    pub fn count(&self, rank: usize) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            (self.n + self.p - 1 - rank) / self.p
+        }
+    }
+}
+
+/// 2D cyclic distribution over a `q × q` processor grid.
+///
+/// A matrix entry `(row, col)` belongs to grid cell
+/// `(row % q, col % q)`; within a grid row the local row index is
+/// `row ÷ q` (the paper's "transformed index `vᵢ ÷ √p`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cyclic2D {
+    /// Grid side length `√p`.
+    pub q: usize,
+}
+
+impl Cyclic2D {
+    /// Creates the map.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "grid side must be positive");
+        Self { q }
+    }
+
+    /// Grid cell owning matrix entry `(row, col)`.
+    pub fn owner(&self, row: VertexId, col: VertexId) -> (usize, usize) {
+        (row as usize % self.q, col as usize % self.q)
+    }
+
+    /// Grid row class of a vertex used as a matrix row.
+    pub fn row_class(&self, v: VertexId) -> usize {
+        v as usize % self.q
+    }
+
+    /// Local (strided) index of a vertex within its class.
+    pub fn local(&self, v: VertexId) -> usize {
+        v as usize / self.q
+    }
+
+    /// Global vertex id for local index `i` in class `c`.
+    pub fn global(&self, class: usize, i: usize) -> VertexId {
+        (i * self.q + class) as VertexId
+    }
+
+    /// Number of vertices of `class` when the global count is `n`.
+    pub fn class_count(&self, n: usize, class: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (n + self.q - 1 - class) / self.q
+        }
+    }
+
+    /// Grid cell that *initially* holds operand block `U(row_class, col_class)`
+    /// under the Cannon alignment: `P(x, y)` starts with
+    /// `U(x, (x + y) % q)`, so block `U(r, c)` starts at column `(c − r) mod q`.
+    pub fn u_initial_holder(&self, row_class: usize, col_class: usize) -> (usize, usize) {
+        (row_class, (col_class + self.q - row_class) % self.q)
+    }
+
+    /// Grid cell that initially holds operand block `L(row_class, col_class)`:
+    /// `P(x, y)` starts with `L((x + y) % q, y)`, so block `L(r, c)`
+    /// starts at row `(r − c) mod q`.
+    pub fn l_initial_holder(&self, row_class: usize, col_class: usize) -> (usize, usize) {
+        ((row_class + self.q - col_class) % self.q, col_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block1d_ranges_cover_exactly() {
+        for (n, p) in [(10, 3), (9, 3), (1, 4), (0, 2), (17, 5)] {
+            let b = Block1D::new(n, p);
+            let mut covered = 0;
+            for r in 0..p {
+                let (lo, hi) = b.range(r);
+                assert!(lo <= hi);
+                covered += hi - lo;
+                for v in lo..hi {
+                    assert_eq!(b.owner(v as VertexId), r, "n={n} p={p} v={v}");
+                    assert_eq!(b.local(v as VertexId), v - lo);
+                }
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn cyclic1d_owner_local_global_consistency() {
+        let c = Cyclic1D::new(23, 5);
+        let mut seen = 0;
+        for r in 0..5 {
+            for i in 0..c.count(r) {
+                let v = c.global(r, i);
+                assert!(v < 23);
+                assert_eq!(c.owner(v), r);
+                assert_eq!(c.local(v), i);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 23);
+    }
+
+    #[test]
+    fn cyclic1d_counts_sum_to_n() {
+        for (n, p) in [(0, 3), (1, 3), (100, 7), (13, 13), (12, 13)] {
+            let c = Cyclic1D::new(n, p);
+            let total: usize = (0..p).map(|r| c.count(r)).sum();
+            assert_eq!(total, n, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn cyclic2d_local_global_roundtrip() {
+        let m = Cyclic2D::new(4);
+        for v in 0u32..37 {
+            let c = m.row_class(v);
+            let i = m.local(v);
+            assert_eq!(m.global(c, i), v);
+        }
+        let total: usize = (0..4).map(|c| m.class_count(37, c)).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn cyclic2d_owner_is_mod_pair() {
+        let m = Cyclic2D::new(3);
+        assert_eq!(m.owner(7, 5), (1, 2));
+        assert_eq!(m.owner(0, 0), (0, 0));
+        assert_eq!(m.owner(3, 3), (0, 0));
+    }
+
+    #[test]
+    fn cannon_initial_alignment_is_consistent() {
+        // P(x, y) starts with U(x, (x+y)%q) and L((x+y)%q, y); verify
+        // the inverse maps agree for every block.
+        let q = 5;
+        let m = Cyclic2D::new(q);
+        for r in 0..q {
+            for c in 0..q {
+                let (ux, uy) = m.u_initial_holder(r, c);
+                assert_eq!(ux, r);
+                assert_eq!((ux + uy) % q, c, "U({r},{c})");
+                let (lx, ly) = m.l_initial_holder(r, c);
+                assert_eq!(ly, c);
+                assert_eq!((lx + ly) % q, r, "L({r},{c})");
+            }
+        }
+    }
+}

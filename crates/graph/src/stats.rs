@@ -1,0 +1,123 @@
+//! Graph statistics built on triangle counts.
+//!
+//! The paper motivates triangle counting through the clustering
+//! coefficient, the transitivity ratio, and k-truss-style analyses
+//! (§1). These helpers turn a per-vertex or global triangle count into
+//! those statistics, and provide the wedge counts that normalize them.
+
+use crate::csr::Csr;
+
+/// Number of wedges (paths of length 2) centred at `v`: `d(v)·(d(v)−1)/2`.
+pub fn wedges_at(csr: &Csr, v: u32) -> u64 {
+    let d = csr.degree(v) as u64;
+    d * d.saturating_sub(1) / 2
+}
+
+/// Total wedge count of the graph.
+pub fn total_wedges(csr: &Csr) -> u64 {
+    (0..csr.num_vertices() as u32).map(|v| wedges_at(csr, v)).sum()
+}
+
+/// Global transitivity ratio `3·triangles / wedges` (0 if no wedges).
+pub fn transitivity(csr: &Csr, triangles: u64) -> f64 {
+    let w = total_wedges(csr);
+    if w == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / w as f64
+    }
+}
+
+/// Local clustering coefficient of `v` given the number of triangles
+/// incident on `v` (0 for degree < 2).
+pub fn local_clustering(csr: &Csr, v: u32, triangles_at_v: u64) -> f64 {
+    let w = wedges_at(csr, v);
+    if w == 0 {
+        0.0
+    } else {
+        triangles_at_v as f64 / w as f64
+    }
+}
+
+/// Average local clustering coefficient given per-vertex triangle counts.
+pub fn average_clustering(csr: &Csr, triangles_per_vertex: &[u64]) -> f64 {
+    let n = csr.num_vertices();
+    assert_eq!(triangles_per_vertex.len(), n, "need one triangle count per vertex");
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 =
+        (0..n as u32).map(|v| local_clustering(csr, v, triangles_per_vertex[v as usize])).sum();
+    sum / n as f64
+}
+
+/// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(csr: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; csr.max_degree() + 1];
+    for v in 0..csr.num_vertices() as u32 {
+        hist[csr.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Average degree `2m/n` (0 for empty graphs).
+pub fn average_degree(csr: &Csr) -> f64 {
+    if csr.num_vertices() == 0 {
+        0.0
+    } else {
+        csr.num_entries() as f64 / csr.num_vertices() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn k4() -> Csr {
+        // Complete graph on 4 vertices: 4 triangles, every wedge closed.
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        Csr::from_edge_list(&EdgeList::new(4, edges).simplify())
+    }
+
+    #[test]
+    fn wedges_of_k4() {
+        let g = k4();
+        assert_eq!(wedges_at(&g, 0), 3);
+        assert_eq!(total_wedges(&g), 12);
+    }
+
+    #[test]
+    fn transitivity_of_k4_is_one() {
+        let g = k4();
+        assert!((transitivity(&g, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitivity_of_star_is_zero() {
+        let g = Csr::from_edge_list(&EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3)]).simplify());
+        assert_eq!(transitivity(&g, 0), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_k4_is_one() {
+        let g = k4();
+        // Each vertex of K4 sits on 3 triangles.
+        assert!((average_clustering(&g, &[3, 3, 3, 3]) - 1.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 0, 3), 1.0);
+    }
+
+    #[test]
+    fn clustering_handles_low_degree() {
+        let g = Csr::from_edge_list(&EdgeList::new(3, vec![(0, 1)]).simplify());
+        assert_eq!(local_clustering(&g, 2, 0), 0.0);
+        assert_eq!(average_clustering(&g, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = Csr::from_edge_list(&EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3)]).simplify());
+        assert_eq!(degree_histogram(&g), vec![0, 3, 0, 1]);
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests of the graph substrate: representation round trips,
+//! structural invariants of CSR/DCSR, ordering, partition maps, and
+//! truss bounds.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tc_graph::degree::{degree_order, invert_permutation, is_degree_ordered, relabel_by_degree};
+use tc_graph::truss;
+use tc_graph::{io, Csr, Dcsr, EdgeList};
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (1usize..50).prop_flat_map(|n| {
+        vec((0..n as u32, 0..n as u32), 0..150)
+            .prop_map(move |edges| EdgeList::new(n, edges).simplify())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplify_is_idempotent(el in arb_graph()) {
+        prop_assert!(el.is_simple());
+        let again = el.clone().simplify();
+        prop_assert_eq!(again, el);
+    }
+
+    #[test]
+    fn csr_preserves_edges(el in arb_graph()) {
+        let csr = Csr::from_edge_list(&el);
+        prop_assert_eq!(csr.num_edges(), el.num_edges());
+        let back: Vec<(u32, u32)> = csr.edges().collect();
+        prop_assert_eq!(&back, &el.edges);
+        // Symmetry: v in N(u) iff u in N(v).
+        for (u, v) in csr.edges() {
+            prop_assert!(csr.has_edge(u, v) && csr.has_edge(v, u));
+        }
+        // Handshake lemma.
+        let degsum: u64 = csr.degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(degsum, 2 * el.num_edges() as u64);
+    }
+
+    #[test]
+    fn dcsr_agrees_with_csr(el in arb_graph()) {
+        let csr = Csr::from_edge_list(&el);
+        let dcsr = Dcsr::from_csr(&csr);
+        prop_assert_eq!(dcsr.num_rows(), csr.num_vertices());
+        let visited: usize = dcsr.iter_nonempty().map(|(_, row)| row.len()).sum();
+        prop_assert_eq!(visited, csr.num_entries());
+        for (r, row) in dcsr.iter_nonempty() {
+            prop_assert!(!row.is_empty());
+            prop_assert_eq!(row, csr.neighbors(r));
+        }
+    }
+
+    #[test]
+    fn degree_order_is_a_valid_sorting_permutation(el in arb_graph()) {
+        let degrees = el.degrees();
+        let perm = degree_order(&degrees);
+        // Bijection.
+        let inv = invert_permutation(&perm);
+        prop_assert_eq!(invert_permutation(&inv), perm.clone());
+        // Sorted after applying.
+        let sorted: Vec<u32> = inv.iter().map(|&old| degrees[old as usize]).collect();
+        prop_assert!(is_degree_ordered(&sorted));
+        // Relabeled graph has the same degree multiset.
+        let (relabeled, _) = relabel_by_degree(el.clone());
+        let mut a = degrees;
+        let mut b = relabeled.degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn text_io_roundtrip(el in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_text_edges(&el, &mut buf).unwrap();
+        let back = io::read_text_edges(&buf[..]).unwrap().simplify();
+        prop_assert_eq!(back.edges, el.edges);
+    }
+
+    #[test]
+    fn binary_io_roundtrip(el in arb_graph()) {
+        let mut buf = Vec::new();
+        io::write_binary_edges(&el, &mut buf).unwrap();
+        let back = io::read_binary_edges(&buf[..]).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn truss_bounds_hold(el in arb_graph()) {
+        let sup = truss::edge_supports(&el);
+        let d = truss::truss_decomposition(&el);
+        prop_assert_eq!(d.trussness.len(), el.num_edges());
+        for (i, &t) in d.trussness.iter().enumerate() {
+            // trussness ∈ [2, support + 2]
+            prop_assert!(t >= 2);
+            prop_assert!(u64::from(t) <= sup[i] + 2);
+        }
+        // Edges of the k-truss each have >= k-2 triangles *within the
+        // k-truss subgraph* — check for the maximum truss level.
+        let k = d.max_truss();
+        if k >= 3 {
+            let sub = EdgeList::new(el.num_vertices, d.truss_edges(k)).simplify();
+            let sub_sup = truss::edge_supports(&sub);
+            for (&e, &s) in sub.edges.iter().zip(&sub_sup) {
+                prop_assert!(s >= u64::from(k) - 2, "edge {e:?} support {s} in {k}-truss");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_maps_are_consistent(n in 0usize..200, p in 1usize..17) {
+        let b = tc_graph::Block1D::new(n, p);
+        let c = tc_graph::Cyclic1D::new(n, p);
+        for v in 0..n as u32 {
+            prop_assert!(b.owner(v) < p);
+            prop_assert_eq!(c.global(c.owner(v), c.local(v)), v);
+        }
+        let total: usize = (0..p).map(|r| c.count(r)).sum();
+        prop_assert_eq!(total, n);
+    }
+}

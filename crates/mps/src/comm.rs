@@ -1,0 +1,229 @@
+//! Point-to-point communication between ranks.
+//!
+//! Every pair of ranks is connected by an unbounded lock-free channel,
+//! so sends never block (the MPI analogue is buffered/eager mode; the
+//! algorithms in this workspace only ever exchange messages that both
+//! sides expect, so no rendezvous protocol is needed). Receives block
+//! until a message with the requested `(source, tag)` arrives;
+//! out-of-order messages are parked in a per-source pending queue so
+//! tag matching is exact.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::pod::{bytes_of, Pod, PodArray};
+use crate::stats::{CommStats, StatCells, Timings};
+
+/// Highest bit reserved for internal (collective) traffic; user tags
+/// must stay below this.
+pub const MAX_USER_TAG: u64 = 1 << 48;
+
+/// A single in-flight message.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub tag: u64,
+    pub data: Bytes,
+}
+
+/// One rank's endpoint of the communicator.
+///
+/// A `Comm` is owned by exactly one thread (the rank it represents)
+/// and is handed to the rank body by [`crate::Universe::run`].
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// senders[d] sends to rank d.
+    senders: Vec<Sender<Packet>>,
+    /// receivers[s] receives from rank s.
+    receivers: Vec<Receiver<Packet>>,
+    /// Messages received from `s` whose tag didn't match a recv call.
+    pending: Vec<RefCell<VecDeque<Packet>>>,
+    /// Monotone sequence number shared by all collective calls; every
+    /// rank executes collectives in the same order, so equal sequence
+    /// numbers identify the same logical operation.
+    pub(crate) coll_seq: std::cell::Cell<u64>,
+    pub(crate) stats: StatCells,
+    /// Named phase timers for user code.
+    pub timings: Timings,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Vec<Sender<Packet>>,
+        receivers: Vec<Receiver<Packet>>,
+    ) -> Self {
+        let pending = (0..size).map(|_| RefCell::new(VecDeque::new())).collect();
+        Self {
+            rank,
+            size,
+            senders,
+            receivers,
+            pending,
+            coll_seq: std::cell::Cell::new(0),
+            stats: StatCells::default(),
+            timings: Timings::new(),
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of the communication counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+
+    fn debug_assert_user_tag(tag: u64) {
+        debug_assert!(tag < MAX_USER_TAG, "user tag {tag:#x} collides with reserved space");
+    }
+
+    /// Sends a pre-assembled byte buffer to `dst`. Never blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range or the destination rank has
+    /// already terminated.
+    pub fn send_bytes(&self, dst: usize, tag: u64, data: Bytes) {
+        Self::debug_assert_user_tag(tag);
+        self.send_internal(dst, tag, data);
+    }
+
+    pub(crate) fn send_internal(&self, dst: usize, tag: u64, data: Bytes) {
+        assert!(dst < self.size, "send to rank {dst} but universe has {} ranks", self.size);
+        let t0 = Instant::now();
+        let nbytes = data.len() as u64;
+        self.senders[dst]
+            .send(Packet { tag, data })
+            .unwrap_or_else(|_| panic!("rank {} send to terminated rank {dst}", self.rank));
+        self.stats.bytes_sent.set(self.stats.bytes_sent.get() + nbytes);
+        self.stats.msgs_sent.set(self.stats.msgs_sent.get() + 1);
+        self.stats.send_ns.set(self.stats.send_ns.get() + t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Sends a typed slice to `dst` (copies it into the message buffer).
+    pub fn send<T: Pod>(&self, dst: usize, tag: u64, data: &[T]) {
+        self.send_bytes(dst, tag, Bytes::from(bytes_of(data).to_vec()));
+    }
+
+    /// Sends a single value to `dst`.
+    pub fn send_val<T: Pod>(&self, dst: usize, tag: u64, value: T) {
+        self.send(dst, tag, std::slice::from_ref(&value));
+    }
+
+    /// Receives the next message from `src` carrying `tag`. Blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range, or if `src` terminates without
+    /// having sent a matching message (guaranteed deadlock otherwise).
+    pub fn recv_bytes(&self, src: usize, tag: u64) -> Bytes {
+        Self::debug_assert_user_tag(tag);
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> Bytes {
+        assert!(src < self.size, "recv from rank {src} but universe has {} ranks", self.size);
+        let t0 = Instant::now();
+
+        // First drain anything already parked for this source.
+        let mut pending = self.pending[src].borrow_mut();
+        if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
+            let pkt = pending.remove(pos).expect("position just found");
+            self.note_recv(&pkt, t0);
+            return pkt.data;
+        }
+
+        loop {
+            let pkt = self.receivers[src].recv().unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: peer rank {src} terminated before sending tag {tag:#x}",
+                    self.rank
+                )
+            });
+            if pkt.tag == tag {
+                self.note_recv(&pkt, t0);
+                return pkt.data;
+            }
+            pending.push_back(pkt);
+        }
+    }
+
+    fn note_recv(&self, pkt: &Packet, t0: Instant) {
+        self.stats.bytes_recv.set(self.stats.bytes_recv.get() + pkt.data.len() as u64);
+        self.stats.msgs_recv.set(self.stats.msgs_recv.get() + 1);
+        self.stats.recv_ns.set(self.stats.recv_ns.get() + t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Receives a typed array from `src`.
+    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> PodArray<T> {
+        PodArray::new(self.recv_bytes(src, tag))
+    }
+
+    /// Receives a single value from `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arriving message does not contain exactly one `T`.
+    pub fn recv_val<T: Pod>(&self, src: usize, tag: u64) -> T {
+        let arr = self.recv::<T>(src, tag);
+        assert_eq!(arr.len(), 1, "recv_val expected exactly one element, got {}", arr.len());
+        arr.as_slice()[0]
+    }
+
+    /// Combined send + receive, the safe way to exchange with a peer
+    /// (never deadlocks because sends are buffered).
+    pub fn sendrecv_bytes(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: Bytes,
+        src: usize,
+        recv_tag: u64,
+    ) -> Bytes {
+        self.send_bytes(dst, send_tag, data);
+        self.recv_bytes(src, recv_tag)
+    }
+
+    /// Typed [`Comm::sendrecv_bytes`].
+    pub fn sendrecv<T: Pod>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: &[T],
+        src: usize,
+        recv_tag: u64,
+    ) -> PodArray<T> {
+        self.send(dst, send_tag, data);
+        self.recv(src, recv_tag)
+    }
+
+    /// Allocates a fresh block of internal tags for a collective call.
+    pub(crate) fn next_coll_tag(&self, op: u64) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        // Layout: [63] internal flag | [62:56] op | [55:0] sequence.
+        (1 << 63) | (op << 56) | seq
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,237 @@
+//! Square process grids and Cannon-style shifts.
+//!
+//! The paper arranges `p` ranks as a `√p × √p` grid; the 2D task
+//! decomposition lives on this grid and the triangle-counting loop
+//! moves operand blocks *left along rows* (`U` blocks) and *up along
+//! columns* (`L` blocks), exactly like Cannon's matrix-multiply
+//! schedule (paper §3.2, §5.1).
+
+use bytes::Bytes;
+
+use crate::comm::Comm;
+use crate::pod::{Pod, PodArray};
+
+/// Reserved user-tag region for grid shifts (kept below
+/// [`crate::comm::MAX_USER_TAG`]).
+const GRID_TAG_BASE: u64 = (1 << 47) + 0x47;
+
+/// A rank's coordinates on a `q × q` grid.
+///
+/// Rank `r` sits at row `r ÷ q`, column `r % q` (row-major).
+#[derive(Debug)]
+pub struct Grid<'a> {
+    comm: &'a Comm,
+    q: usize,
+    row: usize,
+    col: usize,
+    /// Sequence number distinguishing successive shift operations.
+    shift_seq: std::cell::Cell<u64>,
+}
+
+impl<'a> Grid<'a> {
+    /// Builds the grid view for this rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe size is not a perfect square.
+    pub fn new(comm: &'a Comm) -> Self {
+        let p = comm.size();
+        let q = (p as f64).sqrt().round() as usize;
+        assert_eq!(q * q, p, "grid requires a perfect-square rank count, got {p}");
+        Self { comm, q, row: comm.rank() / q, col: comm.rank() % q, shift_seq: 0.into() }
+    }
+
+    /// Side length `√p` of the grid.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// This rank's grid row.
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// This rank's grid column.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+
+    /// Rank id of the processor at `(row, col)`.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.q && col < self.q);
+        row * self.q + col
+    }
+
+    fn next_tag(&self) -> u64 {
+        let s = self.shift_seq.get();
+        self.shift_seq.set(s + 1);
+        GRID_TAG_BASE + (s << 8)
+    }
+
+    /// Sends `data` to the left neighbour (same row, col−1, wrapping)
+    /// and returns the buffer arriving from the right neighbour.
+    ///
+    /// This is the `U`-block movement of the paper's shift step.
+    pub fn shift_left(&self, data: Bytes) -> Bytes {
+        let tag = self.next_tag();
+        let dst = self.rank_of(self.row, (self.col + self.q - 1) % self.q);
+        let src = self.rank_of(self.row, (self.col + 1) % self.q);
+        self.comm.sendrecv_bytes(dst, tag, data, src, tag)
+    }
+
+    /// Sends `data` to the upper neighbour (row−1, same col, wrapping)
+    /// and returns the buffer arriving from below.
+    ///
+    /// This is the `L`-block movement of the paper's shift step.
+    pub fn shift_up(&self, data: Bytes) -> Bytes {
+        let tag = self.next_tag();
+        let dst = self.rank_of((self.row + self.q - 1) % self.q, self.col);
+        let src = self.rank_of((self.row + 1) % self.q, self.col);
+        self.comm.sendrecv_bytes(dst, tag, data, src, tag)
+    }
+
+    /// Byte-level exchange with arbitrary grid peers (used by the
+    /// initial Cannon skew, where offsets depend on the coordinates).
+    pub fn exchange_bytes(
+        &self,
+        dst_row: usize,
+        dst_col: usize,
+        data: Bytes,
+        src_row: usize,
+        src_col: usize,
+    ) -> Bytes {
+        let tag = self.next_tag();
+        self.comm.sendrecv_bytes(
+            self.rank_of(dst_row, dst_col),
+            tag,
+            data,
+            self.rank_of(src_row, src_col),
+            tag,
+        )
+    }
+
+    /// Typed exchange with an arbitrary grid peer (used by the initial
+    /// skew/alignment step).
+    pub fn exchange<T: Pod>(
+        &self,
+        dst_row: usize,
+        dst_col: usize,
+        data: &[T],
+        src_row: usize,
+        src_col: usize,
+    ) -> PodArray<T> {
+        let tag = self.next_tag();
+        self.comm.sendrecv(
+            self.rank_of(dst_row, dst_col),
+            tag,
+            data,
+            self.rank_of(src_row, src_col),
+            tag,
+        )
+    }
+}
+
+/// Returns `√p` if `p` is a perfect square, `None` otherwise.
+pub fn perfect_square_side(p: usize) -> Option<usize> {
+    let q = (p as f64).sqrt().round() as usize;
+    (q * q == p).then_some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn perfect_square_side_detects() {
+        assert_eq!(perfect_square_side(1), Some(1));
+        assert_eq!(perfect_square_side(4), Some(2));
+        assert_eq!(perfect_square_side(169), Some(13));
+        assert_eq!(perfect_square_side(2), None);
+        assert_eq!(perfect_square_side(168), None);
+    }
+
+    #[test]
+    fn coordinates_are_row_major() {
+        let out = Universe::run(9, |c| {
+            let g = Grid::new(c);
+            (g.row(), g.col(), g.q())
+        });
+        assert_eq!(out[0], (0, 0, 3));
+        assert_eq!(out[5], (1, 2, 3));
+        assert_eq!(out[8], (2, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn non_square_universe_rejected() {
+        Universe::run(6, |c| {
+            let _ = Grid::new(c);
+        });
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // r is the rank id under test
+    fn shift_left_rotates_within_rows() {
+        // Each rank contributes its rank id; after one left shift each
+        // rank holds the id of its right neighbour (same row).
+        let out = Universe::run(9, |c| {
+            let g = Grid::new(c);
+            let payload = Bytes::from(vec![c.rank() as u8]);
+            let got = g.shift_left(payload);
+            got[0] as usize
+        });
+        for r in 0..9 {
+            let (row, col) = (r / 3, r % 3);
+            let right = row * 3 + (col + 1) % 3;
+            assert_eq!(out[r], right, "rank {r}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // r is the rank id under test
+    fn shift_up_rotates_within_columns() {
+        let out = Universe::run(16, |c| {
+            let g = Grid::new(c);
+            let got = g.shift_up(Bytes::from(vec![c.rank() as u8]));
+            got[0] as usize
+        });
+        for r in 0..16 {
+            let (row, col) = (r / 4, r % 4);
+            let below = ((row + 1) % 4) * 4 + col;
+            assert_eq!(out[r], below, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn q_shifts_return_to_origin() {
+        let out = Universe::run(25, |c| {
+            let g = Grid::new(c);
+            let mut buf = Bytes::from(vec![c.rank() as u8]);
+            for _ in 0..g.q() {
+                buf = g.shift_left(buf);
+            }
+            buf[0] as usize
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, r);
+        }
+    }
+
+    #[test]
+    fn exchange_between_diagonal_peers() {
+        let out = Universe::run(4, |c| {
+            let g = Grid::new(c);
+            // Everyone swaps with the transposed position.
+            let (tr, tc) = (g.col(), g.row());
+            let got = g.exchange::<u32>(tr, tc, &[c.rank() as u32], tr, tc);
+            got.as_slice()[0] as usize
+        });
+        assert_eq!(out, vec![0, 2, 1, 3]);
+    }
+}

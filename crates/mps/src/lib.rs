@@ -1,0 +1,51 @@
+//! # tc-mps — message-passing substrate
+//!
+//! An in-process stand-in for MPI used by the triangle-counting
+//! workspace. Each *rank* is an OS thread with private state; ranks
+//! exchange typed messages over per-pair lock-free channels and run
+//! the usual collective algorithms (dissemination barrier, binomial
+//! broadcast/reduce, recursive-doubling scans, pairwise personalized
+//! all-to-all).
+//!
+//! The public surface mirrors the subset of MPI that the ICPP 2019
+//! paper's algorithm needs:
+//!
+//! - [`Universe::run`] — `mpirun` analogue: spawn `p` ranks, join.
+//! - [`Comm`] — point-to-point `send`/`recv` with tag matching plus
+//!   collectives as methods.
+//! - [`Grid`] — `√p × √p` process grid with Cannon-style
+//!   `shift_left`/`shift_up`.
+//! - [`BlobBuilder`]/[`BlobReader`] — single-allocation serialization
+//!   of sparse blocks (paper §5.2 "reducing overheads associated with
+//!   communication").
+//! - [`CommStats`]/[`Timings`] — per-rank bytes/messages/blocked-time
+//!   instrumentation behind the paper's Figure 3 and §5.4 analysis.
+//!
+//! ## Example
+//!
+//! ```
+//! use tc_mps::Universe;
+//!
+//! // Sum rank ids with an allreduce across 4 ranks.
+//! let sums = Universe::run(4, |comm| comm.allreduce_sum_u64(comm.rank() as u64));
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blob;
+pub mod cputime;
+mod collectives;
+mod comm;
+mod grid;
+pub mod pod;
+mod stats;
+mod universe;
+
+pub use blob::{BlobBuilder, BlobReader};
+pub use comm::{Comm, MAX_USER_TAG};
+pub use cputime::{thread_cpu_now, CpuTimer};
+pub use grid::{perfect_square_side, Grid};
+pub use pod::{Pod, PodArray};
+pub use stats::{CommStats, PhaseGuard, Timings};
+pub use universe::Universe;

@@ -1,0 +1,179 @@
+//! Per-rank instrumentation.
+//!
+//! Communication time, byte volume, and message counts are the raw
+//! material for the paper's Figure 3 (communication fraction) and the
+//! cost analysis of §5.4, so every send/recv on a [`crate::Comm`]
+//! feeds the counters here. User code can additionally record named
+//! phase timers (preprocessing, per-shift compute, …) through
+//! [`Timings`].
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Communication counters for one rank.
+///
+/// All fields are cumulative over the rank's lifetime.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    /// Payload bytes passed to `send*`.
+    pub bytes_sent: u64,
+    /// Messages passed to `send*`.
+    pub msgs_sent: u64,
+    /// Payload bytes returned by `recv*`.
+    pub bytes_recv: u64,
+    /// Messages returned by `recv*`.
+    pub msgs_recv: u64,
+    /// Nanoseconds spent inside `send*` (serialization + enqueue).
+    pub send_ns: u64,
+    /// Nanoseconds spent blocked inside `recv*`.
+    pub recv_ns: u64,
+}
+
+impl CommStats {
+    /// Total time attributed to communication.
+    pub fn comm_time(&self) -> Duration {
+        Duration::from_nanos(self.send_ns + self.recv_ns)
+    }
+
+    /// Element-wise sum, used when aggregating over ranks.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_recv += other.bytes_recv;
+        self.msgs_recv += other.msgs_recv;
+        self.send_ns += other.send_ns;
+        self.recv_ns += other.recv_ns;
+    }
+}
+
+/// Interior-mutable counter block owned by a single rank's thread.
+#[derive(Debug, Default)]
+pub(crate) struct StatCells {
+    pub bytes_sent: Cell<u64>,
+    pub msgs_sent: Cell<u64>,
+    pub bytes_recv: Cell<u64>,
+    pub msgs_recv: Cell<u64>,
+    pub send_ns: Cell<u64>,
+    pub recv_ns: Cell<u64>,
+}
+
+impl StatCells {
+    pub(crate) fn snapshot(&self) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent.get(),
+            msgs_sent: self.msgs_sent.get(),
+            bytes_recv: self.bytes_recv.get(),
+            msgs_recv: self.msgs_recv.get(),
+            send_ns: self.send_ns.get(),
+            recv_ns: self.recv_ns.get(),
+        }
+    }
+}
+
+/// A stopwatch that adds its elapsed time to a named phase on drop.
+pub struct PhaseGuard<'a> {
+    timings: &'a Timings,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.timings.add(self.name, self.start.elapsed());
+    }
+}
+
+/// Named wall-clock phase accumulators for one rank.
+///
+/// Single-threaded by construction (each rank owns its own), hence the
+/// plain `Cell`-free interior mutability via `RefCell`.
+#[derive(Debug, Default)]
+pub struct Timings {
+    phases: std::cell::RefCell<BTreeMap<&'static str, u64>>,
+}
+
+impl Timings {
+    /// Creates an empty set of accumulators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to phase `name`.
+    pub fn add(&self, name: &'static str, d: Duration) {
+        *self.phases.borrow_mut().entry(name).or_insert(0) += d.as_nanos() as u64;
+    }
+
+    /// Starts a guard that records into `name` when dropped.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard { timings: self, name, start: Instant::now() }
+    }
+
+    /// Times `f` and attributes the elapsed time to `name`.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _g = self.phase(name);
+        f()
+    }
+
+    /// Accumulated time of one phase.
+    pub fn get(&self, name: &str) -> Duration {
+        Duration::from_nanos(self.phases.borrow().get(name).copied().unwrap_or(0))
+    }
+
+    /// Snapshot of all phases, in name order.
+    pub fn snapshot(&self) -> Vec<(&'static str, Duration)> {
+        self.phases
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, Duration::from_nanos(*v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_stats_merge() {
+        let mut a = CommStats { bytes_sent: 10, msgs_sent: 1, ..Default::default() };
+        let b = CommStats { bytes_sent: 5, msgs_recv: 2, recv_ns: 100, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.bytes_sent, 15);
+        assert_eq!(a.msgs_sent, 1);
+        assert_eq!(a.msgs_recv, 2);
+        assert_eq!(a.comm_time(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let t = Timings::new();
+        t.add("ppt", Duration::from_millis(2));
+        t.add("ppt", Duration::from_millis(3));
+        t.add("tct", Duration::from_millis(1));
+        assert_eq!(t.get("ppt"), Duration::from_millis(5));
+        assert_eq!(t.get("tct"), Duration::from_millis(1));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "ppt");
+    }
+
+    #[test]
+    fn phase_guard_records_nonzero() {
+        let t = Timings::new();
+        {
+            let _g = t.phase("work");
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        assert!(t.get("work") > Duration::ZERO);
+    }
+
+    #[test]
+    fn time_returns_value() {
+        let t = Timings::new();
+        let v = t.time("f", || 42);
+        assert_eq!(v, 42);
+        assert!(t.get("f") > Duration::ZERO);
+    }
+}

@@ -1,0 +1,211 @@
+//! Rank spawning and joining.
+//!
+//! [`Universe::run`] is the `mpirun` of this substrate: it spawns one
+//! OS thread per rank, wires the all-pairs channel fabric, runs the
+//! rank body, and joins. Each rank owns disjoint state — the body only
+//! receives its own [`Comm`] — so algorithms written against this API
+//! port directly to a real MPI backend.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Packet};
+use crate::stats::CommStats;
+
+/// Entry point for running a fixed-size group of ranks.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` on `size` ranks and returns each rank's result,
+    /// indexed by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or if any rank body panics.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        Self::run_with_stats(size, f).0
+    }
+
+    /// Like [`Universe::run`] but additionally returns each rank's
+    /// communication counters.
+    pub fn run_with_stats<T, F>(size: usize, f: F) -> (Vec<T>, Vec<CommStats>)
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        assert!(size > 0, "universe must have at least one rank");
+
+        // channels[src][dst]: build the full matrix first, then carve
+        // out per-rank sender rows and receiver columns.
+        let mut senders: Vec<Vec<crossbeam::channel::Sender<Packet>>> =
+            (0..size).map(|_| Vec::with_capacity(size)).collect();
+        let mut receivers: Vec<Vec<crossbeam::channel::Receiver<Packet>>> =
+            (0..size).map(|_| Vec::with_capacity(size)).collect();
+        for sender_row in senders.iter_mut() {
+            for receiver_col in receivers.iter_mut() {
+                let (tx, rx) = unbounded();
+                sender_row.push(tx);
+                receiver_col.push(rx);
+            }
+        }
+
+        let f = &f;
+        let mut results: Vec<Option<(T, CommStats)>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (rank, (tx_row, rx_col)) in
+                senders.drain(..).zip(receivers.drain(..)).enumerate()
+            {
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(rank, size, tx_row, rx_col);
+                    let out = f(&comm);
+                    (out, comm.stats())
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(pair) => results[rank] = Some(pair),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+
+        let mut outs = Vec::with_capacity(size);
+        let mut stats = Vec::with_capacity(size);
+        for slot in results {
+            let (out, st) = slot.expect("every rank joined");
+            outs.push(out);
+            stats.push(st);
+        }
+        (outs, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_correct_identity() {
+        let out = Universe::run(5, |c| (c.rank(), c.size()));
+        assert_eq!(out, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::run(1, |c| c.rank());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Universe::run(0, |c| c.rank());
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its id to the next rank and reports what it got.
+        let out = Universe::run(7, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send_val::<u64>(next, 7, c.rank() as u64);
+            c.recv_val::<u64>(prev, 7)
+        });
+        for (r, got) in out.iter().enumerate() {
+            assert_eq!(*got as usize, (r + 7 - 1) % 7);
+        }
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                c.send_val::<u32>(1, 2, 222);
+                c.send_val::<u32>(1, 1, 111);
+                0
+            } else {
+                let first = c.recv_val::<u32>(0, 1);
+                let second = c.recv_val::<u32>(0, 2);
+                assert_eq!((first, second), (111, 222));
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn fifo_within_same_tag() {
+        let out = Universe::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u32 {
+                    c.send_val::<u32>(1, 3, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| c.recv_val::<u32>(0, 3)).collect::<Vec<u32>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = Universe::run(3, |c| {
+            c.send(c.rank(), 9, &[1u64, 2, 3]);
+            c.recv::<u64>(c.rank(), 9).into_vec()
+        });
+        for v in out {
+            assert_eq!(v, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes_and_messages() {
+        let (_, stats) = Universe::run_with_stats(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[0u32; 16]);
+            } else {
+                let _ = c.recv::<u32>(0, 1);
+            }
+        });
+        assert_eq!(stats[0].bytes_sent, 64);
+        assert_eq!(stats[0].msgs_sent, 1);
+        assert_eq!(stats[1].bytes_recv, 64);
+        assert_eq!(stats[1].msgs_recv, 1);
+        assert_eq!(stats[1].bytes_sent, 0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pair() {
+        let out = Universe::run(2, |c| {
+            let peer = 1 - c.rank();
+            let mine = [c.rank() as u32 * 10];
+            c.sendrecv::<u32>(peer, 5, &mine, peer, 5).as_slice()[0]
+        });
+        assert_eq!(out, vec![10, 0]);
+    }
+
+    #[test]
+    fn many_ranks_all_to_all_manual() {
+        let p = 9;
+        let out = Universe::run(p, |c| {
+            for d in 0..p {
+                c.send_val::<u64>(d, 11, (c.rank() * 100 + d) as u64);
+            }
+            let mut sum = 0u64;
+            for s in 0..p {
+                sum += c.recv_val::<u64>(s, 11);
+            }
+            sum
+        });
+        for (r, s) in out.iter().enumerate() {
+            let expect: u64 = (0..p).map(|src| (src * 100 + r) as u64).sum();
+            assert_eq!(*s, expect);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at laptop scale.
+# Run from the repo root after `cargo build --release --workspace`.
+set -u
+BIN=target/release
+RANKS="16,25,36,49,64,81,100,121,144,169"   # the paper's exact sweep
+cd "$(dirname "$0")/.."
+
+echo "=== Table 1 ==="
+$BIN/table1_datasets --scale 15 | tee results/table1.txt
+
+echo "=== Table 2 + Figure 1 (4 datasets, paper rank sweep) ==="
+for ds in g500-s18 g500-s19 twitter-like-15 friendster-like-16; do
+  $BIN/table2_strong_scaling --preset $ds --ranks $RANKS | tee -a results/table2.txt
+  $BIN/fig1_efficiency      --preset $ds --ranks $RANKS | tee -a results/fig1.txt
+done
+
+echo "=== Figure 2 / Figure 3 (largest dataset) ==="
+$BIN/fig2_op_rate       --preset g500-s19 --ranks $RANKS | tee results/fig2.txt
+$BIN/fig3_comm_fraction --preset g500-s19 --ranks $RANKS | tee results/fig3.txt
+
+echo "=== Table 3 / Table 4 ==="
+$BIN/table3_load_imbalance --preset g500-s19 | tee results/table3.txt
+$BIN/table4_task_counts    --preset g500-s19 | tee results/table4.txt
+
+echo "=== Ablations (sec 7.3) ==="
+$BIN/ablation_optimizations --preset g500-s18 | tee results/ablation.txt
+$BIN/ablation_summa --preset g500-s17 --ranks 16,64 | tee results/ablation_summa.txt
+
+echo "=== Table 5 / Table 6 ==="
+$BIN/table5_vs_wedge --scale 14 --ranks 64 | tee results/table5.txt
+$BIN/table6_vs_1d    --preset twitter-like-14 --ranks 64 | tee results/table6.txt
+
+echo "ALL EXPERIMENTS DONE"
+
+# Extension experiments (appended; also runnable standalone)
+# $BIN/ablation_summa --preset g500-s17 --ranks 16,64
+# $BIN/weak_scaling --scale 18
