@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use tc_graph::{Block1D, Csr};
-use tc_mps::Comm;
+use tc_mps::{Comm, MpsResult};
 
 /// Per-rank adjacency: owned rows (views into the shared input CSR)
 /// plus ghost rows replicated from remote owners.
@@ -28,7 +28,20 @@ pub struct AdjStore<'a> {
 impl<'a> AdjStore<'a> {
     /// Builds the store: one personalized all-to-all pushes each owned
     /// row to every rank that holds one of its neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exchange fails (a peer died or timed out); use
+    /// [`AdjStore::try_build_from_csr`] to handle that as an error.
     pub fn build_from_csr(comm: &Comm, csr: &'a Csr, block: Block1D) -> Self {
+        match Self::try_build_from_csr(comm, csr, block) {
+            Ok(store) => store,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`AdjStore::build_from_csr`].
+    pub fn try_build_from_csr(comm: &Comm, csr: &'a Csr, block: Block1D) -> MpsResult<Self> {
         let p = comm.size();
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
@@ -47,7 +60,7 @@ impl<'a> AdjStore<'a> {
                 }
             }
         }
-        let recvd = comm.alltoallv(&sends);
+        let recvd = comm.alltoallv(&sends)?;
         drop(sends);
         let mut ghosts = HashMap::new();
         let mut max_row = (lo..hi).map(|v| csr.degree(v as u32)).max().unwrap_or(0);
@@ -60,7 +73,7 @@ impl<'a> AdjStore<'a> {
                 at += 2 + len;
             }
         }
-        Self { csr, lo: lo as u32, hi: hi as u32, ghosts, max_row }
+        Ok(Self { csr, lo: lo as u32, hi: hi as u32, ghosts, max_row })
     }
 
     /// Sorted full adjacency of `v` — owned or ghost.
@@ -130,9 +143,8 @@ mod tests {
         let el = tc_gen::graph500(6, 1).simplify();
         let csr = Csr::from_edge_list(&el);
         let block = Block1D::new(csr.num_vertices(), 1);
-        let ghost_entries = Universe::run(1, |comm| {
-            AdjStore::build_from_csr(comm, &csr, block).ghost_entries()
-        });
+        let ghost_entries =
+            Universe::run(1, |comm| AdjStore::build_from_csr(comm, &csr, block).ghost_entries());
         assert_eq!(ghost_entries, vec![0]);
     }
 
@@ -141,8 +153,7 @@ mod tests {
     fn unreferenced_remote_vertex_panics() {
         // Two isolated cliques owned by different ranks: rank 0 never
         // references rank 1's vertices.
-        let el = EdgeList::new(8, vec![(0, 1), (0, 2), (1, 2), (5, 6), (5, 7), (6, 7)])
-            .simplify();
+        let el = EdgeList::new(8, vec![(0, 1), (0, 2), (1, 2), (5, 6), (5, 7), (6, 7)]).simplify();
         let csr = Csr::from_edge_list(&el);
         let block = Block1D::new(8, 2);
         Universe::run(2, |comm| {

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 use crate::adjstore::AdjStore;
 
@@ -62,6 +62,20 @@ pub struct DtrussResult {
 ///
 /// Panics if `el` is not simplified.
 pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
+    match try_truss_decomposition_dist(el, p) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`truss_decomposition_dist`]: a crashed, hung,
+/// or diverged rank surfaces as an [`tc_mps::MpsError`] instead of a
+/// panic.
+///
+/// # Panics
+///
+/// Panics if `el` is not simplified.
+pub fn try_truss_decomposition_dist(el: &EdgeList, p: usize) -> MpsResult<DtrussResult> {
     assert!(el.is_simple(), "truss decomposition needs a simplified graph");
     // Degree-ordering up front mirrors the counting pipeline and keeps
     // the per-edge intersection lists short.
@@ -70,13 +84,13 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
     let csr = tc_graph::Csr::from_edge_list(&ordered);
     let block = Block1D::new(n, p);
 
-    let outs = Universe::run(p, |comm| {
+    let outs = Universe::try_run(p, |comm| {
         let rank = comm.rank();
         let t0 = Instant::now();
         let (lo, hi) = block.range(rank);
 
         // ---- setup: local + ghost adjacency (AOP pattern) ----
-        let store = AdjStore::build_from_csr(comm, &csr, block);
+        let store = AdjStore::try_build_from_csr(comm, &csr, block)?;
 
         // Owned edges: (u, v) with u owned here, u < v.
         let mut owned: Vec<(u32, u32)> = Vec::new();
@@ -100,7 +114,7 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
         let mut set = VertexSet::with_capacity(max_deg);
         let mut rounds = 0u32;
         let mut k = 3u32;
-        let mut alive_count = comm.allreduce_sum_u64(owned.len() as u64);
+        let mut alive_count = comm.allreduce_sum_u64(owned.len() as u64)?;
 
         while alive_count > 0 {
             loop {
@@ -123,9 +137,7 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
                     }
                     let mut support = 0u32;
                     for &w in store.neighbors(v) {
-                        if w != u
-                            && set.contains(w)
-                            && !dead_edges.contains(&(v.min(w), v.max(w)))
+                        if w != u && set.contains(w) && !dead_edges.contains(&(v.min(w), v.max(w)))
                         {
                             support += 1;
                         }
@@ -135,7 +147,7 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
                     }
                 }
                 // Fixpoint check across all ranks.
-                let global_deaths = comm.allreduce_sum_u64(deaths.len() as u64);
+                let global_deaths = comm.allreduce_sum_u64(deaths.len() as u64)?;
                 if global_deaths == 0 {
                     break;
                 }
@@ -161,7 +173,7 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
                         }
                     }
                 }
-                for msg in comm.alltoallv(&sends) {
+                for msg in comm.alltoallv(&sends)? {
                     for [u, v] in msg {
                         dead_edges.insert((u, v));
                     }
@@ -175,16 +187,16 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
                     survivors += 1;
                 }
             }
-            alive_count = comm.allreduce_sum_u64(survivors);
+            alive_count = comm.allreduce_sum_u64(survivors)?;
             k += 1;
         }
 
         // Gather (edge, trussness) triples on rank 0.
         let triples: Vec<[u32; 3]> =
             owned.iter().zip(&trussness).map(|(&(u, v), &t)| [u, v, t]).collect();
-        let gathered = comm.gatherv(0, &triples);
-        (gathered, rounds, t0.elapsed())
-    });
+        let gathered = comm.gatherv(0, &triples)?;
+        Ok((gathered, rounds, t0.elapsed()))
+    })?;
 
     // Translate back to input labels on the gathered result.
     let inv = tc_graph::degree::invert_permutation(&perm);
@@ -206,7 +218,7 @@ pub fn truss_decomposition_dist(el: &EdgeList, p: usize) -> DtrussResult {
     edges_trussness.sort_unstable_by_key(|&(e, _)| e);
     let (edges, trussness): (Vec<_>, Vec<_>) = edges_trussness.into_iter().unzip();
     let max_truss = trussness.iter().copied().max().unwrap_or(0);
-    DtrussResult { edges, trussness, max_truss, rounds, time }
+    Ok(DtrussResult { edges, trussness, max_truss, rounds, time })
 }
 
 #[cfg(test)]
@@ -239,11 +251,22 @@ mod tests {
     #[test]
     fn mixed_structure() {
         // K4 + pendant triangle + tail (trussness levels 4, 3, 2).
-        let el = EdgeList::new(8, vec![
-            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // K4
-            (3, 4), (3, 5), (4, 5), // triangle
-            (5, 6), (6, 7), // tail
-        ])
+        let el = EdgeList::new(
+            8,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // K4
+                (3, 4),
+                (3, 5),
+                (4, 5), // triangle
+                (5, 6),
+                (6, 7), // tail
+            ],
+        )
         .simplify();
         for p in [1, 3, 5] {
             check_matches_serial(&el, p);

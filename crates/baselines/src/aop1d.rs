@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 use crate::serial::Oriented;
 
@@ -45,16 +45,25 @@ impl Dist1dResult {
 
 /// Runs AOP on `p` ranks.
 pub fn count_aop1d(el: &EdgeList, p: usize) -> Dist1dResult {
+    match try_count_aop1d(el, p) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_aop1d`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_aop1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::run_with_stats(p, |comm| {
+    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
         // ---- setup: replicate the rows my tasks reference ----
-        comm.barrier();
+        comm.barrier()?;
         let t0 = Instant::now();
         // Task (j, i) lives at owner(j) and needs A(i): push A(i) to
         // the owners of every j ∈ A(i) (dedup per destination).
@@ -73,7 +82,7 @@ pub fn count_aop1d(el: &EdgeList, p: usize) -> Dist1dResult {
                 }
             }
         }
-        let recvd = comm.alltoallv(&sends);
+        let recvd = comm.alltoallv(&sends)?;
         drop(sends);
         let mut ghosts: HashMap<u32, Vec<u32>> = HashMap::new();
         for msg in &recvd {
@@ -85,13 +94,13 @@ pub fn count_aop1d(el: &EdgeList, p: usize) -> Dist1dResult {
             }
         }
         drop(recvd);
-        comm.barrier();
+        comm.barrier()?;
         let setup = t0.elapsed();
         let ghost_entries: usize = ghosts.values().map(|v| v.len()).sum();
 
         // ---- counting: purely local ----
         let t1 = Instant::now();
-        let cap = comm.allreduce_max_u64(g_max_row(&g, lo, hi) as u64) as usize;
+        let cap = comm.allreduce_max_u64(g_max_row(&g, lo, hi) as u64)? as usize;
         let mut set = VertexSet::with_capacity(cap);
         let mut local = 0u64;
         for j in lo as u32..hi as u32 {
@@ -111,21 +120,21 @@ pub fn count_aop1d(el: &EdgeList, p: usize) -> Dist1dResult {
                 local += set.count_hits(ai);
             }
         }
-        let triangles = comm.allreduce_sum_u64(local);
-        comm.barrier();
+        let triangles = comm.allreduce_sum_u64(local)?;
+        comm.barrier()?;
         let count = t1.elapsed();
-        (triangles, setup, count, ghost_entries)
-    });
+        Ok((triangles, setup, count, ghost_entries))
+    })?;
 
     let triangles = outs[0].0;
     assert!(outs.iter().all(|o| o.0 == triangles));
-    Dist1dResult {
+    Ok(Dist1dResult {
         triangles,
         setup: outs.iter().map(|o| o.1).max().unwrap(),
         count: outs.iter().map(|o| o.2).max().unwrap(),
         bytes_sent: stats.iter().map(|s| s.bytes_sent).sum(),
         max_ghost_entries: outs.iter().map(|o| o.3).max().unwrap(),
-    }
+    })
 }
 
 fn g_max_row(g: &Oriented, lo: usize, hi: usize) -> usize {

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 use crate::aop1d::Dist1dResult;
 use crate::serial::Oriented;
@@ -28,21 +28,34 @@ use crate::serial::Oriented;
 ///
 /// Panics if `num_super_blocks == 0`.
 pub fn count_psp1d(el: &EdgeList, p: usize, num_super_blocks: usize) -> Dist1dResult {
+    match try_count_psp1d(el, p, num_super_blocks) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_psp1d`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_psp1d(
+    el: &EdgeList,
+    p: usize,
+    num_super_blocks: usize,
+) -> MpsResult<Dist1dResult> {
     assert!(num_super_blocks > 0, "need at least one superblock");
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::run_with_stats(p, |comm| {
+    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
-        comm.barrier();
+        comm.barrier()?;
         let t0 = Instant::now();
         let max_row = comm.allreduce_max_u64(
             (lo as u32..hi as u32).map(|v| g.upper(v).len()).max().unwrap_or(0) as u64,
-        ) as usize;
+        )? as usize;
         let mut set = VertexSet::with_capacity(max_row);
-        comm.barrier();
+        comm.barrier()?;
         let setup = t0.elapsed();
 
         let t1 = Instant::now();
@@ -71,10 +84,9 @@ pub fn count_psp1d(el: &EdgeList, p: usize, num_super_blocks: usize) -> Dist1dRe
                     }
                 }
             }
-            let recvd = comm.alltoallv(&sends);
+            let recvd = comm.alltoallv(&sends)?;
             drop(sends);
-            peak_entries =
-                peak_entries.max(recvd.iter().map(|m| m.len()).sum::<usize>());
+            peak_entries = peak_entries.max(recvd.iter().map(|m| m.len()).sum::<usize>());
 
             // Index the received rows for this superblock.
             let mut idx: std::collections::HashMap<u32, (usize, usize, usize)> =
@@ -107,21 +119,21 @@ pub fn count_psp1d(el: &EdgeList, p: usize, num_super_blocks: usize) -> Dist1dRe
                 }
             }
         }
-        let triangles = comm.allreduce_sum_u64(local);
-        comm.barrier();
+        let triangles = comm.allreduce_sum_u64(local)?;
+        comm.barrier()?;
         let count = t1.elapsed();
-        (triangles, setup, count, peak_entries)
-    });
+        Ok((triangles, setup, count, peak_entries))
+    })?;
 
     let triangles = outs[0].0;
     assert!(outs.iter().all(|o| o.0 == triangles));
-    Dist1dResult {
+    Ok(Dist1dResult {
         triangles,
         setup: outs.iter().map(|o| o.1).max().unwrap_or(Duration::ZERO),
         count: outs.iter().map(|o| o.2).max().unwrap(),
         bytes_sent: stats.iter().map(|s| s.bytes_sent).sum(),
         max_ghost_entries: outs.iter().map(|o| o.3).max().unwrap(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -136,11 +148,7 @@ mod tests {
         let expect = count_default(&el);
         for p in [1, 2, 4, 6] {
             for blocks in [1, 2, 5, 16] {
-                assert_eq!(
-                    count_psp1d(&el, p, blocks).triangles,
-                    expect,
-                    "p={p} blocks={blocks}"
-                );
+                assert_eq!(count_psp1d(&el, p, blocks).triangles, expect, "p={p} blocks={blocks}");
             }
         }
     }

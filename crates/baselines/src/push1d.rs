@@ -14,24 +14,33 @@ use std::time::Instant;
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 use crate::aop1d::Dist1dResult;
 use crate::serial::Oriented;
 
 /// Runs the push-based counter on `p` ranks.
 pub fn count_push1d(el: &EdgeList, p: usize) -> Dist1dResult {
+    match try_count_push1d(el, p) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_push1d`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_push1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::run_with_stats(p, |comm| {
+    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
         // ---- push phase: same wire as AOP's setup, but receivers
         // will consume rather than store ----
-        comm.barrier();
+        comm.barrier()?;
         let t0 = Instant::now();
         let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
         let mut stamp = vec![usize::MAX; p];
@@ -48,16 +57,16 @@ pub fn count_push1d(el: &EdgeList, p: usize) -> Dist1dResult {
                 }
             }
         }
-        let recvd = comm.alltoallv(&sends);
+        let recvd = comm.alltoallv(&sends)?;
         drop(sends);
-        comm.barrier();
+        comm.barrier()?;
         let setup = t0.elapsed();
 
         // ---- counting: local tasks + streamed remote rows ----
         let t1 = Instant::now();
         let max_row = comm.allreduce_max_u64(
             (lo as u32..hi as u32).map(|v| g.upper(v).len()).max().unwrap_or(0) as u64,
-        ) as usize;
+        )? as usize;
         let mut set = VertexSet::with_capacity(max_row);
         let mut local = 0u64;
 
@@ -93,21 +102,21 @@ pub fn count_push1d(el: &EdgeList, p: usize) -> Dist1dResult {
                 at += 2 + len;
             }
         }
-        let triangles = comm.allreduce_sum_u64(local);
-        comm.barrier();
+        let triangles = comm.allreduce_sum_u64(local)?;
+        comm.barrier()?;
         let count = t1.elapsed();
-        (triangles, setup, count)
-    });
+        Ok((triangles, setup, count))
+    })?;
 
     let triangles = outs[0].0;
     assert!(outs.iter().all(|o| o.0 == triangles));
-    Dist1dResult {
+    Ok(Dist1dResult {
         triangles,
         setup: outs.iter().map(|o| o.1).max().unwrap(),
         count: outs.iter().map(|o| o.2).max().unwrap(),
         bytes_sent: stats.iter().map(|s| s.bytes_sent).sum(),
         max_ghost_entries: 0, // nothing is retained — the point of the method
-    }
+    })
 }
 
 #[cfg(test)]
@@ -130,8 +139,7 @@ mod tests {
         // Probing A(j) against hashed A(i) counts |A(i) ∩ A(j)| — the
         // same quantity as the local orientation, just with the roles
         // swapped. A worked example: path + triangle combinations.
-        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)])
-            .simplify();
+        let el = EdgeList::new(5, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]).simplify();
         let expect = count_default(&el);
         assert_eq!(expect, 2);
         for p in [2, 3, 5] {

@@ -86,12 +86,10 @@ impl Oriented {
         // Canonical edge order makes upper rows ascending already, and
         // lower rows ascending too (edges sorted by (u,v) insert u's in
         // increasing u per row v). Assert in debug builds.
-        debug_assert!((0..n).all(|v| upper_adj[upper_xadj[v]..upper_xadj[v + 1]]
-            .windows(2)
-            .all(|w| w[0] < w[1])));
-        debug_assert!((0..n).all(|v| lower_adj[lower_xadj[v]..lower_xadj[v + 1]]
-            .windows(2)
-            .all(|w| w[0] < w[1])));
+        debug_assert!((0..n)
+            .all(|v| upper_adj[upper_xadj[v]..upper_xadj[v + 1]].windows(2).all(|w| w[0] < w[1])));
+        debug_assert!((0..n)
+            .all(|v| lower_adj[lower_xadj[v]..lower_xadj[v + 1]].windows(2).all(|w| w[0] < w[1])));
         Self { n, upper_xadj, upper_adj, lower_xadj, lower_adj, perm }
     }
 

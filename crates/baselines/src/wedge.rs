@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use tc_graph::edgelist::EdgeList;
 use tc_graph::{Block1D, Csr};
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 /// Outcome of a wedge-checking run.
 #[derive(Debug, Clone)]
@@ -49,17 +49,26 @@ impl WedgeResult {
 
 /// Runs the wedge-checking pipeline on `p` ranks.
 pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
+    match try_count_wedge(el, p) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_wedge`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_wedge(el: &EdgeList, p: usize) -> MpsResult<WedgeResult> {
     let csr = Csr::from_edge_list(el);
     let n = csr.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::run_with_stats(p, |comm| {
+    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
         let cnt = hi - lo;
 
         // ---- phase 1: 2-core peeling ----
-        comm.barrier();
+        comm.barrier()?;
         let t0 = Instant::now();
         let mut deg: Vec<u32> = (lo..hi).map(|v| csr.degree(v as u32) as u32).collect();
         let mut alive = vec![true; cnt];
@@ -78,10 +87,10 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
                 }
             }
             peeled_local += removed;
-            if comm.allreduce_sum_u64(removed) == 0 {
+            if comm.allreduce_sum_u64(removed)? == 0 {
                 break;
             }
-            for msg in comm.alltoallv(&sends) {
+            for msg in comm.alltoallv(&sends)? {
                 for w in msg {
                     let li = w as usize - lo;
                     if alive[li] {
@@ -90,7 +99,7 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
                 }
             }
         }
-        comm.barrier();
+        comm.barrier()?;
         let two_core = t0.elapsed();
 
         // ---- phase 2: directed wedge counting ----
@@ -111,7 +120,7 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
                 }
             }
         }
-        let key_msgs = comm.alltoallv(&key_sends);
+        let key_msgs = comm.alltoallv(&key_sends)?;
         drop(key_sends);
         let mut nbr_key: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         for msg in &key_msgs {
@@ -155,7 +164,7 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
                 }
             }
         }
-        let queries = comm.alltoallv(&wedge_sends);
+        let queries = comm.alltoallv(&wedge_sends)?;
         drop(wedge_sends);
         let mut local_triangles = 0u64;
         for msg in &queries {
@@ -165,24 +174,24 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
                 }
             }
         }
-        let triangles = comm.allreduce_sum_u64(local_triangles);
-        let wedges = comm.allreduce_sum_u64(wedges_local);
-        let peeled = comm.allreduce_sum_u64(peeled_local);
-        comm.barrier();
+        let triangles = comm.allreduce_sum_u64(local_triangles)?;
+        let wedges = comm.allreduce_sum_u64(wedges_local)?;
+        let peeled = comm.allreduce_sum_u64(peeled_local)?;
+        comm.barrier()?;
         let wedge_count = t1.elapsed();
-        (triangles, two_core, wedge_count, wedges, peeled)
-    });
+        Ok((triangles, two_core, wedge_count, wedges, peeled))
+    })?;
 
     let triangles = outs[0].0;
     assert!(outs.iter().all(|o| o.0 == triangles));
-    WedgeResult {
+    Ok(WedgeResult {
         triangles,
         two_core: outs.iter().map(|o| o.1).max().unwrap(),
         wedge_count: outs.iter().map(|o| o.2).max().unwrap(),
         wedges: outs[0].3,
         peeled: outs[0].4,
         bytes_sent: stats.iter().map(|s| s.bytes_sent).sum(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ fn bench_barrier(c: &mut Criterion) {
             b.iter(|| {
                 Universe::run(p, |comm| {
                     for _ in 0..100 {
-                        comm.barrier();
+                        comm.barrier().unwrap();
                     }
                 })
             });
@@ -23,7 +23,7 @@ fn bench_barrier(c: &mut Criterion) {
                 Universe::run(p, |comm| {
                     let mut acc = comm.rank() as u64;
                     for _ in 0..100 {
-                        acc = comm.allreduce_sum_u64(acc) % 1_000_003;
+                        acc = comm.allreduce_sum_u64(acc).unwrap() % 1_000_003;
                     }
                     acc
                 })
@@ -40,9 +40,8 @@ fn bench_alltoallv(c: &mut Criterion) {
         group.bench_function(format!("p{p}_{per_dest}u32_each"), |b| {
             b.iter(|| {
                 Universe::run(p, |comm| {
-                    let sends: Vec<Vec<u32>> =
-                        (0..p).map(|d| vec![d as u32; per_dest]).collect();
-                    let r = comm.alltoallv(black_box(&sends));
+                    let sends: Vec<Vec<u32>> = (0..p).map(|d| vec![d as u32; per_dest]).collect();
+                    let r = comm.alltoallv(black_box(&sends)).unwrap();
                     r.iter().map(|v| v.len()).sum::<usize>()
                 })
             });

@@ -13,7 +13,9 @@ fn bench_generators(c: &mut Criterion) {
         b.iter(|| graph500(black_box(12), 42).num_edges());
     });
     group.bench_function("rmat_uniform", |b| {
-        b.iter(|| rmat(black_box(12), 16, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 42).num_edges());
+        b.iter(|| {
+            rmat(black_box(12), 16, RmatParams { a: 0.25, b: 0.25, c: 0.25 }, 42).num_edges()
+        });
     });
     group.bench_function("erdos_renyi", |b| {
         b.iter(|| tc_gen::er::gnm(black_box(1 << 12), 16 << 12, 42).num_edges());

@@ -52,18 +52,15 @@ impl ExpArgs {
         let mut out = Self::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => {
-                    out.scale = value("--scale")?
-                        .parse()
-                        .map_err(|e| format!("bad --scale: {e}"))?;
+                    out.scale =
+                        value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 }
                 "--seed" => {
-                    out.seed =
-                        value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+                    out.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
                 }
                 "--ranks" => {
                     let v = value("--ranks")?;
@@ -119,8 +116,16 @@ mod tests {
     #[test]
     fn full_flags() {
         let a = parse(&[
-            "--scale", "10", "--ranks", "4,9,16", "--preset", "g500-s9", "--seed", "7",
-            "--csv", "/tmp/x.csv",
+            "--scale",
+            "10",
+            "--ranks",
+            "4,9,16",
+            "--preset",
+            "g500-s9",
+            "--seed",
+            "7",
+            "--csv",
+            "/tmp/x.csv",
         ])
         .unwrap();
         assert_eq!(a.scale, 10);

@@ -6,8 +6,8 @@
 
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
-use tc_bench::table::Table;
 use tc_bench::secs;
+use tc_bench::table::Table;
 use tc_core::{count_triangles, Enumeration, TcConfig};
 use tc_gen::Preset;
 

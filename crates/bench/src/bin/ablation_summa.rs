@@ -33,10 +33,7 @@ fn main() {
     for &p in &args.ranks {
         if let Some(q) = tc_mps::perfect_square_side(p) {
             push(format!("cannon-{q}x{q}"), count_triangles(&el, p, &cfg));
-            push(
-                format!("summa-{q}x{q}"),
-                count_triangles_summa(&el, SummaGrid::new(q, q), &cfg),
-            );
+            push(format!("summa-{q}x{q}"), count_triangles_summa(&el, SummaGrid::new(q, q), &cfg));
         }
     }
     // Rectangles with the same area as the largest square.

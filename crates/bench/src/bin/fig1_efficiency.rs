@@ -25,8 +25,7 @@ fn main() {
             let (ppt, tct) =
                 (r.modeled_ppt_time().as_secs_f64(), r.modeled_tct_time().as_secs_f64());
             let all = ppt + tct;
-            let (b_ppt, b_tct, b_all, b_p) =
-                *base.get_or_insert((ppt, tct, all, p as f64));
+            let (b_ppt, b_tct, b_all, b_p) = *base.get_or_insert((ppt, tct, all, p as f64));
             let eff = |b: f64, x: f64| b_p * b / (p as f64 * x.max(1e-12));
             t.row(vec![
                 p.to_string(),

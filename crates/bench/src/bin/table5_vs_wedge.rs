@@ -7,8 +7,8 @@
 use tc_baselines::count_wedge;
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
-use tc_bench::table::Table;
 use tc_bench::secs;
+use tc_bench::table::Table;
 use tc_core::count_triangles_default;
 
 fn main() {

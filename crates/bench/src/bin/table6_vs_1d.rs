@@ -9,17 +9,15 @@
 use tc_baselines::{count_aop1d, count_psp1d, count_push1d};
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
-use tc_bench::table::Table;
 use tc_bench::secs;
+use tc_bench::table::Table;
 use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let args = ExpArgs::parse();
     let p = *args.ranks.iter().max().expect("non-empty rank sweep");
-    let preset = args
-        .preset
-        .unwrap_or(Preset::TwitterLike { scale: args.scale.saturating_sub(1) });
+    let preset = args.preset.unwrap_or(Preset::TwitterLike { scale: args.scale.saturating_sub(1) });
     let el = build_dataset(preset, args.seed);
 
     let mut t = Table::new(

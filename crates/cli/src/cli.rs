@@ -164,8 +164,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "generate" => {
             let name = it.next().ok_or("generate needs a preset")?;
-            let preset =
-                Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
+            let preset = Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut output = None;
             while let Some(flag) = it.next() {
@@ -198,7 +197,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
-                        algorithm = Algorithm::parse(it.next().ok_or("--algorithm needs a value")?)?;
+                        algorithm =
+                            Algorithm::parse(it.next().ok_or("--algorithm needs a value")?)?;
                     }
                     "--ranks" => {
                         ranks = it
@@ -223,11 +223,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("bad seed: {e}"))?;
                     }
                     "--enumeration" => {
-                        config.enumeration = match it.next().ok_or("--enumeration needs a value")?.as_str() {
-                            "jik" => Enumeration::Jik,
-                            "ijk" => Enumeration::Ijk,
-                            other => return Err(format!("unknown enumeration {other:?}")),
-                        };
+                        config.enumeration =
+                            match it.next().ok_or("--enumeration needs a value")?.as_str() {
+                                "jik" => Enumeration::Jik,
+                                "ijk" => Enumeration::Ijk,
+                                other => return Err(format!("unknown enumeration {other:?}")),
+                            };
                     }
                     "--no-doubly-sparse" => config.doubly_sparse = false,
                     "--no-direct-hash" => config.direct_hash = false,
@@ -290,8 +291,18 @@ mod tests {
     #[test]
     fn count_full_flags() {
         match p(&[
-            "count", "graph.mtx", "--algorithm", "summa", "--grid", "2x3", "--seed", "9",
-            "--no-direct-hash", "--enumeration", "ijk", "--stats",
+            "count",
+            "graph.mtx",
+            "--algorithm",
+            "summa",
+            "--grid",
+            "2x3",
+            "--seed",
+            "9",
+            "--no-direct-hash",
+            "--enumeration",
+            "ijk",
+            "--stats",
         ])
         .unwrap()
         {

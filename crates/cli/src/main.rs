@@ -36,9 +36,9 @@ fn load(input: &Input, seed: u64) -> Result<EdgeList, String> {
         Input::File(path) => {
             let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
             let el = match ext {
-                "mtx" => io::read_matrix_market(
-                    std::fs::File::open(path).map_err(|e| e.to_string())?,
-                ),
+                "mtx" => {
+                    io::read_matrix_market(std::fs::File::open(path).map_err(|e| e.to_string())?)
+                }
                 "bin" => io::read_binary_edges_path(path),
                 _ => io::read_text_edges_path(path),
             }

@@ -60,8 +60,7 @@ impl SparseBlock {
             cols[xadj[lr] as usize..xadj[lr + 1] as usize].sort_unstable();
         }
         pairs.clear(); // signal consumption; callers reuse the buffer
-        let nonempty =
-            (0..num_rows).filter(|&r| xadj[r + 1] > xadj[r]).map(|r| r as u32).collect();
+        let nonempty = (0..num_rows).filter(|&r| xadj[r + 1] > xadj[r]).map(|r| r as u32).collect();
         Self { xadj, cols, nonempty }
     }
 

@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use tc_mps::{Comm, Grid};
+use tc_mps::{Comm, Grid, MpsResult};
 
 use crate::blocks::SparseBlock;
 use crate::config::TcConfig;
@@ -41,13 +41,17 @@ pub struct CountOutput {
 }
 
 /// Runs skew + shifts + reduction for one rank.
-pub fn cannon_count(comm: &Comm, prep: PrepOutput, cfg: &TcConfig) -> CountOutput {
+pub fn cannon_count(comm: &Comm, prep: PrepOutput, cfg: &TcConfig) -> MpsResult<CountOutput> {
     cannon_count_impl(comm, prep, cfg, false)
 }
 
 /// [`cannon_count`] that also accumulates per-edge triangle supports
 /// (the per-task totals across all shifts).
-pub fn cannon_count_per_edge(comm: &Comm, prep: PrepOutput, cfg: &TcConfig) -> CountOutput {
+pub fn cannon_count_per_edge(
+    comm: &Comm,
+    prep: PrepOutput,
+    cfg: &TcConfig,
+) -> MpsResult<CountOutput> {
     cannon_count_impl(comm, prep, cfg, true)
 }
 
@@ -56,7 +60,7 @@ fn cannon_count_impl(
     mut prep: PrepOutput,
     cfg: &TcConfig,
     collect_per_edge: bool,
-) -> CountOutput {
+) -> MpsResult<CountOutput> {
     let grid = Grid::new(comm);
     let q = prep.q;
     debug_assert_eq!(grid.q(), q);
@@ -68,10 +72,10 @@ fn cannon_count_impl(
     let (mut ublock, mut lblock) = if q > 1 {
         let u_dst = (x, (y + q - x) % q);
         let u_src = (x, (x + y) % q);
-        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, ublock_init.to_blob(), u_src.0, u_src.1);
+        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, ublock_init.to_blob(), u_src.0, u_src.1)?;
         let l_dst = ((x + q - y) % q, y);
         let l_src = ((x + y) % q, y);
-        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, lblock_init.to_blob(), l_src.0, l_src.1);
+        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, lblock_init.to_blob(), l_src.0, l_src.1)?;
         (SparseBlock::from_blob(ub), SparseBlock::from_blob(lb))
     } else {
         (ublock_init, lblock_init)
@@ -100,22 +104,24 @@ fn cannon_count_impl(
         };
         shift_compute.push(t0.elapsed());
         if z + 1 < q {
-            ublock = SparseBlock::from_blob(grid.shift_left(ublock.to_blob()));
-            lblock = SparseBlock::from_blob(grid.shift_up(lblock.to_blob()));
+            ublock = SparseBlock::from_blob(grid.shift_left(ublock.to_blob())?);
+            lblock = SparseBlock::from_blob(grid.shift_up(lblock.to_blob())?);
         }
     }
 
-    let triangles = comm.allreduce_sum_u64(local);
-    let per_edge =
-        hits.map(|h| resolve_per_edge(comm, &prep, cfg, h, q));
-    CountOutput {
+    let triangles = comm.allreduce_sum_u64(local)?;
+    let per_edge = match hits {
+        Some(h) => Some(resolve_per_edge(comm, &prep, cfg, h, q)?),
+        None => None,
+    };
+    Ok(CountOutput {
         triangles,
         local_triangles: local,
         shift_compute,
         tasks,
         map_stats: map.stats,
         per_edge,
-    }
+    })
 }
 
 /// Turns the raw per-hit records into full per-edge supports.
@@ -131,7 +137,7 @@ fn resolve_per_edge(
     cfg: &TcConfig,
     hits: Vec<(u32, u32)>,
     q: usize,
-) -> Vec<(u32, u32, u64)> {
+) -> MpsResult<Vec<(u32, u32, u64)>> {
     let p = comm.size();
     // Entry metadata: global (a, b) per task entry index.
     let mut entry_a = vec![0u32; prep.task.num_entries()];
@@ -168,7 +174,7 @@ fn resolve_per_edge(
             credit_sends[dst].push([ka, kb]);
         }
     }
-    for msg in comm.alltoallv(&credit_sends) {
+    for msg in comm.alltoallv(&credit_sends)? {
         for [ka, kb] in msg {
             let idx = prep
                 .task
@@ -182,5 +188,5 @@ fn resolve_per_edge(
     for (idx, s) in supports.into_iter().enumerate() {
         out.push((entry_a[idx], entry_b[idx], s));
     }
-    out
+    Ok(out)
 }

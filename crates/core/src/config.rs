@@ -99,9 +99,7 @@ mod tests {
 
     #[test]
     fn builders_toggle_independently() {
-        let c = TcConfig::default()
-            .with_enumeration(Enumeration::Ijk)
-            .with_doubly_sparse(false);
+        let c = TcConfig::default().with_enumeration(Enumeration::Ijk).with_doubly_sparse(false);
         assert_eq!(c.enumeration, Enumeration::Ijk);
         assert!(!c.doubly_sparse);
         assert!(c.direct_hash);

@@ -154,8 +154,7 @@ mod tests {
         let lb = SparseBlock::empty(3);
         let mut map = IntersectMap::new(0, 1);
         let mut tasks = 0;
-        let c =
-            count_shift(&task, &ub, &lb, &mut map, 1, &TcConfig::default(), &mut tasks);
+        let c = count_shift(&task, &ub, &lb, &mut map, 1, &TcConfig::default(), &mut tasks);
         assert_eq!(c, 0);
         assert_eq!(tasks, 0);
     }

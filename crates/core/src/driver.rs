@@ -1,9 +1,15 @@
 //! End-to-end driver: spawn the grid, preprocess, count, aggregate.
+//!
+//! Every pipeline comes in two flavors: a `try_*` function that
+//! surfaces runtime failures (peer panics, receive timeouts, collective
+//! mismatches) as [`tc_mps::MpsError`], and a panicking wrapper with
+//! the historical name. Neither can hang: the substrate guarantees
+//! every rank is woken and joined on failure.
 
 use std::time::Instant;
 
 use tc_graph::{Csr, EdgeList};
-use tc_mps::Universe;
+use tc_mps::{MpsResult, Universe};
 
 use crate::config::TcConfig;
 use crate::metrics::{RankMetrics, TcResult};
@@ -22,27 +28,33 @@ use crate::preprocess::preprocess;
 ///
 /// Panics if `p` is not a perfect square or `el` is not simplified.
 pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
-    assert!(
-        tc_mps::perfect_square_side(p).is_some(),
-        "rank count {p} is not a perfect square"
-    );
+    match try_count_triangles(el, p, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_triangles`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult<TcResult> {
+    assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
 
     // The shared immutable CSR stands in for the pre-placed on-disk
     // input; each rank only reads its own 1D block of rows.
     let global = Csr::from_edge_list(el);
 
-    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
         let mut metrics = RankMetrics::default();
 
         // ---- preprocessing phase ("ppt") ----
-        comm.barrier();
+        comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
-        let prep = preprocess(comm, &global, cfg);
+        let prep = preprocess(comm, &global, cfg)?;
         metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.ppt = t0.elapsed();
         let stats1 = comm.stats();
         metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
@@ -51,9 +63,9 @@ pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
         // ---- triangle counting phase ("tct") ----
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
-        let out = crate::cannon::cannon_count(comm, prep, cfg);
+        let out = crate::cannon::cannon_count(comm, prep, cfg)?;
         metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.tct = t1.elapsed();
         let stats2 = comm.stats();
         metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
@@ -66,8 +78,8 @@ pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
         metrics.probed_rows = out.map_stats.probed_rows;
         metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
         metrics.local_triangles = out.local_triangles;
-        (out.triangles, metrics)
-    });
+        Ok((out.triangles, metrics))
+    })?;
 
     let mut ranks = Vec::with_capacity(p);
     let triangles = rank_outs[0].0;
@@ -76,7 +88,7 @@ pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
         m.bytes_sent = cs.bytes_sent;
         ranks.push(m);
     }
-    TcResult { triangles, num_ranks: p, ranks }
+    Ok(TcResult { triangles, num_ranks: p, ranks })
 }
 
 /// Convenience wrapper with the paper's default configuration.
@@ -103,25 +115,33 @@ pub struct EdgeSupport {
 /// gathered and translated back to input vertex labels. The returned
 /// list covers every edge of the graph, sorted by `(u, v)`.
 pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec<EdgeSupport>) {
-    assert!(
-        tc_mps::perfect_square_side(p).is_some(),
-        "rank count {p} is not a perfect square"
-    );
+    match try_count_per_edge(el, p, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_per_edge`].
+pub fn try_count_per_edge(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
+    assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
         let mut metrics = RankMetrics::default();
-        comm.barrier();
+        comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
-        let prep = preprocess(comm, &global, cfg);
-        let label_pairs: Vec<[u32; 2]> =
-            prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
+        let prep = preprocess(comm, &global, cfg)?;
+        let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
         metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.ppt = t0.elapsed();
         let stats1 = comm.stats();
         metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
@@ -129,9 +149,9 @@ pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec
 
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
-        let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg);
+        let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
         metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.tct = t1.elapsed();
         let stats2 = comm.stats();
         metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
@@ -156,8 +176,8 @@ pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec
                 [a, b, s as u32]
             })
             .collect();
-        let labels_at_root = comm.gatherv(0, &label_pairs);
-        let triples_at_root = comm.gatherv(0, &triples);
+        let labels_at_root = comm.gatherv(0, &label_pairs)?;
+        let triples_at_root = comm.gatherv(0, &triples)?;
 
         let supports = labels_at_root.map(|labels| {
             let mut old_of_new = vec![0u32; n];
@@ -177,8 +197,8 @@ pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec
             edges.sort_unstable_by_key(|e| (e.u, e.v));
             edges
         });
-        (out.triangles, metrics, supports)
-    });
+        Ok((out.triangles, metrics, supports))
+    })?;
 
     let mut ranks = Vec::with_capacity(p);
     let triangles = rank_outs[0].0;
@@ -192,7 +212,7 @@ pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec
         }
     }
     let supports = supports.expect("rank 0 produced the support list");
-    (TcResult { triangles, num_ranks: p, ranks }, supports)
+    Ok((TcResult { triangles, num_ranks: p, ranks }, supports))
 }
 
 /// Counts triangles when the whole graph initially lives on **rank 0**
@@ -204,19 +224,28 @@ pub fn count_per_edge(el: &EdgeList, p: usize, cfg: &TcConfig) -> (TcResult, Vec
 /// replaces the "graph is initially stored using a 1D distribution"
 /// assumption of §5.3 with an explicit distribution step.
 pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
-    assert!(
-        tc_mps::perfect_square_side(p).is_some(),
-        "rank count {p} is not a perfect square"
-    );
+    match try_count_triangles_from_root(el, p, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_triangles_from_root`].
+pub fn try_count_triangles_from_root(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+) -> MpsResult<TcResult> {
+    assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let n = el.num_vertices;
     // Only rank 0's closure touches this (the "graph on one node").
     let root_csr = Csr::from_edge_list(el);
     let block = tc_graph::Block1D::new(n, p);
 
-    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
         let mut metrics = RankMetrics::default();
-        comm.barrier();
+        comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
@@ -243,16 +272,16 @@ pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcR
                 })
                 .collect()
         });
-        let mine = comm.scatterv(0, pieces.as_deref());
+        let mine = comm.scatterv(0, pieces.as_deref())?;
         let rows = mine[0] as usize;
         let xadj = mine[1..2 + rows].to_vec();
         let adj = mine[2 + rows..].to_vec();
         let (lo, _) = block.range(comm.rank());
         let input = crate::preprocess::BlockInput::Owned { lo: lo as u32, xadj, adj };
 
-        let prep = crate::preprocess::preprocess_from(comm, n, &input, cfg);
+        let prep = crate::preprocess::preprocess_from(comm, n, &input, cfg)?;
         metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.ppt = t0.elapsed();
         let stats1 = comm.stats();
         metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
@@ -260,9 +289,9 @@ pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcR
 
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
-        let out = crate::cannon::cannon_count(comm, prep, cfg);
+        let out = crate::cannon::cannon_count(comm, prep, cfg)?;
         metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.tct = t1.elapsed();
         let stats2 = comm.stats();
         metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
@@ -275,8 +304,8 @@ pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcR
         metrics.probed_rows = out.map_stats.probed_rows;
         metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
         metrics.local_triangles = out.local_triangles;
-        (out.triangles, metrics)
-    });
+        Ok((out.triangles, metrics))
+    })?;
 
     let mut ranks = Vec::with_capacity(p);
     let triangles = rank_outs[0].0;
@@ -285,5 +314,5 @@ pub fn count_triangles_from_root(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcR
         m.bytes_sent = cs.bytes_sent;
         ranks.push(m);
     }
-    TcResult { triangles, num_ranks: p, ranks }
+    Ok(TcResult { triangles, num_ranks: p, ranks })
 }

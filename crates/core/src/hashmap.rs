@@ -73,6 +73,23 @@ impl IntersectMap {
         self.keys.len()
     }
 
+    /// Grows the table so a `row_len`-entry row loads at ≤ 50%
+    /// occupancy, restoring the constructor's sizing invariant when a
+    /// caller under-estimated `max_row_len`. The probe loops terminate
+    /// only because empty slots exist; without this, a row longer than
+    /// the table would spin forever in release builds.
+    fn reserve_row(&mut self, row_len: usize) {
+        if 2 * row_len <= self.keys.len() {
+            return;
+        }
+        let size = (2 * row_len).next_power_of_two();
+        self.keys = vec![0; size];
+        self.stamps = vec![0; size];
+        self.generation = 0;
+        self.mask = (size - 1) as u32;
+        self.shift = 32 - size.trailing_zeros();
+    }
+
     #[inline]
     fn bump_generation(&mut self) {
         self.generation = self.generation.wrapping_add(1);
@@ -100,9 +117,9 @@ impl IntersectMap {
     /// in probing mode. With `allow_direct == false` every row uses
     /// probing (the ablation's "unmodified hashing routine").
     pub fn load_row(&mut self, row: &[u32], allow_direct: bool) {
-        debug_assert!(row.len() <= self.keys.len(), "row longer than table");
+        self.reserve_row(row.len());
         self.stats.inserts += row.len() as u64;
-        if allow_direct && row.len() <= self.keys.len() {
+        if allow_direct {
             self.bump_generation();
             let mut clean = true;
             for &k in row {
@@ -238,6 +255,34 @@ mod tests {
         let before = m.stats.lookups;
         m.contains(1);
         assert_eq!(m.stats.lookups, before + 1);
+    }
+
+    #[test]
+    fn oversized_row_grows_table_instead_of_spinning() {
+        // Regression: a row longer than the table used to pass only a
+        // debug_assert; in release builds the probing loop then had no
+        // empty slot to stop at and spun forever.
+        let mut m = IntersectMap::new(4, 1);
+        let row: Vec<u32> = (0..m.table_size() as u32 + 5).collect();
+        for allow_direct in [true, false] {
+            m.load_row(&row, allow_direct);
+            assert!(m.table_size() >= 2 * row.len());
+            for &k in &row {
+                assert!(m.contains(k), "key {k} lost after growth");
+            }
+            assert!(!m.contains(row.len() as u32 + 7));
+        }
+    }
+
+    #[test]
+    fn growth_preserves_q_transform() {
+        // After growing, direct mode still hashes k ÷ q correctly.
+        let mut m = IntersectMap::new(2, 3);
+        let row: Vec<u32> = (0..40).map(|i| 1 + 3 * i).collect();
+        m.load_row(&row, true);
+        assert!(m.is_direct());
+        assert!(m.contains(1) && m.contains(118));
+        assert!(!m.contains(121));
     }
 
     #[test]

@@ -233,11 +233,7 @@ mod tests {
 
     #[test]
     fn phase_times_take_slowest_rank() {
-        let r = TcResult {
-            triangles: 0,
-            num_ranks: 2,
-            ranks: vec![mk(10, 5, 3), mk(7, 9, 5)],
-        };
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![mk(10, 5, 3), mk(7, 9, 5)] };
         assert_eq!(r.ppt_time(), Duration::from_millis(10));
         assert_eq!(r.tct_time(), Duration::from_millis(9));
         assert_eq!(r.overall_time(), Duration::from_millis(19));
@@ -246,11 +242,7 @@ mod tests {
 
     #[test]
     fn task_imbalance_max_over_mean() {
-        let r = TcResult {
-            triangles: 0,
-            num_ranks: 2,
-            ranks: vec![mk(0, 0, 30), mk(0, 0, 10)],
-        };
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![mk(0, 0, 30), mk(0, 0, 10)] };
         assert!((r.task_imbalance() - 1.5).abs() < 1e-12);
     }
 

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 
 use tc_graph::{Block1D, Csr, Cyclic1D, Cyclic2D};
-use tc_mps::Comm;
+use tc_mps::{Comm, MpsResult};
 
 use crate::blocks::SparseBlock;
 use crate::config::{Enumeration, TcConfig};
@@ -108,12 +108,16 @@ impl BlockInput<'_> {
 /// Steps 1–3 of §5.3 — initial cyclic redistribution, distributed
 /// counting-sort relabeling, and the label push — shared by the Cannon
 /// (square-grid) and SUMMA (rectangular-grid) back halves.
-pub fn relabel_phase(comm: &Comm, global: &Csr) -> RelabeledEntries {
+pub fn relabel_phase(comm: &Comm, global: &Csr) -> MpsResult<RelabeledEntries> {
     relabel_phase_from(comm, global.num_vertices(), &BlockInput::Shared(global))
 }
 
 /// [`relabel_phase`] over an explicit per-rank input source.
-pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> RelabeledEntries {
+pub fn relabel_phase_from(
+    comm: &Comm,
+    n: usize,
+    input: &BlockInput<'_>,
+) -> MpsResult<RelabeledEntries> {
     let p = comm.size();
     let rank = comm.rank();
     let block = Block1D::new(n, p);
@@ -133,7 +137,7 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
         buf.extend_from_slice(row);
         ops += row.len() as u64 + 1;
     }
-    let received = comm.alltoallv(&sends);
+    let received = comm.alltoallv(&sends)?;
     drop(sends);
 
     // Decode into cyclic-local adjacency, indexed by v ÷ p.
@@ -154,7 +158,7 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
 
     // -- Step 2: distributed counting sort ------------------------------
     let local_dmax = adj.iter().map(|a| a.len() as u64).max().unwrap_or(0);
-    let dmax = comm.allreduce_max_u64(local_dmax) as usize;
+    let dmax = comm.allreduce_max_u64(local_dmax)? as usize;
     let mut hist = vec![0u64; dmax + 1];
     for a in &adj {
         hist[a.len()] += 1;
@@ -162,8 +166,8 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
     ops += local_cnt as u64;
     // Cross-rank offsets within each degree bucket, then global bucket
     // starts (the dmax-long prefix data of §5.4).
-    let before_me = comm.exscan(&hist, 0u64, |a, b| *a += *b);
-    let totals = comm.allreduce(&hist, |a, b| *a += *b);
+    let before_me = comm.exscan(&hist, 0u64, |a, b| *a += *b)?;
+    let totals = comm.allreduce(&hist, |a, b| *a += *b)?;
     let mut start = vec![0u64; dmax + 2];
     for d in 0..=dmax {
         start[d + 1] = start[d] + totals[d];
@@ -196,7 +200,7 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
             ops += 1;
         }
     }
-    let label_msgs = comm.alltoallv(&label_sends);
+    let label_msgs = comm.alltoallv(&label_sends)?;
     drop(label_sends);
     let mut old_to_new: HashMap<u32, u32> =
         HashMap::with_capacity(label_msgs.iter().map(|m| m.len()).sum());
@@ -216,16 +220,16 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
     for (i, a) in adj.iter().enumerate() {
         let nv = new_label[i];
         for &w in a {
-            let nk = *old_to_new.get(&w).unwrap_or_else(|| {
-                panic!("rank {rank}: no relabel entry for neighbour {w}")
-            });
+            let nk = *old_to_new
+                .get(&w)
+                .unwrap_or_else(|| panic!("rank {rank}: no relabel entry for neighbour {w}"));
             ops += 1;
             if nv < nk {
                 entries.push((nv, nk));
             }
         }
     }
-    RelabeledEntries { entries, label_pairs, ops }
+    Ok(RelabeledEntries { entries, label_pairs, ops })
 }
 
 /// Runs the full Cannon-grid preprocessing pipeline on this rank.
@@ -233,7 +237,7 @@ pub fn relabel_phase_from(comm: &Comm, n: usize, input: &BlockInput<'_>) -> Rela
 /// `global` is the shared, immutable input graph; the rank only reads
 /// the rows of its own 1D block (simulating the pre-placed input), and
 /// all cross-rank data flow goes through `comm`.
-pub fn preprocess(comm: &Comm, global: &Csr, cfg: &TcConfig) -> PrepOutput {
+pub fn preprocess(comm: &Comm, global: &Csr, cfg: &TcConfig) -> MpsResult<PrepOutput> {
     preprocess_from(comm, global.num_vertices(), &BlockInput::Shared(global), cfg)
 }
 
@@ -243,11 +247,11 @@ pub fn preprocess_from(
     n: usize,
     input: &BlockInput<'_>,
     cfg: &TcConfig,
-) -> PrepOutput {
+) -> MpsResult<PrepOutput> {
     let p = comm.size();
     let q = tc_mps::perfect_square_side(p).expect("rank count must be a perfect square");
     let grid2d = Cyclic2D::new(q);
-    let mut relabeled = relabel_phase_from(comm, n, input);
+    let mut relabeled = relabel_phase_from(comm, n, input)?;
     let mut ops = relabeled.ops;
     let label_pairs = std::mem::take(&mut relabeled.label_pairs);
 
@@ -274,11 +278,11 @@ pub fn preprocess_from(
     }
     drop(relabeled);
 
-    let u_recv = comm.alltoallv(&u_sends);
+    let u_recv = comm.alltoallv(&u_sends)?;
     drop(u_sends);
-    let l_recv = comm.alltoallv(&l_sends);
+    let l_recv = comm.alltoallv(&l_sends)?;
     drop(l_sends);
-    let t_recv = comm.alltoallv(&t_sends);
+    let t_recv = comm.alltoallv(&t_sends)?;
     drop(t_sends);
 
     let x = comm.rank() / q;
@@ -302,7 +306,7 @@ pub fn preprocess_from(
     ops += t_pairs.len() as u64;
     let task = SparseBlock::from_pairs(grid2d.class_count(n, x), q, &mut t_pairs);
 
-    let max_hash_row = comm.allreduce_max_u64(ublock.max_row_len() as u64) as usize;
+    let max_hash_row = comm.allreduce_max_u64(ublock.max_row_len() as u64)? as usize;
 
-    PrepOutput { q, x, y, n, task, ublock, lblock, max_hash_row, ops, label_pairs }
+    Ok(PrepOutput { q, x, y, n, task, ublock, lblock, max_hash_row, ops, label_pairs })
 }

@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use tc_graph::{Csr, EdgeList};
-use tc_mps::{Comm, Universe};
+use tc_mps::{Comm, MpsResult, Universe};
 
 use crate::blocks::SparseBlock;
 use crate::config::{Enumeration, TcConfig};
@@ -95,7 +95,13 @@ const SUMMA_TAG: u64 = (1 << 46) + 0x51;
 
 /// Broadcasts `mine` (present on the root) within an explicit rank
 /// group; linear fan-out is fine at grid-row/column sizes.
-fn group_bcast(comm: &Comm, root: usize, members: &[usize], tag: u64, mine: Option<Bytes>) -> Bytes {
+fn group_bcast(
+    comm: &Comm,
+    root: usize,
+    members: &[usize],
+    tag: u64,
+    mine: Option<Bytes>,
+) -> MpsResult<Bytes> {
     if comm.rank() == root {
         let data = mine.expect("root must hold the panel");
         for &m in members {
@@ -103,7 +109,7 @@ fn group_bcast(comm: &Comm, root: usize, members: &[usize], tag: u64, mine: Opti
                 comm.send_bytes(m, tag, data.clone());
             }
         }
-        data
+        Ok(data)
     } else {
         comm.recv_bytes(root, tag)
     }
@@ -115,21 +121,34 @@ fn group_bcast(comm: &Comm, root: usize, members: &[usize], tag: u64, mine: Opti
 ///
 /// Panics if `el` is not simplified.
 pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> TcResult {
+    match try_count_triangles_summa(el, grid, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`count_triangles_summa`]: runtime failures come back as
+/// [`tc_mps::MpsError`] instead of a panic.
+pub fn try_count_triangles_summa(
+    el: &EdgeList,
+    grid: SummaGrid,
+    cfg: &TcConfig,
+) -> MpsResult<TcResult> {
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let p = grid.size();
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
         let mut metrics = RankMetrics::default();
         let (x, y) = grid.coords(comm.rank());
 
         // ---- preprocessing ----
-        comm.barrier();
+        comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
-        let relabeled = relabel_phase(comm, &global);
+        let relabeled = relabel_phase(comm, &global)?;
         let mut ops = relabeled.ops;
 
         // Route every upper entry to its task cell, U-panel owner, and
@@ -150,11 +169,11 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
                 .push([a_vert, b_vert]);
         }
         drop(relabeled);
-        let u_recv = comm.alltoallv(&u_sends);
+        let u_recv = comm.alltoallv(&u_sends)?;
         drop(u_sends);
-        let l_recv = comm.alltoallv(&l_sends);
+        let l_recv = comm.alltoallv(&l_sends)?;
         drop(l_sends);
-        let t_recv = comm.alltoallv(&t_sends);
+        let t_recv = comm.alltoallv(&t_sends)?;
         drop(t_sends);
 
         // Build this rank's panels, bucketed by panel index.
@@ -192,11 +211,10 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
         ops += t_pairs.len() as u64;
         let task = SparseBlock::from_pairs(grid.row_count(n, x), grid.pr, &mut t_pairs);
 
-        let local_max_row =
-            u_panels.iter().flatten().map(|b| b.max_row_len()).max().unwrap_or(0);
-        let max_hash_row = comm.allreduce_max_u64(local_max_row as u64) as usize;
+        let local_max_row = u_panels.iter().flatten().map(|b| b.max_row_len()).max().unwrap_or(0);
+        let max_hash_row = comm.allreduce_max_u64(local_max_row as u64)? as usize;
         metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.ppt = t0.elapsed();
         let stats1 = comm.stats();
         metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
@@ -221,7 +239,7 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
                 &row_members,
                 SUMMA_TAG + (w as u64) * 4,
                 u_panels[w].take().map(|b| b.to_blob()),
-            );
+            )?;
             let l_root = grid.rank_of(w % grid.pr, y);
             let l_blob = group_bcast(
                 comm,
@@ -229,7 +247,7 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
                 &col_members,
                 SUMMA_TAG + (w as u64) * 4 + 1,
                 l_panels[w].take().map(|b| b.to_blob()),
-            );
+            )?;
             let hash_block = SparseBlock::from_blob(u_blob);
             let probe_block = SparseBlock::from_blob(l_blob);
             local += crate::count::count_shift(
@@ -243,9 +261,9 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
             );
             metrics.shift_compute.push(step0.elapsed());
         }
-        let triangles = comm.allreduce_sum_u64(local);
+        let triangles = comm.allreduce_sum_u64(local)?;
         metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier();
+        comm.barrier()?;
         metrics.tct = t1.elapsed();
         let stats2 = comm.stats();
         metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
@@ -257,8 +275,8 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
         metrics.probed_rows = map.stats.probed_rows;
         metrics.tct_ops = map.stats.lookups + map.stats.inserts;
         metrics.local_triangles = local;
-        (triangles, metrics)
-    });
+        Ok((triangles, metrics))
+    })?;
 
     let triangles = rank_outs[0].0;
     let mut ranks = Vec::with_capacity(p);
@@ -267,7 +285,7 @@ pub fn count_triangles_summa(el: &EdgeList, grid: SummaGrid, cfg: &TcConfig) -> 
         m.bytes_sent = cs.bytes_sent;
         ranks.push(m);
     }
-    TcResult { triangles, num_ranks: p, ranks }
+    Ok(TcResult { triangles, num_ranks: p, ranks })
 }
 
 #[cfg(test)]

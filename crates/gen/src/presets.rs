@@ -80,9 +80,7 @@ impl Preset {
             // Densities follow Table 1: twitter averages ~58 edges per
             // vertex (attach 28 → mean degree ≈ 56), friendster ~30
             // (15 samples per vertex → mean degree ≈ 30).
-            Preset::TwitterLike { scale } => {
-                barabasi_albert(1usize << scale, 28, seed).simplify()
-            }
+            Preset::TwitterLike { scale } => barabasi_albert(1usize << scale, 28, seed).simplify(),
             Preset::FriendsterLike { scale } => {
                 let n = 1usize << scale;
                 gnm(n, 15 * n, seed).simplify()

@@ -24,10 +24,8 @@ impl Dcsr {
     pub fn from_parts(xadj: Vec<usize>, adjncy: Vec<VertexId>) -> Self {
         assert!(!xadj.is_empty(), "xadj must have at least one entry");
         assert_eq!(*xadj.last().unwrap(), adjncy.len(), "xadj end must equal adjncy length");
-        let nonempty = (0..xadj.len() - 1)
-            .filter(|&r| xadj[r + 1] > xadj[r])
-            .map(|r| r as VertexId)
-            .collect();
+        let nonempty =
+            (0..xadj.len() - 1).filter(|&r| xadj[r + 1] > xadj[r]).map(|r| r as VertexId).collect();
         Self { xadj, adjncy, nonempty }
     }
 

@@ -59,8 +59,7 @@ impl EdgeList {
 
     /// Returns true if already in simplified canonical form.
     pub fn is_simple(&self) -> bool {
-        self.edges.iter().all(|&(u, v)| u < v)
-            && self.edges.windows(2).all(|w| w[0] < w[1])
+        self.edges.iter().all(|&(u, v)| u < v) && self.edges.windows(2).all(|w| w[0] < w[1])
     }
 
     /// Per-vertex degrees, counting each undirected edge at both

@@ -53,18 +53,14 @@ fn parse_pair(line: &str, lineno: usize) -> Result<Option<(u64, u64)>> {
         return Ok(None);
     }
     let mut it = t.split_whitespace();
-    let a = it
-        .next()
-        .ok_or_else(|| IoError::Parse("missing first endpoint".into(), Some(lineno)))?;
-    let b = it
-        .next()
-        .ok_or_else(|| IoError::Parse("missing second endpoint".into(), Some(lineno)))?;
-    let a: u64 = a
-        .parse()
-        .map_err(|_| IoError::Parse(format!("bad vertex id {a:?}"), Some(lineno)))?;
-    let b: u64 = b
-        .parse()
-        .map_err(|_| IoError::Parse(format!("bad vertex id {b:?}"), Some(lineno)))?;
+    let a =
+        it.next().ok_or_else(|| IoError::Parse("missing first endpoint".into(), Some(lineno)))?;
+    let b =
+        it.next().ok_or_else(|| IoError::Parse("missing second endpoint".into(), Some(lineno)))?;
+    let a: u64 =
+        a.parse().map_err(|_| IoError::Parse(format!("bad vertex id {a:?}"), Some(lineno)))?;
+    let b: u64 =
+        b.parse().map_err(|_| IoError::Parse(format!("bad vertex id {b:?}"), Some(lineno)))?;
     Ok(Some((a, b)))
 }
 
@@ -180,10 +176,7 @@ pub fn read_matrix_market(reader: impl Read) -> Result<EdgeList> {
         return Err(IoError::Parse("only coordinate format supported".into(), Some(1)));
     }
     if !(header.contains("general") || header.contains("symmetric")) {
-        return Err(IoError::Parse(
-            "only general/symmetric symmetry supported".into(),
-            Some(1),
-        ));
+        return Err(IoError::Parse("only general/symmetric symmetry supported".into(), Some(1)));
     }
 
     // Skip comments to the size line.

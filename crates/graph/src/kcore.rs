@@ -44,9 +44,7 @@ impl CoreDecomposition {
             .edges
             .iter()
             .copied()
-            .filter(|&(u, v)| {
-                self.coreness[u as usize] >= k && self.coreness[v as usize] >= k
-            })
+            .filter(|&(u, v)| self.coreness[u as usize] >= k && self.coreness[v as usize] >= k)
             .collect();
         EdgeList::new(el.num_vertices, edges)
     }
@@ -141,8 +139,7 @@ mod tests {
     #[test]
     fn triangle_with_tail() {
         // Triangle (2-core) with a pendant path.
-        let el = EdgeList::new(6, vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)])
-            .simplify();
+        let el = EdgeList::new(6, vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]).simplify();
         let d = core_decomposition(&el);
         assert_eq!(&d.coreness[0..3], &[2, 2, 2]);
         assert_eq!(&d.coreness[3..6], &[1, 1, 1]);
@@ -163,11 +160,8 @@ mod tests {
             let mut changed = false;
             for v in 0..el.num_vertices {
                 if alive[v] {
-                    let deg = csr
-                        .neighbors(v as u32)
-                        .iter()
-                        .filter(|&&w| alive[w as usize])
-                        .count();
+                    let deg =
+                        csr.neighbors(v as u32).iter().filter(|&&w| alive[w as usize]).count();
                     if deg < 2 {
                         alive[v] = false;
                         changed = true;

@@ -38,12 +38,7 @@ impl TrussDecomposition {
 
     /// Edges of the k-truss subgraph (trussness ≥ k).
     pub fn truss_edges(&self, k: u32) -> Vec<(VertexId, VertexId)> {
-        self.edges
-            .iter()
-            .zip(&self.trussness)
-            .filter(|&(_, &t)| t >= k)
-            .map(|(&e, _)| e)
-            .collect()
+        self.edges.iter().zip(&self.trussness).filter(|&(_, &t)| t >= k).map(|(&e, _)| e).collect()
     }
 
     /// Trussness of a specific edge, if present.

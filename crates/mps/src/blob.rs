@@ -43,8 +43,7 @@ impl<'a> BlobBuilder<'a> {
     pub fn finish(&self) -> Bytes {
         let n = self.sections.len();
         let header_len = 8 * (2 + n);
-        let total: usize =
-            header_len + self.sections.iter().map(|s| pad8(s.len())).sum::<usize>();
+        let total: usize = header_len + self.sections.iter().map(|s| pad8(s.len())).sum::<usize>();
         let mut buf = Vec::<u8>::with_capacity(total);
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.extend_from_slice(&(n as u64).to_le_bytes());

@@ -6,11 +6,17 @@
 //! the personalized all-to-all. Every collective must be called by all
 //! ranks in the same order; a per-`Comm` sequence number embedded in
 //! the internal tag enforces matching between concurrent collectives
-//! and user traffic.
+//! and user traffic, and a crossed sequence (two ranks in *different*
+//! collectives at the same position) surfaces as
+//! [`MpsError::CollectiveMismatch`] instead of a hang or garbage
+//! decode. In debug builds every typed payload additionally carries an
+//! element-size stamp, so calling e.g. `allreduce::<u32>` against
+//! `allreduce::<u64>` is caught even though the tags agree.
 
 use bytes::Bytes;
 
-use crate::comm::Comm;
+use crate::comm::{coll_op_name, Comm, COLL_SEQ_MASK};
+use crate::error::{MpsError, MpsResult};
 use crate::pod::{bytes_of, vec_from_bytes, Pod};
 
 const OP_BARRIER: u64 = 1;
@@ -20,16 +26,68 @@ const OP_SCAN: u64 = 4;
 const OP_GATHER: u64 = 5;
 const OP_ALLTOALL: u64 = 6;
 const OP_ALLGATHER: u64 = 7;
+const OP_SCATTER: u64 = 8;
+
+/// Serializes a typed collective payload. Debug builds prepend the
+/// element size so type mismatches across ranks are detectable.
+fn coll_encode<T: Pod>(data: &[T]) -> Bytes {
+    let body = bytes_of(data);
+    if cfg!(debug_assertions) {
+        let mut buf = Vec::with_capacity(8 + body.len());
+        buf.extend_from_slice(&(std::mem::size_of::<T>() as u64).to_le_bytes());
+        buf.extend_from_slice(body);
+        Bytes::from(buf)
+    } else {
+        Bytes::from(body.to_vec())
+    }
+}
 
 impl Comm {
+    /// Decodes a typed collective payload, checking the debug stamp.
+    fn coll_decode<T: Pod>(&self, src: usize, tag: u64, raw: &Bytes) -> MpsResult<Vec<T>> {
+        let body = if cfg!(debug_assertions) {
+            assert!(raw.len() >= 8, "collective payload shorter than its debug stamp");
+            let mut stamp = [0u8; 8];
+            stamp.copy_from_slice(&raw[..8]);
+            let elem = u64::from_le_bytes(stamp);
+            if elem != std::mem::size_of::<T>() as u64 {
+                return Err(MpsError::CollectiveMismatch {
+                    rank: self.rank(),
+                    peer: src,
+                    expected: format!(
+                        "{} (seq {}) with {}-byte elements",
+                        coll_op_name(tag),
+                        tag & COLL_SEQ_MASK,
+                        std::mem::size_of::<T>()
+                    ),
+                    got: format!(
+                        "{} (seq {}) with {elem}-byte elements",
+                        coll_op_name(tag),
+                        tag & COLL_SEQ_MASK
+                    ),
+                });
+            }
+            raw.slice(8..)
+        } else {
+            raw.clone()
+        };
+        Ok(vec_from_bytes(&body))
+    }
+
+    /// Typed receive inside a collective: recv + stamped decode.
+    fn coll_recv<T: Pod>(&self, src: usize, tag: u64) -> MpsResult<Vec<T>> {
+        let raw = self.recv_internal(src, tag)?;
+        self.coll_decode(src, tag, &raw)
+    }
+
     /// Blocks until every rank has entered the barrier.
     ///
     /// Dissemination algorithm: ⌈log₂ p⌉ rounds, in round `r` rank `i`
     /// signals `i + 2^r` and waits for `i - 2^r` (mod p).
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> MpsResult<()> {
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
         let base = self.next_coll_tag(OP_BARRIER);
         let mut round = 0u64;
@@ -38,20 +96,21 @@ impl Comm {
             let to = (self.rank() + d) % p;
             let from = (self.rank() + p - d) % p;
             self.send_internal(to, base + (round << 40), Bytes::new());
-            let _ = self.recv_internal(from, base + (round << 40));
+            let _ = self.recv_internal(from, base + (round << 40))?;
             d <<= 1;
             round += 1;
         }
+        Ok(())
     }
 
     /// Broadcasts `data` from `root` to all ranks; every rank returns
     /// the broadcast value. Binomial tree, ⌈log₂ p⌉ message hops deep.
-    pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> Vec<T> {
+    pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> MpsResult<Vec<T>> {
         assert!(root < self.size(), "bcast root {root} out of range");
         let p = self.size();
         let tag = self.next_coll_tag(OP_BCAST);
         if p == 1 {
-            return data.to_vec();
+            return Ok(data.to_vec());
         }
         let rel = (self.rank() + p - root) % p;
 
@@ -61,7 +120,7 @@ impl Comm {
         while mask < p {
             if rel & mask != 0 {
                 let parent = (rel - mask + root) % p;
-                buf = Some(vec_from_bytes(&self.recv_internal(parent, tag)));
+                buf = Some(self.coll_recv(parent, tag)?);
                 break;
             }
             mask <<= 1;
@@ -72,7 +131,7 @@ impl Comm {
         // Send phase: forward to children at offsets below the bit on
         // which this rank received (all bits for the root).
         let payload = buf.expect("bcast buffer present after receive phase");
-        let raw = Bytes::from(bytes_of(&payload).to_vec());
+        let raw = coll_encode(&payload);
         let mut mask = mask >> 1;
         while mask > 0 {
             if rel + mask < p {
@@ -81,12 +140,12 @@ impl Comm {
             }
             mask >>= 1;
         }
-        payload
+        Ok(payload)
     }
 
     /// Broadcasts a single value from `root`.
-    pub fn bcast_val<T: Pod>(&self, root: usize, value: T) -> T {
-        self.bcast(root, std::slice::from_ref(&value))[0]
+    pub fn bcast_val<T: Pod>(&self, root: usize, value: T) -> MpsResult<T> {
+        Ok(self.bcast(root, std::slice::from_ref(&value))?[0])
     }
 
     /// Element-wise reduction to `root`; returns `Some(result)` on the
@@ -97,7 +156,7 @@ impl Comm {
         root: usize,
         data: &[T],
         op: impl Fn(&mut T, &T),
-    ) -> Option<Vec<T>> {
+    ) -> MpsResult<Option<Vec<T>>> {
         assert!(root < self.size(), "reduce root {root} out of range");
         let p = self.size();
         let tag = self.next_coll_tag(OP_REDUCE);
@@ -108,12 +167,12 @@ impl Comm {
         while mask < p {
             if rel & mask != 0 {
                 let parent = (rel - mask + root) % p;
-                self.send_internal(parent, tag, Bytes::from(bytes_of(&acc).to_vec()));
-                return None;
+                self.send_internal(parent, tag, coll_encode(&acc));
+                return Ok(None);
             }
             if rel + mask < p {
                 let child = (rel + mask + root) % p;
-                let theirs: Vec<T> = vec_from_bytes(&self.recv_internal(child, tag));
+                let theirs: Vec<T> = self.coll_recv(child, tag)?;
                 assert_eq!(theirs.len(), acc.len(), "reduce length mismatch across ranks");
                 for (a, b) in acc.iter_mut().zip(theirs.iter()) {
                     op(a, b);
@@ -121,36 +180,36 @@ impl Comm {
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     }
 
     /// Element-wise reduction delivered to every rank
     /// (reduce-to-0 + broadcast).
-    pub fn allreduce<T: Pod>(&self, data: &[T], op: impl Fn(&mut T, &T)) -> Vec<T> {
-        match self.reduce(0, data, op) {
+    pub fn allreduce<T: Pod>(&self, data: &[T], op: impl Fn(&mut T, &T)) -> MpsResult<Vec<T>> {
+        match self.reduce(0, data, op)? {
             Some(v) => self.bcast(0, &v),
             None => self.bcast(0, &[]),
         }
     }
 
     /// Sum-allreduce of one `u64`.
-    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
-        self.allreduce(&[v], |a, b| *a += *b)[0]
+    pub fn allreduce_sum_u64(&self, v: u64) -> MpsResult<u64> {
+        Ok(self.allreduce(&[v], |a, b| *a += *b)?[0])
     }
 
     /// Max-allreduce of one `u64`.
-    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
-        self.allreduce(&[v], |a, b| *a = (*a).max(*b))[0]
+    pub fn allreduce_max_u64(&self, v: u64) -> MpsResult<u64> {
+        Ok(self.allreduce(&[v], |a, b| *a = (*a).max(*b))?[0])
     }
 
     /// Min-allreduce of one `u64`.
-    pub fn allreduce_min_u64(&self, v: u64) -> u64 {
-        self.allreduce(&[v], |a, b| *a = (*a).min(*b))[0]
+    pub fn allreduce_min_u64(&self, v: u64) -> MpsResult<u64> {
+        Ok(self.allreduce(&[v], |a, b| *a = (*a).min(*b))?[0])
     }
 
     /// Sum-allreduce of one `f64`.
-    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
-        self.allreduce(&[v], |a, b| *a += *b)[0]
+    pub fn allreduce_sum_f64(&self, v: f64) -> MpsResult<f64> {
+        Ok(self.allreduce(&[v], |a, b| *a += *b)?[0])
     }
 
     /// Element-wise *inclusive* prefix scan: rank `i` receives
@@ -158,7 +217,7 @@ impl Comm {
     /// ⌈log₂ p⌉ rounds (the `dmax · log p` term of the paper's
     /// preprocessing cost model comes from this primitive applied to
     /// degree histograms).
-    pub fn scan<T: Pod>(&self, data: &[T], op: impl Fn(&mut T, &T)) -> Vec<T> {
+    pub fn scan<T: Pod>(&self, data: &[T], op: impl Fn(&mut T, &T)) -> MpsResult<Vec<T>> {
         let p = self.size();
         let tag = self.next_coll_tag(OP_SCAN);
         let mut acc = data.to_vec();
@@ -167,10 +226,10 @@ impl Comm {
         while d < p {
             let rtag = tag + (round << 40);
             if self.rank() + d < p {
-                self.send_internal(self.rank() + d, rtag, Bytes::from(bytes_of(&acc).to_vec()));
+                self.send_internal(self.rank() + d, rtag, coll_encode(&acc));
             }
             if self.rank() >= d {
-                let theirs: Vec<T> = vec_from_bytes(&self.recv_internal(self.rank() - d, rtag));
+                let theirs: Vec<T> = self.coll_recv(self.rank() - d, rtag)?;
                 assert_eq!(theirs.len(), acc.len(), "scan length mismatch across ranks");
                 // Received window precedes ours: fold it in on the left.
                 let mut merged = theirs;
@@ -182,61 +241,62 @@ impl Comm {
             d <<= 1;
             round += 1;
         }
-        acc
+        Ok(acc)
     }
 
     /// Element-wise *exclusive* prefix scan; rank 0 receives
     /// `identity` in every position.
-    pub fn exscan<T: Pod>(&self, data: &[T], identity: T, op: impl Fn(&mut T, &T)) -> Vec<T> {
-        let inclusive = self.scan(data, op);
+    pub fn exscan<T: Pod>(
+        &self,
+        data: &[T],
+        identity: T,
+        op: impl Fn(&mut T, &T),
+    ) -> MpsResult<Vec<T>> {
+        let inclusive = self.scan(data, op)?;
         let p = self.size();
         let tag = self.next_coll_tag(OP_SCAN);
         if self.rank() + 1 < p {
-            self.send_internal(
-                self.rank() + 1,
-                tag,
-                Bytes::from(bytes_of(&inclusive).to_vec()),
-            );
+            self.send_internal(self.rank() + 1, tag, coll_encode(&inclusive));
         }
         if self.rank() == 0 {
-            vec![identity; data.len()]
+            Ok(vec![identity; data.len()])
         } else {
-            vec_from_bytes(&self.recv_internal(self.rank() - 1, tag))
+            self.coll_recv(self.rank() - 1, tag)
         }
     }
 
     /// Exclusive prefix sum of one `u64` (rank 0 gets 0).
-    pub fn exscan_sum_u64(&self, v: u64) -> u64 {
-        self.exscan(&[v], 0, |a, b| *a += *b)[0]
+    pub fn exscan_sum_u64(&self, v: u64) -> MpsResult<u64> {
+        Ok(self.exscan(&[v], 0, |a, b| *a += *b)?[0])
     }
 
     /// Gathers variable-length contributions on `root`; returns
     /// `Some(per-rank vectors)` on the root, `None` elsewhere.
-    pub fn gatherv<T: Pod>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+    pub fn gatherv<T: Pod>(&self, root: usize, data: &[T]) -> MpsResult<Option<Vec<Vec<T>>>> {
         assert!(root < self.size(), "gatherv root {root} out of range");
         let tag = self.next_coll_tag(OP_GATHER);
         if self.rank() != root {
-            self.send_internal(root, tag, Bytes::from(bytes_of(data).to_vec()));
-            return None;
+            self.send_internal(root, tag, coll_encode(data));
+            return Ok(None);
         }
         let mut out = Vec::with_capacity(self.size());
         for src in 0..self.size() {
             if src == root {
                 out.push(data.to_vec());
             } else {
-                out.push(vec_from_bytes(&self.recv_internal(src, tag)));
+                out.push(self.coll_recv(src, tag)?);
             }
         }
-        Some(out)
+        Ok(Some(out))
     }
 
     /// Gathers variable-length contributions on every rank.
     #[allow(clippy::needless_range_loop)] // src doubles as the peer rank id
-    pub fn allgatherv<T: Pod>(&self, data: &[T]) -> Vec<Vec<T>> {
+    pub fn allgatherv<T: Pod>(&self, data: &[T]) -> MpsResult<Vec<Vec<T>>> {
         let tag = self.next_coll_tag(OP_ALLGATHER);
         for dst in 0..self.size() {
             if dst != self.rank() {
-                self.send_internal(dst, tag, Bytes::from(bytes_of(data).to_vec()));
+                self.send_internal(dst, tag, coll_encode(data));
             }
         }
         let mut out = Vec::with_capacity(self.size());
@@ -244,10 +304,10 @@ impl Comm {
             if src == self.rank() {
                 out.push(data.to_vec());
             } else {
-                out.push(vec_from_bytes(&self.recv_internal(src, tag)));
+                out.push(self.coll_recv(src, tag)?);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Personalized all-to-all: `sends[d]` goes to rank `d`; the result
@@ -256,7 +316,7 @@ impl Comm {
     /// Implemented as `p` point-to-point sends and receives, exactly
     /// the structure the paper assumes for its `p + m/p` preprocessing
     /// communication bound.
-    pub fn alltoallv<T: Pod>(&self, sends: &[Vec<T>]) -> Vec<Vec<T>> {
+    pub fn alltoallv<T: Pod>(&self, sends: &[Vec<T>]) -> MpsResult<Vec<Vec<T>>> {
         assert_eq!(
             sends.len(),
             self.size(),
@@ -267,7 +327,7 @@ impl Comm {
         for k in 0..self.size() {
             let dst = (self.rank() + k) % self.size();
             if dst != self.rank() {
-                self.send_internal(dst, tag, Bytes::from(bytes_of(&sends[dst]).to_vec()));
+                self.send_internal(dst, tag, coll_encode(&sends[dst]));
             }
         }
         let mut out: Vec<Vec<T>> = (0..self.size()).map(|_| Vec::new()).collect();
@@ -275,15 +335,18 @@ impl Comm {
         for k in 0..self.size() {
             let src = (self.rank() + self.size() - k) % self.size();
             if src != self.rank() {
-                out[src] = vec_from_bytes(&self.recv_internal(src, tag));
+                out[src] = self.coll_recv(src, tag)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Byte-level personalized all-to-all (used for pre-serialized blobs).
+    ///
+    /// No debug element stamp: payloads are raw bytes by contract, so
+    /// pair it only with itself across ranks.
     #[allow(clippy::needless_range_loop)] // src doubles as the peer rank id
-    pub fn alltoallv_bytes(&self, sends: Vec<Bytes>) -> Vec<Bytes> {
+    pub fn alltoallv_bytes(&self, sends: Vec<Bytes>) -> MpsResult<Vec<Bytes>> {
         assert_eq!(
             sends.len(),
             self.size(),
@@ -300,10 +363,36 @@ impl Comm {
         }
         for src in 0..self.size() {
             if src != self.rank() {
-                out[src] = self.recv_internal(src, tag);
+                out[src] = self.recv_internal(src, tag)?;
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Personalized scatter from `root`: the root supplies one buffer
+    /// per rank (`Some(buffers)`), everyone else passes `None`; each
+    /// rank returns its own piece.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root's buffer count differs from the rank count,
+    /// or if a non-root passes `Some`.
+    pub fn scatterv<T: Pod>(&self, root: usize, data: Option<&[Vec<T>]>) -> MpsResult<Vec<T>> {
+        assert!(root < self.size(), "scatterv root {root} out of range");
+        let tag = self.next_coll_tag(OP_SCATTER);
+        if self.rank() == root {
+            let bufs = data.expect("root must supply the scatter buffers");
+            assert_eq!(bufs.len(), self.size(), "need one scatter buffer per rank");
+            for (dst, buf) in bufs.iter().enumerate() {
+                if dst != root {
+                    self.send_internal(dst, tag, coll_encode(buf));
+                }
+            }
+            Ok(bufs[root].clone())
+        } else {
+            assert!(data.is_none(), "only the root supplies scatter buffers");
+            self.coll_recv(root, tag)
+        }
     }
 }
 
@@ -315,7 +404,7 @@ mod tests {
     fn barrier_many_times() {
         Universe::run(8, |c| {
             for _ in 0..50 {
-                c.barrier();
+                c.barrier().unwrap();
             }
         });
     }
@@ -327,7 +416,7 @@ mod tests {
         let after = AtomicUsize::new(0);
         Universe::run(6, |c| {
             before.fetch_add(1, Ordering::SeqCst);
-            c.barrier();
+            c.barrier().unwrap();
             // Everyone must have incremented `before` by now.
             assert_eq!(before.load(Ordering::SeqCst), 6);
             after.fetch_add(1, Ordering::SeqCst);
@@ -342,7 +431,7 @@ mod tests {
                 let out = Universe::run(p, |c| {
                     let data: Vec<u32> =
                         if c.rank() == root { vec![7, 8, 9, root as u32] } else { Vec::new() };
-                    c.bcast(root, &data)
+                    c.bcast(root, &data).unwrap()
                 });
                 for v in out {
                     assert_eq!(v, vec![7, 8, 9, root as u32], "p={p} root={root}");
@@ -353,7 +442,8 @@ mod tests {
 
     #[test]
     fn bcast_val_scalar() {
-        let out = Universe::run(7, |c| c.bcast_val(3, if c.rank() == 3 { 99u64 } else { 0 }));
+        let out =
+            Universe::run(7, |c| c.bcast_val(3, if c.rank() == 3 { 99u64 } else { 0 }).unwrap());
         assert!(out.iter().all(|&v| v == 99));
     }
 
@@ -362,7 +452,7 @@ mod tests {
         for p in [1usize, 4, 7] {
             for root in 0..p {
                 let out = Universe::run(p, |c| {
-                    c.reduce(root, &[c.rank() as u64, 1u64], |a, b| *a += *b)
+                    c.reduce(root, &[c.rank() as u64, 1u64], |a, b| *a += *b).unwrap()
                 });
                 let expect: u64 = (0..p as u64).sum();
                 for (r, v) in out.iter().enumerate() {
@@ -381,10 +471,10 @@ mod tests {
         let out = Universe::run(9, |c| {
             let r = c.rank() as u64;
             (
-                c.allreduce_sum_u64(r),
-                c.allreduce_max_u64(r),
-                c.allreduce_min_u64(r + 3),
-                c.allreduce_sum_f64(0.5),
+                c.allreduce_sum_u64(r).unwrap(),
+                c.allreduce_max_u64(r).unwrap(),
+                c.allreduce_min_u64(r + 3).unwrap(),
+                c.allreduce_sum_f64(0.5).unwrap(),
             )
         });
         for (s, mx, mn, f) in out {
@@ -398,7 +488,8 @@ mod tests {
     #[test]
     fn scan_inclusive_prefix_sums() {
         for p in [1usize, 2, 3, 6, 11] {
-            let out = Universe::run(p, |c| c.scan(&[c.rank() as u64 + 1], |a, b| *a += *b));
+            let out =
+                Universe::run(p, |c| c.scan(&[c.rank() as u64 + 1], |a, b| *a += *b).unwrap());
             for (r, v) in out.iter().enumerate() {
                 let expect: u64 = (1..=r as u64 + 1).sum();
                 assert_eq!(v[0], expect, "p={p} rank={r}");
@@ -421,11 +512,8 @@ mod tests {
             ];
             *a = m;
         }
-        let mats: Vec<[u64; 4]> =
-            (0..7u64).map(|r| [r + 1, r + 2, r * r + 3, 1]).collect();
-        let out = Universe::run(7, |c| {
-            c.scan(&[mats[c.rank()]], matmul)
-        });
+        let mats: Vec<[u64; 4]> = (0..7u64).map(|r| [r + 1, r + 2, r * r + 3, 1]).collect();
+        let out = Universe::run(7, |c| c.scan(&[mats[c.rank()]], matmul).unwrap());
         let mut expect = [1u64, 0, 0, 1];
         for (r, v) in out.iter().enumerate() {
             matmul(&mut expect, &mats[r]);
@@ -435,9 +523,8 @@ mod tests {
 
     #[test]
     fn exscan_vector_elementwise() {
-        let out = Universe::run(6, |c| {
-            c.exscan(&[1u64, c.rank() as u64], 0, |a, b| *a += *b)
-        });
+        let out =
+            Universe::run(6, |c| c.exscan(&[1u64, c.rank() as u64], 0, |a, b| *a += *b).unwrap());
         for (r, v) in out.iter().enumerate() {
             assert_eq!(v[0], r as u64);
             let expect: u64 = (0..r as u64).sum();
@@ -447,7 +534,7 @@ mod tests {
 
     #[test]
     fn exscan_sum_scalar() {
-        let out = Universe::run(8, |c| c.exscan_sum_u64(2));
+        let out = Universe::run(8, |c| c.exscan_sum_u64(2).unwrap());
         assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
     }
 
@@ -455,7 +542,7 @@ mod tests {
     fn gatherv_collects_ragged() {
         let out = Universe::run(5, |c| {
             let mine: Vec<u32> = (0..c.rank() as u32).collect();
-            c.gatherv(2, &mine)
+            c.gatherv(2, &mine).unwrap()
         });
         for (r, v) in out.iter().enumerate() {
             if r == 2 {
@@ -471,9 +558,8 @@ mod tests {
 
     #[test]
     fn allgatherv_everyone_sees_everything() {
-        let out = Universe::run(4, |c| {
-            c.allgatherv(&[c.rank() as u64 * 10, c.rank() as u64])
-        });
+        let out =
+            Universe::run(4, |c| c.allgatherv(&[c.rank() as u64 * 10, c.rank() as u64]).unwrap());
         for v in out {
             assert_eq!(v.len(), 4);
             for (src, part) in v.iter().enumerate() {
@@ -487,10 +573,9 @@ mod tests {
         let p = 6;
         let out = Universe::run(p, |c| {
             // Rank s sends [s*10+d; d+1] to rank d.
-            let sends: Vec<Vec<u32>> = (0..p)
-                .map(|d| vec![(c.rank() * 10 + d) as u32; d + 1])
-                .collect();
-            c.alltoallv(&sends)
+            let sends: Vec<Vec<u32>> =
+                (0..p).map(|d| vec![(c.rank() * 10 + d) as u32; d + 1]).collect();
+            c.alltoallv(&sends).unwrap()
         });
         for (d, recvd) in out.iter().enumerate() {
             for (s, part) in recvd.iter().enumerate() {
@@ -505,7 +590,7 @@ mod tests {
         let out = Universe::run(3, |c| {
             let sends: Vec<Bytes> =
                 (0..3).map(|d| Bytes::from(vec![c.rank() as u8, d as u8])).collect();
-            c.alltoallv_bytes(sends)
+            c.alltoallv_bytes(sends).unwrap()
         });
         for (d, recvd) in out.iter().enumerate() {
             for (s, b) in recvd.iter().enumerate() {
@@ -522,10 +607,10 @@ mod tests {
             let next = (c.rank() + 1) % 4;
             let prev = (c.rank() + 3) % 4;
             c.send_val::<u64>(next, 42, c.rank() as u64);
-            let s1 = c.allreduce_sum_u64(1);
-            let from_prev = c.recv_val::<u64>(prev, 42);
-            c.barrier();
-            let s2 = c.allreduce_sum_u64(from_prev);
+            let s1 = c.allreduce_sum_u64(1).unwrap();
+            let from_prev = c.recv_val::<u64>(prev, 42).unwrap();
+            c.barrier().unwrap();
+            let s2 = c.allreduce_sum_u64(from_prev).unwrap();
             (s1, s2)
         });
         for (s1, s2) in out {
@@ -533,52 +618,15 @@ mod tests {
             assert_eq!(s2, 1 + 2 + 3);
         }
     }
-}
-// (appended) -------------------------------------------------------------
-
-const OP_SCATTER: u64 = 8;
-
-impl Comm {
-    /// Personalized scatter from `root`: the root supplies one buffer
-    /// per rank (`Some(buffers)`), everyone else passes `None`; each
-    /// rank returns its own piece.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the root's buffer count differs from the rank count,
-    /// or if a non-root passes `Some`.
-    pub fn scatterv<T: Pod>(&self, root: usize, data: Option<&[Vec<T>]>) -> Vec<T> {
-        assert!(root < self.size(), "scatterv root {root} out of range");
-        let tag = self.next_coll_tag(OP_SCATTER);
-        if self.rank() == root {
-            let bufs = data.expect("root must supply the scatter buffers");
-            assert_eq!(bufs.len(), self.size(), "need one scatter buffer per rank");
-            for (dst, buf) in bufs.iter().enumerate() {
-                if dst != root {
-                    self.send_internal(dst, tag, Bytes::from(bytes_of(buf).to_vec()));
-                }
-            }
-            bufs[root].clone()
-        } else {
-            assert!(data.is_none(), "only the root supplies scatter buffers");
-            vec_from_bytes(&self.recv_internal(root, tag))
-        }
-    }
-}
-
-#[cfg(test)]
-mod scatter_tests {
-    use crate::universe::Universe;
 
     #[test]
     fn scatterv_delivers_per_rank_pieces() {
         for p in [1usize, 2, 5, 8] {
             for root in [0, p - 1] {
                 let out = Universe::run(p, |c| {
-                    let data: Option<Vec<Vec<u32>>> = (c.rank() == root).then(|| {
-                        (0..p).map(|d| vec![d as u32; d + 1]).collect()
-                    });
-                    c.scatterv(root, data.as_deref())
+                    let data: Option<Vec<Vec<u32>>> =
+                        (c.rank() == root).then(|| (0..p).map(|d| vec![d as u32; d + 1]).collect());
+                    c.scatterv(root, data.as_deref()).unwrap()
                 });
                 for (r, v) in out.iter().enumerate() {
                     assert_eq!(v, &vec![r as u32; r + 1], "p={p} root={root} rank={r}");
@@ -592,7 +640,7 @@ mod scatter_tests {
     fn scatterv_rejects_wrong_buffer_count() {
         Universe::run(2, |c| {
             let data: Option<Vec<Vec<u32>>> = (c.rank() == 0).then(|| vec![vec![1u32]]);
-            c.scatterv(0, data.as_deref())
+            c.scatterv(0, data.as_deref()).unwrap()
         });
     }
 
@@ -602,8 +650,8 @@ mod scatter_tests {
         let out = Universe::run(p, |c| {
             let data: Option<Vec<Vec<u64>>> =
                 (c.rank() == 2).then(|| (0..p).map(|d| vec![d as u64 * 7]).collect());
-            let mine = c.scatterv(2, data.as_deref());
-            c.gatherv(2, &mine)
+            let mine = c.scatterv(2, data.as_deref()).unwrap();
+            c.gatherv(2, &mine).unwrap()
         });
         let g = out[2].as_ref().unwrap();
         for (d, part) in g.iter().enumerate() {

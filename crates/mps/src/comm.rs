@@ -1,32 +1,70 @@
 //! Point-to-point communication between ranks.
 //!
-//! Every pair of ranks is connected by an unbounded lock-free channel,
-//! so sends never block (the MPI analogue is buffered/eager mode; the
-//! algorithms in this workspace only ever exchange messages that both
-//! sides expect, so no rendezvous protocol is needed). Receives block
-//! until a message with the requested `(source, tag)` arrives;
-//! out-of-order messages are parked in a per-source pending queue so
-//! tag matching is exact.
+//! Sends never block: they enqueue the message in the destination's
+//! mailbox (the MPI analogue is buffered/eager mode; the algorithms in
+//! this workspace only ever exchange messages that both sides expect,
+//! so no rendezvous protocol is needed). Receives block until a
+//! message with the requested `(source, tag)` arrives; out-of-order
+//! messages are parked in a per-source pending queue so tag matching
+//! is exact.
+//!
+//! Receives cannot hang the process: if a peer panics the receive
+//! returns [`MpsError::PeerFailed`]; if no matching message arrives
+//! within the universe's deadline it returns [`MpsError::Timeout`]
+//! together with a dump of what every rank was doing; and a collective
+//! packet crossing a *different* collective at the same program point
+//! returns [`MpsError::CollectiveMismatch`].
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
 
+use crate::error::{MpsError, MpsResult};
+use crate::fabric::{AwaitOutcome, BlockedOp, Fabric, Packet};
 use crate::pod::{bytes_of, Pod, PodArray};
-use crate::stats::{CommStats, StatCells, Timings};
+use crate::stats::{CommStats, Timings};
 
 /// Highest bit reserved for internal (collective) traffic; user tags
 /// must stay below this.
 pub const MAX_USER_TAG: u64 = 1 << 48;
 
-/// A single in-flight message.
-#[derive(Debug)]
-pub(crate) struct Packet {
-    pub tag: u64,
-    pub data: Bytes,
+/// Internal-tag layout: `[63]` internal flag, `[62:56]` collective op,
+/// `[55:40]` round, `[39:0]` sequence number.
+pub(crate) const COLL_SEQ_MASK: u64 = (1 << 40) - 1;
+const COLL_OP_SHIFT: u32 = 56;
+const COLL_OP_MASK: u64 = 0x7f;
+
+/// Human name of the collective op encoded in an internal tag.
+pub(crate) fn coll_op_name(tag: u64) -> &'static str {
+    match (tag >> COLL_OP_SHIFT) & COLL_OP_MASK {
+        1 => "barrier",
+        2 => "bcast",
+        3 => "reduce",
+        4 => "scan",
+        5 => "gatherv",
+        6 => "alltoallv",
+        7 => "allgatherv",
+        8 => "scatterv",
+        _ => "collective",
+    }
+}
+
+/// Blocked-op label for a tag: the collective name for internal tags,
+/// a generic label for user traffic.
+fn op_label(tag: u64) -> &'static str {
+    if tag & (1 << 63) != 0 {
+        coll_op_name(tag)
+    } else {
+        "recv"
+    }
+}
+
+/// Describes an internal tag for mismatch reports.
+fn describe_coll(tag: u64) -> String {
+    format!("{} (seq {})", coll_op_name(tag), tag & COLL_SEQ_MASK)
 }
 
 /// One rank's endpoint of the communicator.
@@ -36,37 +74,26 @@ pub(crate) struct Packet {
 pub struct Comm {
     rank: usize,
     size: usize,
-    /// senders[d] sends to rank d.
-    senders: Vec<Sender<Packet>>,
-    /// receivers[s] receives from rank s.
-    receivers: Vec<Receiver<Packet>>,
+    fabric: Arc<Fabric>,
     /// Messages received from `s` whose tag didn't match a recv call.
     pending: Vec<RefCell<VecDeque<Packet>>>,
     /// Monotone sequence number shared by all collective calls; every
     /// rank executes collectives in the same order, so equal sequence
     /// numbers identify the same logical operation.
     pub(crate) coll_seq: std::cell::Cell<u64>,
-    pub(crate) stats: StatCells,
     /// Named phase timers for user code.
     pub timings: Timings,
 }
 
 impl Comm {
-    pub(crate) fn new(
-        rank: usize,
-        size: usize,
-        senders: Vec<Sender<Packet>>,
-        receivers: Vec<Receiver<Packet>>,
-    ) -> Self {
+    pub(crate) fn new(rank: usize, size: usize, fabric: Arc<Fabric>) -> Self {
         let pending = (0..size).map(|_| RefCell::new(VecDeque::new())).collect();
         Self {
             rank,
             size,
-            senders,
-            receivers,
+            fabric,
             pending,
             coll_seq: std::cell::Cell::new(0),
-            stats: StatCells::default(),
             timings: Timings::new(),
         }
     }
@@ -83,7 +110,7 @@ impl Comm {
 
     /// Snapshot of the communication counters so far.
     pub fn stats(&self) -> CommStats {
-        self.stats.snapshot()
+        self.fabric.stats[self.rank].snapshot()
     }
 
     fn debug_assert_user_tag(tag: u64) {
@@ -94,8 +121,7 @@ impl Comm {
     ///
     /// # Panics
     ///
-    /// Panics if `dst` is out of range or the destination rank has
-    /// already terminated.
+    /// Panics if `dst` is out of range.
     pub fn send_bytes(&self, dst: usize, tag: u64, data: Bytes) {
         Self::debug_assert_user_tag(tag);
         self.send_internal(dst, tag, data);
@@ -105,12 +131,11 @@ impl Comm {
         assert!(dst < self.size, "send to rank {dst} but universe has {} ranks", self.size);
         let t0 = Instant::now();
         let nbytes = data.len() as u64;
-        self.senders[dst]
-            .send(Packet { tag, data })
-            .unwrap_or_else(|_| panic!("rank {} send to terminated rank {dst}", self.rank));
-        self.stats.bytes_sent.set(self.stats.bytes_sent.get() + nbytes);
-        self.stats.msgs_sent.set(self.stats.msgs_sent.get() + 1);
-        self.stats.send_ns.set(self.stats.send_ns.get() + t0.elapsed().as_nanos() as u64);
+        self.fabric.deliver(dst, Packet { src: self.rank, tag, data });
+        let st = &self.fabric.stats[self.rank];
+        st.bytes_sent.fetch_add(nbytes, std::sync::atomic::Ordering::Relaxed);
+        st.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        st.send_ns.fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Sends a typed slice to `dst` (copies it into the message buffer).
@@ -123,53 +148,118 @@ impl Comm {
         self.send(dst, tag, std::slice::from_ref(&value));
     }
 
-    /// Receives the next message from `src` carrying `tag`. Blocks.
+    /// Receives the next message from `src` carrying `tag`.
+    ///
+    /// Blocks until the message arrives, but never forever: see the
+    /// module docs for the failure modes.
     ///
     /// # Panics
     ///
-    /// Panics if `src` is out of range, or if `src` terminates without
-    /// having sent a matching message (guaranteed deadlock otherwise).
-    pub fn recv_bytes(&self, src: usize, tag: u64) -> Bytes {
+    /// Panics if `src` is out of range.
+    pub fn recv_bytes(&self, src: usize, tag: u64) -> MpsResult<Bytes> {
         Self::debug_assert_user_tag(tag);
         self.recv_internal(src, tag)
     }
 
-    pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> Bytes {
+    pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> MpsResult<Bytes> {
         assert!(src < self.size, "recv from rank {src} but universe has {} ranks", self.size);
         let t0 = Instant::now();
 
         // First drain anything already parked for this source.
-        let mut pending = self.pending[src].borrow_mut();
-        if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
-            let pkt = pending.remove(pos).expect("position just found");
-            self.note_recv(&pkt, t0);
-            return pkt.data;
+        {
+            let mut pending = self.pending[src].borrow_mut();
+            if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
+                let pkt = pending.remove(pos).expect("position just found");
+                self.note_recv(&pkt, t0);
+                return Ok(pkt.data);
+            }
+            if let Some(err) = self.detect_mismatch(src, tag, pending.iter()) {
+                return Err(err);
+            }
         }
 
-        loop {
-            let pkt = self.receivers[src].recv().unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: peer rank {src} terminated before sending tag {tag:#x}",
-                    self.rank
-                )
-            });
-            if pkt.tag == tag {
-                self.note_recv(&pkt, t0);
-                return pkt.data;
+        self.fabric
+            .set_blocked(self.rank, Some(BlockedOp { src, tag, op: op_label(tag), since: t0 }));
+        let outcome = self.fabric.await_match(self.rank, src, |queue| {
+            // Drain the mailbox into the per-source pending queues,
+            // stopping if the wanted packet shows up.
+            while let Some(pkt) = queue.pop_front() {
+                if pkt.src == src && pkt.tag == tag {
+                    return Some(Ok(pkt));
+                }
+                if pkt.src == src {
+                    if let Some(err) = self.detect_mismatch(src, tag, std::iter::once(&pkt)) {
+                        return Some(Err(err));
+                    }
+                }
+                self.pending[pkt.src].borrow_mut().push_back(pkt);
             }
-            pending.push_back(pkt);
+            None
+        });
+        self.fabric.set_blocked(self.rank, None);
+
+        match outcome {
+            AwaitOutcome::Matched(Ok(pkt)) => {
+                self.note_recv(&pkt, t0);
+                Ok(pkt.data)
+            }
+            AwaitOutcome::Matched(Err(err)) => Err(err),
+            AwaitOutcome::Failed(fail) => {
+                Err(MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() })
+            }
+            AwaitOutcome::SourceFinished => Err(MpsError::PeerFailed {
+                rank: src,
+                msg: format!("terminated before sending tag {tag:#x}"),
+            }),
+            AwaitOutcome::TimedOut => Err(MpsError::Timeout {
+                rank: self.rank,
+                src,
+                op: op_label(tag),
+                tag,
+                waited: t0.elapsed(),
+                report: self.fabric.dump(),
+            }),
         }
+    }
+
+    /// Flags a packet from `src` that belongs to a *different*
+    /// collective at the same sequence position as the awaited tag —
+    /// i.e. the two ranks diverged in their collective call sequence.
+    fn detect_mismatch<'p>(
+        &self,
+        src: usize,
+        awaited: u64,
+        pkts: impl Iterator<Item = &'p Packet>,
+    ) -> Option<MpsError> {
+        if awaited & (1 << 63) == 0 {
+            return None;
+        }
+        for pkt in pkts {
+            if pkt.tag & (1 << 63) != 0
+                && pkt.tag != awaited
+                && pkt.tag & COLL_SEQ_MASK == awaited & COLL_SEQ_MASK
+            {
+                return Some(MpsError::CollectiveMismatch {
+                    rank: self.rank,
+                    peer: src,
+                    expected: describe_coll(awaited),
+                    got: describe_coll(pkt.tag),
+                });
+            }
+        }
+        None
     }
 
     fn note_recv(&self, pkt: &Packet, t0: Instant) {
-        self.stats.bytes_recv.set(self.stats.bytes_recv.get() + pkt.data.len() as u64);
-        self.stats.msgs_recv.set(self.stats.msgs_recv.get() + 1);
-        self.stats.recv_ns.set(self.stats.recv_ns.get() + t0.elapsed().as_nanos() as u64);
+        let st = &self.fabric.stats[self.rank];
+        st.bytes_recv.fetch_add(pkt.data.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        st.msgs_recv.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        st.recv_ns.fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Receives a typed array from `src`.
-    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> PodArray<T> {
-        PodArray::new(self.recv_bytes(src, tag))
+    pub fn recv<T: Pod>(&self, src: usize, tag: u64) -> MpsResult<PodArray<T>> {
+        Ok(PodArray::new(self.recv_bytes(src, tag)?))
     }
 
     /// Receives a single value from `src`.
@@ -177,10 +267,10 @@ impl Comm {
     /// # Panics
     ///
     /// Panics if the arriving message does not contain exactly one `T`.
-    pub fn recv_val<T: Pod>(&self, src: usize, tag: u64) -> T {
-        let arr = self.recv::<T>(src, tag);
+    pub fn recv_val<T: Pod>(&self, src: usize, tag: u64) -> MpsResult<T> {
+        let arr = self.recv::<T>(src, tag)?;
         assert_eq!(arr.len(), 1, "recv_val expected exactly one element, got {}", arr.len());
-        arr.as_slice()[0]
+        Ok(arr.as_slice()[0])
     }
 
     /// Combined send + receive, the safe way to exchange with a peer
@@ -192,7 +282,7 @@ impl Comm {
         data: Bytes,
         src: usize,
         recv_tag: u64,
-    ) -> Bytes {
+    ) -> MpsResult<Bytes> {
         self.send_bytes(dst, send_tag, data);
         self.recv_bytes(src, recv_tag)
     }
@@ -205,7 +295,7 @@ impl Comm {
         data: &[T],
         src: usize,
         recv_tag: u64,
-    ) -> PodArray<T> {
+    ) -> MpsResult<PodArray<T>> {
         self.send(dst, send_tag, data);
         self.recv(src, recv_tag)
     }
@@ -215,7 +305,7 @@ impl Comm {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
         // Layout: [63] internal flag | [62:56] op | [55:0] sequence.
-        (1 << 63) | (op << 56) | seq
+        (1 << 63) | (op << COLL_OP_SHIFT) | seq
     }
 }
 

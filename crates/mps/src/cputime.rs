@@ -20,10 +20,21 @@ use std::time::Duration;
 pub fn thread_cpu_now() -> Duration {
     #[cfg(target_os = "linux")]
     {
-        let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+        // Declared inline rather than through the `libc` crate so the
+        // workspace builds without registry access.
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        extern "C" {
+            fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+        }
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
         // SAFETY: ts is a valid out-pointer; the clock id is a constant
         // the kernel accepts for any live thread.
-        let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
         assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
         Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
     }

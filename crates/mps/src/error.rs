@@ -1,0 +1,128 @@
+//! Typed failures of the message-passing runtime.
+//!
+//! The substrate guarantees that no rank blocks forever: when a peer
+//! panics or returns an error, every blocked receive and collective on
+//! every other rank wakes up and returns [`MpsError::PeerFailed`]; when
+//! a message genuinely never arrives (a protocol bug), the receive
+//! gives up after a configurable deadline and returns
+//! [`MpsError::Timeout`] together with a per-rank diagnostic dump; and
+//! when two ranks call *different* collectives at the same program
+//! point, the receiver detects the crossed operation and returns
+//! [`MpsError::CollectiveMismatch`] instead of mis-parsing the payload.
+
+use std::time::Duration;
+
+/// A failure of a communication operation.
+///
+/// All variants identify the rank that *observed* the failure and
+/// carry enough context to reconstruct what the universe was doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpsError {
+    /// A peer rank panicked or returned an error, so the operation can
+    /// never complete.
+    PeerFailed {
+        /// The rank that failed first.
+        rank: usize,
+        /// The panic payload or error message of that rank.
+        msg: String,
+    },
+    /// No matching message arrived within the receive deadline.
+    Timeout {
+        /// The rank whose receive expired.
+        rank: usize,
+        /// The source rank the receive was waiting on.
+        src: usize,
+        /// The operation blocked (`"recv"`, `"barrier"`, …).
+        op: &'static str,
+        /// The awaited message tag.
+        tag: u64,
+        /// How long the receive waited.
+        waited: Duration,
+        /// Per-rank diagnostic dump taken when the deadline expired:
+        /// which operation each rank was blocked in (if any) and its
+        /// communication counters.
+        report: String,
+    },
+    /// Two ranks executed different collective operations at the same
+    /// program point (e.g. one called `barrier` while another called
+    /// `allreduce`, or payload element types differ).
+    CollectiveMismatch {
+        /// The rank that detected the crossed collective.
+        rank: usize,
+        /// The peer whose message revealed the mismatch.
+        peer: usize,
+        /// What this rank was executing.
+        expected: String,
+        /// What the peer was executing.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsError::PeerFailed { rank, msg } => {
+                write!(f, "peer rank {rank} failed: {msg}")
+            }
+            MpsError::Timeout { rank, src, op, tag, waited, report } => {
+                write!(
+                    f,
+                    "rank {rank}: {op} from rank {src} (tag {tag:#x}) timed out after \
+                     {waited:.1?}\n{report}"
+                )
+            }
+            MpsError::CollectiveMismatch { rank, peer, expected, got } => {
+                write!(
+                    f,
+                    "rank {rank}: collective mismatch: this rank is in {expected} but \
+                     rank {peer} sent {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+/// Shorthand for results of communication operations.
+pub type MpsResult<T> = Result<T, MpsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpsError::PeerFailed { rank: 3, msg: "boom".into() };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("boom"));
+
+        let t = MpsError::Timeout {
+            rank: 1,
+            src: 0,
+            op: "barrier",
+            tag: 0x8100_0000_0000_0000,
+            waited: Duration::from_secs(5),
+            report: "rank 0: blocked in recv".into(),
+        };
+        let s = t.to_string();
+        assert!(s.contains("barrier"));
+        assert!(s.contains("timed out"));
+        assert!(s.contains("blocked in recv"));
+
+        let m = MpsError::CollectiveMismatch {
+            rank: 0,
+            peer: 1,
+            expected: "barrier (seq 4)".into(),
+            got: "reduce (seq 4)".into(),
+        };
+        assert!(m.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(MpsError::PeerFailed { rank: 0, msg: "x".into() });
+        assert!(e.to_string().contains("failed"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared runtime state of one universe.
+//!
+//! All ranks of a universe share one [`Fabric`]: per-rank mailboxes
+//! (mutex + condvar, so a failure can wake *every* blocked receiver,
+//! which per-pair channels cannot), the first-failure slot, per-rank
+//! finished flags, a registry of what every rank is currently blocked
+//! on (the raw material of timeout diagnostics), and per-rank atomic
+//! communication counters readable from any thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::error::MpsError;
+use crate::stats::SharedStats;
+
+/// A single in-flight message.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: u64,
+    pub data: Bytes,
+}
+
+/// The first rank failure observed in the universe.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub rank: usize,
+    pub error: MpsError,
+}
+
+impl Failure {
+    /// One-line description for peers' `PeerFailed` errors (drops the
+    /// multi-line diagnostic report of a timeout).
+    pub(crate) fn brief(&self) -> String {
+        match &self.error {
+            MpsError::PeerFailed { msg, .. } => msg.clone(),
+            MpsError::Timeout { src, op, waited, .. } => {
+                format!("{op} from rank {src} timed out after {waited:.1?}")
+            }
+            e @ MpsError::CollectiveMismatch { .. } => e.to_string(),
+        }
+    }
+}
+
+/// What a rank is currently blocked waiting for.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockedOp {
+    pub src: usize,
+    pub tag: u64,
+    pub op: &'static str,
+    pub since: Instant,
+}
+
+/// One rank's inbound message queue.
+#[derive(Default)]
+struct Mailbox {
+    queue: Mutex<VecDeque<Packet>>,
+    arrived: Condvar,
+}
+
+/// Runtime state shared by every rank of one universe.
+pub(crate) struct Fabric {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+    failure: Mutex<Option<Failure>>,
+    finished: Vec<AtomicBool>,
+    blocked: Vec<Mutex<Option<BlockedOp>>>,
+    pub(crate) stats: Vec<SharedStats>,
+    timeout: Duration,
+}
+
+impl Fabric {
+    pub(crate) fn new(size: usize, timeout: Duration) -> Self {
+        Self {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            failure: Mutex::new(None),
+            finished: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            blocked: (0..size).map(|_| Mutex::new(None)).collect(),
+            stats: (0..size).map(|_| SharedStats::default()).collect(),
+            timeout,
+        }
+    }
+
+    /// Delivers `pkt` to `dst`'s mailbox. Never blocks; delivery to a
+    /// finished rank silently parks the message (the scope reclaims it).
+    pub(crate) fn deliver(&self, dst: usize, pkt: Packet) {
+        let mb = &self.mailboxes[dst];
+        mb.queue.lock().expect("mailbox lock").push_back(pkt);
+        mb.arrived.notify_all();
+    }
+
+    /// Records the first failure and wakes every blocked rank. Later
+    /// failures (cascades of the first) are dropped.
+    pub(crate) fn record_failure(&self, rank: usize, error: MpsError) {
+        {
+            let mut slot = self.failure.lock().expect("failure lock");
+            if slot.is_none() {
+                *slot = Some(Failure { rank, error });
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.arrived.notify_all();
+        }
+    }
+
+    pub(crate) fn failure(&self) -> Option<Failure> {
+        self.failure.lock().expect("failure lock").clone()
+    }
+
+    /// Marks `rank` as cleanly terminated and wakes receivers, so a
+    /// rank waiting on a message this one will never send fails fast
+    /// instead of running out the timeout.
+    pub(crate) fn mark_finished(&self, rank: usize) {
+        self.finished[rank].store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            mb.arrived.notify_all();
+        }
+    }
+
+    pub(crate) fn is_finished(&self, rank: usize) -> bool {
+        self.finished[rank].load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_blocked(&self, rank: usize, op: Option<BlockedOp>) {
+        *self.blocked[rank].lock().expect("blocked lock") = op;
+    }
+
+    /// Runs `matcher` over `rank`'s mailbox until it yields, the
+    /// deadline passes, a failure is recorded, or `src` finishes
+    /// without a matching message in flight.
+    ///
+    /// `matcher` drains packets it does not want into caller-owned
+    /// storage and returns `Some` on a match (or an error of its own,
+    /// e.g. a collective mismatch).
+    pub(crate) fn await_match<T>(
+        &self,
+        rank: usize,
+        src: usize,
+        mut matcher: impl FnMut(&mut VecDeque<Packet>) -> Option<T>,
+    ) -> AwaitOutcome<T> {
+        let deadline = Instant::now() + self.timeout;
+        let mb = &self.mailboxes[rank];
+        let mut queue = mb.queue.lock().expect("mailbox lock");
+        loop {
+            if let Some(hit) = matcher(&mut queue) {
+                return AwaitOutcome::Matched(hit);
+            }
+            if let Some(fail) = self.failure() {
+                return AwaitOutcome::Failed(fail);
+            }
+            // The matcher just drained the queue without a hit, so if
+            // the source has terminated the message can never arrive.
+            if self.is_finished(src) {
+                return AwaitOutcome::SourceFinished;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return AwaitOutcome::TimedOut;
+            }
+            let (q, res) = mb.arrived.wait_timeout(queue, deadline - now).expect("mailbox lock");
+            queue = q;
+            let _ = res;
+        }
+    }
+
+    /// One-line-per-rank snapshot of the universe, for timeout reports.
+    pub(crate) fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in 0..self.size {
+            let state = if self.is_finished(r) {
+                "finished".to_string()
+            } else {
+                match self.blocked[r].lock().expect("blocked lock").as_ref() {
+                    Some(b) => format!(
+                        "blocked in {} from rank {} (tag {:#x}) for {:.1?}",
+                        b.op,
+                        b.src,
+                        b.tag,
+                        b.since.elapsed()
+                    ),
+                    None => "running".to_string(),
+                }
+            };
+            let s = self.stats[r].snapshot();
+            let inflight = self.mailboxes[r].queue.lock().expect("mailbox lock").len();
+            let _ = writeln!(
+                out,
+                "  rank {r}: {state}; sent {} msgs / {} B, recvd {} msgs / {} B, \
+                 {inflight} undrained",
+                s.msgs_sent, s.bytes_sent, s.msgs_recv, s.bytes_recv
+            );
+        }
+        out
+    }
+}
+
+/// Result of [`Fabric::await_match`].
+pub(crate) enum AwaitOutcome<T> {
+    Matched(T),
+    Failed(Failure),
+    SourceFinished,
+    TimedOut,
+}

@@ -9,6 +9,7 @@
 use bytes::Bytes;
 
 use crate::comm::Comm;
+use crate::error::MpsResult;
 use crate::pod::{Pod, PodArray};
 
 /// Reserved user-tag region for grid shifts (kept below
@@ -77,7 +78,7 @@ impl<'a> Grid<'a> {
     /// and returns the buffer arriving from the right neighbour.
     ///
     /// This is the `U`-block movement of the paper's shift step.
-    pub fn shift_left(&self, data: Bytes) -> Bytes {
+    pub fn shift_left(&self, data: Bytes) -> MpsResult<Bytes> {
         let tag = self.next_tag();
         let dst = self.rank_of(self.row, (self.col + self.q - 1) % self.q);
         let src = self.rank_of(self.row, (self.col + 1) % self.q);
@@ -88,7 +89,7 @@ impl<'a> Grid<'a> {
     /// and returns the buffer arriving from below.
     ///
     /// This is the `L`-block movement of the paper's shift step.
-    pub fn shift_up(&self, data: Bytes) -> Bytes {
+    pub fn shift_up(&self, data: Bytes) -> MpsResult<Bytes> {
         let tag = self.next_tag();
         let dst = self.rank_of((self.row + self.q - 1) % self.q, self.col);
         let src = self.rank_of((self.row + 1) % self.q, self.col);
@@ -104,7 +105,7 @@ impl<'a> Grid<'a> {
         data: Bytes,
         src_row: usize,
         src_col: usize,
-    ) -> Bytes {
+    ) -> MpsResult<Bytes> {
         let tag = self.next_tag();
         self.comm.sendrecv_bytes(
             self.rank_of(dst_row, dst_col),
@@ -124,7 +125,7 @@ impl<'a> Grid<'a> {
         data: &[T],
         src_row: usize,
         src_col: usize,
-    ) -> PodArray<T> {
+    ) -> MpsResult<PodArray<T>> {
         let tag = self.next_tag();
         self.comm.sendrecv(
             self.rank_of(dst_row, dst_col),
@@ -183,7 +184,7 @@ mod tests {
         let out = Universe::run(9, |c| {
             let g = Grid::new(c);
             let payload = Bytes::from(vec![c.rank() as u8]);
-            let got = g.shift_left(payload);
+            let got = g.shift_left(payload).unwrap();
             got[0] as usize
         });
         for r in 0..9 {
@@ -198,7 +199,7 @@ mod tests {
     fn shift_up_rotates_within_columns() {
         let out = Universe::run(16, |c| {
             let g = Grid::new(c);
-            let got = g.shift_up(Bytes::from(vec![c.rank() as u8]));
+            let got = g.shift_up(Bytes::from(vec![c.rank() as u8])).unwrap();
             got[0] as usize
         });
         for r in 0..16 {
@@ -214,7 +215,7 @@ mod tests {
             let g = Grid::new(c);
             let mut buf = Bytes::from(vec![c.rank() as u8]);
             for _ in 0..g.q() {
-                buf = g.shift_left(buf);
+                buf = g.shift_left(buf).unwrap();
             }
             buf[0] as usize
         });
@@ -229,7 +230,7 @@ mod tests {
             let g = Grid::new(c);
             // Everyone swaps with the transposed position.
             let (tr, tc) = (g.col(), g.row());
-            let got = g.exchange::<u32>(tr, tc, &[c.rank() as u32], tr, tc);
+            let got = g.exchange::<u32>(tr, tc, &[c.rank() as u32], tr, tc).unwrap();
             got.as_slice()[0] as usize
         });
         assert_eq!(out, vec![0, 2, 1, 3]);

@@ -2,15 +2,25 @@
 //!
 //! An in-process stand-in for MPI used by the triangle-counting
 //! workspace. Each *rank* is an OS thread with private state; ranks
-//! exchange typed messages over per-pair lock-free channels and run
-//! the usual collective algorithms (dissemination barrier, binomial
+//! exchange typed messages through per-rank mailboxes and run the
+//! usual collective algorithms (dissemination barrier, binomial
 //! broadcast/reduce, recursive-doubling scans, pairwise personalized
 //! all-to-all).
+//!
+//! The runtime is designed to be *un-hangable*: a panicking rank wakes
+//! every peer with [`MpsError::PeerFailed`], blocked receives give up
+//! after a configurable deadline ([`MpsError::Timeout`], env var
+//! [`RECV_TIMEOUT_ENV`]) with a dump of what every rank was doing, and
+//! ranks that diverge in their collective call sequence are caught by
+//! [`MpsError::CollectiveMismatch`] instead of deadlocking or decoding
+//! garbage.
 //!
 //! The public surface mirrors the subset of MPI that the ICPP 2019
 //! paper's algorithm needs:
 //!
 //! - [`Universe::run`] — `mpirun` analogue: spawn `p` ranks, join.
+//!   [`Universe::try_run`] is the fallible variant whose rank bodies
+//!   propagate [`MpsError`]s instead of panicking.
 //! - [`Comm`] — point-to-point `send`/`recv` with tag matching plus
 //!   collectives as methods.
 //! - [`Grid`] — `√p × √p` process grid with Cannon-style
@@ -27,16 +37,18 @@
 //! use tc_mps::Universe;
 //!
 //! // Sum rank ids with an allreduce across 4 ranks.
-//! let sums = Universe::run(4, |comm| comm.allreduce_sum_u64(comm.rank() as u64));
+//! let sums = Universe::run(4, |comm| comm.allreduce_sum_u64(comm.rank() as u64).unwrap());
 //! assert_eq!(sums, vec![6, 6, 6, 6]);
 //! ```
 
 #![warn(missing_docs)]
 
 mod blob;
-pub mod cputime;
 mod collectives;
 mod comm;
+pub mod cputime;
+mod error;
+mod fabric;
 mod grid;
 pub mod pod;
 mod stats;
@@ -45,7 +57,8 @@ mod universe;
 pub use blob::{BlobBuilder, BlobReader};
 pub use comm::{Comm, MAX_USER_TAG};
 pub use cputime::{thread_cpu_now, CpuTimer};
+pub use error::{MpsError, MpsResult};
 pub use grid::{perfect_square_side, Grid};
 pub use pod::{Pod, PodArray};
 pub use stats::{CommStats, PhaseGuard, Timings};
-pub use universe::Universe;
+pub use universe::{Universe, UniverseConfig, RECV_TIMEOUT_ENV};

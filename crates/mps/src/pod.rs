@@ -33,9 +33,7 @@ pub fn bytes_of<T: Pod>(data: &[T]) -> &[u8] {
     // SAFETY: `T: Pod` has no padding, so every byte of the slice is
     // initialized; the length arithmetic cannot overflow because the
     // slice already exists in memory.
-    unsafe {
-        std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
-    }
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data)) }
 }
 
 /// Copies a byte buffer into a freshly allocated typed vector.

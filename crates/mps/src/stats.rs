@@ -7,8 +7,8 @@
 //! phase timers (preprocessing, per-shift compute, …) through
 //! [`Timings`].
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Communication counters for one rank.
@@ -47,26 +47,28 @@ impl CommStats {
     }
 }
 
-/// Interior-mutable counter block owned by a single rank's thread.
+/// Counter block for one rank, written by that rank's thread but
+/// readable from any thread (relaxed atomics), so a rank assembling a
+/// timeout report can snapshot every peer's counters.
 #[derive(Debug, Default)]
-pub(crate) struct StatCells {
-    pub bytes_sent: Cell<u64>,
-    pub msgs_sent: Cell<u64>,
-    pub bytes_recv: Cell<u64>,
-    pub msgs_recv: Cell<u64>,
-    pub send_ns: Cell<u64>,
-    pub recv_ns: Cell<u64>,
+pub(crate) struct SharedStats {
+    pub bytes_sent: AtomicU64,
+    pub msgs_sent: AtomicU64,
+    pub bytes_recv: AtomicU64,
+    pub msgs_recv: AtomicU64,
+    pub send_ns: AtomicU64,
+    pub recv_ns: AtomicU64,
 }
 
-impl StatCells {
+impl SharedStats {
     pub(crate) fn snapshot(&self) -> CommStats {
         CommStats {
-            bytes_sent: self.bytes_sent.get(),
-            msgs_sent: self.msgs_sent.get(),
-            bytes_recv: self.bytes_recv.get(),
-            msgs_recv: self.msgs_recv.get(),
-            send_ns: self.send_ns.get(),
-            recv_ns: self.recv_ns.get(),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            msgs_recv: self.msgs_recv.load(Ordering::Relaxed),
+            send_ns: self.send_ns.load(Ordering::Relaxed),
+            recv_ns: self.recv_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,11 +124,7 @@ impl Timings {
 
     /// Snapshot of all phases, in name order.
     pub fn snapshot(&self) -> Vec<(&'static str, Duration)> {
-        self.phases
-            .borrow()
-            .iter()
-            .map(|(k, v)| (*k, Duration::from_nanos(*v)))
-            .collect()
+        self.phases.borrow().iter().map(|(k, v)| (*k, Duration::from_nanos(*v))).collect()
     }
 }
 

@@ -1,15 +1,55 @@
 //! Rank spawning and joining.
 //!
 //! [`Universe::run`] is the `mpirun` of this substrate: it spawns one
-//! OS thread per rank, wires the all-pairs channel fabric, runs the
-//! rank body, and joins. Each rank owns disjoint state — the body only
+//! OS thread per rank, wires the shared mailbox fabric, runs the rank
+//! body, and joins. Each rank owns disjoint state — the body only
 //! receives its own [`Comm`] — so algorithms written against this API
 //! port directly to a real MPI backend.
+//!
+//! ## Failure semantics
+//!
+//! A rank body that panics or (in the `try_` variants) returns an
+//! error is recorded in the shared fabric and wakes every peer blocked
+//! in a receive or collective; those peers observe
+//! [`MpsError::PeerFailed`]. The universe therefore always joins:
+//! [`Universe::try_run`] returns the *first* failure, and
+//! [`Universe::run`] panics with it — neither ever hangs on a dead
+//! peer.
 
-use crossbeam::channel::unbounded;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::comm::{Comm, Packet};
+use crate::comm::Comm;
+use crate::error::{MpsError, MpsResult};
+use crate::fabric::Fabric;
 use crate::stats::CommStats;
+
+/// Environment variable overriding the default receive deadline, in
+/// milliseconds.
+pub const RECV_TIMEOUT_ENV: &str = "MPS_RECV_TIMEOUT_MS";
+
+const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tunables of one universe.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// How long a receive (or collective step) may block before it
+    /// gives up with [`MpsError::Timeout`]. The default is 60 s,
+    /// overridable through [`RECV_TIMEOUT_ENV`].
+    pub recv_timeout: Duration,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        let recv_timeout = std::env::var(RECV_TIMEOUT_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_RECV_TIMEOUT);
+        Self { recv_timeout }
+    }
+}
 
 /// Entry point for running a fixed-size group of ranks.
 pub struct Universe;
@@ -20,7 +60,9 @@ impl Universe {
     ///
     /// # Panics
     ///
-    /// Panics if `size == 0` or if any rank body panics.
+    /// Panics if `size == 0` or if any rank fails (panic or
+    /// communication error) — but never hangs: surviving ranks are
+    /// woken and joined first.
     pub fn run<T, F>(size: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -36,51 +78,108 @@ impl Universe {
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
-        assert!(size > 0, "universe must have at least one rank");
-
-        // channels[src][dst]: build the full matrix first, then carve
-        // out per-rank sender rows and receiver columns.
-        let mut senders: Vec<Vec<crossbeam::channel::Sender<Packet>>> =
-            (0..size).map(|_| Vec::with_capacity(size)).collect();
-        let mut receivers: Vec<Vec<crossbeam::channel::Receiver<Packet>>> =
-            (0..size).map(|_| Vec::with_capacity(size)).collect();
-        for sender_row in senders.iter_mut() {
-            for receiver_col in receivers.iter_mut() {
-                let (tx, rx) = unbounded();
-                sender_row.push(tx);
-                receiver_col.push(rx);
-            }
+        match Self::try_run_with_stats(size, |c| Ok(f(c))) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible variant of [`Universe::run`]: the body returns a
+    /// `Result`, and the universe returns the first failure (body
+    /// error or panic) after every rank has been joined.
+    pub fn try_run<T, F>(size: usize, f: F) -> MpsResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&Comm) -> MpsResult<T> + Sync,
+    {
+        Ok(Self::try_run_with_stats(size, f)?.0)
+    }
+
+    /// Fallible variant of [`Universe::run_with_stats`].
+    pub fn try_run_with_stats<T, F>(size: usize, f: F) -> MpsResult<(Vec<T>, Vec<CommStats>)>
+    where
+        T: Send,
+        F: Fn(&Comm) -> MpsResult<T> + Sync,
+    {
+        Self::try_run_config(size, &UniverseConfig::default(), f)
+    }
+
+    /// [`Universe::try_run_with_stats`] with explicit tunables
+    /// (primarily a custom receive deadline).
+    pub fn try_run_config<T, F>(
+        size: usize,
+        config: &UniverseConfig,
+        f: F,
+    ) -> MpsResult<(Vec<T>, Vec<CommStats>)>
+    where
+        T: Send,
+        F: Fn(&Comm) -> MpsResult<T> + Sync,
+    {
+        assert!(size > 0, "universe must have at least one rank");
+        let fabric = Arc::new(Fabric::new(size, config.recv_timeout));
 
         let f = &f;
         let mut results: Vec<Option<(T, CommStats)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
-            for (rank, (tx_row, rx_col)) in
-                senders.drain(..).zip(receivers.drain(..)).enumerate()
-            {
+            for rank in 0..size {
+                let fabric = Arc::clone(&fabric);
                 handles.push(scope.spawn(move || {
-                    let comm = Comm::new(rank, size, tx_row, rx_col);
-                    let out = f(&comm);
-                    (out, comm.stats())
+                    let comm = Comm::new(rank, size, Arc::clone(&fabric));
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+                    let stats = comm.stats();
+                    match out {
+                        Ok(Ok(value)) => {
+                            fabric.mark_finished(rank);
+                            Some((value, stats))
+                        }
+                        Ok(Err(err)) => {
+                            // A body error unblocks peers like a panic
+                            // does; only the first failure is kept.
+                            fabric.record_failure(rank, err);
+                            fabric.mark_finished(rank);
+                            None
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(&*payload);
+                            fabric.record_failure(rank, MpsError::PeerFailed { rank, msg });
+                            fabric.mark_finished(rank);
+                            None
+                        }
+                    }
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(pair) => results[rank] = Some(pair),
-                    Err(e) => std::panic::resume_unwind(e),
+                // The body is wrapped in catch_unwind, so join itself
+                // cannot fail.
+                if let Ok(Some(pair)) = h.join() {
+                    results[rank] = Some(pair);
                 }
             }
         });
 
+        if let Some(fail) = fabric.failure() {
+            return Err(fail.error);
+        }
         let mut outs = Vec::with_capacity(size);
         let mut stats = Vec::with_capacity(size);
         for slot in results {
-            let (out, st) = slot.expect("every rank joined");
+            let (out, st) = slot.expect("every rank succeeded");
             outs.push(out);
             stats.push(st);
         }
-        (outs, stats)
+        Ok((outs, stats))
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -113,7 +212,7 @@ mod tests {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
             c.send_val::<u64>(next, 7, c.rank() as u64);
-            c.recv_val::<u64>(prev, 7)
+            c.recv_val::<u64>(prev, 7).unwrap()
         });
         for (r, got) in out.iter().enumerate() {
             assert_eq!(*got as usize, (r + 7 - 1) % 7);
@@ -129,8 +228,8 @@ mod tests {
                 c.send_val::<u32>(1, 1, 111);
                 0
             } else {
-                let first = c.recv_val::<u32>(0, 1);
-                let second = c.recv_val::<u32>(0, 2);
+                let first = c.recv_val::<u32>(0, 1).unwrap();
+                let second = c.recv_val::<u32>(0, 2).unwrap();
                 assert_eq!((first, second), (111, 222));
                 1
             }
@@ -147,7 +246,7 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..100).map(|_| c.recv_val::<u32>(0, 3)).collect::<Vec<u32>>()
+                (0..100).map(|_| c.recv_val::<u32>(0, 3).unwrap()).collect::<Vec<u32>>()
             }
         });
         assert_eq!(out[1], (0..100).collect::<Vec<u32>>());
@@ -157,7 +256,7 @@ mod tests {
     fn self_send_works() {
         let out = Universe::run(3, |c| {
             c.send(c.rank(), 9, &[1u64, 2, 3]);
-            c.recv::<u64>(c.rank(), 9).into_vec()
+            c.recv::<u64>(c.rank(), 9).unwrap().into_vec()
         });
         for v in out {
             assert_eq!(v, vec![1, 2, 3]);
@@ -170,7 +269,7 @@ mod tests {
             if c.rank() == 0 {
                 c.send(1, 1, &[0u32; 16]);
             } else {
-                let _ = c.recv::<u32>(0, 1);
+                let _ = c.recv::<u32>(0, 1).unwrap();
             }
         });
         assert_eq!(stats[0].bytes_sent, 64);
@@ -185,7 +284,7 @@ mod tests {
         let out = Universe::run(2, |c| {
             let peer = 1 - c.rank();
             let mine = [c.rank() as u32 * 10];
-            c.sendrecv::<u32>(peer, 5, &mine, peer, 5).as_slice()[0]
+            c.sendrecv::<u32>(peer, 5, &mine, peer, 5).unwrap().as_slice()[0]
         });
         assert_eq!(out, vec![10, 0]);
     }
@@ -199,13 +298,97 @@ mod tests {
             }
             let mut sum = 0u64;
             for s in 0..p {
-                sum += c.recv_val::<u64>(s, 11);
+                sum += c.recv_val::<u64>(s, 11).unwrap();
             }
             sum
         });
         for (r, s) in out.iter().enumerate() {
             let expect: u64 = (0..p).map(|src| (src * 100 + r) as u64).sum();
             assert_eq!(*s, expect);
+        }
+    }
+
+    #[test]
+    fn try_run_collects_results() {
+        let out = Universe::try_run(4, |c| c.allreduce_sum_u64(c.rank() as u64)).unwrap();
+        assert_eq!(out, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn try_run_surfaces_body_error() {
+        let err = Universe::try_run(3, |c| {
+            if c.rank() == 1 {
+                Err(MpsError::PeerFailed { rank: 1, msg: "synthetic".into() })
+            } else {
+                c.barrier()
+            }
+        })
+        .unwrap_err();
+        match err {
+            MpsError::PeerFailed { rank, msg } => {
+                assert_eq!(rank, 1);
+                assert!(msg.contains("synthetic"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate rank panic")]
+    fn run_propagates_panic_without_hanging() {
+        // Rank 2 panics while everyone else enters a barrier; the
+        // barrier participants must be woken, not deadlocked.
+        let _ = Universe::run(4, |c| {
+            if c.rank() == 2 {
+                panic!("deliberate rank panic");
+            }
+            let _ = c.barrier();
+        });
+    }
+
+    #[test]
+    fn crossed_recvs_time_out_with_report() {
+        // Both ranks wait for a message the other never sends: a real
+        // deadlock under the old semantics. Both must time out; the
+        // universe returns the first expiry as a typed Timeout.
+        let cfg = UniverseConfig { recv_timeout: Duration::from_millis(250) };
+        let err = Universe::try_run_config(2, &cfg, |c| {
+            let peer = 1 - c.rank();
+            c.recv_val::<u64>(peer, 99)
+        })
+        .unwrap_err();
+        match err {
+            MpsError::Timeout { rank, src, op, report, .. } => {
+                assert_eq!(src, 1 - rank);
+                assert_eq!(op, "recv");
+                assert!(report.contains("rank 0:"), "{report}");
+                assert!(report.contains("rank 1:"), "{report}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_from_cleanly_finished_peer_fails_fast() {
+        // Rank 0 finishes without sending; rank 1's receive must fail
+        // promptly (not wait out the full deadline).
+        let cfg = UniverseConfig { recv_timeout: Duration::from_secs(30) };
+        let t0 = std::time::Instant::now();
+        let err = Universe::try_run_config(2, &cfg, |c| {
+            if c.rank() == 0 {
+                Ok(0u64)
+            } else {
+                c.recv_val::<u64>(0, 1)
+            }
+        })
+        .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        match err {
+            MpsError::PeerFailed { rank, msg } => {
+                assert_eq!(rank, 0);
+                assert!(msg.contains("terminated"), "{msg}");
+            }
+            other => panic!("expected peer failure, got {other:?}"),
         }
     }
 }

@@ -22,7 +22,7 @@ proptest! {
             .map(|i| contributions.iter().map(|c| c[i]).fold(0u64, u64::wrapping_add))
             .collect();
         let out = Universe::run(p, |c| {
-            c.allreduce(&contributions[c.rank()], |a, b| *a = a.wrapping_add(*b))
+            c.allreduce(&contributions[c.rank()], |a, b| *a = a.wrapping_add(*b)).unwrap()
         });
         for v in out {
             prop_assert_eq!(&v, &expect);
@@ -33,7 +33,7 @@ proptest! {
     fn allreduce_max_matches_reference(p in rank_count(), seed in any::<u64>()) {
         let vals: Vec<u64> = (0..p as u64).map(|r| seed.wrapping_mul(r + 1) >> 8).collect();
         let expect = *vals.iter().max().unwrap();
-        let out = Universe::run(p, |c| c.allreduce_max_u64(vals[c.rank()]));
+        let out = Universe::run(p, |c| c.allreduce_max_u64(vals[c.rank()]).unwrap());
         for v in out {
             prop_assert_eq!(v, expect);
         }
@@ -42,7 +42,7 @@ proptest! {
     #[test]
     fn scan_matches_sequential_prefix(p in rank_count(), seed in any::<u32>()) {
         let vals: Vec<u64> = (0..p as u64).map(|r| (seed as u64).wrapping_mul(r + 3) % 997).collect();
-        let out = Universe::run(p, |c| c.scan(&[vals[c.rank()]], |a, b| *a += *b));
+        let out = Universe::run(p, |c| c.scan(&[vals[c.rank()]], |a, b| *a += *b).unwrap());
         let mut acc = 0u64;
         for (r, v) in out.iter().enumerate() {
             acc += vals[r];
@@ -53,7 +53,7 @@ proptest! {
     #[test]
     fn exscan_shifts_scan(p in rank_count(), seed in any::<u32>()) {
         let vals: Vec<u64> = (0..p as u64).map(|r| (seed as u64 + r) % 1000).collect();
-        let out = Universe::run(p, |c| c.exscan(&[vals[c.rank()]], 0, |a, b| *a += *b));
+        let out = Universe::run(p, |c| c.exscan(&[vals[c.rank()]], 0, |a, b| *a += *b).unwrap());
         let mut acc = 0u64;
         for (r, v) in out.iter().enumerate() {
             prop_assert_eq!(v[0], acc);
@@ -72,7 +72,7 @@ proptest! {
                     vec![(c.rank() as u64) << 32 | d as u64; len]
                 })
                 .collect();
-            c.alltoallv(&sends)
+            c.alltoallv(&sends).unwrap()
         });
         for (d, recvd) in out.iter().enumerate() {
             for (s, part) in recvd.iter().enumerate() {
@@ -90,8 +90,8 @@ proptest! {
         let root = root % p;
         let out = Universe::run(p, |c| {
             let mine: Vec<u32> = (0..(c.rank() % 4) as u32).map(|i| i + c.rank() as u32).collect();
-            let all = c.allgatherv(&mine);
-            let rooted = c.gatherv(root, &mine);
+            let all = c.allgatherv(&mine).unwrap();
+            let rooted = c.gatherv(root, &mine).unwrap();
             (all, rooted)
         });
         let reference = &out[0].0;
@@ -110,7 +110,7 @@ proptest! {
         let root = root % p;
         let out = Universe::run(p, |c| {
             let data = if c.rank() == root { payload.clone() } else { Vec::new() };
-            c.bcast(root, &data)
+            c.bcast(root, &data).unwrap()
         });
         for v in out {
             prop_assert_eq!(&v, &payload);

@@ -26,7 +26,7 @@ fn message_storm_all_pairs() {
                 let expect_count = per_pair / 3 + u32::from(per_pair % 3 > tag as u32);
                 let mut last = None;
                 for _ in 0..expect_count {
-                    let v = c.recv_val::<u64>(src, tag);
+                    let v = c.recv_val::<u64>(src, tag).unwrap();
                     assert_eq!(v >> 32, src as u64);
                     let m = v & 0xffff_ffff;
                     assert_eq!(m % 3, tag, "tag mismatch");
@@ -52,7 +52,7 @@ fn large_payload_integrity() {
             c.send(1, 1, &data);
             0u64
         } else {
-            let got = c.recv::<u64>(0, 1);
+            let got = c.recv::<u64>(0, 1).unwrap();
             got.as_slice()
                 .iter()
                 .enumerate()
@@ -76,16 +76,16 @@ fn interleaved_collective_sequences() {
             let prev = (c.rank() + p - 1) % p;
             c.send_val::<u64>(next, 99, round);
             let sends: Vec<Vec<u64>> = (0..p).map(|d| vec![round * 10 + d as u64]).collect();
-            let got = c.alltoallv(&sends);
+            let got = c.alltoallv(&sends).unwrap();
             for (src, v) in got.iter().enumerate() {
                 assert_eq!(v, &vec![round * 10 + c.rank() as u64], "round {round} src {src}");
             }
-            let sum = c.allreduce_sum_u64(round);
+            let sum = c.allreduce_sum_u64(round).unwrap();
             assert_eq!(sum, round * p as u64);
-            let scanned = c.scan(&[1u64], |a, b| *a += *b);
+            let scanned = c.scan(&[1u64], |a, b| *a += *b).unwrap();
             assert_eq!(scanned[0], c.rank() as u64 + 1);
-            assert_eq!(c.recv_val::<u64>(prev, 99), round);
-            c.barrier();
+            assert_eq!(c.recv_val::<u64>(prev, 99).unwrap(), round);
+            c.barrier().unwrap();
             acc = acc.wrapping_add(sum);
         }
         acc
@@ -102,7 +102,7 @@ fn max_user_tag_boundary() {
             c.send_val::<u32>(1, tag, 7);
             0
         } else {
-            c.recv_val::<u32>(0, tag)
+            c.recv_val::<u32>(0, tag).unwrap()
         }
     });
     assert_eq!(out[1], 7);
@@ -113,15 +113,15 @@ fn empty_messages_everywhere() {
     let p = 5;
     Universe::run(p, |c| {
         let sends: Vec<Vec<u32>> = vec![Vec::new(); p];
-        let got = c.alltoallv(&sends);
+        let got = c.alltoallv(&sends).unwrap();
         assert!(got.iter().all(|v| v.is_empty()));
         for dst in 0..p {
             c.send::<u64>(dst, 5, &[]);
         }
         for src in 0..p {
-            assert!(c.recv::<u64>(src, 5).is_empty());
+            assert!(c.recv::<u64>(src, 5).unwrap().is_empty());
         }
-        let g = c.allgatherv::<u32>(&[]);
+        let g = c.allgatherv::<u32>(&[]).unwrap();
         assert!(g.iter().all(|v| v.is_empty()));
     });
 }
@@ -130,7 +130,7 @@ fn empty_messages_everywhere() {
 fn many_small_universes_in_sequence() {
     // Spawn/join leak check: run 100 universes back to back.
     for i in 0..100 {
-        let out = Universe::run(3, |c| c.allreduce_sum_u64(i));
+        let out = Universe::run(3, |c| c.allreduce_sum_u64(i).unwrap());
         assert_eq!(out, vec![3 * i; 3]);
     }
 }
@@ -141,7 +141,7 @@ fn reduce_with_large_vectors() {
     let len = 10_000;
     let out = Universe::run(p, |c| {
         let mine: Vec<u64> = (0..len as u64).map(|i| i + c.rank() as u64).collect();
-        c.allreduce(&mine, |a, b| *a += *b)
+        c.allreduce(&mine, |a, b| *a += *b).unwrap()
     });
     let rank_sum: u64 = (0..p as u64).sum();
     for v in out {
@@ -163,8 +163,8 @@ fn grid_shift_storm() {
         let mut a = Bytes::from(vec![c.rank() as u8]);
         let mut b = Bytes::from(vec![c.rank() as u8]);
         for _ in 0..100 {
-            a = g.shift_left(a);
-            b = g.shift_up(b);
+            a = g.shift_left(a).unwrap();
+            b = g.shift_up(b).unwrap();
         }
         (a[0] as usize, b[0] as usize)
     });
@@ -183,7 +183,7 @@ fn recv_from_finished_rank_panics_with_context() {
         if c.rank() == 0 {
             // Rank 1 exits without ever sending; this recv must fail
             // loudly rather than hang.
-            let _ = c.recv_val::<u32>(1, 42);
+            c.recv_val::<u32>(1, 42).unwrap();
         }
     });
 }

@@ -25,9 +25,7 @@ fn main() {
 
     // Cross-check every edge's support against the serial reference.
     let serial = truss::edge_supports(&graph);
-    for (edge_support, (&(u, v), &s)) in
-        supports.iter().zip(graph.edges.iter().zip(&serial))
-    {
+    for (edge_support, (&(u, v), &s)) in supports.iter().zip(graph.edges.iter().zip(&serial)) {
         assert_eq!((edge_support.u, edge_support.v), (u, v), "edge order");
         assert_eq!(edge_support.support, s, "support of ({u},{v})");
     }

@@ -10,11 +10,7 @@ use tc_gen::graph500;
 fn main() {
     let scale = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(13u32);
     let graph = graph500(scale, 42).simplify();
-    println!(
-        "g500-s{scale}: {} vertices, {} edges\n",
-        graph.num_vertices,
-        graph.num_edges()
-    );
+    println!("g500-s{scale}: {} vertices, {} edges\n", graph.num_vertices, graph.num_edges());
     println!(
         "{:>5} {:>5} {:>9} {:>9} {:>9} {:>8} {:>10} {:>10}",
         "ranks", "grid", "ppt(ms)", "tct(ms)", "total", "speedup", "tct-comm%", "tasks"

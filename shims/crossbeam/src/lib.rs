@@ -1,0 +1,81 @@
+//! Minimal workspace-local implementation of the `crossbeam` API
+//! surface this repository uses (the unbounded MPMC-ish channel, used
+//! here only SPSC), backed by `std::sync::mpsc`.
+//!
+//! The build environment has no access to crates.io; this shim keeps
+//! the original channel-based transport compiling.
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; errors if the receiver is gone.
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.0.send(v).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Receiving half of an unbounded channel.
+    ///
+    /// Wrapped in a `Mutex` so the type is `Sync` like crossbeam's
+    /// (std's receiver is `Send` but not `Sync`); uncontended in this
+    /// workspace, where each receiver is owned by one rank thread.
+    pub struct Receiver<T>(Mutex<mpsc::Receiver<T>>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; errors if all senders are
+        /// gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap().recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Error returned when every sender has disconnected.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Mutex::new(rx)))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = super::unbounded::<u64>();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn disconnect_is_an_error() {
+            let (tx, rx) = super::unbounded::<u8>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Minimal workspace-local implementation of the `proptest` API
+//! surface this repository uses.
+//!
+//! The build environment has no access to crates.io, so the property
+//! tests run on this vendored subset: deterministic per-case RNG
+//! (seeded from the test body's position plus the case index),
+//! strategies for ranges / tuples / vectors / `any` / `select`,
+//! `prop_map` / `prop_flat_map` adapters, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros. There is **no shrinking**:
+//! a failing case reports its inputs and seed instead.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng, Standard, UniformInt};
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Creates the RNG for one test case.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (`ProptestConfig` in upstream proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test-case body did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produces a value, then draws from the strategy `f` builds on it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: UniformInt> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Strategy producing any value of `T` (the `any::<T>()` entry point).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces arbitrary values of `T`.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $i:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (S0 0)
+    (S0 0, S1 1)
+    (S0 0, S1 1, S2 2)
+    (S0 0, S1 1, S2 2, S3 3)
+    (S0 0, S1 1, S2 2, S3 3, S4 4)
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::UniformInt;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vectors of values from `elem`, length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                usize::sample_range(rng, self.len.start, self.len.end)
+            };
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespaced strategy modules (mirrors upstream `proptest::prop`).
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::UniformInt;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Chooses one of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[usize::sample_range(rng, 0, self.0.len())].clone()
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use super::{any, prop, Any, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts inside a proptest body (reports inputs instead of
+/// panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Rejects the current inputs; the runner draws a fresh case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors upstream proptest's surface:
+///
+/// ```no_run
+/// use proptest::collection::vec;
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in vec(any::<u64>(), 0..8)) {
+///         prop_assert!(x < 100);
+///         prop_assert!(v.len() < 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: parse each `#[test] fn` item in turn.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])+
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])+
+        fn $name() {
+            $crate::__proptest_args! {
+                cfg = ($cfg); name = $name; acc = []; pending = []; rest = [$($params)*]; body = $body
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: split the parameter list into `(pattern, strategy)` pairs
+/// at top-level commas (commas inside `(...)`/`[...]` are single token
+/// trees and invisible here).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_args {
+    // A top-level comma ends the pending strategy expression.
+    (cfg = $cfg:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; pending = [$pat:ident in $($strat:tt)+]; rest = [, $($rest:tt)*]; body = $body:tt) => {
+        $crate::__proptest_args! {
+            cfg = $cfg; name = $name;
+            acc = [$($acc)* ($pat) ($($strat)+);]; pending = []; rest = [$($rest)*]; body = $body
+        }
+    };
+    // End of input with a pending strategy.
+    (cfg = $cfg:tt; name = $name:ident;
+     acc = [$($acc:tt)*]; pending = [$pat:ident in $($strat:tt)+]; rest = []; body = $body:tt) => {
+        $crate::__proptest_run! {
+            cfg = $cfg; name = $name; args = [$($acc)* ($pat) ($($strat)+);]; body = $body
+        }
+    };
+    // Accumulate one more token into the pending strategy.
+    (cfg = $cfg:tt; name = $name:ident;
+     acc = $acc:tt; pending = [$pat:ident in $($strat:tt)*]; rest = [$t:tt $($rest:tt)*]; body = $body:tt) => {
+        $crate::__proptest_args! {
+            cfg = $cfg; name = $name;
+            acc = $acc; pending = [$pat in $($strat)* $t]; rest = [$($rest)*]; body = $body
+        }
+    };
+    // Start of a new `pat in strategy` argument.
+    (cfg = $cfg:tt; name = $name:ident;
+     acc = $acc:tt; pending = []; rest = [$pat:ident in $($rest:tt)*]; body = $body:tt) => {
+        $crate::__proptest_args! {
+            cfg = $cfg; name = $name; acc = $acc; pending = [$pat in]; rest = [$($rest)*]; body = $body
+        }
+    };
+    // Trailing comma / empty argument list.
+    (cfg = $cfg:tt; name = $name:ident; acc = [$($acc:tt)*]; pending = []; rest = []; body = $body:tt) => {
+        $crate::__proptest_run! { cfg = $cfg; name = $name; args = [$($acc)*]; body = $body }
+    };
+}
+
+/// Internal: the per-test runner.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_run {
+    (cfg = ($cfg:expr); name = $name:ident; args = [$(($pat:ident) ($strat:expr);)*]; body = $body:tt) => {{
+        let config: $crate::ProptestConfig = $cfg;
+        // Stable per-test seed: derived from the test path so runs are
+        // reproducible; the case index advances the stream.
+        let base: u64 = {
+            let path = concat!(module_path!(), "::", stringify!($name));
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in path.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        };
+        let mut successes: u32 = 0;
+        let mut rejects: u64 = 0;
+        let mut case: u64 = 0;
+        while successes < config.cases {
+            let mut __rng = $crate::TestRng::from_seed(base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+            let __inputs = {
+                let mut s = String::new();
+                $(
+                    s.push_str(concat!(stringify!($pat), " = "));
+                    s.push_str(&format!("{:?}, ", &$pat));
+                )*
+                s
+            };
+            let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            })();
+            match outcome {
+                Ok(()) => successes += 1,
+                Err($crate::TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < 64 * config.cases as u64 + 1024,
+                        "proptest {}: too many prop_assume! rejections", stringify!($name)
+                    );
+                }
+                Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {} (seed base {:#x}):\n  inputs: {}\n  {}",
+                        stringify!($name), case, base, __inputs, msg
+                    );
+                }
+            }
+            case += 1;
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vectors_respect_len_and_elems(v in vec(0u64..100, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for &e in &v {
+                prop_assert!(e < 100);
+            }
+        }
+
+        #[test]
+        fn tuples_and_nested_commas(pair in (0u32..10, 5u32..6), b in any::<bool>()) {
+            prop_assert!(pair.0 < 10);
+            prop_assert_eq!(pair.1, 5);
+            let _ = b;
+        }
+
+        #[test]
+        fn flat_map_and_assume(n in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..20))) {
+            prop_assume!(n.1 < n.0);
+            prop_assert!(n.1 < n.0);
+        }
+
+        #[test]
+        fn select_picks_from_list(p in prop::sample::select(vec![1usize, 4, 9])) {
+            prop_assert!([1usize, 4, 9].contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_seed(42);
+        let mut b = crate::TestRng::from_seed(42);
+        let sa = (0u32..1000).new_value(&mut a);
+        let sb = (0u32..1000).new_value(&mut b);
+        assert_eq!(sa, sb);
+    }
+}
