@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe};
+use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_trace::{names, Category, TraceHandle};
 
 use crate::serial::Oriented;
 
@@ -54,16 +55,28 @@ pub fn count_aop1d(el: &EdgeList, p: usize) -> Dist1dResult {
 /// Fallible [`count_aop1d`]: runtime failures come back as
 /// [`tc_mps::MpsError`] instead of a panic.
 pub fn try_count_aop1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
+    try_count_aop1d_traced(el, p, None)
+}
+
+/// [`try_count_aop1d`] with an optional trace session: each rank
+/// records setup/count phase spans plus the substrate's comm spans.
+pub fn try_count_aop1d_traced(
+    el: &EdgeList,
+    p: usize,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
+    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
+    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
         // ---- setup: replicate the rows my tasks reference ----
         comm.barrier()?;
+        let setup_span = tc_trace::span(names::BASE_SETUP, Category::Phase);
         let t0 = Instant::now();
         // Task (j, i) lives at owner(j) and needs A(i): push A(i) to
         // the owners of every j ∈ A(i) (dedup per destination).
@@ -95,10 +108,12 @@ pub fn try_count_aop1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
         }
         drop(recvd);
         comm.barrier()?;
+        drop(setup_span);
         let setup = t0.elapsed();
         let ghost_entries: usize = ghosts.values().map(|v| v.len()).sum();
 
         // ---- counting: purely local ----
+        let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
         let t1 = Instant::now();
         let cap = comm.allreduce_max_u64(g_max_row(&g, lo, hi) as u64)? as usize;
         let mut set = VertexSet::with_capacity(cap);
@@ -122,6 +137,7 @@ pub fn try_count_aop1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
         }
         let triangles = comm.allreduce_sum_u64(local)?;
         comm.barrier()?;
+        drop(count_span);
         let count = t1.elapsed();
         Ok((triangles, setup, count, ghost_entries))
     })?;

@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe};
+use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_trace::{names, Category, TraceHandle};
 
 use crate::aop1d::Dist1dResult;
 use crate::serial::Oriented;
@@ -41,23 +42,37 @@ pub fn try_count_psp1d(
     p: usize,
     num_super_blocks: usize,
 ) -> MpsResult<Dist1dResult> {
+    try_count_psp1d_traced(el, p, num_super_blocks, None)
+}
+
+/// [`try_count_psp1d`] with an optional trace session.
+pub fn try_count_psp1d_traced(
+    el: &EdgeList,
+    p: usize,
+    num_super_blocks: usize,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<Dist1dResult> {
     assert!(num_super_blocks > 0, "need at least one superblock");
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
+    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
+    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
         comm.barrier()?;
+        let setup_span = tc_trace::span(names::BASE_SETUP, Category::Phase);
         let t0 = Instant::now();
         let max_row = comm.allreduce_max_u64(
             (lo as u32..hi as u32).map(|v| g.upper(v).len()).max().unwrap_or(0) as u64,
         )? as usize;
         let mut set = VertexSet::with_capacity(max_row);
         comm.barrier()?;
+        drop(setup_span);
         let setup = t0.elapsed();
 
+        let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
         let t1 = Instant::now();
         let mut local = 0u64;
         let mut peak_entries = 0usize;
@@ -121,6 +136,7 @@ pub fn try_count_psp1d(
         }
         let triangles = comm.allreduce_sum_u64(local)?;
         comm.barrier()?;
+        drop(count_span);
         let count = t1.elapsed();
         Ok((triangles, setup, count, peak_entries))
     })?;

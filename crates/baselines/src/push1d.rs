@@ -14,7 +14,8 @@ use std::time::Instant;
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe};
+use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_trace::{names, Category, TraceHandle};
 
 use crate::aop1d::Dist1dResult;
 use crate::serial::Oriented;
@@ -30,17 +31,28 @@ pub fn count_push1d(el: &EdgeList, p: usize) -> Dist1dResult {
 /// Fallible [`count_push1d`]: runtime failures come back as
 /// [`tc_mps::MpsError`] instead of a panic.
 pub fn try_count_push1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
+    try_count_push1d_traced(el, p, None)
+}
+
+/// [`try_count_push1d`] with an optional trace session.
+pub fn try_count_push1d_traced(
+    el: &EdgeList,
+    p: usize,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
+    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
+    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
         // ---- push phase: same wire as AOP's setup, but receivers
         // will consume rather than store ----
         comm.barrier()?;
+        let setup_span = tc_trace::span(names::BASE_SETUP, Category::Phase);
         let t0 = Instant::now();
         let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
         let mut stamp = vec![usize::MAX; p];
@@ -60,9 +72,11 @@ pub fn try_count_push1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
         let recvd = comm.alltoallv(&sends)?;
         drop(sends);
         comm.barrier()?;
+        drop(setup_span);
         let setup = t0.elapsed();
 
         // ---- counting: local tasks + streamed remote rows ----
+        let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
         let t1 = Instant::now();
         let max_row = comm.allreduce_max_u64(
             (lo as u32..hi as u32).map(|v| g.upper(v).len()).max().unwrap_or(0) as u64,
@@ -104,6 +118,7 @@ pub fn try_count_push1d(el: &EdgeList, p: usize) -> MpsResult<Dist1dResult> {
         }
         let triangles = comm.allreduce_sum_u64(local)?;
         comm.barrier()?;
+        drop(count_span);
         let count = t1.elapsed();
         Ok((triangles, setup, count))
     })?;

@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use tc_graph::edgelist::EdgeList;
 use tc_graph::{Block1D, Csr};
-use tc_mps::{MpsResult, Universe};
+use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_trace::{names, Category, TraceHandle};
 
 /// Outcome of a wedge-checking run.
 #[derive(Debug, Clone)]
@@ -58,17 +59,30 @@ pub fn count_wedge(el: &EdgeList, p: usize) -> WedgeResult {
 /// Fallible [`count_wedge`]: runtime failures come back as
 /// [`tc_mps::MpsError`] instead of a panic.
 pub fn try_count_wedge(el: &EdgeList, p: usize) -> MpsResult<WedgeResult> {
+    try_count_wedge_traced(el, p, None)
+}
+
+/// [`try_count_wedge`] with an optional trace session: the 2-core
+/// peeling records as the setup phase, wedge checking as the count
+/// phase.
+pub fn try_count_wedge_traced(
+    el: &EdgeList,
+    p: usize,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<WedgeResult> {
     let csr = Csr::from_edge_list(el);
     let n = csr.num_vertices();
     let block = Block1D::new(n, p);
 
-    let (outs, stats) = Universe::try_run_with_stats(p, |comm| {
+    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
+    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
         let cnt = hi - lo;
 
         // ---- phase 1: 2-core peeling ----
         comm.barrier()?;
+        let setup_span = tc_trace::span(names::BASE_SETUP, Category::Phase);
         let t0 = Instant::now();
         let mut deg: Vec<u32> = (lo..hi).map(|v| csr.degree(v as u32) as u32).collect();
         let mut alive = vec![true; cnt];
@@ -100,9 +114,11 @@ pub fn try_count_wedge(el: &EdgeList, p: usize) -> MpsResult<WedgeResult> {
             }
         }
         comm.barrier()?;
+        drop(setup_span);
         let two_core = t0.elapsed();
 
         // ---- phase 2: directed wedge counting ----
+        let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
         let t1 = Instant::now();
         // Orientation key: (post-peel degree, id). Each rank needs the
         // keys of its neighbours; owners push them (one pass, like
@@ -178,6 +194,7 @@ pub fn try_count_wedge(el: &EdgeList, p: usize) -> MpsResult<WedgeResult> {
         let wedges = comm.allreduce_sum_u64(wedges_local)?;
         let peeled = comm.allreduce_sum_u64(peeled_local)?;
         comm.barrier()?;
+        drop(count_span);
         let wedge_count = t1.elapsed();
         Ok((triangles, two_core, wedge_count, wedges, peeled))
     })?;

@@ -17,6 +17,11 @@ pub struct ExpArgs {
     pub seed: u64,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Optional JSON-lines run-report path.
+    pub json: Option<String>,
+    /// Optional Chrome trace-event output path: when set, every
+    /// distributed run of the experiment records into one trace file.
+    pub trace: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -27,6 +32,8 @@ impl Default for ExpArgs {
             preset: None,
             seed: tc_gen::DEFAULT_SEED,
             csv: None,
+            json: None,
+            trace: None,
         }
     }
 }
@@ -40,7 +47,7 @@ impl ExpArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: <bin> [--scale N] [--ranks a,b,c] [--preset NAME] \
-                     [--seed S] [--csv PATH]"
+                     [--seed S] [--csv PATH] [--json PATH] [--trace PATH]"
                 );
                 std::process::exit(2);
             }
@@ -81,6 +88,8 @@ impl ExpArgs {
                     );
                 }
                 "--csv" => out.csv = Some(value("--csv")?),
+                "--json" => out.json = Some(value("--json")?),
+                "--trace" => out.trace = Some(value("--trace")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -126,6 +135,10 @@ mod tests {
             "7",
             "--csv",
             "/tmp/x.csv",
+            "--json",
+            "/tmp/x.json",
+            "--trace",
+            "/tmp/x.trace.json",
         ])
         .unwrap();
         assert_eq!(a.scale, 10);
@@ -133,6 +146,8 @@ mod tests {
         assert_eq!(a.preset, Some(Preset::G500 { scale: 9 }));
         assert_eq!(a.seed, 7);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(a.trace.as_deref(), Some("/tmp/x.trace.json"));
     }
 
     #[test]

@@ -8,11 +8,13 @@ use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::secs;
 use tc_bench::table::Table;
-use tc_core::{count_triangles, Enumeration, TcConfig};
+use tc_core::{Enumeration, TcConfig};
 use tc_gen::Preset;
 
 fn main() {
     let mut args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     if args.ranks == tc_bench::DEFAULT_RANKS {
         // The paper ablates at 16 and 100 ranks.
         args.ranks = vec![16, 100];
@@ -36,7 +38,7 @@ fn main() {
         );
         let mut base: Option<f64> = None;
         for (name, cfg) in &variants {
-            let r = count_triangles(&el, p, cfg);
+            let r = tc_bench::count_2d(&el, p, cfg, th.as_ref());
             let tct = r.tct_time().as_secs_f64();
             let b = *base.get_or_insert(tct);
             t.row(vec![
@@ -50,5 +52,6 @@ fn main() {
         }
         t.print();
         t.maybe_csv(&args.csv);
+        t.maybe_json(&args.json);
     }
 }

@@ -5,11 +5,13 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::{count_triangles, count_triangles_summa, SummaGrid, TcConfig};
+use tc_core::{SummaGrid, TcConfig};
 use tc_gen::Preset;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
     let mut t = Table::new(
@@ -32,8 +34,11 @@ fn main() {
     // Square comparisons at every perfect square in the sweep.
     for &p in &args.ranks {
         if let Some(q) = tc_mps::perfect_square_side(p) {
-            push(format!("cannon-{q}x{q}"), count_triangles(&el, p, &cfg));
-            push(format!("summa-{q}x{q}"), count_triangles_summa(&el, SummaGrid::new(q, q), &cfg));
+            push(format!("cannon-{q}x{q}"), tc_bench::count_2d(&el, p, &cfg, th.as_ref()));
+            push(
+                format!("summa-{q}x{q}"),
+                tc_bench::count_summa(&el, SummaGrid::new(q, q), &cfg, th.as_ref()),
+            );
         }
     }
     // Rectangles with the same area as the largest square.
@@ -43,7 +48,7 @@ fn main() {
                 if pr >= 1 && pr * pc == pmax {
                     push(
                         format!("summa-{pr}x{pc}"),
-                        count_triangles_summa(&el, SummaGrid::new(pr, pc), &cfg),
+                        tc_bench::count_summa(&el, SummaGrid::new(pr, pc), &cfg, th.as_ref()),
                     );
                 }
             }
@@ -51,11 +56,17 @@ fn main() {
             for k in [q, 2 * q, 4 * q] {
                 push(
                     format!("summa-{q}x{q}-panels{k}"),
-                    count_triangles_summa(&el, SummaGrid::new(q, q).with_panels(k), &cfg),
+                    tc_bench::count_summa(
+                        &el,
+                        SummaGrid::new(q, q).with_panels(k),
+                        &cfg,
+                        th.as_ref(),
+                    ),
                 );
             }
         }
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

@@ -9,11 +9,12 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     // Largest dataset only, unless a preset was forced.
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
@@ -22,7 +23,7 @@ fn main() {
         &["ranks", "ppt-kops/s", "tct-kops/s", "ppt-ops", "tct-ops"],
     );
     for &p in &args.ranks {
-        let r = count_triangles_default(&el, p);
+        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
         let ppt_ops: u64 = r.ranks.iter().map(|m| m.ppt_ops).sum();
         let tct_ops: u64 = r.ranks.iter().map(|m| m.tct_ops).sum();
         let ppt_rate = ppt_ops as f64 / r.modeled_ppt_time().as_secs_f64().max(1e-12) / 1e3;
@@ -37,4 +38,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

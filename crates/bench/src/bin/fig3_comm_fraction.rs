@@ -6,11 +6,12 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
     let mut t = Table::new(
@@ -18,7 +19,7 @@ fn main() {
         &["ranks", "ppt-comm-%", "tct-comm-%", "bytes-sent"],
     );
     for &p in &args.ranks {
-        let r = count_triangles_default(&el, p);
+        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
         t.row(vec![
             p.to_string(),
             format!("{:.1}", 100.0 * r.ppt_comm_fraction()),
@@ -28,4 +29,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

@@ -12,10 +12,11 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
         let mut t = Table::new(
@@ -35,7 +36,7 @@ fn main() {
         );
         let mut base: Option<(f64, f64, f64, usize)> = None;
         for &p in &args.ranks {
-            let r = count_triangles_default(&el, p);
+            let r = tc_bench::count_2d_default(&el, p, th.as_ref());
             let ppt = r.modeled_ppt_time().as_secs_f64();
             let tct = r.modeled_tct_time().as_secs_f64();
             let overall = ppt + tct;
@@ -55,5 +56,6 @@ fn main() {
         }
         t.print();
         t.maybe_csv(&args.csv);
+        t.maybe_json(&args.json);
     }
 }

@@ -8,11 +8,12 @@ use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::secs;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let mut args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     // The paper measures 25 and 36 ranks; keep that default.
     if args.ranks == tc_bench::DEFAULT_RANKS {
         args.ranks = vec![25, 36];
@@ -24,7 +25,7 @@ fn main() {
         &["ranks", "max-runtime(s)", "avg-runtime(s)", "load-imbalance", "task-imbalance"],
     );
     for &p in &args.ranks {
-        let r = count_triangles_default(&el, p);
+        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
         let (mx, avg, imb) = r.shift_imbalance();
         t.row(vec![
             p.to_string(),
@@ -36,4 +37,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

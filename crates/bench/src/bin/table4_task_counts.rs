@@ -5,11 +5,12 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let mut args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     if args.ranks == tc_bench::DEFAULT_RANKS {
         args.ranks = vec![16, 25, 36];
     }
@@ -21,7 +22,7 @@ fn main() {
     );
     let mut prev: Option<u64> = None;
     for &p in &args.ranks {
-        let r = count_triangles_default(&el, p);
+        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
         let tasks = r.total_tasks();
         let pct = match prev {
             Some(q) if q > 0 => format!("{:.0}%", 100.0 * (tasks as f64 - q as f64) / q as f64),
@@ -32,4 +33,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

@@ -4,15 +4,15 @@
 //! measured 6.2–14.6× on the g500/twitter inputs with Havoq *slower*,
 //! and friendster as the one case where wedge checking wins.
 
-use tc_baselines::count_wedge;
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::secs;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     // One rank count for the whole table; the paper used 169 for its
     // side and 1152 for Havoq — same substrate here, so use the sweep
     // maximum for both.
@@ -32,8 +32,9 @@ fn main() {
     );
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
-        let w = count_wedge(&el, p);
-        let ours = count_triangles_default(&el, p);
+        let w = tc_baselines::try_count_wedge_traced(&el, p, th.as_ref())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let ours = tc_bench::count_2d_default(&el, p, th.as_ref());
         assert_eq!(w.triangles, ours.triangles, "algorithms disagree on {}", preset.name());
         let speedup = w.total().as_secs_f64() / ours.tct_time().as_secs_f64().max(1e-12);
         t.row(vec![
@@ -49,4 +50,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

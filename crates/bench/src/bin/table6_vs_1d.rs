@@ -6,16 +6,16 @@
 //! same substrate and the same rank count, which makes the comparison
 //! stricter than the paper's.
 
-use tc_baselines::{count_aop1d, count_psp1d, count_push1d};
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::secs;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::Preset;
 
 fn main() {
     let args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     let p = *args.ranks.iter().max().expect("non-empty rank sweep");
     let preset = args.preset.unwrap_or(Preset::TwitterLike { scale: args.scale.saturating_sub(1) });
     let el = build_dataset(preset, args.seed);
@@ -25,7 +25,7 @@ fn main() {
         &["algorithm", "setup(s)", "count(s)", "total(s)", "bytes-sent", "peak-ghost-entries"],
     );
 
-    let ours = count_triangles_default(&el, p);
+    let ours = tc_bench::count_2d_default(&el, p, th.as_ref());
     t.row(vec![
         "our-2d".into(),
         secs(ours.ppt_time()),
@@ -36,7 +36,8 @@ fn main() {
     ]);
 
     let expect = ours.triangles;
-    let aop = count_aop1d(&el, p);
+    let aop =
+        tc_baselines::try_count_aop1d_traced(&el, p, th.as_ref()).unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(aop.triangles, expect);
     t.row(vec![
         "aop-1d".into(),
@@ -47,7 +48,8 @@ fn main() {
         aop.max_ghost_entries.to_string(),
     ]);
 
-    let push = count_push1d(&el, p);
+    let push = tc_baselines::try_count_push1d_traced(&el, p, th.as_ref())
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(push.triangles, expect);
     t.row(vec![
         "surrogate-push-1d".into(),
@@ -58,7 +60,8 @@ fn main() {
         push.max_ghost_entries.to_string(),
     ]);
 
-    let psp = count_psp1d(&el, p, 8);
+    let psp = tc_baselines::try_count_psp1d_traced(&el, p, 8, th.as_ref())
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(psp.triangles, expect);
     t.row(vec![
         "opt-psp-1d(8 blocks)".into(),
@@ -71,5 +74,6 @@ fn main() {
 
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
     println!("triangles: {expect}");
 }

@@ -10,11 +10,12 @@
 
 use tc_bench::args::ExpArgs;
 use tc_bench::table::Table;
-use tc_core::count_triangles_default;
 use tc_gen::graph500;
 
 fn main() {
     let mut args = ExpArgs::parse();
+    let tscope = tc_bench::TraceScope::begin(args.trace.as_ref());
+    let th = tscope.handle();
     if args.ranks == tc_bench::DEFAULT_RANKS {
         args.ranks = vec![4, 16, 64];
     }
@@ -39,7 +40,7 @@ fn main() {
         let k = (p as f64).log(4.0).round() as u32;
         let scale = base_scale + 2 * k;
         let el = graph500(scale, args.seed).simplify();
-        let r = count_triangles_default(&el, p);
+        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
         t.row(vec![
             p.to_string(),
             scale.to_string(),
@@ -53,4 +54,5 @@ fn main() {
     }
     t.print();
     t.maybe_csv(&args.csv);
+    t.maybe_json(&args.json);
 }

@@ -11,7 +11,10 @@
 //! - `--ranks a,b,c` — the rank sweep (must be perfect squares),
 //! - `--preset NAME` — a single dataset instead of the full testbed,
 //! - `--seed S` — generator seed,
-//! - `--csv PATH` — also dump machine-readable rows.
+//! - `--csv PATH` — also dump machine-readable rows,
+//! - `--json PATH` — append each table as one JSON-lines record,
+//! - `--trace PATH` — record every distributed run into one Chrome
+//!   trace-event file (open in Perfetto / chrome://tracing).
 
 #![warn(missing_docs)]
 
@@ -43,4 +46,73 @@ pub fn build_dataset(preset: Preset, seed: u64) -> EdgeList {
 /// Formats a `Duration` in seconds with millisecond resolution.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+/// An experiment-scoped trace recorder: holds the [`tc_trace`]
+/// session alive for the duration of the binary and exports the
+/// Chrome trace file when dropped. With no `--trace` path this is a
+/// no-op shell — the recorder gate stays closed and the instrumented
+/// code paths cost one atomic load each.
+pub struct TraceScope {
+    session: Option<tc_trace::TraceSession>,
+    path: Option<String>,
+}
+
+impl TraceScope {
+    /// Starts recording when `path` is set; inert otherwise.
+    pub fn begin(path: Option<&String>) -> Self {
+        Self { session: path.map(|_| tc_trace::TraceSession::begin()), path: path.cloned() }
+    }
+
+    /// Handle to pass to `*_traced` entry points (`None` when inert).
+    pub fn handle(&self) -> Option<tc_trace::TraceHandle> {
+        self.session.as_ref().map(|s| s.handle())
+    }
+}
+
+/// 2D count under `cfg`, recording into `trace` when set; panics on
+/// runtime failure (experiment binaries have no recovery path).
+pub fn count_2d(
+    el: &EdgeList,
+    p: usize,
+    cfg: &tc_core::TcConfig,
+    trace: Option<&tc_trace::TraceHandle>,
+) -> tc_core::TcResult {
+    tc_core::try_count_triangles_traced(el, p, cfg, trace).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`count_2d`] with the default configuration.
+pub fn count_2d_default(
+    el: &EdgeList,
+    p: usize,
+    trace: Option<&tc_trace::TraceHandle>,
+) -> tc_core::TcResult {
+    count_2d(el, p, &tc_core::TcConfig::default(), trace)
+}
+
+/// SUMMA count on `grid`, recording into `trace` when set.
+pub fn count_summa(
+    el: &EdgeList,
+    grid: tc_core::SummaGrid,
+    cfg: &tc_core::TcConfig,
+    trace: Option<&tc_trace::TraceHandle>,
+) -> tc_core::TcResult {
+    tc_core::try_count_triangles_summa_traced(el, grid, cfg, trace)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let (Some(session), Some(path)) = (self.session.take(), self.path.take()) {
+            let trace = session.finish();
+            match tc_trace::chrome::write_chrome_json(&trace, std::path::Path::new(&path)) {
+                Ok(()) => eprintln!(
+                    "# trace: {} events ({} dropped) -> {path}",
+                    trace.events.len(),
+                    trace.dropped
+                ),
+                Err(e) => eprintln!("warning: failed to write trace {path}: {e}"),
+            }
+        }
+    }
 }

@@ -90,6 +90,56 @@ impl Table {
             }
         }
     }
+
+    /// Renders the table as one machine-readable JSON object:
+    /// `{"title": ..., "columns": [...], "rows": [[...], ...]}`.
+    pub fn to_json(&self) -> String {
+        // `escape` returns the quoted JSON string literal.
+        use tc_trace::json::escape;
+        let mut out = String::new();
+        out.push_str(&format!("{{\"title\":{},\"columns\":[", escape(&self.title)));
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(c));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Appends the table as one JSON line to `path` (JSON-lines: each
+    /// table an experiment emits becomes one self-describing record).
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?,
+        );
+        writeln!(f, "{}", self.to_json())?;
+        f.flush()
+    }
+
+    /// Writes the JSON run report if a path was provided.
+    pub fn maybe_json(&self, path: &Option<String>) {
+        if let Some(p) = path {
+            if let Err(e) = self.write_json(p) {
+                eprintln!("warning: failed to write {p}: {e}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +162,39 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let mut t = Table::new("demo \"quoted\"", &["ranks", "tct(s)"]);
+        t.row(vec!["4".into(), "0.123".into()]);
+        t.row(vec!["9".into(), "0.456".into()]);
+        let doc = tc_trace::json::parse(&t.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("title").and_then(|v| v.as_str()), Some("demo \"quoted\""));
+        let cols = doc.get("columns").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(cols.len(), 2);
+        let rows = doc.get("rows").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].as_arr().unwrap()[1].as_str(), Some("0.456"));
+    }
+
+    #[test]
+    fn json_lines_append() {
+        let dir = std::env::temp_dir().join(format!("tcbench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        let p = path.to_str().unwrap().to_string();
+        let mut t = Table::new("one", &["a"]);
+        t.row(vec!["1".into()]);
+        t.write_json(&p).unwrap();
+        t.write_json(&p).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            tc_trace::json::parse(line).expect("each line is a JSON object");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

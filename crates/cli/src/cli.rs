@@ -71,6 +71,9 @@ pub enum Command {
         seed: u64,
         /// Also print clustering statistics.
         stats: bool,
+        /// When set, record a per-rank execution trace and write it to
+        /// this path as Chrome trace-event JSON.
+        trace: Option<PathBuf>,
     },
     /// Generate a preset and write it to a file.
     Generate {
@@ -95,6 +98,12 @@ pub enum Command {
         /// Generator seed for preset inputs.
         seed: u64,
     },
+    /// Validate a Chrome trace-event file produced by `--trace` and
+    /// print a summary of its lanes and spans.
+    TraceCheck {
+        /// The trace file to check.
+        file: PathBuf,
+    },
     /// Print usage.
     Help,
 }
@@ -107,14 +116,18 @@ USAGE:
   tricount count  <FILE|PRESET> [--algorithm 2d|summa|serial|shared|aop|push|psp|wedge]
                   [--ranks N] [--grid RxC] [--seed S] [--stats]
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
-                  [--no-early-break]
+                  [--no-early-break] [--trace FILE]
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
+  tricount tracecheck <FILE>
   tricount help
 
 PRESETs: g500-sN, twitter-like-N, friendster-like-N (N = log2 vertices).
 FILE formats: .mtx (Matrix Market), .bin (tricount binary), other (text edge list).
+--trace FILE records one lane per rank (phases, shifts, collectives) as
+Chrome trace-event JSON; open in Perfetto (ui.perfetto.dev) or
+chrome://tracing, or inspect with `tricount tracecheck FILE`.
 ";
 
 fn parse_input(s: &str) -> Input {
@@ -162,6 +175,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Truss { input, ranks, seed })
         }
+        "tracecheck" => {
+            let file = PathBuf::from(it.next().ok_or("tracecheck needs a trace file")?);
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument {extra:?}"));
+            }
+            Ok(Command::TraceCheck { file })
+        }
         "generate" => {
             let name = it.next().ok_or("generate needs a preset")?;
             let preset = Preset::parse(name).ok_or_else(|| format!("unknown preset {name:?}"))?;
@@ -194,6 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut config = TcConfig::paper();
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut stats = false;
+            let mut trace = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
@@ -234,6 +255,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--no-direct-hash" => config.direct_hash = false,
                     "--no-early-break" => config.reverse_early_break = false,
                     "--stats" => stats = true,
+                    "--trace" => {
+                        trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?))
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -249,7 +273,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 let r = (1..=r.max(1)).rev().find(|d| ranks % d == 0).unwrap_or(1);
                 grid = Some((r, ranks / r));
             }
-            Ok(Command::Count { input, algorithm, ranks, grid, config, seed, stats })
+            if trace.is_some() && matches!(algorithm, Algorithm::Serial | Algorithm::Shared) {
+                return Err(
+                    "--trace needs a distributed algorithm (2d, summa, aop, push, psp, wedge)"
+                        .into(),
+                );
+            }
+            Ok(Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace })
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -351,6 +381,28 @@ mod tests {
             Command::Truss { ranks, .. } => assert_eq!(ranks, 3),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects_local_algorithms() {
+        match p(&["count", "g500-s8", "--trace", "/tmp/t.json"]).unwrap() {
+            Command::Count { trace, .. } => {
+                assert_eq!(trace, Some(PathBuf::from("/tmp/t.json")))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["count", "g500-s8", "--algorithm", "serial", "--trace", "t.json"]).is_err());
+        assert!(p(&["count", "g500-s8", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn tracecheck_parses() {
+        match p(&["tracecheck", "run.json"]).unwrap() {
+            Command::TraceCheck { file } => assert_eq!(file, PathBuf::from("run.json")),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["tracecheck"]).is_err());
+        assert!(p(&["tracecheck", "a", "b"]).is_err());
     }
 
     #[test]

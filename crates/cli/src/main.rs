@@ -102,13 +102,17 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Count { input, algorithm, ranks, grid, config, seed, stats } => {
+        Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace } => {
             let el = load(&input, seed)?;
             eprintln!("# {} vertices, {} edges", el.num_vertices, el.num_edges());
+            let session = trace.as_ref().map(|_| tc_trace::TraceSession::begin());
+            let handle = session.as_ref().map(|s| s.handle());
+            let th = handle.as_ref();
             let t0 = Instant::now();
             let triangles = match algorithm {
                 Algorithm::TwoD => {
-                    let r = tc_core::count_triangles(&el, ranks, &config);
+                    let r = tc_core::try_count_triangles_traced(&el, ranks, &config, th)
+                        .map_err(|e| e.to_string())?;
                     println!("preprocessing : {:.3?}", r.ppt_time());
                     println!("counting      : {:.3?}", r.tct_time());
                     println!("tasks         : {}", r.total_tasks());
@@ -117,7 +121,8 @@ fn run(cmd: Command) -> Result<(), String> {
                 }
                 Algorithm::Summa => {
                     let g = cli::summa_grid(grid.expect("grid derived at parse time"));
-                    let r = tc_core::count_triangles_summa(&el, g, &config);
+                    let r = tc_core::try_count_triangles_summa_traced(&el, g, &config, th)
+                        .map_err(|e| e.to_string())?;
                     println!("grid          : {}x{} ({} panels)", g.pr, g.pc, g.panels);
                     println!("preprocessing : {:.3?}", r.ppt_time());
                     println!("counting      : {:.3?}", r.tct_time());
@@ -126,16 +131,26 @@ fn run(cmd: Command) -> Result<(), String> {
                 Algorithm::Serial => tc_baselines::serial::count_default(&el),
                 Algorithm::Shared => tc_baselines::count_shared(&el, ranks),
                 Algorithm::Aop => {
-                    let r = tc_baselines::count_aop1d(&el, ranks);
+                    let r = tc_baselines::try_count_aop1d_traced(&el, ranks, th)
+                        .map_err(|e| e.to_string())?;
                     println!("setup         : {:.3?}", r.setup);
                     println!("counting      : {:.3?}", r.count);
                     println!("ghost entries : {}", r.max_ghost_entries);
                     r.triangles
                 }
-                Algorithm::Push => tc_baselines::count_push1d(&el, ranks).triangles,
-                Algorithm::Psp => tc_baselines::count_psp1d(&el, ranks, 8).triangles,
+                Algorithm::Push => {
+                    tc_baselines::try_count_push1d_traced(&el, ranks, th)
+                        .map_err(|e| e.to_string())?
+                        .triangles
+                }
+                Algorithm::Psp => {
+                    tc_baselines::try_count_psp1d_traced(&el, ranks, 8, th)
+                        .map_err(|e| e.to_string())?
+                        .triangles
+                }
                 Algorithm::Wedge => {
-                    let r = tc_baselines::count_wedge(&el, ranks);
+                    let r = tc_baselines::try_count_wedge_traced(&el, ranks, th)
+                        .map_err(|e| e.to_string())?;
                     println!("2-core        : {:.3?} ({} peeled)", r.two_core, r.peeled);
                     println!("wedge check   : {:.3?} ({} wedges)", r.wedge_count, r.wedges);
                     r.triangles
@@ -146,6 +161,32 @@ fn run(cmd: Command) -> Result<(), String> {
             if stats {
                 let csr = Csr::from_edge_list(&el);
                 println!("transitivity  : {:.6}", tc_graph::stats::transitivity(&csr, triangles));
+            }
+            if let (Some(session), Some(path)) = (session, trace) {
+                let tr = session.finish();
+                tc_trace::chrome::write_chrome_json(&tr, &path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let analysis = tc_trace::analysis::analyze(&tr);
+                eprintln!(
+                    "# trace: {} events ({} dropped) -> {}",
+                    tr.events.len(),
+                    tr.dropped,
+                    path.display()
+                );
+                eprint!("{}", analysis.report());
+            }
+            Ok(())
+        }
+        Command::TraceCheck { file } => {
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let summary = tc_trace::chrome::validate(&text)
+                .map_err(|e| format!("{}: invalid trace: {e}", file.display()))?;
+            println!("lanes   : {} ranks {:?}", summary.ranks.len(), summary.ranks);
+            println!("spans   : {}", summary.spans);
+            println!("instants: {}", summary.instants);
+            for (name, n) in &summary.spans_by_name {
+                println!("  {name:<18} {n}");
             }
             Ok(())
         }

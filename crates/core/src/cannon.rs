@@ -70,6 +70,8 @@ fn cannon_count_impl(
 
     // Initial skew. With q == 1 the blocks are already aligned.
     let (mut ublock, mut lblock) = if q > 1 {
+        let _skew_span =
+            tc_trace::span(tc_trace::names::SKEW, tc_trace::Category::Shift).arg("z", 0u64);
         let u_dst = (x, (y + q - x) % q);
         let u_src = (x, (x + y) % q);
         let ub = grid.exchange_bytes(u_dst.0, u_dst.1, ublock_init.to_blob(), u_src.0, u_src.1)?;
@@ -88,7 +90,11 @@ fn cannon_count_impl(
     // Per-edge mode records every (task entry, closing vertex k) hit.
     let mut hits: Option<Vec<(u32, u32)>> = collect_per_edge.then(Vec::new);
     for z in 0..q {
+        let tasks_before = tasks;
         let t0 = tc_mps::CpuTimer::start();
+        let mut compute_span =
+            tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
+                .arg("z", z as u64);
         local += match hits.as_mut() {
             None => count_shift(&prep.task, &ublock, &lblock, &mut map, q, cfg, &mut tasks),
             Some(h) => crate::count::count_shift_recording(
@@ -102,8 +108,14 @@ fn cannon_count_impl(
                 |idx, k| h.push((idx as u32, k)),
             ),
         };
+        compute_span.record_arg("tasks", tasks - tasks_before);
+        drop(compute_span);
         shift_compute.push(t0.elapsed());
         if z + 1 < q {
+            // Tag the exchange with the shift whose operands it
+            // delivers (matching the skew, which delivers shift 0's).
+            let _xchg_span = tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
+                .arg("z", (z + 1) as u64);
             ublock = SparseBlock::from_blob(grid.shift_left(ublock.to_blob())?);
             lblock = SparseBlock::from_blob(grid.shift_up(lblock.to_blob())?);
         }

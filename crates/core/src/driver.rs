@@ -9,11 +9,17 @@
 use std::time::Instant;
 
 use tc_graph::{Csr, EdgeList};
-use tc_mps::{MpsResult, Universe};
+use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_trace::{names, Category, TraceHandle};
 
 use crate::config::TcConfig;
 use crate::metrics::{RankMetrics, TcResult};
 use crate::preprocess::preprocess;
+
+/// Builds the universe config for a (possibly traced) pipeline run.
+fn universe_config(trace: Option<&TraceHandle>) -> UniverseConfig {
+    UniverseConfig { recv_timeout: None, trace: trace.cloned() }
+}
 
 /// Counts the triangles of `el` on `p` ranks with the 2D algorithm.
 ///
@@ -37,6 +43,18 @@ pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
 /// Fallible [`count_triangles`]: runtime failures come back as
 /// [`tc_mps::MpsError`] instead of a panic.
 pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult<TcResult> {
+    try_count_triangles_traced(el, p, cfg, None)
+}
+
+/// [`try_count_triangles`] with an optional trace session: when a
+/// handle is supplied, every rank records phase, shift, and
+/// communication spans into it.
+pub fn try_count_triangles_traced(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<TcResult> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
 
@@ -44,7 +62,7 @@ pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult
     // input; each rank only reads its own 1D block of rows.
     let global = Csr::from_edge_list(el);
 
-    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
         let mut metrics = RankMetrics::default();
 
         // ---- preprocessing phase ("ppt") ----
@@ -52,7 +70,9 @@ pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
+        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
         let prep = preprocess(comm, &global, cfg)?;
+        drop(ppt_span);
         metrics.ppt_cpu = cpu0.elapsed();
         comm.barrier()?;
         metrics.ppt = t0.elapsed();
@@ -63,7 +83,9 @@ pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult
         // ---- triangle counting phase ("tct") ----
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
+        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
         let out = crate::cannon::cannon_count(comm, prep, cfg)?;
+        drop(tct_span);
         metrics.tct_cpu = cpu1.elapsed();
         comm.barrier()?;
         metrics.tct = t1.elapsed();
@@ -127,19 +149,31 @@ pub fn try_count_per_edge(
     p: usize,
     cfg: &TcConfig,
 ) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
+    try_count_per_edge_traced(el, p, cfg, None)
+}
+
+/// [`try_count_per_edge`] with an optional trace session.
+pub fn try_count_per_edge_traced(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
         let mut metrics = RankMetrics::default();
         comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
+        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
         let prep = preprocess(comm, &global, cfg)?;
         let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
+        drop(ppt_span);
         metrics.ppt_cpu = cpu0.elapsed();
         comm.barrier()?;
         metrics.ppt = t0.elapsed();
@@ -149,7 +183,9 @@ pub fn try_count_per_edge(
 
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
+        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
         let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
+        drop(tct_span);
         metrics.tct_cpu = cpu1.elapsed();
         comm.barrier()?;
         metrics.tct = t1.elapsed();
@@ -236,6 +272,16 @@ pub fn try_count_triangles_from_root(
     p: usize,
     cfg: &TcConfig,
 ) -> MpsResult<TcResult> {
+    try_count_triangles_from_root_traced(el, p, cfg, None)
+}
+
+/// [`try_count_triangles_from_root`] with an optional trace session.
+pub fn try_count_triangles_from_root_traced(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    trace: Option<&TraceHandle>,
+) -> MpsResult<TcResult> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let n = el.num_vertices;
@@ -243,12 +289,13 @@ pub fn try_count_triangles_from_root(
     let root_csr = Csr::from_edge_list(el);
     let block = tc_graph::Block1D::new(n, p);
 
-    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
         let mut metrics = RankMetrics::default();
         comm.barrier()?;
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
+        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
 
         // Rank 0 carves its CSR into per-rank block streams:
         // [lo-local xadj..., adj...] — two sections per rank, framed as
@@ -280,6 +327,7 @@ pub fn try_count_triangles_from_root(
         let input = crate::preprocess::BlockInput::Owned { lo: lo as u32, xadj, adj };
 
         let prep = crate::preprocess::preprocess_from(comm, n, &input, cfg)?;
+        drop(ppt_span);
         metrics.ppt_cpu = cpu0.elapsed();
         comm.barrier()?;
         metrics.ppt = t0.elapsed();
@@ -289,7 +337,9 @@ pub fn try_count_triangles_from_root(
 
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
+        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
         let out = crate::cannon::cannon_count(comm, prep, cfg)?;
+        drop(tct_span);
         metrics.tct_cpu = cpu1.elapsed();
         comm.barrier()?;
         metrics.tct = t1.elapsed();

@@ -39,7 +39,11 @@ pub mod summa;
 pub use config::{Enumeration, TcConfig};
 pub use driver::{
     count_per_edge, count_triangles, count_triangles_default, count_triangles_from_root,
-    EdgeSupport,
+    try_count_per_edge, try_count_per_edge_traced, try_count_triangles,
+    try_count_triangles_from_root, try_count_triangles_from_root_traced,
+    try_count_triangles_traced, EdgeSupport,
 };
 pub use metrics::{RankMetrics, TcResult};
-pub use summa::{count_triangles_summa, SummaGrid};
+pub use summa::{
+    count_triangles_summa, try_count_triangles_summa, try_count_triangles_summa_traced, SummaGrid,
+};

@@ -275,4 +275,87 @@ mod tests {
         assert_eq!(r.ppt_kops_per_sec(), 0.0);
         assert_eq!(r.tct_kops_per_sec(), 0.0);
     }
+
+    #[test]
+    fn aggregates_are_rank_order_invariant() {
+        let mut a = mk(10, 5, 3);
+        a.ppt_cpu = Duration::from_millis(8);
+        a.shift_compute = vec![Duration::from_millis(4), Duration::from_millis(1)];
+        a.bytes_sent = 100;
+        let mut b = mk(7, 9, 5);
+        b.ppt_cpu = Duration::from_millis(6);
+        b.shift_compute = vec![Duration::from_millis(2), Duration::from_millis(6)];
+        b.bytes_sent = 50;
+        let fwd = TcResult { triangles: 1, num_ranks: 2, ranks: vec![a.clone(), b.clone()] };
+        let rev = TcResult { triangles: 1, num_ranks: 2, ranks: vec![b, a] };
+        assert_eq!(fwd.ppt_time(), rev.ppt_time());
+        assert_eq!(fwd.tct_time(), rev.tct_time());
+        assert_eq!(fwd.modeled_ppt_time(), rev.modeled_ppt_time());
+        assert_eq!(fwd.modeled_tct_time(), rev.modeled_tct_time());
+        assert_eq!(fwd.total_tasks(), rev.total_tasks());
+        assert_eq!(fwd.total_bytes_sent(), rev.total_bytes_sent());
+        assert_eq!(fwd.shift_imbalance(), rev.shift_imbalance());
+    }
+
+    #[test]
+    fn modeled_phase_times_pick_the_slowest_rank_per_phase() {
+        // Wall and CPU maxima deliberately land on *different* ranks:
+        // rank 0 has the longest wall clock, rank 1 the most CPU.
+        let mut a = mk(20, 2, 0);
+        a.ppt_cpu = Duration::from_millis(3);
+        a.tct_cpu = Duration::from_millis(1);
+        let mut b = mk(5, 2, 0);
+        b.ppt_cpu = Duration::from_millis(12);
+        b.tct_cpu = Duration::from_millis(2);
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![a, b] };
+        assert_eq!(r.ppt_time(), Duration::from_millis(20));
+        assert_eq!(r.modeled_ppt_time(), Duration::from_millis(12));
+        assert_eq!(r.modeled_overall_time(), r.modeled_ppt_time() + r.modeled_tct_time());
+    }
+
+    #[test]
+    fn modeled_tct_matches_shift_imbalance_sum() {
+        let mut a = mk(0, 0, 0);
+        a.shift_compute = vec![Duration::from_millis(4), Duration::from_millis(2)];
+        let mut b = mk(0, 0, 0);
+        b.shift_compute = vec![Duration::from_millis(2), Duration::from_millis(6)];
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![a, b] };
+        assert_eq!(r.modeled_tct_time(), r.shift_imbalance().0);
+        assert_eq!(r.modeled_tct_time(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn shift_imbalance_handles_empty_and_ragged_shift_lists() {
+        // No ranks at all.
+        let empty = TcResult { triangles: 0, num_ranks: 0, ranks: vec![] };
+        let (mx, avg, imb) = empty.shift_imbalance();
+        assert_eq!(mx, Duration::ZERO);
+        assert_eq!(avg, Duration::ZERO);
+        assert_eq!(imb, 1.0);
+        assert_eq!(empty.modeled_tct_time(), Duration::ZERO);
+
+        // Ranks present but no shifts recorded (e.g. a failed run).
+        let noshift =
+            TcResult { triangles: 0, num_ranks: 2, ranks: vec![mk(1, 1, 0), mk(1, 1, 0)] };
+        assert_eq!(noshift.shift_imbalance().0, Duration::ZERO);
+
+        // Ragged lists: a rank with fewer entries contributes zero to
+        // the missing shifts instead of panicking.
+        let mut a = mk(0, 0, 0);
+        a.shift_compute = vec![Duration::from_millis(3)];
+        let mut b = mk(0, 0, 0);
+        b.shift_compute = vec![Duration::from_millis(1), Duration::from_millis(5)];
+        let r = TcResult { triangles: 0, num_ranks: 2, ranks: vec![a, b] };
+        assert_eq!(r.shift_imbalance().0, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn comm_delta_is_monotone_and_saturating() {
+        use tc_mps::CommStats;
+        let before = CommStats { send_ns: 100, recv_ns: 50, ..Default::default() };
+        let after = CommStats { send_ns: 300, recv_ns: 250, ..Default::default() };
+        assert_eq!(RankMetrics::comm_delta(&before, &after), Duration::from_nanos(400));
+        // Reversed snapshots saturate to zero rather than underflowing.
+        assert_eq!(RankMetrics::comm_delta(&after, &before), Duration::ZERO);
+    }
 }

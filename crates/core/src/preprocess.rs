@@ -126,6 +126,7 @@ pub fn relabel_phase_from(
 
     // -- Step 1: initial cyclic redistribution --------------------------
     // Wire format per destination: repeated [v, deg, neighbors...].
+    let redist_span = tc_trace::span(tc_trace::names::PREP_REDIST, tc_trace::Category::Phase);
     let (lo, hi) = block.range(rank);
     let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
     for v in lo..hi {
@@ -155,8 +156,10 @@ pub fn relabel_phase_from(
         }
     }
     drop(received);
+    drop(redist_span);
 
     // -- Step 2: distributed counting sort ------------------------------
+    let sort_span = tc_trace::span(tc_trace::names::PREP_SORT, tc_trace::Category::Phase);
     let local_dmax = adj.iter().map(|a| a.len() as u64).max().unwrap_or(0);
     let dmax = comm.allreduce_max_u64(local_dmax)? as usize;
     let mut hist = vec![0u64; dmax + 1];
@@ -181,7 +184,9 @@ pub fn relabel_phase_from(
         seen[d] += 1;
     }
     drop(seen);
+    drop(sort_span);
 
+    let label_span = tc_trace::span(tc_trace::names::PREP_LABELS, tc_trace::Category::Phase);
     // -- Step 2b: push old→new labels to every rank that references us --
     // Owner of u knows Adj(u); by symmetry each rank holding u in one
     // of its lists owns some w ∈ Adj(u), so pushing (u_old, u_new) to
@@ -229,6 +234,7 @@ pub fn relabel_phase_from(
             }
         }
     }
+    drop(label_span);
     Ok(RelabeledEntries { entries, label_pairs, ops })
 }
 
@@ -255,6 +261,7 @@ pub fn preprocess_from(
     let mut ops = relabeled.ops;
     let label_pairs = std::mem::take(&mut relabeled.label_pairs);
 
+    let twod_span = tc_trace::span(tc_trace::names::PREP_2D, tc_trace::Category::Phase);
     // -- Step 4: 2D cyclic redistribution -------------------------------
     // Ship each upper entry (v, k) to the three grid cells that need it:
     //   U block U(v%q, k%q)        at P(v%q, k%q)
@@ -307,6 +314,7 @@ pub fn preprocess_from(
     let task = SparseBlock::from_pairs(grid2d.class_count(n, x), q, &mut t_pairs);
 
     let max_hash_row = comm.allreduce_max_u64(ublock.max_row_len() as u64)? as usize;
+    drop(twod_span);
 
     Ok(PrepOutput { q, x, y, n, task, ublock, lblock, max_hash_row, ops, label_pairs })
 }

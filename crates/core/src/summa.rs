@@ -134,12 +134,26 @@ pub fn try_count_triangles_summa(
     grid: SummaGrid,
     cfg: &TcConfig,
 ) -> MpsResult<TcResult> {
+    try_count_triangles_summa_traced(el, grid, cfg, None)
+}
+
+/// [`try_count_triangles_summa`] with an optional trace session. Panel
+/// steps record the same `shift_compute` spans as Cannon shifts (the
+/// `z` argument is the panel index), so the trace analyzer treats both
+/// paths uniformly.
+pub fn try_count_triangles_summa_traced(
+    el: &EdgeList,
+    grid: SummaGrid,
+    cfg: &TcConfig,
+    trace: Option<&tc_trace::TraceHandle>,
+) -> MpsResult<TcResult> {
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let p = grid.size();
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::try_run_with_stats(p, |comm| {
+    let ucfg = tc_mps::UniverseConfig { recv_timeout: None, trace: trace.cloned() };
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &ucfg, |comm| {
         let mut metrics = RankMetrics::default();
         let (x, y) = grid.coords(comm.rank());
 
@@ -148,6 +162,7 @@ pub fn try_count_triangles_summa(
         let stats0 = comm.stats();
         let t0 = Instant::now();
         let cpu0 = tc_mps::CpuTimer::start();
+        let ppt_span = tc_trace::span(tc_trace::names::PHASE_PPT, tc_trace::Category::Phase);
         let relabeled = relabel_phase(comm, &global)?;
         let mut ops = relabeled.ops;
 
@@ -213,6 +228,7 @@ pub fn try_count_triangles_summa(
 
         let local_max_row = u_panels.iter().flatten().map(|b| b.max_row_len()).max().unwrap_or(0);
         let max_hash_row = comm.allreduce_max_u64(local_max_row as u64)? as usize;
+        drop(ppt_span);
         metrics.ppt_cpu = cpu0.elapsed();
         comm.barrier()?;
         metrics.ppt = t0.elapsed();
@@ -223,6 +239,7 @@ pub fn try_count_triangles_summa(
         // ---- counting: K panel steps, row + column broadcasts ----
         let t1 = Instant::now();
         let cpu1 = tc_mps::CpuTimer::start();
+        let tct_span = tc_trace::span(tc_trace::names::PHASE_TCT, tc_trace::Category::Phase);
         // Panels are contiguous in k, so the map hashes raw ids
         // (stride 1) rather than the Cannon path's `k ÷ q` transform.
         let mut map = IntersectMap::new(max_hash_row, 1);
@@ -233,6 +250,8 @@ pub fn try_count_triangles_summa(
         for w in 0..grid.panels {
             let step0 = tc_mps::CpuTimer::start();
             let u_root = grid.rank_of(x, w % grid.pc);
+            let xchg_span = tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
+                .arg("z", w as u64);
             let u_blob = group_bcast(
                 comm,
                 u_root,
@@ -248,6 +267,11 @@ pub fn try_count_triangles_summa(
                 SUMMA_TAG + (w as u64) * 4 + 1,
                 l_panels[w].take().map(|b| b.to_blob()),
             )?;
+            drop(xchg_span);
+            let tasks_before = tasks;
+            let mut compute_span =
+                tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
+                    .arg("z", w as u64);
             let hash_block = SparseBlock::from_blob(u_blob);
             let probe_block = SparseBlock::from_blob(l_blob);
             local += crate::count::count_shift(
@@ -259,9 +283,12 @@ pub fn try_count_triangles_summa(
                 cfg,
                 &mut tasks,
             );
+            compute_span.record_arg("tasks", tasks - tasks_before);
+            drop(compute_span);
             metrics.shift_compute.push(step0.elapsed());
         }
         let triangles = comm.allreduce_sum_u64(local)?;
+        drop(tct_span);
         metrics.tct_cpu = cpu1.elapsed();
         comm.barrier()?;
         metrics.tct = t1.elapsed();

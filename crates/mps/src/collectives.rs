@@ -90,6 +90,7 @@ impl Comm {
             return Ok(());
         }
         let base = self.next_coll_tag(OP_BARRIER);
+        let _tspan = self.coll_span(base);
         let mut round = 0u64;
         let mut d = 1usize;
         while d < p {
@@ -109,6 +110,7 @@ impl Comm {
         assert!(root < self.size(), "bcast root {root} out of range");
         let p = self.size();
         let tag = self.next_coll_tag(OP_BCAST);
+        let _tspan = self.coll_span(tag);
         if p == 1 {
             return Ok(data.to_vec());
         }
@@ -160,6 +162,7 @@ impl Comm {
         assert!(root < self.size(), "reduce root {root} out of range");
         let p = self.size();
         let tag = self.next_coll_tag(OP_REDUCE);
+        let _tspan = self.coll_span(tag);
         let rel = (self.rank() + p - root) % p;
         let mut acc = data.to_vec();
 
@@ -220,6 +223,7 @@ impl Comm {
     pub fn scan<T: Pod>(&self, data: &[T], op: impl Fn(&mut T, &T)) -> MpsResult<Vec<T>> {
         let p = self.size();
         let tag = self.next_coll_tag(OP_SCAN);
+        let _tspan = self.coll_span(tag);
         let mut acc = data.to_vec();
         let mut d = 1usize;
         let mut round = 0u64;
@@ -255,6 +259,7 @@ impl Comm {
         let inclusive = self.scan(data, op)?;
         let p = self.size();
         let tag = self.next_coll_tag(OP_SCAN);
+        let _tspan = self.coll_span(tag);
         if self.rank() + 1 < p {
             self.send_internal(self.rank() + 1, tag, coll_encode(&inclusive));
         }
@@ -275,6 +280,7 @@ impl Comm {
     pub fn gatherv<T: Pod>(&self, root: usize, data: &[T]) -> MpsResult<Option<Vec<Vec<T>>>> {
         assert!(root < self.size(), "gatherv root {root} out of range");
         let tag = self.next_coll_tag(OP_GATHER);
+        let _tspan = self.coll_span(tag);
         if self.rank() != root {
             self.send_internal(root, tag, coll_encode(data));
             return Ok(None);
@@ -294,6 +300,7 @@ impl Comm {
     #[allow(clippy::needless_range_loop)] // src doubles as the peer rank id
     pub fn allgatherv<T: Pod>(&self, data: &[T]) -> MpsResult<Vec<Vec<T>>> {
         let tag = self.next_coll_tag(OP_ALLGATHER);
+        let _tspan = self.coll_span(tag);
         for dst in 0..self.size() {
             if dst != self.rank() {
                 self.send_internal(dst, tag, coll_encode(data));
@@ -323,6 +330,7 @@ impl Comm {
             "alltoallv needs exactly one buffer per destination rank"
         );
         let tag = self.next_coll_tag(OP_ALLTOALL);
+        let _tspan = self.coll_span(tag);
         // Stagger destinations so all ranks don't hammer rank 0 first.
         for k in 0..self.size() {
             let dst = (self.rank() + k) % self.size();
@@ -353,6 +361,7 @@ impl Comm {
             "alltoallv needs exactly one buffer per destination rank"
         );
         let tag = self.next_coll_tag(OP_ALLTOALL);
+        let _tspan = self.coll_span(tag);
         let mut out: Vec<Bytes> = vec![Bytes::new(); self.size()];
         for (dst, buf) in sends.into_iter().enumerate() {
             if dst == self.rank() {
@@ -380,6 +389,7 @@ impl Comm {
     pub fn scatterv<T: Pod>(&self, root: usize, data: Option<&[Vec<T>]>) -> MpsResult<Vec<T>> {
         assert!(root < self.size(), "scatterv root {root} out of range");
         let tag = self.next_coll_tag(OP_SCATTER);
+        let _tspan = self.coll_span(tag);
         if self.rank() == root {
             let bufs = data.expect("root must supply the scatter buffers");
             assert_eq!(bufs.len(), self.size(), "need one scatter buffer per rank");

@@ -131,6 +131,13 @@ impl Comm {
         assert!(dst < self.size, "send to rank {dst} but universe has {} ranks", self.size);
         let t0 = Instant::now();
         let nbytes = data.len() as u64;
+        // Collective-internal traffic is summarized by the collective's
+        // own span; only user sends get their own event.
+        if tag & (1 << 63) == 0 {
+            tc_trace::instant_with(tc_trace::names::SEND, tc_trace::Category::Comm, || {
+                vec![("dst", dst.into()), ("tag", tag.into()), ("bytes", nbytes.into())]
+            });
+        }
         self.fabric.deliver(dst, Packet { src: self.rank, tag, data });
         let st = &self.fabric.stats[self.rank];
         st.bytes_sent.fetch_add(nbytes, std::sync::atomic::Ordering::Relaxed);
@@ -164,6 +171,15 @@ impl Comm {
     pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> MpsResult<Bytes> {
         assert!(src < self.size, "recv from rank {src} but universe has {} ranks", self.size);
         let t0 = Instant::now();
+        // User receives get a span (wall − CPU inside it is the
+        // blocked time); collective-internal receives are covered by
+        // the collective's own span instead, so blocked time is never
+        // attributed twice.
+        let mut tspan = (tag & (1 << 63) == 0).then(|| {
+            tc_trace::span(tc_trace::names::RECV, tc_trace::Category::Comm)
+                .arg("src", src)
+                .arg("tag", tag)
+        });
 
         // First drain anything already parked for this source.
         {
@@ -171,6 +187,9 @@ impl Comm {
             if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
                 let pkt = pending.remove(pos).expect("position just found");
                 self.note_recv(&pkt, t0);
+                if let Some(s) = &mut tspan {
+                    s.record_arg("bytes", pkt.data.len());
+                }
                 return Ok(pkt.data);
             }
             if let Some(err) = self.detect_mismatch(src, tag, pending.iter()) {
@@ -201,6 +220,9 @@ impl Comm {
         match outcome {
             AwaitOutcome::Matched(Ok(pkt)) => {
                 self.note_recv(&pkt, t0);
+                if let Some(s) = &mut tspan {
+                    s.record_arg("bytes", pkt.data.len());
+                }
                 Ok(pkt.data)
             }
             AwaitOutcome::Matched(Err(err)) => Err(err),
@@ -306,6 +328,14 @@ impl Comm {
         self.coll_seq.set(seq + 1);
         // Layout: [63] internal flag | [62:56] op | [55:0] sequence.
         (1 << 63) | (op << COLL_OP_SHIFT) | seq
+    }
+
+    /// Span covering one collective call, named after the op encoded
+    /// in `tag` and stamped with the collective sequence number, so a
+    /// trace shows which logical collective every rank was inside.
+    pub(crate) fn coll_span(&self, tag: u64) -> tc_trace::Span {
+        tc_trace::span(coll_op_name(tag), tc_trace::Category::Collective)
+            .arg("seq", tag & COLL_SEQ_MASK)
     }
 }
 

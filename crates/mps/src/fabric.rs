@@ -71,10 +71,15 @@ pub(crate) struct Fabric {
     blocked: Vec<Mutex<Option<BlockedOp>>>,
     pub(crate) stats: Vec<SharedStats>,
     timeout: Duration,
+    trace: Option<tc_trace::TraceHandle>,
 }
 
 impl Fabric {
-    pub(crate) fn new(size: usize, timeout: Duration) -> Self {
+    pub(crate) fn new(
+        size: usize,
+        timeout: Duration,
+        trace: Option<tc_trace::TraceHandle>,
+    ) -> Self {
         Self {
             size,
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
@@ -83,6 +88,7 @@ impl Fabric {
             blocked: (0..size).map(|_| Mutex::new(None)).collect(),
             stats: (0..size).map(|_| SharedStats::default()).collect(),
             timeout,
+            trace,
         }
     }
 
@@ -195,9 +201,20 @@ impl Fabric {
                  {inflight} undrained",
                 s.msgs_sent, s.bytes_sent, s.msgs_recv, s.bytes_recv
             );
+            // With tracing live, each rank's recent events say *what*
+            // it was doing on the way into the hang.
+            if let Some(trace) = &self.trace {
+                for line in trace.recent(r, Self::DUMP_TRACE_EVENTS) {
+                    let _ = writeln!(out, "    {line}");
+                }
+            }
         }
         out
     }
+
+    /// How many of each rank's most recent trace events a timeout
+    /// report includes.
+    const DUMP_TRACE_EVENTS: usize = 8;
 }
 
 /// Result of [`Fabric::await_match`].

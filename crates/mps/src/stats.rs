@@ -174,4 +174,80 @@ mod tests {
         assert_eq!(v, 42);
         assert!(t.get("f") > Duration::ZERO);
     }
+
+    #[test]
+    fn merge_is_commutative_and_identity_on_default() {
+        let a = CommStats {
+            bytes_sent: 10,
+            msgs_sent: 1,
+            bytes_recv: 7,
+            msgs_recv: 3,
+            send_ns: 40,
+            recv_ns: 60,
+        };
+        let b = CommStats {
+            bytes_sent: 2,
+            msgs_sent: 5,
+            bytes_recv: 1,
+            msgs_recv: 0,
+            send_ns: 10,
+            recv_ns: 0,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge order must not matter");
+        let mut with_zero = a.clone();
+        with_zero.merge(&CommStats::default());
+        assert_eq!(with_zero, a, "default is the merge identity");
+        assert_eq!(ab.comm_time(), Duration::from_nanos(110));
+    }
+
+    #[test]
+    fn merge_fold_over_many_ranks_matches_fieldwise_sums() {
+        let per_rank: Vec<CommStats> = (0..8u64)
+            .map(|r| CommStats {
+                bytes_sent: r * 100,
+                msgs_sent: r,
+                bytes_recv: r * 50,
+                msgs_recv: r * 2,
+                send_ns: r * 7,
+                recv_ns: r * 11,
+            })
+            .collect();
+        let mut total = CommStats::default();
+        for s in &per_rank {
+            total.merge(s);
+        }
+        let sum: u64 = (0..8).sum();
+        assert_eq!(total.bytes_sent, sum * 100);
+        assert_eq!(total.msgs_recv, sum * 2);
+        assert_eq!(total.comm_time(), Duration::from_nanos(sum * 18));
+    }
+
+    #[test]
+    fn shared_stats_snapshot_reflects_stores() {
+        let s = SharedStats::default();
+        s.bytes_sent.store(33, Ordering::Relaxed);
+        s.recv_ns.store(44, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 33);
+        assert_eq!(snap.recv_ns, 44);
+        assert_eq!(snap.msgs_sent, 0);
+    }
+
+    #[test]
+    fn nested_phase_guards_attribute_to_both_phases() {
+        let t = Timings::new();
+        {
+            let _outer = t.phase("outer");
+            {
+                let _inner = t.phase("inner");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        assert!(t.get("inner") > Duration::ZERO);
+        assert!(t.get("outer") >= t.get("inner"), "outer encloses inner");
+    }
 }

@@ -32,22 +32,50 @@ pub const RECV_TIMEOUT_ENV: &str = "MPS_RECV_TIMEOUT_MS";
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Tunables of one universe.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UniverseConfig {
     /// How long a receive (or collective step) may block before it
-    /// gives up with [`MpsError::Timeout`]. The default is 60 s,
-    /// overridable through [`RECV_TIMEOUT_ENV`].
-    pub recv_timeout: Duration,
+    /// gives up with [`MpsError::Timeout`]. `None` means the default
+    /// of 60 s, overridable through [`RECV_TIMEOUT_ENV`].
+    ///
+    /// # Panics (at universe construction)
+    ///
+    /// When this is `None` and [`RECV_TIMEOUT_ENV`] is set to
+    /// something that does not parse as a `u64` millisecond count,
+    /// universe construction panics loudly instead of silently
+    /// running with the default — a mistyped deadline in CI must not
+    /// masquerade as a configured one.
+    pub recv_timeout: Option<Duration>,
+    /// When set, every rank thread binds itself to this trace session
+    /// for its lifetime, and the fabric enriches timeout reports with
+    /// each rank's most recent trace events.
+    pub trace: Option<tc_trace::TraceHandle>,
 }
 
-impl Default for UniverseConfig {
-    fn default() -> Self {
-        let recv_timeout = std::env::var(RECV_TIMEOUT_ENV)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(Duration::from_millis)
-            .unwrap_or(DEFAULT_RECV_TIMEOUT);
-        Self { recv_timeout }
+impl UniverseConfig {
+    /// A config with an explicit receive deadline and no tracing.
+    pub fn with_timeout(recv_timeout: Duration) -> Self {
+        Self { recv_timeout: Some(recv_timeout), trace: None }
+    }
+
+    /// The effective receive deadline: the explicit value if set,
+    /// otherwise [`RECV_TIMEOUT_ENV`] (which must parse — see the
+    /// field docs), otherwise 60 s.
+    pub fn effective_recv_timeout(&self) -> Duration {
+        if let Some(t) = self.recv_timeout {
+            return t;
+        }
+        match std::env::var(RECV_TIMEOUT_ENV) {
+            Ok(raw) => match raw.trim().parse::<u64>() {
+                Ok(ms) => Duration::from_millis(ms),
+                Err(e) => panic!(
+                    "{RECV_TIMEOUT_ENV}={raw:?} is not a valid millisecond count ({e}); \
+                     unset it or set an unsigned integer"
+                ),
+            },
+            Err(std::env::VarError::NotPresent) => DEFAULT_RECV_TIMEOUT,
+            Err(e) => panic!("{RECV_TIMEOUT_ENV} is set but unreadable: {e}"),
+        }
     }
 }
 
@@ -116,15 +144,18 @@ impl Universe {
         F: Fn(&Comm) -> MpsResult<T> + Sync,
     {
         assert!(size > 0, "universe must have at least one rank");
-        let fabric = Arc::new(Fabric::new(size, config.recv_timeout));
+        let timeout = config.effective_recv_timeout();
+        let fabric = Arc::new(Fabric::new(size, timeout, config.trace.clone()));
 
         let f = &f;
+        let trace = &config.trace;
         let mut results: Vec<Option<(T, CommStats)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
             for rank in 0..size {
                 let fabric = Arc::clone(&fabric);
                 handles.push(scope.spawn(move || {
+                    let _trace_guard = trace.as_ref().map(|h| h.register_rank(rank));
                     let comm = Comm::new(rank, size, Arc::clone(&fabric));
                     let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     let stats = comm.stats();
@@ -351,7 +382,7 @@ mod tests {
         // Both ranks wait for a message the other never sends: a real
         // deadlock under the old semantics. Both must time out; the
         // universe returns the first expiry as a typed Timeout.
-        let cfg = UniverseConfig { recv_timeout: Duration::from_millis(250) };
+        let cfg = UniverseConfig::with_timeout(Duration::from_millis(250));
         let err = Universe::try_run_config(2, &cfg, |c| {
             let peer = 1 - c.rank();
             c.recv_val::<u64>(peer, 99)
@@ -372,7 +403,7 @@ mod tests {
     fn recv_from_cleanly_finished_peer_fails_fast() {
         // Rank 0 finishes without sending; rank 1's receive must fail
         // promptly (not wait out the full deadline).
-        let cfg = UniverseConfig { recv_timeout: Duration::from_secs(30) };
+        let cfg = UniverseConfig::with_timeout(Duration::from_secs(30));
         let t0 = std::time::Instant::now();
         let err = Universe::try_run_config(2, &cfg, |c| {
             if c.rank() == 0 {

@@ -1,0 +1,89 @@
+//! Strict parsing of `MPS_RECV_TIMEOUT_MS`.
+//!
+//! These tests mutate the process environment, so they live in their
+//! own integration-test binary (cargo runs each test binary in its own
+//! process) and are serialized behind one lock — they must never share
+//! a process with tests that construct default-configured universes.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tc_mps::{Universe, UniverseConfig, RECV_TIMEOUT_ENV};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_env<R>(value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let _g = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let prev = std::env::var(RECV_TIMEOUT_ENV).ok();
+    // The lock serializes all mutation of this variable within this
+    // test binary; no other thread reads the environment here.
+    match value {
+        Some(v) => std::env::set_var(RECV_TIMEOUT_ENV, v),
+        None => std::env::remove_var(RECV_TIMEOUT_ENV),
+    }
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var(RECV_TIMEOUT_ENV, v),
+        None => std::env::remove_var(RECV_TIMEOUT_ENV),
+    }
+    out
+}
+
+#[test]
+fn valid_env_value_is_used() {
+    with_env(Some("1234"), || {
+        let cfg = UniverseConfig::default();
+        assert_eq!(cfg.effective_recv_timeout(), Duration::from_millis(1234));
+    });
+}
+
+#[test]
+fn env_value_is_trimmed() {
+    with_env(Some(" 500 \n"), || {
+        let cfg = UniverseConfig::default();
+        assert_eq!(cfg.effective_recv_timeout(), Duration::from_millis(500));
+    });
+}
+
+#[test]
+fn missing_env_falls_back_to_default() {
+    with_env(None, || {
+        let cfg = UniverseConfig::default();
+        assert_eq!(cfg.effective_recv_timeout(), Duration::from_secs(60));
+    });
+}
+
+#[test]
+fn explicit_timeout_ignores_env() {
+    with_env(Some("not-a-number"), || {
+        let cfg = UniverseConfig::with_timeout(Duration::from_millis(250));
+        assert_eq!(cfg.effective_recv_timeout(), Duration::from_millis(250));
+    });
+}
+
+#[test]
+fn garbage_env_value_panics_loudly_at_universe_construction() {
+    with_env(Some("sixty-seconds"), || {
+        let err = std::panic::catch_unwind(|| {
+            let _ = Universe::try_run_with_stats(1, |c| Ok(c.rank()));
+        })
+        .expect_err("universe construction must panic on unparseable timeout");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains(RECV_TIMEOUT_ENV), "panic names the variable: {msg}");
+        assert!(msg.contains("sixty-seconds"), "panic echoes the bad value: {msg}");
+    });
+}
+
+#[test]
+fn negative_and_overflow_values_panic() {
+    for bad in ["-5", "1e9", "18446744073709551616"] {
+        with_env(Some(bad), || {
+            let r = std::panic::catch_unwind(|| UniverseConfig::default().effective_recv_timeout());
+            assert!(r.is_err(), "{bad:?} must be rejected");
+        });
+    }
+}

@@ -71,7 +71,7 @@ fn panic_at_every_phase_unblocks_all_peers() {
     let p = 9;
     // A short deadline bounds the damage if propagation were broken:
     // the elapsed-time assertion below would then see ~10 s, not 60 s.
-    let cfg = UniverseConfig { recv_timeout: Duration::from_secs(10) };
+    let cfg = UniverseConfig::with_timeout(Duration::from_secs(10));
     for (i, phase) in PHASES.iter().enumerate() {
         let fail_rank = i % p;
         let t0 = Instant::now();
@@ -102,7 +102,7 @@ fn wedged_rank_surfaces_as_timeout_with_report() {
     // Rank 3 neither crashes nor participates — the failure mode a
     // hung remote process would show. Peers must give up at the
     // deadline and the report must cover every rank.
-    let cfg = UniverseConfig { recv_timeout: Duration::from_millis(300) };
+    let cfg = UniverseConfig::with_timeout(Duration::from_millis(300));
     let t0 = Instant::now();
     let err = Universe::try_run_config(4, &cfg, |c| {
         if c.rank() == 3 {
@@ -181,7 +181,7 @@ fn failure_in_one_universe_does_not_poison_the_next() {
 
 #[test]
 fn error_display_is_informative() {
-    let cfg = UniverseConfig { recv_timeout: Duration::from_millis(200) };
+    let cfg = UniverseConfig::with_timeout(Duration::from_millis(200));
     let err = Universe::try_run_config(2, &cfg, |c| {
         let peer = 1 - c.rank();
         c.recv_val::<u64>(peer, 7)

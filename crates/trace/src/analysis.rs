@@ -1,0 +1,327 @@
+//! Trace-derived performance analysis.
+//!
+//! [`analyze`] digests a finished [`Trace`] into the same quantities
+//! `tc_core`'s critical-path *model* predicts, so the two can be
+//! cross-checked:
+//!
+//! - **per-phase critical path** — for every [`Category::Phase`] span
+//!   name, the maximum over ranks of that rank's CPU time inside the
+//!   phase. With phase barriers on both sides, the slowest rank *is*
+//!   the phase's critical path (the substitution `TcResult::
+//!   modeled_ppt_time` makes).
+//! - **per-shift breakdown** — for every `shift_compute` /
+//!   `shift_xchg` span (keyed by the `z` argument), the max and mean
+//!   rank CPU. The sum over shifts of the per-shift maxima is the
+//!   trace-derived counterpart of `TcResult::modeled_tct_time`
+//!   (Cannon's shift loop synchronizes every shift, so per-shift
+//!   maxima accumulate).
+//! - **blocked-time attribution** — per rank, wall time spent inside
+//!   communication spans minus the CPU consumed there: time the rank
+//!   sat waiting on a peer, split into point-to-point and collective
+//!   waits.
+//!
+//! The analyzer only reads span names from [`crate::names`], so the
+//! instrumentation sites and this module cannot drift apart silently.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{ArgValue, Category, EventKind};
+use crate::names;
+use crate::session::Trace;
+
+/// Per-shift (or per-SUMMA-panel) aggregates across ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftBreakdown {
+    /// Shift index (the span's `z` argument).
+    pub z: u64,
+    /// Slowest rank's compute CPU in this shift, seconds.
+    pub max_compute_s: f64,
+    /// Mean over ranks of compute CPU in this shift, seconds.
+    pub mean_compute_s: f64,
+    /// Slowest rank's operand-exchange wall time after this shift,
+    /// seconds (0 when the trace has no exchange span for `z`).
+    pub max_xchg_s: f64,
+    /// Ranks that recorded a compute span for this shift.
+    pub ranks: usize,
+}
+
+/// Per-rank blocked-time attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankAttribution {
+    /// The rank.
+    pub rank: usize,
+    /// Total CPU across all of the rank's spans, seconds.
+    pub cpu_s: f64,
+    /// Wall minus CPU inside point-to-point spans (send/recv),
+    /// seconds: time blocked waiting for a matching message.
+    pub p2p_blocked_s: f64,
+    /// Wall minus CPU inside collective spans, seconds: time blocked
+    /// waiting for peers to reach the collective.
+    pub coll_blocked_s: f64,
+}
+
+/// Everything [`analyze`] derives from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceAnalysis {
+    /// For each phase-span name: max over ranks of per-rank CPU in
+    /// that phase, seconds.
+    pub phase_critical_path_s: BTreeMap<String, f64>,
+    /// Σ over shifts of the per-shift max rank compute CPU, seconds —
+    /// the trace-derived `modeled_tct_time`.
+    pub shift_critical_path_s: f64,
+    /// Per-shift aggregates, ascending by `z`.
+    pub shifts: Vec<ShiftBreakdown>,
+    /// Per-rank blocked-time attribution, ascending by rank.
+    pub ranks: Vec<RankAttribution>,
+}
+
+impl TraceAnalysis {
+    /// The preprocessing critical path (max rank CPU of the `ppt`
+    /// phase spans), seconds; 0 when the trace has none.
+    pub fn ppt_critical_path_s(&self) -> f64 {
+        self.phase_critical_path_s.get(names::PHASE_PPT).copied().unwrap_or(0.0)
+    }
+
+    /// The trace-derived counting critical path: Σ over shifts of the
+    /// per-shift max compute CPU, seconds.
+    pub fn tct_critical_path_s(&self) -> f64 {
+        self.shift_critical_path_s
+    }
+
+    /// A human-readable multi-line report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "phase critical paths (max rank CPU):");
+        for (name, s) in &self.phase_critical_path_s {
+            let _ = writeln!(out, "  {name:<20} {:>10.3} ms", s * 1e3);
+        }
+        if !self.shifts.is_empty() {
+            let _ = writeln!(
+                out,
+                "shift critical path: {:.3} ms over {} shifts",
+                self.shift_critical_path_s * 1e3,
+                self.shifts.len()
+            );
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>12} {:>12} {:>12}",
+                "z", "max comp ms", "mean comp ms", "max xchg ms"
+            );
+            for s in &self.shifts {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>12.3} {:>12.3} {:>12.3}",
+                    s.z,
+                    s.max_compute_s * 1e3,
+                    s.mean_compute_s * 1e3,
+                    s.max_xchg_s * 1e3
+                );
+            }
+        }
+        if !self.ranks.is_empty() {
+            let _ = writeln!(out, "blocked-time attribution:");
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>10} {:>14} {:>14}",
+                "rank", "cpu ms", "p2p blocked ms", "coll blocked ms"
+            );
+            for r in &self.ranks {
+                let _ = writeln!(
+                    out,
+                    "  {:>4} {:>10.3} {:>14.3} {:>14.3}",
+                    r.rank,
+                    r.cpu_s * 1e3,
+                    r.p2p_blocked_s * 1e3,
+                    r.coll_blocked_s * 1e3
+                );
+            }
+        }
+        out
+    }
+}
+
+const NS: f64 = 1e-9;
+
+/// Computes the [`TraceAnalysis`] of a finished trace.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    // phase name -> rank -> accumulated cpu ns
+    let mut phase: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
+    // z -> rank -> compute cpu ns
+    let mut compute: BTreeMap<u64, BTreeMap<usize, u64>> = BTreeMap::new();
+    // z -> max xchg wall ns
+    let mut xchg: BTreeMap<u64, u64> = BTreeMap::new();
+    // rank -> attribution accumulators
+    let mut ranks: BTreeMap<usize, RankAttribution> = BTreeMap::new();
+
+    for ev in &trace.events {
+        if ev.kind != EventKind::Span {
+            continue;
+        }
+        let att = ranks.entry(ev.rank).or_insert_with(|| RankAttribution {
+            rank: ev.rank,
+            cpu_s: 0.0,
+            p2p_blocked_s: 0.0,
+            coll_blocked_s: 0.0,
+        });
+        att.cpu_s += ev.cpu_ns as f64 * NS;
+        let blocked = ev.dur_ns.saturating_sub(ev.cpu_ns) as f64 * NS;
+        match ev.cat {
+            Category::Phase => {
+                *phase.entry(ev.name).or_default().entry(ev.rank).or_insert(0) += ev.cpu_ns;
+            }
+            Category::Shift => {
+                let z = ev.arg("z").and_then(ArgValue::as_u64).unwrap_or(0);
+                match ev.name {
+                    names::SHIFT_COMPUTE => {
+                        *compute.entry(z).or_default().entry(ev.rank).or_insert(0) += ev.cpu_ns;
+                    }
+                    names::SHIFT_XCHG | names::SKEW => {
+                        let slot = xchg.entry(z).or_insert(0);
+                        *slot = (*slot).max(ev.dur_ns);
+                    }
+                    _ => {}
+                }
+            }
+            Category::Comm => att.p2p_blocked_s += blocked,
+            Category::Collective => att.coll_blocked_s += blocked,
+            Category::Task | Category::Runtime => {}
+        }
+    }
+
+    let phase_critical_path_s = phase
+        .into_iter()
+        .map(|(name, per_rank)| {
+            let max = per_rank.values().copied().max().unwrap_or(0);
+            (name.to_string(), max as f64 * NS)
+        })
+        .collect();
+
+    let mut shifts = Vec::with_capacity(compute.len());
+    let mut shift_critical_path_s = 0.0;
+    for (z, per_rank) in compute {
+        let n = per_rank.len();
+        let max = per_rank.values().copied().max().unwrap_or(0) as f64 * NS;
+        let sum: u64 = per_rank.values().sum();
+        shift_critical_path_s += max;
+        shifts.push(ShiftBreakdown {
+            z,
+            max_compute_s: max,
+            mean_compute_s: if n == 0 { 0.0 } else { sum as f64 * NS / n as f64 },
+            max_xchg_s: xchg.get(&z).copied().unwrap_or(0) as f64 * NS,
+            ranks: n,
+        });
+    }
+
+    TraceAnalysis {
+        phase_critical_path_s,
+        shift_critical_path_s,
+        shifts,
+        ranks: ranks.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn span(
+        rank: usize,
+        name: &'static str,
+        cat: Category,
+        dur_ns: u64,
+        cpu_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> Event {
+        Event { rank, name, cat, kind: EventKind::Span, ts_ns: 0, dur_ns, cpu_ns, args }
+    }
+
+    fn z(v: u64) -> Vec<(&'static str, ArgValue)> {
+        vec![("z", ArgValue::U64(v))]
+    }
+
+    #[test]
+    fn phase_critical_path_is_max_rank_cpu() {
+        let trace = Trace {
+            events: vec![
+                span(0, names::PHASE_PPT, Category::Phase, 9_000, 5_000, vec![]),
+                span(1, names::PHASE_PPT, Category::Phase, 9_000, 8_000, vec![]),
+                span(0, names::PHASE_TCT, Category::Phase, 9_000, 2_000, vec![]),
+            ],
+            dropped: 0,
+        };
+        let a = analyze(&trace);
+        assert!((a.ppt_critical_path_s() - 8_000.0 * NS).abs() < 1e-12);
+        assert!((a.phase_critical_path_s[names::PHASE_TCT] - 2_000.0 * NS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_critical_path_sums_per_shift_maxima() {
+        // z=0: max(3,7)=7; z=1: max(10,2)=10 → 17 total.
+        let trace = Trace {
+            events: vec![
+                span(0, names::SHIFT_COMPUTE, Category::Shift, 3, 3, z(0)),
+                span(1, names::SHIFT_COMPUTE, Category::Shift, 7, 7, z(0)),
+                span(0, names::SHIFT_COMPUTE, Category::Shift, 10, 10, z(1)),
+                span(1, names::SHIFT_COMPUTE, Category::Shift, 2, 2, z(1)),
+                span(0, names::SHIFT_XCHG, Category::Shift, 40, 1, z(0)),
+                span(1, names::SHIFT_XCHG, Category::Shift, 60, 1, z(0)),
+            ],
+            dropped: 0,
+        };
+        let a = analyze(&trace);
+        assert!((a.tct_critical_path_s() - 17.0 * NS).abs() < 1e-15);
+        assert_eq!(a.shifts.len(), 2);
+        assert_eq!(a.shifts[0].z, 0);
+        assert!((a.shifts[0].max_compute_s - 7.0 * NS).abs() < 1e-15);
+        assert!((a.shifts[0].mean_compute_s - 5.0 * NS).abs() < 1e-15);
+        assert!((a.shifts[0].max_xchg_s - 60.0 * NS).abs() < 1e-15);
+        assert_eq!(a.shifts[0].ranks, 2);
+        assert!((a.shifts[1].max_compute_s - 10.0 * NS).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocked_time_split_by_category() {
+        let trace = Trace {
+            events: vec![
+                span(2, names::RECV, Category::Comm, 1_000, 100, vec![]),
+                span(2, "allreduce", Category::Collective, 500, 50, vec![]),
+                span(2, "work", Category::Task, 400, 400, vec![]),
+            ],
+            dropped: 0,
+        };
+        let a = analyze(&trace);
+        assert_eq!(a.ranks.len(), 1);
+        let r = &a.ranks[0];
+        assert_eq!(r.rank, 2);
+        assert!((r.p2p_blocked_s - 900.0 * NS).abs() < 1e-15);
+        assert!((r.coll_blocked_s - 450.0 * NS).abs() < 1e-15);
+        assert!((r.cpu_s - 550.0 * NS).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let a = analyze(&Trace { events: vec![], dropped: 0 });
+        assert!(a.phase_critical_path_s.is_empty());
+        assert_eq!(a.tct_critical_path_s(), 0.0);
+        assert!(a.shifts.is_empty());
+        assert!(a.ranks.is_empty());
+        assert!(!a.report().is_empty());
+    }
+
+    #[test]
+    fn report_mentions_phases_and_shifts() {
+        let trace = Trace {
+            events: vec![
+                span(0, names::PHASE_PPT, Category::Phase, 9_000, 5_000, vec![]),
+                span(0, names::SHIFT_COMPUTE, Category::Shift, 3, 3, z(0)),
+            ],
+            dropped: 0,
+        };
+        let rep = analyze(&trace).report();
+        assert!(rep.contains("ppt"), "{rep}");
+        assert!(rep.contains("shift critical path"), "{rep}");
+        assert!(rep.contains("blocked-time"), "{rep}");
+    }
+}

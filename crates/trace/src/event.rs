@@ -1,0 +1,204 @@
+//! The event model: what one recorded span or instant looks like.
+
+use std::fmt;
+
+/// Coarse classification of an event, exported as the Chrome-trace
+/// `cat` field (Perfetto colors and filters by it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// A top-level algorithm phase (ppt, tct, baseline setup/count).
+    Phase,
+    /// One Cannon shift or SUMMA panel step.
+    Shift,
+    /// Point-to-point communication (send/recv/shift exchanges).
+    Comm,
+    /// A collective operation (barrier, bcast, reduce, …).
+    Collective,
+    /// Map-intersection task work.
+    Task,
+    /// Runtime bookkeeping (rank lifecycle, diagnostics).
+    Runtime,
+}
+
+impl Category {
+    /// The Chrome-trace `cat` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Phase => "phase",
+            Category::Shift => "shift",
+            Category::Comm => "comm",
+            Category::Collective => "coll",
+            Category::Task => "task",
+            Category::Runtime => "runtime",
+        }
+    }
+}
+
+/// Whether an event covers an interval or a single point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An interval with wall and CPU durations (Chrome `ph: "X"`).
+    Span,
+    /// A point event (Chrome `ph: "i"`).
+    Instant,
+}
+
+/// One argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned counter (byte counts, sequence numbers, ranks…).
+    U64(u64),
+    /// A floating-point quantity.
+    F64(f64),
+    /// Free-form text.
+    Str(String),
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl ArgValue {
+    /// The value as a `u64`, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded event.
+///
+/// Timestamps are nanosecond offsets from the owning session's epoch
+/// (the instant the session began), so events from different ranks
+/// share one timeline.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// The rank whose lane recorded this event.
+    pub rank: usize,
+    /// Event name (static so recording stays allocation-light).
+    pub name: &'static str,
+    /// Category lane.
+    pub cat: Category,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Wall-clock start, nanoseconds since the session epoch.
+    pub ts_ns: u64,
+    /// Wall-clock duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Thread-CPU time consumed inside the span (0 for instants).
+    pub cpu_ns: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// Value of argument `key`, if present.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// One-line rendering for diagnostic dumps:
+    /// `+12.345ms recv{src=1, bytes=64} (0.8ms)`.
+    pub fn fmt_line(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "+{:.3}ms {}", self.ts_ns as f64 / 1e6, self.name);
+        if !self.args.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}={v}");
+            }
+            out.push('}');
+        }
+        if self.kind == EventKind::Span {
+            let _ = write!(out, " ({:.3}ms)", self.dur_ns as f64 / 1e6);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_line_renders_args_and_duration() {
+        let ev = Event {
+            rank: 2,
+            name: "recv",
+            cat: Category::Comm,
+            kind: EventKind::Span,
+            ts_ns: 1_500_000,
+            dur_ns: 250_000,
+            cpu_ns: 0,
+            args: vec![("src", ArgValue::U64(1)), ("bytes", ArgValue::U64(64))],
+        };
+        let line = ev.fmt_line();
+        assert!(line.contains("+1.500ms recv"), "{line}");
+        assert!(line.contains("src=1"), "{line}");
+        assert!(line.contains("(0.250ms)"), "{line}");
+    }
+
+    #[test]
+    fn arg_lookup() {
+        let ev = Event {
+            rank: 0,
+            name: "x",
+            cat: Category::Task,
+            kind: EventKind::Instant,
+            ts_ns: 0,
+            dur_ns: 0,
+            cpu_ns: 0,
+            args: vec![("z", ArgValue::U64(7))],
+        };
+        assert_eq!(ev.arg("z").and_then(ArgValue::as_u64), Some(7));
+        assert!(ev.arg("missing").is_none());
+    }
+}

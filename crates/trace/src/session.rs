@@ -1,0 +1,524 @@
+//! Sessions, rank lanes, and the recording fast path.
+//!
+//! The design splits responsibilities three ways:
+//!
+//! - a **global gate** ([`enabled`], one relaxed atomic load) that
+//!   makes every instrumentation point free when no session is live;
+//! - a **session** ([`TraceSession`]) owning per-rank ring buffers
+//!   behind individually lockable mutexes, so any thread can snapshot
+//!   a rank's recent events (timeout diagnostics need exactly that);
+//! - a **thread-local binding** ([`RankGuard`]) that routes this
+//!   thread's [`span`]/[`instant_with`] calls to its rank's ring.
+//!
+//! Binding is *explicit* — a session never captures events from
+//! threads that were not registered against it — so concurrent
+//! universes in one process (the normal state of `cargo test`) cannot
+//! contaminate each other's traces.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::clock::thread_cpu_now;
+use crate::event::{ArgValue, Category, Event, EventKind};
+
+/// Count of live sessions; the recording gate.
+static ACTIVE_SESSIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total events ever recorded in this process (test probe: asserts
+/// that disabled paths stay bypassed).
+static EVENTS_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Whether any trace session is currently live. This is the single
+/// atomic load every instrumentation point pays when tracing is off.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE_SESSIONS.load(Ordering::Relaxed) != 0
+}
+
+/// Process-wide count of recorded events. Monotone; used by tests to
+/// prove the recorder is bypassed when tracing is disabled.
+pub fn events_recorded_total() -> u64 {
+    EVENTS_RECORDED.load(Ordering::Relaxed)
+}
+
+/// Tunables of one session.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring capacity per rank: oldest events are dropped beyond this
+    /// (the drop count is reported in the exported trace).
+    pub capacity_per_rank: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity_per_rank: 1 << 16 }
+    }
+}
+
+/// Bounded event ring for one rank.
+struct Ring {
+    buf: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+/// One rank's lane: a mutex-protected ring. The owning thread is the
+/// only writer, so the lock is uncontended except when a diagnostic
+/// reader snapshots it.
+struct RankLane {
+    ring: Mutex<Ring>,
+}
+
+pub(crate) struct SinkInner {
+    epoch: Instant,
+    capacity: usize,
+    lanes: Mutex<HashMap<usize, Arc<RankLane>>>,
+}
+
+impl SinkInner {
+    fn lane(&self, rank: usize) -> Arc<RankLane> {
+        let mut lanes = self.lanes.lock().expect("trace lanes lock");
+        Arc::clone(lanes.entry(rank).or_insert_with(|| {
+            Arc::new(RankLane {
+                ring: Mutex::new(Ring {
+                    buf: VecDeque::with_capacity(self.capacity.min(1024)),
+                    cap: self.capacity,
+                    dropped: 0,
+                }),
+            })
+        }))
+    }
+}
+
+thread_local! {
+    static LANE: RefCell<Option<LocalLane>> = const { RefCell::new(None) };
+}
+
+struct LocalLane {
+    rank: usize,
+    epoch: Instant,
+    lane: Arc<RankLane>,
+}
+
+/// A live tracing session. Dropping (or [`TraceSession::finish`]ing)
+/// it closes the gate again (when no other session is live).
+pub struct TraceSession {
+    inner: Arc<SinkInner>,
+}
+
+impl TraceSession {
+    /// Starts a session with default configuration.
+    pub fn begin() -> Self {
+        Self::with_config(TraceConfig::default())
+    }
+
+    /// Starts a session with explicit tunables.
+    pub fn with_config(cfg: TraceConfig) -> Self {
+        let inner = Arc::new(SinkInner {
+            epoch: Instant::now(),
+            capacity: cfg.capacity_per_rank.max(1),
+            lanes: Mutex::new(HashMap::new()),
+        });
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
+        Self { inner }
+    }
+
+    /// A cloneable handle for wiring the session into rank runtimes
+    /// (e.g. `tc_mps::UniverseConfig::trace`).
+    pub fn handle(&self) -> TraceHandle {
+        TraceHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Ends the session and returns everything it recorded, sorted by
+    /// timestamp (ties broken by rank).
+    pub fn finish(self) -> Trace {
+        let inner = Arc::clone(&self.inner);
+        drop(self); // closes the gate before draining
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        let lanes = inner.lanes.lock().expect("trace lanes lock");
+        let mut ranks: Vec<usize> = lanes.keys().copied().collect();
+        ranks.sort_unstable();
+        for r in &ranks {
+            let mut ring = lanes[r].ring.lock().expect("trace ring lock");
+            dropped += ring.dropped;
+            events.extend(ring.buf.drain(..));
+        }
+        drop(lanes);
+        events.sort_by_key(|e| (e.ts_ns, e.rank));
+        Trace { events, dropped }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSession").finish_non_exhaustive()
+    }
+}
+
+/// Cloneable, thread-safe reference to a session's sink.
+#[derive(Clone)]
+pub struct TraceHandle {
+    inner: Arc<SinkInner>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle").finish_non_exhaustive()
+    }
+}
+
+impl TraceHandle {
+    /// Binds the calling thread to `rank`'s lane until the returned
+    /// guard is dropped. Spans created on this thread while the guard
+    /// lives are recorded into that lane.
+    pub fn register_rank(&self, rank: usize) -> RankGuard {
+        let lane = self.inner.lane(rank);
+        let prev = LANE
+            .with(|l| l.borrow_mut().replace(LocalLane { rank, epoch: self.inner.epoch, lane }));
+        RankGuard { prev }
+    }
+
+    /// The last `n` events recorded by `rank`, oldest first, rendered
+    /// one per line — the raw material of enriched timeout reports.
+    /// Readable from any thread.
+    pub fn recent(&self, rank: usize, n: usize) -> Vec<String> {
+        let lanes = self.inner.lanes.lock().expect("trace lanes lock");
+        let Some(lane) = lanes.get(&rank).cloned() else {
+            return Vec::new();
+        };
+        drop(lanes);
+        let ring = lane.ring.lock().expect("trace ring lock");
+        let skip = ring.buf.len().saturating_sub(n);
+        ring.buf.iter().skip(skip).map(Event::fmt_line).collect()
+    }
+}
+
+/// Clears the thread's lane binding on drop (restoring any previous
+/// binding, so nested universes behave).
+pub struct RankGuard {
+    prev: Option<LocalLane>,
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        LANE.with(|l| {
+            *l.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+impl std::fmt::Debug for RankGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankGuard").finish_non_exhaustive()
+    }
+}
+
+/// Everything one session recorded.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// All events, sorted by `(ts_ns, rank)`.
+    pub events: Vec<Event>,
+    /// Events lost to ring-buffer overflow across all ranks.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The distinct ranks that recorded at least one event, ascending.
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.events.iter().map(|e| e.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+}
+
+/// An open span; records itself into the current thread's lane when
+/// dropped. When tracing is disabled (or the thread is unbound) this
+/// is an inert zero-field-initialized struct — no clocks are read.
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+struct SpanRec {
+    name: &'static str,
+    cat: Category,
+    t0: Instant,
+    cpu0: Duration,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Opens a span. The fast path when tracing is off is a single
+/// relaxed atomic load.
+#[inline]
+pub fn span(name: &'static str, cat: Category) -> Span {
+    if !enabled() {
+        return Span { rec: None };
+    }
+    span_slow(name, cat)
+}
+
+#[cold]
+fn span_slow(name: &'static str, cat: Category) -> Span {
+    let bound = LANE.with(|l| l.borrow().is_some());
+    if !bound {
+        return Span { rec: None };
+    }
+    Span {
+        rec: Some(SpanRec {
+            name,
+            cat,
+            t0: Instant::now(),
+            cpu0: thread_cpu_now(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attaches an argument (builder style). A no-op when inert.
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        if let Some(rec) = &mut self.rec {
+            rec.args.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attaches an argument after construction (for values only known
+    /// at the end of the span, e.g. received byte counts).
+    pub fn record_arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(rec) = &mut self.rec {
+            rec.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this span will produce an event. `false` whenever
+    /// tracing is disabled or the thread has no rank lane — the
+    /// bypass guarantee tests assert on this.
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else {
+            return;
+        };
+        let cpu_ns = thread_cpu_now().saturating_sub(rec.cpu0).as_nanos() as u64;
+        let dur_ns = rec.t0.elapsed().as_nanos() as u64;
+        LANE.with(|l| {
+            if let Some(local) = l.borrow().as_ref() {
+                let ev = Event {
+                    rank: local.rank,
+                    name: rec.name,
+                    cat: rec.cat,
+                    kind: EventKind::Span,
+                    ts_ns: rec.t0.duration_since(local.epoch).as_nanos() as u64,
+                    dur_ns,
+                    cpu_ns,
+                    args: rec.args,
+                };
+                local.lane.ring.lock().expect("trace ring lock").push(ev);
+                EVENTS_RECORDED.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("recording", &self.is_recording()).finish()
+    }
+}
+
+/// Records a point event. `args` is a closure so argument assembly
+/// costs nothing when tracing is off.
+#[inline]
+pub fn instant_with(
+    name: &'static str,
+    cat: Category,
+    args: impl FnOnce() -> Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    instant_slow(name, cat, args());
+}
+
+#[cold]
+fn instant_slow(name: &'static str, cat: Category, args: Vec<(&'static str, ArgValue)>) {
+    LANE.with(|l| {
+        if let Some(local) = l.borrow().as_ref() {
+            let ev = Event {
+                rank: local.rank,
+                name,
+                cat,
+                kind: EventKind::Instant,
+                ts_ns: Instant::now().duration_since(local.epoch).as_nanos() as u64,
+                dur_ns: 0,
+                cpu_ns: 0,
+                args,
+            };
+            local.lane.ring.lock().expect("trace ring lock").push(ev);
+            EVENTS_RECORDED.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Session tests share process-global state (the gate); serialize
+    // them so assertions about enabled() don't race.
+    static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _l = locked();
+        assert!(!enabled());
+        let before = events_recorded_total();
+        let s = span("x", Category::Phase).arg("k", 1u64);
+        assert!(!s.is_recording());
+        drop(s);
+        instant_with("y", Category::Task, || vec![("a", ArgValue::U64(1))]);
+        assert_eq!(events_recorded_total(), before);
+    }
+
+    #[test]
+    fn unbound_threads_record_nothing_even_when_enabled() {
+        let _l = locked();
+        let session = TraceSession::begin();
+        assert!(enabled());
+        // This thread never registered a rank: spans stay inert.
+        let s = span("x", Category::Phase);
+        assert!(!s.is_recording());
+        drop(s);
+        let trace = session.finish();
+        assert!(trace.events.is_empty());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn bound_thread_records_span_with_args() {
+        let _l = locked();
+        let session = TraceSession::begin();
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(3);
+            let mut s = span("work", Category::Shift).arg("z", 2u64);
+            assert!(s.is_recording());
+            std::hint::black_box((0..10_000).sum::<u64>());
+            s.record_arg("bytes", 64u64);
+        }
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 1);
+        let ev = &trace.events[0];
+        assert_eq!(ev.rank, 3);
+        assert_eq!(ev.name, "work");
+        assert_eq!(ev.kind, EventKind::Span);
+        assert_eq!(ev.arg("z").and_then(ArgValue::as_u64), Some(2));
+        assert_eq!(ev.arg("bytes").and_then(ArgValue::as_u64), Some(64));
+        assert_eq!(trace.ranks(), vec![3]);
+    }
+
+    #[test]
+    fn guard_restores_previous_binding() {
+        let _l = locked();
+        let session = TraceSession::begin();
+        let handle = session.handle();
+        let _outer = handle.register_rank(0);
+        {
+            let _inner = handle.register_rank(1);
+            drop(span("inner", Category::Phase));
+        }
+        drop(span("outer", Category::Phase));
+        let trace = session.finish();
+        let by_rank: Vec<(usize, &str)> = trace.events.iter().map(|e| (e.rank, e.name)).collect();
+        assert!(by_rank.contains(&(1, "inner")), "{by_rank:?}");
+        assert!(by_rank.contains(&(0, "outer")), "{by_rank:?}");
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _l = locked();
+        let session = TraceSession::with_config(TraceConfig { capacity_per_rank: 4 });
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(0);
+            for _ in 0..10 {
+                drop(span("e", Category::Task));
+            }
+        }
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn recent_reads_cross_thread() {
+        let _l = locked();
+        let session = TraceSession::begin();
+        let handle = session.handle();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = handle.register_rank(5);
+                drop(span("alpha", Category::Comm).arg("src", 1u64));
+                drop(span("beta", Category::Comm));
+            });
+        });
+        let recent = handle.recent(5, 8);
+        assert_eq!(recent.len(), 2);
+        assert!(recent[0].contains("alpha"), "{recent:?}");
+        assert!(recent[1].contains("beta"), "{recent:?}");
+        assert!(handle.recent(99, 8).is_empty());
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn events_sorted_by_timestamp_across_ranks() {
+        let _l = locked();
+        let session = TraceSession::begin();
+        let handle = session.handle();
+        std::thread::scope(|s| {
+            for r in 0..4 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let _g = h.register_rank(r);
+                    for _ in 0..5 {
+                        drop(span("tick", Category::Task));
+                    }
+                });
+            }
+        });
+        let trace = session.finish();
+        assert_eq!(trace.events.len(), 20);
+        assert!(trace.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(trace.ranks(), vec![0, 1, 2, 3]);
+    }
+}
