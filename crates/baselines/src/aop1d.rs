@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_metrics::names as mnames;
+use tc_mps::{MpsResult, Observe, Universe};
 use tc_trace::{names, Category, TraceHandle};
 
 use crate::serial::Oriented;
@@ -65,12 +66,20 @@ pub fn try_count_aop1d_traced(
     p: usize,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<Dist1dResult> {
+    try_count_aop1d_observed(el, p, Observe::trace(trace))
+}
+
+/// [`try_count_aop1d`] with optional trace and metrics sessions.
+pub fn try_count_aop1d_observed(
+    el: &EdgeList,
+    p: usize,
+    obs: Observe<'_>,
+) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
-    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
+    let (outs, stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
@@ -110,7 +119,9 @@ pub fn try_count_aop1d_traced(
         comm.barrier()?;
         drop(setup_span);
         let setup = t0.elapsed();
+        tc_metrics::counter_add(mnames::BASE_SETUP_NS, setup.as_nanos() as u64);
         let ghost_entries: usize = ghosts.values().map(|v| v.len()).sum();
+        tc_metrics::gauge_max(mnames::BASE_GHOST_ENTRIES, ghost_entries as u64);
 
         // ---- counting: purely local ----
         let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
@@ -139,6 +150,7 @@ pub fn try_count_aop1d_traced(
         comm.barrier()?;
         drop(count_span);
         let count = t1.elapsed();
+        tc_metrics::counter_add(mnames::BASE_COUNT_NS, count.as_nanos() as u64);
         Ok((triangles, setup, count, ghost_entries))
     })?;
 

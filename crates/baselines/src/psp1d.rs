@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_metrics::names as mnames;
+use tc_mps::{MpsResult, Observe, Universe};
 use tc_trace::{names, Category, TraceHandle};
 
 use crate::aop1d::Dist1dResult;
@@ -52,13 +53,22 @@ pub fn try_count_psp1d_traced(
     num_super_blocks: usize,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<Dist1dResult> {
+    try_count_psp1d_observed(el, p, num_super_blocks, Observe::trace(trace))
+}
+
+/// [`try_count_psp1d`] with optional trace and metrics sessions.
+pub fn try_count_psp1d_observed(
+    el: &EdgeList,
+    p: usize,
+    num_super_blocks: usize,
+    obs: Observe<'_>,
+) -> MpsResult<Dist1dResult> {
     assert!(num_super_blocks > 0, "need at least one superblock");
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
-    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
+    let (outs, stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
         comm.barrier()?;
@@ -71,6 +81,7 @@ pub fn try_count_psp1d_traced(
         comm.barrier()?;
         drop(setup_span);
         let setup = t0.elapsed();
+        tc_metrics::counter_add(mnames::BASE_SETUP_NS, setup.as_nanos() as u64);
 
         let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
         let t1 = Instant::now();
@@ -138,6 +149,8 @@ pub fn try_count_psp1d_traced(
         comm.barrier()?;
         drop(count_span);
         let count = t1.elapsed();
+        tc_metrics::counter_add(mnames::BASE_COUNT_NS, count.as_nanos() as u64);
+        tc_metrics::gauge_max(mnames::BASE_GHOST_ENTRIES, peak_entries as u64);
         Ok((triangles, setup, count, peak_entries))
     })?;
 

@@ -14,7 +14,8 @@ use std::time::Instant;
 use tc_graph::edgelist::EdgeList;
 use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
-use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_metrics::names as mnames;
+use tc_mps::{MpsResult, Observe, Universe};
 use tc_trace::{names, Category, TraceHandle};
 
 use crate::aop1d::Dist1dResult;
@@ -40,12 +41,20 @@ pub fn try_count_push1d_traced(
     p: usize,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<Dist1dResult> {
+    try_count_push1d_observed(el, p, Observe::trace(trace))
+}
+
+/// [`try_count_push1d`] with optional trace and metrics sessions.
+pub fn try_count_push1d_observed(
+    el: &EdgeList,
+    p: usize,
+    obs: Observe<'_>,
+) -> MpsResult<Dist1dResult> {
     let g = Oriented::build(el);
     let n = g.num_vertices();
     let block = Block1D::new(n, p);
 
-    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
-    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
+    let (outs, stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
 
@@ -74,6 +83,7 @@ pub fn try_count_push1d_traced(
         comm.barrier()?;
         drop(setup_span);
         let setup = t0.elapsed();
+        tc_metrics::counter_add(mnames::BASE_SETUP_NS, setup.as_nanos() as u64);
 
         // ---- counting: local tasks + streamed remote rows ----
         let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
@@ -120,6 +130,7 @@ pub fn try_count_push1d_traced(
         comm.barrier()?;
         drop(count_span);
         let count = t1.elapsed();
+        tc_metrics::counter_add(mnames::BASE_COUNT_NS, count.as_nanos() as u64);
         Ok((triangles, setup, count))
     })?;
 

@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 
 use tc_graph::edgelist::EdgeList;
 use tc_graph::{Block1D, Csr};
-use tc_mps::{MpsResult, Universe, UniverseConfig};
+use tc_metrics::names as mnames;
+use tc_mps::{MpsResult, Observe, Universe};
 use tc_trace::{names, Category, TraceHandle};
 
 /// Outcome of a wedge-checking run.
@@ -70,12 +71,20 @@ pub fn try_count_wedge_traced(
     p: usize,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<WedgeResult> {
+    try_count_wedge_observed(el, p, Observe::trace(trace))
+}
+
+/// [`try_count_wedge`] with optional trace and metrics sessions.
+pub fn try_count_wedge_observed(
+    el: &EdgeList,
+    p: usize,
+    obs: Observe<'_>,
+) -> MpsResult<WedgeResult> {
     let csr = Csr::from_edge_list(el);
     let n = csr.num_vertices();
     let block = Block1D::new(n, p);
 
-    let config = UniverseConfig { recv_timeout: None, trace: trace.cloned() };
-    let (outs, stats) = Universe::try_run_config(p, &config, |comm| {
+    let (outs, stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let rank = comm.rank();
         let (lo, hi) = block.range(rank);
         let cnt = hi - lo;
@@ -116,6 +125,7 @@ pub fn try_count_wedge_traced(
         comm.barrier()?;
         drop(setup_span);
         let two_core = t0.elapsed();
+        tc_metrics::counter_add(mnames::BASE_SETUP_NS, two_core.as_nanos() as u64);
 
         // ---- phase 2: directed wedge counting ----
         let count_span = tc_trace::span(names::BASE_COUNT, Category::Phase);
@@ -196,6 +206,7 @@ pub fn try_count_wedge_traced(
         comm.barrier()?;
         drop(count_span);
         let wedge_count = t1.elapsed();
+        tc_metrics::counter_add(mnames::BASE_COUNT_NS, wedge_count.as_nanos() as u64);
         Ok((triangles, two_core, wedge_count, wedges, peeled))
     })?;
 

@@ -22,6 +22,10 @@ pub struct ExpArgs {
     /// Optional Chrome trace-event output path: when set, every
     /// distributed run of the experiment records into one trace file.
     pub trace: Option<String>,
+    /// Optional metrics-snapshot output path: when set, every
+    /// distributed run appends its full per-rank `tc-metrics-v1`
+    /// snapshot as one JSON line.
+    pub metrics: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -34,6 +38,7 @@ impl Default for ExpArgs {
             csv: None,
             json: None,
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -47,7 +52,8 @@ impl ExpArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: <bin> [--scale N] [--ranks a,b,c] [--preset NAME] \
-                     [--seed S] [--csv PATH] [--json PATH] [--trace PATH]"
+                     [--seed S] [--csv PATH] [--json PATH] [--trace PATH] \
+                     [--metrics PATH]"
                 );
                 std::process::exit(2);
             }
@@ -90,6 +96,7 @@ impl ExpArgs {
                 "--csv" => out.csv = Some(value("--csv")?),
                 "--json" => out.json = Some(value("--json")?),
                 "--trace" => out.trace = Some(value("--trace")?),
+                "--metrics" => out.metrics = Some(value("--metrics")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -139,6 +146,8 @@ mod tests {
             "/tmp/x.json",
             "--trace",
             "/tmp/x.trace.json",
+            "--metrics",
+            "/tmp/x.metrics.json",
         ])
         .unwrap();
         assert_eq!(a.scale, 10);
@@ -148,6 +157,7 @@ mod tests {
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(a.trace.as_deref(), Some("/tmp/x.trace.json"));
+        assert_eq!(a.metrics.as_deref(), Some("/tmp/x.metrics.json"));
     }
 
     #[test]

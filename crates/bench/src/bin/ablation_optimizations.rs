@@ -21,6 +21,7 @@ fn main() {
     }
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
 
     let variants: Vec<(&str, TcConfig)> = vec![
         ("all-optimizations", TcConfig::paper()),
@@ -38,7 +39,7 @@ fn main() {
         );
         let mut base: Option<f64> = None;
         for (name, cfg) in &variants {
-            let r = tc_bench::count_2d(&el, p, cfg, th.as_ref());
+            let r = rs.count_2d(&el, p, cfg, name);
             let tct = r.tct_time().as_secs_f64();
             let b = *base.get_or_insert(tct);
             t.row(vec![

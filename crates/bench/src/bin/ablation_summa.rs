@@ -14,6 +14,7 @@ fn main() {
     let th = tscope.handle();
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
     let mut t = Table::new(
         &format!("Ablation: Cannon vs SUMMA, {}", preset.name()),
         &["variant", "ranks", "ppt-model(s)", "tct-model(s)", "bytes-sent", "tasks"],
@@ -34,10 +35,10 @@ fn main() {
     // Square comparisons at every perfect square in the sweep.
     for &p in &args.ranks {
         if let Some(q) = tc_mps::perfect_square_side(p) {
-            push(format!("cannon-{q}x{q}"), tc_bench::count_2d(&el, p, &cfg, th.as_ref()));
+            push(format!("cannon-{q}x{q}"), rs.count_2d(&el, p, &cfg, "paper"));
             push(
                 format!("summa-{q}x{q}"),
-                tc_bench::count_summa(&el, SummaGrid::new(q, q), &cfg, th.as_ref()),
+                rs.count_summa(&el, SummaGrid::new(q, q), &cfg, "paper"),
             );
         }
     }
@@ -48,7 +49,7 @@ fn main() {
                 if pr >= 1 && pr * pc == pmax {
                     push(
                         format!("summa-{pr}x{pc}"),
-                        tc_bench::count_summa(&el, SummaGrid::new(pr, pc), &cfg, th.as_ref()),
+                        rs.count_summa(&el, SummaGrid::new(pr, pc), &cfg, "paper"),
                     );
                 }
             }
@@ -56,12 +57,7 @@ fn main() {
             for k in [q, 2 * q, 4 * q] {
                 push(
                     format!("summa-{q}x{q}-panels{k}"),
-                    tc_bench::count_summa(
-                        &el,
-                        SummaGrid::new(q, q).with_panels(k),
-                        &cfg,
-                        th.as_ref(),
-                    ),
+                    rs.count_summa(&el, SummaGrid::new(q, q).with_panels(k), &cfg, "paper"),
                 );
             }
         }

@@ -1,0 +1,10 @@
+//! Standalone benchmark-regression checker: compares two (or more)
+//! `tc-run-v1` JSON-lines reports produced by the experiment binaries'
+//! `--json` flag and fails on noise-adjusted regressions. The same
+//! logic is reachable as `tricount benchdiff`; see `tc_metrics::diff`
+//! for the matching and threshold rules.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tc_metrics::diff::cli_main(&args));
+}

@@ -16,13 +16,14 @@ fn main() {
     let th = tscope.handle();
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
+        let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
         let mut t = Table::new(
             &format!("Figure 1: efficiency vs ranks, {}", preset.name()),
             &["ranks", "eff-ppt", "eff-tct", "eff-overall"],
         );
         let mut base: Option<(f64, f64, f64, f64)> = None;
         for &p in &args.ranks {
-            let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+            let r = rs.count_2d_default(&el, p);
             let (ppt, tct) =
                 (r.modeled_ppt_time().as_secs_f64(), r.modeled_tct_time().as_secs_f64());
             let all = ppt + tct;

@@ -18,12 +18,13 @@ fn main() {
     // Largest dataset only, unless a preset was forced.
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
     let mut t = Table::new(
         &format!("Figure 2: operation rate, {}", preset.name()),
         &["ranks", "ppt-kops/s", "tct-kops/s", "ppt-ops", "tct-ops"],
     );
     for &p in &args.ranks {
-        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let r = rs.count_2d_default(&el, p);
         let ppt_ops: u64 = r.ranks.iter().map(|m| m.ppt_ops).sum();
         let tct_ops: u64 = r.ranks.iter().map(|m| m.tct_ops).sum();
         let ppt_rate = ppt_ops as f64 / r.modeled_ppt_time().as_secs_f64().max(1e-12) / 1e3;

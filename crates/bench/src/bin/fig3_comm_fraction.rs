@@ -14,12 +14,13 @@ fn main() {
     let th = tscope.handle();
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
     let mut t = Table::new(
         &format!("Figure 3: communication fraction, {}", preset.name()),
         &["ranks", "ppt-comm-%", "tct-comm-%", "bytes-sent"],
     );
     for &p in &args.ranks {
-        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let r = rs.count_2d_default(&el, p);
         t.row(vec![
             p.to_string(),
             format!("{:.1}", 100.0 * r.ppt_comm_fraction()),

@@ -19,6 +19,7 @@ fn main() {
     let th = tscope.handle();
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
+        let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
         let mut t = Table::new(
             &format!("Table 2: parallel performance, {}", preset.name()),
             &[
@@ -36,7 +37,7 @@ fn main() {
         );
         let mut base: Option<(f64, f64, f64, usize)> = None;
         for &p in &args.ranks {
-            let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+            let r = rs.count_2d_default(&el, p);
             let ppt = r.modeled_ppt_time().as_secs_f64();
             let tct = r.modeled_tct_time().as_secs_f64();
             let overall = ppt + tct;

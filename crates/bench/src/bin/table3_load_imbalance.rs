@@ -20,12 +20,13 @@ fn main() {
     }
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
     let mut t = Table::new(
         &format!("Table 3: per-shift load imbalance, {}", preset.name()),
         &["ranks", "max-runtime(s)", "avg-runtime(s)", "load-imbalance", "task-imbalance"],
     );
     for &p in &args.ranks {
-        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let r = rs.count_2d_default(&el, p);
         let (mx, avg, imb) = r.shift_imbalance();
         t.row(vec![
             p.to_string(),

@@ -16,13 +16,14 @@ fn main() {
     }
     let preset = args.preset.unwrap_or(Preset::G500 { scale: args.scale });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
     let mut t = Table::new(
         &format!("Table 4: task-count growth, {}", preset.name()),
         &["ranks", "task-counts", "increase-vs-previous-%"],
     );
     let mut prev: Option<u64> = None;
     for &p in &args.ranks {
-        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let r = rs.count_2d_default(&el, p);
         let tasks = r.total_tasks();
         let pct = match prev {
             Some(q) if q > 0 => format!("{:.0}%", 100.0 * (tasks as f64 - q as f64) / q as f64),

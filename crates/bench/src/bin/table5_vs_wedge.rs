@@ -32,9 +32,9 @@ fn main() {
     );
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
-        let w = tc_baselines::try_count_wedge_traced(&el, p, th.as_ref())
-            .unwrap_or_else(|e| panic!("{e}"));
-        let ours = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
+        let w = rs.count_wedge(&el, p);
+        let ours = rs.count_2d_default(&el, p);
         assert_eq!(w.triangles, ours.triangles, "algorithms disagree on {}", preset.name());
         let speedup = w.total().as_secs_f64() / ours.tct_time().as_secs_f64().max(1e-12);
         t.row(vec![

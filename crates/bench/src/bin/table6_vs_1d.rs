@@ -19,13 +19,14 @@ fn main() {
     let p = *args.ranks.iter().max().expect("non-empty rank sweep");
     let preset = args.preset.unwrap_or(Preset::TwitterLike { scale: args.scale.saturating_sub(1) });
     let el = build_dataset(preset, args.seed);
+    let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
 
     let mut t = Table::new(
         &format!("Table 6: {} runtime vs 1D approaches ({p} ranks)", preset.name()),
         &["algorithm", "setup(s)", "count(s)", "total(s)", "bytes-sent", "peak-ghost-entries"],
     );
 
-    let ours = tc_bench::count_2d_default(&el, p, th.as_ref());
+    let ours = rs.count_2d_default(&el, p);
     t.row(vec![
         "our-2d".into(),
         secs(ours.ppt_time()),
@@ -36,8 +37,7 @@ fn main() {
     ]);
 
     let expect = ours.triangles;
-    let aop =
-        tc_baselines::try_count_aop1d_traced(&el, p, th.as_ref()).unwrap_or_else(|e| panic!("{e}"));
+    let aop = rs.count_aop1d(&el, p);
     assert_eq!(aop.triangles, expect);
     t.row(vec![
         "aop-1d".into(),
@@ -48,8 +48,7 @@ fn main() {
         aop.max_ghost_entries.to_string(),
     ]);
 
-    let push = tc_baselines::try_count_push1d_traced(&el, p, th.as_ref())
-        .unwrap_or_else(|e| panic!("{e}"));
+    let push = rs.count_push1d(&el, p);
     assert_eq!(push.triangles, expect);
     t.row(vec![
         "surrogate-push-1d".into(),
@@ -60,8 +59,7 @@ fn main() {
         push.max_ghost_entries.to_string(),
     ]);
 
-    let psp = tc_baselines::try_count_psp1d_traced(&el, p, 8, th.as_ref())
-        .unwrap_or_else(|e| panic!("{e}"));
+    let psp = rs.count_psp1d(&el, p, 8);
     assert_eq!(psp.triangles, expect);
     t.row(vec![
         "opt-psp-1d(8 blocks)".into(),

@@ -40,7 +40,8 @@ fn main() {
         let k = (p as f64).log(4.0).round() as u32;
         let scale = base_scale + 2 * k;
         let el = graph500(scale, args.seed).simplify();
-        let r = tc_bench::count_2d_default(&el, p, th.as_ref());
+        let rs = tc_bench::RunScope::new(&args, th.as_ref(), &format!("g500-s{scale}"));
+        let r = rs.count_2d_default(&el, p);
         t.row(vec![
             p.to_string(),
             scale.to_string(),

@@ -101,6 +101,184 @@ pub fn count_summa(
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Appends one line to a JSON-lines report file.
+pub fn append_json_line(path: &str, line: &str) {
+    use std::io::Write;
+    let res = std::fs::OpenOptions::new().create(true).append(true).open(path).and_then(|f| {
+        let mut f = std::io::BufWriter::new(f);
+        writeln!(f, "{line}")?;
+        f.flush()
+    });
+    if let Err(e) = res {
+        eprintln!("warning: failed to append to {path}: {e}");
+    }
+}
+
+/// Per-dataset measurement context for the experiment binaries.
+///
+/// Each distributed run launched through its methods executes under a
+/// fresh `tc-metrics` session (only when `--json` or `--metrics` asks
+/// for output — otherwise the registry gate stays closed and every
+/// instrumentation point costs one relaxed atomic load). After each
+/// run it appends one `tc-run-v1` record to the `--json` report and,
+/// with `--metrics`, the full per-rank snapshot as one JSON line.
+pub struct RunScope<'a> {
+    args: &'a args::ExpArgs,
+    trace: Option<&'a tc_trace::TraceHandle>,
+    dataset: String,
+}
+
+impl<'a> RunScope<'a> {
+    /// A scope for runs over one dataset.
+    pub fn new(
+        args: &'a args::ExpArgs,
+        trace: Option<&'a tc_trace::TraceHandle>,
+        dataset: &str,
+    ) -> Self {
+        Self { args, trace, dataset: dataset.to_string() }
+    }
+
+    /// Runs `f` under a fresh metrics session (when requested) and
+    /// reports the run record.
+    fn measured<T>(
+        &self,
+        algorithm: &str,
+        config: &str,
+        ranks: usize,
+        triangles_of: impl FnOnce(&T) -> u64,
+        f: impl FnOnce(tc_mps::Observe<'_>) -> T,
+    ) -> T {
+        if self.args.json.is_none() && self.args.metrics.is_none() {
+            return f(tc_mps::Observe::trace(self.trace));
+        }
+        let session = tc_metrics::MetricsSession::begin();
+        let handle = session.handle();
+        let out = f(tc_mps::Observe { trace: self.trace, metrics: Some(&handle) });
+        let snap = session.finish();
+        let rec = tc_metrics::RunRecord::from_snapshot(
+            &self.dataset,
+            algorithm,
+            ranks as u64,
+            config,
+            triangles_of(&out),
+            &snap,
+        );
+        if let Some(path) = &self.args.json {
+            append_json_line(path, &rec.to_json_line());
+        }
+        if let Some(path) = &self.args.metrics {
+            append_json_line(path, &snap.to_json());
+        }
+        out
+    }
+
+    /// Measured 2D Cannon count under `cfg` (`config` names the
+    /// configuration in the run record).
+    pub fn count_2d(
+        &self,
+        el: &EdgeList,
+        p: usize,
+        cfg: &tc_core::TcConfig,
+        config: &str,
+    ) -> tc_core::TcResult {
+        self.measured(
+            "2d-cannon",
+            config,
+            p,
+            |r: &tc_core::TcResult| r.triangles,
+            |obs| {
+                tc_core::try_count_triangles_observed(el, p, cfg, obs)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+
+    /// Measured 2D count with the default configuration.
+    pub fn count_2d_default(&self, el: &EdgeList, p: usize) -> tc_core::TcResult {
+        self.count_2d(el, p, &tc_core::TcConfig::default(), "default")
+    }
+
+    /// Measured SUMMA count; the grid shape joins the config key.
+    pub fn count_summa(
+        &self,
+        el: &EdgeList,
+        grid: tc_core::SummaGrid,
+        cfg: &tc_core::TcConfig,
+        config: &str,
+    ) -> tc_core::TcResult {
+        let cfg_key = format!("{config}/{}x{}k{}", grid.pr, grid.pc, grid.panels);
+        self.measured(
+            "2d-summa",
+            &cfg_key,
+            grid.size(),
+            |r: &tc_core::TcResult| r.triangles,
+            |obs| {
+                tc_core::try_count_triangles_summa_observed(el, grid, cfg, obs)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+
+    /// Measured AOP 1D baseline run.
+    pub fn count_aop1d(&self, el: &EdgeList, p: usize) -> tc_baselines::Dist1dResult {
+        self.measured(
+            "aop1d",
+            "default",
+            p,
+            |r: &tc_baselines::Dist1dResult| r.triangles,
+            |obs| {
+                tc_baselines::try_count_aop1d_observed(el, p, obs).unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+
+    /// Measured push-based 1D baseline run.
+    pub fn count_push1d(&self, el: &EdgeList, p: usize) -> tc_baselines::Dist1dResult {
+        self.measured(
+            "push1d",
+            "default",
+            p,
+            |r: &tc_baselines::Dist1dResult| r.triangles,
+            |obs| {
+                tc_baselines::try_count_push1d_observed(el, p, obs)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+
+    /// Measured blocked-push 1D baseline run.
+    pub fn count_psp1d(
+        &self,
+        el: &EdgeList,
+        p: usize,
+        num_super_blocks: usize,
+    ) -> tc_baselines::Dist1dResult {
+        self.measured(
+            "psp1d",
+            &format!("sb{num_super_blocks}"),
+            p,
+            |r: &tc_baselines::Dist1dResult| r.triangles,
+            |obs| {
+                tc_baselines::try_count_psp1d_observed(el, p, num_super_blocks, obs)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+
+    /// Measured wedge-checking baseline run.
+    pub fn count_wedge(&self, el: &EdgeList, p: usize) -> tc_baselines::WedgeResult {
+        self.measured(
+            "wedge",
+            "default",
+            p,
+            |r: &tc_baselines::WedgeResult| r.triangles,
+            |obs| {
+                tc_baselines::try_count_wedge_observed(el, p, obs).unwrap_or_else(|e| panic!("{e}"))
+            },
+        )
+    }
+}
+
 impl Drop for TraceScope {
     fn drop(&mut self) {
         if let (Some(session), Some(path)) = (self.session.take(), self.path.take()) {

@@ -74,6 +74,10 @@ pub enum Command {
         /// When set, record a per-rank execution trace and write it to
         /// this path as Chrome trace-event JSON.
         trace: Option<PathBuf>,
+        /// When set, record a per-rank metrics snapshot and write it
+        /// to this path as schema-versioned JSON (also embedded in the
+        /// trace export when `--trace` is given too).
+        metrics: Option<PathBuf>,
     },
     /// Generate a preset and write it to a file.
     Generate {
@@ -104,6 +108,12 @@ pub enum Command {
         /// The trace file to check.
         file: PathBuf,
     },
+    /// Compare bench JSON-lines reports and fail on regressions
+    /// (passthrough to `tc_metrics::diff::cli_main`).
+    BenchDiff {
+        /// Raw arguments forwarded to the diff driver.
+        args: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -116,11 +126,13 @@ USAGE:
   tricount count  <FILE|PRESET> [--algorithm 2d|summa|serial|shared|aop|push|psp|wedge]
                   [--ranks N] [--grid RxC] [--seed S] [--stats]
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
-                  [--no-early-break] [--trace FILE]
+                  [--no-early-break] [--trace FILE] [--metrics FILE]
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
   tricount tracecheck <FILE>
+  tricount benchdiff <BASELINE.json> <CANDIDATE.json>... [--tol F]
+                  [--min-timing-ms F] [--deterministic-only] [--verdict-json FILE]
   tricount help
 
 PRESETs: g500-sN, twitter-like-N, friendster-like-N (N = log2 vertices).
@@ -128,6 +140,11 @@ FILE formats: .mtx (Matrix Market), .bin (tricount binary), other (text edge lis
 --trace FILE records one lane per rank (phases, shifts, collectives) as
 Chrome trace-event JSON; open in Perfetto (ui.perfetto.dev) or
 chrome://tracing, or inspect with `tricount tracecheck FILE`.
+--metrics FILE writes the per-rank tc-metrics snapshot (counters, gauges,
+histograms) as schema-versioned JSON; with --trace it is also embedded in
+the trace document under \"tcMetrics\".
+benchdiff compares tc-run-v1 reports produced by the bench binaries'
+--json flag; exit 0 = pass, 1 = regression, 2 = usage/parse error.
 ";
 
 fn parse_input(s: &str) -> Input {
@@ -175,6 +192,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Truss { input, ranks, seed })
         }
+        "benchdiff" => Ok(Command::BenchDiff { args: it.cloned().collect() }),
         "tracecheck" => {
             let file = PathBuf::from(it.next().ok_or("tracecheck needs a trace file")?);
             if let Some(extra) = it.next() {
@@ -215,6 +233,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut stats = false;
             let mut trace = None;
+            let mut metrics = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
@@ -258,6 +277,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--trace" => {
                         trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?))
                     }
+                    "--metrics" => {
+                        metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?))
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -279,7 +301,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
-            Ok(Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace })
+            if metrics.is_some() && matches!(algorithm, Algorithm::Serial | Algorithm::Shared) {
+                return Err(
+                    "--metrics needs a distributed algorithm (2d, summa, aop, push, psp, wedge)"
+                        .into(),
+                );
+            }
+            Ok(Command::Count {
+                input,
+                algorithm,
+                ranks,
+                grid,
+                config,
+                seed,
+                stats,
+                trace,
+                metrics,
+            })
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -393,6 +431,28 @@ mod tests {
         }
         assert!(p(&["count", "g500-s8", "--algorithm", "serial", "--trace", "t.json"]).is_err());
         assert!(p(&["count", "g500-s8", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_parses_and_rejects_local_algorithms() {
+        match p(&["count", "g500-s8", "--metrics", "/tmp/m.json"]).unwrap() {
+            Command::Count { metrics, .. } => {
+                assert_eq!(metrics, Some(PathBuf::from("/tmp/m.json")))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["count", "g500-s8", "--algorithm", "shared", "--metrics", "m.json"]).is_err());
+        assert!(p(&["count", "g500-s8", "--metrics"]).is_err());
+    }
+
+    #[test]
+    fn benchdiff_passes_raw_args_through() {
+        match p(&["benchdiff", "base.json", "cand.json", "--tol", "0.1"]).unwrap() {
+            Command::BenchDiff { args } => {
+                assert_eq!(args, vec!["base.json", "cand.json", "--tol", "0.1"])
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -102,16 +102,18 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace } => {
+        Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace, metrics } => {
             let el = load(&input, seed)?;
             eprintln!("# {} vertices, {} edges", el.num_vertices, el.num_edges());
             let session = trace.as_ref().map(|_| tc_trace::TraceSession::begin());
             let handle = session.as_ref().map(|s| s.handle());
-            let th = handle.as_ref();
+            let msession = metrics.as_ref().map(|_| tc_metrics::MetricsSession::begin());
+            let mhandle = msession.as_ref().map(|s| s.handle());
+            let obs = tc_mps::Observe { trace: handle.as_ref(), metrics: mhandle.as_ref() };
             let t0 = Instant::now();
             let triangles = match algorithm {
                 Algorithm::TwoD => {
-                    let r = tc_core::try_count_triangles_traced(&el, ranks, &config, th)
+                    let r = tc_core::try_count_triangles_observed(&el, ranks, &config, obs)
                         .map_err(|e| e.to_string())?;
                     println!("preprocessing : {:.3?}", r.ppt_time());
                     println!("counting      : {:.3?}", r.tct_time());
@@ -121,7 +123,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 }
                 Algorithm::Summa => {
                     let g = cli::summa_grid(grid.expect("grid derived at parse time"));
-                    let r = tc_core::try_count_triangles_summa_traced(&el, g, &config, th)
+                    let r = tc_core::try_count_triangles_summa_observed(&el, g, &config, obs)
                         .map_err(|e| e.to_string())?;
                     println!("grid          : {}x{} ({} panels)", g.pr, g.pc, g.panels);
                     println!("preprocessing : {:.3?}", r.ppt_time());
@@ -131,7 +133,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 Algorithm::Serial => tc_baselines::serial::count_default(&el),
                 Algorithm::Shared => tc_baselines::count_shared(&el, ranks),
                 Algorithm::Aop => {
-                    let r = tc_baselines::try_count_aop1d_traced(&el, ranks, th)
+                    let r = tc_baselines::try_count_aop1d_observed(&el, ranks, obs)
                         .map_err(|e| e.to_string())?;
                     println!("setup         : {:.3?}", r.setup);
                     println!("counting      : {:.3?}", r.count);
@@ -139,17 +141,17 @@ fn run(cmd: Command) -> Result<(), String> {
                     r.triangles
                 }
                 Algorithm::Push => {
-                    tc_baselines::try_count_push1d_traced(&el, ranks, th)
+                    tc_baselines::try_count_push1d_observed(&el, ranks, obs)
                         .map_err(|e| e.to_string())?
                         .triangles
                 }
                 Algorithm::Psp => {
-                    tc_baselines::try_count_psp1d_traced(&el, ranks, 8, th)
+                    tc_baselines::try_count_psp1d_observed(&el, ranks, 8, obs)
                         .map_err(|e| e.to_string())?
                         .triangles
                 }
                 Algorithm::Wedge => {
-                    let r = tc_baselines::try_count_wedge_traced(&el, ranks, th)
+                    let r = tc_baselines::try_count_wedge_observed(&el, ranks, obs)
                         .map_err(|e| e.to_string())?;
                     println!("2-core        : {:.3?} ({} peeled)", r.two_core, r.peeled);
                     println!("wedge check   : {:.3?} ({} wedges)", r.wedge_count, r.wedges);
@@ -162,11 +164,25 @@ fn run(cmd: Command) -> Result<(), String> {
                 let csr = Csr::from_edge_list(&el);
                 println!("transitivity  : {:.6}", tc_graph::stats::transitivity(&csr, triangles));
             }
+            let snapshot = msession.map(|s| s.finish());
+            if let (Some(snap), Some(path)) = (&snapshot, &metrics) {
+                std::fs::write(path, format!("{}\n", snap.to_json()))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!(
+                    "# metrics: {} rank registries -> {}",
+                    snap.ranks().len(),
+                    path.display()
+                );
+            }
             if let (Some(session), Some(path)) = (session, trace) {
                 let tr = session.finish();
-                tc_trace::chrome::write_chrome_json(&tr, &path)
+                let snap_json = snapshot.as_ref().map(|s| s.to_json());
+                let meta: Vec<(&str, &str)> =
+                    snap_json.iter().map(|j| ("tcMetrics", j.as_str())).collect();
+                tc_trace::chrome::write_chrome_json_with_metadata(&tr, &path, &meta)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
-                let analysis = tc_trace::analysis::analyze(&tr);
+                let analysis = tc_trace::analysis::analyze(&tr)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
                 eprintln!(
                     "# trace: {} events ({} dropped) -> {}",
                     tr.events.len(),
@@ -176,6 +192,9 @@ fn run(cmd: Command) -> Result<(), String> {
                 eprint!("{}", analysis.report());
             }
             Ok(())
+        }
+        Command::BenchDiff { args } => {
+            std::process::exit(tc_metrics::diff::cli_main(&args));
         }
         Command::TraceCheck { file } => {
             let text =

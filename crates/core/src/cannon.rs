@@ -13,6 +13,7 @@
 
 use std::time::Duration;
 
+use tc_metrics::{names as mnames, MemScope};
 use tc_mps::{Comm, Grid, MpsResult};
 
 use crate::blocks::SparseBlock;
@@ -74,10 +75,16 @@ fn cannon_count_impl(
             tc_trace::span(tc_trace::names::SKEW, tc_trace::Category::Shift).arg("z", 0u64);
         let u_dst = (x, (y + q - x) % q);
         let u_src = (x, (x + y) % q);
-        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, ublock_init.to_blob(), u_src.0, u_src.1)?;
+        let u_blob = ublock_init.to_blob();
+        let l_blob = lblock_init.to_blob();
+        tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
+        tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
+        let _staging =
+            MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
+        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, u_blob, u_src.0, u_src.1)?;
         let l_dst = ((x + q - y) % q, y);
         let l_src = ((x + y) % q, y);
-        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, lblock_init.to_blob(), l_src.0, l_src.1)?;
+        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, l_blob, l_src.0, l_src.1)?;
         (SparseBlock::from_blob(ub), SparseBlock::from_blob(lb))
     } else {
         (ublock_init, lblock_init)
@@ -116,10 +123,23 @@ fn cannon_count_impl(
             // delivers (matching the skew, which delivers shift 0's).
             let _xchg_span = tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
                 .arg("z", (z + 1) as u64);
-            ublock = SparseBlock::from_blob(grid.shift_left(ublock.to_blob())?);
-            lblock = SparseBlock::from_blob(grid.shift_up(lblock.to_blob())?);
+            let u_blob = ublock.to_blob();
+            let l_blob = lblock.to_blob();
+            tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
+            tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
+            let _staging =
+                MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
+            ublock = SparseBlock::from_blob(grid.shift_left(u_blob)?);
+            lblock = SparseBlock::from_blob(grid.shift_up(l_blob)?);
         }
     }
+
+    tc_metrics::gauge_max(mnames::HASH_SLOTS, map.table_size() as u64);
+    tc_metrics::gauge_max(mnames::HASH_MAX_ROW, prep.max_hash_row as u64);
+    tc_metrics::gauge_max(
+        mnames::HASH_LOAD_PCT,
+        (prep.max_hash_row * 100 / map.table_size().max(1)) as u64,
+    );
 
     let triangles = comm.allreduce_sum_u64(local)?;
     let per_edge = match hits {

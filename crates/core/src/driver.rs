@@ -1,25 +1,21 @@
 //! End-to-end driver: spawn the grid, preprocess, count, aggregate.
 //!
-//! Every pipeline comes in two flavors: a `try_*` function that
+//! Every pipeline comes in three flavors: a `try_*` function that
 //! surfaces runtime failures (peer panics, receive timeouts, collective
-//! mismatches) as [`tc_mps::MpsError`], and a panicking wrapper with
-//! the historical name. Neither can hang: the substrate guarantees
-//! every rank is woken and joined on failure.
-
-use std::time::Instant;
+//! mismatches) as [`tc_mps::MpsError`], a `*_observed` variant that
+//! additionally binds rank threads to trace and/or metrics sessions
+//! (see [`tc_mps::Observe`]), and a panicking wrapper with the
+//! historical name. The older `*_traced` entry points remain and
+//! forward to `*_observed` with metrics off. Nothing can hang: the
+//! substrate guarantees every rank is woken and joined on failure.
 
 use tc_graph::{Csr, EdgeList};
-use tc_mps::{MpsResult, Universe, UniverseConfig};
-use tc_trace::{names, Category, TraceHandle};
+use tc_mps::{MpsResult, Observe, Universe};
+use tc_trace::{names, TraceHandle};
 
 use crate::config::TcConfig;
-use crate::metrics::{RankMetrics, TcResult};
+use crate::metrics::{CommPhase, RankMetrics, TcResult};
 use crate::preprocess::preprocess;
-
-/// Builds the universe config for a (possibly traced) pipeline run.
-fn universe_config(trace: Option<&TraceHandle>) -> UniverseConfig {
-    UniverseConfig { recv_timeout: None, trace: trace.cloned() }
-}
 
 /// Counts the triangles of `el` on `p` ranks with the 2D algorithm.
 ///
@@ -43,7 +39,7 @@ pub fn count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> TcResult {
 /// Fallible [`count_triangles`]: runtime failures come back as
 /// [`tc_mps::MpsError`] instead of a panic.
 pub fn try_count_triangles(el: &EdgeList, p: usize, cfg: &TcConfig) -> MpsResult<TcResult> {
-    try_count_triangles_traced(el, p, cfg, None)
+    try_count_triangles_observed(el, p, cfg, Observe::none())
 }
 
 /// [`try_count_triangles`] with an optional trace session: when a
@@ -55,6 +51,16 @@ pub fn try_count_triangles_traced(
     cfg: &TcConfig,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<TcResult> {
+    try_count_triangles_observed(el, p, cfg, Observe::trace(trace))
+}
+
+/// [`try_count_triangles`] with optional trace and metrics sessions.
+pub fn try_count_triangles_observed(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    obs: Observe<'_>,
+) -> MpsResult<TcResult> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
 
@@ -62,44 +68,21 @@ pub fn try_count_triangles_traced(
     // input; each rank only reads its own 1D block of rows.
     let global = Csr::from_edge_list(el);
 
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let mut metrics = RankMetrics::default();
 
         // ---- preprocessing phase ("ppt") ----
-        comm.barrier()?;
-        let stats0 = comm.stats();
-        let t0 = Instant::now();
-        let cpu0 = tc_mps::CpuTimer::start();
-        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
+        let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
         let prep = preprocess(comm, &global, cfg)?;
-        drop(ppt_span);
-        metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier()?;
-        metrics.ppt = t0.elapsed();
-        let stats1 = comm.stats();
-        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
-        metrics.ppt_ops = prep.ops;
+        metrics.finish_ppt(phase.finish()?, prep.ops);
 
         // ---- triangle counting phase ("tct") ----
-        let t1 = Instant::now();
-        let cpu1 = tc_mps::CpuTimer::start();
-        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
+        let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
         let out = crate::cannon::cannon_count(comm, prep, cfg)?;
-        drop(tct_span);
-        metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier()?;
-        metrics.tct = t1.elapsed();
-        let stats2 = comm.stats();
-        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+        metrics.finish_tct(phase.finish()?);
 
-        metrics.shift_compute = out.shift_compute;
-        metrics.tasks = out.tasks;
-        metrics.probes = out.map_stats.probe_steps;
-        metrics.lookups = out.map_stats.lookups;
-        metrics.direct_rows = out.map_stats.direct_rows;
-        metrics.probed_rows = out.map_stats.probed_rows;
-        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
-        metrics.local_triangles = out.local_triangles;
+        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+        metrics.record_shift_compute(out.shift_compute);
         Ok((out.triangles, metrics))
     })?;
 
@@ -149,7 +132,7 @@ pub fn try_count_per_edge(
     p: usize,
     cfg: &TcConfig,
 ) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
-    try_count_per_edge_traced(el, p, cfg, None)
+    try_count_per_edge_observed(el, p, cfg, Observe::none())
 }
 
 /// [`try_count_per_edge`] with an optional trace session.
@@ -159,47 +142,35 @@ pub fn try_count_per_edge_traced(
     cfg: &TcConfig,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
+    try_count_per_edge_observed(el, p, cfg, Observe::trace(trace))
+}
+
+/// [`try_count_per_edge`] with optional trace and metrics sessions.
+pub fn try_count_per_edge_observed(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    obs: Observe<'_>,
+) -> MpsResult<(TcResult, Vec<EdgeSupport>)> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let mut metrics = RankMetrics::default();
-        comm.barrier()?;
-        let stats0 = comm.stats();
-        let t0 = Instant::now();
-        let cpu0 = tc_mps::CpuTimer::start();
-        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
+
+        let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
         let prep = preprocess(comm, &global, cfg)?;
         let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
-        drop(ppt_span);
-        metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier()?;
-        metrics.ppt = t0.elapsed();
-        let stats1 = comm.stats();
-        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
-        metrics.ppt_ops = prep.ops;
+        metrics.finish_ppt(phase.finish()?, prep.ops);
 
-        let t1 = Instant::now();
-        let cpu1 = tc_mps::CpuTimer::start();
-        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
+        let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
         let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
-        drop(tct_span);
-        metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier()?;
-        metrics.tct = t1.elapsed();
-        let stats2 = comm.stats();
-        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+        metrics.finish_tct(phase.finish()?);
 
-        metrics.shift_compute = out.shift_compute;
-        metrics.tasks = out.tasks;
-        metrics.probes = out.map_stats.probe_steps;
-        metrics.lookups = out.map_stats.lookups;
-        metrics.direct_rows = out.map_stats.direct_rows;
-        metrics.probed_rows = out.map_stats.probed_rows;
-        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
-        metrics.local_triangles = out.local_triangles;
+        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+        metrics.record_shift_compute(out.shift_compute);
 
         // Gather label maps and per-task supports on rank 0 for the
         // translation back to input ids.
@@ -272,7 +243,7 @@ pub fn try_count_triangles_from_root(
     p: usize,
     cfg: &TcConfig,
 ) -> MpsResult<TcResult> {
-    try_count_triangles_from_root_traced(el, p, cfg, None)
+    try_count_triangles_from_root_observed(el, p, cfg, Observe::none())
 }
 
 /// [`try_count_triangles_from_root`] with an optional trace session.
@@ -282,6 +253,17 @@ pub fn try_count_triangles_from_root_traced(
     cfg: &TcConfig,
     trace: Option<&TraceHandle>,
 ) -> MpsResult<TcResult> {
+    try_count_triangles_from_root_observed(el, p, cfg, Observe::trace(trace))
+}
+
+/// [`try_count_triangles_from_root`] with optional trace and metrics
+/// sessions.
+pub fn try_count_triangles_from_root_observed(
+    el: &EdgeList,
+    p: usize,
+    cfg: &TcConfig,
+    obs: Observe<'_>,
+) -> MpsResult<TcResult> {
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let n = el.num_vertices;
@@ -289,13 +271,9 @@ pub fn try_count_triangles_from_root_traced(
     let root_csr = Csr::from_edge_list(el);
     let block = tc_graph::Block1D::new(n, p);
 
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &universe_config(trace), |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let mut metrics = RankMetrics::default();
-        comm.barrier()?;
-        let stats0 = comm.stats();
-        let t0 = Instant::now();
-        let cpu0 = tc_mps::CpuTimer::start();
-        let ppt_span = tc_trace::span(names::PHASE_PPT, Category::Phase);
+        let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
 
         // Rank 0 carves its CSR into per-rank block streams:
         // [lo-local xadj..., adj...] — two sections per rank, framed as
@@ -327,33 +305,14 @@ pub fn try_count_triangles_from_root_traced(
         let input = crate::preprocess::BlockInput::Owned { lo: lo as u32, xadj, adj };
 
         let prep = crate::preprocess::preprocess_from(comm, n, &input, cfg)?;
-        drop(ppt_span);
-        metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier()?;
-        metrics.ppt = t0.elapsed();
-        let stats1 = comm.stats();
-        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
-        metrics.ppt_ops = prep.ops;
+        metrics.finish_ppt(phase.finish()?, prep.ops);
 
-        let t1 = Instant::now();
-        let cpu1 = tc_mps::CpuTimer::start();
-        let tct_span = tc_trace::span(names::PHASE_TCT, Category::Phase);
+        let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
         let out = crate::cannon::cannon_count(comm, prep, cfg)?;
-        drop(tct_span);
-        metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier()?;
-        metrics.tct = t1.elapsed();
-        let stats2 = comm.stats();
-        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+        metrics.finish_tct(phase.finish()?);
 
-        metrics.shift_compute = out.shift_compute;
-        metrics.tasks = out.tasks;
-        metrics.probes = out.map_stats.probe_steps;
-        metrics.lookups = out.map_stats.lookups;
-        metrics.direct_rows = out.map_stats.direct_rows;
-        metrics.probed_rows = out.map_stats.probed_rows;
-        metrics.tct_ops = out.map_stats.lookups + out.map_stats.inserts;
-        metrics.local_triangles = out.local_triangles;
+        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+        metrics.record_shift_compute(out.shift_compute);
         Ok((out.triangles, metrics))
     })?;
 

@@ -8,9 +8,12 @@
 //! [`TcResult`] aggregates across ranks the way the paper does
 //! (phase time = slowest rank, counts summed).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use tc_mps::CommStats;
+use tc_metrics::names as mnames;
+use tc_mps::{Comm, CommStats, CpuTimer, MpsResult};
+
+use crate::hashmap::MapStats;
 
 /// Everything one rank measured during a run.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +64,121 @@ impl RankMetrics {
         Duration::from_nanos(
             (after.send_ns + after.recv_ns).saturating_sub(before.send_ns + before.recv_ns),
         )
+    }
+
+    /// Applies a finished preprocessing phase sample plus its op
+    /// count, mirroring both into the live metrics registry.
+    pub fn finish_ppt(&mut self, sample: PhaseSample, ops: u64) {
+        self.ppt = sample.wall;
+        self.ppt_cpu = sample.cpu;
+        self.ppt_comm = sample.comm;
+        self.ppt_ops = ops;
+        tc_metrics::counter_add(mnames::PPT_WALL_NS, sample.wall.as_nanos() as u64);
+        tc_metrics::counter_add(mnames::PPT_CPU_NS, sample.cpu.as_nanos() as u64);
+        tc_metrics::counter_add(mnames::PPT_COMM_NS, sample.comm.as_nanos() as u64);
+        tc_metrics::counter_add(mnames::PPT_OPS, ops);
+    }
+
+    /// Applies a finished counting phase sample, mirroring it into
+    /// the live metrics registry.
+    pub fn finish_tct(&mut self, sample: PhaseSample) {
+        self.tct = sample.wall;
+        self.tct_cpu = sample.cpu;
+        self.tct_comm = sample.comm;
+        tc_metrics::counter_add(mnames::TCT_WALL_NS, sample.wall.as_nanos() as u64);
+        tc_metrics::counter_add(mnames::TCT_CPU_NS, sample.cpu.as_nanos() as u64);
+        tc_metrics::counter_add(mnames::TCT_COMM_NS, sample.comm.as_nanos() as u64);
+    }
+
+    /// Records the intersection-kernel outcome (map statistics, task
+    /// count, locally found triangles) into both this struct and the
+    /// live metrics registry — one write path for both views, so the
+    /// deterministic counters cannot diverge.
+    pub fn record_kernel(&mut self, stats: &MapStats, tasks: u64, local_triangles: u64) {
+        self.tasks = tasks;
+        self.probes = stats.probe_steps;
+        self.lookups = stats.lookups;
+        self.direct_rows = stats.direct_rows;
+        self.probed_rows = stats.probed_rows;
+        self.tct_ops = stats.lookups + stats.inserts;
+        self.local_triangles = local_triangles;
+        tc_metrics::counter_add(mnames::TCT_TASKS, tasks);
+        tc_metrics::counter_add(mnames::TCT_PROBES, stats.probe_steps);
+        tc_metrics::counter_add(mnames::TCT_LOOKUPS, stats.lookups);
+        tc_metrics::counter_add(mnames::TCT_DIRECT_ROWS, stats.direct_rows);
+        tc_metrics::counter_add(mnames::TCT_PROBED_ROWS, stats.probed_rows);
+        tc_metrics::counter_add(mnames::TCT_OPS, self.tct_ops);
+        tc_metrics::counter_add(mnames::TCT_TRIANGLES, local_triangles);
+    }
+
+    /// Stores the per-shift compute durations, feeding each sample
+    /// into the registry's shift-compute histogram.
+    pub fn record_shift_compute(&mut self, shifts: Vec<Duration>) {
+        if tc_metrics::enabled() {
+            for d in &shifts {
+                tc_metrics::hist_record(mnames::SHIFT_COMPUTE_NS, d.as_nanos() as u64);
+            }
+        }
+        self.shift_compute = shifts;
+    }
+}
+
+/// Measurements of one barrier-delimited pipeline phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSample {
+    /// Barrier-to-barrier wall time.
+    pub wall: Duration,
+    /// CPU time of this rank's thread inside the phase.
+    pub cpu: Duration,
+    /// Time inside communication calls during the phase.
+    pub comm: Duration,
+}
+
+/// Phase-scoped measurement guard: brackets a pipeline phase with
+/// entry/exit barriers and captures wall time, thread CPU time, the
+/// communication-time delta, and a trace span — the scaffolding that
+/// used to be hand-copied around every `ppt`/`tct` block in
+/// `driver.rs` and `summa.rs`.
+///
+/// Usage: [`CommPhase::begin`] before the phase body,
+/// [`CommPhase::finish`] after it; feed the returned [`PhaseSample`]
+/// to [`RankMetrics::finish_ppt`] / [`RankMetrics::finish_tct`].
+#[derive(Debug)]
+pub struct CommPhase<'a> {
+    comm: &'a Comm,
+    t0: Instant,
+    cpu: CpuTimer,
+    stats0: CommStats,
+    span: tc_trace::Span,
+}
+
+impl<'a> CommPhase<'a> {
+    /// Synchronizes on a barrier and starts the phase clocks and a
+    /// phase-category trace span named `trace_name`.
+    pub fn begin(comm: &'a Comm, trace_name: &'static str) -> MpsResult<Self> {
+        comm.barrier()?;
+        let stats0 = comm.stats();
+        Ok(Self {
+            comm,
+            t0: Instant::now(),
+            cpu: CpuTimer::start(),
+            stats0,
+            span: tc_trace::span(trace_name, tc_trace::Category::Phase),
+        })
+    }
+
+    /// Closes the span, stops the CPU clock, synchronizes on the exit
+    /// barrier (wall time includes the stragglers, CPU time does
+    /// not), and returns the sample.
+    pub fn finish(self) -> MpsResult<PhaseSample> {
+        let Self { comm, t0, cpu, stats0, span } = self;
+        drop(span);
+        let cpu = cpu.elapsed();
+        comm.barrier()?;
+        let wall = t0.elapsed();
+        let stats1 = comm.stats();
+        let comm_time = RankMetrics::comm_delta(&stats0, &stats1);
+        Ok(PhaseSample { wall, cpu, comm: comm_time })
     }
 }
 

@@ -138,8 +138,11 @@ pub fn relabel_phase_from(
         buf.extend_from_slice(row);
         ops += row.len() as u64 + 1;
     }
+    let staged: usize = sends.iter().map(|v| v.len() * 4).sum();
+    let prep_mem = tc_metrics::MemScope::track(tc_metrics::names::MEM_PREP_STAGING, staged as u64);
     let received = comm.alltoallv(&sends)?;
     drop(sends);
+    drop(prep_mem);
 
     // Decode into cyclic-local adjacency, indexed by v ÷ p.
     let local_cnt = cyc.count(rank);
@@ -285,12 +288,16 @@ pub fn preprocess_from(
     }
     drop(relabeled);
 
+    let staged: usize =
+        [&u_sends, &l_sends, &t_sends].iter().flat_map(|s| s.iter()).map(|v| v.len() * 8).sum();
+    let prep_mem = tc_metrics::MemScope::track(tc_metrics::names::MEM_PREP_STAGING, staged as u64);
     let u_recv = comm.alltoallv(&u_sends)?;
     drop(u_sends);
     let l_recv = comm.alltoallv(&l_sends)?;
     drop(l_sends);
     let t_recv = comm.alltoallv(&t_sends)?;
     drop(t_sends);
+    drop(prep_mem);
 
     let x = comm.rank() / q;
     let y = comm.rank() % q;

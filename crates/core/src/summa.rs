@@ -15,16 +15,15 @@
 //! partition argument: the panels partition the `k` axis, hence the
 //! per-panel intersection counts sum to the exact per-edge count.
 
-use std::time::Instant;
-
 use bytes::Bytes;
 use tc_graph::{Csr, EdgeList};
-use tc_mps::{Comm, MpsResult, Universe};
+use tc_metrics::{names as mnames, MemScope};
+use tc_mps::{Comm, MpsResult, Observe, Universe};
 
 use crate::blocks::SparseBlock;
 use crate::config::{Enumeration, TcConfig};
 use crate::hashmap::IntersectMap;
-use crate::metrics::{RankMetrics, TcResult};
+use crate::metrics::{CommPhase, RankMetrics, TcResult};
 use crate::preprocess::relabel_phase;
 
 /// Rectangular grid geometry.
@@ -147,22 +146,28 @@ pub fn try_count_triangles_summa_traced(
     cfg: &TcConfig,
     trace: Option<&tc_trace::TraceHandle>,
 ) -> MpsResult<TcResult> {
+    try_count_triangles_summa_observed(el, grid, cfg, Observe::trace(trace))
+}
+
+/// [`try_count_triangles_summa`] with optional trace and metrics
+/// sessions.
+pub fn try_count_triangles_summa_observed(
+    el: &EdgeList,
+    grid: SummaGrid,
+    cfg: &TcConfig,
+    obs: Observe<'_>,
+) -> MpsResult<TcResult> {
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let p = grid.size();
     let global = Csr::from_edge_list(el);
     let n = global.num_vertices();
 
-    let ucfg = tc_mps::UniverseConfig { recv_timeout: None, trace: trace.cloned() };
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &ucfg, |comm| {
+    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
         let mut metrics = RankMetrics::default();
         let (x, y) = grid.coords(comm.rank());
 
         // ---- preprocessing ----
-        comm.barrier()?;
-        let stats0 = comm.stats();
-        let t0 = Instant::now();
-        let cpu0 = tc_mps::CpuTimer::start();
-        let ppt_span = tc_trace::span(tc_trace::names::PHASE_PPT, tc_trace::Category::Phase);
+        let phase = CommPhase::begin(comm, tc_trace::names::PHASE_PPT)?;
         let relabeled = relabel_phase(comm, &global)?;
         let mut ops = relabeled.ops;
 
@@ -184,12 +189,16 @@ pub fn try_count_triangles_summa_traced(
                 .push([a_vert, b_vert]);
         }
         drop(relabeled);
+        let staged: usize =
+            [&u_sends, &l_sends, &t_sends].iter().flat_map(|s| s.iter()).map(|v| v.len() * 8).sum();
+        let prep_mem = MemScope::track(mnames::MEM_PREP_STAGING, staged as u64);
         let u_recv = comm.alltoallv(&u_sends)?;
         drop(u_sends);
         let l_recv = comm.alltoallv(&l_sends)?;
         drop(l_sends);
         let t_recv = comm.alltoallv(&t_sends)?;
         drop(t_sends);
+        drop(prep_mem);
 
         // Build this rank's panels, bucketed by panel index.
         let bucket = |msgs: Vec<Vec<[u32; 2]>>| -> Vec<Vec<(u32, u32)>> {
@@ -228,18 +237,16 @@ pub fn try_count_triangles_summa_traced(
 
         let local_max_row = u_panels.iter().flatten().map(|b| b.max_row_len()).max().unwrap_or(0);
         let max_hash_row = comm.allreduce_max_u64(local_max_row as u64)? as usize;
-        drop(ppt_span);
-        metrics.ppt_cpu = cpu0.elapsed();
-        comm.barrier()?;
-        metrics.ppt = t0.elapsed();
-        let stats1 = comm.stats();
-        metrics.ppt_comm = RankMetrics::comm_delta(&stats0, &stats1);
-        metrics.ppt_ops = ops;
+        metrics.finish_ppt(phase.finish()?, ops);
+
+        // Resident panel storage held across the whole counting loop
+        // (entries dominate; 8 bytes per (v, k) pair).
+        let panel_bytes: usize =
+            u_panels.iter().chain(l_panels.iter()).flatten().map(|b| b.num_entries() * 8).sum();
+        let panel_mem = MemScope::track(mnames::MEM_SUMMA_PANELS, panel_bytes as u64);
 
         // ---- counting: K panel steps, row + column broadcasts ----
-        let t1 = Instant::now();
-        let cpu1 = tc_mps::CpuTimer::start();
-        let tct_span = tc_trace::span(tc_trace::names::PHASE_TCT, tc_trace::Category::Phase);
+        let phase = CommPhase::begin(comm, tc_trace::names::PHASE_TCT)?;
         // Panels are contiguous in k, so the map hashes raw ids
         // (stride 1) rather than the Cannon path's `k ÷ q` transform.
         let mut map = IntersectMap::new(max_hash_row, 1);
@@ -247,6 +254,7 @@ pub fn try_count_triangles_summa_traced(
         let mut tasks = 0u64;
         let row_members: Vec<usize> = (0..grid.pc).map(|yy| grid.rank_of(x, yy)).collect();
         let col_members: Vec<usize> = (0..grid.pr).map(|xx| grid.rank_of(xx, y)).collect();
+        let mut shift_compute = Vec::with_capacity(grid.panels);
         for w in 0..grid.panels {
             let step0 = tc_mps::CpuTimer::start();
             let u_root = grid.rank_of(x, w % grid.pc);
@@ -268,6 +276,8 @@ pub fn try_count_triangles_summa_traced(
                 l_panels[w].take().map(|b| b.to_blob()),
             )?;
             drop(xchg_span);
+            tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
+            tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
             let tasks_before = tasks;
             let mut compute_span =
                 tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
@@ -285,23 +295,20 @@ pub fn try_count_triangles_summa_traced(
             );
             compute_span.record_arg("tasks", tasks - tasks_before);
             drop(compute_span);
-            metrics.shift_compute.push(step0.elapsed());
+            shift_compute.push(step0.elapsed());
         }
         let triangles = comm.allreduce_sum_u64(local)?;
-        drop(tct_span);
-        metrics.tct_cpu = cpu1.elapsed();
-        comm.barrier()?;
-        metrics.tct = t1.elapsed();
-        let stats2 = comm.stats();
-        metrics.tct_comm = RankMetrics::comm_delta(&stats1, &stats2);
+        drop(panel_mem);
+        metrics.finish_tct(phase.finish()?);
 
-        metrics.tasks = tasks;
-        metrics.probes = map.stats.probe_steps;
-        metrics.lookups = map.stats.lookups;
-        metrics.direct_rows = map.stats.direct_rows;
-        metrics.probed_rows = map.stats.probed_rows;
-        metrics.tct_ops = map.stats.lookups + map.stats.inserts;
-        metrics.local_triangles = local;
+        tc_metrics::gauge_max(mnames::HASH_SLOTS, map.table_size() as u64);
+        tc_metrics::gauge_max(mnames::HASH_MAX_ROW, max_hash_row as u64);
+        tc_metrics::gauge_max(
+            mnames::HASH_LOAD_PCT,
+            (max_hash_row * 100 / map.table_size().max(1)) as u64,
+        );
+        metrics.record_kernel(&map.stats, tasks, local);
+        metrics.record_shift_compute(shift_compute);
         Ok((triangles, metrics))
     })?;
 

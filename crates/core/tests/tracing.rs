@@ -73,7 +73,7 @@ fn analyzer_critical_path_agrees_with_metrics_model() {
     let result =
         try_count_triangles_traced(&el, 16, &TcConfig::default(), Some(&handle)).expect("run");
     let trace = session.finish();
-    let a = analysis::analyze(&trace);
+    let a = analysis::analyze(&trace).expect("non-empty trace analyzes");
 
     assert_eq!(a.ranks.len(), 16);
     assert_eq!(a.shifts.len(), 4, "q = 4 shifts on a 16-rank grid");

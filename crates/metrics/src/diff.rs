@@ -1,0 +1,606 @@
+//! `benchdiff`: noise-aware comparison of benchmark reports.
+//!
+//! Runs are matched by their `(dataset, algorithm, ranks, config)`
+//! key. Two regimes apply:
+//!
+//! - **deterministic quantities** (triangle counts and every entry in
+//!   `counters`: ops, probes, bytes, tasks, …) must match *exactly* —
+//!   the generators are seeded and the kernels deterministic, so any
+//!   drift is a real behavior change, not noise;
+//! - **timings** are compared median-vs-median with a relative
+//!   tolerance, and sub-threshold durations are ignored entirely —
+//!   wall clocks on shared CI runners are noisy.
+//!
+//! The driver ([`cli_main`]) backs both the `benchdiff` binary in
+//! `tc-bench` and the `tricount benchdiff` subcommand.
+
+use std::collections::BTreeMap;
+
+use crate::report::RunRecord;
+
+/// Comparison tunables.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative tolerance for timing regressions (0.25 = +25%).
+    pub tolerance: f64,
+    /// Skip timing comparison entirely (cross-machine baselines).
+    pub deterministic_only: bool,
+    /// Timings where both medians are below this are never compared.
+    pub min_timing_ns: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self { tolerance: 0.25, deterministic_only: false, min_timing_ns: 1_000_000 }
+    }
+}
+
+/// Outcome of one comparison row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    Pass,
+    /// Passed, and meaningfully faster than baseline.
+    Improved,
+    Fail,
+}
+
+impl RowStatus {
+    fn label(self) -> &'static str {
+        match self {
+            RowStatus::Pass => "ok",
+            RowStatus::Improved => "improved",
+            RowStatus::Fail => "FAIL",
+        }
+    }
+}
+
+/// One comparison result line.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    pub key: String,
+    pub metric: String,
+    pub base: String,
+    pub cand: String,
+    pub status: RowStatus,
+    pub note: String,
+}
+
+/// The full comparison outcome.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    /// Keys present in both reports.
+    pub compared: usize,
+    /// Failing rows.
+    pub failures: usize,
+}
+
+impl DiffReport {
+    /// Overall verdict: no failures and at least one key compared.
+    pub fn pass(&self) -> bool {
+        self.failures == 0 && self.compared > 0
+    }
+
+    fn verdict(&self) -> &'static str {
+        if self.pass() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    }
+
+    /// Human-readable table plus verdict line.
+    pub fn render(&self) -> String {
+        let headers = ["run", "metric", "baseline", "candidate", "status", "note"];
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<[String; 6]> = self
+            .rows
+            .iter()
+            .map(|r| {
+                [
+                    r.key.clone(),
+                    r.metric.clone(),
+                    r.base.clone(),
+                    r.cand.clone(),
+                    r.status.label().to_string(),
+                    r.note.clone(),
+                ]
+            })
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cols: &[&str], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cols.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &cells {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            out.push_str(&fmt_row(&refs, &widths));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "benchdiff: {} ({} runs compared, {} failure{})\n",
+            self.verdict(),
+            self.compared,
+            self.failures,
+            if self.failures == 1 { "" } else { "s" }
+        ));
+        out
+    }
+
+    /// Machine-readable verdict document.
+    pub fn verdict_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"tc-benchdiff-v1\",\"verdict\":\"");
+        out.push_str(self.verdict());
+        out.push_str(&format!(
+            "\",\"compared\":{},\"failures\":{},\"rows\":[",
+            self.compared, self.failures
+        ));
+        let mut first = true;
+        for r in self.rows.iter().filter(|r| r.status == RowStatus::Fail) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"run\":\"");
+            crate::json::escape_into(&mut out, &r.key);
+            out.push_str("\",\"metric\":\"");
+            crate::json::escape_into(&mut out, &r.metric);
+            out.push_str("\",\"baseline\":\"");
+            crate::json::escape_into(&mut out, &r.base);
+            out.push_str("\",\"candidate\":\"");
+            crate::json::escape_into(&mut out, &r.cand);
+            out.push_str("\",\"note\":\"");
+            crate::json::escape_into(&mut out, &r.note);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Groups records by run key, preserving repeat order.
+fn group(records: &[RunRecord]) -> BTreeMap<String, Vec<&RunRecord>> {
+    let mut out: BTreeMap<String, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        out.entry(r.key()).or_default().push(r);
+    }
+    out
+}
+
+/// Median over repeats of the timing `name`, if any repeat has it.
+fn median_timing(repeats: &[&RunRecord], name: &str) -> Option<u64> {
+    let mut vals: Vec<u64> =
+        repeats.iter().filter_map(|r| r.timings_ns.get(name).copied()).collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_unstable();
+    Some(vals[vals.len() / 2])
+}
+
+/// Checks that every repeat of one key agrees on a deterministic
+/// quantity; returns the agreed value or an error note.
+fn agreed<'a, T: PartialEq + Copy + std::fmt::Display>(
+    repeats: &[&'a RunRecord],
+    get: impl Fn(&'a RunRecord) -> Option<T>,
+) -> Result<Option<T>, String> {
+    let mut found: Option<T> = None;
+    for &r in repeats {
+        match (found, get(r)) {
+            (None, v) => found = v,
+            (Some(a), Some(b)) if a != b => {
+                return Err(format!("nondeterministic across repeats ({a} vs {b})"));
+            }
+            _ => {}
+        }
+    }
+    Ok(found)
+}
+
+fn ns_to_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Compares `cand` against `base`.
+pub fn diff_reports(base: &[RunRecord], cand: &[RunRecord], opts: &DiffOptions) -> DiffReport {
+    let base_runs = group(base);
+    let cand_runs = group(cand);
+    let mut report = DiffReport::default();
+    let mut push = |report: &mut DiffReport, row: DiffRow| {
+        if row.status == RowStatus::Fail {
+            report.failures += 1;
+        }
+        report.rows.push(row);
+    };
+    for (key, b) in &base_runs {
+        let Some(c) = cand_runs.get(key) else {
+            push(
+                &mut report,
+                DiffRow {
+                    key: key.clone(),
+                    metric: "<run>".into(),
+                    base: "present".into(),
+                    cand: "missing".into(),
+                    status: RowStatus::Fail,
+                    note: "run missing from candidate report".into(),
+                },
+            );
+            continue;
+        };
+        report.compared += 1;
+        let mut ok_counters = 0usize;
+        let mut ok_timings = 0usize;
+
+        // Triangle counts: the correctness anchor, exact.
+        compare_exact(
+            &mut report,
+            &mut push,
+            &mut ok_counters,
+            key,
+            "triangles",
+            agreed(b, |r| Some(r.triangles)),
+            agreed(c, |r| Some(r.triangles)),
+        );
+
+        // Deterministic counters: exact, and the candidate must still
+        // report everything the baseline did.
+        let mut names: Vec<&String> = b[0].counters.keys().collect();
+        names.sort_unstable();
+        for name in names {
+            compare_exact(
+                &mut report,
+                &mut push,
+                &mut ok_counters,
+                key,
+                name,
+                agreed(b, |r| r.counters.get(name.as_str()).copied()),
+                agreed(c, |r| r.counters.get(name.as_str()).copied()),
+            );
+        }
+
+        // Timings: median vs median within tolerance.
+        if !opts.deterministic_only {
+            let mut tnames: Vec<&String> = b[0].timings_ns.keys().collect();
+            tnames.sort_unstable();
+            for name in tnames {
+                let (Some(bm), Some(cm)) = (median_timing(b, name), median_timing(c, name)) else {
+                    continue;
+                };
+                if bm.max(cm) < opts.min_timing_ns {
+                    ok_timings += 1;
+                    continue;
+                }
+                let delta = (cm as f64 - bm as f64) / (bm.max(1) as f64);
+                if delta > opts.tolerance {
+                    push(
+                        &mut report,
+                        DiffRow {
+                            key: key.clone(),
+                            metric: name.clone(),
+                            base: ns_to_ms(bm),
+                            cand: ns_to_ms(cm),
+                            status: RowStatus::Fail,
+                            note: format!(
+                                "+{:.1}% exceeds ±{:.0}% tolerance",
+                                delta * 100.0,
+                                opts.tolerance * 100.0
+                            ),
+                        },
+                    );
+                } else if delta < -opts.tolerance {
+                    push(
+                        &mut report,
+                        DiffRow {
+                            key: key.clone(),
+                            metric: name.clone(),
+                            base: ns_to_ms(bm),
+                            cand: ns_to_ms(cm),
+                            status: RowStatus::Improved,
+                            note: format!("{:.1}%", delta * 100.0),
+                        },
+                    );
+                } else {
+                    ok_timings += 1;
+                }
+            }
+        }
+
+        push(
+            &mut report,
+            DiffRow {
+                key: key.clone(),
+                metric: "<summary>".into(),
+                base: String::new(),
+                cand: String::new(),
+                status: RowStatus::Pass,
+                note: format!("{ok_counters} deterministic exact, {ok_timings} timings in band"),
+            },
+        );
+    }
+    for key in cand_runs.keys() {
+        if !base_runs.contains_key(key) {
+            report.rows.push(DiffRow {
+                key: key.clone(),
+                metric: "<run>".into(),
+                base: "missing".into(),
+                cand: "present".into(),
+                status: RowStatus::Pass,
+                note: "new run (not in baseline)".into(),
+            });
+        }
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare_exact(
+    report: &mut DiffReport,
+    push: &mut impl FnMut(&mut DiffReport, DiffRow),
+    ok_count: &mut usize,
+    key: &str,
+    name: &str,
+    base: Result<Option<u64>, String>,
+    cand: Result<Option<u64>, String>,
+) {
+    let fail = |b: String, c: String, note: String| DiffRow {
+        key: key.to_string(),
+        metric: name.to_string(),
+        base: b,
+        cand: c,
+        status: RowStatus::Fail,
+        note,
+    };
+    match (base, cand) {
+        (Err(note), _) => push(report, fail("?".into(), String::new(), format!("baseline {note}"))),
+        (_, Err(note)) => {
+            push(report, fail(String::new(), "?".into(), format!("candidate {note}")))
+        }
+        (Ok(Some(b)), Ok(Some(c))) if b != c => {
+            push(report, fail(b.to_string(), c.to_string(), "deterministic counter drift".into()))
+        }
+        (Ok(Some(_)), Ok(None)) => push(
+            report,
+            fail("present".into(), "missing".into(), "counter absent from candidate".into()),
+        ),
+        _ => *ok_count += 1,
+    }
+}
+
+/// Command-line driver shared by the `benchdiff` binary and the
+/// `tricount benchdiff` subcommand. `args` excludes the program /
+/// subcommand name. Returns the process exit code.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut files: Vec<String> = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut verdict_json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" | "--tolerance" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("benchdiff: --tol needs a number (e.g. 0.25)");
+                    return 2;
+                };
+                opts.tolerance = v;
+            }
+            "--min-timing-ms" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("benchdiff: --min-timing-ms needs a number");
+                    return 2;
+                };
+                opts.min_timing_ns = (v * 1e6) as u64;
+            }
+            "--deterministic-only" => opts.deterministic_only = true,
+            "--verdict-json" => {
+                let Some(p) = it.next() else {
+                    eprintln!("benchdiff: --verdict-json needs a path");
+                    return 2;
+                };
+                verdict_json = Some(p.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("benchdiff: unknown flag '{other}'\n{USAGE}");
+                return 2;
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.len() < 2 {
+        eprintln!("benchdiff: need a baseline and at least one candidate report\n{USAGE}");
+        return 2;
+    }
+    let load = |path: &str| -> Result<Vec<RunRecord>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        RunRecord::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let base = match load(&files[0]) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchdiff: {e}");
+            return 2;
+        }
+    };
+    let mut cand = Vec::new();
+    for path in &files[1..] {
+        match load(path) {
+            Ok(r) => cand.extend(r),
+            Err(e) => {
+                eprintln!("benchdiff: {e}");
+                return 2;
+            }
+        }
+    }
+    if base.is_empty() {
+        eprintln!("benchdiff: baseline {} contains no run records", files[0]);
+        return 2;
+    }
+    let report = diff_reports(&base, &cand, &opts);
+    print!("{}", report.render());
+    if let Some(path) = verdict_json {
+        if let Err(e) = std::fs::write(&path, report.verdict_json() + "\n") {
+            eprintln!("benchdiff: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    if report.pass() {
+        0
+    } else {
+        1
+    }
+}
+
+const USAGE: &str = "usage: benchdiff <BASELINE.jsonl> <CANDIDATE.jsonl>... [options]
+
+Compares benchmark run records (schema tc-run-v1) matched by
+(dataset, algorithm, ranks, config). Deterministic counters and
+triangle counts must match exactly; timings compare median-vs-median
+within a relative tolerance.
+
+options:
+  --tol <frac>            timing tolerance (default 0.25 = ±25%)
+  --min-timing-ms <ms>    ignore timings below this (default 1.0)
+  --deterministic-only    skip timing comparison (cross-machine)
+  --verdict-json <path>   write machine-readable verdict
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(dataset: &str, ops: u64, wall_ms: u64) -> RunRecord {
+        RunRecord {
+            dataset: dataset.into(),
+            algorithm: "2d".into(),
+            ranks: 16,
+            config: "default".into(),
+            triangles: 999,
+            counters: [("tct.ops".to_string(), ops)].into_iter().collect(),
+            timings_ns: [("tct.wall".to_string(), wall_ms * 1_000_000)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = vec![rec("a", 100, 50), rec("b", 200, 80)];
+        let report = diff_reports(&base, &base.clone(), &DiffOptions::default());
+        assert!(report.pass(), "{}", report.render());
+        assert_eq!(report.compared, 2);
+    }
+
+    #[test]
+    fn counter_drift_fails_hard() {
+        let base = vec![rec("a", 100, 50)];
+        let mut cand = base.clone();
+        cand[0].counters.insert("tct.ops".into(), 101);
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass());
+        assert!(report.render().contains("deterministic counter drift"));
+    }
+
+    #[test]
+    fn triangle_mismatch_fails_hard() {
+        let base = vec![rec("a", 100, 50)];
+        let mut cand = base.clone();
+        cand[0].triangles = 998;
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass());
+    }
+
+    #[test]
+    fn timing_regression_beyond_tolerance_fails() {
+        let base = vec![rec("a", 100, 100)];
+        let cand = vec![rec("a", 100, 140)];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass(), "{}", report.render());
+        assert!(report.render().contains("tolerance"));
+        // Same inflation under --deterministic-only is ignored.
+        let opts = DiffOptions { deterministic_only: true, ..DiffOptions::default() };
+        assert!(diff_reports(&base, &cand, &opts).pass());
+    }
+
+    #[test]
+    fn timing_within_tolerance_or_below_floor_passes() {
+        let base = vec![rec("a", 100, 100)];
+        let cand = vec![rec("a", 100, 110)];
+        assert!(diff_reports(&base, &cand, &DiffOptions::default()).pass());
+        // Sub-floor timings never compare, no matter the ratio.
+        let base = vec![rec("a", 100, 0)];
+        let cand = vec![rec("a", 100, 0)];
+        assert!(diff_reports(&base, &cand, &DiffOptions::default()).pass());
+    }
+
+    #[test]
+    fn timings_use_median_of_repeats() {
+        // Candidate has one noisy outlier; medians still agree.
+        let base = vec![rec("a", 100, 100), rec("a", 100, 102), rec("a", 100, 98)];
+        let cand = vec![rec("a", 100, 101), rec("a", 100, 400), rec("a", 100, 99)];
+        assert!(diff_reports(&base, &cand, &DiffOptions::default()).pass());
+    }
+
+    #[test]
+    fn nondeterministic_repeats_fail() {
+        let base = vec![rec("a", 100, 50)];
+        let cand = vec![rec("a", 100, 50), rec("a", 101, 50)];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass());
+        assert!(report.render().contains("nondeterministic"));
+    }
+
+    #[test]
+    fn missing_run_fails_and_new_run_notes() {
+        let base = vec![rec("a", 100, 50)];
+        let cand = vec![rec("b", 100, 50)];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass());
+        let text = report.render();
+        assert!(text.contains("missing from candidate"), "{text}");
+        assert!(text.contains("new run"), "{text}");
+    }
+
+    #[test]
+    fn missing_counter_in_candidate_fails() {
+        let base = vec![rec("a", 100, 50)];
+        let mut cand = base.clone();
+        cand[0].counters.clear();
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass());
+        assert!(report.render().contains("absent from candidate"));
+    }
+
+    #[test]
+    fn verdict_json_lists_failures() {
+        let base = vec![rec("a", 100, 50)];
+        let mut cand = base.clone();
+        cand[0].counters.insert("tct.ops".into(), 7);
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        let v = crate::json::parse(&report.verdict_json()).unwrap();
+        assert_eq!(v.get("verdict").unwrap().as_str(), Some("FAIL"));
+        assert_eq!(v.get("rows").unwrap().as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_intersection_is_not_a_pass() {
+        let report = diff_reports(&[], &[], &DiffOptions::default());
+        assert!(!report.pass());
+    }
+}

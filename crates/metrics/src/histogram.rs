@@ -1,0 +1,236 @@
+//! Log₂-bucketed histogram: fixed footprint, exact count/sum/min/max,
+//! lossless merge, and quantile estimates bounded by one bucket.
+//!
+//! Bucket `0` holds the value `0`; bucket `i` (1 ≤ i ≤ 64) holds the
+//! half-open power-of-two range `[2^(i-1), 2^i)` (the last bucket is
+//! closed at `u64::MAX`). Recording and merging are pure additions,
+//! so the result is independent of ordering and of how a sample set
+//! is partitioned across ranks before merging — the property the
+//! proptests in `tests/histogram.rs` pin down.
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A mergeable log₂-bucketed histogram of `u64` samples.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self { buckets: [0; NUM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Equivalent to having recorded both
+    /// sample sets into one histogram, in any order.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Per-bucket sample counts (index ↔ [`bucket_bounds`]).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Reconstructs a histogram from raw bucket counts plus the exact
+    /// aggregates (the snapshot parser's entry point). Returns `None`
+    /// if the bucket counts do not sum to `count`.
+    pub fn from_parts(buckets: [u64; NUM_BUCKETS], sum: u64, min: u64, max: u64) -> Option<Self> {
+        let count: u64 = buckets.iter().sum();
+        let h = Self { buckets, count, sum, min, max };
+        (count == 0 || min <= max).then_some(h)
+    }
+
+    /// Inclusive value bounds `[lo, hi]` of the bucket holding the
+    /// `q`-quantile sample (`0.0 ≤ q ≤ 1.0`), tightened by the exact
+    /// min/max. `None` when empty. The true quantile of the recorded
+    /// sample set always lies within the returned bounds.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target sample among the sorted samples.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for i in 0..NUM_BUCKETS {
+            seen += self.buckets[i];
+            if seen >= target {
+                let (lo, hi) = bucket_bounds(i);
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        unreachable!("bucket counts sum to self.count");
+    }
+
+    /// Point estimate of the `q`-quantile: the upper bound of its
+    /// bucket (a pessimistic estimate, off by at most one bucket).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_bounds(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Log2Histogram::new();
+        h.record(37);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bounds(q), Some((37, 37)));
+        }
+    }
+
+    #[test]
+    fn merge_equals_joint_recording() {
+        let (a_samples, b_samples) = ([0u64, 1, 5, 1 << 20], [3u64, 3, u64::MAX]);
+        let mut joint = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for &v in &a_samples {
+            joint.record(v);
+            a.record(v);
+        }
+        for &v in &b_samples {
+            joint.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn quantile_bounds_contain_true_quantile() {
+        let samples = [1u64, 2, 2, 9, 100, 1000, 1001, 5000];
+        let mut h = Log2Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (i, &truth) in sorted.iter().enumerate() {
+            let q = (i + 1) as f64 / sorted.len() as f64;
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert!(lo <= truth && truth <= hi, "q={q}: {truth} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_aggregates() {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        buckets[1] = 2;
+        assert!(Log2Histogram::from_parts(buckets, 2, 1, 1).is_some());
+        assert!(Log2Histogram::from_parts(buckets, 2, 5, 1).is_none());
+    }
+}

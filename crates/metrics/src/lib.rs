@@ -1,0 +1,91 @@
+//! # tc-metrics — per-rank metrics registry and regression engine
+//!
+//! The quantitative companion to `tc-trace`: where tracing records
+//! *when* things happened, this crate records *how much* — operation
+//! counts, probe counts, communicated bytes, task counts, buffer
+//! high-water marks — the architecture-independent quantities the
+//! paper's evaluation (Tables 1–5) is built on.
+//!
+//! Zero dependencies, same instrumentation discipline as `tc-trace`:
+//!
+//! - when no [`MetricsSession`] is live, every instrumentation point
+//!   costs exactly one relaxed atomic load ([`enabled`]);
+//! - threads record only after being bound to a rank via
+//!   [`MetricsHandle::register_rank`], so concurrent universes in one
+//!   test process cannot contaminate each other;
+//! - a finished session drains into a [`MetricsSnapshot`] with two
+//!   exporters: a schema-versioned JSON document
+//!   ([`MetricsSnapshot::to_json`]) and a Prometheus-style text
+//!   exposition ([`prometheus::to_prometheus`]).
+//!
+//! On top of the registry sit benchmark [`report::RunRecord`]s
+//! (JSON-lines, one per run) and the [`diff`] engine (`benchdiff`):
+//! noise-aware comparison that hard-fails on any drift in
+//! deterministic counters and applies a median/relative-tolerance
+//! test to wall-clock timings.
+
+pub mod diff;
+pub mod histogram;
+pub mod json;
+pub mod mem;
+pub mod prometheus;
+pub mod registry;
+pub mod report;
+pub mod snapshot;
+
+pub use histogram::Log2Histogram;
+pub use mem::MemScope;
+pub use registry::{
+    counter_add, enabled, gauge_max, gauge_set, hist_record, values_recorded_total, MetricsHandle,
+    MetricsSession, RankGuard,
+};
+pub use report::RunRecord;
+pub use snapshot::{MetricValue, MetricsSnapshot};
+
+/// Well-known metric names, shared by every instrumented layer so
+/// exporters, tests and docs agree on spelling.
+pub mod names {
+    // mps runtime (fed natively by `tc_mps::Universe`).
+    pub const MPS_BYTES_SENT: &str = "mps.bytes_sent";
+    pub const MPS_MSGS_SENT: &str = "mps.msgs_sent";
+    pub const MPS_BYTES_RECV: &str = "mps.bytes_recv";
+    pub const MPS_MSGS_RECV: &str = "mps.msgs_recv";
+    pub const MPS_SEND_NS: &str = "mps.send_ns";
+    pub const MPS_RECV_NS: &str = "mps.recv_ns";
+    pub const MPS_COLLECTIVES: &str = "mps.collectives";
+
+    // Phase timings (per rank, nanoseconds).
+    pub const PPT_WALL_NS: &str = "ppt.wall_ns";
+    pub const PPT_CPU_NS: &str = "ppt.cpu_ns";
+    pub const PPT_COMM_NS: &str = "ppt.comm_ns";
+    pub const TCT_WALL_NS: &str = "tct.wall_ns";
+    pub const TCT_CPU_NS: &str = "tct.cpu_ns";
+    pub const TCT_COMM_NS: &str = "tct.comm_ns";
+
+    // Deterministic kernel quantities (paper Tables 3–4).
+    pub const PPT_OPS: &str = "ppt.ops";
+    pub const TCT_OPS: &str = "tct.ops";
+    pub const TCT_TASKS: &str = "tct.tasks";
+    pub const TCT_PROBES: &str = "tct.probes";
+    pub const TCT_LOOKUPS: &str = "tct.lookups";
+    pub const TCT_DIRECT_ROWS: &str = "tct.direct_rows";
+    pub const TCT_PROBED_ROWS: &str = "tct.probed_rows";
+    pub const TCT_TRIANGLES: &str = "tct.triangles";
+
+    // Per-shift distributions and hash-table shape.
+    pub const SHIFT_BYTES: &str = "tct.shift_bytes";
+    pub const SHIFT_COMPUTE_NS: &str = "tct.shift_compute_ns";
+    pub const HASH_SLOTS: &str = "tct.hash_slots";
+    pub const HASH_MAX_ROW: &str = "tct.hash_max_row";
+    pub const HASH_LOAD_PCT: &str = "tct.hash_load_pct";
+
+    // High-water memory scopes (bytes).
+    pub const MEM_PREP_STAGING: &str = "mem.prep_staging";
+    pub const MEM_SHIFT_STAGING: &str = "mem.shift_staging";
+    pub const MEM_SUMMA_PANELS: &str = "mem.summa_panels";
+
+    // 1D baseline phases.
+    pub const BASE_SETUP_NS: &str = "base.setup_ns";
+    pub const BASE_COUNT_NS: &str = "base.count_ns";
+    pub const BASE_GHOST_ENTRIES: &str = "base.ghost_entries";
+}

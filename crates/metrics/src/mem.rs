@@ -1,0 +1,100 @@
+//! High-water memory accounting for big transient buffers.
+//!
+//! Preprocessing, Cannon shifts and SUMMA panel staging all build
+//! large send/receive buffers whose peak footprint — not the steady
+//! state — determines whether a configuration fits in memory. A
+//! [`MemScope`] brackets such a buffer's lifetime: bytes are added to
+//! the named scope's live count on creation and subtracted on drop,
+//! and the registry keeps the high-water mark, exported as a gauge.
+//!
+//! When metrics are disabled (or the thread has no rank binding) a
+//! scope is a zero-cost inert value: one relaxed atomic load at
+//! construction, nothing on drop.
+
+use crate::registry::{enabled, mem_acquire, mem_release};
+
+/// RAII guard accounting `bytes` as live under `name` until dropped.
+#[derive(Debug)]
+pub struct MemScope {
+    name: &'static str,
+    bytes: u64,
+}
+
+impl MemScope {
+    /// Starts tracking `bytes` under the scope `name`.
+    #[inline]
+    pub fn track(name: &'static str, bytes: u64) -> Self {
+        if enabled() {
+            mem_acquire(name, bytes);
+        } else {
+            // Inert: remember nothing to release.
+            return Self { name, bytes: 0 };
+        }
+        Self { name, bytes }
+    }
+
+    /// Grows the tracked footprint (e.g. a buffer that was resized).
+    pub fn grow(&mut self, additional: u64) {
+        if self.bytes > 0 || enabled() {
+            mem_acquire(self.name, additional);
+            self.bytes = self.bytes.saturating_add(additional);
+        }
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            mem_release(self.name, self.bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::locked;
+    use crate::registry::{values_recorded_total, MetricsSession};
+
+    #[test]
+    fn scope_tracks_high_water_across_overlap() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(0);
+            let a = MemScope::track("stage", 100);
+            {
+                let _b = MemScope::track("stage", 50);
+            }
+            drop(a);
+            let _c = MemScope::track("stage", 20);
+        }
+        let snap = session.finish();
+        assert_eq!(snap.gauge(0, "stage"), Some(150));
+    }
+
+    #[test]
+    fn grow_raises_the_peak() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(0);
+            let mut a = MemScope::track("stage", 10);
+            a.grow(90);
+        }
+        let snap = session.finish();
+        assert_eq!(snap.gauge(0, "stage"), Some(100));
+    }
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        let _l = locked();
+        let before = values_recorded_total();
+        {
+            let _a = MemScope::track("stage", 1 << 30);
+        }
+        assert_eq!(values_recorded_total(), before);
+    }
+}

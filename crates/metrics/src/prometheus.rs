@@ -1,0 +1,120 @@
+//! Prometheus-style text exposition of a metrics snapshot.
+//!
+//! Metric names are sanitized (`.` → `_`, prefixed `tc_`) and each
+//! rank becomes a `rank="N"` label. Log₂ histograms are emitted as
+//! standard cumulative `_bucket{le=...}` series (bucket upper bounds)
+//! plus `_sum` and `_count`.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{bucket_bounds, Log2Histogram};
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+/// Sanitized exposition name for a registry metric name.
+pub fn exposition_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("tc_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the full text exposition of `snap`.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    // Group series by metric name so each gets exactly one # TYPE line.
+    let mut by_name: BTreeMap<&str, Vec<(usize, &MetricValue)>> = BTreeMap::new();
+    for rank in snap.ranks() {
+        for (name, value) in snap.rank(rank).expect("listed rank present") {
+            by_name.entry(name).or_default().push((rank, value));
+        }
+    }
+    let mut out = String::new();
+    for (name, series) in by_name {
+        let pname = exposition_name(name);
+        let kind = match series[0].1 {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Hist(_) => "histogram",
+        };
+        out.push_str(&format!("# TYPE {pname} {kind}\n"));
+        for (rank, value) in series {
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{pname}{{rank=\"{rank}\"}} {v}\n"));
+                }
+                MetricValue::Hist(h) => write_hist(&mut out, &pname, rank, h),
+            }
+        }
+    }
+    out
+}
+
+fn write_hist(out: &mut String, pname: &str, rank: usize, h: &Log2Histogram) {
+    let buckets = h.buckets();
+    let last_nonempty = buckets.iter().rposition(|&n| n > 0);
+    let mut cumulative = 0u64;
+    if let Some(last) = last_nonempty {
+        for (i, &n) in buckets.iter().enumerate().take(last + 1) {
+            cumulative += n;
+            let (_, le) = bucket_bounds(i);
+            out.push_str(&format!("{pname}_bucket{{rank=\"{rank}\",le=\"{le}\"}} {cumulative}\n"));
+        }
+    }
+    out.push_str(&format!("{pname}_bucket{{rank=\"{rank}\",le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{pname}_sum{{rank=\"{rank}\"}} {}\n", h.sum()));
+    out.push_str(&format!("{pname}_count{{rank=\"{rank}\"}} {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_names_are_sanitized() {
+        assert_eq!(exposition_name("tct.ops"), "tc_tct_ops");
+        assert_eq!(exposition_name("mem.prep-staging"), "tc_mem_prep_staging");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_expose() {
+        let mut snap = MetricsSnapshot::new();
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        snap.insert(0, "ops".into(), MetricValue::Counter(7));
+        snap.insert(1, "ops".into(), MetricValue::Counter(9));
+        snap.insert(0, "hwm".into(), MetricValue::Gauge(5));
+        snap.insert(0, "lat".into(), MetricValue::Hist(h));
+        let text = to_prometheus(&snap);
+        assert!(text.contains("# TYPE tc_ops counter\n"), "{text}");
+        assert!(text.contains("tc_ops{rank=\"0\"} 7\n"), "{text}");
+        assert!(text.contains("tc_ops{rank=\"1\"} 9\n"), "{text}");
+        assert!(text.contains("# TYPE tc_hwm gauge\n"), "{text}");
+        assert!(text.contains("# TYPE tc_lat histogram\n"), "{text}");
+        // Cumulative buckets: le=0 → 1 sample, le=1 → still 1,
+        // le=3 → all 3; +Inf always equals count.
+        assert!(text.contains("tc_lat_bucket{rank=\"0\",le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("tc_lat_bucket{rank=\"0\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("tc_lat_bucket{rank=\"0\",le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("tc_lat_bucket{rank=\"0\",le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("tc_lat_sum{rank=\"0\"} 6\n"), "{text}");
+        assert!(text.contains("tc_lat_count{rank=\"0\"} 3\n"), "{text}");
+        // One # TYPE line per metric, not per rank.
+        assert_eq!(text.matches("# TYPE tc_ops").count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_exposes_only_inf_bucket() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(0, "lat".into(), MetricValue::Hist(Log2Histogram::new()));
+        let text = to_prometheus(&snap);
+        assert!(text.contains("tc_lat_bucket{rank=\"0\",le=\"+Inf\"} 0\n"), "{text}");
+        assert!(!text.contains("le=\"0\""), "{text}");
+    }
+}

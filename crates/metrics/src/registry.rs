@@ -1,0 +1,419 @@
+//! Sessions, per-rank registries, and the recording fast path.
+//!
+//! Mirrors the `tc-trace` discipline exactly:
+//!
+//! - a **global gate** ([`enabled`], one relaxed atomic load) makes
+//!   every instrumentation point free when no session is live;
+//! - a **session** ([`MetricsSession`]) owns per-rank registries
+//!   behind individually lockable mutexes;
+//! - a **thread-local binding** ([`RankGuard`]) routes this thread's
+//!   [`counter_add`]/[`gauge_max`]/[`hist_record`] calls to its
+//!   rank's registry.
+//!
+//! Binding is explicit — a session never captures values from
+//! threads that were not registered against it — so concurrent
+//! universes in one process (the normal state of `cargo test`)
+//! cannot contaminate each other's metrics.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Log2Histogram;
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+/// Count of live sessions; the recording gate.
+static ACTIVE_SESSIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total values ever recorded in this process (test probe: asserts
+/// that disabled paths stay bypassed).
+static VALUES_RECORDED: AtomicU64 = AtomicU64::new(0);
+
+/// Whether any metrics session is currently live. This is the single
+/// atomic load every instrumentation point pays when metrics are off.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE_SESSIONS.load(Ordering::Relaxed) != 0
+}
+
+/// Process-wide count of recorded values. Monotone; used by tests to
+/// prove the registry is bypassed when metrics are disabled.
+pub fn values_recorded_total() -> u64 {
+    VALUES_RECORDED.load(Ordering::Relaxed)
+}
+
+/// One typed metric slot in a rank's registry.
+enum Slot {
+    Counter(u64),
+    Gauge(u64),
+    Hist(Box<Log2Histogram>),
+    /// Memory scope accounting: live bytes and their high-water mark.
+    Mem {
+        cur: u64,
+        peak: u64,
+    },
+}
+
+/// One rank's registry: a mutex-protected name → slot map. The
+/// owning thread is the only writer, so the lock is uncontended.
+struct RankRegistry {
+    slots: Mutex<BTreeMap<&'static str, Slot>>,
+}
+
+struct SinkInner {
+    lanes: Mutex<HashMap<usize, Arc<RankRegistry>>>,
+}
+
+impl SinkInner {
+    fn lane(&self, rank: usize) -> Arc<RankRegistry> {
+        let mut lanes = self.lanes.lock().expect("metrics lanes lock");
+        Arc::clone(
+            lanes
+                .entry(rank)
+                .or_insert_with(|| Arc::new(RankRegistry { slots: Mutex::new(BTreeMap::new()) })),
+        )
+    }
+}
+
+thread_local! {
+    static LANE: RefCell<Option<LocalLane>> = const { RefCell::new(None) };
+}
+
+struct LocalLane {
+    lane: Arc<RankRegistry>,
+}
+
+/// A live metrics session. Dropping (or [`MetricsSession::finish`]ing)
+/// it closes the gate again (when no other session is live).
+pub struct MetricsSession {
+    inner: Arc<SinkInner>,
+}
+
+impl MetricsSession {
+    /// Starts a session and opens the recording gate.
+    pub fn begin() -> Self {
+        let inner = Arc::new(SinkInner { lanes: Mutex::new(HashMap::new()) });
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
+        Self { inner }
+    }
+
+    /// A cloneable handle for wiring the session into rank runtimes
+    /// (e.g. `tc_mps::UniverseConfig::metrics`).
+    pub fn handle(&self) -> MetricsHandle {
+        MetricsHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Ends the session and returns everything it recorded.
+    pub fn finish(self) -> MetricsSnapshot {
+        let inner = Arc::clone(&self.inner);
+        drop(self); // closes the gate before draining
+        let mut snap = MetricsSnapshot::new();
+        let lanes = inner.lanes.lock().expect("metrics lanes lock");
+        let mut ranks: Vec<usize> = lanes.keys().copied().collect();
+        ranks.sort_unstable();
+        for r in ranks {
+            let slots = lanes[&r].slots.lock().expect("metrics slots lock");
+            for (name, slot) in slots.iter() {
+                let value = match slot {
+                    Slot::Counter(v) => MetricValue::Counter(*v),
+                    Slot::Gauge(v) => MetricValue::Gauge(*v),
+                    Slot::Hist(h) => MetricValue::Hist((**h).clone()),
+                    // A memory scope exports its high-water mark; the
+                    // live count is transient bookkeeping.
+                    Slot::Mem { peak, .. } => MetricValue::Gauge(*peak),
+                };
+                snap.insert(r, name.to_string(), value);
+            }
+        }
+        snap
+    }
+}
+
+impl Drop for MetricsSession {
+    fn drop(&mut self) {
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for MetricsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSession").finish_non_exhaustive()
+    }
+}
+
+/// Cloneable, thread-safe reference to a session's registries.
+#[derive(Clone)]
+pub struct MetricsHandle {
+    inner: Arc<SinkInner>,
+}
+
+impl std::fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHandle").finish_non_exhaustive()
+    }
+}
+
+impl MetricsHandle {
+    /// Binds the calling thread to `rank`'s registry until the
+    /// returned guard is dropped.
+    pub fn register_rank(&self, rank: usize) -> RankGuard {
+        let lane = self.inner.lane(rank);
+        let prev = LANE.with(|l| l.borrow_mut().replace(LocalLane { lane }));
+        RankGuard { prev }
+    }
+}
+
+/// Clears the thread's registry binding on drop (restoring any
+/// previous binding, so nested universes behave).
+pub struct RankGuard {
+    prev: Option<LocalLane>,
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        LANE.with(|l| {
+            *l.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+impl std::fmt::Debug for RankGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankGuard").finish_non_exhaustive()
+    }
+}
+
+fn with_slot(name: &'static str, f: impl FnOnce(&mut Slot), mk: impl FnOnce() -> Slot) {
+    LANE.with(|l| {
+        if let Some(local) = l.borrow().as_ref() {
+            let mut slots = local.lane.slots.lock().expect("metrics slots lock");
+            f(slots.entry(name).or_insert_with(mk));
+            VALUES_RECORDED.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Adds `v` to the counter `name`. The fast path when metrics are
+/// off is a single relaxed atomic load.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_add_slow(name, v);
+}
+
+#[cold]
+fn counter_add_slow(name: &'static str, v: u64) {
+    with_slot(
+        name,
+        |s| {
+            if let Slot::Counter(c) = s {
+                *c = c.saturating_add(v);
+            }
+        },
+        || Slot::Counter(0),
+    );
+}
+
+/// Sets the gauge `name` to `v` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    gauge_slow(name, v, false);
+}
+
+/// Raises the gauge `name` to `v` if larger (high-water semantics).
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    gauge_slow(name, v, true);
+}
+
+#[cold]
+fn gauge_slow(name: &'static str, v: u64, max: bool) {
+    with_slot(
+        name,
+        |s| {
+            if let Slot::Gauge(g) = s {
+                *g = if max { (*g).max(v) } else { v };
+            }
+        },
+        || Slot::Gauge(0),
+    );
+}
+
+/// Records one sample into the log₂ histogram `name`.
+#[inline]
+pub fn hist_record(name: &'static str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    hist_record_slow(name, v);
+}
+
+#[cold]
+fn hist_record_slow(name: &'static str, v: u64) {
+    with_slot(
+        name,
+        |s| {
+            if let Slot::Hist(h) = s {
+                h.record(v);
+            }
+        },
+        || Slot::Hist(Box::default()),
+    );
+}
+
+/// Accounts `bytes` as newly live under the memory scope `name`,
+/// updating its high-water mark. Pair with [`mem_release`] (or use
+/// [`crate::MemScope`], which does both).
+#[inline]
+pub fn mem_acquire(name: &'static str, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    mem_slow(name, bytes, true);
+}
+
+/// Releases `bytes` previously accounted with [`mem_acquire`].
+#[inline]
+pub fn mem_release(name: &'static str, bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    mem_slow(name, bytes, false);
+}
+
+#[cold]
+fn mem_slow(name: &'static str, bytes: u64, acquire: bool) {
+    with_slot(
+        name,
+        |s| {
+            if let Slot::Mem { cur, peak } = s {
+                if acquire {
+                    *cur = cur.saturating_add(bytes);
+                    *peak = (*peak).max(*cur);
+                } else {
+                    *cur = cur.saturating_sub(bytes);
+                }
+            }
+        },
+        || Slot::Mem { cur: 0, peak: 0 },
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // Session tests share process-global state (the gate); serialize
+    // them so assertions about enabled() don't race.
+    pub(crate) static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn locked() -> std::sync::MutexGuard<'static, ()> {
+        SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _l = locked();
+        assert!(!enabled());
+        let before = values_recorded_total();
+        counter_add("x", 1);
+        gauge_set("g", 2);
+        gauge_max("g", 3);
+        hist_record("h", 4);
+        mem_acquire("m", 5);
+        mem_release("m", 5);
+        assert_eq!(values_recorded_total(), before);
+    }
+
+    #[test]
+    fn unbound_threads_record_nothing_even_when_enabled() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        assert!(enabled());
+        let before = values_recorded_total();
+        counter_add("x", 1);
+        assert_eq!(values_recorded_total(), before);
+        let snap = session.finish();
+        assert!(snap.ranks().is_empty());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn bound_thread_records_all_metric_kinds() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(2);
+            counter_add("ops", 10);
+            counter_add("ops", 5);
+            gauge_set("size", 100);
+            gauge_set("size", 90);
+            gauge_max("hwm", 7);
+            gauge_max("hwm", 3);
+            hist_record("lat", 1);
+            hist_record("lat", 1000);
+            mem_acquire("buf", 64);
+            mem_acquire("buf", 64);
+            mem_release("buf", 64);
+            mem_acquire("buf", 32);
+            mem_release("buf", 96);
+        }
+        let snap = session.finish();
+        assert_eq!(snap.ranks(), vec![2]);
+        assert_eq!(snap.counter(2, "ops"), Some(15));
+        assert_eq!(snap.gauge(2, "size"), Some(90));
+        assert_eq!(snap.gauge(2, "hwm"), Some(7));
+        let h = snap.hist(2, "lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1001);
+        // Peak was 128 live bytes, even though everything was freed.
+        assert_eq!(snap.gauge(2, "buf"), Some(128));
+    }
+
+    #[test]
+    fn guard_restores_previous_binding() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        let _outer = handle.register_rank(0);
+        {
+            let _inner = handle.register_rank(1);
+            counter_add("c", 1);
+        }
+        counter_add("c", 10);
+        let snap = session.finish();
+        assert_eq!(snap.counter(1, "c"), Some(1));
+        assert_eq!(snap.counter(0, "c"), Some(10));
+    }
+
+    #[test]
+    fn cross_thread_ranks_do_not_mix() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        std::thread::scope(|s| {
+            for r in 0..4usize {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let _g = h.register_rank(r);
+                    counter_add("ops", r as u64 + 1);
+                });
+            }
+        });
+        let snap = session.finish();
+        assert_eq!(snap.ranks(), vec![0, 1, 2, 3]);
+        for r in 0..4usize {
+            assert_eq!(snap.counter(r, "ops"), Some(r as u64 + 1));
+        }
+    }
+}

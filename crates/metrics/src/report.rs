@@ -1,0 +1,253 @@
+//! Benchmark run records: the JSON-lines schema `benchdiff` consumes.
+//!
+//! Every bench binary (and `tricount count --json`) appends one
+//! `tc-run-v1` object per run. A report file may interleave other
+//! line kinds (e.g. the table records bench binaries also emit);
+//! [`RunRecord::parse_jsonl`] picks out the run records and ignores
+//! the rest, but still insists every line is valid JSON.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::snapshot::{MetricValue, MetricsSnapshot};
+
+/// Run-record schema tag; bump on breaking layout changes.
+pub const RUN_SCHEMA: &str = "tc-run-v1";
+
+/// One benchmark run: identity key, deterministic counters, and
+/// noisy timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Input graph name (e.g. `g500-s8`).
+    pub dataset: String,
+    /// Algorithm name (e.g. `2d`, `summa`, `aop1d`).
+    pub algorithm: String,
+    /// Number of ranks.
+    pub ranks: u64,
+    /// Free-form configuration discriminator (kernel flags, grid
+    /// shape, …); runs only compare when it matches.
+    pub config: String,
+    /// Triangle count — the correctness anchor.
+    pub triangles: u64,
+    /// Deterministic quantities (ops, probes, bytes, tasks, …):
+    /// `benchdiff` hard-fails on any drift.
+    pub counters: BTreeMap<String, u64>,
+    /// Wall-clock style measurements in nanoseconds: compared as
+    /// medians with a relative tolerance.
+    pub timings_ns: BTreeMap<String, u64>,
+}
+
+impl RunRecord {
+    /// Distills a cluster-wide snapshot into a run record.
+    ///
+    /// The split into deterministic counters vs noisy timings follows
+    /// the naming convention: anything whose name ends in `_ns` is a
+    /// timing, everything else (ops, probes, bytes, tasks, sizes) is
+    /// expected to be bit-identical across repeat runs. Counters are
+    /// summed across ranks, gauges take the cluster maximum, and
+    /// histograms contribute their `count`/`sum` (or just the summed
+    /// nanoseconds for timing histograms).
+    pub fn from_snapshot(
+        dataset: &str,
+        algorithm: &str,
+        ranks: u64,
+        config: &str,
+        triangles: u64,
+        snap: &MetricsSnapshot,
+    ) -> Self {
+        let mut counters = BTreeMap::new();
+        let mut timings_ns = BTreeMap::new();
+        for (name, value) in snap.merged() {
+            match value {
+                MetricValue::Counter(v) => {
+                    if name.ends_with("_ns") {
+                        timings_ns.insert(name, v);
+                    } else {
+                        counters.insert(name, v);
+                    }
+                }
+                MetricValue::Gauge(v) => {
+                    counters.insert(name, v);
+                }
+                MetricValue::Hist(h) => {
+                    if name.ends_with("_ns") {
+                        timings_ns.insert(format!("{name}.sum"), h.sum());
+                    } else {
+                        counters.insert(format!("{name}.count"), h.count());
+                        counters.insert(format!("{name}.sum"), h.sum());
+                    }
+                }
+            }
+        }
+        Self {
+            dataset: dataset.to_string(),
+            algorithm: algorithm.to_string(),
+            ranks,
+            config: config.to_string(),
+            triangles,
+            counters,
+            timings_ns,
+        }
+    }
+
+    /// The identity `benchdiff` matches runs by.
+    pub fn key(&self) -> String {
+        format!("{}/{}/p{}/{}", self.dataset, self.algorithm, self.ranks, self.config)
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"");
+        out.push_str(RUN_SCHEMA);
+        out.push_str("\",\"dataset\":\"");
+        json::escape_into(&mut out, &self.dataset);
+        out.push_str("\",\"algorithm\":\"");
+        json::escape_into(&mut out, &self.algorithm);
+        out.push_str("\",\"ranks\":");
+        out.push_str(&self.ranks.to_string());
+        out.push_str(",\"config\":\"");
+        json::escape_into(&mut out, &self.config);
+        out.push_str("\",\"triangles\":");
+        out.push_str(&self.triangles.to_string());
+        for (section, map) in [("counters", &self.counters), ("timings_ns", &self.timings_ns)] {
+            out.push_str(&format!(",\"{section}\":{{"));
+            let mut first = true;
+            for (k, v) in map {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                json::escape_into(&mut out, k);
+                out.push_str(&format!("\":{v}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one already-parsed JSON object as a run record.
+    pub fn from_value(v: &Value) -> Result<RunRecord, String> {
+        let want_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("run record missing string '{key}'"))
+        };
+        let want_u64 = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("run record missing integer '{key}'"))
+        };
+        let map_of = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+            let mut out = BTreeMap::new();
+            if let Some(members) = v.get(key).and_then(Value::as_obj) {
+                for (k, val) in members {
+                    let n = val
+                        .as_u64()
+                        .ok_or_else(|| format!("run record '{key}.{k}' is not a u64"))?;
+                    out.insert(k.clone(), n);
+                }
+            }
+            Ok(out)
+        };
+        Ok(RunRecord {
+            dataset: want_str("dataset")?,
+            algorithm: want_str("algorithm")?,
+            ranks: want_u64("ranks")?,
+            config: want_str("config")?,
+            triangles: want_u64("triangles")?,
+            counters: map_of("counters")?,
+            timings_ns: map_of("timings_ns")?,
+        })
+    }
+
+    /// Extracts all run records from a JSON-lines report. Lines with
+    /// other schemas (or none) are skipped; malformed JSON is an
+    /// error.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if v.get("schema").and_then(Value::as_str) == Some(RUN_SCHEMA) {
+                out.push(Self::from_value(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            dataset: "g500-s8".into(),
+            algorithm: "2d".into(),
+            ranks: 16,
+            config: "default".into(),
+            triangles: 12345,
+            counters: [("tct.ops".to_string(), 777u64), ("mps.bytes_sent".to_string(), 4096)]
+                .into_iter()
+                .collect(),
+            timings_ns: [("tct.wall".to_string(), 1_000_000u64)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn run_record_round_trips() {
+        let rec = sample();
+        let line = rec.to_json_line();
+        let back = RunRecord::parse_jsonl(&line).unwrap();
+        assert_eq!(back, vec![rec]);
+    }
+
+    #[test]
+    fn key_includes_all_match_fields() {
+        assert_eq!(sample().key(), "g500-s8/2d/p16/default");
+    }
+
+    #[test]
+    fn from_snapshot_splits_timings_from_counters() {
+        let mut snap = MetricsSnapshot::new();
+        for rank in 0..2usize {
+            snap.insert(rank, "tct.ops".into(), MetricValue::Counter(100));
+            snap.insert(rank, "tct.wall_ns".into(), MetricValue::Counter(5_000));
+            snap.insert(rank, "tct.hash_slots".into(), MetricValue::Gauge(64 * (rank as u64 + 1)));
+            let mut bytes = crate::Log2Histogram::new();
+            bytes.record(1024);
+            snap.insert(rank, "tct.shift_bytes".into(), MetricValue::Hist(bytes));
+            let mut lat = crate::Log2Histogram::new();
+            lat.record(700);
+            snap.insert(rank, "tct.shift_compute_ns".into(), MetricValue::Hist(lat));
+        }
+        let rec = RunRecord::from_snapshot("g500-s8", "2d", 2, "default", 9, &snap);
+        assert_eq!(rec.key(), "g500-s8/2d/p2/default");
+        assert_eq!(rec.counters.get("tct.ops"), Some(&200));
+        assert_eq!(rec.counters.get("tct.hash_slots"), Some(&128), "gauge takes max");
+        assert_eq!(rec.counters.get("tct.shift_bytes.count"), Some(&2));
+        assert_eq!(rec.counters.get("tct.shift_bytes.sum"), Some(&2048));
+        assert_eq!(rec.timings_ns.get("tct.wall_ns"), Some(&10_000));
+        assert_eq!(rec.timings_ns.get("tct.shift_compute_ns.sum"), Some(&1400));
+        assert!(!rec.counters.contains_key("tct.wall_ns"));
+        assert!(!rec.timings_ns.contains_key("tct.ops"));
+    }
+
+    #[test]
+    fn parse_jsonl_skips_foreign_lines_but_rejects_garbage() {
+        let mixed = format!(
+            "{}\n{{\"title\":\"Table 2\",\"columns\":[],\"rows\":[]}}\n\n{}\n",
+            sample().to_json_line(),
+            sample().to_json_line()
+        );
+        assert_eq!(RunRecord::parse_jsonl(&mixed).unwrap().len(), 2);
+        assert!(RunRecord::parse_jsonl("not json\n").is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Schema-versioned metrics snapshots.
+//!
+//! A snapshot is what a finished [`crate::MetricsSession`] drains
+//! into: per-rank `name → value` maps plus a schema tag, with a
+//! cross-rank [`MetricsSnapshot::merged`] view (counters sum, gauges
+//! take the max, histograms merge) that subsumes the ad-hoc
+//! `RankMetrics`/`Timings` aggregation the repo used before.
+//!
+//! The JSON wire format round-trips exactly: `u64` values are
+//! emitted as integer tokens and parsed back without a float detour.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{Log2Histogram, NUM_BUCKETS};
+use crate::json::{self, Value};
+
+/// Wire-format version tag; bump on breaking layout changes.
+pub const SCHEMA: &str = "tc-metrics-v1";
+
+/// One exported metric value.
+///
+/// `Hist` dwarfs the scalar variants (64 fixed buckets), but values
+/// live one-per-name in snapshot maps — never in dense arrays — so
+/// the size skew costs nothing worth an indirection.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum MetricValue {
+    /// Monotone sum.
+    Counter(u64),
+    /// Point-in-time (or high-water) level.
+    Gauge(u64),
+    /// Log₂-bucketed sample distribution.
+    Hist(Log2Histogram),
+}
+
+/// Everything one metrics session recorded, by rank and name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    ranks: BTreeMap<usize, BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) one metric value.
+    pub fn insert(&mut self, rank: usize, name: String, value: MetricValue) {
+        self.ranks.entry(rank).or_default().insert(name, value);
+    }
+
+    /// Ranks present, ascending.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.ranks.keys().copied().collect()
+    }
+
+    /// All metrics of one rank, by name.
+    pub fn rank(&self, rank: usize) -> Option<&BTreeMap<String, MetricValue>> {
+        self.ranks.get(&rank)
+    }
+
+    /// The counter `name` on `rank`, if recorded as a counter.
+    pub fn counter(&self, rank: usize, name: &str) -> Option<u64> {
+        match self.ranks.get(&rank)?.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge `name` on `rank`, if recorded as a gauge.
+    pub fn gauge(&self, rank: usize, name: &str) -> Option<u64> {
+        match self.ranks.get(&rank)?.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram `name` on `rank`, if recorded as a histogram.
+    pub fn hist(&self, rank: usize, name: &str) -> Option<&Log2Histogram> {
+        match self.ranks.get(&rank)?.get(name)? {
+            MetricValue::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Cross-rank aggregation: counters sum, gauges take the max
+    /// (high-water across ranks), histograms merge. Metrics that
+    /// appear with different types on different ranks keep the first
+    /// type seen and ignore mismatched occurrences.
+    pub fn merged(&self) -> BTreeMap<String, MetricValue> {
+        let mut out: BTreeMap<String, MetricValue> = BTreeMap::new();
+        for per_rank in self.ranks.values() {
+            for (name, value) in per_rank {
+                match (out.get_mut(name.as_str()), value) {
+                    (None, v) => {
+                        out.insert(name.clone(), v.clone());
+                    }
+                    (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                        *a = a.saturating_add(*b);
+                    }
+                    (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => {
+                        *a = (*a).max(*b);
+                    }
+                    (Some(MetricValue::Hist(a)), MetricValue::Hist(b)) => a.merge(b),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of the counter `name` across all ranks (`None` if absent
+    /// everywhere).
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        match self.merged().get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// All merged counters, by name — the deterministic-quantity view
+    /// that run records and `benchdiff` consume.
+    pub fn merged_counters(&self) -> BTreeMap<String, u64> {
+        self.merged()
+            .into_iter()
+            .filter_map(|(name, v)| match v {
+                MetricValue::Counter(c) => Some((name, c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serializes to the `tc-metrics-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\"ranks\":{");
+        let mut first_rank = true;
+        for (rank, metrics) in &self.ranks {
+            if !first_rank {
+                out.push(',');
+            }
+            first_rank = false;
+            out.push_str(&format!("\"{rank}\":{{"));
+            let mut first = true;
+            for (name, value) in metrics {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                json::escape_into(&mut out, name);
+                out.push_str("\":");
+                write_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a `tc-metrics-v1` JSON document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("<missing>");
+        if schema != SCHEMA {
+            return Err(format!("unsupported metrics schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let mut snap = MetricsSnapshot::new();
+        let ranks =
+            doc.get("ranks").and_then(Value::as_obj).ok_or("snapshot missing 'ranks' object")?;
+        for (rank_key, metrics) in ranks {
+            let rank: usize = rank_key.parse().map_err(|_| format!("bad rank key '{rank_key}'"))?;
+            let metrics = metrics.as_obj().ok_or("rank entry is not an object")?;
+            for (name, value) in metrics {
+                snap.insert(rank, name.clone(), parse_value(name, value)?);
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn write_value(out: &mut String, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => out.push_str(&format!("{{\"type\":\"counter\",\"value\":{v}}}")),
+        MetricValue::Gauge(v) => out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{v}}}")),
+        MetricValue::Hist(h) => {
+            out.push_str(&format!(
+                "{{\"type\":\"hist\",\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.sum(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0)
+            ));
+            let mut first = true;
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("[{i},{n}]"));
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn parse_value(name: &str, value: &Value) -> Result<MetricValue, String> {
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("metric '{name}': missing type"))?;
+    let want_u64 = |key: &str| -> Result<u64, String> {
+        value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("metric '{name}': missing/invalid '{key}'"))
+    };
+    match kind {
+        "counter" => Ok(MetricValue::Counter(want_u64("value")?)),
+        "gauge" => Ok(MetricValue::Gauge(want_u64("value")?)),
+        "hist" => {
+            let sum = want_u64("sum")?;
+            let min = want_u64("min")?;
+            let max = want_u64("max")?;
+            let mut buckets = [0u64; NUM_BUCKETS];
+            let entries = value
+                .get("buckets")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("metric '{name}': missing buckets"))?;
+            for entry in entries {
+                let pair = entry.as_arr().ok_or_else(|| format!("metric '{name}': bad bucket"))?;
+                let (Some(i), Some(n)) =
+                    (pair.first().and_then(Value::as_u64), pair.get(1).and_then(Value::as_u64))
+                else {
+                    return Err(format!("metric '{name}': bad bucket entry"));
+                };
+                let i = i as usize;
+                if i >= NUM_BUCKETS {
+                    return Err(format!("metric '{name}': bucket index {i} out of range"));
+                }
+                buckets[i] += n;
+            }
+            // An empty histogram serializes min=0/max=0; normalize so
+            // from_parts' min<=max invariant holds either way.
+            let count: u64 = buckets.iter().sum();
+            let (min, max) = if count == 0 { (u64::MAX, 0) } else { (min, max) };
+            Log2Histogram::from_parts(buckets, sum, min, max)
+                .map(MetricValue::Hist)
+                .ok_or_else(|| format!("metric '{name}': inconsistent histogram"))
+        }
+        other => Err(format!("metric '{name}': unknown type '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 7, 4096, u64::MAX] {
+            h.record(v);
+        }
+        snap.insert(0, "ops".into(), MetricValue::Counter(120));
+        snap.insert(0, "hwm".into(), MetricValue::Gauge(7));
+        snap.insert(0, "lat".into(), MetricValue::Hist(h.clone()));
+        snap.insert(3, "ops".into(), MetricValue::Counter(80));
+        snap.insert(3, "hwm".into(), MetricValue::Gauge(11));
+        snap.insert(3, "lat".into(), MetricValue::Hist(h));
+        snap
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).unwrap();
+        assert_eq!(back, snap);
+        // And the serialization itself is stable.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let err = MetricsSnapshot::from_json(r#"{"schema":"v0","ranks":{}}"#).unwrap_err();
+        assert!(err.contains("unsupported metrics schema"), "{err}");
+    }
+
+    #[test]
+    fn merged_aggregates_by_type() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.counter_total("ops"), Some(200));
+        let merged = snap.merged();
+        assert_eq!(merged.get("hwm"), Some(&MetricValue::Gauge(11)));
+        match merged.get("lat").unwrap() {
+            MetricValue::Hist(h) => assert_eq!(h.count(), 10),
+            other => panic!("expected hist, got {other:?}"),
+        }
+        assert_eq!(snap.merged_counters().get("ops"), Some(&200));
+        assert!(!snap.merged_counters().contains_key("hwm"));
+    }
+
+    #[test]
+    fn empty_histogram_survives_round_trip() {
+        let mut snap = MetricsSnapshot::new();
+        snap.insert(1, "empty".into(), MetricValue::Hist(Log2Histogram::new()));
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.hist(1, "empty").unwrap().count(), 0);
+    }
+}

@@ -113,6 +113,11 @@ impl Comm {
         self.fabric.stats[self.rank].snapshot()
     }
 
+    /// Number of collective operations this rank has entered so far.
+    pub fn collective_calls(&self) -> u64 {
+        self.coll_seq.get()
+    }
+
     fn debug_assert_user_tag(tag: u64) {
         debug_assert!(tag < MAX_USER_TAG, "user tag {tag:#x} collides with reserved space");
     }

@@ -61,4 +61,4 @@ pub use error::{MpsError, MpsResult};
 pub use grid::{perfect_square_side, Grid};
 pub use pod::{Pod, PodArray};
 pub use stats::{CommStats, PhaseGuard, Timings};
-pub use universe::{Universe, UniverseConfig, RECV_TIMEOUT_ENV};
+pub use universe::{Observe, Universe, UniverseConfig, RECV_TIMEOUT_ENV};

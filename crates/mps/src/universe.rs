@@ -50,12 +50,20 @@ pub struct UniverseConfig {
     /// for its lifetime, and the fabric enriches timeout reports with
     /// each rank's most recent trace events.
     pub trace: Option<tc_trace::TraceHandle>,
+    /// When set, every rank thread binds itself to this metrics
+    /// session for its lifetime, and the universe feeds each rank's
+    /// communication counters (bytes/messages/blocked time and the
+    /// collective call count) into the registry when the rank body
+    /// finishes — the registry view is derived from the same
+    /// `SharedStats` the timeout diagnostics read, not a second set
+    /// of increment sites.
+    pub metrics: Option<tc_metrics::MetricsHandle>,
 }
 
 impl UniverseConfig {
     /// A config with an explicit receive deadline and no tracing.
     pub fn with_timeout(recv_timeout: Duration) -> Self {
-        Self { recv_timeout: Some(recv_timeout), trace: None }
+        Self { recv_timeout: Some(recv_timeout), trace: None, metrics: None }
     }
 
     /// The effective receive deadline: the explicit value if set,
@@ -149,6 +157,7 @@ impl Universe {
 
         let f = &f;
         let trace = &config.trace;
+        let metrics = &config.metrics;
         let mut results: Vec<Option<(T, CommStats)>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(size);
@@ -156,9 +165,11 @@ impl Universe {
                 let fabric = Arc::clone(&fabric);
                 handles.push(scope.spawn(move || {
                     let _trace_guard = trace.as_ref().map(|h| h.register_rank(rank));
+                    let _metrics_guard = metrics.as_ref().map(|h| h.register_rank(rank));
                     let comm = Comm::new(rank, size, Arc::clone(&fabric));
                     let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     let stats = comm.stats();
+                    feed_comm_metrics(&stats, comm.collective_calls());
                     match out {
                         Ok(Ok(value)) => {
                             fabric.mark_finished(rank);
@@ -200,6 +211,58 @@ impl Universe {
             stats.push(st);
         }
         Ok((outs, stats))
+    }
+}
+
+/// Mirrors one rank's communication counters into the live metrics
+/// registry (no-op unless a session is live and this thread is bound
+/// to a rank). The counters come from the same `SharedStats` block
+/// the timeout diagnostics read — the registry is a derived view,
+/// not parallel bookkeeping.
+fn feed_comm_metrics(stats: &CommStats, collective_calls: u64) {
+    if !tc_metrics::enabled() {
+        return;
+    }
+    use tc_metrics::names as m;
+    tc_metrics::counter_add(m::MPS_BYTES_SENT, stats.bytes_sent);
+    tc_metrics::counter_add(m::MPS_MSGS_SENT, stats.msgs_sent);
+    tc_metrics::counter_add(m::MPS_BYTES_RECV, stats.bytes_recv);
+    tc_metrics::counter_add(m::MPS_MSGS_RECV, stats.msgs_recv);
+    tc_metrics::counter_add(m::MPS_SEND_NS, stats.send_ns);
+    tc_metrics::counter_add(m::MPS_RECV_NS, stats.recv_ns);
+    tc_metrics::counter_add(m::MPS_COLLECTIVES, collective_calls);
+}
+
+/// Bundle of the observability handles an instrumented entry point
+/// accepts: the `*_observed` variants across `tc-core` and
+/// `tc-baselines` take one `Observe` instead of growing a parameter
+/// per subsystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Observe<'a> {
+    /// Trace session to bind rank threads to, if any.
+    pub trace: Option<&'a tc_trace::TraceHandle>,
+    /// Metrics session to bind rank threads to, if any.
+    pub metrics: Option<&'a tc_metrics::MetricsHandle>,
+}
+
+impl<'a> Observe<'a> {
+    /// Observability off: the zero-overhead default.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Trace-only observation (the pre-metrics `*_traced` contract).
+    pub fn trace(trace: Option<&'a tc_trace::TraceHandle>) -> Self {
+        Self { trace, metrics: None }
+    }
+
+    /// A [`UniverseConfig`] carrying these handles (default deadline).
+    pub fn to_config(self) -> UniverseConfig {
+        UniverseConfig {
+            recv_timeout: None,
+            trace: self.trace.cloned(),
+            metrics: self.metrics.cloned(),
+        }
     }
 }
 
@@ -397,6 +460,50 @@ mod tests {
             }
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_feed_mirrors_comm_stats_exactly() {
+        let session = tc_metrics::MetricsSession::begin();
+        let cfg =
+            UniverseConfig { recv_timeout: None, trace: None, metrics: Some(session.handle()) };
+        let (_, stats) = Universe::try_run_config(4, &cfg, |c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 3, &[c.rank() as u64; 8]);
+            let _ = c.recv::<u64>(prev, 3)?;
+            c.barrier()?;
+            c.allreduce_sum_u64(1)
+        })
+        .unwrap();
+        let snap = session.finish();
+        use tc_metrics::names as m;
+        assert_eq!(snap.ranks(), vec![0, 1, 2, 3]);
+        for (rank, cs) in stats.iter().enumerate() {
+            assert_eq!(snap.counter(rank, m::MPS_BYTES_SENT), Some(cs.bytes_sent));
+            assert_eq!(snap.counter(rank, m::MPS_MSGS_SENT), Some(cs.msgs_sent));
+            assert_eq!(snap.counter(rank, m::MPS_BYTES_RECV), Some(cs.bytes_recv));
+            assert_eq!(snap.counter(rank, m::MPS_MSGS_RECV), Some(cs.msgs_recv));
+            // Every rank enters the same collective sequence (barrier
+            // + allreduce, however many internal steps that takes).
+            let colls = snap.counter(rank, m::MPS_COLLECTIVES).unwrap();
+            assert!(colls >= 2, "rank {rank}: {colls}");
+            assert_eq!(Some(colls), snap.counter(0, m::MPS_COLLECTIVES));
+        }
+        let total: u64 = stats.iter().map(|s| s.bytes_sent).sum();
+        assert_eq!(snap.counter_total(m::MPS_BYTES_SENT), Some(total));
+    }
+
+    #[test]
+    fn observe_bundle_builds_matching_config() {
+        let session = tc_metrics::MetricsSession::begin();
+        let handle = session.handle();
+        let obs = Observe { trace: None, metrics: Some(&handle) };
+        let cfg = obs.to_config();
+        assert!(cfg.metrics.is_some());
+        assert!(cfg.trace.is_none());
+        assert!(Observe::none().to_config().metrics.is_none());
+        drop(session);
     }
 
     #[test]

@@ -144,7 +144,20 @@ impl TraceAnalysis {
 const NS: f64 = 1e-9;
 
 /// Computes the [`TraceAnalysis`] of a finished trace.
-pub fn analyze(trace: &Trace) -> TraceAnalysis {
+///
+/// Errors when the trace holds no events at all: a session that was
+/// begun but recorded nothing is almost always a bug at the call site
+/// (the instrumented code ran before the global enable atomic was
+/// raised, or the session was finished too early), and silently
+/// analyzing it would report an all-zero critical path.
+pub fn analyze(trace: &Trace) -> Result<TraceAnalysis, String> {
+    if trace.events.is_empty() {
+        return Err("trace contains no events: tracing was enabled but nothing was recorded. \
+             This usually means the instrumented code ran before the TraceSession \
+             began (the global enable atomic was still zero) or the session was \
+             finished before any instrumented code executed"
+            .into());
+    }
     // phase name -> rank -> accumulated cpu ns
     let mut phase: BTreeMap<&str, BTreeMap<usize, u64>> = BTreeMap::new();
     // z -> rank -> compute cpu ns
@@ -213,12 +226,12 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
         });
     }
 
-    TraceAnalysis {
+    Ok(TraceAnalysis {
         phase_critical_path_s,
         shift_critical_path_s,
         shifts,
         ranks: ranks.into_values().collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +264,7 @@ mod tests {
             ],
             dropped: 0,
         };
-        let a = analyze(&trace);
+        let a = analyze(&trace).unwrap();
         assert!((a.ppt_critical_path_s() - 8_000.0 * NS).abs() < 1e-12);
         assert!((a.phase_critical_path_s[names::PHASE_TCT] - 2_000.0 * NS).abs() < 1e-12);
     }
@@ -270,7 +283,7 @@ mod tests {
             ],
             dropped: 0,
         };
-        let a = analyze(&trace);
+        let a = analyze(&trace).unwrap();
         assert!((a.tct_critical_path_s() - 17.0 * NS).abs() < 1e-15);
         assert_eq!(a.shifts.len(), 2);
         assert_eq!(a.shifts[0].z, 0);
@@ -291,7 +304,7 @@ mod tests {
             ],
             dropped: 0,
         };
-        let a = analyze(&trace);
+        let a = analyze(&trace).unwrap();
         assert_eq!(a.ranks.len(), 1);
         let r = &a.ranks[0];
         assert_eq!(r.rank, 2);
@@ -301,13 +314,9 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_analyzes_to_zeroes() {
-        let a = analyze(&Trace { events: vec![], dropped: 0 });
-        assert!(a.phase_critical_path_s.is_empty());
-        assert_eq!(a.tct_critical_path_s(), 0.0);
-        assert!(a.shifts.is_empty());
-        assert!(a.ranks.is_empty());
-        assert!(!a.report().is_empty());
+    fn empty_trace_is_a_hard_error() {
+        let err = analyze(&Trace { events: vec![], dropped: 0 }).unwrap_err();
+        assert!(err.contains("enable atomic"), "{err}");
     }
 
     #[test]
@@ -319,7 +328,7 @@ mod tests {
             ],
             dropped: 0,
         };
-        let rep = analyze(&trace).report();
+        let rep = analyze(&trace).unwrap().report();
         assert!(rep.contains("ppt"), "{rep}");
         assert!(rep.contains("shift critical path"), "{rep}");
         assert!(rep.contains("blocked-time"), "{rep}");

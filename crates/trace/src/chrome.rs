@@ -22,6 +22,16 @@ use crate::session::Trace;
 
 /// Renders a finished trace as a Chrome-trace-event JSON document.
 pub fn to_chrome_json(trace: &Trace) -> String {
+    to_chrome_json_with_metadata(trace, &[])
+}
+
+/// [`to_chrome_json`] with extra top-level document members: each
+/// `(key, value)` pair is embedded verbatim, so `value` must already
+/// be serialized JSON. This is how producers attach sidecar data —
+/// e.g. a `tc-metrics` snapshot under a `"tcMetrics"` key — without
+/// this crate depending on them. Trace viewers ignore unknown
+/// members, and [`validate`] only reads `traceEvents`.
+pub fn to_chrome_json_with_metadata(trace: &Trace, metadata: &[(&str, &str)]) -> String {
     let mut out = String::with_capacity(256 + trace.events.len() * 128);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -91,9 +101,16 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     }
     let _ = write!(
         out,
-        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{}}}}}",
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{}}}",
         trace.dropped
     );
+    for (key, value) in metadata {
+        out.push(',');
+        escape_into(&mut out, key);
+        out.push(':');
+        out.push_str(value);
+    }
+    out.push('}');
     out
 }
 
@@ -117,12 +134,21 @@ fn write_args(out: &mut String, args: &[(&'static str, ArgValue)], mut first: bo
 
 /// Writes [`to_chrome_json`] output to `path`.
 pub fn write_chrome_json(trace: &Trace, path: &Path) -> std::io::Result<()> {
+    write_chrome_json_with_metadata(trace, path, &[])
+}
+
+/// Writes [`to_chrome_json_with_metadata`] output to `path`.
+pub fn write_chrome_json_with_metadata(
+    trace: &Trace,
+    path: &Path,
+    metadata: &[(&str, &str)],
+) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(path, to_chrome_json(trace))
+    std::fs::write(path, to_chrome_json_with_metadata(trace, metadata))
 }
 
 /// What [`validate`] found in a Chrome trace document.
@@ -203,6 +229,13 @@ pub fn validate(input: &str) -> Result<ChromeSummary, String> {
     }
     summary.ranks.sort_unstable();
     summary.ranks.dedup();
+    if summary.spans == 0 && summary.instants == 0 {
+        return Err("trace contains no span or instant events: the run recorded nothing. \
+             This usually means the instrumented code ran before the TraceSession \
+             began (the global enable atomic was still zero) or the session was \
+             finished before any instrumented code executed"
+            .into());
+    }
     Ok(summary)
 }
 
@@ -264,11 +297,23 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_still_validates() {
+    fn empty_trace_is_a_hard_validation_error() {
         let json = to_chrome_json(&Trace { events: vec![], dropped: 0 });
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("enable atomic"), "{err}");
+    }
+
+    #[test]
+    fn metadata_members_are_embedded_and_ignored_by_validate() {
+        let snap = r#"{"schema":"tc-metrics-v1","ranks":[]}"#;
+        let json = to_chrome_json_with_metadata(&sample(), &[("tcMetrics", snap)]);
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("tcMetrics").and_then(|m| m.get("schema")).and_then(Value::as_str),
+            Some("tc-metrics-v1")
+        );
         let summary = validate(&json).unwrap();
-        assert!(summary.ranks.is_empty());
-        assert_eq!(summary.spans, 0);
+        assert_eq!(summary.spans, 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn main() {
     // Consumer 2: the analyzer. Its per-phase critical paths are the
     // trace-derived counterpart of `TcResult::modeled_*`: the slowest
     // rank's CPU per phase, and per shift the slowest rank's compute.
-    let analysis = analysis::analyze(&trace);
+    let analysis = analysis::analyze(&trace).expect("traced run recorded events");
     print!("{}", analysis.report());
     println!(
         "modeled   : ppt {:.3}s, tct {:.3}s (from RankMetrics)",

@@ -1,0 +1,61 @@
+//! End-to-end seeded-regression demonstration for `benchdiff`: two
+//! real pipeline runs produce JSON-lines reports through the bench
+//! harness (`RunScope`), an identical-run diff passes, and a seeded
+//! perturbation — one deterministic counter nudged, one timing
+//! inflated beyond tolerance — flips the verdict to FAIL.
+
+use tc_bench::args::ExpArgs;
+use tc_bench::RunScope;
+use tc_metrics::diff::{diff_reports, DiffOptions};
+use tc_metrics::RunRecord;
+
+fn report(dir: &std::path::Path, name: &str, el: &tc_graph::EdgeList) -> Vec<RunRecord> {
+    let path = dir.join(name);
+    let args = ExpArgs { json: Some(path.to_string_lossy().into_owned()), ..ExpArgs::default() };
+    let rs = RunScope::new(&args, None, "rmat-s8");
+    let r = rs.count_2d_default(el, 4);
+    assert!(r.triangles > 0, "reference graph should contain triangles");
+    let text = std::fs::read_to_string(&path).expect("report written");
+    RunRecord::parse_jsonl(&text).expect("report parses")
+}
+
+#[test]
+fn identical_runs_pass_and_seeded_regressions_fail() {
+    let el = tc_gen::rmat(8, 8, tc_gen::RmatParams::GRAPH500, 7).simplify();
+    let dir = std::env::temp_dir().join(format!("tc_benchdiff_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let base = report(&dir, "base.jsonl", &el);
+    let cand = report(&dir, "cand.jsonl", &el);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(base.len(), 1);
+    assert_eq!(base[0].key(), cand[0].key(), "same run key across repeats");
+
+    // Generous timing tolerance: this test is about determinism, the
+    // runs are tiny and wall-clock noise on CI is unbounded.
+    let opts = DiffOptions { tolerance: 1000.0, ..DiffOptions::default() };
+    let report = diff_reports(&base, &cand, &opts);
+    assert!(report.pass(), "identical pipeline runs must pass:\n{}", report.render());
+
+    // Seeded regression 1: one deterministic counter drifts by 1.
+    let mut perturbed = cand.clone();
+    let (name, v) = {
+        let (name, v) = perturbed[0].counters.iter().next().expect("counters recorded");
+        (name.clone(), *v)
+    };
+    perturbed[0].counters.insert(name, v + 1);
+    assert!(
+        !diff_reports(&base, &perturbed, &opts).pass(),
+        "a drifted deterministic counter must fail the diff"
+    );
+
+    // Seeded regression 2: one timing inflated far beyond tolerance.
+    let mut slow = cand.clone();
+    let (name, v) = {
+        let (name, v) = slow[0].timings_ns.iter().next().expect("timings recorded");
+        (name.clone(), *v)
+    };
+    slow[0].timings_ns.insert(name, v.saturating_mul(1_000_000).max(u64::MAX / 2));
+    let opts = DiffOptions { tolerance: 0.25, ..DiffOptions::default() };
+    assert!(!diff_reports(&base, &slow, &opts).pass(), "an inflated timing must fail the diff");
+}
