@@ -29,6 +29,7 @@ fn main() {
         ("no-direct-hash", TcConfig::paper().with_direct_hash(false)),
         ("no-early-break", TcConfig::paper().with_reverse_early_break(false)),
         ("enumeration-ijk", TcConfig::paper().with_enumeration(Enumeration::Ijk)),
+        ("no-overlap", TcConfig::paper().with_overlap_shifts(false)),
         ("unoptimized", TcConfig::unoptimized()),
     ];
 

@@ -126,7 +126,7 @@ USAGE:
   tricount count  <FILE|PRESET> [--algorithm 2d|summa|serial|shared|aop|push|psp|wedge]
                   [--ranks N] [--grid RxC] [--seed S] [--stats]
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
-                  [--no-early-break] [--trace FILE] [--metrics FILE]
+                  [--no-early-break] [--no-overlap] [--trace FILE] [--metrics FILE]
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
@@ -273,6 +273,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--no-doubly-sparse" => config.doubly_sparse = false,
                     "--no-direct-hash" => config.direct_hash = false,
                     "--no-early-break" => config.reverse_early_break = false,
+                    "--no-overlap" => config.overlap_shifts = false,
                     "--stats" => stats = true,
                     "--trace" => {
                         trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?))
@@ -368,6 +369,7 @@ mod tests {
             "--seed",
             "9",
             "--no-direct-hash",
+            "--no-overlap",
             "--enumeration",
             "ijk",
             "--stats",
@@ -379,6 +381,7 @@ mod tests {
                 assert_eq!(algorithm, Algorithm::Summa);
                 assert_eq!(grid, Some((2, 3)));
                 assert!(!config.direct_hash);
+                assert!(!config.overlap_shifts);
                 assert_eq!(config.enumeration, Enumeration::Ijk);
                 assert_eq!(seed, 9);
                 assert!(stats);

@@ -17,7 +17,34 @@
 //! accessed using the transformed index vᵢ ÷ √p") **plus** a list of
 //! non-empty rows for the doubly-sparse traversal of §5.2.
 
-use tc_mps::{BlobBuilder, BlobReader};
+use tc_mps::{blob_sections3, BlobBuilder, BlobReader, PodArray};
+
+/// Read-only access shared by owned blocks and borrowed blob views,
+/// so the count kernels run against either without materializing a
+/// pass-through operand.
+pub trait BlockView {
+    /// Number of rows (empty ones included).
+    fn num_rows(&self) -> usize;
+    /// Number of stored entries.
+    fn num_entries(&self) -> usize;
+    /// Entries of local row `lr`, sorted ascending.
+    fn row(&self, lr: usize) -> &[u32];
+    /// Entry-array offset of local row `lr`.
+    fn row_start(&self, lr: usize) -> usize;
+    /// Local ids of non-empty rows, ascending.
+    fn nonempty_rows(&self) -> &[u32];
+
+    /// Length of the longest row.
+    fn max_row_len(&self) -> usize {
+        self.nonempty_rows().iter().map(|&lr| self.row(lr as usize).len()).max().unwrap_or(0)
+    }
+
+    /// Absolute entry index of column `col` in local row `lr`, if
+    /// present (rows are sorted, so this is a binary search).
+    fn find_entry(&self, lr: usize, col: u32) -> Option<usize> {
+        self.row(lr).binary_search(&col).ok().map(|pos| self.row_start(lr) + pos)
+    }
+}
 
 /// A CSR-like sparse block with full row indexing and a non-empty row
 /// list. Row ids are *local* (global ÷ q); column ids are *global*.
@@ -133,6 +160,95 @@ impl SparseBlock {
     }
 }
 
+impl BlockView for SparseBlock {
+    fn num_rows(&self) -> usize {
+        SparseBlock::num_rows(self)
+    }
+
+    fn num_entries(&self) -> usize {
+        SparseBlock::num_entries(self)
+    }
+
+    #[inline]
+    fn row(&self, lr: usize) -> &[u32] {
+        SparseBlock::row(self, lr)
+    }
+
+    #[inline]
+    fn row_start(&self, lr: usize) -> usize {
+        SparseBlock::row_start(self, lr)
+    }
+
+    fn nonempty_rows(&self) -> &[u32] {
+        SparseBlock::nonempty_rows(self)
+    }
+
+    fn max_row_len(&self) -> usize {
+        SparseBlock::max_row_len(self)
+    }
+
+    fn find_entry(&self, lr: usize, col: u32) -> Option<usize> {
+        SparseBlock::find_entry(self, lr, col)
+    }
+}
+
+/// A borrowed block: the three arrays of a [`SparseBlock`] read
+/// directly out of a received blob, with no deserialization copy.
+///
+/// The view co-owns the underlying buffer (refcounted), so a block
+/// that merely passes through a rank on its way around the grid is
+/// never materialized — the rank computes against the wire bytes and
+/// forwards the very same buffer to its neighbour.
+#[derive(Debug)]
+pub struct SparseBlockRef {
+    xadj: PodArray<u32>,
+    cols: PodArray<u32>,
+    nonempty: PodArray<u32>,
+}
+
+impl SparseBlockRef {
+    /// Wraps a buffer produced by [`SparseBlock::to_blob`].
+    ///
+    /// Allocation-free on the hot path: the fixed 3-section header is
+    /// parsed inline and each array is a typed view over its section
+    /// (sections are 8-byte aligned within the blob, so the views are
+    /// zero-copy whenever the allocator returned an 8-aligned buffer —
+    /// which it does in practice).
+    pub fn from_blob(data: &bytes::Bytes) -> Self {
+        let [xadj, cols, nonempty] = blob_sections3(data);
+        Self {
+            xadj: PodArray::new(xadj),
+            cols: PodArray::new(cols),
+            nonempty: PodArray::new(nonempty),
+        }
+    }
+}
+
+impl BlockView for SparseBlockRef {
+    fn num_rows(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    fn num_entries(&self) -> usize {
+        self.cols.len()
+    }
+
+    #[inline]
+    fn row(&self, lr: usize) -> &[u32] {
+        let xadj = self.xadj.as_slice();
+        &self.cols.as_slice()[xadj[lr] as usize..xadj[lr + 1] as usize]
+    }
+
+    #[inline]
+    fn row_start(&self, lr: usize) -> usize {
+        self.xadj.as_slice()[lr] as usize
+    }
+
+    fn nonempty_rows(&self) -> &[u32] {
+        self.nonempty.as_slice()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +299,35 @@ mod tests {
     fn blob_roundtrip_empty() {
         let b = SparseBlock::empty(0);
         assert_eq!(SparseBlock::from_blob(b.to_blob()), b);
+    }
+
+    #[test]
+    fn borrowed_view_agrees_with_owned_block() {
+        let mut pairs = vec![(0u32, 7u32), (3, 1), (3, 2), (9, 9), (9, 3)];
+        let b = SparseBlock::from_pairs(4, 3, &mut pairs);
+        let blob = b.to_blob();
+        let v = SparseBlockRef::from_blob(&blob);
+        assert_eq!(BlockView::num_rows(&v), b.num_rows());
+        assert_eq!(BlockView::num_entries(&v), b.num_entries());
+        assert_eq!(BlockView::nonempty_rows(&v), b.nonempty_rows());
+        assert_eq!(BlockView::max_row_len(&v), b.max_row_len());
+        for lr in 0..b.num_rows() {
+            assert_eq!(BlockView::row(&v, lr), b.row(lr), "row {lr}");
+            assert_eq!(BlockView::row_start(&v, lr), b.row_start(lr));
+        }
+        assert_eq!(BlockView::find_entry(&v, 3, 2), b.find_entry(3, 2));
+        assert_eq!(BlockView::find_entry(&v, 0, 42), None);
+    }
+
+    #[test]
+    fn borrowed_view_of_empty_block() {
+        let b = SparseBlock::empty(2);
+        let blob = b.to_blob();
+        let v = SparseBlockRef::from_blob(&blob);
+        assert_eq!(BlockView::num_rows(&v), 2);
+        assert_eq!(BlockView::num_entries(&v), 0);
+        assert!(BlockView::nonempty_rows(&v).is_empty());
+        assert_eq!(BlockView::max_row_len(&v), 0);
     }
 
     #[test]

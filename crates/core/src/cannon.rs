@@ -11,12 +11,13 @@
 //!    contiguous blobs;
 //! 3. a final **global reduction** of the per-rank counts.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use tc_metrics::{names as mnames, MemScope};
-use tc_mps::{Comm, Grid, MpsResult};
+use tc_mps::{Comm, Grid, MpsError, MpsResult};
 
-use crate::blocks::SparseBlock;
+use crate::blocks::{BlockView, SparseBlock, SparseBlockRef};
 use crate::config::TcConfig;
 use crate::count::count_shift;
 use crate::hashmap::IntersectMap;
@@ -56,6 +57,45 @@ pub fn cannon_count_per_edge(
     cannon_count_impl(comm, prep, cfg, true)
 }
 
+/// Records one exchange's payload sizes in the per-shift histogram.
+fn note_exchange_bytes(u_blob: &Bytes, l_blob: &Bytes) {
+    tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
+    tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
+}
+
+/// One compute step against the current operand pair, shared by the
+/// single-rank, overlapped, and synchronous schedules: spans, CPU
+/// timing, and the owned/borrowed-generic kernel dispatch.
+#[allow(clippy::too_many_arguments)] // internal glue mirroring count_shift
+fn compute_step<H: BlockView, P: BlockView>(
+    task: &SparseBlock,
+    hash: &H,
+    probe: &P,
+    map: &mut IntersectMap,
+    q: usize,
+    cfg: &TcConfig,
+    z: usize,
+    tasks: &mut u64,
+    hits: &mut Option<Vec<(u32, u32)>>,
+    shift_compute: &mut Vec<Duration>,
+) -> u64 {
+    let tasks_before = *tasks;
+    let t0 = tc_mps::CpuTimer::start();
+    let mut compute_span =
+        tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
+            .arg("z", z as u64);
+    let found = match hits.as_mut() {
+        None => count_shift(task, hash, probe, map, q, cfg, tasks),
+        Some(h) => crate::count::count_shift_recording(task, hash, probe, map, q, cfg, tasks, {
+            |idx, k| h.push((idx as u32, k))
+        }),
+    };
+    compute_span.record_arg("tasks", *tasks - tasks_before);
+    drop(compute_span);
+    shift_compute.push(t0.elapsed());
+    found
+}
+
 fn cannon_count_impl(
     comm: &Comm,
     mut prep: PrepOutput,
@@ -69,68 +109,153 @@ fn cannon_count_impl(
     let ublock_init = std::mem::replace(&mut prep.ublock, SparseBlock::empty(0));
     let lblock_init = std::mem::replace(&mut prep.lblock, SparseBlock::empty(0));
 
-    // Initial skew. With q == 1 the blocks are already aligned.
-    let (mut ublock, mut lblock) = if q > 1 {
-        let _skew_span =
-            tc_trace::span(tc_trace::names::SKEW, tc_trace::Category::Shift).arg("z", 0u64);
-        let u_dst = (x, (y + q - x) % q);
-        let u_src = (x, (x + y) % q);
-        let u_blob = ublock_init.to_blob();
-        let l_blob = lblock_init.to_blob();
-        tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
-        tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
-        let _staging =
-            MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
-        let ub = grid.exchange_bytes(u_dst.0, u_dst.1, u_blob, u_src.0, u_src.1)?;
-        let l_dst = ((x + q - y) % q, y);
-        let l_src = ((x + y) % q, y);
-        let lb = grid.exchange_bytes(l_dst.0, l_dst.1, l_blob, l_src.0, l_src.1)?;
-        (SparseBlock::from_blob(ub), SparseBlock::from_blob(lb))
-    } else {
-        (ublock_init, lblock_init)
-    };
-
     let mut map = IntersectMap::new(prep.max_hash_row, q);
     let mut local = 0u64;
     let mut tasks = 0u64;
     let mut shift_compute = Vec::with_capacity(q);
     // Per-edge mode records every (task entry, closing vertex k) hit.
     let mut hits: Option<Vec<(u32, u32)>> = collect_per_edge.then(Vec::new);
-    for z in 0..q {
-        let tasks_before = tasks;
-        let t0 = tc_mps::CpuTimer::start();
-        let mut compute_span =
-            tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
-                .arg("z", z as u64);
-        local += match hits.as_mut() {
-            None => count_shift(&prep.task, &ublock, &lblock, &mut map, q, cfg, &mut tasks),
-            Some(h) => crate::count::count_shift_recording(
+
+    if q == 1 {
+        // Single grid cell: operands are aligned and never travel.
+        local += compute_step(
+            &prep.task,
+            &ublock_init,
+            &lblock_init,
+            &mut map,
+            q,
+            cfg,
+            0,
+            &mut tasks,
+            &mut hits,
+            &mut shift_compute,
+        );
+    } else if cfg.overlap_shifts {
+        // Zero-copy pipeline: each operand is serialized exactly once,
+        // at the skew. From then on the pair of blobs is the reusable
+        // staging storage — shifts forward the refcounted buffers
+        // verbatim (a clone is a refcount bump, not a copy) and the
+        // kernel computes against borrowed views of the wire bytes, so
+        // the steady-state loop allocates nothing.
+        let (mut u_blob, mut l_blob) = {
+            let _skew_span =
+                tc_trace::span(tc_trace::names::SKEW, tc_trace::Category::Shift).arg("z", 0u64);
+            let u_blob = ublock_init.to_blob();
+            let l_blob = lblock_init.to_blob();
+            drop((ublock_init, lblock_init));
+            note_exchange_bytes(&u_blob, &l_blob);
+            tc_metrics::counter_add(
+                mnames::SHIFT_BYTES_SERIALIZED,
+                (u_blob.len() + l_blob.len()) as u64,
+            );
+            let _staging =
+                MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
+            let u_dst = (x, (y + q - x) % q);
+            let u_src = (x, (x + y) % q);
+            let ub = grid.exchange_bytes(u_dst.0, u_dst.1, u_blob, u_src.0, u_src.1)?;
+            let l_dst = ((x + q - y) % q, y);
+            let l_src = ((x + y) % q, y);
+            let lb = grid.exchange_bytes(l_dst.0, l_dst.1, l_blob, l_src.0, l_src.1)?;
+            (ub, lb)
+        };
+        for z in 0..q {
+            // Post the shift-(z+1) exchange before computing shift z,
+            // so the transfer progresses under the compute.
+            let pending = (z + 1 < q).then(|| {
+                note_exchange_bytes(&u_blob, &l_blob);
+                let left = grid.shift_left_start(u_blob.clone());
+                let up = grid.shift_up_start(l_blob.clone());
+                (left, up, Instant::now())
+            });
+            let _staging =
+                MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
+            let hash = SparseBlockRef::from_blob(&u_blob);
+            let probe = SparseBlockRef::from_blob(&l_blob);
+            local += compute_step(
+                &prep.task,
+                &hash,
+                &probe,
+                &mut map,
+                q,
+                cfg,
+                z,
+                &mut tasks,
+                &mut hits,
+                &mut shift_compute,
+            );
+            if let Some((left, up, posted)) = pending {
+                tc_metrics::hist_record(
+                    mnames::SHIFT_OVERLAP_WINDOW_NS,
+                    posted.elapsed().as_nanos() as u64,
+                );
+                // Tag the exchange with the shift whose operands it
+                // delivers; the span covers only the wait, which is
+                // all that remains on the critical path.
+                let _xchg_span =
+                    tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
+                        .arg("z", (z + 1) as u64);
+                u_blob = left.wait()?;
+                l_blob = up.wait()?;
+            }
+        }
+    } else {
+        // Synchronous ablation schedule: blocking sendrecv exchanges
+        // and owned operands, paying a deserialize + reserialize per
+        // shift. Counts and probe statistics are identical to the
+        // overlapped path; only communication behavior differs.
+        let (mut ublock, mut lblock) = {
+            let _skew_span =
+                tc_trace::span(tc_trace::names::SKEW, tc_trace::Category::Shift).arg("z", 0u64);
+            let u_dst = (x, (y + q - x) % q);
+            let u_src = (x, (x + y) % q);
+            let u_blob = ublock_init.to_blob();
+            let l_blob = lblock_init.to_blob();
+            note_exchange_bytes(&u_blob, &l_blob);
+            tc_metrics::counter_add(
+                mnames::SHIFT_BYTES_SERIALIZED,
+                (u_blob.len() + l_blob.len()) as u64,
+            );
+            let _staging =
+                MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
+            let ub = grid.exchange_bytes(u_dst.0, u_dst.1, u_blob, u_src.0, u_src.1)?;
+            let l_dst = ((x + q - y) % q, y);
+            let l_src = ((x + y) % q, y);
+            let lb = grid.exchange_bytes(l_dst.0, l_dst.1, l_blob, l_src.0, l_src.1)?;
+            (SparseBlock::from_blob(ub), SparseBlock::from_blob(lb))
+        };
+        for z in 0..q {
+            local += compute_step(
                 &prep.task,
                 &ublock,
                 &lblock,
                 &mut map,
                 q,
                 cfg,
+                z,
                 &mut tasks,
-                |idx, k| h.push((idx as u32, k)),
-            ),
-        };
-        compute_span.record_arg("tasks", tasks - tasks_before);
-        drop(compute_span);
-        shift_compute.push(t0.elapsed());
-        if z + 1 < q {
-            // Tag the exchange with the shift whose operands it
-            // delivers (matching the skew, which delivers shift 0's).
-            let _xchg_span = tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
-                .arg("z", (z + 1) as u64);
-            let u_blob = ublock.to_blob();
-            let l_blob = lblock.to_blob();
-            tc_metrics::hist_record(mnames::SHIFT_BYTES, u_blob.len() as u64);
-            tc_metrics::hist_record(mnames::SHIFT_BYTES, l_blob.len() as u64);
-            let _staging =
-                MemScope::track(mnames::MEM_SHIFT_STAGING, (u_blob.len() + l_blob.len()) as u64);
-            ublock = SparseBlock::from_blob(grid.shift_left(u_blob)?);
-            lblock = SparseBlock::from_blob(grid.shift_up(l_blob)?);
+                &mut hits,
+                &mut shift_compute,
+            );
+            if z + 1 < q {
+                // Tag the exchange with the shift whose operands it
+                // delivers (matching the skew, which delivers shift 0's).
+                let _xchg_span =
+                    tc_trace::span(tc_trace::names::SHIFT_XCHG, tc_trace::Category::Shift)
+                        .arg("z", (z + 1) as u64);
+                let u_blob = ublock.to_blob();
+                let l_blob = lblock.to_blob();
+                note_exchange_bytes(&u_blob, &l_blob);
+                tc_metrics::counter_add(
+                    mnames::SHIFT_BYTES_SERIALIZED,
+                    (u_blob.len() + l_blob.len()) as u64,
+                );
+                let _staging = MemScope::track(
+                    mnames::MEM_SHIFT_STAGING,
+                    (u_blob.len() + l_blob.len()) as u64,
+                );
+                ublock = SparseBlock::from_blob(grid.shift_left(u_blob)?);
+                lblock = SparseBlock::from_blob(grid.shift_up(l_blob)?);
+            }
         }
     }
 
@@ -171,15 +296,14 @@ fn resolve_per_edge(
     q: usize,
 ) -> MpsResult<Vec<(u32, u32, u64)>> {
     let p = comm.size();
-    // Entry metadata: global (a, b) per task entry index.
-    let mut entry_a = vec![0u32; prep.task.num_entries()];
-    let mut entry_b = vec![0u32; prep.task.num_entries()];
+    // Entry metadata: global (a, b) per task entry index, built once
+    // and reused by the crediting loops and the final output pass.
+    let mut entry_ab = vec![[0u32; 2]; prep.task.num_entries()];
     for &lr in prep.task.nonempty_rows() {
         let a = lr * q as u32 + prep.x as u32;
         let base = prep.task.row_start(lr as usize);
         for (pos, &b) in prep.task.row(lr as usize).iter().enumerate() {
-            entry_a[base + pos] = a;
-            entry_b[base + pos] = b;
+            entry_ab[base + pos] = [a, b];
         }
     }
 
@@ -190,35 +314,94 @@ fn resolve_per_edge(
             crate::config::Enumeration::Ijk => (lo, hi),
         }
     };
+    // Destination rank of the credit for edge (lo, hi).
+    let credit_dst = |lo: u32, hi: u32| -> usize {
+        let (ka, kb) = task_key(lo, hi);
+        (ka as usize % q) * q + kb as usize % q
+    };
+
+    // Counting pass so every destination buffer is allocated exactly
+    // once at its final size (each hit credits two remote-owned edges).
+    let mut credit_counts = vec![0usize; p];
+    for &(idx, k) in &hits {
+        let [av, bv] = entry_ab[idx as usize];
+        let (i, j) = (av.min(bv), av.max(bv));
+        credit_counts[credit_dst(i, k)] += 1;
+        credit_counts[credit_dst(j, k)] += 1;
+    }
+    let mut credit_sends: Vec<Vec<[u32; 2]>> =
+        credit_counts.into_iter().map(Vec::with_capacity).collect();
 
     let mut supports = vec![0u64; prep.task.num_entries()];
-    let mut credit_sends: Vec<Vec<[u32; 2]>> = (0..p).map(|_| Vec::new()).collect();
     for (idx, k) in hits {
         supports[idx as usize] += 1;
-        let (av, bv) = (entry_a[idx as usize], entry_b[idx as usize]);
+        let [av, bv] = entry_ab[idx as usize];
         let (i, j) = (av.min(bv), av.max(bv));
         // k closes the triangle and is the largest label (operand rows
         // hold upper neighbours only).
         debug_assert!(k > j);
         for (lo, hi) in [(i, k), (j, k)] {
             let (ka, kb) = task_key(lo, hi);
-            let dst = (ka as usize % q) * q + kb as usize % q;
-            credit_sends[dst].push([ka, kb]);
+            credit_sends[(ka as usize % q) * q + kb as usize % q].push([ka, kb]);
         }
     }
     for msg in comm.alltoallv(&credit_sends)? {
         for [ka, kb] in msg {
-            let idx = prep
-                .task
-                .find_entry(ka as usize / q, kb)
-                .unwrap_or_else(|| panic!("credited edge ({ka},{kb}) has no local task"));
+            let idx =
+                prep.task.find_entry(ka as usize / q, kb).ok_or_else(|| MpsError::Protocol {
+                    rank: comm.rank(),
+                    msg: format!("credited edge ({ka},{kb}) has no local task"),
+                })?;
             supports[idx] += 1;
         }
     }
 
     let mut out = Vec::with_capacity(supports.len());
     for (idx, s) in supports.into_iter().enumerate() {
-        out.push((entry_a[idx], entry_b[idx], s));
+        let [a, b] = entry_ab[idx];
+        out.push((a, b, s));
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_mps::Universe;
+
+    /// A credit for an edge the receiving rank has no task for is an
+    /// application-protocol violation and must surface as a typed
+    /// error, not a panic inside the runtime.
+    #[test]
+    fn malformed_credit_is_a_protocol_error() {
+        let out = Universe::run(1, |comm| {
+            // Task (a=2, b=0) hits on k=3 (hash row A(2) = {3}, probe
+            // row A(0) = {3}), so the per-edge pass credits edges
+            // (0,3) and (2,3) — whose task entries (3,0) and (3,2) do
+            // not exist in this deliberately incomplete task block.
+            let task = SparseBlock::from_pairs(4, 1, &mut vec![(2u32, 0u32)]);
+            let ublock = SparseBlock::from_pairs(4, 1, &mut vec![(2u32, 3u32)]);
+            let lblock = SparseBlock::from_pairs(4, 1, &mut vec![(0u32, 3u32)]);
+            let prep = crate::preprocess::PrepOutput {
+                q: 1,
+                x: 0,
+                y: 0,
+                n: 4,
+                task,
+                ublock,
+                lblock,
+                max_hash_row: 1,
+                ops: 0,
+                label_pairs: Vec::new(),
+            };
+            cannon_count_per_edge(comm, prep, &TcConfig::default())
+        });
+        match &out[0] {
+            Err(MpsError::Protocol { rank, msg }) => {
+                assert_eq!(*rank, 0);
+                assert!(msg.contains("no local task"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+    }
 }

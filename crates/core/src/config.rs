@@ -30,6 +30,14 @@ pub struct TcConfig {
     /// Reverse traversal of the probe row with early break (§5.2
     /// "eliminating unnecessary intersection operations"). Default on.
     pub reverse_early_break: bool,
+    /// Zero-copy operand pipeline: post the next shift/panel exchange
+    /// before computing the current step, compute against borrowed
+    /// blob views, and forward pass-through operands without
+    /// re-serializing (§5.2 "reducing overheads associated with
+    /// communication"). Off = the synchronous
+    /// deserialize-compute-reserialize schedule, kept for ablation.
+    /// Default on.
+    pub overlap_shifts: bool,
 }
 
 impl Default for TcConfig {
@@ -39,6 +47,7 @@ impl Default for TcConfig {
             doubly_sparse: true,
             direct_hash: true,
             reverse_early_break: true,
+            overlap_shifts: true,
         }
     }
 }
@@ -57,6 +66,7 @@ impl TcConfig {
             doubly_sparse: false,
             direct_hash: false,
             reverse_early_break: false,
+            overlap_shifts: false,
         }
     }
 
@@ -81,6 +91,12 @@ impl TcConfig {
     /// Builder-style toggle.
     pub fn with_reverse_early_break(mut self, on: bool) -> Self {
         self.reverse_early_break = on;
+        self
+    }
+
+    /// Builder-style toggle.
+    pub fn with_overlap_shifts(mut self, on: bool) -> Self {
+        self.overlap_shifts = on;
         self
     }
 }
@@ -109,5 +125,12 @@ mod tests {
     fn unoptimized_disables_all() {
         let c = TcConfig::unoptimized();
         assert!(!c.doubly_sparse && !c.direct_hash && !c.reverse_early_break);
+        assert!(!c.overlap_shifts);
+    }
+
+    #[test]
+    fn overlap_toggle() {
+        assert!(TcConfig::default().overlap_shifts);
+        assert!(!TcConfig::default().with_overlap_shifts(false).overlap_shifts);
     }
 }

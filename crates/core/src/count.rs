@@ -7,19 +7,23 @@
 //! the map-reuse of [21]) and probes with row `b`; every hit is a
 //! triangle `{b, a, k}` (⟨j,i,k⟩) counted exactly once grid-wide.
 
-use crate::blocks::SparseBlock;
+use crate::blocks::{BlockView, SparseBlock};
 use crate::config::TcConfig;
 use crate::hashmap::IntersectMap;
 
 /// Counts the triangles contributed by one shift.
 ///
+/// The operands are [`BlockView`]s, so the kernel runs equally against
+/// owned [`SparseBlock`]s and borrowed
+/// [`crate::blocks::SparseBlockRef`] views of received blobs.
+///
 /// `tasks_counter` is incremented once per task that performs at least
 /// one hash lookup this shift — the quantity Table 4 reports as "tasks
 /// that result in the map-based set intersection operation".
-pub fn count_shift(
+pub fn count_shift<H: BlockView, P: BlockView>(
     task: &SparseBlock,
-    hash_block: &SparseBlock,
-    probe_block: &SparseBlock,
+    hash_block: &H,
+    probe_block: &P,
     map: &mut IntersectMap,
     q: usize,
     cfg: &TcConfig,
@@ -35,10 +39,10 @@ pub fn count_shift(
 /// shifts this yields the per-edge triangle support that k-truss-style
 /// analyses consume (one of the paper's §1 motivating applications).
 #[allow(clippy::too_many_arguments)] // mirrors count_shift plus the sink
-pub fn count_shift_recording(
+pub fn count_shift_recording<H: BlockView, P: BlockView>(
     task: &SparseBlock,
-    hash_block: &SparseBlock,
-    probe_block: &SparseBlock,
+    hash_block: &H,
+    probe_block: &P,
     map: &mut IntersectMap,
     q: usize,
     cfg: &TcConfig,

@@ -75,6 +75,14 @@ pub mod names {
     // Per-shift distributions and hash-table shape.
     pub const SHIFT_BYTES: &str = "tct.shift_bytes";
     pub const SHIFT_COMPUTE_NS: &str = "tct.shift_compute_ns";
+    /// Bytes pushed through `to_blob` serialization in the counting
+    /// phase. Deterministic: the zero-copy pipeline serializes each
+    /// operand once (at the skew / panel root) instead of once per
+    /// shift, so this counter is the before/after of the optimization.
+    pub const SHIFT_BYTES_SERIALIZED: &str = "tct.shift_bytes_serialized";
+    /// Wall time between posting a shift exchange and starting to wait
+    /// on it — the window in which the transfer ran under compute.
+    pub const SHIFT_OVERLAP_WINDOW_NS: &str = "tct.shift_overlap_window_ns";
     pub const HASH_SLOTS: &str = "tct.hash_slots";
     pub const HASH_MAX_ROW: &str = "tct.hash_max_row";
     pub const HASH_LOAD_PCT: &str = "tct.hash_load_pct";

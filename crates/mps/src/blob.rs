@@ -59,6 +59,40 @@ impl<'a> BlobBuilder<'a> {
     }
 }
 
+/// Carves a 3-section blob into its raw section buffers without heap
+/// allocation.
+///
+/// [`BlobReader`] builds its section table on the heap; this
+/// fixed-arity variant exists for zero-allocation receive paths
+/// (borrowed operand views in the shift loop). The returned buffers
+/// are refcounted sub-slices of `data`.
+///
+/// # Panics
+///
+/// Panics on a malformed buffer or a section count other than 3, like
+/// [`BlobReader::new`].
+pub fn blob_sections3(data: &Bytes) -> [Bytes; 3] {
+    let read_u64 = |at: usize| -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&data[at..at + 8]);
+        u64::from_le_bytes(b)
+    };
+    assert!(data.len() >= 16, "blob shorter than its fixed header");
+    assert_eq!(read_u64(0), MAGIC, "blob magic mismatch");
+    assert_eq!(read_u64(8), 3, "expected a 3-section blob");
+    let header_len = 8 * (2 + 3);
+    assert!(data.len() >= header_len, "blob truncated inside section table");
+    let mut out = [Bytes::new(), Bytes::new(), Bytes::new()];
+    let mut off = header_len;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let len = read_u64(16 + 8 * i) as usize;
+        assert!(off + len <= data.len(), "blob truncated inside section {i}");
+        *slot = data.slice(off..off + len);
+        off += pad8(len);
+    }
+    out
+}
+
 /// Zero-copy view over a received blob.
 #[derive(Debug, Clone)]
 pub struct BlobReader {
@@ -145,6 +179,27 @@ mod tests {
         let r = BlobReader::new(blob);
         assert_eq!(r.typed::<u8>(0).as_slice(), a.as_slice());
         assert_eq!(r.typed::<u64>(1).as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn sections3_agrees_with_reader() {
+        let a: Vec<u32> = (0..7).collect();
+        let b: Vec<u32> = vec![42];
+        let c: Vec<u32> = vec![];
+        let blob = BlobBuilder::new().push(&a).push(&b).push(&c).finish();
+        let r = BlobReader::new(blob.clone());
+        let s = blob_sections3(&blob);
+        for (i, section) in s.iter().enumerate() {
+            assert_eq!(&section[..], &r.bytes(i)[..], "section {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3-section")]
+    fn sections3_rejects_other_arity() {
+        let a: Vec<u32> = vec![1];
+        let blob = BlobBuilder::new().push(&a).finish();
+        let _ = blob_sections3(&blob);
     }
 
     #[test]

@@ -174,6 +174,13 @@ impl Comm {
     }
 
     pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> MpsResult<Bytes> {
+        self.recv_labeled(src, tag, op_label(tag))
+    }
+
+    /// The blocking matching loop behind both [`Comm::recv_bytes`] and
+    /// [`RecvRequest::wait`]; `op` names the operation in blocked-state
+    /// dumps and timeout errors.
+    fn recv_labeled(&self, src: usize, tag: u64, op: &'static str) -> MpsResult<Bytes> {
         assert!(src < self.size, "recv from rank {src} but universe has {} ranks", self.size);
         let t0 = Instant::now();
         // User receives get a span (wall − CPU inside it is the
@@ -202,8 +209,7 @@ impl Comm {
             }
         }
 
-        self.fabric
-            .set_blocked(self.rank, Some(BlockedOp { src, tag, op: op_label(tag), since: t0 }));
+        self.fabric.set_blocked(self.rank, Some(BlockedOp { src, tag, op, since: t0 }));
         let outcome = self.fabric.await_match(self.rank, src, |queue| {
             // Drain the mailbox into the per-source pending queues,
             // stopping if the wanted packet shows up.
@@ -241,7 +247,7 @@ impl Comm {
             AwaitOutcome::TimedOut => Err(MpsError::Timeout {
                 rank: self.rank,
                 src,
-                op: op_label(tag),
+                op,
                 tag,
                 waited: t0.elapsed(),
                 report: self.fabric.dump(),
@@ -300,6 +306,36 @@ impl Comm {
         Ok(arr.as_slice()[0])
     }
 
+    /// Nonblocking send: enqueues `data` for `dst` and returns a
+    /// request handle.
+    ///
+    /// Sends are buffered (they complete at post time), so the handle
+    /// exists for API symmetry with [`Comm::irecv_bytes`]; its
+    /// [`SendRequest::wait`] never fails.
+    pub fn isend_bytes(&self, dst: usize, tag: u64, data: Bytes) -> SendRequest {
+        self.send_bytes(dst, tag, data);
+        SendRequest { _completed: () }
+    }
+
+    /// Posts a nonblocking receive for the next message from `src`
+    /// carrying `tag` and returns the in-flight request.
+    ///
+    /// The actual matching happens in [`RecvRequest::wait`]; until then
+    /// the message (if already delivered) stays parked in the mailbox.
+    /// The deadline clock (`MPS_RECV_TIMEOUT_MS`) starts at the wait,
+    /// not at the post — a long compute phase between post and wait is
+    /// not a hang. Dropping the request without waiting leaves any
+    /// matching packet parked; with unique tags that is harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn irecv_bytes(&self, src: usize, tag: u64) -> RecvRequest<'_> {
+        Self::debug_assert_user_tag(tag);
+        assert!(src < self.size, "irecv from rank {src} but universe has {} ranks", self.size);
+        RecvRequest { comm: self, src, tag }
+    }
+
     /// Combined send + receive, the safe way to exchange with a peer
     /// (never deadlocks because sends are buffered).
     pub fn sendrecv_bytes(
@@ -342,6 +378,65 @@ impl Comm {
         tc_trace::span(coll_op_name(tag), tc_trace::Category::Collective)
             .arg("seq", tag & COLL_SEQ_MASK)
     }
+}
+
+/// Handle of a posted nonblocking send.
+///
+/// Sends complete at post time (buffered mode), so this is evidence
+/// that the send happened; [`SendRequest::wait`] is a no-op kept for
+/// symmetry with MPI's request model.
+#[must_use = "a send request should be waited (or explicitly discarded)"]
+#[derive(Debug)]
+pub struct SendRequest {
+    _completed: (),
+}
+
+impl SendRequest {
+    /// Completes the send. Never fails: the payload was buffered into
+    /// the destination mailbox when the request was posted.
+    pub fn wait(self) -> MpsResult<()> {
+        Ok(())
+    }
+}
+
+/// An in-flight nonblocking receive posted by [`Comm::irecv_bytes`].
+///
+/// The request carries the full un-hangable machinery of a blocking
+/// receive, deferred to [`RecvRequest::wait`]: the deadline, the
+/// first-failure slot, collective-mismatch detection, and registration
+/// in the per-rank blocked-state dump (as op `"irecv"`).
+#[must_use = "an irecv does nothing until waited"]
+#[derive(Debug)]
+pub struct RecvRequest<'a> {
+    comm: &'a Comm,
+    src: usize,
+    tag: u64,
+}
+
+impl RecvRequest<'_> {
+    /// The source rank this request is matching against.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request is matching against.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Blocks until the matching message arrives and returns its
+    /// payload, with the same failure modes as [`Comm::recv_bytes`].
+    pub fn wait(self) -> MpsResult<Bytes> {
+        self.comm.recv_labeled(self.src, self.tag, "irecv")
+    }
+}
+
+/// Waits on a batch of receive requests, returning their payloads in
+/// request order. The first failure aborts the batch (remaining
+/// requests are dropped; their packets stay parked, which is harmless
+/// under the unique-tag discipline all callers here follow).
+pub fn waitall<'a>(reqs: impl IntoIterator<Item = RecvRequest<'a>>) -> MpsResult<Vec<Bytes>> {
+    reqs.into_iter().map(RecvRequest::wait).collect()
 }
 
 impl std::fmt::Debug for Comm {

@@ -56,6 +56,16 @@ pub enum MpsError {
         /// What the peer was executing.
         got: String,
     },
+    /// A message arrived intact but its contents violate the
+    /// application-level protocol (e.g. a per-edge credit referencing
+    /// an edge the receiving rank does not own). The run fails cleanly
+    /// instead of tearing the rank down through panic propagation.
+    Protocol {
+        /// The rank that rejected the payload.
+        rank: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for MpsError {
@@ -77,6 +87,9 @@ impl std::fmt::Display for MpsError {
                     "rank {rank}: collective mismatch: this rank is in {expected} but \
                      rank {peer} sent {got}"
                 )
+            }
+            MpsError::Protocol { rank, msg } => {
+                write!(f, "rank {rank}: protocol violation: {msg}")
             }
         }
     }
@@ -117,6 +130,11 @@ mod tests {
             got: "reduce (seq 4)".into(),
         };
         assert!(m.to_string().contains("mismatch"));
+
+        let p = MpsError::Protocol { rank: 2, msg: "credited edge (3,4) has no local task".into() };
+        assert!(p.to_string().contains("rank 2"));
+        assert!(p.to_string().contains("protocol violation"));
+        assert!(p.to_string().contains("(3,4)"));
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl Failure {
             MpsError::Timeout { src, op, waited, .. } => {
                 format!("{op} from rank {src} timed out after {waited:.1?}")
             }
-            e @ MpsError::CollectiveMismatch { .. } => e.to_string(),
+            e @ (MpsError::CollectiveMismatch { .. } | MpsError::Protocol { .. }) => e.to_string(),
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 
-use crate::comm::Comm;
+use crate::comm::{Comm, RecvRequest};
 use crate::error::MpsResult;
 use crate::pod::{Pod, PodArray};
 
@@ -94,6 +94,29 @@ impl<'a> Grid<'a> {
         let dst = self.rank_of((self.row + self.q - 1) % self.q, self.col);
         let src = self.rank_of((self.row + 1) % self.q, self.col);
         self.comm.sendrecv_bytes(dst, tag, data, src, tag)
+    }
+
+    /// Nonblocking [`Grid::shift_left`]: eagerly sends `data` left and
+    /// posts the receive from the right neighbour, returning its
+    /// request. Waiting the request completes the shift, so compute
+    /// can run between post and wait.
+    pub fn shift_left_start(&self, data: Bytes) -> RecvRequest<'a> {
+        let tag = self.next_tag();
+        let dst = self.rank_of(self.row, (self.col + self.q - 1) % self.q);
+        let src = self.rank_of(self.row, (self.col + 1) % self.q);
+        let _ = self.comm.isend_bytes(dst, tag, data);
+        self.comm.irecv_bytes(src, tag)
+    }
+
+    /// Nonblocking [`Grid::shift_up`]: eagerly sends `data` up and
+    /// posts the receive from the neighbour below, returning its
+    /// request.
+    pub fn shift_up_start(&self, data: Bytes) -> RecvRequest<'a> {
+        let tag = self.next_tag();
+        let dst = self.rank_of((self.row + self.q - 1) % self.q, self.col);
+        let src = self.rank_of((self.row + 1) % self.q, self.col);
+        let _ = self.comm.isend_bytes(dst, tag, data);
+        self.comm.irecv_bytes(src, tag)
     }
 
     /// Byte-level exchange with arbitrary grid peers (used by the
@@ -221,6 +244,63 @@ mod tests {
         });
         for (r, v) in out.iter().enumerate() {
             assert_eq!(*v, r);
+        }
+    }
+
+    #[test]
+    fn shift_start_matches_blocking_shift() {
+        // One nonblocking and one blocking shift per direction; the
+        // nonblocking pair must deliver exactly what the blocking
+        // calls would have.
+        let out = Universe::run(9, |c| {
+            let g = Grid::new(c);
+            let left = g.shift_left_start(Bytes::from(vec![c.rank() as u8]));
+            let up = g.shift_up_start(Bytes::from(vec![c.rank() as u8 + 100]));
+            let l = left.wait().unwrap()[0] as usize;
+            let u = up.wait().unwrap()[0] as usize - 100;
+            (l, u)
+        });
+        for (r, (l, u)) in out.iter().enumerate() {
+            let (row, col) = (r / 3, r % 3);
+            assert_eq!(*l, row * 3 + (col + 1) % 3, "rank {r} left");
+            assert_eq!(*u, ((row + 1) % 3) * 3 + col, "rank {r} up");
+        }
+    }
+
+    #[test]
+    fn overlapped_shifts_compose_over_full_rotation() {
+        // Post shift z+1 before consuming shift z (the double-buffer
+        // schedule); after q shifts every payload is back home.
+        let out = Universe::run(16, |c| {
+            let g = Grid::new(c);
+            let mut buf = Bytes::from(vec![c.rank() as u8]);
+            let mut pending = g.shift_left_start(buf.clone());
+            for _ in 1..g.q() {
+                buf = pending.wait().unwrap();
+                pending = g.shift_left_start(buf.clone());
+            }
+            pending.wait().unwrap()[0] as usize
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, r);
+        }
+    }
+
+    #[test]
+    fn waitall_collects_in_request_order() {
+        let out = Universe::run(4, |c| {
+            let g = Grid::new(c);
+            let reqs = vec![
+                g.shift_left_start(Bytes::from(vec![c.rank() as u8])),
+                g.shift_up_start(Bytes::from(vec![c.rank() as u8 + 50])),
+            ];
+            let bufs = crate::comm::waitall(reqs).unwrap();
+            (bufs[0][0] as usize, bufs[1][0] as usize - 50)
+        });
+        for (r, (l, u)) in out.iter().enumerate() {
+            let (row, col) = (r / 2, r % 2);
+            assert_eq!(*l, row * 2 + (col + 1) % 2);
+            assert_eq!(*u, ((row + 1) % 2) * 2 + col);
         }
     }
 

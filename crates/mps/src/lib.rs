@@ -22,9 +22,12 @@
 //!   [`Universe::try_run`] is the fallible variant whose rank bodies
 //!   propagate [`MpsError`]s instead of panicking.
 //! - [`Comm`] — point-to-point `send`/`recv` with tag matching plus
-//!   collectives as methods.
+//!   collectives as methods; nonblocking `isend`/`irecv` return
+//!   request handles ([`SendRequest`]/[`RecvRequest`]) whose waits
+//!   keep every un-hangable guarantee.
 //! - [`Grid`] — `√p × √p` process grid with Cannon-style
-//!   `shift_left`/`shift_up`.
+//!   `shift_left`/`shift_up` (plus `*_start` nonblocking variants
+//!   that overlap the transfer with compute).
 //! - [`BlobBuilder`]/[`BlobReader`] — single-allocation serialization
 //!   of sparse blocks (paper §5.2 "reducing overheads associated with
 //!   communication").
@@ -54,8 +57,8 @@ pub mod pod;
 mod stats;
 mod universe;
 
-pub use blob::{BlobBuilder, BlobReader};
-pub use comm::{Comm, MAX_USER_TAG};
+pub use blob::{blob_sections3, BlobBuilder, BlobReader};
+pub use comm::{waitall, Comm, RecvRequest, SendRequest, MAX_USER_TAG};
 pub use cputime::{thread_cpu_now, CpuTimer};
 pub use error::{MpsError, MpsResult};
 pub use grid::{perfect_square_side, Grid};

@@ -170,6 +170,103 @@ fn mismatched_payload_type_is_reported() {
 }
 
 #[test]
+fn peer_panic_fails_outstanding_irecv() {
+    // Rank 0 posts an irecv and computes before waiting (the
+    // overlapped-shift pattern); its peer dies in the overlap window.
+    // The wait must surface PeerFailed promptly, not run out the clock.
+    let cfg = UniverseConfig::with_timeout(Duration::from_secs(10));
+    let t0 = Instant::now();
+    let err = Universe::try_run_config(2, &cfg, |c| {
+        if c.rank() == 0 {
+            let req = c.irecv_bytes(1, 7);
+            req.wait().map(|b| b.len() as u64)
+        } else {
+            panic!("injected failure with a request in flight");
+        }
+    })
+    .unwrap_err();
+    assert!(t0.elapsed() < Duration::from_secs(5), "unwind took {:?}", t0.elapsed());
+    match err {
+        MpsError::PeerFailed { rank, msg } => {
+            assert_eq!(rank, 1);
+            assert!(msg.contains("request in flight"), "{msg}");
+        }
+        other => panic!("expected PeerFailed, got {other}"),
+    }
+}
+
+#[test]
+fn irecv_wait_times_out_with_report() {
+    // The deadline applies to the wait, and the blocked-op line in the
+    // diagnostic dump names the nonblocking receive.
+    let cfg = UniverseConfig::with_timeout(Duration::from_millis(300));
+    let err = Universe::try_run_config(2, &cfg, |c| {
+        if c.rank() == 0 {
+            let req = c.irecv_bytes(1, 9);
+            req.wait().map(|b| b.len() as u64)
+        } else {
+            // Stays alive (so no fail-fast on termination) but never
+            // sends — the wedged-peer case for a posted receive.
+            std::thread::sleep(Duration::from_millis(1200));
+            Ok(0)
+        }
+    })
+    .unwrap_err();
+    let text = err.to_string();
+    match err {
+        MpsError::Timeout { op, report, .. } => {
+            assert_eq!(op, "irecv");
+            // The dump covers every rank (the waiter has already
+            // cleared its own blocked slot when it reports).
+            assert!(report.contains("rank 0:") && report.contains("rank 1:"), "{report}");
+            assert!(text.contains("irecv"), "op missing from rendering: {text}");
+        }
+        other => panic!("expected Timeout, got {other}"),
+    }
+}
+
+#[test]
+fn unwaited_request_parks_harmlessly() {
+    // Dropping a request without waiting leaves its packet parked
+    // under a unique tag; later traffic and collectives on the same
+    // channel must be unaffected.
+    let out = Universe::try_run(4, |c| {
+        let g = Grid::new(c);
+        let dropped = g.shift_left_start(Bytes::from(vec![c.rank() as u8]));
+        drop(dropped);
+        let followup = g.shift_left(Bytes::from(vec![c.rank() as u8 + 10]))?;
+        let sum = c.allreduce_sum_u64(followup[0] as u64)?;
+        Ok(sum)
+    })
+    .unwrap();
+    // Every rank received its right neighbour's follow-up payload.
+    assert!(out.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(out[0], (0..4).sum::<u64>() + 4 * 10);
+}
+
+#[test]
+fn collective_mismatch_with_outstanding_request_is_detected() {
+    // A rank diverging into the wrong collective while another has an
+    // un-waited request posted: mismatch detection must still win.
+    let err = Universe::try_run(2, |c| {
+        if c.rank() == 0 {
+            let _pending = c.irecv_bytes(1, 11);
+            c.barrier()?;
+            Ok(0)
+        } else {
+            c.allreduce_sum_u64(1)
+        }
+    })
+    .unwrap_err();
+    match err {
+        MpsError::CollectiveMismatch { expected, got, .. } => {
+            assert!(expected.contains("barrier") || got.contains("barrier"), "{expected} / {got}");
+        }
+        other => panic!("expected CollectiveMismatch, got {other}"),
+    }
+}
+
+#[test]
 fn failure_in_one_universe_does_not_poison_the_next() {
     for round in 0..3 {
         let err = Universe::try_run(4, |c| mini_cannon(c, Some("shift-1"), round % 4)).unwrap_err();

@@ -8,10 +8,10 @@
 //! decode path of `tc-mps` zero-copy.
 
 use std::ops::{Bound, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
     start: usize,
@@ -20,8 +20,14 @@ pub struct Bytes {
 
 impl Bytes {
     /// Creates an empty `Bytes`.
+    ///
+    /// Every empty `Bytes` shares one process-wide backing `Arc`, so
+    /// this is allocation-free after the first call (empty buffers are
+    /// used as placeholders on hot paths).
     pub fn new() -> Self {
-        Self { data: Arc::from([] as [u8; 0]), start: 0, end: 0 }
+        static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+        let empty = EMPTY.get_or_init(|| Arc::from([] as [u8; 0]));
+        Self { data: Arc::clone(empty), start: 0, end: 0 }
     }
 
     /// Creates `Bytes` from a static byte slice.
@@ -73,6 +79,12 @@ impl Bytes {
     /// Copies the view into an owned vector.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
