@@ -153,7 +153,11 @@ impl<'a> RunScope<'a> {
         }
         let session = tc_metrics::MetricsSession::begin();
         let handle = session.handle();
-        let out = f(tc_mps::Observe { trace: self.trace, metrics: Some(&handle) });
+        let out = f(tc_mps::Observe {
+            trace: self.trace,
+            metrics: Some(&handle),
+            ..tc_mps::Observe::none()
+        });
         let snap = session.finish();
         let rec = tc_metrics::RunRecord::from_snapshot(
             &self.dataset,

@@ -78,6 +78,11 @@ pub enum Command {
         /// to this path as schema-versioned JSON (also embedded in the
         /// trace export when `--trace` is given too).
         metrics: Option<PathBuf>,
+        /// When set, run over a deliberately faulty fabric: a
+        /// deterministic uniform [`tc_mps::FaultPlan`] with this seed
+        /// on every link. The count must still be exact — the
+        /// reliable-delivery transport masks the chaos.
+        chaos: Option<u64>,
     },
     /// Generate a preset and write it to a file.
     Generate {
@@ -127,6 +132,7 @@ USAGE:
                   [--ranks N] [--grid RxC] [--seed S] [--stats]
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
                   [--no-early-break] [--no-overlap] [--trace FILE] [--metrics FILE]
+                  [--chaos SEED]
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
@@ -143,8 +149,16 @@ chrome://tracing, or inspect with `tricount tracecheck FILE`.
 --metrics FILE writes the per-rank tc-metrics snapshot (counters, gauges,
 histograms) as schema-versioned JSON; with --trace it is also embedded in
 the trace document under \"tcMetrics\".
+--chaos SEED runs the distributed algorithms over a deliberately faulty
+fabric (a seeded, deterministic fault plan injecting delays, drops,
+duplicates, reorders, truncations, and bit-flips on every link); the
+reliable-delivery transport must still produce the exact count. The
+MPS_CHAOS_* environment family configures finer-grained plans.
 benchdiff compares tc-run-v1 reports produced by the bench binaries'
 --json flag; exit 0 = pass, 1 = regression, 2 = usage/parse error.
+
+EXIT CODES: 0 success, 1 runtime failure, 2 usage/parse error,
+3 invalid input graph (truncated/corrupt/out-of-range).
 ";
 
 fn parse_input(s: &str) -> Input {
@@ -234,6 +248,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut stats = false;
             let mut trace = None;
             let mut metrics = None;
+            let mut chaos = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--algorithm" => {
@@ -281,6 +296,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--metrics" => {
                         metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?))
                     }
+                    "--chaos" => {
+                        chaos = Some(
+                            it.next()
+                                .ok_or("--chaos needs a seed")?
+                                .parse()
+                                .map_err(|e| format!("bad chaos seed: {e}"))?,
+                        )
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -308,6 +331,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if chaos.is_some() && matches!(algorithm, Algorithm::Serial | Algorithm::Shared) {
+                return Err(
+                    "--chaos needs a distributed algorithm (2d, summa, aop, push, psp, wedge)"
+                        .into(),
+                );
+            }
             Ok(Command::Count {
                 input,
                 algorithm,
@@ -318,6 +347,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 stats,
                 trace,
                 metrics,
+                chaos,
             })
         }
         other => Err(format!("unknown command {other:?}")),
@@ -446,6 +476,21 @@ mod tests {
         }
         assert!(p(&["count", "g500-s8", "--algorithm", "shared", "--metrics", "m.json"]).is_err());
         assert!(p(&["count", "g500-s8", "--metrics"]).is_err());
+    }
+
+    #[test]
+    fn chaos_flag_parses_and_rejects_local_algorithms() {
+        match p(&["count", "g500-s8", "--chaos", "42"]).unwrap() {
+            Command::Count { chaos, .. } => assert_eq!(chaos, Some(42)),
+            other => panic!("{other:?}"),
+        }
+        match p(&["count", "g500-s8"]).unwrap() {
+            Command::Count { chaos, .. } => assert_eq!(chaos, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["count", "g500-s8", "--algorithm", "serial", "--chaos", "1"]).is_err());
+        assert!(p(&["count", "g500-s8", "--chaos"]).is_err());
+        assert!(p(&["count", "g500-s8", "--chaos", "soon"]).is_err());
     }
 
     #[test]

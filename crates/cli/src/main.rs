@@ -11,15 +11,40 @@ use std::time::Instant;
 use cli::{Algorithm, Command, Input, USAGE};
 use tc_graph::{io, Csr, EdgeList};
 
+/// Per-link fault probability installed by `--chaos SEED` (each of the
+/// six fault modes fires independently at this rate).
+const CHAOS_P: f64 = 0.05;
+
+/// Why a command failed, mapped to distinct process exit codes so
+/// scripted callers can tell a bad input graph (3) from a runtime
+/// failure (1) or a usage error (2).
+enum AppError {
+    /// The input graph was unreadable or structurally invalid.
+    Input(String),
+    /// Anything else that went wrong while running the command.
+    Run(String),
+}
+
+impl From<String> for AppError {
+    fn from(msg: String) -> Self {
+        AppError::Run(msg)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match cli::parse(&args) {
-        Ok(cmd) => {
-            if let Err(e) = run(cmd) {
-                eprintln!("error: {e}");
+        Ok(cmd) => match run(cmd) {
+            Ok(()) => {}
+            Err(AppError::Input(msg)) => {
+                eprintln!("input error: {msg}");
+                std::process::exit(3);
+            }
+            Err(AppError::Run(msg)) => {
+                eprintln!("error: {msg}");
                 std::process::exit(1);
             }
-        }
+        },
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
@@ -27,28 +52,28 @@ fn main() {
     }
 }
 
-fn load(input: &Input, seed: u64) -> Result<EdgeList, String> {
+fn load(input: &Input, seed: u64) -> Result<EdgeList, AppError> {
     match input {
         Input::Preset(p) => {
             eprintln!("# generating {}", p.name());
             Ok(p.build(seed))
         }
         Input::File(path) => {
+            let ctx =
+                |e: &dyn std::fmt::Display| AppError::Input(format!("{}: {e}", path.display()));
             let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
             let el = match ext {
-                "mtx" => {
-                    io::read_matrix_market(std::fs::File::open(path).map_err(|e| e.to_string())?)
-                }
+                "mtx" => io::read_matrix_market(std::fs::File::open(path).map_err(|e| ctx(&e))?),
                 "bin" => io::read_binary_edges_path(path),
                 _ => io::read_text_edges_path(path),
             }
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+            .map_err(|e| ctx(&e))?;
             Ok(el.simplify())
         }
     }
 }
 
-fn run(cmd: Command) -> Result<(), String> {
+fn run(cmd: Command) -> Result<(), AppError> {
     match cmd {
         Command::Help => {
             print!("{USAGE}");
@@ -102,14 +127,33 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Count { input, algorithm, ranks, grid, config, seed, stats, trace, metrics } => {
+        Command::Count {
+            input,
+            algorithm,
+            ranks,
+            grid,
+            config,
+            seed,
+            stats,
+            trace,
+            metrics,
+            chaos,
+        } => {
             let el = load(&input, seed)?;
             eprintln!("# {} vertices, {} edges", el.num_vertices, el.num_edges());
             let session = trace.as_ref().map(|_| tc_trace::TraceSession::begin());
             let handle = session.as_ref().map(|s| s.handle());
             let msession = metrics.as_ref().map(|_| tc_metrics::MetricsSession::begin());
             let mhandle = msession.as_ref().map(|s| s.handle());
-            let obs = tc_mps::Observe { trace: handle.as_ref(), metrics: mhandle.as_ref() };
+            let plan = chaos.map(|cseed| {
+                eprintln!("# chaos: seed {cseed}, uniform p={CHAOS_P} on every link");
+                tc_mps::FaultPlan::new(cseed).with_default(tc_mps::LinkFaults::uniform(CHAOS_P))
+            });
+            let obs = tc_mps::Observe {
+                trace: handle.as_ref(),
+                metrics: mhandle.as_ref(),
+                chaos: plan.as_ref(),
+            };
             let t0 = Instant::now();
             let triangles = match algorithm {
                 Algorithm::TwoD => {

@@ -1,0 +1,102 @@
+//! End-to-end exit-code contract of the `tricount` binary:
+//! 0 success, 1 runtime failure, 2 usage error, 3 invalid input graph.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tricount() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tricount"))
+}
+
+fn run(args: &[&str]) -> Output {
+    tricount().args(args).output().expect("spawn tricount")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tricount-exit-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn success_is_exit_zero() {
+    let out = run(&["count", "g500-s5", "--ranks", "4"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("triangles"), "{}", stdout(&out));
+}
+
+#[test]
+fn usage_error_is_exit_two() {
+    let out = run(&["count", "g500-s5", "--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("USAGE"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_input_file_is_exit_three() {
+    let out = run(&["count", "/nonexistent/graph.bin"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("input error"), "{}", stderr(&out));
+}
+
+#[test]
+fn truncated_binary_input_is_exit_three_with_offset() {
+    let el = tc_graph::EdgeList::new(10, vec![(0, 1), (2, 3), (4, 5)]);
+    let mut buf = Vec::new();
+    tc_graph::io::write_binary_edges(&el, &mut buf).unwrap();
+    buf.truncate(buf.len() - 3);
+    let path = tmp("truncated.bin");
+    std::fs::write(&path, &buf).unwrap();
+    let out = run(&["count", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    let e = stderr(&out);
+    assert!(e.contains("input error"), "{e}");
+    assert!(e.contains("corrupt binary at byte"), "{e}");
+    assert!(e.contains("edge 2 of 3"), "{e}");
+}
+
+#[test]
+fn malformed_text_input_is_exit_three_with_line() {
+    let path = tmp("bad.txt");
+    std::fs::write(&path, "0 1\nnot an edge\n").unwrap();
+    let out = run(&["count", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+}
+
+#[test]
+fn chaos_flag_still_counts_exactly() {
+    let clean = run(&["count", "g500-s5", "--ranks", "4", "--seed", "7"]);
+    assert_eq!(clean.status.code(), Some(0), "{}", stderr(&clean));
+    let chaotic = run(&["count", "g500-s5", "--ranks", "4", "--seed", "7", "--chaos", "3"]);
+    assert_eq!(chaotic.status.code(), Some(0), "{}", stderr(&chaotic));
+    let line = |s: &str| {
+        s.lines().find(|l| l.starts_with("triangles")).map(str::to_string).expect("triangles line")
+    };
+    assert_eq!(line(&stdout(&chaotic)), line(&stdout(&clean)));
+    assert!(stderr(&chaotic).contains("# chaos: seed 3"), "{}", stderr(&chaotic));
+}
+
+#[test]
+fn dead_link_from_env_is_runtime_exit_one() {
+    let out = tricount()
+        .args(["count", "g500-s5", "--ranks", "4"])
+        .env("MPS_CHAOS_SEED", "1")
+        .env("MPS_CHAOS_DROP", "1.0")
+        .env("MPS_CHAOS_LINKS", "0->1")
+        .env("MPS_CHAOS_MAX_RETRIES", "3")
+        .output()
+        .expect("spawn tricount");
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("delivery from rank 0"), "{}", stderr(&out));
+}

@@ -36,7 +36,7 @@ fn deterministic_counters_equal_legacy_rank_metrics_on_16_ranks() {
 
     let session = tc_metrics::MetricsSession::begin();
     let handle = session.handle();
-    let obs = Observe { trace: None, metrics: Some(&handle) };
+    let obs = Observe { metrics: Some(&handle), ..Observe::none() };
     let result = try_count_triangles_observed(&el, p, &TcConfig::default(), obs).expect("run");
     let snap = session.finish();
 

@@ -103,7 +103,7 @@ fn schedules_agree_on_summa() {
 fn measured_run(el: &EdgeList, p: usize, cfg: &TcConfig) -> (u64, u64, u64) {
     let session = tc_metrics::MetricsSession::begin();
     let handle = session.handle();
-    let obs = Observe { trace: None, metrics: Some(&handle) };
+    let obs = Observe { metrics: Some(&handle), ..Observe::none() };
     let r = try_count_triangles_observed(el, p, cfg, obs).expect("run");
     let snap = session.finish();
     let serialized: u64 = (0..p)

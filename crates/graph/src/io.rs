@@ -24,6 +24,14 @@ pub enum IoError {
     Io(io::Error),
     /// Structurally invalid content (message, 1-based line if known).
     Parse(String, Option<usize>),
+    /// Structurally invalid binary content; `offset` is the absolute
+    /// byte position of the offending (or missing) bytes.
+    Corrupt {
+        /// What is wrong with the bytes at `offset`.
+        msg: String,
+        /// Absolute byte offset from the start of the stream.
+        offset: u64,
+    },
 }
 
 impl From<io::Error> for IoError {
@@ -38,11 +46,20 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse(msg, Some(line)) => write!(f, "parse error at line {line}: {msg}"),
             IoError::Parse(msg, None) => write!(f, "parse error: {msg}"),
+            IoError::Corrupt { msg, offset } => {
+                write!(f, "corrupt binary at byte {offset}: {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for IoError {}
+
+/// Hard ceiling on the edge-record count a reader accepts from an
+/// untrusted header (duplicates included). Far above any real graph,
+/// but low enough that `records × 8` bytes can never overflow the
+/// address computations downstream.
+pub const MAX_EDGE_RECORDS: u64 = (usize::MAX / 32) as u64;
 
 /// Result alias for this module.
 pub type Result<T> = std::result::Result<T, IoError>;
@@ -126,29 +143,82 @@ pub fn write_binary_edges_path(el: &EdgeList, path: impl AsRef<Path>) -> Result<
     write_binary_edges(el, File::create(path)?)
 }
 
+/// Reads `buf.len()` bytes starting at absolute offset `offset`,
+/// turning a short read into a [`IoError::Corrupt`] that names what
+/// was expected there.
+fn read_fully(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    offset: u64,
+    what: impl FnOnce() -> String,
+) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            IoError::Corrupt { msg: format!("truncated: {} missing", what()), offset }
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
 /// Reads the compact binary format.
+///
+/// Every structural defect — truncation (at the header or mid-edge),
+/// a vertex count outside the u32 id space, an edge count that could
+/// not fit in memory, an endpoint `>= n` — is a typed
+/// [`IoError::Corrupt`] carrying the byte offset and, for per-edge
+/// defects, the edge index. The header's edge count is never trusted
+/// for the allocation, so a hostile 16-byte file cannot reserve
+/// gigabytes before its first record fails to parse.
 pub fn read_binary_edges(reader: impl Read) -> Result<EdgeList> {
     let mut r = BufReader::new(reader);
     let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    if u64::from_le_bytes(buf8) != BIN_MAGIC {
-        return Err(IoError::Parse("bad binary magic".into(), None));
+    read_fully(&mut r, &mut buf8, 0, || "8-byte magic".into())?;
+    let magic = u64::from_le_bytes(buf8);
+    if magic != BIN_MAGIC {
+        return Err(IoError::Corrupt {
+            msg: format!("bad magic {magic:#018x} (expected {BIN_MAGIC:#018x})"),
+            offset: 0,
+        });
     }
-    r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
-    r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut edges = Vec::with_capacity(m);
+    read_fully(&mut r, &mut buf8, 8, || "vertex-count header".into())?;
+    let n64 = u64::from_le_bytes(buf8);
+    if n64 > u64::from(u32::MAX) + 1 {
+        return Err(IoError::Corrupt {
+            msg: format!("vertex count {n64} exceeds the u32 id space"),
+            offset: 8,
+        });
+    }
+    let n = n64 as usize;
+    read_fully(&mut r, &mut buf8, 16, || "edge-count header".into())?;
+    let m64 = u64::from_le_bytes(buf8);
+    if m64 > MAX_EDGE_RECORDS {
+        return Err(IoError::Corrupt {
+            msg: format!(
+                "edge count {m64} overflows the record limit {MAX_EDGE_RECORDS} \
+                 (duplicates included)"
+            ),
+            offset: 16,
+        });
+    }
+    let m = m64 as usize;
+    let mut edges = Vec::with_capacity(m.min(1 << 20));
     let mut buf4 = [0u8; 4];
-    for _ in 0..m {
-        r.read_exact(&mut buf4)?;
+    let mut off = 24u64;
+    for i in 0..m {
+        read_fully(&mut r, &mut buf4, off, || format!("edge {i} of {m}"))?;
         let u = u32::from_le_bytes(buf4);
-        r.read_exact(&mut buf4)?;
+        read_fully(&mut r, &mut buf4, off + 4, || format!("edge {i} of {m}"))?;
         let v = u32::from_le_bytes(buf4);
         if u as usize >= n || v as usize >= n {
-            return Err(IoError::Parse("edge endpoint out of range".into(), None));
+            let bad = if u as usize >= n { u } else { v };
+            return Err(IoError::Corrupt {
+                msg: format!("edge {i}: endpoint {bad} out of range (n = {n})"),
+                offset: off,
+            });
         }
         edges.push((u, v));
+        off += 8;
     }
     Ok(EdgeList::new(n, edges))
 }
@@ -206,8 +276,16 @@ pub fn read_matrix_market(reader: impl Read) -> Result<EdgeList> {
     if rows != cols {
         return Err(IoError::Parse("adjacency matrix must be square".into(), Some(lineno)));
     }
+    if nnz > MAX_EDGE_RECORDS {
+        return Err(IoError::Parse(
+            format!("entry count {nnz} overflows the record limit {MAX_EDGE_RECORDS}"),
+            Some(lineno),
+        ));
+    }
     let n = rows as usize;
-    let mut edges = Vec::with_capacity(nnz as usize);
+    // Entries arrive one text line each; trust actual lines, not the
+    // header, for the allocation.
+    let mut edges = Vec::with_capacity((nnz as usize).min(1 << 20));
     let mut seen = 0u64;
     while seen < nnz {
         line.clear();
@@ -283,7 +361,100 @@ mod tests {
         buf.extend_from_slice(&1u64.to_le_bytes()); // m = 1
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&7u32.to_le_bytes()); // 7 >= n
-        assert!(read_binary_edges(&buf[..]).is_err());
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 24, "offset of the bad edge record");
+                assert!(msg.contains("edge 0"), "{msg}");
+                assert!(msg.contains('7'), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_truncated_header_reports_offset() {
+        let el = EdgeList::new(4, vec![(0, 1)]);
+        let mut buf = Vec::new();
+        write_binary_edges(&el, &mut buf).unwrap();
+        buf.truncate(20); // mid edge-count field
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 16);
+                assert!(msg.contains("edge-count header"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_truncated_mid_stream_reports_edge_and_offset() {
+        let el = EdgeList::new(10, vec![(0, 1), (2, 3), (4, 5)]);
+        let mut buf = Vec::new();
+        write_binary_edges(&el, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2); // lose half of the last endpoint
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 24 + 2 * 8 + 4, "offset of the missing endpoint");
+                assert!(msg.contains("edge 2 of 3"), "{msg}");
+                assert!(msg.contains("truncated"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_edge_count_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&super::BIN_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd m
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 16);
+                assert!(msg.contains("edge count"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_huge_plausible_edge_count_does_not_preallocate() {
+        // Claims 2^40 edges but carries none: must fail on truncation
+        // at edge 0 without first reserving 8 TiB for the header's m.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&super::BIN_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 24);
+                assert!(msg.contains("edge 0"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_vertex_count_beyond_u32() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&super::BIN_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_binary_edges(&buf[..]).unwrap_err() {
+            IoError::Corrupt { msg, offset } => {
+                assert_eq!(offset, 8);
+                assert!(msg.contains("vertex count"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_error_display_names_the_offset() {
+        let e = IoError::Corrupt { msg: "truncated: edge 2 of 3 missing".into(), offset: 44 };
+        let s = e.to_string();
+        assert!(s.contains("byte 44"), "{s}");
+        assert!(s.contains("edge 2 of 3"), "{s}");
     }
 
     #[test]

@@ -54,6 +54,41 @@ pub mod names {
     pub const MPS_RECV_NS: &str = "mps.recv_ns";
     pub const MPS_COLLECTIVES: &str = "mps.collectives";
 
+    // Reliable-delivery transport (fed by `tc_mps` only when a fault
+    // plan is installed; clean runs must report all of these as zero —
+    // see [`MPS_RELIABILITY`]).
+    pub const MPS_REL_FRAMES_SENT: &str = "mps.rel.frames_sent";
+    pub const MPS_REL_RETRANSMITS: &str = "mps.rel.retransmits";
+    pub const MPS_REL_NACKS: &str = "mps.rel.nacks";
+    pub const MPS_REL_CORRUPT_FRAMES: &str = "mps.rel.corrupt_frames";
+    pub const MPS_REL_DUP_FRAMES: &str = "mps.rel.dup_frames";
+    pub const MPS_REL_REORDERED_FRAMES: &str = "mps.rel.reordered_frames";
+    pub const MPS_REL_REORDER_DEPTH_MAX: &str = "mps.rel.reorder_depth_max";
+    pub const MPS_REL_INJECTED_DROPS: &str = "mps.rel.injected_drops";
+    pub const MPS_REL_INJECTED_DUPS: &str = "mps.rel.injected_dups";
+    pub const MPS_REL_INJECTED_REORDERS: &str = "mps.rel.injected_reorders";
+    pub const MPS_REL_INJECTED_DELAYS: &str = "mps.rel.injected_delays";
+    pub const MPS_REL_INJECTED_CORRUPTIONS: &str = "mps.rel.injected_corruptions";
+
+    /// Every reliable-delivery counter. Benchmark records default each
+    /// of these to zero so a clean (chaos-off) run *proves* the
+    /// transport stayed out of the way — the counters are present and
+    /// zero, not merely absent.
+    pub const MPS_RELIABILITY: &[&str] = &[
+        MPS_REL_FRAMES_SENT,
+        MPS_REL_RETRANSMITS,
+        MPS_REL_NACKS,
+        MPS_REL_CORRUPT_FRAMES,
+        MPS_REL_DUP_FRAMES,
+        MPS_REL_REORDERED_FRAMES,
+        MPS_REL_REORDER_DEPTH_MAX,
+        MPS_REL_INJECTED_DROPS,
+        MPS_REL_INJECTED_DUPS,
+        MPS_REL_INJECTED_REORDERS,
+        MPS_REL_INJECTED_DELAYS,
+        MPS_REL_INJECTED_CORRUPTIONS,
+    ];
+
     // Phase timings (per rank, nanoseconds).
     pub const PPT_WALL_NS: &str = "ppt.wall_ns";
     pub const PPT_CPU_NS: &str = "ppt.cpu_ns";

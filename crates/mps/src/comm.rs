@@ -22,10 +22,12 @@ use std::time::Instant;
 
 use bytes::Bytes;
 
+use crate::chaos;
 use crate::error::{MpsError, MpsResult};
 use crate::fabric::{AwaitOutcome, BlockedOp, Fabric, Packet};
 use crate::pod::{bytes_of, Pod, PodArray};
-use crate::stats::{CommStats, Timings};
+use crate::reliable::{RxState, TRANSPORT_TAG};
+use crate::stats::{CommStats, ReliabilityStats, Timings};
 
 /// Highest bit reserved for internal (collective) traffic; user tags
 /// must stay below this.
@@ -77,6 +79,10 @@ pub struct Comm {
     fabric: Arc<Fabric>,
     /// Messages received from `s` whose tag didn't match a recv call.
     pending: Vec<RefCell<VecDeque<Packet>>>,
+    /// Reliable-delivery receive state (sequence tracking, reorder
+    /// buffers, recovery timers); `None` unless the universe has a
+    /// [`crate::FaultPlan`], so the chaos-off path allocates nothing.
+    rx: Option<RefCell<RxState>>,
     /// Monotone sequence number shared by all collective calls; every
     /// rank executes collectives in the same order, so equal sequence
     /// numbers identify the same logical operation.
@@ -88,11 +94,13 @@ pub struct Comm {
 impl Comm {
     pub(crate) fn new(rank: usize, size: usize, fabric: Arc<Fabric>) -> Self {
         let pending = (0..size).map(|_| RefCell::new(VecDeque::new())).collect();
+        let rx = fabric.transport().map(|_| RefCell::new(RxState::new(size)));
         Self {
             rank,
             size,
             fabric,
             pending,
+            rx,
             coll_seq: std::cell::Cell::new(0),
             timings: Timings::new(),
         }
@@ -111,6 +119,13 @@ impl Comm {
     /// Snapshot of the communication counters so far.
     pub fn stats(&self) -> CommStats {
         self.fabric.stats[self.rank].snapshot()
+    }
+
+    /// Snapshot of this rank's reliable-delivery counters, or `None`
+    /// when no [`crate::FaultPlan`] is installed (the transport — and
+    /// therefore every counter — does not exist on the chaos-off path).
+    pub fn reliability_stats(&self) -> Option<ReliabilityStats> {
+        self.fabric.transport().map(|t| t.stats(self.rank))
     }
 
     /// Number of collective operations this rank has entered so far.
@@ -143,7 +158,15 @@ impl Comm {
                 vec![("dst", dst.into()), ("tag", tag.into()), ("bytes", nbytes.into())]
             });
         }
-        self.fabric.deliver(dst, Packet { src: self.rank, tag, data });
+        // One relaxed atomic load gates the chaos path: with no
+        // transport live anywhere in the process this compiles down to
+        // the pre-transport send, allocation-free in steady state.
+        if chaos::chaos_possible() && self.fabric.transport().is_some() {
+            let t = self.fabric.transport().expect("just checked");
+            t.send(&self.fabric, self.rank, dst, tag, data);
+        } else {
+            self.fabric.deliver(dst, Packet { src: self.rank, tag, data });
+        }
         let st = &self.fabric.stats[self.rank];
         st.bytes_sent.fetch_add(nbytes, std::sync::atomic::Ordering::Relaxed);
         st.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -182,6 +205,9 @@ impl Comm {
     /// dumps and timeout errors.
     fn recv_labeled(&self, src: usize, tag: u64, op: &'static str) -> MpsResult<Bytes> {
         assert!(src < self.size, "recv from rank {src} but universe has {} ranks", self.size);
+        if chaos::chaos_possible() && self.rx.is_some() {
+            return self.recv_reliable(src, tag, op);
+        }
         let t0 = Instant::now();
         // User receives get a span (wall − CPU inside it is the
         // blocked time); collective-internal receives are covered by
@@ -252,7 +278,201 @@ impl Comm {
                 waited: t0.elapsed(),
                 report: self.fabric.dump(),
             }),
+            AwaitOutcome::SliceExpired => {
+                unreachable!("no slice deadline on the chaos-off receive path")
+            }
         }
+    }
+
+    /// [`Comm::recv_labeled`] over a chaotic fabric: the same matching
+    /// contract, but packets arrive as transport frames (checksummed,
+    /// sequenced) and the wait is sliced so the receiver can drive
+    /// NACK/retransmit recovery between waits. Adds one failure mode
+    /// to the un-hangable set: [`MpsError::DeliveryFailed`] when a
+    /// link's retransmit budget is exhausted.
+    fn recv_reliable(&self, src: usize, tag: u64, op: &'static str) -> MpsResult<Bytes> {
+        let t0 = Instant::now();
+        let mut tspan = (tag & (1 << 63) == 0).then(|| {
+            tc_trace::span(tc_trace::names::RECV, tc_trace::Category::Comm)
+                .arg("src", src)
+                .arg("tag", tag)
+        });
+
+        // First drain anything already released and parked for this
+        // source (frames are decoded at ingest, so `pending` holds
+        // ordinary application packets here too).
+        {
+            let mut pending = self.pending[src].borrow_mut();
+            if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
+                let pkt = pending.remove(pos).expect("position just found");
+                self.note_recv(&pkt, t0);
+                if let Some(s) = &mut tspan {
+                    s.record_arg("bytes", pkt.data.len());
+                }
+                return Ok(pkt.data);
+            }
+            if let Some(err) = self.detect_mismatch(src, tag, pending.iter()) {
+                return Err(err);
+            }
+        }
+
+        self.fabric.set_blocked(self.rank, Some(BlockedOp { src, tag, op, since: t0 }));
+        let deadline = t0 + self.fabric.timeout();
+        let result = loop {
+            let slice = self.arm_recovery(src);
+            let outcome =
+                self.fabric.await_match_until(self.rank, src, deadline, Some(slice), |queue| {
+                    self.match_reliable(queue, src, tag)
+                });
+            match outcome {
+                AwaitOutcome::Matched(Ok(pkt)) => {
+                    self.note_recv(&pkt, t0);
+                    if let Some(s) = &mut tspan {
+                        s.record_arg("bytes", pkt.data.len());
+                    }
+                    break Ok(pkt.data);
+                }
+                AwaitOutcome::Matched(Err(err)) => break Err(err),
+                AwaitOutcome::Failed(fail) => {
+                    break Err(MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() })
+                }
+                AwaitOutcome::SourceFinished => {
+                    // The sender is gone, but its unacked frames are
+                    // still in the shared retransmit window — recover
+                    // them without its cooperation. Only when nothing
+                    // is left to recover is the message truly
+                    // impossible.
+                    match self.drive_recovery(src, true) {
+                        Ok(0) => {
+                            break Err(MpsError::PeerFailed {
+                                rank: src,
+                                msg: format!("terminated before sending tag {tag:#x}"),
+                            })
+                        }
+                        Ok(_) => continue,
+                        Err(e) => break Err(e),
+                    }
+                }
+                AwaitOutcome::TimedOut => {
+                    break Err(MpsError::Timeout {
+                        rank: self.rank,
+                        src,
+                        op,
+                        tag,
+                        waited: t0.elapsed(),
+                        report: self.fabric.dump(),
+                    })
+                }
+                AwaitOutcome::SliceExpired => {
+                    if let Err(e) = self.drive_recovery(src, false) {
+                        break Err(e);
+                    }
+                }
+            }
+        };
+        self.fabric.set_blocked(self.rank, None);
+        result
+    }
+
+    /// Mailbox matcher of the reliable path: transport frames are
+    /// ingested (verified, deduplicated, re-ordered); every released
+    /// application packet then flows through the ordinary matching
+    /// rules — match, mismatch-detect, or park.
+    fn match_reliable(
+        &self,
+        queue: &mut VecDeque<Packet>,
+        src: usize,
+        tag: u64,
+    ) -> Option<MpsResult<Packet>> {
+        let transport = self.fabric.transport().expect("reliable matcher requires a transport");
+        let mut rx = self.rx.as_ref().expect("reliable matcher requires rx state").borrow_mut();
+        let mut found: Option<MpsResult<Packet>> = None;
+        let mut released: Vec<Packet> = Vec::new();
+        while found.is_none() {
+            let Some(pkt) = queue.pop_front() else { break };
+            released.clear();
+            if pkt.tag == TRANSPORT_TAG {
+                rx.ingest(transport, self.rank, pkt.src, &pkt.data, &mut released);
+            } else {
+                released.push(pkt);
+            }
+            for lp in released.drain(..) {
+                if found.is_none() && lp.src == src && lp.tag == tag {
+                    found = Some(Ok(lp));
+                    continue;
+                }
+                if found.is_none() && lp.src == src {
+                    if let Some(err) = self.detect_mismatch(src, tag, std::iter::once(&lp)) {
+                        found = Some(Err(err));
+                        continue;
+                    }
+                }
+                self.pending[lp.src].borrow_mut().push_back(lp);
+            }
+        }
+        found
+    }
+
+    /// Makes sure the link we are blocked on has a recovery timer and
+    /// returns the earliest timer over all inbound links — the slice
+    /// deadline of the next wait.
+    fn arm_recovery(&self, blocked_src: usize) -> Instant {
+        let transport = self.fabric.transport().expect("recovery requires a transport");
+        let mut rx = self.rx.as_ref().expect("recovery requires rx state").borrow_mut();
+        let now = Instant::now();
+        let mut earliest =
+            *rx.link(blocked_src).nack_at.get_or_insert(now + transport.plan().nack_base());
+        for (_, link) in rx.links() {
+            if let Some(t) = link.nack_at {
+                earliest = earliest.min(t);
+            }
+        }
+        earliest
+    }
+
+    /// Runs one recovery round over every link whose timer is due
+    /// (`force` makes `blocked_src` due unconditionally — used when
+    /// its sender has terminated). Each round re-requests everything
+    /// from the link's next expected sequence number; a round that
+    /// finds nothing to resend *and* no evidence of a gap is patience,
+    /// not a retry, and does not consume budget. Returns the number of
+    /// frames recovered for `blocked_src`, or
+    /// [`MpsError::DeliveryFailed`] once a link exhausts its budget.
+    fn drive_recovery(&self, blocked_src: usize, force: bool) -> MpsResult<usize> {
+        let transport = self.fabric.transport().expect("recovery requires a transport");
+        let mut rx = self.rx.as_ref().expect("recovery requires rx state").borrow_mut();
+        let now = Instant::now();
+        let mut recovered_for_blocked = 0;
+        for (l, link) in rx.links() {
+            let due = (force && l == blocked_src) || link.nack_at.is_some_and(|t| now >= t);
+            if !due {
+                continue;
+            }
+            if link.attempts >= transport.plan().max_retries() {
+                return Err(MpsError::DeliveryFailed {
+                    src: l,
+                    dst: self.rank,
+                    seq: link.next_seq,
+                    attempts: link.attempts,
+                });
+            }
+            let attempt = link.attempts + 1;
+            let resent =
+                transport.retransmit_from(&self.fabric, l, self.rank, link.next_seq, attempt);
+            if resent == 0 {
+                // The sender has not produced this frame yet (e.g. it
+                // is mid-compute): keep waiting without burning budget.
+                link.note_nothing_to_recover(now + transport.plan().nack_base());
+            } else {
+                link.attempts = attempt;
+                transport.note_nack(self.rank);
+                link.nack_at = Some(now + transport.plan().backoff(l, self.rank, attempt));
+            }
+            if l == blocked_src {
+                recovered_for_blocked = resent;
+            }
+        }
+        Ok(recovered_for_blocked)
     }
 
     /// Flags a packet from `src` that belongs to a *different*

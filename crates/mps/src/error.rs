@@ -66,6 +66,20 @@ pub enum MpsError {
         /// What was wrong with it.
         msg: String,
     },
+    /// The reliable transport exhausted its retransmit budget for one
+    /// frame: the link `src → dst` is lossier than the configured
+    /// retry count can mask (e.g. a chaos plan dropping 100% of a
+    /// link). Surfaced by the *receiver* instead of hanging.
+    DeliveryFailed {
+        /// Sending side of the dead link.
+        src: usize,
+        /// Receiving side (the rank reporting the failure).
+        dst: usize,
+        /// First sequence number that never got through.
+        seq: u64,
+        /// Recovery rounds driven before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MpsError {
@@ -90,6 +104,13 @@ impl std::fmt::Display for MpsError {
             }
             MpsError::Protocol { rank, msg } => {
                 write!(f, "rank {rank}: protocol violation: {msg}")
+            }
+            MpsError::DeliveryFailed { src, dst, seq, attempts } => {
+                write!(
+                    f,
+                    "rank {dst}: delivery from rank {src} failed at frame seq {seq} \
+                     after {attempts} retransmit attempts"
+                )
             }
         }
     }
@@ -135,6 +156,13 @@ mod tests {
         assert!(p.to_string().contains("rank 2"));
         assert!(p.to_string().contains("protocol violation"));
         assert!(p.to_string().contains("(3,4)"));
+
+        let d = MpsError::DeliveryFailed { src: 1, dst: 6, seq: 42, attempts: 16 };
+        let s = d.to_string();
+        assert!(s.contains("rank 6"), "{s}");
+        assert!(s.contains("rank 1"), "{s}");
+        assert!(s.contains("seq 42"), "{s}");
+        assert!(s.contains("16 retransmit attempts"), "{s}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 
 use crate::error::MpsError;
+use crate::reliable::Transport;
 use crate::stats::SharedStats;
 
 /// A single in-flight message.
@@ -41,7 +42,9 @@ impl Failure {
             MpsError::Timeout { src, op, waited, .. } => {
                 format!("{op} from rank {src} timed out after {waited:.1?}")
             }
-            e @ (MpsError::CollectiveMismatch { .. } | MpsError::Protocol { .. }) => e.to_string(),
+            e @ (MpsError::CollectiveMismatch { .. }
+            | MpsError::Protocol { .. }
+            | MpsError::DeliveryFailed { .. }) => e.to_string(),
         }
     }
 }
@@ -72,6 +75,10 @@ pub(crate) struct Fabric {
     pub(crate) stats: Vec<SharedStats>,
     timeout: Duration,
     trace: Option<tc_trace::TraceHandle>,
+    /// Reliable-delivery engine; present only when a
+    /// [`crate::FaultPlan`] is installed, so the chaos-off hot path is
+    /// byte-for-byte the pre-transport one.
+    transport: Option<Transport>,
 }
 
 impl Fabric {
@@ -79,6 +86,7 @@ impl Fabric {
         size: usize,
         timeout: Duration,
         trace: Option<tc_trace::TraceHandle>,
+        transport: Option<Transport>,
     ) -> Self {
         Self {
             size,
@@ -89,7 +97,16 @@ impl Fabric {
             stats: (0..size).map(|_| SharedStats::default()).collect(),
             timeout,
             trace,
+            transport,
         }
+    }
+
+    pub(crate) fn transport(&self) -> Option<&Transport> {
+        self.transport.as_ref()
+    }
+
+    pub(crate) fn timeout(&self) -> Duration {
+        self.timeout
     }
 
     /// Delivers `pkt` to `dst`'s mailbox. Never blocks; delivery to a
@@ -122,6 +139,12 @@ impl Fabric {
     /// rank waiting on a message this one will never send fails fast
     /// instead of running out the timeout.
     pub(crate) fn mark_finished(&self, rank: usize) {
+        // A finishing rank first releases any frames the fault plan was
+        // holding back, so a reordered frame cannot be stranded behind
+        // a sender that will never transmit again.
+        if let Some(t) = &self.transport {
+            t.flush_rank(self, rank);
+        }
         self.finished[rank].store(true, Ordering::SeqCst);
         for mb in &self.mailboxes {
             mb.arrived.notify_all();
@@ -147,9 +170,24 @@ impl Fabric {
         &self,
         rank: usize,
         src: usize,
+        matcher: impl FnMut(&mut VecDeque<Packet>) -> Option<T>,
+    ) -> AwaitOutcome<T> {
+        self.await_match_until(rank, src, Instant::now() + self.timeout, None, matcher)
+    }
+
+    /// [`Fabric::await_match`] with an explicit overall deadline and an
+    /// optional *slice* deadline: when `slice` expires first the wait
+    /// returns [`AwaitOutcome::SliceExpired`] so the caller can run
+    /// side work (reliable-delivery recovery) and re-enter with the
+    /// same overall deadline.
+    pub(crate) fn await_match_until<T>(
+        &self,
+        rank: usize,
+        src: usize,
+        deadline: Instant,
+        slice: Option<Instant>,
         mut matcher: impl FnMut(&mut VecDeque<Packet>) -> Option<T>,
     ) -> AwaitOutcome<T> {
-        let deadline = Instant::now() + self.timeout;
         let mb = &self.mailboxes[rank];
         let mut queue = mb.queue.lock().expect("mailbox lock");
         loop {
@@ -168,7 +206,11 @@ impl Fabric {
             if now >= deadline {
                 return AwaitOutcome::TimedOut;
             }
-            let (q, res) = mb.arrived.wait_timeout(queue, deadline - now).expect("mailbox lock");
+            if slice.is_some_and(|s| now >= s) {
+                return AwaitOutcome::SliceExpired;
+            }
+            let wake = slice.map_or(deadline, |s| s.min(deadline));
+            let (q, res) = mb.arrived.wait_timeout(queue, wake - now).expect("mailbox lock");
             queue = q;
             let _ = res;
         }
@@ -223,4 +265,7 @@ pub(crate) enum AwaitOutcome<T> {
     Failed(Failure),
     SourceFinished,
     TimedOut,
+    /// Only from [`Fabric::await_match_until`] with a slice deadline:
+    /// the slice (not the overall deadline) expired.
+    SliceExpired,
 }

@@ -33,6 +33,15 @@
 //!   communication").
 //! - [`CommStats`]/[`Timings`] — per-rank bytes/messages/blocked-time
 //!   instrumentation behind the paper's Figure 3 and §5.4 analysis.
+//! - [`FaultPlan`]/[`LinkFaults`] — deterministic chaos injection:
+//!   installing a plan (via [`UniverseConfig`]`::chaos`, [`Observe`],
+//!   or the strictly parsed `MPS_CHAOS_*` env family) routes every
+//!   message through a reliable-delivery transport (CRC32C-framed,
+//!   sequence-numbered, NACK/retransmit) that must mask each injected
+//!   delay/drop/duplicate/reorder/truncate/bit-flip or surface a typed
+//!   [`MpsError::DeliveryFailed`]. With no plan installed the
+//!   transport is compiled around entirely — one relaxed atomic load
+//!   per operation, zero allocation.
 //!
 //! ## Example
 //!
@@ -47,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod blob;
+mod chaos;
 mod collectives;
 mod comm;
 pub mod cputime;
@@ -54,14 +64,20 @@ mod error;
 mod fabric;
 mod grid;
 pub mod pod;
+mod reliable;
 mod stats;
 mod universe;
 
 pub use blob::{blob_sections3, BlobBuilder, BlobReader};
+pub use chaos::{
+    FaultKind, FaultPlan, LinkFaults, CHAOS_BITFLIP_ENV, CHAOS_DELAY_ENV, CHAOS_DELAY_MAX_US_ENV,
+    CHAOS_DROP_ENV, CHAOS_DUPLICATE_ENV, CHAOS_ENV_VARS, CHAOS_LINKS_ENV, CHAOS_MAX_RETRIES_ENV,
+    CHAOS_REORDER_ENV, CHAOS_SEED_ENV, CHAOS_TRUNCATE_ENV,
+};
 pub use comm::{waitall, Comm, RecvRequest, SendRequest, MAX_USER_TAG};
 pub use cputime::{thread_cpu_now, CpuTimer};
 pub use error::{MpsError, MpsResult};
 pub use grid::{perfect_square_side, Grid};
 pub use pod::{Pod, PodArray};
-pub use stats::{CommStats, PhaseGuard, Timings};
+pub use stats::{CommStats, PhaseGuard, ReliabilityStats, Timings};
 pub use universe::{Observe, Universe, UniverseConfig, RECV_TIMEOUT_ENV};

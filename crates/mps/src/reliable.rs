@@ -1,0 +1,560 @@
+//! Reliable, exactly-once, in-order delivery over a chaotic fabric.
+//!
+//! When a [`crate::FaultPlan`] is installed, every point-to-point
+//! payload travels inside a *frame*: a 24-byte header (per-link
+//! sequence number, the application tag, payload length, CRC32c) plus
+//! the payload. The receiver re-derives the sender's order from the
+//! sequence numbers:
+//!
+//! - **corruption** (truncate/bit-flip) is caught by the length field
+//!   and checksum — a damaged frame is counted and discarded, and the
+//!   gap recovered like a drop;
+//! - **duplicates** (injected, or byproducts of retransmission) are
+//!   discarded by comparing against the next expected sequence number;
+//! - **reordering** parks early frames in a bounded buffer until the
+//!   gap closes;
+//! - **loss** is repaired by receiver-driven NACK/retransmit with
+//!   exponential backoff: every sent frame stays in a shared per-link
+//!   retransmit window until the receiver's cumulative ack passes it,
+//!   so recovery needs no cooperation from the (possibly blocked)
+//!   sender thread. After `max_retries` fruitless rounds the receive
+//!   fails with [`crate::MpsError::DeliveryFailed`] instead of
+//!   hanging.
+//!
+//! The window prune is driven by the ack watermark the receiver
+//! publishes, so memory per link is bounded by the amount genuinely in
+//! flight plus the reorder-buffer cap.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use crate::chaos::{ActiveGuard, Corruption, FaultPlan};
+use crate::fabric::{Fabric, Packet};
+use crate::stats::{ReliabilityStats, SharedReliabilityStats};
+
+/// Tag marking transport frames in a mailbox. Bit 63 is clear (so a
+/// frame is never mistaken for a collective packet) and the value sits
+/// far above [`crate::MAX_USER_TAG`], so it cannot collide with
+/// application traffic either.
+pub(crate) const TRANSPORT_TAG: u64 = (1 << 62) | 0xF8A3;
+
+/// Frame header size: seq (8) + inner tag (8) + payload len (4) + CRC32c (4).
+const HEADER: usize = 24;
+
+/// Out-of-order frames parked per link before the newest-seq ones are
+/// shed (they are recovered by retransmission once the gap closes).
+const REORDER_CAP: usize = 64;
+
+/// Encodes one frame: header followed by the payload, CRC32c over
+/// everything except the CRC field itself.
+pub(crate) fn encode_frame(seq: u64, tag: u64, payload: &Bytes) -> Bytes {
+    assert!(payload.len() <= u32::MAX as usize, "frame payload exceeds u32 length field");
+    let mut buf = Vec::with_capacity(HEADER + payload.len());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]); // CRC placeholder
+    buf.extend_from_slice(payload.as_slice());
+    let crc = crc32c_pair(&buf[..20], &buf[HEADER..]);
+    buf[20..24].copy_from_slice(&crc.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes and verifies a frame; `None` means the frame is damaged
+/// (truncated, extended, or bit-flipped) and must be treated as lost.
+pub(crate) fn decode_frame(frame: &Bytes) -> Option<(u64, u64, Bytes)> {
+    let b = frame.as_slice();
+    if b.len() < HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(b[16..20].try_into().unwrap()) as usize;
+    if b.len() != HEADER + len {
+        return None;
+    }
+    let stored = u32::from_le_bytes(b[20..24].try_into().unwrap());
+    if crc32c_pair(&b[..20], &b[HEADER..]) != stored {
+        return None;
+    }
+    let seq = u64::from_le_bytes(b[..8].try_into().unwrap());
+    let tag = u64::from_le_bytes(b[8..16].try_into().unwrap());
+    // The payload view shares the frame allocation; the 24-byte header
+    // keeps it 8-byte aligned, so typed decoding stays zero-copy.
+    Some((seq, tag, frame.slice(HEADER..)))
+}
+
+/// Applies a wire-level corruption to a copy of `frame`.
+fn corrupt_frame(frame: &Bytes, c: Corruption) -> Bytes {
+    let mut v = frame.to_vec();
+    match c {
+        Corruption::Truncate(entropy) => {
+            v.truncate((entropy % v.len().max(1) as u64) as usize);
+        }
+        Corruption::BitFlip(entropy) => {
+            let bit = entropy % (v.len() as u64 * 8);
+            v[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+    }
+    Bytes::from(v)
+}
+
+/// CRC32c (Castagnoli) over two concatenated slices, table-driven.
+fn crc32c_pair(a: &[u8], b: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in a.iter().chain(b) {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// CRC32c for one slice (known-answer-tested below).
+#[cfg(test)]
+fn crc32c(data: &[u8]) -> u32 {
+    crc32c_pair(data, &[])
+}
+
+const CRC32C_TABLE: [u32; 256] = build_crc32c_table();
+
+const fn build_crc32c_table() -> [u32; 256] {
+    // Reflected Castagnoli polynomial.
+    const POLY: u32 = 0x82F6_3B78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Sender-side retransmit window of one directed link.
+#[derive(Debug, Default)]
+struct SendWindow {
+    /// Sequence number of the next frame sent on this link.
+    next_seq: u64,
+    /// Unacked frames, ascending by sequence number.
+    frames: VecDeque<(u64, Bytes)>,
+}
+
+/// The shared reliable-delivery engine of one universe (lives in the
+/// [`Fabric`], present only when a [`FaultPlan`] is installed).
+pub(crate) struct Transport {
+    plan: FaultPlan,
+    size: usize,
+    /// Per-link retransmit windows, indexed `src * size + dst`.
+    windows: Vec<Mutex<SendWindow>>,
+    /// Per-link cumulative acks: the receiver's next expected sequence
+    /// number, published so the *sender* can prune its window.
+    acked: Vec<AtomicU64>,
+    /// Frames held back by reorder injection, flushed by the link's
+    /// next transmission (or by recovery/finish).
+    held: Vec<Mutex<Vec<Bytes>>>,
+    /// Per-rank reliability counters (sender-side events land on the
+    /// sending rank, receiver-side events on the receiving rank).
+    stats: Vec<SharedReliabilityStats>,
+    _active: ActiveGuard,
+}
+
+impl Transport {
+    pub(crate) fn new(size: usize, plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            size,
+            windows: (0..size * size).map(|_| Mutex::new(SendWindow::default())).collect(),
+            acked: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            held: (0..size * size).map(|_| Mutex::new(Vec::new())).collect(),
+            stats: (0..size).map(|_| SharedReliabilityStats::default()).collect(),
+            _active: ActiveGuard::new(),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn stats(&self, rank: usize) -> ReliabilityStats {
+        self.stats[rank].snapshot()
+    }
+
+    fn link(&self, src: usize, dst: usize) -> usize {
+        src * self.size + dst
+    }
+
+    /// Sends one application payload over the chaotic link: frames it,
+    /// appends it to the retransmit window (pruning everything the
+    /// receiver has acked), and transmits subject to the fault plan.
+    pub(crate) fn send(&self, fabric: &Fabric, src: usize, dst: usize, tag: u64, payload: Bytes) {
+        let l = self.link(src, dst);
+        let (seq, frame) = {
+            let mut w = self.windows[l].lock().expect("send window lock");
+            let acked = self.acked[l].load(Ordering::Acquire);
+            while w.frames.front().is_some_and(|(s, _)| *s < acked) {
+                w.frames.pop_front();
+            }
+            let seq = w.next_seq;
+            w.next_seq += 1;
+            let frame = encode_frame(seq, tag, &payload);
+            w.frames.push_back((seq, frame.clone()));
+            (seq, frame)
+        };
+        self.stats[src].frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.transmit(fabric, src, dst, seq, &frame, 0);
+    }
+
+    /// Puts one frame on the wire, applying the plan's decision for
+    /// `attempt`. Never blocks on the receiver (delivery is a mailbox
+    /// push); an injected delay stalls the calling thread only.
+    fn transmit(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        frame: &Bytes,
+        attempt: u32,
+    ) {
+        let d = self.plan.decide(src, dst, seq, attempt);
+        let st = &self.stats[src];
+        if let Some(delay) = d.delay {
+            st.injected_delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
+        }
+        if d.drop {
+            st.injected_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let wire = match d.corrupt {
+            Some(c) => {
+                st.injected_corruptions.fetch_add(1, Ordering::Relaxed);
+                corrupt_frame(frame, c)
+            }
+            None => frame.clone(),
+        };
+        if d.duplicate {
+            st.injected_dups.fetch_add(1, Ordering::Relaxed);
+            fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: wire.clone() });
+        }
+        if d.reorder {
+            st.injected_reorders.fetch_add(1, Ordering::Relaxed);
+            self.held[self.link(src, dst)].lock().expect("holdback lock").push(wire);
+            return;
+        }
+        fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: wire });
+        // Any frame held back on this link is now "later than" a newer
+        // frame — deliver it out of order, as the injection intended.
+        self.flush_held(fabric, src, dst);
+    }
+
+    fn flush_held(&self, fabric: &Fabric, src: usize, dst: usize) -> usize {
+        let held = {
+            let mut h = self.held[self.link(src, dst)].lock().expect("holdback lock");
+            std::mem::take(&mut *h)
+        };
+        let n = held.len();
+        for frame in held {
+            fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: frame });
+        }
+        n
+    }
+
+    /// Receiver-driven recovery: re-deliver every unacked frame of
+    /// `src → dst` with sequence ≥ `from_seq` (flushing held-back
+    /// frames first). Returns how many frames went back on the wire —
+    /// zero means the sender has not produced `from_seq` yet, which is
+    /// patience territory, not retry territory.
+    pub(crate) fn retransmit_from(
+        &self,
+        fabric: &Fabric,
+        src: usize,
+        dst: usize,
+        from_seq: u64,
+        attempt: u32,
+    ) -> usize {
+        let mut n = self.flush_held(fabric, src, dst);
+        let frames: Vec<(u64, Bytes)> = {
+            let w = self.windows[self.link(src, dst)].lock().expect("send window lock");
+            w.frames.iter().filter(|(s, _)| *s >= from_seq).cloned().collect()
+        };
+        for (seq, frame) in frames {
+            self.stats[src].retransmits.fetch_add(1, Ordering::Relaxed);
+            tc_trace::instant_with(tc_trace::names::RETRANSMIT, tc_trace::Category::Comm, || {
+                vec![("src", src.into()), ("seq", seq.into()), ("attempt", attempt.into())]
+            });
+            self.transmit(fabric, src, dst, seq, &frame, attempt);
+            n += 1;
+        }
+        n
+    }
+
+    /// Publishes the receiver's cumulative ack for `src → dst`, which
+    /// lets the sender prune its retransmit window on its next send.
+    pub(crate) fn ack(&self, src: usize, dst: usize, next_seq: u64) {
+        self.acked[self.link(src, dst)].store(next_seq, Ordering::Release);
+    }
+
+    /// Counts one receiver-driven recovery round on `rank`.
+    pub(crate) fn note_nack(&self, rank: usize) {
+        self.stats[rank].nacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Delivers every held-back frame originating at `rank` (called
+    /// when the rank finishes, so reorder holdbacks cannot outlive
+    /// their sender).
+    pub(crate) fn flush_rank(&self, fabric: &Fabric, rank: usize) {
+        for dst in 0..self.size {
+            self.flush_held(fabric, rank, dst);
+        }
+    }
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transport")
+            .field("size", &self.size)
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Receiver-side state of one inbound link (owned by the receiving
+/// rank's [`crate::Comm`], allocated only when a transport exists).
+#[derive(Debug)]
+pub(crate) struct LinkRx {
+    /// Next sequence number this receiver will accept.
+    pub next_seq: u64,
+    /// Out-of-order frames parked until the gap closes, keyed by seq.
+    parked: BTreeMap<u64, (u64, Bytes)>,
+    /// Recovery rounds driven for the current gap (reset on progress).
+    pub attempts: u32,
+    /// When the next recovery round for this link is due.
+    pub nack_at: Option<Instant>,
+    /// A damaged frame was seen since the last accepted one: evidence
+    /// that something is missing even if the parked buffer is empty.
+    corrupt_evidence: bool,
+}
+
+impl LinkRx {
+    fn new() -> Self {
+        Self {
+            next_seq: 0,
+            parked: BTreeMap::new(),
+            attempts: 0,
+            nack_at: None,
+            corrupt_evidence: false,
+        }
+    }
+
+    /// Whether something is demonstrably missing on this link.
+    #[cfg(test)]
+    fn has_gap_evidence(&self) -> bool {
+        self.corrupt_evidence || !self.parked.is_empty()
+    }
+
+    /// A recovery round found nothing at or above `next_seq` in the
+    /// retransmit window. Every genuinely missing frame would still be
+    /// there (frames are only pruned below the receiver's own ack), so
+    /// this proves there is no gap: any corruption seen must have been
+    /// a stale duplicate. Reset the budget and re-arm patience.
+    pub(crate) fn note_nothing_to_recover(&mut self, rearm: Instant) {
+        debug_assert!(self.parked.is_empty(), "parked frames imply unacked window entries");
+        self.attempts = 0;
+        self.corrupt_evidence = false;
+        self.nack_at = Some(rearm);
+    }
+}
+
+/// All inbound-link state of one receiving rank.
+#[derive(Debug)]
+pub(crate) struct RxState {
+    links: Vec<LinkRx>,
+}
+
+impl RxState {
+    pub(crate) fn new(size: usize) -> Self {
+        Self { links: (0..size).map(|_| LinkRx::new()).collect() }
+    }
+
+    pub(crate) fn link(&mut self, src: usize) -> &mut LinkRx {
+        &mut self.links[src]
+    }
+
+    pub(crate) fn links(&mut self) -> impl Iterator<Item = (usize, &mut LinkRx)> {
+        self.links.iter_mut().enumerate()
+    }
+
+    /// Ingests one raw frame arriving at `rank`, appending every
+    /// application packet it releases (the frame itself plus any parked
+    /// successors it unblocks) to `out` in sequence order.
+    pub(crate) fn ingest(
+        &mut self,
+        transport: &Transport,
+        rank: usize,
+        src: usize,
+        frame: &Bytes,
+        out: &mut Vec<Packet>,
+    ) {
+        let st = &transport.stats[rank];
+        let link = &mut self.links[src];
+        let Some((seq, tag, payload)) = decode_frame(frame) else {
+            st.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+            tc_trace::instant_with(
+                tc_trace::names::FRAME_CORRUPT,
+                tc_trace::Category::Comm,
+                || vec![("src", src.into()), ("bytes", frame.len().into())],
+            );
+            link.corrupt_evidence = true;
+            // Recover promptly: a damaged frame is hard evidence of a
+            // gap, no need to wait out a patience period.
+            link.nack_at.get_or_insert_with(Instant::now);
+            return;
+        };
+        if seq < link.next_seq {
+            st.dup_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if seq > link.next_seq {
+            if link.parked.insert(seq, (tag, payload)).is_some() {
+                st.dup_frames.fetch_add(1, Ordering::Relaxed);
+            } else {
+                st.reordered_frames.fetch_add(1, Ordering::Relaxed);
+                st.reorder_depth_max.fetch_max(link.parked.len() as u64, Ordering::Relaxed);
+                // Bounded memory: shed the newest frames beyond the
+                // cap; retransmission recovers them once the gap
+                // closes.
+                while link.parked.len() > REORDER_CAP {
+                    let last = *link.parked.keys().next_back().expect("non-empty");
+                    link.parked.remove(&last);
+                }
+            }
+            link.nack_at.get_or_insert_with(|| Instant::now() + transport.plan.nack_base());
+            return;
+        }
+        // In-order frame: accept it and drain the parked run behind it.
+        out.push(Packet { src, tag, data: payload });
+        link.next_seq += 1;
+        while let Some((tag, payload)) = link.parked.remove(&link.next_seq) {
+            out.push(Packet { src, tag, data: payload });
+            link.next_seq += 1;
+        }
+        link.attempts = 0;
+        link.nack_at = None;
+        link.corrupt_evidence = false;
+        transport.ack(src, rank, link.next_seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_known_answer() {
+        // The canonical CRC32c check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn crc_pair_matches_concatenation() {
+        let all = b"header and payload".to_vec();
+        assert_eq!(crc32c_pair(&all[..6], &all[6..]), crc32c(&all));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = Bytes::from((0u8..200).collect::<Vec<u8>>());
+        let f = encode_frame(7, 0x1234, &payload);
+        let (seq, tag, p) = decode_frame(&f).expect("valid frame");
+        assert_eq!((seq, tag), (7, 0x1234));
+        assert_eq!(p, payload);
+        // Zero-copy: the payload view aliases the frame allocation and
+        // stays 8-byte aligned for typed decoding.
+        assert_eq!(p.as_ptr() as usize, f.as_ptr() as usize + HEADER);
+        assert_eq!(p.as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = encode_frame(0, 1, &Bytes::new());
+        let (seq, tag, p) = decode_frame(&f).expect("valid frame");
+        assert_eq!((seq, tag, p.len()), (0, 1, 0));
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let f = encode_frame(3, 9, &Bytes::from(vec![5u8; 64]));
+        for keep in 0..f.len() {
+            let cut = Bytes::from(f.as_slice()[..keep].to_vec());
+            assert!(decode_frame(&cut).is_none(), "truncation to {keep} bytes undetected");
+        }
+    }
+
+    #[test]
+    fn every_single_bitflip_is_detected() {
+        let f = encode_frame(11, 42, &Bytes::from(vec![0xAB; 32]));
+        for bit in 0..f.len() * 8 {
+            let flipped = corrupt_frame(&f, Corruption::BitFlip(bit as u64));
+            assert!(decode_frame(&flipped).is_none(), "bit {bit} flip undetected");
+        }
+    }
+
+    #[test]
+    fn rx_reorders_dedups_and_acks() {
+        let plan = FaultPlan::new(0);
+        let transport = Transport::new(2, plan);
+        let mut rx = RxState::new(2);
+        let frame = |seq: u64| encode_frame(seq, 100 + seq, &Bytes::from(vec![seq as u8]));
+        let mut out = Vec::new();
+        // 2, 0, 2 (dup), 1 → released as 0, 1, 2 exactly once.
+        rx.ingest(&transport, 1, 0, &frame(2), &mut out);
+        rx.ingest(&transport, 1, 0, &frame(0), &mut out);
+        rx.ingest(&transport, 1, 0, &frame(2), &mut out);
+        rx.ingest(&transport, 1, 0, &frame(1), &mut out);
+        let tags: Vec<u64> = out.iter().map(|p| p.tag).collect();
+        assert_eq!(tags, vec![100, 101, 102]);
+        let st = transport.stats(1);
+        assert_eq!(st.dup_frames, 1);
+        assert_eq!(st.reordered_frames, 1);
+        assert_eq!(transport.acked[1 /* link 0→1 */].load(Ordering::Relaxed), 3);
+        assert!(!rx.link(0).has_gap_evidence());
+    }
+
+    #[test]
+    fn rx_parks_bounded() {
+        let transport = Transport::new(2, FaultPlan::new(0));
+        let mut rx = RxState::new(2);
+        let mut out = Vec::new();
+        for seq in 1..(REORDER_CAP as u64 + 40) {
+            let f = encode_frame(seq, seq, &Bytes::new());
+            rx.ingest(&transport, 1, 0, &f, &mut out);
+        }
+        assert!(out.is_empty(), "gap at 0 never closed");
+        assert!(rx.link(0).parked.len() <= REORDER_CAP);
+        assert!(rx.link(0).has_gap_evidence());
+    }
+
+    #[test]
+    fn corrupt_frame_flags_gap_evidence() {
+        let transport = Transport::new(2, FaultPlan::new(0));
+        let mut rx = RxState::new(2);
+        let mut out = Vec::new();
+        let f = encode_frame(0, 7, &Bytes::from(vec![1, 2, 3]));
+        rx.ingest(&transport, 1, 0, &corrupt_frame(&f, Corruption::BitFlip(13)), &mut out);
+        assert!(out.is_empty());
+        assert!(rx.link(0).has_gap_evidence());
+        assert_eq!(transport.stats(1).corrupt_frames, 1);
+        // The pristine retransmission still gets through.
+        rx.ingest(&transport, 1, 0, &f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!rx.link(0).has_gap_evidence());
+    }
+}

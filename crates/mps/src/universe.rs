@@ -20,16 +20,40 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::chaos::FaultPlan;
 use crate::comm::Comm;
 use crate::error::{MpsError, MpsResult};
 use crate::fabric::Fabric;
-use crate::stats::CommStats;
+use crate::reliable::Transport;
+use crate::stats::{CommStats, ReliabilityStats};
 
 /// Environment variable overriding the default receive deadline, in
 /// milliseconds.
 pub const RECV_TIMEOUT_ENV: &str = "MPS_RECV_TIMEOUT_MS";
 
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The one strict parser behind every `MPS_*` environment knob
+/// (`MPS_RECV_TIMEOUT_MS` and the whole `MPS_CHAOS_*` family):
+/// returns `None` when `name` is unset, the parsed value when it
+/// parses after trimming, and otherwise panics **loudly at universe
+/// construction**, naming the offending variable and echoing its value
+/// — a mistyped knob in CI must never masquerade as a configured one.
+pub(crate) fn strict_env<T: std::str::FromStr>(name: &str, what: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(v) => Some(v),
+            Err(e) => {
+                panic!("{name}={raw:?} is not a valid {what} ({e}); unset it or set a valid value")
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(e) => panic!("{name} is set but unreadable: {e}"),
+    }
+}
 
 /// Tunables of one universe.
 #[derive(Debug, Clone, Default)]
@@ -58,12 +82,18 @@ pub struct UniverseConfig {
     /// `SharedStats` the timeout diagnostics read, not a second set
     /// of increment sites.
     pub metrics: Option<tc_metrics::MetricsHandle>,
+    /// When set, the universe runs the reliable-delivery transport and
+    /// injects the plan's faults. `None` means "ask the environment":
+    /// any set `MPS_CHAOS_*` variable activates
+    /// [`FaultPlan::from_env`]; with none set, the universe runs the
+    /// pre-transport zero-overhead path.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl UniverseConfig {
     /// A config with an explicit receive deadline and no tracing.
     pub fn with_timeout(recv_timeout: Duration) -> Self {
-        Self { recv_timeout: Some(recv_timeout), trace: None, metrics: None }
+        Self { recv_timeout: Some(recv_timeout), ..Self::default() }
     }
 
     /// The effective receive deadline: the explicit value if set,
@@ -73,17 +103,16 @@ impl UniverseConfig {
         if let Some(t) = self.recv_timeout {
             return t;
         }
-        match std::env::var(RECV_TIMEOUT_ENV) {
-            Ok(raw) => match raw.trim().parse::<u64>() {
-                Ok(ms) => Duration::from_millis(ms),
-                Err(e) => panic!(
-                    "{RECV_TIMEOUT_ENV}={raw:?} is not a valid millisecond count ({e}); \
-                     unset it or set an unsigned integer"
-                ),
-            },
-            Err(std::env::VarError::NotPresent) => DEFAULT_RECV_TIMEOUT,
-            Err(e) => panic!("{RECV_TIMEOUT_ENV} is set but unreadable: {e}"),
-        }
+        strict_env::<u64>(RECV_TIMEOUT_ENV, "millisecond count")
+            .map_or(DEFAULT_RECV_TIMEOUT, Duration::from_millis)
+    }
+
+    /// The effective fault plan: the explicit value if set, otherwise
+    /// whatever the `MPS_CHAOS_*` environment family describes (which
+    /// must parse strictly — see [`FaultPlan::from_env`]), otherwise
+    /// none (transport off).
+    pub fn effective_chaos(&self) -> Option<FaultPlan> {
+        self.chaos.clone().or_else(FaultPlan::from_env)
     }
 }
 
@@ -153,7 +182,8 @@ impl Universe {
     {
         assert!(size > 0, "universe must have at least one rank");
         let timeout = config.effective_recv_timeout();
-        let fabric = Arc::new(Fabric::new(size, timeout, config.trace.clone()));
+        let transport = config.effective_chaos().map(|plan| Transport::new(size, plan));
+        let fabric = Arc::new(Fabric::new(size, timeout, config.trace.clone(), transport));
 
         let f = &f;
         let trace = &config.trace;
@@ -170,6 +200,9 @@ impl Universe {
                     let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                     let stats = comm.stats();
                     feed_comm_metrics(&stats, comm.collective_calls());
+                    if let Some(rel) = comm.reliability_stats() {
+                        feed_reliability_metrics(&rel);
+                    }
                     match out {
                         Ok(Ok(value)) => {
                             fabric.mark_finished(rank);
@@ -233,6 +266,30 @@ fn feed_comm_metrics(stats: &CommStats, collective_calls: u64) {
     tc_metrics::counter_add(m::MPS_COLLECTIVES, collective_calls);
 }
 
+/// Mirrors one rank's reliable-delivery counters into the live metrics
+/// registry. Only runs when a transport was live (a [`FaultPlan`] was
+/// installed); a clean universe records none of these, which the
+/// bench-baseline gate turns into a present-and-zero assertion via the
+/// registry's zero defaults.
+fn feed_reliability_metrics(rel: &ReliabilityStats) {
+    if !tc_metrics::enabled() {
+        return;
+    }
+    use tc_metrics::names as m;
+    tc_metrics::counter_add(m::MPS_REL_FRAMES_SENT, rel.frames_sent);
+    tc_metrics::counter_add(m::MPS_REL_RETRANSMITS, rel.retransmits);
+    tc_metrics::counter_add(m::MPS_REL_NACKS, rel.nacks);
+    tc_metrics::counter_add(m::MPS_REL_CORRUPT_FRAMES, rel.corrupt_frames);
+    tc_metrics::counter_add(m::MPS_REL_DUP_FRAMES, rel.dup_frames);
+    tc_metrics::counter_add(m::MPS_REL_REORDERED_FRAMES, rel.reordered_frames);
+    tc_metrics::counter_add(m::MPS_REL_REORDER_DEPTH_MAX, rel.reorder_depth_max);
+    tc_metrics::counter_add(m::MPS_REL_INJECTED_DROPS, rel.injected_drops);
+    tc_metrics::counter_add(m::MPS_REL_INJECTED_DUPS, rel.injected_dups);
+    tc_metrics::counter_add(m::MPS_REL_INJECTED_REORDERS, rel.injected_reorders);
+    tc_metrics::counter_add(m::MPS_REL_INJECTED_DELAYS, rel.injected_delays);
+    tc_metrics::counter_add(m::MPS_REL_INJECTED_CORRUPTIONS, rel.injected_corruptions);
+}
+
 /// Bundle of the observability handles an instrumented entry point
 /// accepts: the `*_observed` variants across `tc-core` and
 /// `tc-baselines` take one `Observe` instead of growing a parameter
@@ -243,6 +300,9 @@ pub struct Observe<'a> {
     pub trace: Option<&'a tc_trace::TraceHandle>,
     /// Metrics session to bind rank threads to, if any.
     pub metrics: Option<&'a tc_metrics::MetricsHandle>,
+    /// Fault plan to run the universe under, if any (activates the
+    /// reliable-delivery transport).
+    pub chaos: Option<&'a FaultPlan>,
 }
 
 impl<'a> Observe<'a> {
@@ -253,7 +313,7 @@ impl<'a> Observe<'a> {
 
     /// Trace-only observation (the pre-metrics `*_traced` contract).
     pub fn trace(trace: Option<&'a tc_trace::TraceHandle>) -> Self {
-        Self { trace, metrics: None }
+        Self { trace, ..Self::default() }
     }
 
     /// A [`UniverseConfig`] carrying these handles (default deadline).
@@ -262,6 +322,7 @@ impl<'a> Observe<'a> {
             recv_timeout: None,
             trace: self.trace.cloned(),
             metrics: self.metrics.cloned(),
+            chaos: self.chaos.cloned(),
         }
     }
 }
@@ -465,8 +526,7 @@ mod tests {
     #[test]
     fn metrics_feed_mirrors_comm_stats_exactly() {
         let session = tc_metrics::MetricsSession::begin();
-        let cfg =
-            UniverseConfig { recv_timeout: None, trace: None, metrics: Some(session.handle()) };
+        let cfg = UniverseConfig { metrics: Some(session.handle()), ..UniverseConfig::default() };
         let (_, stats) = Universe::try_run_config(4, &cfg, |c| {
             let next = (c.rank() + 1) % c.size();
             let prev = (c.rank() + c.size() - 1) % c.size();
@@ -498,7 +558,7 @@ mod tests {
     fn observe_bundle_builds_matching_config() {
         let session = tc_metrics::MetricsSession::begin();
         let handle = session.handle();
-        let obs = Observe { trace: None, metrics: Some(&handle) };
+        let obs = Observe { metrics: Some(&handle), ..Observe::none() };
         let cfg = obs.to_config();
         assert!(cfg.metrics.is_some());
         assert!(cfg.trace.is_none());
