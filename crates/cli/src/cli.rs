@@ -84,6 +84,37 @@ pub enum Command {
         /// reliable-delivery transport masks the chaos.
         chaos: Option<u64>,
     },
+    /// Run as one rank of a multi-process socket universe.
+    ServeRank {
+        /// Where the graph comes from (must be identical across all
+        /// participating processes).
+        input: Input,
+        /// This process's rank; `None` falls back to `MPS_FABRIC_RANK`.
+        rank: Option<usize>,
+        /// Comma-separated endpoint list, one per rank in rank order;
+        /// `None` falls back to `MPS_FABRIC_PEERS`.
+        peers: Option<String>,
+        /// Launch epoch for the handshake; `None` falls back to
+        /// `MPS_FABRIC_EPOCH` (default 0).
+        epoch: Option<u64>,
+        /// Algorithm selection (only `2d` and `summa` are distributed
+        /// over sockets).
+        algorithm: Algorithm,
+        /// SUMMA grid (when `algorithm == Summa`).
+        grid: Option<(usize, usize)>,
+        /// Optimization configuration.
+        config: TcConfig,
+        /// Generator seed for preset inputs.
+        seed: u64,
+        /// Chaos seed: injects a deterministic uniform fault plan into
+        /// the socket wire layer.
+        chaos: Option<u64>,
+        /// When set, write this rank's metrics snapshot here.
+        metrics: Option<PathBuf>,
+        /// When set, record this rank's execution trace (including the
+        /// fabric connect/handshake spans) as Chrome trace-event JSON.
+        trace: Option<PathBuf>,
+    },
     /// Generate a preset and write it to a file.
     Generate {
         /// The preset to build.
@@ -133,6 +164,11 @@ USAGE:
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
                   [--no-early-break] [--no-overlap] [--trace FILE] [--metrics FILE]
                   [--chaos SEED]
+  tricount serve-rank <FILE|PRESET> [--rank N --peers EP0,EP1,...] [--epoch E]
+                  [--algorithm 2d|summa] [--grid RxC] [--seed S] [--chaos SEED]
+                  [--metrics FILE] [--trace FILE] [--enumeration jik|ijk]
+                  [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
+                  [--no-overlap]
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
@@ -154,6 +190,14 @@ fabric (a seeded, deterministic fault plan injecting delays, drops,
 duplicates, reorders, truncations, and bit-flips on every link); the
 reliable-delivery transport must still produce the exact count. The
 MPS_CHAOS_* environment family configures finer-grained plans.
+serve-rank runs this process as ONE rank of a multi-process universe
+over Unix-domain or TCP sockets: every rank is its own OS process,
+started with the same input and flags. Endpoints are Unix socket paths
+(contain '/' or use a 'unix:' prefix) or TCP host:port pairs; rank r
+listens on the r-th entry. --rank/--peers/--epoch fall back to the
+MPS_FABRIC_RANK / MPS_FABRIC_PEERS / MPS_FABRIC_EPOCH environment
+variables. All application traffic crosses the reliable transport
+(framed, checksummed, NACK/retransmit) on this backend.
 benchdiff compares tc-run-v1 reports produced by the bench binaries'
 --json flag; exit 0 = pass, 1 = regression, 2 = usage/parse error.
 
@@ -207,6 +251,109 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Truss { input, ranks, seed })
         }
         "benchdiff" => Ok(Command::BenchDiff { args: it.cloned().collect() }),
+        "serve-rank" => {
+            let input = parse_input(it.next().ok_or("serve-rank needs an input")?);
+            let mut rank = None;
+            let mut peers = None;
+            let mut epoch = None;
+            let mut algorithm = Algorithm::TwoD;
+            let mut grid = None;
+            let mut config = TcConfig::paper();
+            let mut seed = tc_gen::DEFAULT_SEED;
+            let mut chaos = None;
+            let mut metrics = None;
+            let mut trace = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--rank" => {
+                        rank = Some(
+                            it.next()
+                                .ok_or("--rank needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad rank: {e}"))?,
+                        );
+                    }
+                    "--peers" => peers = Some(it.next().ok_or("--peers needs a list")?.clone()),
+                    "--epoch" => {
+                        epoch = Some(
+                            it.next()
+                                .ok_or("--epoch needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad epoch: {e}"))?,
+                        );
+                    }
+                    "--algorithm" => {
+                        algorithm =
+                            Algorithm::parse(it.next().ok_or("--algorithm needs a value")?)?;
+                    }
+                    "--grid" => {
+                        let v = it.next().ok_or("--grid needs RxC")?;
+                        let (r, c) = v.split_once('x').ok_or("grid must look like 3x4")?;
+                        grid = Some((
+                            r.parse().map_err(|e| format!("bad grid rows: {e}"))?,
+                            c.parse().map_err(|e| format!("bad grid cols: {e}"))?,
+                        ));
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    "--chaos" => {
+                        chaos = Some(
+                            it.next()
+                                .ok_or("--chaos needs a seed")?
+                                .parse()
+                                .map_err(|e| format!("bad chaos seed: {e}"))?,
+                        );
+                    }
+                    "--metrics" => {
+                        metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?))
+                    }
+                    "--trace" => {
+                        trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?))
+                    }
+                    "--enumeration" => {
+                        config.enumeration =
+                            match it.next().ok_or("--enumeration needs a value")?.as_str() {
+                                "jik" => Enumeration::Jik,
+                                "ijk" => Enumeration::Ijk,
+                                other => return Err(format!("unknown enumeration {other:?}")),
+                            };
+                    }
+                    "--no-doubly-sparse" => config.doubly_sparse = false,
+                    "--no-direct-hash" => config.direct_hash = false,
+                    "--no-early-break" => config.reverse_early_break = false,
+                    "--no-overlap" => config.overlap_shifts = false,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if rank.is_some() != peers.is_some() {
+                return Err("serve-rank needs both --rank and --peers (or neither, with the \
+                            MPS_FABRIC_* environment set)"
+                    .into());
+            }
+            if !matches!(algorithm, Algorithm::TwoD | Algorithm::Summa) {
+                return Err("serve-rank supports only the socket-distributed algorithms \
+                            (2d, summa)"
+                    .into());
+            }
+            Ok(Command::ServeRank {
+                input,
+                rank,
+                peers,
+                epoch,
+                algorithm,
+                grid,
+                config,
+                seed,
+                chaos,
+                metrics,
+                trace,
+            })
+        }
         "tracecheck" => {
             let file = PathBuf::from(it.next().ok_or("tracecheck needs a trace file")?);
             if let Some(extra) = it.next() {
@@ -491,6 +638,58 @@ mod tests {
         assert!(p(&["count", "g500-s8", "--algorithm", "serial", "--chaos", "1"]).is_err());
         assert!(p(&["count", "g500-s8", "--chaos"]).is_err());
         assert!(p(&["count", "g500-s8", "--chaos", "soon"]).is_err());
+    }
+
+    #[test]
+    fn serve_rank_parses() {
+        match p(&[
+            "serve-rank",
+            "g500-s6",
+            "--rank",
+            "3",
+            "--peers",
+            "/tmp/a,/tmp/b,/tmp/c,/tmp/d",
+            "--epoch",
+            "5",
+            "--chaos",
+            "42",
+            "--trace",
+            "/tmp/r3.trace.json",
+        ])
+        .unwrap()
+        {
+            Command::ServeRank { rank, peers, epoch, algorithm, chaos, trace, .. } => {
+                assert_eq!(rank, Some(3));
+                assert_eq!(peers.as_deref(), Some("/tmp/a,/tmp/b,/tmp/c,/tmp/d"));
+                assert_eq!(epoch, Some(5));
+                assert_eq!(algorithm, Algorithm::TwoD);
+                assert_eq!(chaos, Some(42));
+                assert_eq!(trace, Some(PathBuf::from("/tmp/r3.trace.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rank_env_fallback_needs_neither_flag() {
+        // Neither --rank nor --peers: deferred to the MPS_FABRIC_* env.
+        match p(&["serve-rank", "g500-s6"]).unwrap() {
+            Command::ServeRank { rank, peers, .. } => {
+                assert_eq!(rank, None);
+                assert_eq!(peers, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // One without the other is a usage error.
+        assert!(p(&["serve-rank", "g500-s6", "--rank", "0"]).is_err());
+        assert!(p(&["serve-rank", "g500-s6", "--peers", "/tmp/a"]).is_err());
+    }
+
+    #[test]
+    fn serve_rank_rejects_local_algorithms() {
+        assert!(p(&["serve-rank", "g500-s6", "--algorithm", "serial"]).is_err());
+        assert!(p(&["serve-rank", "g500-s6", "--algorithm", "aop"]).is_err());
+        assert!(p(&["serve-rank", "g500-s6", "--algorithm", "summa", "--grid", "2x3"]).is_ok());
     }
 
     #[test]

@@ -237,6 +237,123 @@ fn run(cmd: Command) -> Result<(), AppError> {
             }
             Ok(())
         }
+        Command::ServeRank {
+            input,
+            rank,
+            peers,
+            epoch,
+            algorithm,
+            grid,
+            config,
+            seed,
+            chaos,
+            metrics,
+            trace,
+        } => {
+            let el = load(&input, seed)?;
+            // Flags win; otherwise the MPS_FABRIC_* environment names
+            // this process's place in the mesh.
+            let mut sock = match (rank, peers) {
+                (Some(rank), Some(peers)) => {
+                    let peers: Vec<String> = peers
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if rank >= peers.len() {
+                        return Err(AppError::Run(format!(
+                            "--rank {rank} is out of range of the {} endpoints in --peers",
+                            peers.len()
+                        )));
+                    }
+                    let mut sock = tc_mps::SocketConfig::new(rank, peers);
+                    sock.epoch = epoch.unwrap_or(0);
+                    sock
+                }
+                _ => {
+                    let mut sock = tc_mps::SocketConfig::from_env().ok_or_else(|| {
+                        AppError::Run(format!(
+                            "serve-rank needs --rank/--peers or the {}/{} environment",
+                            tc_mps::FABRIC_RANK_ENV,
+                            tc_mps::FABRIC_PEERS_ENV
+                        ))
+                    })?;
+                    if let Some(e) = epoch {
+                        sock.epoch = e;
+                    }
+                    sock
+                }
+            };
+            let p = sock.peers.len();
+            eprintln!(
+                "# rank {}/{p}: {} vertices, {} edges",
+                sock.rank,
+                el.num_vertices,
+                el.num_edges()
+            );
+            let msession = metrics.as_ref().map(|_| tc_metrics::MetricsSession::begin());
+            sock.universe.metrics = msession.as_ref().map(|s| s.handle());
+            let tsession = trace.as_ref().map(|_| tc_trace::TraceSession::begin());
+            sock.universe.trace = tsession.as_ref().map(|s| s.handle());
+            if let Some(cseed) = chaos {
+                eprintln!("# chaos: seed {cseed}, uniform p={CHAOS_P} on every link");
+                sock.universe.chaos = Some(
+                    tc_mps::FaultPlan::new(cseed)
+                        .with_default(tc_mps::LinkFaults::uniform(CHAOS_P)),
+                );
+            }
+            let t0 = Instant::now();
+            let triangles = match algorithm {
+                Algorithm::TwoD => {
+                    let (t, m) = tc_core::try_count_triangles_socket(&el, &config, &sock)
+                        .map_err(|e| e.to_string())?;
+                    println!("preprocessing : {:.3?}", m.ppt);
+                    println!("counting      : {:.3?}", m.tct);
+                    println!("tasks         : {}", m.tasks);
+                    println!("bytes sent    : {}", m.bytes_sent);
+                    t
+                }
+                Algorithm::Summa => {
+                    let g = grid.map(cli::summa_grid).unwrap_or_else(|| {
+                        // Same near-square derivation as `count`.
+                        let r = (p as f64).sqrt() as usize;
+                        let r = (1..=r.max(1)).rev().find(|d| p % d == 0).unwrap_or(1);
+                        cli::summa_grid((r, p / r))
+                    });
+                    let (t, m) = tc_core::try_count_triangles_summa_socket(&el, g, &config, &sock)
+                        .map_err(|e| e.to_string())?;
+                    println!("grid          : {}x{} ({} panels)", g.pr, g.pc, g.panels);
+                    println!("preprocessing : {:.3?}", m.ppt);
+                    println!("counting      : {:.3?}", m.tct);
+                    t
+                }
+                _ => unreachable!("parser admits only socket-distributed algorithms"),
+            };
+            println!("rank          : {}/{p}", sock.rank);
+            println!("total time    : {:.3?}", t0.elapsed());
+            println!("triangles     : {triangles}");
+            if let (Some(session), Some(path)) = (msession, &metrics) {
+                let snap = session.finish();
+                std::fs::write(path, format!("{}\n", snap.to_json()))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!("# metrics: rank {} -> {}", sock.rank, path.display());
+            }
+            if let (Some(session), Some(path)) = (tsession, &trace) {
+                // One lane: this process's rank (fabric connect and
+                // handshake spans included).
+                let tr = session.finish();
+                tc_trace::chrome::write_chrome_json(&tr, path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                eprintln!(
+                    "# trace: rank {}, {} events ({} dropped) -> {}",
+                    sock.rank,
+                    tr.events.len(),
+                    tr.dropped,
+                    path.display()
+                );
+            }
+            Ok(())
+        }
         Command::BenchDiff { args } => {
             std::process::exit(tc_metrics::diff::cli_main(&args));
         }

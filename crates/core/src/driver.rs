@@ -10,12 +10,92 @@
 //! substrate guarantees every rank is woken and joined on failure.
 
 use tc_graph::{Csr, EdgeList};
-use tc_mps::{MpsResult, Observe, Universe};
+use tc_mps::{Comm, MpsResult, Observe, SocketConfig, Universe};
 use tc_trace::{names, TraceHandle};
 
 use crate::config::TcConfig;
 use crate::metrics::{CommPhase, RankMetrics, TcResult};
 use crate::preprocess::preprocess;
+
+/// The per-rank body of the aggregate-count pipeline. Both fabric
+/// backends run this exact function — an in-process rank thread and a
+/// socket-mesh rank process are indistinguishable from here, which is
+/// what makes the backend-conformance guarantee checkable.
+fn count_rank(comm: &Comm, global: &Csr, cfg: &TcConfig) -> MpsResult<(u64, RankMetrics)> {
+    let mut metrics = RankMetrics::default();
+
+    // ---- preprocessing phase ("ppt") ----
+    let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
+    let prep = preprocess(comm, global, cfg)?;
+    metrics.finish_ppt(phase.finish()?, prep.ops);
+
+    // ---- triangle counting phase ("tct") ----
+    let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
+    let out = crate::cannon::cannon_count(comm, prep, cfg)?;
+    metrics.finish_tct(phase.finish()?);
+
+    metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+    metrics.record_shift_compute(out.shift_compute);
+    Ok((out.triangles, metrics))
+}
+
+/// The per-rank body of the per-edge pipeline: aggregate count plus
+/// per-task edge supports, gathered and translated on rank 0 (which is
+/// the only rank whose `Option` comes back `Some`).
+fn per_edge_rank(
+    comm: &Comm,
+    global: &Csr,
+    cfg: &TcConfig,
+) -> MpsResult<(u64, RankMetrics, Option<Vec<EdgeSupport>>)> {
+    let n = global.num_vertices();
+    let mut metrics = RankMetrics::default();
+
+    let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
+    let prep = preprocess(comm, global, cfg)?;
+    let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
+    metrics.finish_ppt(phase.finish()?, prep.ops);
+
+    let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
+    let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
+    metrics.finish_tct(phase.finish()?);
+
+    metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+    metrics.record_shift_compute(out.shift_compute);
+
+    // Gather label maps and per-task supports on rank 0 for the
+    // translation back to input ids.
+    let triples: Vec<[u32; 3]> = out
+        .per_edge
+        .expect("per-edge collection was requested")
+        .into_iter()
+        .map(|(a, b, s)| {
+            debug_assert!(s <= u32::MAX as u64, "support exceeds u32");
+            [a, b, s as u32]
+        })
+        .collect();
+    let labels_at_root = comm.gatherv(0, &label_pairs)?;
+    let triples_at_root = comm.gatherv(0, &triples)?;
+
+    let supports = labels_at_root.map(|labels| {
+        let mut old_of_new = vec![0u32; n];
+        for msg in labels {
+            for [old, new] in msg {
+                old_of_new[new as usize] = old;
+            }
+        }
+        let mut edges = Vec::new();
+        for msg in triples_at_root.expect("root gathers both") {
+            for [a, b, s] in msg {
+                let (ou, ov) = (old_of_new[a as usize], old_of_new[b as usize]);
+                let (u, v) = (ou.min(ov), ou.max(ov));
+                edges.push(EdgeSupport { u, v, support: s as u64 });
+            }
+        }
+        edges.sort_unstable_by_key(|e| (e.u, e.v));
+        edges
+    });
+    Ok((out.triangles, metrics, supports))
+}
 
 /// Counts the triangles of `el` on `p` ranks with the 2D algorithm.
 ///
@@ -68,23 +148,8 @@ pub fn try_count_triangles_observed(
     // input; each rank only reads its own 1D block of rows.
     let global = Csr::from_edge_list(el);
 
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
-        let mut metrics = RankMetrics::default();
-
-        // ---- preprocessing phase ("ppt") ----
-        let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
-        let prep = preprocess(comm, &global, cfg)?;
-        metrics.finish_ppt(phase.finish()?, prep.ops);
-
-        // ---- triangle counting phase ("tct") ----
-        let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
-        let out = crate::cannon::cannon_count(comm, prep, cfg)?;
-        metrics.finish_tct(phase.finish()?);
-
-        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
-        metrics.record_shift_compute(out.shift_compute);
-        Ok((out.triangles, metrics))
-    })?;
+    let (rank_outs, comm_stats) =
+        Universe::try_run_config(p, &obs.to_config(), |comm| count_rank(comm, &global, cfg))?;
 
     let mut ranks = Vec::with_capacity(p);
     let triangles = rank_outs[0].0;
@@ -94,6 +159,48 @@ pub fn try_count_triangles_observed(
         ranks.push(m);
     }
     Ok(TcResult { triangles, num_ranks: p, ranks })
+}
+
+/// Counts triangles as **one rank of a multi-process universe**: this
+/// process joins the socket mesh described by `sock` and runs exactly
+/// the per-rank pipeline of [`try_count_triangles`] over it.
+///
+/// Every participating process must be launched with the same graph
+/// and config — the input is read locally, standing in for the paper's
+/// pre-placed on-disk distribution. Returns the globally reduced
+/// triangle count (identical on every rank) and this rank's metrics;
+/// cross-rank aggregation is the launcher's job.
+pub fn try_count_triangles_socket(
+    el: &EdgeList,
+    cfg: &TcConfig,
+    sock: &SocketConfig,
+) -> MpsResult<(u64, RankMetrics)> {
+    let p = sock.peers.len();
+    assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    let global = Csr::from_edge_list(el);
+    let ((triangles, mut metrics), stats) =
+        Universe::try_run_socket(sock, |comm| count_rank(comm, &global, cfg))?;
+    metrics.bytes_sent = stats.bytes_sent;
+    Ok((triangles, metrics))
+}
+
+/// Per-edge variant of [`try_count_triangles_socket`]: the support
+/// list comes back `Some` only on rank 0 (which gathers and translates
+/// it), mirroring the in-process pipeline's root-side aggregation.
+pub fn try_count_per_edge_socket(
+    el: &EdgeList,
+    cfg: &TcConfig,
+    sock: &SocketConfig,
+) -> MpsResult<(u64, RankMetrics, Option<Vec<EdgeSupport>>)> {
+    let p = sock.peers.len();
+    assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    let global = Csr::from_edge_list(el);
+    let ((triangles, mut metrics, supports), stats) =
+        Universe::try_run_socket(sock, |comm| per_edge_rank(comm, &global, cfg))?;
+    metrics.bytes_sent = stats.bytes_sent;
+    Ok((triangles, metrics, supports))
 }
 
 /// Convenience wrapper with the paper's default configuration.
@@ -155,57 +262,9 @@ pub fn try_count_per_edge_observed(
     assert!(tc_mps::perfect_square_side(p).is_some(), "rank count {p} is not a perfect square");
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let global = Csr::from_edge_list(el);
-    let n = global.num_vertices();
 
-    let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
-        let mut metrics = RankMetrics::default();
-
-        let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
-        let prep = preprocess(comm, &global, cfg)?;
-        let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
-        metrics.finish_ppt(phase.finish()?, prep.ops);
-
-        let phase = CommPhase::begin(comm, names::PHASE_TCT)?;
-        let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
-        metrics.finish_tct(phase.finish()?);
-
-        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
-        metrics.record_shift_compute(out.shift_compute);
-
-        // Gather label maps and per-task supports on rank 0 for the
-        // translation back to input ids.
-        let triples: Vec<[u32; 3]> = out
-            .per_edge
-            .expect("per-edge collection was requested")
-            .into_iter()
-            .map(|(a, b, s)| {
-                debug_assert!(s <= u32::MAX as u64, "support exceeds u32");
-                [a, b, s as u32]
-            })
-            .collect();
-        let labels_at_root = comm.gatherv(0, &label_pairs)?;
-        let triples_at_root = comm.gatherv(0, &triples)?;
-
-        let supports = labels_at_root.map(|labels| {
-            let mut old_of_new = vec![0u32; n];
-            for msg in labels {
-                for [old, new] in msg {
-                    old_of_new[new as usize] = old;
-                }
-            }
-            let mut edges = Vec::new();
-            for msg in triples_at_root.expect("root gathers both") {
-                for [a, b, s] in msg {
-                    let (ou, ov) = (old_of_new[a as usize], old_of_new[b as usize]);
-                    let (u, v) = (ou.min(ov), ou.max(ov));
-                    edges.push(EdgeSupport { u, v, support: s as u64 });
-                }
-            }
-            edges.sort_unstable_by_key(|e| (e.u, e.v));
-            edges
-        });
-        Ok((out.triangles, metrics, supports))
-    })?;
+    let (rank_outs, comm_stats) =
+        Universe::try_run_config(p, &obs.to_config(), |comm| per_edge_rank(comm, &global, cfg))?;
 
     let mut ranks = Vec::with_capacity(p);
     let triangles = rank_outs[0].0;

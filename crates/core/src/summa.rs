@@ -20,7 +20,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use tc_graph::{Csr, EdgeList};
 use tc_metrics::{names as mnames, MemScope};
-use tc_mps::{Comm, MpsResult, Observe, RecvRequest, Universe};
+use tc_mps::{Comm, MpsResult, Observe, RecvRequest, SocketConfig, Universe};
 
 use crate::blocks::{SparseBlock, SparseBlockRef};
 use crate::config::{Enumeration, TcConfig};
@@ -224,15 +224,61 @@ pub fn try_count_triangles_summa_observed(
     assert!(el.is_simple(), "input must be a simplified undirected graph");
     let p = grid.size();
     let global = Csr::from_edge_list(el);
-    let n = global.num_vertices();
 
     let (rank_outs, comm_stats) = Universe::try_run_config(p, &obs.to_config(), |comm| {
+        summa_rank(comm, &grid, &global, cfg)
+    })?;
+
+    let triangles = rank_outs[0].0;
+    let mut ranks = Vec::with_capacity(p);
+    for ((t, mut m), cs) in rank_outs.into_iter().zip(comm_stats) {
+        assert_eq!(t, triangles, "ranks disagree on the reduced count");
+        m.bytes_sent = cs.bytes_sent;
+        ranks.push(m);
+    }
+    Ok(TcResult { triangles, num_ranks: p, ranks })
+}
+
+/// SUMMA counting as one rank of a multi-process socket universe: the
+/// grid must satisfy `grid.size() == sock.peers.len()`, and every
+/// process must be launched with the same graph, grid, and config.
+/// Returns the reduced triangle count and this rank's metrics.
+pub fn try_count_triangles_summa_socket(
+    el: &EdgeList,
+    grid: SummaGrid,
+    cfg: &TcConfig,
+    sock: &SocketConfig,
+) -> MpsResult<(u64, RankMetrics)> {
+    assert!(el.is_simple(), "input must be a simplified undirected graph");
+    assert_eq!(
+        grid.size(),
+        sock.peers.len(),
+        "grid geometry and socket peer list disagree on the rank count"
+    );
+    let global = Csr::from_edge_list(el);
+    let ((triangles, mut metrics), stats) =
+        Universe::try_run_socket(sock, |comm| summa_rank(comm, &grid, &global, cfg))?;
+    metrics.bytes_sent = stats.bytes_sent;
+    Ok((triangles, metrics))
+}
+
+/// The per-rank body of the SUMMA pipeline, shared by the in-process
+/// and socket entry points (see [`crate::driver`]'s rank-body note).
+fn summa_rank(
+    comm: &Comm,
+    grid: &SummaGrid,
+    global: &Csr,
+    cfg: &TcConfig,
+) -> MpsResult<(u64, RankMetrics)> {
+    let p = grid.size();
+    let n = global.num_vertices();
+    {
         let mut metrics = RankMetrics::default();
         let (x, y) = grid.coords(comm.rank());
 
         // ---- preprocessing ----
         let phase = CommPhase::begin(comm, tc_trace::names::PHASE_PPT)?;
-        let relabeled = relabel_phase(comm, &global)?;
+        let relabeled = relabel_phase(comm, global)?;
         let mut ops = relabeled.ops;
 
         // Route every upper entry to its task cell, U-panel owner, and
@@ -330,7 +376,7 @@ pub fn try_count_triangles_summa_observed(
                         .arg("z", 0u64);
                 let (pu, pl) = start_panel_step(
                     comm,
-                    &grid,
+                    grid,
                     x,
                     y,
                     &row_members,
@@ -346,7 +392,7 @@ pub fn try_count_triangles_summa_observed(
                 let next = (w + 1 < grid.panels).then(|| {
                     let step = start_panel_step(
                         comm,
-                        &grid,
+                        grid,
                         x,
                         y,
                         &row_members,
@@ -454,16 +500,7 @@ pub fn try_count_triangles_summa_observed(
         metrics.record_kernel(&map.stats, tasks, local);
         metrics.record_shift_compute(shift_compute);
         Ok((triangles, metrics))
-    })?;
-
-    let triangles = rank_outs[0].0;
-    let mut ranks = Vec::with_capacity(p);
-    for ((t, mut m), cs) in rank_outs.into_iter().zip(comm_stats) {
-        assert_eq!(t, triangles, "ranks disagree on the reduced count");
-        m.bytes_sent = cs.bytes_sent;
-        ranks.push(m);
     }
-    Ok(TcResult { triangles, num_ranks: p, ranks })
 }
 
 #[cfg(test)]

@@ -69,6 +69,7 @@ pub mod names {
     pub const MPS_REL_INJECTED_REORDERS: &str = "mps.rel.injected_reorders";
     pub const MPS_REL_INJECTED_DELAYS: &str = "mps.rel.injected_delays";
     pub const MPS_REL_INJECTED_CORRUPTIONS: &str = "mps.rel.injected_corruptions";
+    pub const MPS_REL_REORDER_EVICTED: &str = "mps.rel.reorder_evicted";
 
     /// Every reliable-delivery counter. Benchmark records default each
     /// of these to zero so a clean (chaos-off) run *proves* the
@@ -87,7 +88,20 @@ pub mod names {
         MPS_REL_INJECTED_REORDERS,
         MPS_REL_INJECTED_DELAYS,
         MPS_REL_INJECTED_CORRUPTIONS,
+        MPS_REL_REORDER_EVICTED,
     ];
+
+    // Socket fabric wire counters (fed by `tc_mps` only on the
+    // multi-process socket backend; zero/absent on in-process runs).
+    pub const MPS_FABRIC_CONNECTS: &str = "mps.fabric.connects";
+    pub const MPS_FABRIC_ACCEPTS: &str = "mps.fabric.accepts";
+    pub const MPS_FABRIC_HANDSHAKES: &str = "mps.fabric.handshakes";
+    pub const MPS_FABRIC_WIRE_MSGS_SENT: &str = "mps.fabric.wire_msgs_sent";
+    pub const MPS_FABRIC_WIRE_BYTES_SENT: &str = "mps.fabric.wire_bytes_sent";
+    pub const MPS_FABRIC_WIRE_MSGS_RECV: &str = "mps.fabric.wire_msgs_recv";
+    pub const MPS_FABRIC_WIRE_BYTES_RECV: &str = "mps.fabric.wire_bytes_recv";
+    pub const MPS_FABRIC_ACKS_SENT: &str = "mps.fabric.acks_sent";
+    pub const MPS_FABRIC_NACKS_SENT: &str = "mps.fabric.nacks_sent";
 
     // Phase timings (per rank, nanoseconds).
     pub const PPT_WALL_NS: &str = "ppt.wall_ns";

@@ -24,9 +24,9 @@ use bytes::Bytes;
 
 use crate::chaos;
 use crate::error::{MpsError, MpsResult};
-use crate::fabric::{AwaitOutcome, BlockedOp, Fabric, Packet};
+use crate::fabric::{AwaitOutcome, BlockedOp, Fabric, Packet, Recovery};
 use crate::pod::{bytes_of, Pod, PodArray};
-use crate::reliable::{RxState, TRANSPORT_TAG};
+use crate::reliable::{RxState, TRANSPORT_NOTHING_TAG, TRANSPORT_TAG};
 use crate::stats::{CommStats, ReliabilityStats, Timings};
 
 /// Highest bit reserved for internal (collective) traffic; user tags
@@ -76,7 +76,7 @@ fn describe_coll(tag: u64) -> String {
 pub struct Comm {
     rank: usize,
     size: usize,
-    fabric: Arc<Fabric>,
+    fabric: Arc<dyn Fabric>,
     /// Messages received from `s` whose tag didn't match a recv call.
     pending: Vec<RefCell<VecDeque<Packet>>>,
     /// Reliable-delivery receive state (sequence tracking, reorder
@@ -92,7 +92,8 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, size: usize, fabric: Arc<Fabric>) -> Self {
+    pub(crate) fn new(rank: usize, size: usize, fabric: Arc<dyn Fabric>) -> Self {
+        debug_assert_eq!(size, fabric.size(), "communicator and fabric disagree on universe size");
         let pending = (0..size).map(|_| RefCell::new(VecDeque::new())).collect();
         let rx = fabric.transport().map(|_| RefCell::new(RxState::new(size)));
         Self {
@@ -116,9 +117,16 @@ impl Comm {
         self.size
     }
 
+    /// Which fabric backend carries this communicator's traffic:
+    /// `"local"` (threads in one process) or `"socket"` (one process
+    /// per rank over Unix-domain/TCP sockets).
+    pub fn backend(&self) -> &'static str {
+        self.fabric.backend()
+    }
+
     /// Snapshot of the communication counters so far.
     pub fn stats(&self) -> CommStats {
-        self.fabric.stats[self.rank].snapshot()
+        self.fabric.shared_stats(self.rank).snapshot()
     }
 
     /// Snapshot of this rank's reliable-delivery counters, or `None`
@@ -158,16 +166,11 @@ impl Comm {
                 vec![("dst", dst.into()), ("tag", tag.into()), ("bytes", nbytes.into())]
             });
         }
-        // One relaxed atomic load gates the chaos path: with no
-        // transport live anywhere in the process this compiles down to
-        // the pre-transport send, allocation-free in steady state.
-        if chaos::chaos_possible() && self.fabric.transport().is_some() {
-            let t = self.fabric.transport().expect("just checked");
-            t.send(&self.fabric, self.rank, dst, tag, data);
-        } else {
-            self.fabric.deliver(dst, Packet { src: self.rank, tag, data });
-        }
-        let st = &self.fabric.stats[self.rank];
+        // The backend decides how the payload travels: the in-process
+        // fabric is a mailbox push (framed only under chaos), the
+        // socket fabric always frames onto the wire.
+        self.fabric.send(self.rank, dst, tag, data);
+        let st = self.fabric.shared_stats(self.rank);
         st.bytes_sent.fetch_add(nbytes, std::sync::atomic::Ordering::Relaxed);
         st.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         st.send_ns.fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -236,7 +239,7 @@ impl Comm {
         }
 
         self.fabric.set_blocked(self.rank, Some(BlockedOp { src, tag, op, since: t0 }));
-        let outcome = self.fabric.await_match(self.rank, src, |queue| {
+        let outcome = self.fabric.await_match(self.rank, src, &mut |queue| {
             // Drain the mailbox into the per-source pending queues,
             // stopping if the wanted packet shows up.
             while let Some(pkt) = queue.pop_front() {
@@ -320,10 +323,13 @@ impl Comm {
         let deadline = t0 + self.fabric.timeout();
         let result = loop {
             let slice = self.arm_recovery(src);
-            let outcome =
-                self.fabric.await_match_until(self.rank, src, deadline, Some(slice), |queue| {
-                    self.match_reliable(queue, src, tag)
-                });
+            let outcome = self.fabric.await_match_until(
+                self.rank,
+                src,
+                deadline,
+                Some(slice),
+                &mut |queue| self.match_reliable(queue, src, tag),
+            );
             match outcome {
                 AwaitOutcome::Matched(Ok(pkt)) => {
                     self.note_recv(&pkt, t0);
@@ -392,7 +398,31 @@ impl Comm {
             let Some(pkt) = queue.pop_front() else { break };
             released.clear();
             if pkt.tag == TRANSPORT_TAG {
-                rx.ingest(transport, self.rank, pkt.src, &pkt.data, &mut released);
+                let (psrc, rank) = (pkt.src, self.rank);
+                rx.ingest(
+                    transport,
+                    rank,
+                    psrc,
+                    &pkt.data,
+                    &mut released,
+                    // Progress publication goes through the fabric: a
+                    // shared-memory store in-process, an ACK message on
+                    // the wire for a remote sender.
+                    &mut |next_seq| self.fabric.publish_ack(psrc, rank, next_seq),
+                );
+            } else if pkt.tag == TRANSPORT_NOTHING_TAG {
+                // A remote sender answered a NACK with "nothing at or
+                // above that sequence": if the link still looks exactly
+                // like it did when we asked (same expected seq, no gap
+                // evidence), treat it like the in-process zero-resend
+                // case — reset the budget and re-arm patience.
+                if pkt.data.len() == 8 {
+                    let from_seq = u64::from_le_bytes(pkt.data.as_slice().try_into().unwrap());
+                    let link = rx.link(pkt.src);
+                    if link.next_seq == from_seq && !link.has_gap_evidence() {
+                        link.note_nothing_to_recover(Instant::now() + transport.plan().nack_base());
+                    }
+                }
             } else {
                 released.push(pkt);
             }
@@ -457,13 +487,21 @@ impl Comm {
                 });
             }
             let attempt = link.attempts + 1;
-            let resent =
-                transport.retransmit_from(&self.fabric, l, self.rank, link.next_seq, attempt);
-            if resent == 0 {
-                // The sender has not produced this frame yet (e.g. it
-                // is mid-compute): keep waiting without burning budget.
-                link.note_nothing_to_recover(now + transport.plan().nack_base());
-            } else {
+            let resent = match self.fabric.recover(l, self.rank, link.next_seq, attempt) {
+                Recovery::Resent(0) => {
+                    // The sender has not produced this frame yet (e.g.
+                    // it is mid-compute): keep waiting without burning
+                    // budget.
+                    link.note_nothing_to_recover(now + transport.plan().nack_base());
+                    0
+                }
+                Recovery::Resent(n) => n,
+                // The request went on the wire; whether anything comes
+                // back is unknown yet, so count it as pending progress
+                // (a nothing-to-recover reply resets the budget).
+                Recovery::Requested => 1,
+            };
+            if resent > 0 {
                 link.attempts = attempt;
                 transport.note_nack(self.rank);
                 link.nack_at = Some(now + transport.plan().backoff(l, self.rank, attempt));
@@ -504,7 +542,7 @@ impl Comm {
     }
 
     fn note_recv(&self, pkt: &Packet, t0: Instant) {
-        let st = &self.fabric.stats[self.rank];
+        let st = self.fabric.shared_stats(self.rank);
         st.bytes_recv.fetch_add(pkt.data.len() as u64, std::sync::atomic::Ordering::Relaxed);
         st.msgs_recv.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         st.recv_ns.fetch_add(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);

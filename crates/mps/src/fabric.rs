@@ -1,22 +1,42 @@
-//! Shared runtime state of one universe.
+//! The communication-fabric abstraction shared by every backend.
 //!
-//! All ranks of a universe share one [`Fabric`]: per-rank mailboxes
-//! (mutex + condvar, so a failure can wake *every* blocked receiver,
-//! which per-pair channels cannot), the first-failure slot, per-rank
-//! finished flags, a registry of what every rank is currently blocked
-//! on (the raw material of timeout diagnostics), and per-rank atomic
-//! communication counters readable from any thread.
+//! A [`Fabric`] is what one universe's ranks talk *through*: it owns
+//! message delivery, the first-failure slot, finished flags, the
+//! blocked-op registry behind timeout diagnostics, and the hooks of
+//! the reliable-delivery protocol (ack publication and receiver-driven
+//! recovery). Two backends implement it:
+//!
+//! - [`crate::fabric_local`] — the in-process backend: one mailbox per
+//!   rank behind shared memory, zero-copy delivery, and an *optional*
+//!   transport (only when a fault plan is installed), so the chaos-off
+//!   hot path stays allocation-free;
+//! - [`crate::fabric_socket`] — the multi-process backend over
+//!   Unix-domain or TCP sockets, where the reliable transport is the
+//!   *mandatory* wire layer (a real network can really lose frames).
+//!
+//! [`crate::Comm`] holds an `Arc<dyn Fabric>`, so every point-to-point
+//! and collective algorithm is backend-generic by construction.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
-use crate::error::MpsError;
+use crate::error::{MpsError, MpsResult};
 use crate::reliable::Transport;
 use crate::stats::SharedStats;
+
+/// Locks `m`, recovering the guarded data if a panicking thread
+/// poisoned the mutex. The runtime's shared structures (mailboxes,
+/// retransmit windows, holdback buffers) are kept consistent by the
+/// protocol itself — worst case a frame is delivered or retransmitted
+/// twice, which the receiver's dedup absorbs — so an orderly
+/// [`MpsError::PeerFailed`] on the survivors must never be converted
+/// into an opaque poisoned-lock panic.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A single in-flight message.
 #[derive(Debug)]
@@ -58,148 +78,51 @@ pub(crate) struct BlockedOp {
     pub since: Instant,
 }
 
-/// One rank's inbound message queue.
+/// One rank's inbound message queue (mutex + condvar, so a failure can
+/// wake *every* blocked receiver, which per-pair channels cannot).
 #[derive(Default)]
-struct Mailbox {
-    queue: Mutex<VecDeque<Packet>>,
-    arrived: Condvar,
+pub(crate) struct Mailbox {
+    pub(crate) queue: Mutex<VecDeque<Packet>>,
+    pub(crate) arrived: Condvar,
 }
 
-/// Runtime state shared by every rank of one universe.
-pub(crate) struct Fabric {
-    size: usize,
-    mailboxes: Vec<Mailbox>,
-    failure: Mutex<Option<Failure>>,
-    finished: Vec<AtomicBool>,
-    blocked: Vec<Mutex<Option<BlockedOp>>>,
-    pub(crate) stats: Vec<SharedStats>,
-    timeout: Duration,
-    trace: Option<tc_trace::TraceHandle>,
-    /// Reliable-delivery engine; present only when a
-    /// [`crate::FaultPlan`] is installed, so the chaos-off hot path is
-    /// byte-for-byte the pre-transport one.
-    transport: Option<Transport>,
-}
-
-impl Fabric {
-    pub(crate) fn new(
-        size: usize,
-        timeout: Duration,
-        trace: Option<tc_trace::TraceHandle>,
-        transport: Option<Transport>,
-    ) -> Self {
-        Self {
-            size,
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
-            failure: Mutex::new(None),
-            finished: (0..size).map(|_| AtomicBool::new(false)).collect(),
-            blocked: (0..size).map(|_| Mutex::new(None)).collect(),
-            stats: (0..size).map(|_| SharedStats::default()).collect(),
-            timeout,
-            trace,
-            transport,
-        }
+impl Mailbox {
+    /// Enqueues `pkt` and wakes every waiter. Never blocks.
+    pub(crate) fn push(&self, pkt: Packet) {
+        lock_recover(&self.queue).push_back(pkt);
+        self.arrived.notify_all();
     }
 
-    pub(crate) fn transport(&self) -> Option<&Transport> {
-        self.transport.as_ref()
+    /// Number of undrained packets (diagnostics only).
+    pub(crate) fn backlog(&self) -> usize {
+        lock_recover(&self.queue).len()
     }
 
-    pub(crate) fn timeout(&self) -> Duration {
-        self.timeout
-    }
-
-    /// Delivers `pkt` to `dst`'s mailbox. Never blocks; delivery to a
-    /// finished rank silently parks the message (the scope reclaims it).
-    pub(crate) fn deliver(&self, dst: usize, pkt: Packet) {
-        let mb = &self.mailboxes[dst];
-        mb.queue.lock().expect("mailbox lock").push_back(pkt);
-        mb.arrived.notify_all();
-    }
-
-    /// Records the first failure and wakes every blocked rank. Later
-    /// failures (cascades of the first) are dropped.
-    pub(crate) fn record_failure(&self, rank: usize, error: MpsError) {
-        {
-            let mut slot = self.failure.lock().expect("failure lock");
-            if slot.is_none() {
-                *slot = Some(Failure { rank, error });
-            }
-        }
-        for mb in &self.mailboxes {
-            mb.arrived.notify_all();
-        }
-    }
-
-    pub(crate) fn failure(&self) -> Option<Failure> {
-        self.failure.lock().expect("failure lock").clone()
-    }
-
-    /// Marks `rank` as cleanly terminated and wakes receivers, so a
-    /// rank waiting on a message this one will never send fails fast
-    /// instead of running out the timeout.
-    pub(crate) fn mark_finished(&self, rank: usize) {
-        // A finishing rank first releases any frames the fault plan was
-        // holding back, so a reordered frame cannot be stranded behind
-        // a sender that will never transmit again.
-        if let Some(t) = &self.transport {
-            t.flush_rank(self, rank);
-        }
-        self.finished[rank].store(true, Ordering::SeqCst);
-        for mb in &self.mailboxes {
-            mb.arrived.notify_all();
-        }
-    }
-
-    pub(crate) fn is_finished(&self, rank: usize) -> bool {
-        self.finished[rank].load(Ordering::SeqCst)
-    }
-
-    pub(crate) fn set_blocked(&self, rank: usize, op: Option<BlockedOp>) {
-        *self.blocked[rank].lock().expect("blocked lock") = op;
-    }
-
-    /// Runs `matcher` over `rank`'s mailbox until it yields, the
-    /// deadline passes, a failure is recorded, or `src` finishes
-    /// without a matching message in flight.
-    ///
-    /// `matcher` drains packets it does not want into caller-owned
-    /// storage and returns `Some` on a match (or an error of its own,
-    /// e.g. a collective mismatch).
-    pub(crate) fn await_match<T>(
+    /// The matching wait loop shared by both backends: runs `matcher`
+    /// over the queue until it yields, a failure is observed, the
+    /// source finishes with no matching message in flight, or a
+    /// deadline passes. `failure` and `src_finished` are backend
+    /// predicates evaluated under the queue lock, exactly like the
+    /// pre-trait fabric did.
+    pub(crate) fn await_match_until(
         &self,
-        rank: usize,
-        src: usize,
-        matcher: impl FnMut(&mut VecDeque<Packet>) -> Option<T>,
-    ) -> AwaitOutcome<T> {
-        self.await_match_until(rank, src, Instant::now() + self.timeout, None, matcher)
-    }
-
-    /// [`Fabric::await_match`] with an explicit overall deadline and an
-    /// optional *slice* deadline: when `slice` expires first the wait
-    /// returns [`AwaitOutcome::SliceExpired`] so the caller can run
-    /// side work (reliable-delivery recovery) and re-enter with the
-    /// same overall deadline.
-    pub(crate) fn await_match_until<T>(
-        &self,
-        rank: usize,
-        src: usize,
         deadline: Instant,
         slice: Option<Instant>,
-        mut matcher: impl FnMut(&mut VecDeque<Packet>) -> Option<T>,
-    ) -> AwaitOutcome<T> {
-        let mb = &self.mailboxes[rank];
-        let mut queue = mb.queue.lock().expect("mailbox lock");
+        failure: impl Fn() -> Option<Failure>,
+        src_finished: impl Fn() -> bool,
+        matcher: Matcher<'_>,
+    ) -> AwaitOutcome {
+        let mut queue = lock_recover(&self.queue);
         loop {
             if let Some(hit) = matcher(&mut queue) {
                 return AwaitOutcome::Matched(hit);
             }
-            if let Some(fail) = self.failure() {
+            if let Some(fail) = failure() {
                 return AwaitOutcome::Failed(fail);
             }
             // The matcher just drained the queue without a hit, so if
             // the source has terminated the message can never arrive.
-            if self.is_finished(src) {
+            if src_finished() {
                 return AwaitOutcome::SourceFinished;
             }
             let now = Instant::now();
@@ -210,62 +133,152 @@ impl Fabric {
                 return AwaitOutcome::SliceExpired;
             }
             let wake = slice.map_or(deadline, |s| s.min(deadline));
-            let (q, res) = mb.arrived.wait_timeout(queue, wake - now).expect("mailbox lock");
-            queue = q;
-            let _ = res;
+            queue = self
+                .arrived
+                .wait_timeout(queue, wake - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
     }
-
-    /// One-line-per-rank snapshot of the universe, for timeout reports.
-    pub(crate) fn dump(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        for r in 0..self.size {
-            let state = if self.is_finished(r) {
-                "finished".to_string()
-            } else {
-                match self.blocked[r].lock().expect("blocked lock").as_ref() {
-                    Some(b) => format!(
-                        "blocked in {} from rank {} (tag {:#x}) for {:.1?}",
-                        b.op,
-                        b.src,
-                        b.tag,
-                        b.since.elapsed()
-                    ),
-                    None => "running".to_string(),
-                }
-            };
-            let s = self.stats[r].snapshot();
-            let inflight = self.mailboxes[r].queue.lock().expect("mailbox lock").len();
-            let _ = writeln!(
-                out,
-                "  rank {r}: {state}; sent {} msgs / {} B, recvd {} msgs / {} B, \
-                 {inflight} undrained",
-                s.msgs_sent, s.bytes_sent, s.msgs_recv, s.bytes_recv
-            );
-            // With tracing live, each rank's recent events say *what*
-            // it was doing on the way into the hang.
-            if let Some(trace) = &self.trace {
-                for line in trace.recent(r, Self::DUMP_TRACE_EVENTS) {
-                    let _ = writeln!(out, "    {line}");
-                }
-            }
-        }
-        out
-    }
-
-    /// How many of each rank's most recent trace events a timeout
-    /// report includes.
-    const DUMP_TRACE_EVENTS: usize = 8;
 }
 
+/// The mailbox matcher type: drains packets it does not want into
+/// caller-owned storage and returns `Some` on a match (or an error of
+/// its own, e.g. a collective mismatch). The concrete `FnMut` lives in
+/// [`crate::Comm`]; the trait object keeps [`Fabric`] object-safe.
+pub(crate) type Matcher<'m> = &'m mut dyn FnMut(&mut VecDeque<Packet>) -> Option<MpsResult<Packet>>;
+
 /// Result of [`Fabric::await_match`].
-pub(crate) enum AwaitOutcome<T> {
-    Matched(T),
+pub(crate) enum AwaitOutcome {
+    Matched(MpsResult<Packet>),
     Failed(Failure),
     SourceFinished,
     TimedOut,
     /// Only from [`Fabric::await_match_until`] with a slice deadline:
     /// the slice (not the overall deadline) expired.
     SliceExpired,
+}
+
+/// How a backend satisfied one receiver-driven recovery request.
+pub(crate) enum Recovery {
+    /// `n` frames were re-delivered synchronously out of a locally
+    /// reachable retransmit window (`0` means the sender has produced
+    /// nothing at or above the requested sequence — patience, not
+    /// retry).
+    Resent(usize),
+    /// The request went on the wire to the remote sender (a socket
+    /// NACK); frames — or a nothing-to-recover notice — arrive
+    /// asynchronously through the mailbox.
+    Requested,
+}
+
+/// Runtime state shared by every rank of one universe, behind one of
+/// the two backends. All methods are callable from any rank thread.
+pub(crate) trait Fabric: Send + Sync {
+    /// Number of ranks in the universe.
+    fn size(&self) -> usize;
+
+    /// The receive deadline of this universe.
+    fn timeout(&self) -> Duration;
+
+    /// Static backend name (`"local"` / `"socket"`), for diagnostics.
+    fn backend(&self) -> &'static str;
+
+    /// The reliable-delivery engine, when one is live. The local
+    /// backend returns `None` unless a fault plan is installed; the
+    /// socket backend always has one (its wire layer).
+    fn transport(&self) -> Option<&Transport>;
+
+    /// The atomic counter block of `rank`. Backends that only hold
+    /// local state (sockets) serve their own rank.
+    fn shared_stats(&self, rank: usize) -> &SharedStats;
+
+    /// Sends one application payload from the local rank `src` to
+    /// `dst`, framing/transporting as the backend requires. Never
+    /// blocks on the receiver; a send-side protocol error (e.g. an
+    /// oversized frame) is recorded as the universe failure.
+    fn send(&self, src: usize, dst: usize, tag: u64, data: Bytes);
+
+    /// Runs `matcher` over `rank`'s mailbox until it yields, the
+    /// deadline passes, a failure is recorded, or `src` finishes
+    /// without a matching message in flight. When `slice` expires
+    /// first the wait returns [`AwaitOutcome::SliceExpired`] so the
+    /// caller can drive reliable-delivery recovery and re-enter.
+    fn await_match_until(
+        &self,
+        rank: usize,
+        src: usize,
+        deadline: Instant,
+        slice: Option<Instant>,
+        matcher: Matcher<'_>,
+    ) -> AwaitOutcome;
+
+    /// Records the first failure and wakes every blocked rank. Later
+    /// failures (cascades of the first) are dropped.
+    fn record_failure(&self, rank: usize, error: MpsError);
+
+    /// The first failure observed, if any.
+    fn failure(&self) -> Option<Failure>;
+
+    /// Marks `rank` as cleanly terminated and wakes receivers, so a
+    /// rank waiting on a message this one will never send fails fast
+    /// instead of running out the timeout.
+    fn mark_finished(&self, rank: usize);
+
+    fn is_finished(&self, rank: usize) -> bool;
+
+    fn set_blocked(&self, rank: usize, op: Option<BlockedOp>);
+
+    /// Publishes the receiver's cumulative ack for the link
+    /// `src → dst` (`dst` is the calling rank), so the sender can
+    /// prune its retransmit window.
+    fn publish_ack(&self, src: usize, dst: usize, next_seq: u64);
+
+    /// Receiver-driven recovery for the link `src → dst`: re-request
+    /// everything with sequence ≥ `from_seq`.
+    fn recover(&self, src: usize, dst: usize, from_seq: u64, attempt: u32) -> Recovery;
+
+    /// One-line-per-rank snapshot of the universe, for timeout reports.
+    fn dump(&self) -> String;
+}
+
+impl dyn Fabric + '_ {
+    /// [`Fabric::await_match_until`] with the universe's default
+    /// deadline and no slice.
+    pub(crate) fn await_match(
+        &self,
+        rank: usize,
+        src: usize,
+        matcher: Matcher<'_>,
+    ) -> AwaitOutcome {
+        self.await_match_until(rank, src, Instant::now() + self.timeout(), None, matcher)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn mailbox_push_and_backlog() {
+        let mb = Mailbox::default();
+        mb.push(Packet { src: 0, tag: 1, data: Bytes::new() });
+        mb.push(Packet { src: 1, tag: 2, data: Bytes::new() });
+        assert_eq!(mb.backlog(), 2);
+    }
 }

@@ -1,0 +1,953 @@
+//! The multi-process fabric backend over Unix-domain or TCP sockets.
+//!
+//! Each rank is its own OS process holding one [`SocketFabric`]: a
+//! full mesh of stream connections to every peer, one reader thread
+//! per inbound connection feeding the local mailbox, and the reliable
+//! transport of [`crate::reliable`] as the *mandatory* wire layer —
+//! unlike the in-process backend, a socket can really lose, reorder,
+//! or truncate data (and a chaos plan can make it do so on purpose),
+//! so every application payload travels framed, sequenced, and
+//! checksummed.
+//!
+//! ## Connection setup
+//!
+//! Every rank binds a listener on its own endpoint (rank order in
+//! [`crate::SocketConfig::peers`]), then dials every lower rank and
+//! accepts from every higher rank. Both sides exchange a fixed-size
+//! hello — magic, protocol version, launch epoch, universe size, rank
+//! — and reject mismatches, so a stale process from a previous launch
+//! (different epoch) or a mis-wired endpoint list fails loudly at
+//! startup instead of corrupting a run.
+//!
+//! ## Wire format
+//!
+//! After the handshake the stream carries length-prefixed messages:
+//! one kind byte, a little-endian `u64` body length, then the body.
+//!
+//! | kind | body | meaning |
+//! |------|------|---------|
+//! | `DATA`    | transport frame          | one frame of [`crate::reliable`] |
+//! | `ACK`     | `u64` next_seq           | receiver's cumulative ack        |
+//! | `NACK`    | `u64` from_seq + `u32` attempt | re-request everything ≥ from_seq |
+//! | `NOTHING` | `u64` from_seq           | NACK reply: window empty at/above from_seq |
+//! | `FIN`     | empty                    | orderly rank termination         |
+//! | `FAIL`    | `u32` rank + UTF-8 brief | first-failure broadcast          |
+//!
+//! `DATA` goes through the transport's fault plan (chaos applies to
+//! frames, exactly like in-process); control messages bypass it, since
+//! they are the recovery machinery itself.
+//!
+//! ## Shutdown
+//!
+//! A finishing rank drains (waits until every frame it sent is acked),
+//! broadcasts `FIN`, and waits for every peer's `FIN` before closing
+//! sockets — so no in-flight frame is stranded by a disappearing
+//! process. On failure the drain is skipped and `FAIL` is broadcast
+//! instead, which wakes every peer's blocked receive.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::chaos::FaultPlan;
+use crate::error::{MpsError, MpsResult};
+use crate::fabric::{
+    lock_recover, AwaitOutcome, BlockedOp, Fabric, Failure, Mailbox, Matcher, Packet, Recovery,
+};
+use crate::reliable::{
+    FrameSink, Transport, MAX_FRAME_PAYLOAD, TRANSPORT_NOTHING_TAG, TRANSPORT_TAG,
+};
+use crate::stats::SharedStats;
+use crate::universe::SocketConfig;
+
+/// Handshake magic: identifies this wire protocol.
+const MAGIC: &[u8; 8] = b"TCMPSFB1";
+
+/// Wire protocol version inside the handshake.
+const VERSION: u32 = 1;
+
+/// Handshake size: magic (8) + version (4) + epoch (8) + size (4) + rank (4).
+const HELLO_LEN: usize = 28;
+
+/// Wire message header: kind (1) + body length (8).
+const MSG_HEADER: usize = 9;
+
+/// Largest body a wire message may claim (one transport frame plus
+/// header slack); a corrupt length prefix must not allocate terabytes.
+const MAX_WIRE_BODY: u64 = MAX_FRAME_PAYLOAD as u64 + 64;
+
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+const KIND_NACK: u8 = 2;
+const KIND_NOTHING: u8 = 3;
+const KIND_FIN: u8 = 4;
+const KIND_FAIL: u8 = 5;
+
+/// How often polling loops (dial retry, accept, drain, await-peers)
+/// re-check their condition.
+const POLL: Duration = Duration::from_millis(2);
+
+/// One rank's endpoint, parsed from its peer-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Endpoint {
+    /// `unix:/path` or any entry containing `/`.
+    Unix(PathBuf),
+    /// `host:port`.
+    Tcp(String),
+}
+
+fn parse_endpoint(rank: usize, spec: &str) -> MpsResult<Endpoint> {
+    if let Some(path) = spec.strip_prefix("unix:") {
+        return Ok(Endpoint::Unix(PathBuf::from(path)));
+    }
+    if spec.contains('/') {
+        return Ok(Endpoint::Unix(PathBuf::from(spec)));
+    }
+    if spec.contains(':') {
+        return Ok(Endpoint::Tcp(spec.to_string()));
+    }
+    Err(MpsError::Protocol {
+        rank,
+        msg: format!(
+            "endpoint {spec:?} is neither a Unix socket path (contains '/' or 'unix:' \
+             prefix) nor a TCP host:port"
+        ),
+    })
+}
+
+/// A connected stream of either family.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound listener of either family.
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// Socket-wire counters (`mps.fabric.*`), atomic so reader threads and
+/// the rank thread record concurrently.
+#[derive(Default)]
+struct WireStats {
+    connects: AtomicU64,
+    accepts: AtomicU64,
+    handshakes: AtomicU64,
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    acks_sent: AtomicU64,
+    nacks_sent: AtomicU64,
+}
+
+/// Plain-value snapshot of [`WireStats`], fed into the metrics
+/// registry by `Universe::try_run_socket`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WireSnapshot {
+    pub(crate) connects: u64,
+    pub(crate) accepts: u64,
+    pub(crate) handshakes: u64,
+    pub(crate) msgs_sent: u64,
+    pub(crate) bytes_sent: u64,
+    pub(crate) msgs_recv: u64,
+    pub(crate) bytes_recv: u64,
+    pub(crate) acks_sent: u64,
+    pub(crate) nacks_sent: u64,
+}
+
+/// One rank process's endpoint of a multi-process universe.
+pub(crate) struct SocketFabric {
+    rank: usize,
+    size: usize,
+    timeout: Duration,
+    /// This rank's inbound mailbox (reader threads push, the rank
+    /// thread matches).
+    mailbox: Mailbox,
+    failure: Mutex<Option<Failure>>,
+    /// FIN flags, indexed by rank (this rank's own entry included).
+    finished: Vec<AtomicBool>,
+    /// What this rank is currently blocked on (peers' states are not
+    /// observable across processes).
+    blocked: Mutex<Option<BlockedOp>>,
+    stats: SharedStats,
+    /// The wire layer. Always present: this fabric has no unframed
+    /// path.
+    transport: Transport,
+    /// Write halves, one per peer (`None` at this rank's own index).
+    writers: Vec<Option<Mutex<Stream>>>,
+    wire: WireStats,
+    shutdown: AtomicBool,
+    readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Own Unix socket path, removed at shutdown.
+    unix_path: Option<PathBuf>,
+}
+
+impl SocketFabric {
+    /// Binds this rank's endpoint, connects the full mesh, handshakes
+    /// every peer, and starts one reader thread per connection.
+    pub(crate) fn connect(config: &SocketConfig) -> MpsResult<Arc<Self>> {
+        let rank = config.rank;
+        let size = config.peers.len();
+        let timeout = config.universe.effective_recv_timeout();
+        let plan = config.universe.effective_chaos().unwrap_or_else(|| FaultPlan::new(0));
+        let _span = tc_trace::span(tc_trace::names::FABRIC_CONNECT, tc_trace::Category::Comm)
+            .arg("rank", rank)
+            .arg("size", size);
+
+        let endpoint = parse_endpoint(rank, &config.peers[rank])?;
+        let (listener, unix_path) = bind(rank, &endpoint)?;
+
+        let deadline = Instant::now() + timeout;
+        let mut streams: Vec<Option<Stream>> = (0..size).map(|_| None).collect();
+        let (mut connects, mut accepts, mut handshakes) = (0u64, 0u64, 0u64);
+
+        // Dial every lower rank (they bound their listeners before
+        // dialing anyone, so retry-until-deadline masks launch skew).
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let ep = parse_endpoint(rank, &config.peers[peer])?;
+            let stream = dial(rank, peer, &ep, deadline)?;
+            connects += 1;
+            let stream = handshake(rank, size, config.epoch, stream, Some(peer), deadline)?.1;
+            handshakes += 1;
+            *slot = Some(stream);
+        }
+
+        // Accept from every higher rank; the hello says who is calling.
+        if rank + 1 < size {
+            listener.set_nonblocking(true).map_err(|e| io_error(rank, "listener", &e))?;
+            let mut missing = size - rank - 1;
+            while missing > 0 {
+                let raw = match listener.accept() {
+                    Ok(s) => s,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            return Err(MpsError::Protocol {
+                                rank,
+                                msg: format!(
+                                    "timed out waiting for {missing} higher-rank peer(s) to \
+                                     connect"
+                                ),
+                            });
+                        }
+                        std::thread::sleep(POLL);
+                        continue;
+                    }
+                    Err(e) => return Err(io_error(rank, "accept", &e)),
+                };
+                accepts += 1;
+                let (peer, stream) = handshake(rank, size, config.epoch, raw, None, deadline)?;
+                handshakes += 1;
+                if peer <= rank || streams[peer].is_some() {
+                    return Err(MpsError::Protocol {
+                        rank,
+                        msg: format!("unexpected or duplicate connection from rank {peer}"),
+                    });
+                }
+                streams[peer] = Some(stream);
+                missing -= 1;
+            }
+        }
+
+        // Split each stream: the write half goes into the shared
+        // writer table (installed before the Arc is ever cloned, so no
+        // thread can observe it mid-construction), the read half will
+        // feed a dedicated reader thread.
+        let mut writers: Vec<Option<Mutex<Stream>>> = (0..size).map(|_| None).collect();
+        let mut read_halves: Vec<(usize, Stream)> = Vec::with_capacity(size.saturating_sub(1));
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(stream) = slot else { continue };
+            stream.set_read_timeout(None).map_err(|e| io_error(rank, "stream setup", &e))?;
+            let reader = stream.try_clone().map_err(|e| io_error(rank, "stream clone", &e))?;
+            writers[peer] = Some(Mutex::new(stream));
+            read_halves.push((peer, reader));
+        }
+
+        let wire = WireStats::default();
+        wire.connects.store(connects, Ordering::Relaxed);
+        wire.accepts.store(accepts, Ordering::Relaxed);
+        wire.handshakes.store(handshakes, Ordering::Relaxed);
+
+        let fabric = Arc::new(Self {
+            rank,
+            size,
+            timeout,
+            mailbox: Mailbox::default(),
+            failure: Mutex::new(None),
+            finished: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            blocked: Mutex::new(None),
+            stats: SharedStats::default(),
+            transport: Transport::new(size, plan),
+            writers,
+            wire,
+            shutdown: AtomicBool::new(false),
+            readers: Mutex::new(Vec::new()),
+            unix_path,
+        });
+
+        for (peer, reader) in read_halves {
+            let f = Arc::clone(&fabric);
+            let handle = std::thread::Builder::new()
+                .name(format!("mps-sock-r{rank}-p{peer}"))
+                .spawn(move || f.reader_loop(peer, reader))
+                .expect("spawn socket reader thread");
+            lock_recover(&fabric.readers).push(handle);
+        }
+        Ok(fabric)
+    }
+
+    /// Whether a connection error on `peer`'s stream is expected (the
+    /// universe is ending) rather than a failure.
+    fn loss_is_benign(&self, peer: usize) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || self.finished[peer].load(Ordering::SeqCst)
+            || self.failure().is_some()
+    }
+
+    /// Writes one wire message to `dst`. Write errors on a live
+    /// universe record a connection-loss failure; during teardown they
+    /// are expected and ignored.
+    fn write_msg(&self, dst: usize, kind: u8, body: &[u8]) {
+        let Some(slot) = &self.writers[dst] else {
+            debug_assert!(false, "no wire to rank {dst} (self-traffic bypasses the wire)");
+            return;
+        };
+        let mut hdr = [0u8; MSG_HEADER];
+        hdr[0] = kind;
+        hdr[1..9].copy_from_slice(&(body.len() as u64).to_le_bytes());
+        let result = {
+            let mut s = lock_recover(slot);
+            s.write_all(&hdr).and_then(|_| s.write_all(body)).and_then(|_| s.flush())
+        };
+        match result {
+            Ok(()) => {
+                self.wire.msgs_sent.fetch_add(1, Ordering::Relaxed);
+                self.wire.bytes_sent.fetch_add((MSG_HEADER + body.len()) as u64, Ordering::Relaxed);
+                match kind {
+                    KIND_ACK => {
+                        self.wire.acks_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    KIND_NACK => {
+                        self.wire.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+            Err(e) => {
+                if !self.loss_is_benign(dst) {
+                    self.record_failure(
+                        self.rank,
+                        MpsError::PeerFailed {
+                            rank: dst,
+                            msg: format!("connection to rank {dst} lost: {e}"),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// One inbound connection's read loop: decodes wire messages and
+    /// routes them (mailbox push, ack/retransmit, FIN/FAIL flags)
+    /// until EOF, an error, or shutdown.
+    fn reader_loop(self: Arc<Self>, peer: usize, mut stream: Stream) {
+        let mut hdr = [0u8; MSG_HEADER];
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Err(e) = stream.read_exact(&mut hdr) {
+                self.note_connection_end(peer, &e);
+                return;
+            }
+            let kind = hdr[0];
+            let len = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+            if len > MAX_WIRE_BODY {
+                self.record_failure(
+                    self.rank,
+                    MpsError::Protocol {
+                        rank: self.rank,
+                        msg: format!("wire message from rank {peer} claims {len} bytes"),
+                    },
+                );
+                return;
+            }
+            let mut body = vec![0u8; len as usize];
+            if let Err(e) = stream.read_exact(&mut body) {
+                self.note_connection_end(peer, &e);
+                return;
+            }
+            self.wire.msgs_recv.fetch_add(1, Ordering::Relaxed);
+            self.wire.bytes_recv.fetch_add(MSG_HEADER as u64 + len, Ordering::Relaxed);
+            match kind {
+                KIND_DATA => {
+                    self.mailbox.push(Packet {
+                        src: peer,
+                        tag: TRANSPORT_TAG,
+                        data: Bytes::from(body),
+                    });
+                }
+                KIND_ACK if body.len() == 8 => {
+                    let next = u64::from_le_bytes(body[..8].try_into().unwrap());
+                    // The peer acked frames *we* sent on our link to it.
+                    self.transport.ack(self.rank, peer, next);
+                }
+                KIND_NACK if body.len() == 12 => {
+                    let from_seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+                    let attempt = u32::from_le_bytes(body[8..12].try_into().unwrap());
+                    let resent =
+                        self.transport.retransmit_from(&*self, self.rank, peer, from_seq, attempt);
+                    if resent == 0 {
+                        // Nothing at or above from_seq exists (yet):
+                        // tell the receiver so it re-arms patience
+                        // instead of burning its retry budget.
+                        self.write_msg(peer, KIND_NOTHING, &from_seq.to_le_bytes());
+                    }
+                }
+                KIND_NOTHING if body.len() == 8 => {
+                    self.mailbox.push(Packet {
+                        src: peer,
+                        tag: TRANSPORT_NOTHING_TAG,
+                        data: Bytes::from(body),
+                    });
+                }
+                KIND_FIN => {
+                    self.finished[peer].store(true, Ordering::SeqCst);
+                    self.mailbox.arrived.notify_all();
+                }
+                KIND_FAIL if body.len() >= 4 => {
+                    let failed = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+                    let msg = String::from_utf8_lossy(&body[4..]).into_owned();
+                    // Relayed failure: store it without re-broadcasting.
+                    self.store_failure(Failure {
+                        rank: failed,
+                        error: MpsError::PeerFailed { rank: failed, msg },
+                    });
+                }
+                _ => {
+                    self.record_failure(
+                        self.rank,
+                        MpsError::Protocol {
+                            rank: self.rank,
+                            msg: format!(
+                                "malformed wire message from rank {peer}: kind {kind}, \
+                                 {len}-byte body"
+                            ),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// EOF or read error on `peer`'s connection: benign at teardown,
+    /// a peer-loss failure otherwise.
+    fn note_connection_end(&self, peer: usize, e: &std::io::Error) {
+        if self.loss_is_benign(peer) {
+            return;
+        }
+        self.record_failure(
+            self.rank,
+            MpsError::PeerFailed {
+                rank: peer,
+                msg: format!("connection to rank {peer} lost: {e}"),
+            },
+        );
+    }
+
+    /// Stores the first failure and wakes the local rank; does not
+    /// broadcast (used for failures relayed from other processes).
+    fn store_failure(&self, fail: Failure) {
+        {
+            let mut slot = lock_recover(&self.failure);
+            if slot.is_none() {
+                *slot = Some(fail);
+            }
+        }
+        self.mailbox.arrived.notify_all();
+    }
+
+    /// Blocks until every rank (including this one) has announced FIN,
+    /// or a failure is recorded, or the deadline passes.
+    pub(crate) fn await_peers(&self) {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if self.failure().is_some()
+                || (0..self.size).all(|r| self.finished[r].load(Ordering::SeqCst))
+            {
+                return;
+            }
+            if Instant::now() >= deadline {
+                self.store_failure(Failure {
+                    rank: self.rank,
+                    error: MpsError::Protocol {
+                        rank: self.rank,
+                        msg: "timed out waiting for peers to finish".to_string(),
+                    },
+                });
+                return;
+            }
+            let queue = lock_recover(&self.mailbox.queue);
+            drop(
+                self.mailbox
+                    .arrived
+                    .wait_timeout(queue, POLL.max(Duration::from_millis(20)))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+    }
+
+    /// Snapshot of the wire counters.
+    pub(crate) fn wire_stats(&self) -> WireSnapshot {
+        let w = &self.wire;
+        WireSnapshot {
+            connects: w.connects.load(Ordering::Relaxed),
+            accepts: w.accepts.load(Ordering::Relaxed),
+            handshakes: w.handshakes.load(Ordering::Relaxed),
+            msgs_sent: w.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: w.bytes_sent.load(Ordering::Relaxed),
+            msgs_recv: w.msgs_recv.load(Ordering::Relaxed),
+            bytes_recv: w.bytes_recv.load(Ordering::Relaxed),
+            acks_sent: w.acks_sent.load(Ordering::Relaxed),
+            nacks_sent: w.nacks_sent.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Tears the mesh down: closes every stream (which unblocks the
+    /// reader threads), joins them, and removes this rank's Unix
+    /// socket file.
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for slot in self.writers.iter().flatten() {
+            lock_recover(slot).shutdown_both();
+        }
+        let readers = std::mem::take(&mut *lock_recover(&self.readers));
+        for h in readers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl FrameSink for SocketFabric {
+    fn deliver_frame(&self, src: usize, dst: usize, frame: Bytes) {
+        debug_assert_eq!(src, self.rank, "a process only transmits its own frames");
+        if dst == self.rank {
+            // Self-sends stay in-process (still framed, so chaos and
+            // recovery semantics match the other links).
+            self.mailbox.push(Packet { src, tag: TRANSPORT_TAG, data: frame });
+        } else {
+            self.write_msg(dst, KIND_DATA, frame.as_slice());
+        }
+    }
+}
+
+impl Fabric for SocketFabric {
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    fn backend(&self) -> &'static str {
+        "socket"
+    }
+
+    fn transport(&self) -> Option<&Transport> {
+        Some(&self.transport)
+    }
+
+    fn shared_stats(&self, rank: usize) -> &SharedStats {
+        assert_eq!(rank, self.rank, "only the local rank's counters exist in this process");
+        &self.stats
+    }
+
+    fn send(&self, src: usize, dst: usize, tag: u64, data: Bytes) {
+        debug_assert_eq!(src, self.rank);
+        if let Err(e) = self.transport.send(self, src, dst, tag, data) {
+            self.record_failure(src, e);
+        }
+    }
+
+    fn await_match_until(
+        &self,
+        rank: usize,
+        src: usize,
+        deadline: Instant,
+        slice: Option<Instant>,
+        matcher: Matcher<'_>,
+    ) -> AwaitOutcome {
+        debug_assert_eq!(rank, self.rank);
+        self.mailbox.await_match_until(
+            deadline,
+            slice,
+            || self.failure(),
+            || self.finished[src].load(Ordering::SeqCst),
+            matcher,
+        )
+    }
+
+    fn record_failure(&self, rank: usize, error: MpsError) {
+        let brief = Failure { rank, error: error.clone() }.brief();
+        self.store_failure(Failure { rank, error });
+        // First-failure broadcast, so peers blocked in receives wake
+        // with PeerFailed instead of running out their deadline.
+        let mut body = Vec::with_capacity(4 + brief.len());
+        body.extend_from_slice(&(rank as u32).to_le_bytes());
+        body.extend_from_slice(brief.as_bytes());
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.write_msg(dst, KIND_FAIL, &body);
+            }
+        }
+    }
+
+    fn failure(&self) -> Option<Failure> {
+        lock_recover(&self.failure).clone()
+    }
+
+    fn mark_finished(&self, rank: usize) {
+        debug_assert_eq!(rank, self.rank);
+        // Release chaos holdbacks first (a held frame must not outlive
+        // its sender), then drain: a frame is safe to abandon only
+        // once its receiver acked it.
+        self.transport.flush_rank(self, rank);
+        if self.failure().is_none() {
+            let deadline = Instant::now() + self.timeout;
+            while !self.transport.outbound_drained(rank) {
+                if self.failure().is_some() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    self.store_failure(Failure {
+                        rank,
+                        error: MpsError::Protocol {
+                            rank,
+                            msg: "shutdown drain timed out with unacked frames".to_string(),
+                        },
+                    });
+                    break;
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+        self.finished[rank].store(true, Ordering::SeqCst);
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.write_msg(dst, KIND_FIN, &[]);
+            }
+        }
+        self.mailbox.arrived.notify_all();
+    }
+
+    fn is_finished(&self, rank: usize) -> bool {
+        self.finished[rank].load(Ordering::SeqCst)
+    }
+
+    fn set_blocked(&self, rank: usize, op: Option<BlockedOp>) {
+        debug_assert_eq!(rank, self.rank);
+        *lock_recover(&self.blocked) = op;
+    }
+
+    fn publish_ack(&self, src: usize, dst: usize, next_seq: u64) {
+        debug_assert_eq!(dst, self.rank);
+        // Local watermark (prunes the self-link window and feeds
+        // outbound_drained) plus the wire ack for a remote sender.
+        self.transport.ack(src, dst, next_seq);
+        if src != self.rank {
+            self.write_msg(src, KIND_ACK, &next_seq.to_le_bytes());
+        }
+    }
+
+    fn recover(&self, src: usize, dst: usize, from_seq: u64, attempt: u32) -> Recovery {
+        debug_assert_eq!(dst, self.rank);
+        if src == self.rank {
+            // Self-link: the window lives in this process.
+            return Recovery::Resent(
+                self.transport.retransmit_from(self, src, dst, from_seq, attempt),
+            );
+        }
+        if self.finished[src].load(Ordering::SeqCst) {
+            // The peer drained before announcing FIN, so everything it
+            // ever sent is already acked here: there is nothing at or
+            // above from_seq to recover — same verdict the in-process
+            // backend reads synchronously out of the shared window.
+            return Recovery::Resent(0);
+        }
+        let mut body = [0u8; 12];
+        body[..8].copy_from_slice(&from_seq.to_le_bytes());
+        body[8..12].copy_from_slice(&attempt.to_le_bytes());
+        self.write_msg(src, KIND_NACK, &body);
+        Recovery::Requested
+    }
+
+    fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let state = match lock_recover(&self.blocked).as_ref() {
+            Some(b) => format!(
+                "blocked in {} from rank {} (tag {:#x}) for {:.1?}",
+                b.op,
+                b.src,
+                b.tag,
+                b.since.elapsed()
+            ),
+            None => "running".to_string(),
+        };
+        let s = self.stats.snapshot();
+        let _ = writeln!(
+            out,
+            "  rank {} (socket backend, this process): {state}; sent {} msgs / {} B, \
+             recvd {} msgs / {} B, {} undrained",
+            self.rank,
+            s.msgs_sent,
+            s.bytes_sent,
+            s.msgs_recv,
+            s.bytes_recv,
+            self.mailbox.backlog()
+        );
+        for r in 0..self.size {
+            if r != self.rank {
+                let fin = if self.finished[r].load(Ordering::SeqCst) { "FIN" } else { "live" };
+                let _ = writeln!(out, "  rank {r}: remote process, {fin}");
+            }
+        }
+        out
+    }
+}
+
+/// Binds this rank's listener, replacing a stale Unix socket file from
+/// a dead previous run.
+fn bind(rank: usize, ep: &Endpoint) -> MpsResult<(Listener, Option<PathBuf>)> {
+    match ep {
+        Endpoint::Unix(path) => {
+            if path.exists() {
+                let _ = std::fs::remove_file(path);
+            }
+            let l = UnixListener::bind(path)
+                .map_err(|e| io_error(rank, &format!("bind {}", path.display()), &e))?;
+            Ok((Listener::Unix(l), Some(path.clone())))
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())
+                .map_err(|e| io_error(rank, &format!("bind {addr}"), &e))?;
+            Ok((Listener::Tcp(l), None))
+        }
+    }
+}
+
+/// Dials `peer`'s endpoint, retrying until `deadline` (peers launch
+/// with arbitrary skew).
+fn dial(rank: usize, peer: usize, ep: &Endpoint, deadline: Instant) -> MpsResult<Stream> {
+    loop {
+        let attempt = match ep {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Stream::Tcp),
+        };
+        match attempt {
+            Ok(s) => {
+                if let Stream::Tcp(t) = &s {
+                    let _ = t.set_nodelay(true);
+                }
+                return Ok(s);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(MpsError::Protocol {
+                        rank,
+                        msg: format!("could not connect to rank {peer}: {e}"),
+                    });
+                }
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn encode_hello(epoch: u64, size: usize, rank: usize) -> [u8; HELLO_LEN] {
+    let mut h = [0u8; HELLO_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&epoch.to_le_bytes());
+    h[20..24].copy_from_slice(&(size as u32).to_le_bytes());
+    h[24..28].copy_from_slice(&(rank as u32).to_le_bytes());
+    h
+}
+
+/// Exchanges hellos on a fresh connection and verifies them. The
+/// *dialer* announces itself first and expects `expect_peer` back; the
+/// acceptor (`expect_peer == None`) reads first and learns who called.
+/// Returns the verified peer rank and the stream.
+fn handshake(
+    rank: usize,
+    size: usize,
+    epoch: u64,
+    stream: Stream,
+    expect_peer: Option<usize>,
+    deadline: Instant,
+) -> MpsResult<(usize, Stream)> {
+    let mut stream = stream;
+    let _span = tc_trace::span(tc_trace::names::FABRIC_HANDSHAKE, tc_trace::Category::Comm)
+        .arg("rank", rank);
+    if let Stream::Tcp(t) = &stream {
+        let _ = t.set_nodelay(true);
+    }
+    let remaining = deadline.saturating_duration_since(Instant::now()).max(POLL);
+    stream.set_read_timeout(Some(remaining)).map_err(|e| io_error(rank, "handshake", &e))?;
+    let ours = encode_hello(epoch, size, rank);
+    let theirs = {
+        let mut buf = [0u8; HELLO_LEN];
+        if expect_peer.is_some() {
+            // Dialer: speak first, then listen.
+            stream.write_all(&ours).map_err(|e| io_error(rank, "handshake write", &e))?;
+            stream.read_exact(&mut buf).map_err(|e| io_error(rank, "handshake read", &e))?;
+        } else {
+            // Acceptor: listen first, then answer.
+            stream.read_exact(&mut buf).map_err(|e| io_error(rank, "handshake read", &e))?;
+            stream.write_all(&ours).map_err(|e| io_error(rank, "handshake write", &e))?;
+        }
+        buf
+    };
+    let fail = |msg: String| MpsError::Protocol { rank, msg };
+    if &theirs[..8] != MAGIC {
+        return Err(fail("handshake magic mismatch (not a tc-mps socket peer)".into()));
+    }
+    let version = u32::from_le_bytes(theirs[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(fail(format!(
+            "wire protocol version mismatch: ours {VERSION}, theirs {version}"
+        )));
+    }
+    let their_epoch = u64::from_le_bytes(theirs[12..20].try_into().unwrap());
+    if their_epoch != epoch {
+        return Err(fail(format!(
+            "epoch mismatch: ours {epoch}, theirs {their_epoch} (stale peer?)"
+        )));
+    }
+    let their_size = u32::from_le_bytes(theirs[20..24].try_into().unwrap()) as usize;
+    if their_size != size {
+        return Err(fail(format!("universe size mismatch: ours {size}, theirs {their_size}")));
+    }
+    let peer = u32::from_le_bytes(theirs[24..28].try_into().unwrap()) as usize;
+    if peer >= size {
+        return Err(fail(format!("peer announces rank {peer} outside universe of {size}")));
+    }
+    if let Some(expected) = expect_peer {
+        if peer != expected {
+            return Err(fail(format!("dialed rank {expected} but rank {peer} answered")));
+        }
+    }
+    Ok((peer, stream))
+}
+
+fn io_error(rank: usize, what: &str, e: &std::io::Error) -> MpsError {
+    MpsError::Protocol { rank, msg: format!("socket fabric {what} failed: {e}") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            parse_endpoint(0, "unix:/tmp/r0.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/r0.sock"))
+        );
+        assert_eq!(
+            parse_endpoint(0, "/tmp/r1.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/r1.sock"))
+        );
+        assert_eq!(
+            parse_endpoint(0, "127.0.0.1:9000").unwrap(),
+            Endpoint::Tcp("127.0.0.1:9000".into())
+        );
+        assert!(matches!(parse_endpoint(2, "garbage"), Err(MpsError::Protocol { rank: 2, .. })));
+    }
+
+    #[test]
+    fn hello_roundtrip_fields() {
+        let h = encode_hello(0xDEAD_BEEF, 16, 11);
+        assert_eq!(&h[..8], MAGIC);
+        assert_eq!(u32::from_le_bytes(h[8..12].try_into().unwrap()), VERSION);
+        assert_eq!(u64::from_le_bytes(h[12..20].try_into().unwrap()), 0xDEAD_BEEF);
+        assert_eq!(u32::from_le_bytes(h[20..24].try_into().unwrap()), 16);
+        assert_eq!(u32::from_le_bytes(h[24..28].try_into().unwrap()), 11);
+    }
+}

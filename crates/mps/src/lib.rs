@@ -1,11 +1,14 @@
 //! # tc-mps — message-passing substrate
 //!
-//! An in-process stand-in for MPI used by the triangle-counting
-//! workspace. Each *rank* is an OS thread with private state; ranks
-//! exchange typed messages through per-rank mailboxes and run the
-//! usual collective algorithms (dissemination barrier, binomial
-//! broadcast/reduce, recursive-doubling scans, pairwise personalized
-//! all-to-all).
+//! A stand-in for MPI used by the triangle-counting workspace, with a
+//! pluggable fabric: by default each *rank* is an OS thread with
+//! private state exchanging typed messages through per-rank mailboxes
+//! ([`Universe::run`]), or each rank is its own **OS process**
+//! connected over Unix-domain/TCP sockets
+//! ([`Universe::try_run_socket`] + [`SocketConfig`]). Either way,
+//! ranks run the usual collective algorithms (dissemination barrier,
+//! binomial broadcast/reduce, recursive-doubling scans, pairwise
+//! personalized all-to-all) over the same communicator code.
 //!
 //! The runtime is designed to be *un-hangable*: a panicking rank wakes
 //! every peer with [`MpsError::PeerFailed`], blocked receives give up
@@ -41,7 +44,10 @@
 //!   delay/drop/duplicate/reorder/truncate/bit-flip or surface a typed
 //!   [`MpsError::DeliveryFailed`]. With no plan installed the
 //!   transport is compiled around entirely — one relaxed atomic load
-//!   per operation, zero allocation.
+//!   per operation, zero allocation. On the socket backend the
+//!   reliable transport is always on: every payload crosses the wire
+//!   framed and checksummed, and the same chaos plans apply to real
+//!   inter-process links.
 //!
 //! ## Example
 //!
@@ -62,6 +68,8 @@ mod comm;
 pub mod cputime;
 mod error;
 mod fabric;
+mod fabric_local;
+mod fabric_socket;
 mod grid;
 pub mod pod;
 mod reliable;
@@ -80,4 +88,7 @@ pub use error::{MpsError, MpsResult};
 pub use grid::{perfect_square_side, Grid};
 pub use pod::{Pod, PodArray};
 pub use stats::{CommStats, PhaseGuard, ReliabilityStats, Timings};
-pub use universe::{Observe, Universe, UniverseConfig, RECV_TIMEOUT_ENV};
+pub use universe::{
+    Observe, SocketConfig, Universe, UniverseConfig, FABRIC_EPOCH_ENV, FABRIC_PEERS_ENV,
+    FABRIC_RANK_ENV, RECV_TIMEOUT_ENV,
+};

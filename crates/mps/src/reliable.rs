@@ -1,10 +1,9 @@
-//! Reliable, exactly-once, in-order delivery over a chaotic fabric.
+//! Reliable, exactly-once, in-order delivery over a lossy frame sink.
 //!
-//! When a [`crate::FaultPlan`] is installed, every point-to-point
-//! payload travels inside a *frame*: a 24-byte header (per-link
-//! sequence number, the application tag, payload length, CRC32c) plus
-//! the payload. The receiver re-derives the sender's order from the
-//! sequence numbers:
+//! Every point-to-point payload travels inside a *frame*: a 24-byte
+//! header (per-link sequence number, the application tag, payload
+//! length, CRC32c) plus the payload. The receiver re-derives the
+//! sender's order from the sequence numbers:
 //!
 //! - **corruption** (truncate/bit-flip) is caught by the length field
 //!   and checksum — a damaged frame is counted and discarded, and the
@@ -21,9 +20,13 @@
 //!   fails with [`crate::MpsError::DeliveryFailed`] instead of
 //!   hanging.
 //!
-//! The window prune is driven by the ack watermark the receiver
-//! publishes, so memory per link is bounded by the amount genuinely in
-//! flight plus the reorder-buffer cap.
+//! The engine is fabric-agnostic: frames leave through a [`FrameSink`],
+//! which the in-process backend implements as a mailbox push (frames
+//! get "lost" only when a [`FaultPlan`] injects faults) and the socket
+//! backend implements as a wire write (frames get lost for real). The
+//! window prune is driven by the ack watermark the receiver publishes,
+//! so memory per link is bounded by the amount genuinely in flight
+//! plus the reorder-buffer cap.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,7 +36,8 @@ use std::time::Instant;
 use bytes::Bytes;
 
 use crate::chaos::{ActiveGuard, Corruption, FaultPlan};
-use crate::fabric::{Fabric, Packet};
+use crate::error::{MpsError, MpsResult};
+use crate::fabric::{lock_recover, Packet};
 use crate::stats::{ReliabilityStats, SharedReliabilityStats};
 
 /// Tag marking transport frames in a mailbox. Bit 63 is clear (so a
@@ -42,17 +46,55 @@ use crate::stats::{ReliabilityStats, SharedReliabilityStats};
 /// application traffic either.
 pub(crate) const TRANSPORT_TAG: u64 = (1 << 62) | 0xF8A3;
 
+/// Tag of a *nothing-to-recover* notice: a remote sender's answer to a
+/// NACK that found no frame at or above the requested sequence. The
+/// payload is the 8-byte requested sequence number. Only the socket
+/// backend produces these (the in-process backend resolves the same
+/// question synchronously against the shared window).
+pub(crate) const TRANSPORT_NOTHING_TAG: u64 = (1 << 62) | 0xF8A4;
+
 /// Frame header size: seq (8) + inner tag (8) + payload len (4) + CRC32c (4).
 const HEADER: usize = 24;
+
+/// Largest payload one frame can carry (the header's length field is
+/// 32 bits). Larger sends fail with a typed [`MpsError::Protocol`].
+pub(crate) const MAX_FRAME_PAYLOAD: usize = u32::MAX as usize;
 
 /// Out-of-order frames parked per link before the newest-seq ones are
 /// shed (they are recovered by retransmission once the gap closes).
 const REORDER_CAP: usize = 64;
 
+/// Where encoded frames go once the transport is done with them. The
+/// implementation decides what a "wire" is: the in-process fabric
+/// pushes into the destination's mailbox, the socket fabric writes to
+/// the peer's stream.
+pub(crate) trait FrameSink: Sync {
+    /// Puts one encoded frame of the link `src → dst` on the wire.
+    /// Must not block on the receiving rank's progress.
+    fn deliver_frame(&self, src: usize, dst: usize, frame: Bytes);
+}
+
+/// Rejects payloads that cannot be framed (length field is u32).
+/// Called on the send path *before* a sequence number is consumed, so
+/// a rejected payload perturbs nothing.
+pub(crate) fn check_frame_len(rank: usize, len: usize) -> MpsResult<()> {
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(MpsError::Protocol {
+            rank,
+            msg: format!(
+                "payload of {len} bytes exceeds the frame limit of {MAX_FRAME_PAYLOAD} bytes"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Encodes one frame: header followed by the payload, CRC32c over
-/// everything except the CRC field itself.
-pub(crate) fn encode_frame(seq: u64, tag: u64, payload: &Bytes) -> Bytes {
-    assert!(payload.len() <= u32::MAX as usize, "frame payload exceeds u32 length field");
+/// everything except the CRC field itself. Fails with a typed error
+/// (never panics) when the payload exceeds [`MAX_FRAME_PAYLOAD`];
+/// `src` names the sending rank in that error.
+pub(crate) fn encode_frame(src: usize, seq: u64, tag: u64, payload: &Bytes) -> MpsResult<Bytes> {
+    check_frame_len(src, payload.len())?;
     let mut buf = Vec::with_capacity(HEADER + payload.len());
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&tag.to_le_bytes());
@@ -61,7 +103,7 @@ pub(crate) fn encode_frame(seq: u64, tag: u64, payload: &Bytes) -> Bytes {
     buf.extend_from_slice(payload.as_slice());
     let crc = crc32c_pair(&buf[..20], &buf[HEADER..]);
     buf[20..24].copy_from_slice(&crc.to_le_bytes());
-    Bytes::from(buf)
+    Ok(Bytes::from(buf))
 }
 
 /// Decodes and verifies a frame; `None` means the frame is damaged
@@ -145,8 +187,9 @@ struct SendWindow {
     frames: VecDeque<(u64, Bytes)>,
 }
 
-/// The shared reliable-delivery engine of one universe (lives in the
-/// [`Fabric`], present only when a [`FaultPlan`] is installed).
+/// The shared reliable-delivery engine of one universe. On the
+/// in-process fabric it exists only when a [`FaultPlan`] is installed;
+/// on the socket fabric it is always live (it *is* the wire protocol).
 pub(crate) struct Transport {
     plan: FaultPlan,
     size: usize,
@@ -189,33 +232,44 @@ impl Transport {
         src * self.size + dst
     }
 
-    /// Sends one application payload over the chaotic link: frames it,
+    /// Sends one application payload over the lossy link: frames it,
     /// appends it to the retransmit window (pruning everything the
     /// receiver has acked), and transmits subject to the fault plan.
-    pub(crate) fn send(&self, fabric: &Fabric, src: usize, dst: usize, tag: u64, payload: Bytes) {
+    /// An over-long payload fails *before* consuming a sequence
+    /// number, so the link stays usable after the error.
+    pub(crate) fn send(
+        &self,
+        sink: &dyn FrameSink,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        payload: Bytes,
+    ) -> MpsResult<()> {
+        check_frame_len(src, payload.len())?;
         let l = self.link(src, dst);
         let (seq, frame) = {
-            let mut w = self.windows[l].lock().expect("send window lock");
+            let mut w = lock_recover(&self.windows[l]);
             let acked = self.acked[l].load(Ordering::Acquire);
             while w.frames.front().is_some_and(|(s, _)| *s < acked) {
                 w.frames.pop_front();
             }
             let seq = w.next_seq;
+            let frame = encode_frame(src, seq, tag, &payload)?;
             w.next_seq += 1;
-            let frame = encode_frame(seq, tag, &payload);
             w.frames.push_back((seq, frame.clone()));
             (seq, frame)
         };
         self.stats[src].frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.transmit(fabric, src, dst, seq, &frame, 0);
+        self.transmit(sink, src, dst, seq, &frame, 0);
+        Ok(())
     }
 
     /// Puts one frame on the wire, applying the plan's decision for
-    /// `attempt`. Never blocks on the receiver (delivery is a mailbox
-    /// push); an injected delay stalls the calling thread only.
+    /// `attempt`. Never blocks on the receiver; an injected delay
+    /// stalls the calling thread only.
     fn transmit(
         &self,
-        fabric: &Fabric,
+        sink: &dyn FrameSink,
         src: usize,
         dst: usize,
         seq: u64,
@@ -241,27 +295,27 @@ impl Transport {
         };
         if d.duplicate {
             st.injected_dups.fetch_add(1, Ordering::Relaxed);
-            fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: wire.clone() });
+            sink.deliver_frame(src, dst, wire.clone());
         }
         if d.reorder {
             st.injected_reorders.fetch_add(1, Ordering::Relaxed);
-            self.held[self.link(src, dst)].lock().expect("holdback lock").push(wire);
+            lock_recover(&self.held[self.link(src, dst)]).push(wire);
             return;
         }
-        fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: wire });
+        sink.deliver_frame(src, dst, wire);
         // Any frame held back on this link is now "later than" a newer
         // frame — deliver it out of order, as the injection intended.
-        self.flush_held(fabric, src, dst);
+        self.flush_held(sink, src, dst);
     }
 
-    fn flush_held(&self, fabric: &Fabric, src: usize, dst: usize) -> usize {
+    fn flush_held(&self, sink: &dyn FrameSink, src: usize, dst: usize) -> usize {
         let held = {
-            let mut h = self.held[self.link(src, dst)].lock().expect("holdback lock");
+            let mut h = lock_recover(&self.held[self.link(src, dst)]);
             std::mem::take(&mut *h)
         };
         let n = held.len();
         for frame in held {
-            fabric.deliver(dst, Packet { src, tag: TRANSPORT_TAG, data: frame });
+            sink.deliver_frame(src, dst, frame);
         }
         n
     }
@@ -273,15 +327,15 @@ impl Transport {
     /// patience territory, not retry territory.
     pub(crate) fn retransmit_from(
         &self,
-        fabric: &Fabric,
+        sink: &dyn FrameSink,
         src: usize,
         dst: usize,
         from_seq: u64,
         attempt: u32,
     ) -> usize {
-        let mut n = self.flush_held(fabric, src, dst);
+        let mut n = self.flush_held(sink, src, dst);
         let frames: Vec<(u64, Bytes)> = {
-            let w = self.windows[self.link(src, dst)].lock().expect("send window lock");
+            let w = lock_recover(&self.windows[self.link(src, dst)]);
             w.frames.iter().filter(|(s, _)| *s >= from_seq).cloned().collect()
         };
         for (seq, frame) in frames {
@@ -289,7 +343,7 @@ impl Transport {
             tc_trace::instant_with(tc_trace::names::RETRANSMIT, tc_trace::Category::Comm, || {
                 vec![("src", src.into()), ("seq", seq.into()), ("attempt", attempt.into())]
             });
-            self.transmit(fabric, src, dst, seq, &frame, attempt);
+            self.transmit(sink, src, dst, seq, &frame, attempt);
             n += 1;
         }
         n
@@ -298,7 +352,7 @@ impl Transport {
     /// Publishes the receiver's cumulative ack for `src → dst`, which
     /// lets the sender prune its retransmit window on its next send.
     pub(crate) fn ack(&self, src: usize, dst: usize, next_seq: u64) {
-        self.acked[self.link(src, dst)].store(next_seq, Ordering::Release);
+        self.acked[self.link(src, dst)].fetch_max(next_seq, Ordering::AcqRel);
     }
 
     /// Counts one receiver-driven recovery round on `rank`.
@@ -309,10 +363,28 @@ impl Transport {
     /// Delivers every held-back frame originating at `rank` (called
     /// when the rank finishes, so reorder holdbacks cannot outlive
     /// their sender).
-    pub(crate) fn flush_rank(&self, fabric: &Fabric, rank: usize) {
+    pub(crate) fn flush_rank(&self, sink: &dyn FrameSink, rank: usize) {
         for dst in 0..self.size {
-            self.flush_held(fabric, rank, dst);
+            self.flush_held(sink, rank, dst);
         }
+    }
+
+    /// Whether every frame `src` ever sent has been acked by its
+    /// receiver and no holdback is pending — i.e. the rank can
+    /// disconnect without stranding in-flight data. Used by the socket
+    /// backend's orderly-shutdown drain.
+    pub(crate) fn outbound_drained(&self, src: usize) -> bool {
+        for dst in 0..self.size {
+            let l = self.link(src, dst);
+            if !lock_recover(&self.held[l]).is_empty() {
+                return false;
+            }
+            let acked = self.acked[l].load(Ordering::Acquire);
+            if lock_recover(&self.windows[l]).frames.iter().any(|(s, _)| *s >= acked) {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -354,8 +426,7 @@ impl LinkRx {
     }
 
     /// Whether something is demonstrably missing on this link.
-    #[cfg(test)]
-    fn has_gap_evidence(&self) -> bool {
+    pub(crate) fn has_gap_evidence(&self) -> bool {
         self.corrupt_evidence || !self.parked.is_empty()
     }
 
@@ -393,7 +464,10 @@ impl RxState {
 
     /// Ingests one raw frame arriving at `rank`, appending every
     /// application packet it releases (the frame itself plus any parked
-    /// successors it unblocks) to `out` in sequence order.
+    /// successors it unblocks) to `out` in sequence order. Cumulative
+    /// ack progress is published through `ack` (with the new
+    /// next-expected sequence number), so the caller decides whether
+    /// that is a shared-memory store or a wire message.
     pub(crate) fn ingest(
         &mut self,
         transport: &Transport,
@@ -401,6 +475,7 @@ impl RxState {
         src: usize,
         frame: &Bytes,
         out: &mut Vec<Packet>,
+        ack: &mut dyn FnMut(u64),
     ) {
         let st = &transport.stats[rank];
         let link = &mut self.links[src];
@@ -428,11 +503,21 @@ impl RxState {
                 st.reordered_frames.fetch_add(1, Ordering::Relaxed);
                 st.reorder_depth_max.fetch_max(link.parked.len() as u64, Ordering::Relaxed);
                 // Bounded memory: shed the newest frames beyond the
-                // cap; retransmission recovers them once the gap
-                // closes.
+                // cap. The shed frames are only recoverable by
+                // retransmission, so the drop must not stay invisible
+                // until a patience timer fires — count it and make the
+                // link's recovery round due *now*, which re-requests
+                // everything from the gap up through the evicted
+                // sequence numbers.
+                let mut evicted = 0u64;
                 while link.parked.len() > REORDER_CAP {
                     let last = *link.parked.keys().next_back().expect("non-empty");
                     link.parked.remove(&last);
+                    evicted += 1;
+                }
+                if evicted > 0 {
+                    st.reorder_evicted.fetch_add(evicted, Ordering::Relaxed);
+                    link.nack_at = Some(Instant::now());
                 }
             }
             link.nack_at.get_or_insert_with(|| Instant::now() + transport.plan.nack_base());
@@ -448,13 +533,37 @@ impl RxState {
         link.attempts = 0;
         link.nack_at = None;
         link.corrupt_evidence = false;
-        transport.ack(src, rank, link.next_seq);
+        ack(link.next_seq);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    /// Test sink that records delivered frames.
+    struct VecSink(Mutex<Vec<(usize, usize, Bytes)>>);
+
+    impl VecSink {
+        fn new() -> Self {
+            Self(Mutex::new(Vec::new()))
+        }
+
+        fn delivered(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    impl FrameSink for VecSink {
+        fn deliver_frame(&self, src: usize, dst: usize, frame: Bytes) {
+            self.0.lock().unwrap().push((src, dst, frame));
+        }
+    }
+
+    fn frame(seq: u64, tag: u64, payload: Vec<u8>) -> Bytes {
+        encode_frame(0, seq, tag, &Bytes::from(payload)).expect("small payload")
+    }
 
     #[test]
     fn crc32c_known_answer() {
@@ -472,7 +581,7 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let payload = Bytes::from((0u8..200).collect::<Vec<u8>>());
-        let f = encode_frame(7, 0x1234, &payload);
+        let f = encode_frame(0, 7, 0x1234, &payload).expect("valid length");
         let (seq, tag, p) = decode_frame(&f).expect("valid frame");
         assert_eq!((seq, tag), (7, 0x1234));
         assert_eq!(p, payload);
@@ -484,14 +593,28 @@ mod tests {
 
     #[test]
     fn empty_payload_roundtrip() {
-        let f = encode_frame(0, 1, &Bytes::new());
+        let f = frame(0, 1, vec![]);
         let (seq, tag, p) = decode_frame(&f).expect("valid frame");
         assert_eq!((seq, tag, p.len()), (0, 1, 0));
     }
 
     #[test]
+    fn oversized_payload_is_a_typed_error() {
+        // Boundary check without allocating 4 GiB: the length check is
+        // the exact guard `encode_frame` and `Transport::send` apply.
+        assert!(check_frame_len(3, MAX_FRAME_PAYLOAD).is_ok());
+        match check_frame_len(3, MAX_FRAME_PAYLOAD + 1) {
+            Err(MpsError::Protocol { rank, msg }) => {
+                assert_eq!(rank, 3);
+                assert!(msg.contains("exceeds the frame limit"), "{msg}");
+            }
+            other => panic!("expected a Protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn every_truncation_is_detected() {
-        let f = encode_frame(3, 9, &Bytes::from(vec![5u8; 64]));
+        let f = frame(3, 9, vec![5u8; 64]);
         for keep in 0..f.len() {
             let cut = Bytes::from(f.as_slice()[..keep].to_vec());
             assert!(decode_frame(&cut).is_none(), "truncation to {keep} bytes undetected");
@@ -500,7 +623,7 @@ mod tests {
 
     #[test]
     fn every_single_bitflip_is_detected() {
-        let f = encode_frame(11, 42, &Bytes::from(vec![0xAB; 32]));
+        let f = frame(11, 42, vec![0xAB; 32]);
         for bit in 0..f.len() * 8 {
             let flipped = corrupt_frame(&f, Corruption::BitFlip(bit as u64));
             assert!(decode_frame(&flipped).is_none(), "bit {bit} flip undetected");
@@ -512,19 +635,19 @@ mod tests {
         let plan = FaultPlan::new(0);
         let transport = Transport::new(2, plan);
         let mut rx = RxState::new(2);
-        let frame = |seq: u64| encode_frame(seq, 100 + seq, &Bytes::from(vec![seq as u8]));
+        let mk = |seq: u64| frame(seq, 100 + seq, vec![seq as u8]);
         let mut out = Vec::new();
+        let mut acked = 0u64;
         // 2, 0, 2 (dup), 1 → released as 0, 1, 2 exactly once.
-        rx.ingest(&transport, 1, 0, &frame(2), &mut out);
-        rx.ingest(&transport, 1, 0, &frame(0), &mut out);
-        rx.ingest(&transport, 1, 0, &frame(2), &mut out);
-        rx.ingest(&transport, 1, 0, &frame(1), &mut out);
+        for seq in [2, 0, 2, 1] {
+            rx.ingest(&transport, 1, 0, &mk(seq), &mut out, &mut |n| acked = n);
+        }
         let tags: Vec<u64> = out.iter().map(|p| p.tag).collect();
         assert_eq!(tags, vec![100, 101, 102]);
         let st = transport.stats(1);
         assert_eq!(st.dup_frames, 1);
         assert_eq!(st.reordered_frames, 1);
-        assert_eq!(transport.acked[1 /* link 0→1 */].load(Ordering::Relaxed), 3);
+        assert_eq!(acked, 3, "cumulative ack published through the callback");
         assert!(!rx.link(0).has_gap_evidence());
     }
 
@@ -534,8 +657,8 @@ mod tests {
         let mut rx = RxState::new(2);
         let mut out = Vec::new();
         for seq in 1..(REORDER_CAP as u64 + 40) {
-            let f = encode_frame(seq, seq, &Bytes::new());
-            rx.ingest(&transport, 1, 0, &f, &mut out);
+            let f = frame(seq, seq, vec![]);
+            rx.ingest(&transport, 1, 0, &f, &mut out, &mut |_| {});
         }
         assert!(out.is_empty(), "gap at 0 never closed");
         assert!(rx.link(0).parked.len() <= REORDER_CAP);
@@ -543,18 +666,94 @@ mod tests {
     }
 
     #[test]
+    fn reorder_eviction_is_counted_and_nacks_immediately() {
+        let transport = Transport::new(2, FaultPlan::new(0));
+        let mut rx = RxState::new(2);
+        let mut out = Vec::new();
+        // Park exactly up to the cap (seqs 1..=CAP; 0 is the gap): no
+        // eviction yet, and the recovery timer sits a patience period
+        // in the future.
+        for seq in 1..=(REORDER_CAP as u64) {
+            rx.ingest(&transport, 1, 0, &frame(seq, seq, vec![]), &mut out, &mut |_| {});
+        }
+        assert_eq!(transport.stats(1).reorder_evicted, 0);
+        let patience = rx.link(0).nack_at.expect("armed");
+        assert!(patience > Instant::now(), "no eviction → patience timer");
+        // One more parked frame overflows the buffer.
+        let before = Instant::now();
+        rx.ingest(
+            &transport,
+            1,
+            0,
+            &frame(REORDER_CAP as u64 + 1, 7, vec![]),
+            &mut out,
+            &mut |_| {},
+        );
+        assert_eq!(transport.stats(1).reorder_evicted, 1, "eviction must be counted");
+        let due = rx.link(0).nack_at.expect("armed");
+        assert!(due <= Instant::now() && due >= before, "eviction must make recovery due now");
+        assert!(rx.link(0).parked.len() <= REORDER_CAP);
+    }
+
+    #[test]
     fn corrupt_frame_flags_gap_evidence() {
         let transport = Transport::new(2, FaultPlan::new(0));
         let mut rx = RxState::new(2);
         let mut out = Vec::new();
-        let f = encode_frame(0, 7, &Bytes::from(vec![1, 2, 3]));
-        rx.ingest(&transport, 1, 0, &corrupt_frame(&f, Corruption::BitFlip(13)), &mut out);
+        let f = frame(0, 7, vec![1, 2, 3]);
+        rx.ingest(
+            &transport,
+            1,
+            0,
+            &corrupt_frame(&f, Corruption::BitFlip(13)),
+            &mut out,
+            &mut |_| {},
+        );
         assert!(out.is_empty());
         assert!(rx.link(0).has_gap_evidence());
         assert_eq!(transport.stats(1).corrupt_frames, 1);
         // The pristine retransmission still gets through.
-        rx.ingest(&transport, 1, 0, &f, &mut out);
+        rx.ingest(&transport, 1, 0, &f, &mut out, &mut |_| {});
         assert_eq!(out.len(), 1);
         assert!(!rx.link(0).has_gap_evidence());
+    }
+
+    #[test]
+    fn send_and_recovery_survive_poisoned_locks() {
+        // A rank thread that panics while holding transport locks must
+        // not turn every surviving rank's send into a poisoned-lock
+        // panic: the orderly PeerFailed path depends on survivors
+        // still being able to transmit and recover.
+        let t = Arc::new(Transport::new(2, FaultPlan::new(0)));
+        let t2 = Arc::clone(&t);
+        let _ = std::thread::spawn(move || {
+            let _w = t2.windows[1].lock().unwrap(); // link 0→1
+            let _h = t2.held[1].lock().unwrap();
+            panic!("rank dies mid-send");
+        })
+        .join();
+        assert!(t.windows[1].is_poisoned() && t.held[1].is_poisoned());
+        let sink = VecSink::new();
+        t.send(&sink, 0, 1, 7, Bytes::from(vec![1, 2, 3])).expect("send survives poison");
+        assert_eq!(sink.delivered(), 1);
+        assert_eq!(t.retransmit_from(&sink, 0, 1, 0, 1), 1, "recovery survives poison");
+        assert!(!t.outbound_drained(0));
+        t.ack(0, 1, 1);
+        assert!(t.outbound_drained(0));
+    }
+
+    #[test]
+    fn outbound_drained_tracks_acks_and_holdbacks() {
+        let t = Transport::new(2, FaultPlan::new(0));
+        let sink = VecSink::new();
+        assert!(t.outbound_drained(0), "nothing sent yet");
+        t.send(&sink, 0, 1, 1, Bytes::from(vec![1])).unwrap();
+        t.send(&sink, 0, 1, 2, Bytes::from(vec![2])).unwrap();
+        assert!(!t.outbound_drained(0));
+        t.ack(0, 1, 1);
+        assert!(!t.outbound_drained(0), "one frame still unacked");
+        t.ack(0, 1, 2);
+        assert!(t.outbound_drained(0));
+        assert!(t.outbound_drained(1), "the idle rank is trivially drained");
     }
 }

@@ -104,6 +104,10 @@ pub struct ReliabilityStats {
     pub reordered_frames: u64,
     /// Deepest reorder buffer observed (frames parked at once).
     pub reorder_depth_max: u64,
+    /// Parked frames shed by the reorder buffer's capacity bound; each
+    /// eviction schedules an immediate NACK so the recovered gap also
+    /// re-covers the evicted sequence numbers.
+    pub reorder_evicted: u64,
     /// Recovery rounds driven (NACK + retransmit requests).
     pub nacks: u64,
 }
@@ -122,6 +126,7 @@ impl ReliabilityStats {
         self.dup_frames += other.dup_frames;
         self.reordered_frames += other.reordered_frames;
         self.reorder_depth_max = self.reorder_depth_max.max(other.reorder_depth_max);
+        self.reorder_evicted += other.reorder_evicted;
         self.nacks += other.nacks;
     }
 
@@ -145,6 +150,7 @@ pub(crate) struct SharedReliabilityStats {
     pub dup_frames: AtomicU64,
     pub reordered_frames: AtomicU64,
     pub reorder_depth_max: AtomicU64,
+    pub reorder_evicted: AtomicU64,
     pub nacks: AtomicU64,
 }
 
@@ -162,6 +168,7 @@ impl SharedReliabilityStats {
             dup_frames: self.dup_frames.load(Ordering::Relaxed),
             reordered_frames: self.reordered_frames.load(Ordering::Relaxed),
             reorder_depth_max: self.reorder_depth_max.load(Ordering::Relaxed),
+            reorder_evicted: self.reorder_evicted.load(Ordering::Relaxed),
             nacks: self.nacks.load(Ordering::Relaxed),
         }
     }

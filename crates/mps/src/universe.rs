@@ -24,12 +24,27 @@ use crate::chaos::FaultPlan;
 use crate::comm::Comm;
 use crate::error::{MpsError, MpsResult};
 use crate::fabric::Fabric;
+use crate::fabric_local::LocalFabric;
+use crate::fabric_socket::{SocketFabric, WireSnapshot};
 use crate::reliable::Transport;
 use crate::stats::{CommStats, ReliabilityStats};
 
 /// Environment variable overriding the default receive deadline, in
 /// milliseconds.
 pub const RECV_TIMEOUT_ENV: &str = "MPS_RECV_TIMEOUT_MS";
+
+/// This process's rank index for the socket backend
+/// ([`SocketConfig::from_env`]).
+pub const FABRIC_RANK_ENV: &str = "MPS_FABRIC_RANK";
+
+/// Comma-separated endpoint list (one per rank, rank order) for the
+/// socket backend: Unix paths (`unix:/tmp/r0.sock` or any value
+/// containing `/`) or TCP `host:port` pairs.
+pub const FABRIC_PEERS_ENV: &str = "MPS_FABRIC_PEERS";
+
+/// Epoch tag every handshake must agree on, so a stale process from a
+/// previous launch cannot join the universe. Defaults to 0.
+pub const FABRIC_EPOCH_ENV: &str = "MPS_FABRIC_EPOCH";
 
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
@@ -183,7 +198,8 @@ impl Universe {
         assert!(size > 0, "universe must have at least one rank");
         let timeout = config.effective_recv_timeout();
         let transport = config.effective_chaos().map(|plan| Transport::new(size, plan));
-        let fabric = Arc::new(Fabric::new(size, timeout, config.trace.clone(), transport));
+        let fabric: Arc<dyn Fabric> =
+            Arc::new(LocalFabric::new(size, timeout, config.trace.clone(), transport));
 
         let f = &f;
         let trace = &config.trace;
@@ -283,11 +299,147 @@ fn feed_reliability_metrics(rel: &ReliabilityStats) {
     tc_metrics::counter_add(m::MPS_REL_DUP_FRAMES, rel.dup_frames);
     tc_metrics::counter_add(m::MPS_REL_REORDERED_FRAMES, rel.reordered_frames);
     tc_metrics::counter_add(m::MPS_REL_REORDER_DEPTH_MAX, rel.reorder_depth_max);
+    tc_metrics::counter_add(m::MPS_REL_REORDER_EVICTED, rel.reorder_evicted);
     tc_metrics::counter_add(m::MPS_REL_INJECTED_DROPS, rel.injected_drops);
     tc_metrics::counter_add(m::MPS_REL_INJECTED_DUPS, rel.injected_dups);
     tc_metrics::counter_add(m::MPS_REL_INJECTED_REORDERS, rel.injected_reorders);
     tc_metrics::counter_add(m::MPS_REL_INJECTED_DELAYS, rel.injected_delays);
     tc_metrics::counter_add(m::MPS_REL_INJECTED_CORRUPTIONS, rel.injected_corruptions);
+}
+
+/// Mirrors one rank's socket-wire counters into the live metrics
+/// registry. Only socket-backed runs produce these (`mps.fabric.*`);
+/// in-process runs never touch them, so baselines are unaffected.
+fn feed_wire_metrics(w: &WireSnapshot) {
+    if !tc_metrics::enabled() {
+        return;
+    }
+    use tc_metrics::names as m;
+    tc_metrics::counter_add(m::MPS_FABRIC_CONNECTS, w.connects);
+    tc_metrics::counter_add(m::MPS_FABRIC_ACCEPTS, w.accepts);
+    tc_metrics::counter_add(m::MPS_FABRIC_HANDSHAKES, w.handshakes);
+    tc_metrics::counter_add(m::MPS_FABRIC_WIRE_MSGS_SENT, w.msgs_sent);
+    tc_metrics::counter_add(m::MPS_FABRIC_WIRE_BYTES_SENT, w.bytes_sent);
+    tc_metrics::counter_add(m::MPS_FABRIC_WIRE_MSGS_RECV, w.msgs_recv);
+    tc_metrics::counter_add(m::MPS_FABRIC_WIRE_BYTES_RECV, w.bytes_recv);
+    tc_metrics::counter_add(m::MPS_FABRIC_ACKS_SENT, w.acks_sent);
+    tc_metrics::counter_add(m::MPS_FABRIC_NACKS_SENT, w.nacks_sent);
+}
+
+/// Configuration of one rank *process* of a socket-backed universe.
+///
+/// Unlike [`UniverseConfig`], which describes a whole in-process
+/// universe, a `SocketConfig` describes this process's slice of a
+/// multi-process one: its rank, every rank's endpoint, and the launch
+/// epoch all processes must agree on.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// This process's rank (an index into `peers`).
+    pub rank: usize,
+    /// One endpoint per rank, in rank order: `unix:/path/sock` (or any
+    /// string containing `/`) for Unix-domain sockets, `host:port` for
+    /// TCP. Rank `r` binds and listens on `peers[r]`.
+    pub peers: Vec<String>,
+    /// Launch epoch: handshakes reject peers from a different epoch,
+    /// so a stale process of a previous run cannot join.
+    pub epoch: u64,
+    /// The per-universe tunables (deadline, trace, metrics, chaos).
+    /// A chaos plan here injects faults into the *socket* wire layer.
+    pub universe: UniverseConfig,
+}
+
+impl SocketConfig {
+    /// A config with epoch 0 and default universe tunables.
+    pub fn new(rank: usize, peers: Vec<String>) -> Self {
+        Self { rank, peers, epoch: 0, universe: UniverseConfig::default() }
+    }
+
+    /// Builds a config from the `MPS_FABRIC_*` environment family, or
+    /// `None` when neither [`FABRIC_RANK_ENV`] nor [`FABRIC_PEERS_ENV`]
+    /// is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics (naming the variable) when only one of the two required
+    /// variables is set, when either does not parse strictly, or when
+    /// the rank is out of range of the peer list.
+    pub fn from_env() -> Option<Self> {
+        let rank = strict_env::<usize>(FABRIC_RANK_ENV, "rank index");
+        let peers = strict_env::<String>(FABRIC_PEERS_ENV, "endpoint list");
+        let (rank, peers) = match (rank, peers) {
+            (Some(r), Some(p)) => (r, p),
+            (None, None) => return None,
+            (Some(_), None) => {
+                panic!("{FABRIC_RANK_ENV} is set but {FABRIC_PEERS_ENV} is not")
+            }
+            (None, Some(_)) => {
+                panic!("{FABRIC_PEERS_ENV} is set but {FABRIC_RANK_ENV} is not")
+            }
+        };
+        let peers: Vec<String> =
+            peers.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        assert!(
+            rank < peers.len(),
+            "{FABRIC_RANK_ENV}={rank} is out of range of the {} endpoints in {FABRIC_PEERS_ENV}",
+            peers.len()
+        );
+        let epoch = strict_env::<u64>(FABRIC_EPOCH_ENV, "unsigned integer epoch").unwrap_or(0);
+        Some(Self { rank, peers, epoch, universe: UniverseConfig::default() })
+    }
+}
+
+impl Universe {
+    /// Runs this process's rank body of a multi-process, socket-backed
+    /// universe: binds/connects to every peer per `config`, runs `f`
+    /// on the resulting [`Comm`], and performs the orderly shutdown
+    /// (drain, FIN exchange, teardown). Returns the body's value and
+    /// this rank's communication counters, or the universe's first
+    /// failure — exactly the contract one rank of
+    /// [`Universe::try_run_config`] sees from the inside.
+    pub fn try_run_socket<T, F>(config: &SocketConfig, f: F) -> MpsResult<(T, CommStats)>
+    where
+        F: FnOnce(&Comm) -> MpsResult<T>,
+    {
+        let rank = config.rank;
+        let size = config.peers.len();
+        assert!(size > 0, "universe must have at least one rank");
+        assert!(rank < size, "rank {rank} out of range of {size} endpoints");
+        let _trace_guard = config.universe.trace.as_ref().map(|h| h.register_rank(rank));
+        let _metrics_guard = config.universe.metrics.as_ref().map(|h| h.register_rank(rank));
+        let fabric = SocketFabric::connect(config)?;
+        let comm = Comm::new(rank, size, Arc::clone(&fabric) as Arc<dyn Fabric>);
+        let out = catch_unwind(AssertUnwindSafe(|| f(&comm)));
+        let stats = comm.stats();
+        feed_comm_metrics(&stats, comm.collective_calls());
+        if let Some(rel) = comm.reliability_stats() {
+            feed_reliability_metrics(&rel);
+        }
+        let value = match out {
+            Ok(Ok(value)) => Some(value),
+            Ok(Err(err)) => {
+                fabric.record_failure(rank, err);
+                None
+            }
+            Err(payload) => {
+                let msg = panic_message(&*payload);
+                fabric.record_failure(rank, MpsError::PeerFailed { rank, msg });
+                None
+            }
+        };
+        // Orderly shutdown: drain unacked frames, announce FIN, wait
+        // for every peer's FIN (or the first failure), then tear the
+        // connections down. On the failure path the drain is skipped —
+        // peers are aborting, nobody will ack.
+        fabric.mark_finished(rank);
+        fabric.await_peers();
+        feed_wire_metrics(&fabric.wire_stats());
+        fabric.shutdown();
+        if let Some(fail) = fabric.failure() {
+            return Err(fail.error);
+        }
+        let value = value.expect("a missing value implies a recorded failure");
+        Ok((value, stats))
+    }
 }
 
 /// Bundle of the observability handles an instrumented entry point

@@ -100,4 +100,10 @@ pub mod names {
     /// Reliable transport received a frame that failed CRC/length
     /// verification (instant; args carry the source rank).
     pub const FRAME_CORRUPT: &str = "frame_corrupt";
+    /// Socket fabric mesh setup: bind, dial lower ranks, accept higher
+    /// ranks (span; args carry rank and universe size).
+    pub const FABRIC_CONNECT: &str = "fabric_connect";
+    /// Socket fabric hello exchange on one fresh connection (span;
+    /// args carry the local rank).
+    pub const FABRIC_HANDSHAKE: &str = "fabric_handshake";
 }
