@@ -1,112 +1,71 @@
-//! Overlapping (ghost-replicated) adjacency storage.
+//! Ghost replication (AOP-style placement) for the mutable
+//! [`AdjStore`].
 //!
-//! The communication-avoiding data placement of Arifuzzaman et al.'s
-//! AOP — each rank stores its 1D block of vertices *plus* the
-//! adjacency lists of every remote vertex its edges reference —
-//! extracted as a reusable building block. `tc_baselines::aop1d` uses
-//! the oriented variant inline; applications that need *full*
-//! (symmetric) neighbourhoods, like the distributed truss peeler,
-//! build this store once and then work without further adjacency
-//! communication.
+//! The store itself now lives in the graph substrate
+//! ([`tc_graph::adj`], re-exported here for compatibility) so that
+//! mutation-heavy consumers like the always-on analytics service can
+//! use it without a dependency on the message-passing layer. What
+//! remains here is the communication-coupled part: the personalized
+//! all-to-all of Arifuzzaman et al.'s AOP that pushes each owned row
+//! to every rank holding one of its neighbours, delivered into the
+//! store as ghost rows.
 
-use std::collections::HashMap;
+pub use tc_graph::AdjStore;
 
 use tc_graph::{Block1D, Csr};
 use tc_mps::{Comm, MpsResult};
 
-/// Per-rank adjacency: owned rows (views into the shared input CSR)
-/// plus ghost rows replicated from remote owners.
-#[derive(Debug)]
-pub struct AdjStore<'a> {
-    csr: &'a Csr,
-    lo: u32,
-    hi: u32,
-    ghosts: HashMap<u32, Vec<u32>>,
-    max_row: usize,
+/// Builds a ghost-replicated store from this rank's block of the
+/// shared input CSR: one personalized all-to-all pushes each owned row
+/// to every rank that holds one of its neighbours.
+///
+/// # Panics
+///
+/// Panics if the exchange fails (a peer died or timed out); use
+/// [`try_build_from_csr`] to handle that as an error.
+pub fn build_from_csr(comm: &Comm, csr: &Csr, block: Block1D) -> AdjStore {
+    match try_build_from_csr(comm, csr, block) {
+        Ok(store) => store,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-impl<'a> AdjStore<'a> {
-    /// Builds the store: one personalized all-to-all pushes each owned
-    /// row to every rank that holds one of its neighbours.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the exchange fails (a peer died or timed out); use
-    /// [`AdjStore::try_build_from_csr`] to handle that as an error.
-    pub fn build_from_csr(comm: &Comm, csr: &'a Csr, block: Block1D) -> Self {
-        match Self::try_build_from_csr(comm, csr, block) {
-            Ok(store) => store,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible variant of [`AdjStore::build_from_csr`].
-    pub fn try_build_from_csr(comm: &Comm, csr: &'a Csr, block: Block1D) -> MpsResult<Self> {
-        let p = comm.size();
-        let rank = comm.rank();
-        let (lo, hi) = block.range(rank);
-        let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
-        let mut stamp = vec![usize::MAX; p];
-        for v in lo as u32..hi as u32 {
-            let row = csr.neighbors(v);
-            for &w in row {
-                let dst = block.owner(w);
-                if dst != rank && stamp[dst] != v as usize {
-                    stamp[dst] = v as usize;
-                    let buf = &mut sends[dst];
-                    buf.push(v);
-                    buf.push(row.len() as u32);
-                    buf.extend_from_slice(row);
-                }
+/// Fallible variant of [`build_from_csr`].
+///
+/// Wire format per destination: repeated `[v, len, row...]`. Declared
+/// lengths come off the wire, so row materialization respects the
+/// capped-preallocation discipline of [`tc_graph::adj::PREALLOC_CAP`].
+pub fn try_build_from_csr(comm: &Comm, csr: &Csr, block: Block1D) -> MpsResult<AdjStore> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let (lo, hi) = block.range(rank);
+    let mut sends: Vec<Vec<u32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut stamp = vec![usize::MAX; p];
+    for v in lo as u32..hi as u32 {
+        let row = csr.neighbors(v);
+        for &w in row {
+            let dst = block.owner(w);
+            if dst != rank && stamp[dst] != v as usize {
+                stamp[dst] = v as usize;
+                let buf = &mut sends[dst];
+                buf.push(v);
+                buf.push(row.len() as u32);
+                buf.extend_from_slice(row);
             }
         }
-        let recvd = comm.alltoallv(&sends)?;
-        drop(sends);
-        let mut ghosts = HashMap::new();
-        let mut max_row = (lo..hi).map(|v| csr.degree(v as u32)).max().unwrap_or(0);
-        for msg in &recvd {
-            let mut at = 0;
-            while at < msg.len() {
-                let (v, len) = (msg[at], msg[at + 1] as usize);
-                max_row = max_row.max(len);
-                ghosts.insert(v, msg[at + 2..at + 2 + len].to_vec());
-                at += 2 + len;
-            }
-        }
-        Ok(Self { csr, lo: lo as u32, hi: hi as u32, ghosts, max_row })
     }
-
-    /// Sorted full adjacency of `v` — owned or ghost.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` is remote and was never referenced by an owned
-    /// edge (such a vertex cannot appear in this rank's computations).
-    pub fn neighbors(&self, v: u32) -> &[u32] {
-        if v >= self.lo && v < self.hi {
-            self.csr.neighbors(v)
-        } else {
-            self.ghosts
-                .get(&v)
-                .unwrap_or_else(|| panic!("vertex {v} is neither owned nor ghosted"))
-                .as_slice()
+    let recvd = comm.alltoallv(&sends)?;
+    drop(sends);
+    let mut store = AdjStore::from_csr_block(csr, lo, hi);
+    for msg in &recvd {
+        let mut at = 0;
+        while at < msg.len() {
+            let (v, len) = (msg[at], msg[at + 1] as usize);
+            store.set_ghost(v, msg[at + 2..at + 2 + len].to_vec());
+            at += 2 + len;
         }
     }
-
-    /// Whether `v` is owned by this rank.
-    pub fn owns(&self, v: u32) -> bool {
-        v >= self.lo && v < self.hi
-    }
-
-    /// Longest row in the store (sizes intersection sets).
-    pub fn max_row_len(&self) -> usize {
-        self.max_row
-    }
-
-    /// Total ghost entries replicated (the memory-overhead metric).
-    pub fn ghost_entries(&self) -> usize {
-        self.ghosts.values().map(|g| g.len()).sum()
-    }
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -123,7 +82,7 @@ mod tests {
         let p = 4;
         let block = Block1D::new(n, p);
         let ok = Universe::run(p, |comm| {
-            let store = AdjStore::build_from_csr(comm, &csr, block);
+            let store = build_from_csr(comm, &csr, block);
             let (lo, hi) = block.range(comm.rank());
             for v in lo as u32..hi as u32 {
                 assert!(store.owns(v));
@@ -144,7 +103,7 @@ mod tests {
         let csr = Csr::from_edge_list(&el);
         let block = Block1D::new(csr.num_vertices(), 1);
         let ghost_entries =
-            Universe::run(1, |comm| AdjStore::build_from_csr(comm, &csr, block).ghost_entries());
+            Universe::run(1, |comm| build_from_csr(comm, &csr, block).ghost_entries());
         assert_eq!(ghost_entries, vec![0]);
     }
 
@@ -157,10 +116,28 @@ mod tests {
         let csr = Csr::from_edge_list(&el);
         let block = Block1D::new(8, 2);
         Universe::run(2, |comm| {
-            let store = AdjStore::build_from_csr(comm, &csr, block);
+            let store = build_from_csr(comm, &csr, block);
             if comm.rank() == 0 {
                 let _ = store.neighbors(7);
             }
         });
+    }
+
+    #[test]
+    fn replicated_store_accepts_mutation() {
+        // The promoted store is mutable: a rank can apply edge churn
+        // to its owned rows after replication.
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (3, 4)]).simplify();
+        let csr = Csr::from_edge_list(&el);
+        let block = Block1D::new(6, 2);
+        let ok = Universe::run(2, |comm| {
+            let mut store = build_from_csr(comm, &csr, block);
+            let (lo, _) = block.range(comm.rank());
+            let u = lo as u32;
+            let before = store.neighbors(u).len();
+            store.insert(u, (u + 1) % 6).unwrap();
+            store.neighbors(u).len() >= before
+        });
+        assert!(ok.iter().all(|&b| b));
     }
 }

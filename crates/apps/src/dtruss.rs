@@ -38,7 +38,7 @@ use tc_graph::vset::VertexSet;
 use tc_graph::Block1D;
 use tc_mps::{MpsResult, Universe};
 
-use crate::adjstore::AdjStore;
+use crate::adjstore;
 
 /// Result of a distributed truss decomposition.
 #[derive(Debug, Clone)]
@@ -90,7 +90,7 @@ pub fn try_truss_decomposition_dist(el: &EdgeList, p: usize) -> MpsResult<Dtruss
         let (lo, hi) = block.range(rank);
 
         // ---- setup: local + ghost adjacency (AOP pattern) ----
-        let store = AdjStore::try_build_from_csr(comm, &csr, block)?;
+        let store = adjstore::try_build_from_csr(comm, &csr, block)?;
 
         // Owned edges: (u, v) with u owned here, u < v.
         let mut owned: Vec<(u32, u32)> = Vec::new();

@@ -115,6 +115,56 @@ pub enum Command {
         /// fabric connect/handshake spans) as Chrome trace-event JSON.
         trace: Option<PathBuf>,
     },
+    /// Run the always-on analytics service (`tc-serve`).
+    Serve {
+        /// Where the graph comes from.
+        input: Input,
+        /// Unix-socket path the rank-0 frontend listens on.
+        listen: PathBuf,
+        /// In-process rank count (local mode; ignored when this
+        /// process is one rank of a socket fleet).
+        ranks: usize,
+        /// This process's rank in a socket fleet; `None` (with no
+        /// `MPS_FABRIC_*` environment) means local mode.
+        rank: Option<usize>,
+        /// Comma-separated endpoint list for the socket fleet.
+        peers: Option<String>,
+        /// Launch epoch for the socket handshake.
+        epoch: Option<u64>,
+        /// Cold-start/oracle kernel (only `2d` and `summa` serve).
+        algorithm: Algorithm,
+        /// SUMMA grid (when `algorithm == Summa`).
+        grid: Option<(usize, usize)>,
+        /// Kernel tunables for cold start and recounts.
+        config: TcConfig,
+        /// Generator seed for preset inputs.
+        seed: u64,
+        /// Chaos seed: a deterministic uniform fault plan on every
+        /// link — the service must stay exact regardless.
+        chaos: Option<u64>,
+        /// When set, write the final metrics snapshot here on exit.
+        metrics: Option<PathBuf>,
+        /// When set, rank 0 appends one `tc-run-v1` record here on
+        /// exit, distilled from the service-lifetime metrics session.
+        json: Option<PathBuf>,
+        /// Coalescing flush interval override (`MPS_SERVE_FLUSH_MS`).
+        flush_ms: Option<u64>,
+        /// Batch-size flush threshold override (`MPS_SERVE_MAX_BATCH`).
+        max_batch: Option<usize>,
+        /// Admission-queue capacity override (`MPS_SERVE_QUEUE`).
+        queue: Option<usize>,
+        /// Idle heartbeat interval override (`MPS_SERVE_TICK_MS`).
+        tick_ms: Option<u64>,
+    },
+    /// Send one request to a running service and print the reply.
+    Query {
+        /// The service's listen socket.
+        socket: PathBuf,
+        /// The serialized request line to send.
+        request: String,
+        /// How long to retry connecting while the service cold-starts.
+        timeout_ms: u64,
+    },
     /// Generate a preset and write it to a file.
     Generate {
         /// The preset to build.
@@ -169,6 +219,16 @@ USAGE:
                   [--metrics FILE] [--trace FILE] [--enumeration jik|ijk]
                   [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
                   [--no-overlap]
+  tricount serve  <FILE|PRESET> --listen SOCK [--ranks N] [--rank N --peers EP0,...]
+                  [--epoch E] [--algorithm 2d|summa] [--grid RxC] [--seed S]
+                  [--chaos SEED] [--metrics FILE] [--json FILE] [--flush-ms MS]
+                  [--max-batch N] [--queue N] [--tick-ms MS] [--enumeration jik|ijk]
+                  [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
+                  [--no-overlap]
+  tricount query  <SOCK> count|stats|metrics|flush|shutdown [--timeout-ms MS]
+  tricount query  <SOCK> support <U> <V> | truss <K> [--timeout-ms MS]
+  tricount query  <SOCK> update [--insert U:V,...] [--delete U:V,...]
+  tricount query  <SOCK> raw '<JSON LINE>'
   tricount generate <PRESET> --out FILE [--seed S]
   tricount info   <FILE|PRESET>
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
@@ -198,12 +258,42 @@ listens on the r-th entry. --rank/--peers/--epoch fall back to the
 MPS_FABRIC_RANK / MPS_FABRIC_PEERS / MPS_FABRIC_EPOCH environment
 variables. All application traffic crosses the reliable transport
 (framed, checksummed, NACK/retransmit) on this backend.
+serve keeps a rank fleet alive behind a Unix-socket frontend: load the
+graph once, count it cold with the 2D kernel, then answer count /
+support / truss / stats / metrics queries and absorb insert/delete
+batches incrementally (touched-neighborhood intersections only — never
+a hot-path recount). Without --rank/--peers (and with no MPS_FABRIC_*
+environment) the fleet is --ranks in-process threads; otherwise this
+process is ONE rank of a multi-process socket fleet and only rank 0
+binds --listen. The MPS_SERVE_{FLUSH_MS,MAX_BATCH,QUEUE,TICK_MS}
+environment family seeds the knobs; explicit flags win. With --json,
+rank 0 appends one tc-run-v1 record at shutdown (the sustained-workload
+analogue of the bench binaries' reports — serve.* counters nonzero,
+full_recounts pinned at the cold start).
+query speaks the service's line-delimited JSON protocol: it prints the
+raw reply line and exits 0 when the reply says ok, 1 otherwise (e.g.
+the typed over_capacity admission rejection).
 benchdiff compares tc-run-v1 reports produced by the bench binaries'
 --json flag; exit 0 = pass, 1 = regression, 2 = usage/parse error.
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage/parse error,
 3 invalid input graph (truncated/corrupt/out-of-range).
 ";
+
+/// Parses a `U:V,U:V,...` edge list (the `query update` wire form).
+fn parse_edge_csv(s: &str) -> Result<Vec<(u32, u32)>, String> {
+    s.split(',')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            let (u, v) =
+                t.trim().split_once(':').ok_or(format!("edge {t:?} must look like U:V"))?;
+            Ok((
+                u.parse().map_err(|e| format!("bad vertex in {t:?}: {e}"))?,
+                v.parse().map_err(|e| format!("bad vertex in {t:?}: {e}"))?,
+            ))
+        })
+        .collect()
+}
 
 fn parse_input(s: &str) -> Input {
     match Preset::parse(s) {
@@ -353,6 +443,229 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics,
                 trace,
             })
+        }
+        "serve" => {
+            let input = parse_input(it.next().ok_or("serve needs an input")?);
+            let mut listen = None;
+            let mut ranks = 4usize;
+            let mut rank = None;
+            let mut peers = None;
+            let mut epoch = None;
+            let mut algorithm = Algorithm::TwoD;
+            let mut grid = None;
+            let mut config = TcConfig::paper();
+            let mut seed = tc_gen::DEFAULT_SEED;
+            let mut chaos = None;
+            let mut metrics = None;
+            let mut json = None;
+            let mut flush_ms = None;
+            let mut max_batch = None;
+            let mut queue = None;
+            let mut tick_ms = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => {
+                        listen = Some(PathBuf::from(it.next().ok_or("--listen needs a path")?))
+                    }
+                    "--ranks" => {
+                        ranks = it
+                            .next()
+                            .ok_or("--ranks needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad ranks: {e}"))?;
+                    }
+                    "--rank" => {
+                        rank = Some(
+                            it.next()
+                                .ok_or("--rank needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad rank: {e}"))?,
+                        );
+                    }
+                    "--peers" => peers = Some(it.next().ok_or("--peers needs a list")?.clone()),
+                    "--epoch" => {
+                        epoch = Some(
+                            it.next()
+                                .ok_or("--epoch needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad epoch: {e}"))?,
+                        );
+                    }
+                    "--algorithm" => {
+                        algorithm =
+                            Algorithm::parse(it.next().ok_or("--algorithm needs a value")?)?;
+                    }
+                    "--grid" => {
+                        let v = it.next().ok_or("--grid needs RxC")?;
+                        let (r, c) = v.split_once('x').ok_or("grid must look like 3x4")?;
+                        grid = Some((
+                            r.parse().map_err(|e| format!("bad grid rows: {e}"))?,
+                            c.parse().map_err(|e| format!("bad grid cols: {e}"))?,
+                        ));
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                    }
+                    "--chaos" => {
+                        chaos = Some(
+                            it.next()
+                                .ok_or("--chaos needs a seed")?
+                                .parse()
+                                .map_err(|e| format!("bad chaos seed: {e}"))?,
+                        );
+                    }
+                    "--metrics" => {
+                        metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a path")?))
+                    }
+                    "--json" => json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+                    "--flush-ms" => {
+                        flush_ms = Some(
+                            it.next()
+                                .ok_or("--flush-ms needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad flush interval: {e}"))?,
+                        );
+                    }
+                    "--max-batch" => {
+                        max_batch = Some(
+                            it.next()
+                                .ok_or("--max-batch needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad batch threshold: {e}"))?,
+                        );
+                    }
+                    "--queue" => {
+                        queue = Some(
+                            it.next()
+                                .ok_or("--queue needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad queue capacity: {e}"))?,
+                        );
+                    }
+                    "--tick-ms" => {
+                        tick_ms = Some(
+                            it.next()
+                                .ok_or("--tick-ms needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad tick interval: {e}"))?,
+                        );
+                    }
+                    "--enumeration" => {
+                        config.enumeration =
+                            match it.next().ok_or("--enumeration needs a value")?.as_str() {
+                                "jik" => Enumeration::Jik,
+                                "ijk" => Enumeration::Ijk,
+                                other => return Err(format!("unknown enumeration {other:?}")),
+                            };
+                    }
+                    "--no-doubly-sparse" => config.doubly_sparse = false,
+                    "--no-direct-hash" => config.direct_hash = false,
+                    "--no-early-break" => config.reverse_early_break = false,
+                    "--no-overlap" => config.overlap_shifts = false,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if rank.is_some() != peers.is_some() {
+                return Err("serve needs both --rank and --peers for socket mode (or \
+                            neither, with the MPS_FABRIC_* environment or local --ranks)"
+                    .into());
+            }
+            if !matches!(algorithm, Algorithm::TwoD | Algorithm::Summa) {
+                return Err("serve supports only the fleet algorithms (2d, summa)".into());
+            }
+            Ok(Command::Serve {
+                input,
+                listen: listen.ok_or("serve requires --listen SOCK")?,
+                ranks,
+                rank,
+                peers,
+                epoch,
+                algorithm,
+                grid,
+                config,
+                seed,
+                chaos,
+                metrics,
+                json,
+                flush_ms,
+                max_batch,
+                queue,
+                tick_ms,
+            })
+        }
+        "query" => {
+            let socket = PathBuf::from(it.next().ok_or("query needs a socket path")?);
+            let op = it
+                .next()
+                .ok_or(
+                    "query needs an operation: count|support|truss|stats|metrics|\
+                     update|flush|shutdown|raw",
+                )?
+                .as_str();
+            use tc_serve::proto::{request_line, Request};
+            let mut request = match op {
+                "count" => request_line(&Request::Count),
+                "stats" => request_line(&Request::Stats),
+                "metrics" => request_line(&Request::Metrics),
+                "flush" => request_line(&Request::Flush),
+                "shutdown" => request_line(&Request::Shutdown),
+                "support" => {
+                    let u = it
+                        .next()
+                        .ok_or("query support needs <U> <V>")?
+                        .parse()
+                        .map_err(|e| format!("bad vertex <U>: {e}"))?;
+                    let v = it
+                        .next()
+                        .ok_or("query support needs <U> <V>")?
+                        .parse()
+                        .map_err(|e| format!("bad vertex <V>: {e}"))?;
+                    request_line(&Request::Support { u, v })
+                }
+                "truss" => {
+                    let k = it
+                        .next()
+                        .ok_or("query truss needs <K>")?
+                        .parse()
+                        .map_err(|e| format!("bad truss <K>: {e}"))?;
+                    request_line(&Request::Truss { k })
+                }
+                "update" => String::new(), // built from --insert/--delete below
+                "raw" => it.next().ok_or("query raw needs a JSON line")?.clone(),
+                other => return Err(format!("unknown query operation {other:?}")),
+            };
+            let mut timeout_ms = 10_000u64;
+            let mut insert = Vec::new();
+            let mut delete = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--timeout-ms" => {
+                        timeout_ms = it
+                            .next()
+                            .ok_or("--timeout-ms needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad timeout: {e}"))?;
+                    }
+                    "--insert" if op == "update" => {
+                        insert.extend(parse_edge_csv(it.next().ok_or("--insert needs U:V,...")?)?)
+                    }
+                    "--delete" if op == "update" => {
+                        delete.extend(parse_edge_csv(it.next().ok_or("--delete needs U:V,...")?)?)
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if op == "update" {
+                if insert.is_empty() && delete.is_empty() {
+                    return Err("query update needs --insert and/or --delete edges".into());
+                }
+                request = request_line(&Request::Update { insert, delete });
+            }
+            Ok(Command::Query { socket, request, timeout_ms })
         }
         "tracecheck" => {
             let file = PathBuf::from(it.next().ok_or("tracecheck needs a trace file")?);
@@ -690,6 +1003,131 @@ mod tests {
         assert!(p(&["serve-rank", "g500-s6", "--algorithm", "serial"]).is_err());
         assert!(p(&["serve-rank", "g500-s6", "--algorithm", "aop"]).is_err());
         assert!(p(&["serve-rank", "g500-s6", "--algorithm", "summa", "--grid", "2x3"]).is_ok());
+    }
+
+    #[test]
+    fn serve_parses_full_flags() {
+        match p(&[
+            "serve",
+            "g500-s6",
+            "--listen",
+            "/tmp/tc.sock",
+            "--ranks",
+            "9",
+            "--flush-ms",
+            "20",
+            "--max-batch",
+            "128",
+            "--queue",
+            "8",
+            "--tick-ms",
+            "500",
+            "--chaos",
+            "7",
+            "--metrics",
+            "/tmp/m.json",
+            "--json",
+            "/tmp/r.json",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                listen,
+                ranks,
+                rank,
+                algorithm,
+                flush_ms,
+                max_batch,
+                queue,
+                tick_ms,
+                chaos,
+                metrics,
+                json,
+                ..
+            } => {
+                assert_eq!(listen, PathBuf::from("/tmp/tc.sock"));
+                assert_eq!(ranks, 9);
+                assert_eq!(rank, None);
+                assert_eq!(algorithm, Algorithm::TwoD);
+                assert_eq!(flush_ms, Some(20));
+                assert_eq!(max_batch, Some(128));
+                assert_eq!(queue, Some(8));
+                assert_eq!(tick_ms, Some(500));
+                assert_eq!(chaos, Some(7));
+                assert_eq!(metrics, Some(PathBuf::from("/tmp/m.json")));
+                assert_eq!(json, Some(PathBuf::from("/tmp/r.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_requires_listen_and_fleet_algorithms() {
+        assert!(p(&["serve", "g500-s6"]).is_err());
+        assert!(p(&["serve", "g500-s6", "--listen", "/tmp/a", "--algorithm", "serial"]).is_err());
+        assert!(p(&["serve", "g500-s6", "--listen", "/tmp/a", "--rank", "0"]).is_err());
+        assert!(p(&[
+            "serve",
+            "g500-s6",
+            "--listen",
+            "/tmp/a",
+            "--rank",
+            "0",
+            "--peers",
+            "/tmp/p0,/tmp/p1",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn query_builds_protocol_lines() {
+        match p(&["query", "/tmp/tc.sock", "count"]).unwrap() {
+            Command::Query { socket, request, timeout_ms } => {
+                assert_eq!(socket, PathBuf::from("/tmp/tc.sock"));
+                assert_eq!(request, "{\"op\":\"count\"}");
+                assert_eq!(timeout_ms, 10_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["query", "/tmp/tc.sock", "support", "3", "9", "--timeout-ms", "50"]).unwrap() {
+            Command::Query { request, timeout_ms, .. } => {
+                assert_eq!(request, "{\"op\":\"support\",\"u\":3,\"v\":9}");
+                assert_eq!(timeout_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["query", "/tmp/tc.sock", "truss", "4"]).unwrap() {
+            Command::Query { request, .. } => {
+                assert_eq!(request, "{\"op\":\"truss\",\"k\":4}")
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["query", "/tmp/tc.sock", "update", "--insert", "1:2,3:4", "--delete", "5:6"])
+            .unwrap()
+        {
+            Command::Query { request, .. } => {
+                assert_eq!(
+                    request,
+                    "{\"op\":\"update\",\"insert\":[[1,2],[3,4]],\"delete\":[[5,6]]}"
+                )
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["query", "/tmp/tc.sock", "raw", "{\"op\":\"stats\"}"]).unwrap() {
+            Command::Query { request, .. } => assert_eq!(request, "{\"op\":\"stats\"}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_rejects_malformed_invocations() {
+        assert!(p(&["query", "/tmp/tc.sock"]).is_err());
+        assert!(p(&["query", "/tmp/tc.sock", "warp"]).is_err());
+        assert!(p(&["query", "/tmp/tc.sock", "support", "3"]).is_err());
+        assert!(p(&["query", "/tmp/tc.sock", "update"]).is_err());
+        assert!(p(&["query", "/tmp/tc.sock", "update", "--insert", "1-2"]).is_err());
+        // --insert belongs to update only.
+        assert!(p(&["query", "/tmp/tc.sock", "count", "--insert", "1:2"]).is_err());
     }
 
     #[test]

@@ -354,6 +354,200 @@ fn run(cmd: Command) -> Result<(), AppError> {
             }
             Ok(())
         }
+        Command::Serve {
+            input,
+            listen,
+            ranks,
+            rank,
+            peers,
+            epoch,
+            algorithm,
+            grid,
+            config,
+            seed,
+            chaos,
+            metrics,
+            json,
+            flush_ms,
+            max_batch,
+            queue,
+            tick_ms,
+        } => {
+            let el = load(&input, seed)?;
+            let csr = Csr::from_edge_list(&el);
+            let msession =
+                (metrics.is_some() || json.is_some()).then(tc_metrics::MetricsSession::begin);
+            let mhandle = msession.as_ref().map(|s| s.handle());
+            let plan = chaos.map(|cseed| {
+                eprintln!("# chaos: seed {cseed}, uniform p={CHAOS_P} on every link");
+                tc_mps::FaultPlan::new(cseed).with_default(tc_mps::LinkFaults::uniform(CHAOS_P))
+            });
+            // Socket mode iff --rank/--peers or the MPS_FABRIC_*
+            // environment names this process's place in a fleet;
+            // otherwise --ranks in-process threads.
+            let sock = match (rank, peers) {
+                (Some(rank), Some(peers)) => {
+                    let peers: Vec<String> = peers
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if rank >= peers.len() {
+                        return Err(AppError::Run(format!(
+                            "--rank {rank} is out of range of the {} endpoints in --peers",
+                            peers.len()
+                        )));
+                    }
+                    Some(tc_mps::SocketConfig::new(rank, peers))
+                }
+                _ => tc_mps::SocketConfig::from_env(),
+            };
+            let p = sock.as_ref().map(|s| s.peers.len()).unwrap_or(ranks);
+            let algo = match algorithm {
+                Algorithm::TwoD => {
+                    if tc_mps::perfect_square_side(p).is_none() {
+                        return Err(AppError::Run(format!(
+                            "the 2d kernel needs a perfect-square fleet, got {p} ranks \
+                             (use --algorithm summa --grid RxC for rectangles)"
+                        )));
+                    }
+                    tc_serve::Algo::Cannon
+                }
+                Algorithm::Summa => {
+                    let g = grid.map(cli::summa_grid).unwrap_or_else(|| {
+                        // Same near-square derivation as `count`.
+                        let r = (p as f64).sqrt() as usize;
+                        let r = (1..=r.max(1)).rev().find(|d| p % d == 0).unwrap_or(1);
+                        cli::summa_grid((r, p / r))
+                    });
+                    tc_serve::Algo::Summa(g)
+                }
+                _ => unreachable!("parser admits only fleet algorithms"),
+            };
+            let mut scfg = tc_serve::ServeConfig::new(listen).env_overrides();
+            scfg.algo = algo;
+            scfg.tc = config;
+            scfg.metrics = mhandle.clone();
+            if let Some(v) = flush_ms {
+                scfg.flush_ms = v;
+            }
+            if let Some(v) = max_batch {
+                scfg.max_batch = v.max(1);
+            }
+            if let Some(v) = queue {
+                scfg.queue = v.max(1);
+            }
+            if let Some(v) = tick_ms {
+                scfg.tick_ms = v.max(1);
+            }
+            eprintln!("# serving {} vertices, {} edges", el.num_vertices, el.num_edges());
+            let (my_rank, report) = match sock {
+                Some(mut sock) => {
+                    if let Some(e) = epoch {
+                        sock.epoch = e;
+                    }
+                    sock.universe.metrics = mhandle;
+                    sock.universe.chaos = plan;
+                    if sock.rank == 0 {
+                        eprintln!("# rank 0/{p}: frontend on {}", scfg.listen.display());
+                    } else {
+                        eprintln!("# rank {}/{p}: peer loop", sock.rank);
+                    }
+                    let (report, _stats) = tc_mps::Universe::try_run_socket(&sock, |comm| {
+                        tc_serve::serve_rank(comm, &csr, &scfg)
+                    })
+                    .map_err(|e| e.to_string())?;
+                    (sock.rank, report)
+                }
+                None => {
+                    eprintln!("# frontend on {} over {p} in-process ranks", scfg.listen.display());
+                    let ucfg = tc_mps::UniverseConfig {
+                        metrics: mhandle,
+                        chaos: plan,
+                        ..Default::default()
+                    };
+                    let (mut reports, _stats) =
+                        tc_mps::Universe::try_run_config(p, &ucfg, |comm| {
+                            tc_serve::serve_rank(comm, &csr, &scfg)
+                        })
+                        .map_err(|e| e.to_string())?;
+                    (0, reports.swap_remove(0))
+                }
+            };
+            // Peers report zeros for the frontend tallies; every rank
+            // reports the (replicated) final count.
+            if my_rank == 0 {
+                println!("batches       : {}", report.batches);
+                println!("queries       : {}", report.queries);
+                println!("rejected      : {}", report.rejected);
+                println!("full recounts : {}", report.full_recounts);
+            }
+            println!("rank          : {my_rank}/{p}");
+            println!("triangles     : {}", report.triangles);
+            if let Some(session) = msession {
+                let snap = session.finish();
+                if let Some(path) = &metrics {
+                    std::fs::write(path, format!("{}\n", snap.to_json()))
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    eprintln!(
+                        "# metrics: {} rank registries -> {}",
+                        snap.ranks().len(),
+                        path.display()
+                    );
+                }
+                // The sustained-workload analogue of a bench run: one
+                // tc-run-v1 line keyed by `<dataset>/<algo>/pN/serve`,
+                // comparable with `tricount benchdiff`. Only rank 0
+                // writes it (in socket mode the snapshot holds this
+                // process's registry; the frontend tallies live there).
+                if let (0, Some(path)) = (my_rank, &json) {
+                    let dataset = match &input {
+                        Input::Preset(pr) => pr.name(),
+                        Input::File(f) => {
+                            f.file_stem().and_then(|s| s.to_str()).unwrap_or("file").to_string()
+                        }
+                    };
+                    let algo_name = match algorithm {
+                        Algorithm::Summa => "summa",
+                        _ => "2d-cannon",
+                    };
+                    let rec = tc_metrics::RunRecord::from_snapshot(
+                        &dataset,
+                        algo_name,
+                        p as u64,
+                        "serve",
+                        report.triangles,
+                        &snap,
+                    );
+                    use std::io::Write as _;
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut f| writeln!(f, "{}", rec.to_json_line()))
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    eprintln!("# run record: {} -> {}", rec.key(), path.display());
+                }
+            }
+            Ok(())
+        }
+        Command::Query { socket, request, timeout_ms } => {
+            let mut client = tc_serve::Client::connect_retry(
+                &socket,
+                std::time::Duration::from_millis(timeout_ms),
+            )
+            .map_err(|e| format!("{}: {e}", socket.display()))?;
+            let reply = client.request_raw(&request).map_err(|e| e.to_string())?;
+            println!("{reply}");
+            let ok = tc_metrics::json::parse(&reply)
+                .ok()
+                .is_some_and(|v| matches!(v.get("ok"), Some(tc_metrics::json::Value::Bool(true))));
+            if ok {
+                Ok(())
+            } else {
+                Err(AppError::Run("the service replied with an error (reply above)".into()))
+            }
+        }
         Command::BenchDiff { args } => {
             std::process::exit(tc_metrics::diff::cli_main(&args));
         }

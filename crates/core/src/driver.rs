@@ -15,18 +15,37 @@ use tc_trace::{names, TraceHandle};
 
 use crate::config::TcConfig;
 use crate::metrics::{CommPhase, RankMetrics, TcResult};
-use crate::preprocess::preprocess;
+use crate::preprocess::{preprocess_from, BlockInput};
 
 /// The per-rank body of the aggregate-count pipeline. Both fabric
 /// backends run this exact function — an in-process rank thread and a
 /// socket-mesh rank process are indistinguishable from here, which is
 /// what makes the backend-conformance guarantee checkable.
 fn count_rank(comm: &Comm, global: &Csr, cfg: &TcConfig) -> MpsResult<(u64, RankMetrics)> {
+    count_rank_from(comm, global.num_vertices(), &BlockInput::Shared(global), cfg)
+}
+
+/// The aggregate-count rank body over an explicit per-rank input
+/// source: this rank contributes its 1D block of an `n`-vertex graph
+/// (shared CSR window or materialized rows) and participates in the
+/// full Cannon pipeline. Returns the globally reduced triangle count
+/// (identical on every rank) and this rank's metrics.
+///
+/// This is the recount oracle of long-lived services: a fleet whose
+/// per-rank state is a mutable adjacency block can flatten it into
+/// [`BlockInput::Owned`] and obtain the exact 2D count without ever
+/// assembling the global graph anywhere.
+pub fn count_rank_from(
+    comm: &Comm,
+    n: usize,
+    input: &BlockInput<'_>,
+    cfg: &TcConfig,
+) -> MpsResult<(u64, RankMetrics)> {
     let mut metrics = RankMetrics::default();
 
     // ---- preprocessing phase ("ppt") ----
     let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
-    let prep = preprocess(comm, global, cfg)?;
+    let prep = preprocess_from(comm, n, input, cfg)?;
     metrics.finish_ppt(phase.finish()?, prep.ops);
 
     // ---- triangle counting phase ("tct") ----
@@ -51,7 +70,7 @@ fn per_edge_rank(
     let mut metrics = RankMetrics::default();
 
     let phase = CommPhase::begin(comm, names::PHASE_PPT)?;
-    let prep = preprocess(comm, global, cfg)?;
+    let prep = preprocess_from(comm, n, &BlockInput::Shared(global), cfg)?;
     let label_pairs: Vec<[u32; 2]> = prep.label_pairs.iter().map(|&(o, nl)| [o, nl]).collect();
     metrics.finish_ppt(phase.finish()?, prep.ops);
 

@@ -26,7 +26,7 @@ use crate::blocks::{SparseBlock, SparseBlockRef};
 use crate::config::{Enumeration, TcConfig};
 use crate::hashmap::IntersectMap;
 use crate::metrics::{CommPhase, RankMetrics, TcResult};
-use crate::preprocess::relabel_phase;
+use crate::preprocess::{relabel_phase_from, BlockInput};
 
 /// Rectangular grid geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,15 +270,30 @@ fn summa_rank(
     global: &Csr,
     cfg: &TcConfig,
 ) -> MpsResult<(u64, RankMetrics)> {
+    summa_rank_from(comm, grid, global.num_vertices(), &BlockInput::Shared(global), cfg)
+}
+
+/// The SUMMA rank body over an explicit per-rank input source: this
+/// rank contributes its 1D block of an `n`-vertex graph (shared CSR
+/// window or materialized rows) and participates in the full panel
+/// pipeline. Returns the globally reduced triangle count (identical on
+/// every rank) and this rank's metrics — the rectangular-grid recount
+/// oracle counterpart of [`crate::driver::count_rank_from`].
+pub fn summa_rank_from(
+    comm: &Comm,
+    grid: &SummaGrid,
+    n: usize,
+    input: &BlockInput<'_>,
+    cfg: &TcConfig,
+) -> MpsResult<(u64, RankMetrics)> {
     let p = grid.size();
-    let n = global.num_vertices();
     {
         let mut metrics = RankMetrics::default();
         let (x, y) = grid.coords(comm.rank());
 
         // ---- preprocessing ----
         let phase = CommPhase::begin(comm, tc_trace::names::PHASE_PPT)?;
-        let relabeled = relabel_phase(comm, global)?;
+        let relabeled = relabel_phase_from(comm, n, input)?;
         let mut ops = relabeled.ops;
 
         // Route every upper entry to its task cell, U-panel owner, and

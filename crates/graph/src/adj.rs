@@ -1,0 +1,335 @@
+//! Mutable per-rank adjacency storage (owned block + ghost rows).
+//!
+//! The communication-avoiding data placement of Arifuzzaman et al.'s
+//! AOP — each rank stores its 1D block of vertices plus the adjacency
+//! lists of remote vertices its edges reference — promoted from
+//! `tc-apps` into the graph substrate and made **mutable**: the
+//! always-on analytics service (`tc-serve`) applies streams of edge
+//! inserts and deletes against this store, so rows are owned sorted
+//! vectors rather than borrowed windows into an immutable CSR.
+//!
+//! The store is communication-free by construction; fabrics that need
+//! ghost replication build it with their own exchange (see
+//! `tc_apps::adjstore::try_build_from_csr`) and feed the received rows
+//! in through [`AdjStore::set_ghost`].
+
+use std::collections::HashMap;
+
+use crate::csr::Csr;
+use crate::edgelist::VertexId;
+use crate::error::GraphError;
+
+/// Preallocation cap (entries), consistent with the hardened readers
+/// in [`crate::io`]: sizes declared by untrusted inputs (wire frames,
+/// file headers) never reserve more than this up front.
+pub const PREALLOC_CAP: usize = 1 << 20;
+
+/// Per-rank mutable adjacency: owned rows for the block `[lo, hi)`
+/// plus ghost rows replicated from remote owners.
+#[derive(Debug, Clone)]
+pub struct AdjStore {
+    n: usize,
+    lo: u32,
+    hi: u32,
+    rows: Vec<Vec<VertexId>>,
+    ghosts: HashMap<VertexId, Vec<VertexId>>,
+}
+
+/// Inserts `x` into the sorted row, returning whether it was absent.
+fn sorted_insert(row: &mut Vec<VertexId>, x: VertexId) -> bool {
+    match row.binary_search(&x) {
+        Ok(_) => false,
+        Err(at) => {
+            row.insert(at, x);
+            true
+        }
+    }
+}
+
+/// Removes `x` from the sorted row, returning whether it was present.
+fn sorted_remove(row: &mut Vec<VertexId>, x: VertexId) -> bool {
+    match row.binary_search(&x) {
+        Ok(at) => {
+            row.remove(at);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl AdjStore {
+    /// An empty store owning the vertex block `[lo, hi)` of an
+    /// `n`-vertex graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not a sub-range of `0..n`.
+    pub fn new(n: usize, lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= n, "block [{lo}, {hi}) is not a sub-range of 0..{n}");
+        let mut rows = Vec::with_capacity((hi - lo).min(PREALLOC_CAP));
+        rows.resize_with(hi - lo, Vec::new);
+        Self { n, lo: lo as u32, hi: hi as u32, rows, ghosts: HashMap::new() }
+    }
+
+    /// Builds the store from this rank's block rows of a global CSR
+    /// (rows are copied — the store owns and may mutate them).
+    pub fn from_csr_block(csr: &Csr, lo: usize, hi: usize) -> Self {
+        let mut store = Self::new(csr.num_vertices(), lo, hi);
+        for v in lo..hi {
+            store.rows[v - lo] = csr.neighbors(v as u32).to_vec();
+        }
+        store
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The owned block `[lo, hi)`.
+    pub fn range(&self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether `v` is owned by this rank.
+    pub fn owns(&self, v: VertexId) -> bool {
+        v >= self.lo && v < self.hi
+    }
+
+    fn check_edge(&self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        for x in [u, v] {
+            if x as usize >= self.n {
+                return Err(GraphError::VertexOutOfRange { v: x, n: self.n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        Ok(())
+    }
+
+    /// Inserts the undirected edge `(u, v)` into every owned endpoint
+    /// row. Returns `true` if the edge was absent (judged from the
+    /// first owned endpoint); endpoints this rank does not own are
+    /// untouched. Ghost rows are deliberately **not** updated — the
+    /// service refreshes ghosts by re-exchanging rows when it needs
+    /// remote adjacency.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check_edge(u, v)?;
+        let mut changed = None;
+        for (a, b) in [(u, v), (v, u)] {
+            if self.owns(a) {
+                let was_new = sorted_insert(&mut self.rows[(a - self.lo) as usize], b);
+                changed.get_or_insert(was_new);
+            }
+        }
+        Ok(changed.unwrap_or(false))
+    }
+
+    /// Deletes the undirected edge `(u, v)` from every owned endpoint
+    /// row. Returns `true` if the edge was present (judged from the
+    /// first owned endpoint).
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> Result<bool, GraphError> {
+        self.check_edge(u, v)?;
+        let mut changed = None;
+        for (a, b) in [(u, v), (v, u)] {
+            if self.owns(a) {
+                let was_there = sorted_remove(&mut self.rows[(a - self.lo) as usize], b);
+                changed.get_or_insert(was_there);
+            }
+        }
+        Ok(changed.unwrap_or(false))
+    }
+
+    /// Whether the edge `(u, v)` is present, judged from whichever
+    /// endpoint this rank can resolve (owned or ghost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither endpoint is owned or ghosted — membership of
+    /// such an edge is unknowable locally, and answering `false` would
+    /// silently corrupt a computation.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        if let Some(row) = self.get(u) {
+            row.binary_search(&v).is_ok()
+        } else if let Some(row) = self.get(v) {
+            row.binary_search(&u).is_ok()
+        } else {
+            panic!("edge ({u}, {v}): neither endpoint is owned or ghosted")
+        }
+    }
+
+    /// Sorted full adjacency of `v` — owned or ghost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is remote and was never ghosted (such a vertex
+    /// cannot appear in this rank's computations); use
+    /// [`AdjStore::get`] for the non-panicking lookup.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.get(v).unwrap_or_else(|| panic!("vertex {v} is neither owned nor ghosted"))
+    }
+
+    /// Sorted full adjacency of `v` if this rank can resolve it.
+    pub fn get(&self, v: VertexId) -> Option<&[VertexId]> {
+        if self.owns(v) {
+            Some(self.rows[(v - self.lo) as usize].as_slice())
+        } else {
+            self.ghosts.get(&v).map(Vec::as_slice)
+        }
+    }
+
+    /// Installs (or replaces) the ghost row of remote vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is owned — owned rows are mutated through
+    /// [`AdjStore::insert`]/[`AdjStore::delete`], never shadowed.
+    pub fn set_ghost(&mut self, v: VertexId, row: Vec<VertexId>) {
+        assert!(!self.owns(v), "vertex {v} is owned; set_ghost is for remote rows");
+        debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "ghost row must be sorted");
+        self.ghosts.insert(v, row);
+    }
+
+    /// Drops every ghost row (e.g. after a mutation epoch made them
+    /// stale).
+    pub fn clear_ghosts(&mut self) {
+        self.ghosts.clear();
+    }
+
+    /// Longest resolvable row (sizes intersection sets).
+    pub fn max_row_len(&self) -> usize {
+        let owned = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let ghost = self.ghosts.values().map(Vec::len).max().unwrap_or(0);
+        owned.max(ghost)
+    }
+
+    /// Total ghost entries replicated (the memory-overhead metric).
+    pub fn ghost_entries(&self) -> usize {
+        self.ghosts.values().map(Vec::len).sum()
+    }
+
+    /// Total entries across owned rows. Summed over ranks of a
+    /// partition this is exactly `2m` (each edge appears in both
+    /// endpoint rows).
+    pub fn owned_entries(&self) -> u64 {
+        self.rows.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Iterates the owned rows as `(vertex, sorted adjacency)`.
+    pub fn owned_rows(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        self.rows.iter().enumerate().map(|(i, r)| (self.lo + i as u32, r.as_slice()))
+    }
+
+    /// Flattens the owned block into `(lo, local xadj, adj)` — the
+    /// materialized-rows shape distributed pipelines consume (e.g.
+    /// `tc_core::preprocess::BlockInput::Owned`).
+    pub fn to_block_parts(&self) -> (u32, Vec<u32>, Vec<u32>) {
+        let total: usize = self.rows.iter().map(Vec::len).sum();
+        let mut xadj = Vec::with_capacity((self.rows.len() + 1).min(PREALLOC_CAP));
+        let mut adj = Vec::with_capacity(total.min(PREALLOC_CAP));
+        xadj.push(0u32);
+        let mut off = 0u32;
+        for row in &self.rows {
+            off += row.len() as u32;
+            xadj.push(off);
+            adj.extend_from_slice(row);
+        }
+        (self.lo, xadj, adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn triangle_store() -> AdjStore {
+        // Triangle 0-1-2 plus pendant edge 2-3, whole graph owned.
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)]).simplify();
+        AdjStore::from_csr_block(&Csr::from_edge_list(&el), 0, 4)
+    }
+
+    #[test]
+    fn from_csr_block_copies_rows() {
+        let store = triangle_store();
+        assert_eq!(store.neighbors(0), &[1, 2]);
+        assert_eq!(store.neighbors(2), &[0, 1, 3]);
+        assert_eq!(store.max_row_len(), 3);
+        assert_eq!(store.owned_entries(), 8);
+        assert!(store.contains(0, 1));
+        assert!(!store.contains(0, 3));
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let mut store = triangle_store();
+        assert_eq!(store.insert(0, 3), Ok(true));
+        assert!(store.contains(0, 3));
+        assert_eq!(store.neighbors(3), &[0, 2]);
+        assert_eq!(store.insert(0, 3), Ok(false), "duplicate insert is a no-op");
+        assert_eq!(store.delete(0, 3), Ok(true));
+        assert_eq!(store.delete(0, 3), Ok(false), "double delete is a no-op");
+        assert_eq!(store.neighbors(3), &[2]);
+        // Rows stay sorted through arbitrary churn.
+        assert_eq!(store.insert(3, 1), Ok(true));
+        assert_eq!(store.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn typed_errors_on_bad_edges() {
+        let mut store = triangle_store();
+        assert_eq!(store.insert(0, 9), Err(GraphError::VertexOutOfRange { v: 9, n: 4 }));
+        assert_eq!(store.delete(9, 0), Err(GraphError::VertexOutOfRange { v: 9, n: 4 }));
+        assert_eq!(store.insert(2, 2), Err(GraphError::SelfLoop(2)));
+    }
+
+    #[test]
+    fn partial_ownership_touches_only_owned_rows() {
+        let el = EdgeList::new(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)]).simplify();
+        let csr = Csr::from_edge_list(&el);
+        // This rank owns only [0, 2).
+        let mut store = AdjStore::from_csr_block(&csr, 0, 2);
+        assert!(store.owns(1) && !store.owns(2));
+        assert_eq!(store.insert(1, 3), Ok(true));
+        assert_eq!(store.neighbors(1), &[0, 2, 3]);
+        assert_eq!(store.get(3), None, "remote endpoint row untouched");
+        assert_eq!(store.insert(2, 3), Ok(false), "fully remote edge is a local no-op");
+    }
+
+    #[test]
+    fn ghosts_resolve_and_clear() {
+        let mut store = AdjStore::new(6, 0, 3);
+        store.set_ghost(4, vec![0, 5]);
+        assert_eq!(store.neighbors(4), &[0, 5]);
+        assert_eq!(store.ghost_entries(), 2);
+        assert_eq!(store.max_row_len(), 2);
+        assert!(!store.contains(4, 3));
+        store.clear_ghosts();
+        assert_eq!(store.get(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither owned nor ghosted")]
+    fn unknown_remote_vertex_panics() {
+        triangle_store();
+        let store = AdjStore::new(8, 0, 4);
+        let _ = store.neighbors(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither endpoint is owned or ghosted")]
+    fn contains_refuses_to_guess() {
+        let store = AdjStore::new(8, 0, 4);
+        let _ = store.contains(6, 7);
+    }
+
+    #[test]
+    fn to_block_parts_round_trips() {
+        let store = triangle_store();
+        let (lo, xadj, adj) = store.to_block_parts();
+        assert_eq!(lo, 0);
+        assert_eq!(xadj, vec![0, 2, 4, 7, 8]);
+        assert_eq!(adj, vec![1, 2, 0, 2, 0, 1, 3, 2]);
+    }
+}

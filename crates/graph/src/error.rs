@@ -1,0 +1,44 @@
+//! Typed errors for the graph-analytic kernels.
+//!
+//! The decomposition kernels ([`crate::truss`], [`crate::kcore`]) and
+//! the mutable adjacency store ([`crate::adj`]) are fed by long-lived
+//! services as well as offline tools; a malformed input must surface
+//! as a recoverable error the caller can map to a protocol reply, not
+//! as a panic that takes the whole rank fleet down.
+
+use crate::edgelist::VertexId;
+
+/// Why a graph-analytic kernel rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The input edge list is not in simple undirected form (call
+    /// [`crate::EdgeList::simplify`] first). The payload names the
+    /// kernel that rejected it.
+    NotSimple(&'static str),
+    /// A vertex id is outside the graph's `0..n` range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        v: VertexId,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied where a proper edge is
+    /// required.
+    SelfLoop(VertexId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NotSimple(what) => {
+                write!(f, "{what} needs a simplified undirected graph (call simplify() first)")
+            }
+            GraphError::VertexOutOfRange { v, n } => {
+                write!(f, "vertex {v} is out of range for a {n}-vertex graph")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop ({v}, {v}) is not a valid edge"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

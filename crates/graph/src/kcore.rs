@@ -13,6 +13,7 @@
 
 use crate::csr::Csr;
 use crate::edgelist::{EdgeList, VertexId};
+use crate::error::GraphError;
 
 /// Coreness per vertex.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,12 +52,30 @@ impl CoreDecomposition {
 }
 
 /// Computes the core decomposition of a simplified graph in O(n + m).
+///
+/// # Panics
+///
+/// Panics if `el` is not simplified; [`try_core_decomposition`]
+/// reports that as a typed error instead.
 pub fn core_decomposition(el: &EdgeList) -> CoreDecomposition {
-    assert!(el.is_simple(), "core decomposition needs a simplified graph");
+    match try_core_decomposition(el) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`core_decomposition`]: a non-simplified input comes back
+/// as [`GraphError::NotSimple`] instead of a panic. Degenerate but
+/// valid graphs — empty, edgeless, single-edge, stars, disconnected —
+/// are `Ok`.
+pub fn try_core_decomposition(el: &EdgeList) -> Result<CoreDecomposition, GraphError> {
+    if !el.is_simple() {
+        return Err(GraphError::NotSimple("core_decomposition"));
+    }
     let csr = Csr::from_edge_list(el);
     let n = csr.num_vertices();
     if n == 0 {
-        return CoreDecomposition { coreness: Vec::new() };
+        return Ok(CoreDecomposition { coreness: Vec::new() });
     }
     let mut deg: Vec<u32> = csr.degrees();
     let maxd = *deg.iter().max().unwrap() as usize;
@@ -108,7 +127,7 @@ pub fn core_decomposition(el: &EdgeList) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { coreness }
+    Ok(CoreDecomposition { coreness })
 }
 
 #[cfg(test)]
@@ -196,6 +215,38 @@ mod tests {
         assert_eq!(core_decomposition(&EdgeList::empty(0)).degeneracy(), 0);
         let d = core_decomposition(&EdgeList::empty(4));
         assert_eq!(d.coreness, vec![0, 0, 0, 0]);
+    }
+
+    // Regression: degenerate inputs must come back Ok, never panic.
+
+    #[test]
+    fn try_variant_accepts_empty_single_edge_and_star() {
+        assert_eq!(try_core_decomposition(&EdgeList::empty(0)).unwrap().degeneracy(), 0);
+        let single = EdgeList::new(2, vec![(0, 1)]).simplify();
+        assert_eq!(try_core_decomposition(&single).unwrap().coreness, vec![1, 1]);
+        let star = EdgeList::new(5, (1..5).map(|v| (0, v)).collect()).simplify();
+        let d = try_core_decomposition(&star).unwrap();
+        assert_eq!(d.coreness, vec![1; 5], "stars are 1-cores everywhere");
+        assert_eq!(d.degeneracy(), 1);
+    }
+
+    #[test]
+    fn try_variant_accepts_disconnected_graph() {
+        let el = EdgeList::new(7, vec![(0, 1), (0, 2), (1, 2), (5, 6)]).simplify();
+        let d = try_core_decomposition(&el).unwrap();
+        assert_eq!(&d.coreness[0..3], &[2, 2, 2]);
+        assert_eq!(d.coreness[3], 0, "isolated vertex has coreness 0");
+        assert_eq!(&d.coreness[5..7], &[1, 1]);
+    }
+
+    #[test]
+    fn try_variant_rejects_unsimplified_input() {
+        let dup = EdgeList::new(3, vec![(0, 1), (1, 0)]);
+        assert!(!dup.is_simple());
+        assert_eq!(
+            try_core_decomposition(&dup).unwrap_err(),
+            GraphError::NotSimple("core_decomposition")
+        );
     }
 
     #[test]

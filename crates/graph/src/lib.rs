@@ -11,13 +11,17 @@
 //!   with the paper's `v ÷ √p` local indexing.
 //! - [`io`] — text/binary edge lists and Matrix Market reading.
 //! - [`stats`] — wedges, transitivity, clustering coefficients.
+//! - [`adj`] — mutable per-rank adjacency (owned block + ghost rows),
+//!   the backend of the always-on analytics service.
 
 #![warn(missing_docs)]
 
+pub mod adj;
 pub mod csr;
 pub mod dcsr;
 pub mod degree;
 pub mod edgelist;
+pub mod error;
 pub mod io;
 pub mod kcore;
 pub mod partition;
@@ -25,8 +29,10 @@ pub mod stats;
 pub mod truss;
 pub mod vset;
 
+pub use adj::AdjStore;
 pub use csr::Csr;
 pub use dcsr::Dcsr;
 pub use edgelist::{EdgeList, VertexId};
+pub use error::GraphError;
 pub use partition::{Block1D, Cyclic1D, Cyclic2D};
 pub use vset::VertexSet;

@@ -17,6 +17,7 @@ use std::collections::HashMap;
 
 use crate::csr::Csr;
 use crate::edgelist::{EdgeList, VertexId};
+use crate::error::GraphError;
 
 /// Trussness per edge, parallel to the (sorted) edge list of the
 /// simplified input graph.
@@ -50,8 +51,25 @@ impl TrussDecomposition {
 
 /// Computes the per-edge triangle supports of a simplified graph
 /// (serial reference for `tc_core::count_per_edge`).
+///
+/// # Panics
+///
+/// Panics if `el` is not simplified; [`try_edge_supports`] reports
+/// that as a typed error instead.
 pub fn edge_supports(el: &EdgeList) -> Vec<u64> {
-    assert!(el.is_simple(), "truss computations need a simplified graph");
+    match try_edge_supports(el) {
+        Ok(sup) => sup,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`edge_supports`]: a non-simplified input comes back as
+/// [`GraphError::NotSimple`] instead of a panic. Degenerate but valid
+/// graphs — empty, edgeless, single-edge, stars — are `Ok`.
+pub fn try_edge_supports(el: &EdgeList) -> Result<Vec<u64>, GraphError> {
+    if !el.is_simple() {
+        return Err(GraphError::NotSimple("edge_supports"));
+    }
     let csr = Csr::from_edge_list(el);
     let idx: HashMap<(u32, u32), usize> =
         el.edges.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
@@ -81,17 +99,32 @@ pub fn edge_supports(el: &EdgeList) -> Vec<u64> {
             }
         }
     }
-    sup
+    Ok(sup)
 }
 
 /// Runs the full truss decomposition.
+///
+/// # Panics
+///
+/// Panics if `el` is not simplified; [`try_truss_decomposition`]
+/// reports that as a typed error instead.
 pub fn truss_decomposition(el: &EdgeList) -> TrussDecomposition {
-    assert!(el.is_simple(), "truss computations need a simplified graph");
+    match try_truss_decomposition(el) {
+        Ok(d) => d,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`truss_decomposition`]: a non-simplified input comes back
+/// as [`GraphError::NotSimple`] instead of a panic. Degenerate but
+/// valid graphs — empty, edgeless, single-edge, stars, disconnected —
+/// are `Ok`.
+pub fn try_truss_decomposition(el: &EdgeList) -> Result<TrussDecomposition, GraphError> {
+    let mut sup: Vec<u64> = try_edge_supports(el)?;
     let m = el.edges.len();
     let csr = Csr::from_edge_list(el);
     let idx: HashMap<(u32, u32), usize> =
         el.edges.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
-    let mut sup: Vec<u64> = edge_supports(el);
     let mut alive = vec![true; m];
     let mut trussness = vec![2u32; m];
 
@@ -157,7 +190,7 @@ pub fn truss_decomposition(el: &EdgeList) -> TrussDecomposition {
             }
         }
     }
-    TrussDecomposition { edges: el.edges.clone(), trussness }
+    Ok(TrussDecomposition { edges: el.edges.clone(), trussness })
 }
 
 #[cfg(test)]
@@ -230,5 +263,54 @@ mod tests {
         let d = truss_decomposition(&EdgeList::empty(5));
         assert_eq!(d.max_truss(), 0);
         assert!(d.edges.is_empty());
+    }
+
+    // Regression: degenerate inputs must come back Ok, never panic.
+
+    #[test]
+    fn try_variants_accept_empty_graph() {
+        let el = EdgeList::empty(0);
+        assert_eq!(try_edge_supports(&el), Ok(vec![]));
+        let d = try_truss_decomposition(&el).unwrap();
+        assert_eq!(d.max_truss(), 0);
+    }
+
+    #[test]
+    fn try_variants_accept_single_edge() {
+        let el = EdgeList::new(2, vec![(0, 1)]).simplify();
+        assert_eq!(try_edge_supports(&el), Ok(vec![0]));
+        let d = try_truss_decomposition(&el).unwrap();
+        assert_eq!(d.trussness, vec![2]);
+    }
+
+    #[test]
+    fn try_variants_accept_star_graph() {
+        // A star closes no triangles: every edge has support 0 and
+        // trussness 2.
+        let star = EdgeList::new(6, (1..6).map(|v| (0, v)).collect()).simplify();
+        assert_eq!(try_edge_supports(&star), Ok(vec![0; 5]));
+        let d = try_truss_decomposition(&star).unwrap();
+        assert_eq!(d.trussness, vec![2; 5]);
+        assert_eq!(d.max_truss(), 2);
+    }
+
+    #[test]
+    fn try_variants_accept_disconnected_graph() {
+        // Two components: a triangle and a far-away single edge.
+        let el = EdgeList::new(8, vec![(0, 1), (0, 2), (1, 2), (6, 7)]).simplify();
+        let d = try_truss_decomposition(&el).unwrap();
+        assert_eq!(d.trussness_of(0, 1), Some(3));
+        assert_eq!(d.trussness_of(6, 7), Some(2));
+    }
+
+    #[test]
+    fn try_variants_reject_unsimplified_input() {
+        let dup = EdgeList::new(3, vec![(0, 1), (1, 0), (1, 2)]);
+        assert!(!dup.is_simple());
+        assert_eq!(try_edge_supports(&dup), Err(GraphError::NotSimple("edge_supports")));
+        assert_eq!(
+            try_truss_decomposition(&dup).unwrap_err(),
+            GraphError::NotSimple("edge_supports")
+        );
     }
 }

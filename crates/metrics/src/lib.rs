@@ -145,4 +145,52 @@ pub mod names {
     pub const BASE_SETUP_NS: &str = "base.setup_ns";
     pub const BASE_COUNT_NS: &str = "base.count_ns";
     pub const BASE_GHOST_ENTRIES: &str = "base.ghost_entries";
+
+    // Always-on analytics service (`tc-serve`).
+    /// Update batches applied through the incremental delta path.
+    pub const SERVE_BATCHES_APPLIED: &str = "serve.batches_applied";
+    /// Net edge inserts applied (after batch normalization).
+    pub const SERVE_EDGES_INSERTED: &str = "serve.edges_inserted";
+    /// Net edge deletes applied (after batch normalization).
+    pub const SERVE_EDGES_DELETED: &str = "serve.edges_deleted";
+    /// Neighborhood intersections evaluated by the delta kernel.
+    pub const SERVE_DELTA_INTERSECTIONS: &str = "serve.delta_intersections";
+    /// `count` queries answered.
+    pub const SERVE_QUERIES_COUNT: &str = "serve.queries_count";
+    /// `support` queries answered.
+    pub const SERVE_QUERIES_SUPPORT: &str = "serve.queries_support";
+    /// `truss` queries answered.
+    pub const SERVE_QUERIES_TRUSS: &str = "serve.queries_truss";
+    /// `stats`/`metrics` queries answered.
+    pub const SERVE_QUERIES_STATS: &str = "serve.queries_stats";
+    /// Requests rejected by admission control (typed `over_capacity`).
+    pub const SERVE_REJECTED_QUERIES: &str = "serve.rejected_queries";
+    /// Full 2D recounts executed. Pinned to the cold-start value in
+    /// steady state — the incremental path must never fall back to a
+    /// recount on the hot path.
+    pub const SERVE_FULL_RECOUNTS: &str = "serve.full_recounts";
+    /// Normalized batch size distribution (net ops per applied batch).
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// Batch apply latency distribution (nanoseconds).
+    pub const SERVE_BATCH_APPLY_NS: &str = "serve.batch_apply_ns";
+
+    /// Every deterministic `serve.*` counter, plus the `.count`/`.sum`
+    /// projections of the batch-size histogram. Benchmark records
+    /// default each of these to zero so an offline (batch) run *proves*
+    /// the service layer stayed out of the way, and service runs
+    /// always report the full family — present-and-zero, not absent.
+    pub const SERVE: &[&str] = &[
+        SERVE_BATCHES_APPLIED,
+        SERVE_EDGES_INSERTED,
+        SERVE_EDGES_DELETED,
+        SERVE_DELTA_INTERSECTIONS,
+        SERVE_QUERIES_COUNT,
+        SERVE_QUERIES_SUPPORT,
+        SERVE_QUERIES_TRUSS,
+        SERVE_QUERIES_STATS,
+        SERVE_REJECTED_QUERIES,
+        SERVE_FULL_RECOUNTS,
+        "serve.batch_size.count",
+        "serve.batch_size.sum",
+    ];
 }

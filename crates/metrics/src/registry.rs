@@ -108,25 +108,7 @@ impl MetricsSession {
     pub fn finish(self) -> MetricsSnapshot {
         let inner = Arc::clone(&self.inner);
         drop(self); // closes the gate before draining
-        let mut snap = MetricsSnapshot::new();
-        let lanes = inner.lanes.lock().expect("metrics lanes lock");
-        let mut ranks: Vec<usize> = lanes.keys().copied().collect();
-        ranks.sort_unstable();
-        for r in ranks {
-            let slots = lanes[&r].slots.lock().expect("metrics slots lock");
-            for (name, slot) in slots.iter() {
-                let value = match slot {
-                    Slot::Counter(v) => MetricValue::Counter(*v),
-                    Slot::Gauge(v) => MetricValue::Gauge(*v),
-                    Slot::Hist(h) => MetricValue::Hist((**h).clone()),
-                    // A memory scope exports its high-water mark; the
-                    // live count is transient bookkeeping.
-                    Slot::Mem { peak, .. } => MetricValue::Gauge(*peak),
-                };
-                snap.insert(r, name.to_string(), value);
-            }
-        }
-        snap
+        drain(&inner)
     }
 }
 
@@ -162,6 +144,38 @@ impl MetricsHandle {
         let prev = LANE.with(|l| l.borrow_mut().replace(LocalLane { lane }));
         RankGuard { prev }
     }
+
+    /// Copies everything recorded **so far** without ending the
+    /// session: the live-scrape path of long-lived services (the
+    /// `metrics` query of `tc-serve`). Each rank lane is locked only
+    /// for the duration of its copy, so recording threads are never
+    /// blocked for long.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        drain(&self.inner)
+    }
+}
+
+/// Copies every lane of `inner` into a snapshot.
+fn drain(inner: &SinkInner) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    let lanes = inner.lanes.lock().expect("metrics lanes lock");
+    let mut ranks: Vec<usize> = lanes.keys().copied().collect();
+    ranks.sort_unstable();
+    for r in ranks {
+        let slots = lanes[&r].slots.lock().expect("metrics slots lock");
+        for (name, slot) in slots.iter() {
+            let value = match slot {
+                Slot::Counter(v) => MetricValue::Counter(*v),
+                Slot::Gauge(v) => MetricValue::Gauge(*v),
+                Slot::Hist(h) => MetricValue::Hist((**h).clone()),
+                // A memory scope exports its high-water mark; the
+                // live count is transient bookkeeping.
+                Slot::Mem { peak, .. } => MetricValue::Gauge(*peak),
+            };
+            snap.insert(r, name.to_string(), value);
+        }
+    }
+    snap
 }
 
 /// Clears the thread's registry binding on drop (restoring any

@@ -57,11 +57,12 @@ impl RunRecord {
     ) -> Self {
         let mut counters = BTreeMap::new();
         let mut timings_ns = BTreeMap::new();
-        // Reliability counters are present-and-zero by default: a
-        // chaos-off run proves the transport was inert (benchdiff
+        // Reliability and serve counters are present-and-zero by
+        // default: a chaos-off run proves the transport was inert, and
+        // an offline run proves the service layer never ran (benchdiff
         // hard-fails if any of them ever drifts from the baseline's
         // zero), rather than silently omitting the evidence.
-        for name in crate::names::MPS_RELIABILITY {
+        for name in crate::names::MPS_RELIABILITY.iter().chain(crate::names::SERVE) {
             counters.insert((*name).to_string(), 0);
         }
         for (name, value) in snap.merged() {

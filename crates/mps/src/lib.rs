@@ -89,6 +89,6 @@ pub use grid::{perfect_square_side, Grid};
 pub use pod::{Pod, PodArray};
 pub use stats::{CommStats, PhaseGuard, ReliabilityStats, Timings};
 pub use universe::{
-    Observe, SocketConfig, Universe, UniverseConfig, FABRIC_EPOCH_ENV, FABRIC_PEERS_ENV,
-    FABRIC_RANK_ENV, RECV_TIMEOUT_ENV,
+    strict_env, Observe, SocketConfig, Universe, UniverseConfig, FABRIC_EPOCH_ENV,
+    FABRIC_PEERS_ENV, FABRIC_RANK_ENV, RECV_TIMEOUT_ENV,
 };

@@ -49,12 +49,13 @@ pub const FABRIC_EPOCH_ENV: &str = "MPS_FABRIC_EPOCH";
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// The one strict parser behind every `MPS_*` environment knob
-/// (`MPS_RECV_TIMEOUT_MS` and the whole `MPS_CHAOS_*` family):
-/// returns `None` when `name` is unset, the parsed value when it
-/// parses after trimming, and otherwise panics **loudly at universe
-/// construction**, naming the offending variable and echoing its value
-/// — a mistyped knob in CI must never masquerade as a configured one.
-pub(crate) fn strict_env<T: std::str::FromStr>(name: &str, what: &str) -> Option<T>
+/// (`MPS_RECV_TIMEOUT_MS`, the `MPS_CHAOS_*` family, and the
+/// `MPS_SERVE_*` family consumed by `tc-serve`): returns `None` when
+/// `name` is unset, the parsed value when it parses after trimming,
+/// and otherwise panics **loudly at universe construction**, naming
+/// the offending variable and echoing its value — a mistyped knob in
+/// CI must never masquerade as a configured one.
+pub fn strict_env<T: std::str::FromStr>(name: &str, what: &str) -> Option<T>
 where
     T::Err: std::fmt::Display,
 {

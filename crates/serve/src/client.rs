@@ -1,0 +1,78 @@
+//! Minimal blocking client for the service protocol, used by the
+//! `tricount query` CLI and the integration tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use tc_metrics::json::{self, Value};
+
+use crate::proto::{self, Request};
+
+/// One connection to a running service.
+#[derive(Debug)]
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the service socket at `path`.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Connects, retrying until the socket appears (a service still
+    /// cold-starting has not bound it yet) or `timeout` elapses.
+    pub fn connect_retry(path: &Path, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Sends one raw request line and returns the raw reply line.
+    pub fn request_raw(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "service closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends a typed request and parses the JSON reply. Protocol
+    /// failures (`"ok": false`) become `Err` with the typed kind.
+    pub fn request(&mut self, req: &Request) -> Result<Value, String> {
+        let line =
+            self.request_raw(&proto::request_line(req)).map_err(|e| format!("service i/o: {e}"))?;
+        let v = json::parse(&line).map_err(|e| format!("malformed reply {line:?}: {e}"))?;
+        match v.get("ok") {
+            Some(&Value::Bool(true)) => Ok(v),
+            _ => {
+                let kind =
+                    v.get("error").and_then(Value::as_str).unwrap_or("unknown_error").to_string();
+                match v.get("detail").and_then(Value::as_str) {
+                    Some(d) => Err(format!("{kind}: {d}")),
+                    None => Err(kind),
+                }
+            }
+        }
+    }
+}

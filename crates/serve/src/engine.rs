@@ -1,0 +1,531 @@
+//! Per-rank incremental triangle-count engine.
+//!
+//! The engine owns a rank's 1D block of the evolving graph in a
+//! mutable [`AdjStore`] and keeps the **global** triangle count
+//! replicated on every rank. Cold start runs the full 2D kernel
+//! (Cannon or SUMMA) over the owned rows; every subsequent update
+//! batch adjusts the count *incrementally* — neighborhood
+//! intersections of the touched endpoints only, never a recount.
+//!
+//! ## Delta algorithm
+//!
+//! A raw batch (replicated on all ranks) is first **normalized**: for
+//! each distinct canonical edge the owner of its smaller endpoint
+//! replays the ops in order against the pre-batch store and emits the
+//! net effect — a net insert set `I` (absent before, present after)
+//! and a net delete set `D` (present before, absent after). `I` and
+//! `D` are allgathered so every rank sees both.
+//!
+//! Let `G0` be the graph before the batch and `G1 = G0 − D + I` the
+//! graph after. Because `I ∩ G0 = ∅` and `D ∩ G1 = ∅`, a triangle of
+//! `G0` containing a deleted edge cannot survive into `G1` and a
+//! triangle of `G1` containing an inserted edge cannot have existed
+//! in `G0`, so
+//!
+//! ```text
+//! |T(G1)| = |T(G0)| + created − destroyed
+//! ```
+//!
+//! with the two sides computed symmetrically by inclusion–exclusion
+//! over how many batch edges each triangle contains (`j − C(j,2) +
+//! C(j,3) = 1` for `j ∈ {1,2,3}`):
+//!
+//! ```text
+//! destroyed = Σ_{e∈D} tri_G0(e) − pairs_G0(D) + triples(D)
+//! created   = Σ_{e∈I} tri_G1(e) − pairs_G1(I) + triples(I)
+//! ```
+//!
+//! * `tri_G(e=(u,v))` — common neighbours `|N(u) ∩ N(v)|`, evaluated
+//!   at the owner of `u` after the owner of `v` pushes `N(v)` over an
+//!   `alltoallv` (before applying `D`, after applying `I`);
+//! * `pairs_G(S)` — unordered pairs `{e,f} ⊆ S` sharing a vertex
+//!   whose closing third edge is present in `G`, checked by the owner
+//!   of the third edge's smaller endpoint;
+//! * `triples(S)` — triangles formed entirely of batch edges,
+//!   computed from the replicated set on rank 0 alone.
+//!
+//! The three terms are summed with one 6-wide `allreduce`, so every
+//! rank applies the same delta and the count stays replicated.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use tc_core::{count_rank_from, summa_rank_from, BlockInput, SummaGrid, TcConfig};
+use tc_graph::truss::try_truss_decomposition;
+use tc_graph::{AdjStore, Block1D, Csr, EdgeList};
+use tc_metrics::names as m;
+use tc_mps::{Comm, MpsResult};
+
+/// Which offline 2D kernel backs cold starts (and the recount
+/// oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Cannon-style shifts on a `√p × √p` grid.
+    Cannon,
+    /// SUMMA panels on a rectangular grid.
+    Summa(SummaGrid),
+}
+
+/// One edge mutation in a raw update batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeOp {
+    /// One endpoint.
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+    /// `true` to insert the edge, `false` to delete it.
+    pub insert: bool,
+}
+
+impl EdgeOp {
+    /// An insert op.
+    pub fn insert(u: u32, v: u32) -> Self {
+        Self { u, v, insert: true }
+    }
+
+    /// A delete op.
+    pub fn delete(u: u32, v: u32) -> Self {
+        Self { u, v, insert: false }
+    }
+
+    /// Canonical `(min, max)` endpoints.
+    pub fn canonical(&self) -> (u32, u32) {
+        (self.u.min(self.v), self.u.max(self.v))
+    }
+}
+
+/// What one applied batch did to the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Net edges inserted (absent before, present after).
+    pub inserted: u64,
+    /// Net edges deleted (present before, absent after).
+    pub deleted: u64,
+    /// Triangles created by the net inserts.
+    pub created: u64,
+    /// Triangles destroyed by the net deletes.
+    pub destroyed: u64,
+    /// Global triangle count after the batch.
+    pub triangles: u64,
+}
+
+/// Support query reply (rank 0 only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportReply {
+    /// Common-neighbour count of the two endpoints.
+    pub support: u64,
+    /// Whether the edge itself is currently present.
+    pub present: bool,
+}
+
+/// Graph-level statistics, replicated by the collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Global vertex count.
+    pub vertices: u64,
+    /// Global (undirected, simple) edge count.
+    pub edges: u64,
+    /// Global triangle count.
+    pub triangles: u64,
+    /// Update batches applied since cold start.
+    pub batches: u64,
+    /// Full 2D recounts executed (pinned to 1 after cold start).
+    pub full_recounts: u64,
+}
+
+/// The per-rank engine: mutable owned block + replicated count.
+#[derive(Debug)]
+pub struct Engine {
+    n: usize,
+    block: Block1D,
+    store: AdjStore,
+    count: u64,
+    algo: Algo,
+    cfg: TcConfig,
+    batches_applied: u64,
+    full_recounts: u64,
+}
+
+/// `|a ∩ b|` for two sorted ascending slices.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut hits) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                hits += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    hits
+}
+
+/// If `e` and `f` share exactly one vertex, the canonical edge that
+/// would close their triangle.
+fn shared_third(e: (u32, u32), f: (u32, u32)) -> Option<(u32, u32)> {
+    let (a, b) = e;
+    let (c, d) = f;
+    if e == f {
+        return None;
+    }
+    let (x, y) = if a == c {
+        (b, d)
+    } else if a == d {
+        (b, c)
+    } else if b == c {
+        (a, d)
+    } else if b == d {
+        (a, c)
+    } else {
+        return None;
+    };
+    Some((x.min(y), x.max(y)))
+}
+
+/// Triangles formed entirely of batch edges. Each such triangle is
+/// discovered from all three of its edge pairs, hence the `/ 3`.
+fn closed_triples(edges: &[(u32, u32)]) -> u64 {
+    if edges.len() < 3 {
+        return 0;
+    }
+    let set: HashSet<(u32, u32)> = edges.iter().copied().collect();
+    let mut found = 0u64;
+    for i in 0..edges.len() {
+        for j in i + 1..edges.len() {
+            if let Some(t) = shared_third(edges[i], edges[j]) {
+                if set.contains(&t) {
+                    found += 1;
+                }
+            }
+        }
+    }
+    found / 3
+}
+
+/// Flattens per-rank allgatherv buffers of `[u, v]*` into pairs.
+fn flat_pairs(bufs: Vec<Vec<u32>>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for buf in bufs {
+        debug_assert_eq!(buf.len() % 2, 0);
+        for w in buf.chunks_exact(2) {
+            out.push((w[0], w[1]));
+        }
+    }
+    out
+}
+
+impl Engine {
+    /// Builds a rank's engine from the shared input CSR and runs the
+    /// cold-start recount (the one and only hot-path-free full count).
+    pub fn cold_start(comm: &Comm, csr: &Csr, algo: Algo, cfg: TcConfig) -> MpsResult<Engine> {
+        let n = csr.num_vertices();
+        let block = Block1D::new(n, comm.size());
+        let (lo, hi) = block.range(comm.rank());
+        let store = AdjStore::from_csr_block(csr, lo, hi);
+        let mut engine =
+            Engine { n, block, store, count: 0, algo, cfg, batches_applied: 0, full_recounts: 0 };
+        engine.recount(comm)?;
+        Ok(engine)
+    }
+
+    /// Global triangle count (replicated; current as of the last
+    /// applied batch).
+    pub fn triangles(&self) -> u64 {
+        self.count
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Update batches applied since cold start.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// Full 2D recounts executed (1 after cold start; the incremental
+    /// hot path never raises it).
+    pub fn full_recounts(&self) -> u64 {
+        self.full_recounts
+    }
+
+    /// This rank's mutable block store.
+    pub fn store(&self) -> &AdjStore {
+        &self.store
+    }
+
+    /// Runs the full 2D kernel over the current store — the
+    /// correctness oracle and cold-start path, **not** part of batch
+    /// application.
+    pub fn recount(&mut self, comm: &Comm) -> MpsResult<u64> {
+        let (lo, xadj, adj) = self.store.to_block_parts();
+        let input = BlockInput::Owned { lo, xadj, adj };
+        let (triangles, _metrics) = match self.algo {
+            Algo::Cannon => count_rank_from(comm, self.n, &input, &self.cfg)?,
+            Algo::Summa(grid) => summa_rank_from(comm, &grid, self.n, &input, &self.cfg)?,
+        };
+        self.full_recounts += 1;
+        if comm.rank() == 0 {
+            tc_metrics::counter_add(m::SERVE_FULL_RECOUNTS, 1);
+        }
+        self.count = triangles;
+        Ok(triangles)
+    }
+
+    /// Applies one raw update batch. `ops` must be identical on every
+    /// rank (the service broadcasts it; tests replicate it).
+    ///
+    /// Ops whose canonical edge is a self-loop or out of range are
+    /// ignored (the service layer rejects them before they get here).
+    pub fn apply_batch(&mut self, comm: &Comm, ops: &[EdgeOp]) -> MpsResult<BatchOutcome> {
+        let t0 = Instant::now();
+        let me = comm.rank();
+
+        // -- Normalize: net effect per edge, judged by its owner ------
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        let mut state: HashMap<(u32, u32), (bool, bool)> = HashMap::new();
+        for op in ops {
+            let (u, v) = op.canonical();
+            if u == v || v as usize >= self.n || self.block.owner(u) != me {
+                continue;
+            }
+            let entry = state.entry((u, v)).or_insert_with(|| {
+                order.push((u, v));
+                let present = self.store.contains(u, v);
+                (present, present)
+            });
+            entry.1 = op.insert;
+        }
+        let (mut my_ins, mut my_del) = (Vec::new(), Vec::new());
+        for e in &order {
+            let (before, after) = state[e];
+            if before != after {
+                let side = if after { &mut my_ins } else { &mut my_del };
+                side.push(e.0);
+                side.push(e.1);
+            }
+        }
+        let inserts = flat_pairs(comm.allgatherv(&my_ins)?);
+        let deletes = flat_pairs(comm.allgatherv(&my_del)?);
+
+        // -- Destroyed side, against G0 (store still pre-batch) -------
+        let (del_tri, del_pairs) = self.delta_side(comm, &deletes)?;
+        let del_triples = if me == 0 { closed_triples(&deletes) } else { 0 };
+
+        // -- Mutate ---------------------------------------------------
+        for &(u, v) in &deletes {
+            self.store.delete(u, v).expect("normalized delete is valid");
+        }
+        for &(u, v) in &inserts {
+            self.store.insert(u, v).expect("normalized insert is valid");
+        }
+
+        // -- Created side, against G1 (store now post-batch) ----------
+        let (ins_tri, ins_pairs) = self.delta_side(comm, &inserts)?;
+        let ins_triples = if me == 0 { closed_triples(&inserts) } else { 0 };
+
+        // -- Combine --------------------------------------------------
+        let sums = comm.allreduce(
+            &[del_tri, del_pairs, del_triples, ins_tri, ins_pairs, ins_triples],
+            |a, b| *a += *b,
+        )?;
+        let destroyed = sums[0] - sums[1] + sums[2];
+        let created = sums[3] - sums[4] + sums[5];
+        self.count = self.count + created - destroyed;
+        self.batches_applied += 1;
+
+        if me == 0 {
+            tc_metrics::counter_add(m::SERVE_BATCHES_APPLIED, 1);
+            tc_metrics::counter_add(m::SERVE_EDGES_INSERTED, inserts.len() as u64);
+            tc_metrics::counter_add(m::SERVE_EDGES_DELETED, deletes.len() as u64);
+            tc_metrics::hist_record(m::SERVE_BATCH_SIZE, (inserts.len() + deletes.len()) as u64);
+            tc_metrics::hist_record(m::SERVE_BATCH_APPLY_NS, t0.elapsed().as_nanos() as u64);
+        }
+        Ok(BatchOutcome {
+            inserted: inserts.len() as u64,
+            deleted: deletes.len() as u64,
+            created,
+            destroyed,
+            triangles: self.count,
+        })
+    }
+
+    /// One side of the delta: `Σ tri(e)` and the pair correction for
+    /// the replicated edge set, against the **current** store state.
+    /// Returns this rank's additive contributions.
+    fn delta_side(&self, comm: &Comm, edges: &[(u32, u32)]) -> MpsResult<(u64, u64)> {
+        let me = comm.rank();
+        let p = comm.size();
+
+        // Push N(v) from owner(v) to owner(u): both sides know the
+        // replicated edge set, so no request round is needed. Wire
+        // format per destination: repeated [v, len, row...].
+        let mut sends: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut pushed: HashSet<(usize, u32)> = HashSet::new();
+        for &(u, v) in edges {
+            let (ou, ov) = (self.block.owner(u), self.block.owner(v));
+            if ov == me && ou != me && pushed.insert((ou, v)) {
+                let row = self.store.neighbors(v);
+                let dst = &mut sends[ou];
+                dst.push(v);
+                dst.push(row.len() as u32);
+                dst.extend_from_slice(row);
+            }
+        }
+        let received = comm.alltoallv(&sends)?;
+        let mut remote: HashMap<u32, Vec<u32>> = HashMap::new();
+        for buf in received {
+            let mut at = 0usize;
+            while at < buf.len() {
+                let v = buf[at];
+                let len = buf[at + 1] as usize;
+                remote.insert(v, buf[at + 2..at + 2 + len].to_vec());
+                at += 2 + len;
+            }
+        }
+
+        let mut tri = 0u64;
+        let mut intersections = 0u64;
+        for &(u, v) in edges {
+            if self.block.owner(u) != me {
+                continue;
+            }
+            let nu = self.store.neighbors(u);
+            let nv: &[u32] = if self.block.owner(v) == me {
+                self.store.neighbors(v)
+            } else {
+                remote.get(&v).map_or(&[], Vec::as_slice)
+            };
+            tri += intersect_sorted(nu, nv);
+            intersections += 1;
+        }
+        tc_metrics::counter_add(m::SERVE_DELTA_INTERSECTIONS, intersections);
+
+        // Pair correction: for every unordered pair of batch edges
+        // sharing a vertex, the owner of the closing edge's smaller
+        // endpoint checks its presence.
+        let mut pairs = 0u64;
+        for i in 0..edges.len() {
+            for j in i + 1..edges.len() {
+                if let Some((x, y)) = shared_third(edges[i], edges[j]) {
+                    if self.block.owner(x) == me && self.store.contains(x, y) {
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        Ok((tri, pairs))
+    }
+
+    /// Common-neighbour count of `(u, v)` in the current graph.
+    /// Collective; the reply materializes on rank 0 only.
+    pub fn query_support(&self, comm: &Comm, u: u32, v: u32) -> MpsResult<Option<SupportReply>> {
+        let mut mine: Vec<u32> = Vec::new();
+        for w in [u, v] {
+            if self.store.owns(w) {
+                let row = self.store.neighbors(w);
+                mine.push(w);
+                mine.push(row.len() as u32);
+                mine.extend_from_slice(row);
+            }
+        }
+        let Some(gathered) = comm.gatherv(0, &mine)? else {
+            return Ok(None);
+        };
+        let mut rows: HashMap<u32, Vec<u32>> = HashMap::new();
+        for buf in gathered {
+            let mut at = 0usize;
+            while at < buf.len() {
+                let w = buf[at];
+                let len = buf[at + 1] as usize;
+                rows.insert(w, buf[at + 2..at + 2 + len].to_vec());
+                at += 2 + len;
+            }
+        }
+        let nu = rows.get(&u).map_or(&[][..], Vec::as_slice);
+        let nv = rows.get(&v).map_or(&[][..], Vec::as_slice);
+        tc_metrics::counter_add(m::SERVE_QUERIES_SUPPORT, 1);
+        Ok(Some(SupportReply {
+            support: intersect_sorted(nu, nv),
+            present: nu.binary_search(&v).is_ok(),
+        }))
+    }
+
+    /// Edges of the `k`-truss of the current graph. Collective; the
+    /// membership list materializes on rank 0 only.
+    pub fn query_truss(&self, comm: &Comm, k: u32) -> MpsResult<Option<Vec<(u32, u32)>>> {
+        // Each edge (u, v) with u < v is emitted exactly once, by the
+        // owner of u.
+        let mut mine: Vec<u32> = Vec::new();
+        for (u, row) in self.store.owned_rows() {
+            for &w in row {
+                if w > u {
+                    mine.push(u);
+                    mine.push(w);
+                }
+            }
+        }
+        let Some(gathered) = comm.gatherv(0, &mine)? else {
+            return Ok(None);
+        };
+        let edges = flat_pairs(gathered);
+        let el = EdgeList::new(self.n, edges).simplify();
+        let truss = try_truss_decomposition(&el).expect("store edges are simple");
+        let members = truss
+            .edges
+            .iter()
+            .zip(&truss.trussness)
+            .filter(|&(_, &t)| t >= k)
+            .map(|(&e, _)| e)
+            .collect();
+        tc_metrics::counter_add(m::SERVE_QUERIES_TRUSS, 1);
+        Ok(Some(members))
+    }
+
+    /// Graph-level statistics. Collective; replicated on every rank.
+    pub fn stats(&self, comm: &Comm) -> MpsResult<StatsReply> {
+        let entries = comm.allreduce_sum_u64(self.store.owned_entries())?;
+        if comm.rank() == 0 {
+            tc_metrics::counter_add(m::SERVE_QUERIES_STATS, 1);
+        }
+        Ok(StatsReply {
+            vertices: self.n as u64,
+            edges: entries / 2,
+            triangles: self.count,
+            batches: self.batches_applied,
+            full_recounts: self.full_recounts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_third_identifies_the_closing_edge() {
+        assert_eq!(shared_third((0, 1), (1, 2)), Some((0, 2)));
+        assert_eq!(shared_third((0, 1), (0, 2)), Some((1, 2)));
+        assert_eq!(shared_third((2, 5), (3, 5)), Some((2, 3)));
+        assert_eq!(shared_third((0, 1), (2, 3)), None);
+        assert_eq!(shared_third((0, 1), (0, 1)), None);
+    }
+
+    #[test]
+    fn closed_triples_counts_batch_only_triangles() {
+        assert_eq!(closed_triples(&[(0, 1), (1, 2), (0, 2)]), 1);
+        assert_eq!(closed_triples(&[(0, 1), (1, 2), (2, 3)]), 0);
+        // Two triangles sharing the edge (0, 1).
+        assert_eq!(closed_triples(&[(0, 1), (1, 2), (0, 2), (1, 3), (0, 3)]), 2);
+    }
+
+    #[test]
+    fn intersect_sorted_counts_common_entries() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), 0);
+    }
+}

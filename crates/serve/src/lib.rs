@@ -1,0 +1,35 @@
+//! # tc-serve — always-on triangle analytics service
+//!
+//! A long-lived server over the 2D counting substrate: load a graph
+//! once, keep a rank fleet alive (threads on `LocalFabric`, OS
+//! processes on `SocketFabric`), answer analytic queries and absorb
+//! streams of edge inserts/deletes **incrementally** — each batch
+//! adjusts the triangle count via neighborhood intersections of the
+//! touched endpoints only, never a full recount. The full 2D kernel
+//! survives as the cold-start path and correctness oracle
+//! ([`Engine::recount`]).
+//!
+//! The crate splits into four layers:
+//!
+//! - [`engine`] — the per-rank incremental state machine
+//!   ([`Engine`]): mutable [`tc_graph::AdjStore`] block, replicated
+//!   count, the normalize/intersect/correct delta algorithm, and the
+//!   collective query kernels (`support`, `truss`, `stats`);
+//! - [`proto`] — the line-delimited JSON request protocol and its
+//!   typed error vocabulary;
+//! - [`service`] — the rank-0 frontend (Unix-socket listener,
+//!   bounded admission queue, batch coalescing, heartbeat ticks) and
+//!   the peer command loop, entered through [`serve_rank`];
+//! - [`client`] — a minimal blocking [`Client`] for CLIs and tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod service;
+
+pub use client::Client;
+pub use engine::{Algo, BatchOutcome, EdgeOp, Engine, StatsReply, SupportReply};
+pub use proto::Request;
+pub use service::{serve_rank, ServeConfig, ServeReport};

@@ -1,0 +1,279 @@
+//! The line-delimited JSON request protocol.
+//!
+//! One request per line, one reply line per request, over a Unix
+//! domain socket. Requests are JSON objects dispatched on `"op"`:
+//!
+//! | op         | fields                          | reply                         |
+//! |------------|---------------------------------|-------------------------------|
+//! | `count`    | —                               | `triangles`                   |
+//! | `support`  | `u`, `v`                        | `support`, `present`          |
+//! | `truss`    | `k`                             | `k`, `edges: [[u,v],…]`       |
+//! | `stats`    | —                               | graph + service statistics    |
+//! | `metrics`  | —                               | `prometheus` exposition text  |
+//! | `update`   | `insert: [[u,v],…]`, `delete: …`| `queued`, `pending`           |
+//! | `flush`    | —                               | `applied`, `triangles`        |
+//! | `shutdown` | —                               | `{"ok":true}` then EOF        |
+//!
+//! Every reply carries `"ok"`. Failures are typed:
+//! `{"ok":false,"error":"over_capacity"}` is the admission-control
+//! rejection, `"bad_request"` (with a `detail`) covers malformed
+//! JSON, unknown ops and out-of-range vertices, `"shutting_down"` a
+//! request that raced service teardown.
+
+use tc_metrics::json::{self, Value};
+
+/// Typed admission-control rejection.
+pub const ERR_OVER_CAPACITY: &str = "over_capacity";
+/// Malformed or out-of-range request.
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// The service is tearing down.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Current global triangle count.
+    Count,
+    /// Common-neighbour count of one vertex pair.
+    Support {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// Membership of the `k`-truss.
+    Truss {
+        /// Truss parameter (an edge belongs iff its trussness ≥ `k`).
+        k: u32,
+    },
+    /// Graph and service statistics.
+    Stats,
+    /// Prometheus exposition of the live metrics registries.
+    Metrics,
+    /// A batch of edge mutations to coalesce and apply.
+    Update {
+        /// Edges to insert.
+        insert: Vec<(u32, u32)>,
+        /// Edges to delete (win over inserts of the same edge in the
+        /// same request).
+        delete: Vec<(u32, u32)>,
+    },
+    /// Apply all coalesced updates now.
+    Flush,
+    /// Stop the service.
+    Shutdown,
+}
+
+fn field_u32(v: &Value, key: &str) -> Result<u32, String> {
+    let raw = v
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))?;
+    u32::try_from(raw).map_err(|_| format!("field '{key}' out of u32 range"))
+}
+
+fn pair_list(v: &Value, key: &str) -> Result<Vec<(u32, u32)>, String> {
+    let Some(items) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = items.as_arr().ok_or_else(|| format!("field '{key}' is not an array"))?;
+    let mut out = Vec::with_capacity(arr.len().min(tc_graph::adj::PREALLOC_CAP));
+    for item in arr {
+        let pair = item
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("field '{key}' entries must be two-element [u, v] arrays"))?;
+        let mut uv = [0u32; 2];
+        for (slot, val) in uv.iter_mut().zip(pair) {
+            let raw = val.as_u64().ok_or_else(|| format!("non-integer vertex in '{key}'"))?;
+            *slot = u32::try_from(raw).map_err(|_| format!("vertex in '{key}' out of range"))?;
+        }
+        out.push((uv[0], uv[1]));
+    }
+    Ok(out)
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line)?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field 'op'".to_string())?;
+    match op {
+        "count" => Ok(Request::Count),
+        "support" => Ok(Request::Support { u: field_u32(&v, "u")?, v: field_u32(&v, "v")? }),
+        "truss" => Ok(Request::Truss { k: field_u32(&v, "k")? }),
+        "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "update" => {
+            let insert = pair_list(&v, "insert")?;
+            let delete = pair_list(&v, "delete")?;
+            if insert.is_empty() && delete.is_empty() {
+                return Err("update carries neither 'insert' nor 'delete' edges".to_string());
+            }
+            Ok(Request::Update { insert, delete })
+        }
+        "flush" => Ok(Request::Flush),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Serializes a request back to its wire line (client side).
+pub fn request_line(req: &Request) -> String {
+    fn edges(out: &mut String, key: &str, list: &[(u32, u32)]) {
+        out.push_str(&format!(",\"{key}\":["));
+        for (i, (u, v)) in list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{u},{v}]"));
+        }
+        out.push(']');
+    }
+    match req {
+        Request::Count => "{\"op\":\"count\"}".to_string(),
+        Request::Support { u, v } => format!("{{\"op\":\"support\",\"u\":{u},\"v\":{v}}}"),
+        Request::Truss { k } => format!("{{\"op\":\"truss\",\"k\":{k}}}"),
+        Request::Stats => "{\"op\":\"stats\"}".to_string(),
+        Request::Metrics => "{\"op\":\"metrics\"}".to_string(),
+        Request::Update { insert, delete } => {
+            let mut out = String::from("{\"op\":\"update\"");
+            if !insert.is_empty() {
+                edges(&mut out, "insert", insert);
+            }
+            if !delete.is_empty() {
+                edges(&mut out, "delete", delete);
+            }
+            out.push('}');
+            out
+        }
+        Request::Flush => "{\"op\":\"flush\"}".to_string(),
+        Request::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+    }
+}
+
+/// A typed failure reply.
+pub fn error_line(kind: &str, detail: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":\"");
+    json::escape_into(&mut out, kind);
+    if !detail.is_empty() {
+        out.push_str("\",\"detail\":\"");
+        json::escape_into(&mut out, detail);
+    }
+    out.push_str("\"}");
+    out
+}
+
+/// Reply to `count`.
+pub fn ok_count(triangles: u64) -> String {
+    format!("{{\"ok\":true,\"triangles\":{triangles}}}")
+}
+
+/// Reply to `support`.
+pub fn ok_support(support: u64, present: bool) -> String {
+    format!("{{\"ok\":true,\"support\":{support},\"present\":{present}}}")
+}
+
+/// Reply to `truss`.
+pub fn ok_truss(k: u32, edges: &[(u32, u32)]) -> String {
+    let mut out = format!("{{\"ok\":true,\"k\":{k},\"edges\":[");
+    for (i, (u, v)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{u},{v}]"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Reply to `stats`.
+pub fn ok_stats(s: &crate::engine::StatsReply, pending: usize) -> String {
+    format!(
+        "{{\"ok\":true,\"vertices\":{},\"edges\":{},\"triangles\":{},\"batches\":{},\"full_recounts\":{},\"pending\":{pending}}}",
+        s.vertices, s.edges, s.triangles, s.batches, s.full_recounts
+    )
+}
+
+/// Reply to `metrics`: the Prometheus exposition as a JSON string.
+pub fn ok_metrics(prometheus: &str) -> String {
+    let mut out = String::from("{\"ok\":true,\"prometheus\":\"");
+    json::escape_into(&mut out, prometheus);
+    out.push_str("\"}");
+    out
+}
+
+/// Reply to `update`: ops accepted into the coalescing buffer.
+pub fn ok_queued(queued: usize, pending: usize) -> String {
+    format!("{{\"ok\":true,\"queued\":{queued},\"pending\":{pending}}}")
+}
+
+/// Reply to `flush` (and the read-barrier form of `count`).
+pub fn ok_applied(applied: u64, triangles: u64) -> String {
+    format!("{{\"ok\":true,\"applied\":{applied},\"triangles\":{triangles}}}")
+}
+
+/// Reply to `shutdown`.
+pub fn ok_shutdown() -> String {
+    "{\"ok\":true,\"stopping\":true}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request("{\"op\":\"count\"}").unwrap(), Request::Count);
+        assert_eq!(
+            parse_request("{\"op\":\"support\",\"u\":3,\"v\":9}").unwrap(),
+            Request::Support { u: 3, v: 9 }
+        );
+        assert_eq!(parse_request("{\"op\":\"truss\",\"k\":4}").unwrap(), Request::Truss { k: 4 });
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(parse_request("{\"op\":\"metrics\"}").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("{\"op\":\"flush\"}").unwrap(), Request::Flush);
+        assert_eq!(parse_request("{\"op\":\"shutdown\"}").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("{\"op\":\"update\",\"insert\":[[0,1],[2,3]],\"delete\":[[4,5]]}")
+                .unwrap(),
+            Request::Update { insert: vec![(0, 1), (2, 3)], delete: vec![(4, 5)] }
+        );
+    }
+
+    #[test]
+    fn request_lines_round_trip() {
+        for req in [
+            Request::Count,
+            Request::Support { u: 1, v: 2 },
+            Request::Truss { k: 3 },
+            Request::Stats,
+            Request::Metrics,
+            Request::Update { insert: vec![(0, 1)], delete: vec![(1, 2), (3, 4)] },
+            Request::Flush,
+            Request::Shutdown,
+        ] {
+            assert_eq!(parse_request(&request_line(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"no_op\":1}").is_err());
+        assert!(parse_request("{\"op\":\"warp\"}").is_err());
+        assert!(parse_request("{\"op\":\"support\",\"u\":1}").is_err());
+        assert!(parse_request("{\"op\":\"support\",\"u\":1,\"v\":99999999999}").is_err());
+        assert!(parse_request("{\"op\":\"update\"}").is_err());
+        assert!(parse_request("{\"op\":\"update\",\"insert\":[[1]]}").is_err());
+    }
+
+    #[test]
+    fn error_lines_are_typed() {
+        assert_eq!(error_line(ERR_OVER_CAPACITY, ""), "{\"ok\":false,\"error\":\"over_capacity\"}");
+        let with_detail = error_line(ERR_BAD_REQUEST, "vertex 9 out of range");
+        assert!(with_detail.contains("\"detail\":\"vertex 9 out of range\""));
+    }
+}

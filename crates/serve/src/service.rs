@@ -1,0 +1,585 @@
+//! The long-lived service loop.
+//!
+//! Every rank calls [`serve_rank`] inside a universe body (threads on
+//! `LocalFabric`, one OS process per rank on `SocketFabric`). Rank 0
+//! doubles as the **frontend**: it binds a Unix-domain listener at
+//! the configured path, accepts line-delimited JSON requests (one
+//! thread per connection), and funnels them through a bounded
+//! admission queue into the single service loop. Peers sit in a
+//! broadcast-driven command loop.
+//!
+//! ## Fleet protocol
+//!
+//! Rank 0 drives the fleet with `u32` command streams over
+//! `bcast(0, …)`. Collectives are the only cross-rank channel, so
+//! every query/update maps to exactly one broadcast followed by the
+//! matching collective phase of [`Engine`]. An idle frontend
+//! broadcasts a heartbeat tick (default every 5 s) so peers never
+//! trip the fabric's receive deadline.
+//!
+//! ## Coalescing and the read barrier
+//!
+//! Update requests are acknowledged immediately and buffered; the
+//! buffer is applied as one batch when it reaches `max_batch` ops,
+//! when the oldest buffered op is `flush_ms` old, on an explicit
+//! `flush`, at shutdown — or when a read query (`count`, `support`,
+//! `truss`, `stats`) arrives, which guarantees read-your-writes.
+//!
+//! ## Admission control
+//!
+//! At most `queue` requests may be in flight between the connection
+//! threads and the service loop. Excess requests are rejected
+//! immediately with the typed `over_capacity` error and counted in
+//! `serve.rejected_queries` — connection threads are not bound to a
+//! metrics lane, so the loop folds their atomic tally into the
+//! registry on its next turn.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tc_core::TcConfig;
+use tc_graph::Csr;
+use tc_metrics::names as m;
+use tc_metrics::{MetricsHandle, MetricsSnapshot};
+use tc_mps::{strict_env, Comm, MpsResult};
+
+use crate::engine::{Algo, EdgeOp, Engine};
+use crate::proto::{self, Request};
+
+/// `MPS_SERVE_*`: coalescing flush interval (milliseconds).
+pub const SERVE_FLUSH_MS_ENV: &str = "MPS_SERVE_FLUSH_MS";
+/// `MPS_SERVE_*`: coalescing batch-size flush threshold (ops).
+pub const SERVE_MAX_BATCH_ENV: &str = "MPS_SERVE_MAX_BATCH";
+/// `MPS_SERVE_*`: admission-control queue capacity (requests).
+pub const SERVE_QUEUE_ENV: &str = "MPS_SERVE_QUEUE";
+/// `MPS_SERVE_*`: idle heartbeat interval (milliseconds).
+pub const SERVE_TICK_MS_ENV: &str = "MPS_SERVE_TICK_MS";
+
+// Fleet opcodes, broadcast from rank 0.
+const OP_TICK: u32 = 1;
+const OP_APPLY: u32 = 2;
+const OP_SUPPORT: u32 = 3;
+const OP_TRUSS: u32 = 4;
+const OP_STATS: u32 = 5;
+const OP_METRICS: u32 = 6;
+const OP_SHUTDOWN: u32 = 7;
+
+/// Service tunables. Construct with [`ServeConfig::new`], then let
+/// the environment override individual knobs via
+/// [`ServeConfig::env_overrides`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-socket path the frontend listens on.
+    pub listen: PathBuf,
+    /// Offline kernel for cold start (and recount oracles).
+    pub algo: Algo,
+    /// Kernel tunables for the cold-start count.
+    pub tc: TcConfig,
+    /// Apply the pending buffer once it holds this many ops.
+    pub max_batch: usize,
+    /// Apply the pending buffer once its oldest op is this old.
+    pub flush_ms: u64,
+    /// Admission control: max requests in flight.
+    pub queue: usize,
+    /// Idle heartbeat interval keeping peers inside their receive
+    /// deadline.
+    pub tick_ms: u64,
+    /// Live registry handle backing the `metrics` query; `None`
+    /// serves an empty exposition.
+    pub metrics: Option<MetricsHandle>,
+}
+
+impl ServeConfig {
+    /// Defaults: Cannon kernel, 256-op batches, 50 ms flush, 64
+    /// queued requests, 5 s ticks.
+    pub fn new(listen: PathBuf) -> Self {
+        Self {
+            listen,
+            algo: Algo::Cannon,
+            tc: TcConfig::default(),
+            max_batch: 256,
+            flush_ms: 50,
+            queue: 64,
+            tick_ms: 5_000,
+            metrics: None,
+        }
+    }
+
+    /// Applies the `MPS_SERVE_*` environment family on top of the
+    /// current values. Malformed values panic loudly (strict-env
+    /// discipline); unset variables change nothing.
+    pub fn env_overrides(mut self) -> Self {
+        if let Some(v) = strict_env::<u64>(SERVE_FLUSH_MS_ENV, "millisecond count") {
+            self.flush_ms = v;
+        }
+        if let Some(v) = strict_env::<usize>(SERVE_MAX_BATCH_ENV, "op count") {
+            self.max_batch = v.max(1);
+        }
+        if let Some(v) = strict_env::<usize>(SERVE_QUEUE_ENV, "request count") {
+            self.queue = v.max(1);
+        }
+        if let Some(v) = strict_env::<u64>(SERVE_TICK_MS_ENV, "millisecond count") {
+            self.tick_ms = v.max(1);
+        }
+        self
+    }
+}
+
+/// What the service did over its lifetime (rank 0; peers report
+/// zeros except the final count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Update batches applied.
+    pub batches: u64,
+    /// Read queries answered.
+    pub queries: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Final global triangle count.
+    pub triangles: u64,
+    /// Full recounts executed (cold start only on the hot path).
+    pub full_recounts: u64,
+}
+
+/// One queued request and the channel its reply goes back on.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// The bounded admission queue between connection threads and the
+/// service loop.
+struct Gate {
+    state: Mutex<GateState>,
+    ready: Condvar,
+    capacity: usize,
+    rejected: AtomicU64,
+    open: AtomicBool,
+}
+
+struct GateState {
+    jobs: VecDeque<Job>,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(GateState { jobs: VecDeque::new() }),
+            ready: Condvar::new(),
+            capacity,
+            rejected: AtomicU64::new(0),
+            open: AtomicBool::new(true),
+        }
+    }
+
+    /// Admits a job or returns the typed rejection kind.
+    fn enqueue(&self, job: Job) -> Result<(), &'static str> {
+        if !self.open.load(Ordering::Acquire) {
+            return Err(proto::ERR_SHUTTING_DOWN);
+        }
+        let mut st = self.state.lock().expect("gate lock");
+        if st.jobs.len() >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(proto::ERR_OVER_CAPACITY);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the next job.
+    fn pop(&self, timeout: Duration) -> Option<Job> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("gate lock");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (next, timed_out) = self.ready.wait_timeout(st, left).expect("gate lock poisoned");
+            st = next;
+            if timed_out.timed_out() && st.jobs.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Stops admission and fails every queued job.
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        let mut st = self.state.lock().expect("gate lock");
+        for job in st.jobs.drain(..) {
+            let _ = job.reply.send(proto::error_line(proto::ERR_SHUTTING_DOWN, ""));
+        }
+    }
+
+    fn take_rejected(&self) -> u64 {
+        self.rejected.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Serves one client connection: read a line, admit it, relay the
+/// reply. Sequential per connection; concurrency comes from having
+/// one thread per connection.
+fn handle_conn(stream: UnixStream, gate: Arc<Gate>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match proto::parse_request(&line) {
+            Err(detail) => proto::error_line(proto::ERR_BAD_REQUEST, &detail),
+            Ok(req) => {
+                let (tx, rx) = mpsc::channel();
+                match gate.enqueue(Job { req, reply: tx }) {
+                    Err(kind) => proto::error_line(kind, ""),
+                    Ok(()) => rx
+                        .recv()
+                        .unwrap_or_else(|_| proto::error_line(proto::ERR_SHUTTING_DOWN, "")),
+                }
+            }
+        };
+        if writeln!(writer, "{reply}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs this rank's half of the service until a `shutdown` request
+/// lands. Collective: every rank of the universe must call it with
+/// the same `csr` and configuration.
+pub fn serve_rank(comm: &Comm, csr: &Csr, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+    let mut engine = Engine::cold_start(comm, csr, cfg.algo, cfg.tc)?;
+    if comm.rank() == 0 {
+        frontend(comm, &mut engine, cfg)
+    } else {
+        peer_loop(comm, &mut engine, cfg)
+    }
+}
+
+/// Peer ranks: decode broadcast commands, run the collective half.
+fn peer_loop(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+    loop {
+        let msg = comm.bcast::<u32>(0, &[])?;
+        match msg.first().copied() {
+            Some(OP_TICK) => {}
+            Some(OP_APPLY) => {
+                let ops = decode_ops(&msg[1..]);
+                engine.apply_batch(comm, &ops)?;
+            }
+            Some(OP_SUPPORT) => {
+                engine.query_support(comm, msg[1], msg[2])?;
+            }
+            Some(OP_TRUSS) => {
+                engine.query_truss(comm, msg[1])?;
+            }
+            Some(OP_STATS) => {
+                engine.stats(comm)?;
+            }
+            Some(OP_METRICS) => {
+                collect_metrics(comm, cfg.metrics.as_ref())?;
+            }
+            Some(OP_SHUTDOWN) | None => break,
+            Some(other) => panic!("unknown fleet opcode {other}"),
+        }
+    }
+    Ok(ServeReport { triangles: engine.triangles(), ..ServeReport::default() })
+}
+
+fn encode_ops(msg: &mut Vec<u32>, ops: &[EdgeOp]) {
+    msg.push(ops.len() as u32);
+    for op in ops {
+        msg.push(op.u);
+        msg.push(op.v);
+        msg.push(u32::from(op.insert));
+    }
+}
+
+fn decode_ops(payload: &[u32]) -> Vec<EdgeOp> {
+    let k = payload[0] as usize;
+    let mut ops = Vec::with_capacity(k.min(tc_graph::adj::PREALLOC_CAP));
+    for w in payload[1..1 + 3 * k].chunks_exact(3) {
+        ops.push(EdgeOp { u: w[0], v: w[1], insert: w[2] != 0 });
+    }
+    ops
+}
+
+/// Gathers every process's live registry snapshot to rank 0 and
+/// renders one merged Prometheus exposition. On the in-process
+/// fabric all ranks share one registry, so the merge is idempotent;
+/// on the socket fabric each process contributes its own lane.
+fn collect_metrics(comm: &Comm, metrics: Option<&MetricsHandle>) -> MpsResult<Option<String>> {
+    let local = metrics.map(|h| h.snapshot().to_json()).unwrap_or_default();
+    let Some(gathered) = comm.gatherv(0, local.as_bytes())? else {
+        return Ok(None);
+    };
+    let mut merged = MetricsSnapshot::new();
+    for buf in gathered {
+        if buf.is_empty() {
+            continue;
+        }
+        let text = std::str::from_utf8(&buf).expect("snapshot JSON is UTF-8");
+        let snap = MetricsSnapshot::from_json(text).expect("snapshot JSON round-trips");
+        for rank in snap.ranks() {
+            for (name, value) in snap.rank(rank).expect("listed rank exists") {
+                merged.insert(rank, name.clone(), value.clone());
+            }
+        }
+    }
+    Ok(Some(tc_metrics::prometheus::to_prometheus(&merged)))
+}
+
+/// The rank-0 service loop plus its listener/connection threads.
+fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(&cfg.listen);
+    let listener = UnixListener::bind(&cfg.listen).unwrap_or_else(|e| {
+        panic!("cannot listen on {}: {e}", cfg.listen.display());
+    });
+    let gate = Arc::new(Gate::new(cfg.queue));
+    let accept_gate = Arc::clone(&gate);
+    let listener_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if !accept_gate.open.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { break };
+            let gate = Arc::clone(&accept_gate);
+            std::thread::spawn(move || handle_conn(stream, gate));
+        }
+    });
+
+    let flush_after = Duration::from_millis(cfg.flush_ms);
+    let tick_after = Duration::from_millis(cfg.tick_ms);
+    let mut pending: Vec<EdgeOp> = Vec::new();
+    let mut oldest: Option<Instant> = None;
+    let mut last_fleet_cmd = Instant::now();
+    let mut report = ServeReport::default();
+
+    // Applies the coalesced buffer as one broadcast batch.
+    macro_rules! flush_pending {
+        () => {{
+            flush_buffer(comm, engine, &mut pending, &mut oldest, &mut last_fleet_cmd, &mut report)?
+        }};
+    }
+
+    'serve: loop {
+        let rejected = gate.take_rejected();
+        if rejected > 0 {
+            tc_metrics::counter_add(m::SERVE_REJECTED_QUERIES, rejected);
+            report.rejected += rejected;
+        }
+
+        // Aged-buffer and heartbeat deadlines are checked every turn,
+        // busy or idle: a sustained stream of purely local queries
+        // (`count` needs no collective) must neither starve peers of
+        // heartbeats nor let the coalescing buffer age unapplied.
+        if oldest.is_some_and(|t| Instant::now() >= t + flush_after) {
+            flush_pending!();
+        }
+        if Instant::now() >= last_fleet_cmd + tick_after {
+            comm.bcast(0, &[OP_TICK])?;
+            last_fleet_cmd = Instant::now();
+        }
+
+        let now = Instant::now();
+        let tick_deadline = last_fleet_cmd + tick_after;
+        let deadline = match oldest {
+            Some(t) => tick_deadline.min(t + flush_after),
+            None => tick_deadline,
+        };
+        let Some(job) = gate.pop(deadline.saturating_duration_since(now)) else {
+            continue;
+        };
+
+        let reply = match job.req {
+            Request::Update { insert, delete } => {
+                match validate_edges(engine.num_vertices(), insert.iter().chain(&delete)) {
+                    Err(detail) => proto::error_line(proto::ERR_BAD_REQUEST, &detail),
+                    Ok(()) => {
+                        let queued = insert.len() + delete.len();
+                        // Deletes are pushed after inserts so they win
+                        // within one request.
+                        pending.extend(insert.iter().map(|&(u, v)| EdgeOp::insert(u, v)));
+                        pending.extend(delete.iter().map(|&(u, v)| EdgeOp::delete(u, v)));
+                        oldest.get_or_insert_with(Instant::now);
+                        let depth = pending.len();
+                        if depth >= cfg.max_batch {
+                            flush_pending!();
+                        }
+                        proto::ok_queued(queued, depth.min(pending.len()))
+                    }
+                }
+            }
+            Request::Flush => {
+                let applied = flush_pending!();
+                proto::ok_applied(applied, engine.triangles())
+            }
+            Request::Count => {
+                flush_pending!();
+                report.queries += 1;
+                tc_metrics::counter_add(m::SERVE_QUERIES_COUNT, 1);
+                proto::ok_count(engine.triangles())
+            }
+            Request::Support { u, v } => {
+                if u == v
+                    || u as usize >= engine.num_vertices()
+                    || v as usize >= engine.num_vertices()
+                {
+                    proto::error_line(
+                        proto::ERR_BAD_REQUEST,
+                        &format!("({u}, {v}) is not a valid vertex pair"),
+                    )
+                } else {
+                    flush_pending!();
+                    comm.bcast(0, &[OP_SUPPORT, u, v])?;
+                    last_fleet_cmd = Instant::now();
+                    let r = engine.query_support(comm, u, v)?.expect("rank 0 gets the reply");
+                    report.queries += 1;
+                    proto::ok_support(r.support, r.present)
+                }
+            }
+            Request::Truss { k } => {
+                flush_pending!();
+                comm.bcast(0, &[OP_TRUSS, k])?;
+                last_fleet_cmd = Instant::now();
+                let members = engine.query_truss(comm, k)?.expect("rank 0 gets the reply");
+                report.queries += 1;
+                proto::ok_truss(k, &members)
+            }
+            Request::Stats => {
+                flush_pending!();
+                comm.bcast(0, &[OP_STATS])?;
+                last_fleet_cmd = Instant::now();
+                let s = engine.stats(comm)?;
+                report.queries += 1;
+                proto::ok_stats(&s, pending.len())
+            }
+            Request::Metrics => {
+                comm.bcast(0, &[OP_METRICS])?;
+                last_fleet_cmd = Instant::now();
+                let text = collect_metrics(comm, cfg.metrics.as_ref())?
+                    .expect("rank 0 gets the exposition");
+                report.queries += 1;
+                tc_metrics::counter_add(m::SERVE_QUERIES_STATS, 1);
+                proto::ok_metrics(&text)
+            }
+            Request::Shutdown => {
+                flush_pending!();
+                comm.bcast(0, &[OP_SHUTDOWN])?;
+                let _ = job.reply.send(proto::ok_shutdown());
+                break 'serve;
+            }
+        };
+        let _ = job.reply.send(reply);
+    }
+
+    // Teardown: stop admitting, fail queued jobs, wake the accept
+    // loop with a throwaway connection, reclaim the socket path.
+    gate.close();
+    let _ = UnixStream::connect(&cfg.listen);
+    let _ = listener_thread.join();
+    let _ = std::fs::remove_file(&cfg.listen);
+
+    report.triangles = engine.triangles();
+    report.full_recounts = engine.full_recounts();
+    Ok(report)
+}
+
+/// Broadcasts and applies the coalesced buffer as one batch.
+/// Returns the number of batches applied (0 when the buffer was
+/// empty — no fleet command is issued for nothing).
+fn flush_buffer(
+    comm: &Comm,
+    engine: &mut Engine,
+    pending: &mut Vec<EdgeOp>,
+    oldest: &mut Option<Instant>,
+    last_fleet_cmd: &mut Instant,
+    report: &mut ServeReport,
+) -> MpsResult<u64> {
+    if pending.is_empty() {
+        return Ok(0);
+    }
+    let ops = std::mem::take(pending);
+    *oldest = None;
+    let mut msg = vec![OP_APPLY];
+    encode_ops(&mut msg, &ops);
+    comm.bcast(0, &msg)?;
+    *last_fleet_cmd = Instant::now();
+    engine.apply_batch(comm, &ops)?;
+    report.batches += 1;
+    Ok(1)
+}
+
+/// Rejects pairs that cannot name an edge of this graph.
+fn validate_edges<'a>(n: usize, edges: impl Iterator<Item = &'a (u32, u32)>) -> Result<(), String> {
+    for &(u, v) in edges {
+        if u == v {
+            return Err(format!("self-loop ({u}, {v})"));
+        }
+        if u as usize >= n || v as usize >= n {
+            return Err(format!("edge ({u}, {v}) out of range for {n} vertices"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip_through_the_wire_encoding() {
+        let ops = vec![EdgeOp::insert(3, 7), EdgeOp::delete(1, 2), EdgeOp::insert(0, 9)];
+        let mut msg = vec![OP_APPLY];
+        encode_ops(&mut msg, &ops);
+        assert_eq!(decode_ops(&msg[1..]), ops);
+    }
+
+    #[test]
+    fn gate_rejects_over_capacity_and_counts_it() {
+        let gate = Gate::new(1);
+        let (tx, _rx) = mpsc::channel();
+        gate.enqueue(Job { req: Request::Count, reply: tx.clone() }).unwrap();
+        let err = gate.enqueue(Job { req: Request::Count, reply: tx }).unwrap_err();
+        assert_eq!(err, proto::ERR_OVER_CAPACITY);
+        assert_eq!(gate.take_rejected(), 1);
+        assert_eq!(gate.take_rejected(), 0);
+    }
+
+    #[test]
+    fn closed_gate_fails_queued_jobs() {
+        let gate = Gate::new(4);
+        let (tx, rx) = mpsc::channel();
+        gate.enqueue(Job { req: Request::Count, reply: tx.clone() }).unwrap();
+        gate.close();
+        assert!(rx.recv().unwrap().contains(proto::ERR_SHUTTING_DOWN));
+        assert_eq!(
+            gate.enqueue(Job { req: Request::Count, reply: tx }).unwrap_err(),
+            proto::ERR_SHUTTING_DOWN
+        );
+    }
+
+    #[test]
+    fn validate_edges_spots_bad_pairs() {
+        assert!(validate_edges(10, [(0u32, 1u32)].iter()).is_ok());
+        assert!(validate_edges(10, [(3u32, 3u32)].iter()).is_err());
+        assert!(validate_edges(10, [(0u32, 10u32)].iter()).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests: the incremental delta path is exactly equivalent
+//! to a fresh 2D recount — maintained count and per-edge supports —
+//! after every batch, under both the Cannon and SUMMA oracles and
+//! across fleet sizes p ∈ {1, 4, 16}.
+
+use std::collections::{BTreeSet, HashMap};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tc_core::{try_count_per_edge, SummaGrid, TcConfig};
+use tc_graph::{Csr, EdgeList};
+use tc_mps::{Universe, UniverseConfig};
+use tc_serve::{Algo, EdgeOp, Engine};
+
+/// Reference model: a canonical edge set mutated op by op.
+fn apply_ref(edges: &mut BTreeSet<(u32, u32)>, ops: &[EdgeOp]) {
+    for op in ops {
+        let (u, v) = op.canonical();
+        if u == v {
+            continue;
+        }
+        if op.insert {
+            edges.insert((u, v));
+        } else {
+            edges.remove(&(u, v));
+        }
+    }
+}
+
+fn ref_edge_list(n: usize, edges: &BTreeSet<(u32, u32)>) -> EdgeList {
+    EdgeList::new(n, edges.iter().copied().collect()).simplify()
+}
+
+/// Runs cold start + the batch sequence on `p` ranks, asserting after
+/// every batch that the maintained count equals a fresh 2D recount.
+/// Returns rank 0's per-edge supports for `probe_edges` plus the
+/// final maintained count.
+fn run_case(
+    el: &EdgeList,
+    batches: &[Vec<EdgeOp>],
+    probe_edges: &[(u32, u32)],
+    p: usize,
+    algo: Algo,
+) -> (u64, Vec<(u64, bool)>) {
+    let csr = Csr::from_edge_list(el);
+    let out = Universe::try_run_config(p, &UniverseConfig::default(), |comm| {
+        let mut engine = Engine::cold_start(comm, &csr, algo, TcConfig::default())?;
+        for batch in batches {
+            let outcome = engine.apply_batch(comm, batch)?;
+            let oracle = engine.recount(comm)?;
+            assert_eq!(
+                outcome.triangles, oracle,
+                "incremental count drifted from the 2D recount (algo {algo:?}, p {p})"
+            );
+        }
+        assert_eq!(engine.batches_applied(), batches.len() as u64);
+        let mut supports = Vec::new();
+        for &(u, v) in probe_edges {
+            let reply = engine.query_support(comm, u, v)?;
+            if comm.rank() == 0 {
+                let r = reply.expect("rank 0 gets the support reply");
+                supports.push((r.support, r.present));
+            }
+        }
+        Ok((engine.triangles(), supports))
+    })
+    .expect("universe run");
+    out.0.into_iter().next().expect("rank 0 result")
+}
+
+/// End-state oracle: per-edge supports from the offline 2D per-edge
+/// kernel over the reference final graph.
+fn oracle_supports(el: &EdgeList, p: usize) -> HashMap<(u32, u32), u64> {
+    let (_result, supports) =
+        try_count_per_edge(el, p, &TcConfig::default()).expect("per-edge oracle");
+    supports.into_iter().map(|s| ((s.u, s.v), s.support)).collect()
+}
+
+/// Common-neighbour count in the reference graph (defined for absent
+/// pairs too, unlike the per-edge oracle).
+fn ref_support(el: &EdgeList, u: u32, v: u32) -> u64 {
+    let csr = Csr::from_edge_list(el);
+    let (nu, nv) = (csr.neighbors(u), csr.neighbors(v));
+    nu.iter().filter(|w| nv.binary_search(w).is_ok()).count() as u64
+}
+
+fn arb_batches(n: u32) -> impl Strategy<Value = Vec<Vec<EdgeOp>>> {
+    vec(vec((0..n, 0..n, any::<bool>()), 0..16), 1..5).prop_map(|raw| {
+        raw.into_iter()
+            .map(|batch| batch.into_iter().map(|(u, v, insert)| EdgeOp { u, v, insert }).collect())
+            .collect()
+    })
+}
+
+fn arb_case() -> impl Strategy<Value = (EdgeList, Vec<Vec<EdgeOp>>)> {
+    (6usize..28, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let m = n * 2;
+        arb_batches(n as u32)
+            .prop_map(move |batches| (tc_gen::er::gnm(n, m, seed).simplify(), batches))
+    })
+}
+
+/// Drives one (graph, batches, p, algo) combination end to end:
+/// per-batch recount equivalence inside the universe, then final
+/// supports against both the reference model and the offline 2D
+/// per-edge kernel.
+fn check(el: &EdgeList, batches: &[Vec<EdgeOp>], p: usize, algo: Algo) {
+    let n = el.num_vertices;
+    let mut reference: BTreeSet<(u32, u32)> = el.edges.iter().copied().collect();
+    for batch in batches {
+        apply_ref(&mut reference, batch);
+    }
+    let final_el = ref_edge_list(n, &reference);
+
+    // Probe the first few surviving edges plus a couple of pairs that
+    // may be absent.
+    let mut probes: Vec<(u32, u32)> = reference.iter().copied().take(8).collect();
+    if n >= 2 {
+        probes.push((0, (n - 1) as u32));
+        probes.push((0, 1));
+    }
+
+    let (count, supports) = run_case(el, batches, &probes, p, algo);
+    let expected = oracle_supports(&final_el, p);
+    let expected_count: u64 = expected.values().sum::<u64>() / 3;
+    assert_eq!(count, expected_count, "final count vs per-edge oracle (p {p}, {algo:?})");
+
+    for (&(u, v), &(support, present)) in probes.iter().zip(&supports) {
+        assert_eq!(present, reference.contains(&(u.min(v), u.max(v))), "presence of ({u}, {v})");
+        assert_eq!(support, ref_support(&final_el, u, v), "support of ({u}, {v})");
+        if present {
+            assert_eq!(
+                support,
+                expected[&(u.min(v), u.max(v))],
+                "support of present edge ({u}, {v}) vs 2D per-edge oracle"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_matches_recount_cannon_p1(case in arb_case()) {
+        let (el, batches) = case;
+        check(&el, &batches, 1, Algo::Cannon);
+    }
+
+    #[test]
+    fn incremental_matches_recount_cannon_p4(case in arb_case()) {
+        let (el, batches) = case;
+        check(&el, &batches, 4, Algo::Cannon);
+    }
+
+    #[test]
+    fn incremental_matches_recount_summa_p4(case in arb_case()) {
+        let (el, batches) = case;
+        check(&el, &batches, 4, Algo::Summa(SummaGrid::new(2, 2)));
+    }
+}
+
+/// Deterministic batch stream derived from a graph: delete every
+/// third edge, re-insert half of the deleted ones, weave in fresh
+/// edges — exercising inserts and deletes that interact (shared
+/// endpoints, batch-only triangles).
+fn scripted_batches(el: &EdgeList, batch_len: usize) -> Vec<Vec<EdgeOp>> {
+    let n = el.num_vertices as u32;
+    let mut ops: Vec<EdgeOp> = Vec::new();
+    for (i, &(u, v)) in el.edges.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                ops.push(EdgeOp::delete(u, v));
+                if i % 6 == 0 {
+                    ops.push(EdgeOp::insert(u, v));
+                }
+            }
+            1 => {
+                let w = (u + v) % n;
+                if w != u && w != v {
+                    ops.push(EdgeOp::insert(u.min(w), u.max(w)));
+                    ops.push(EdgeOp::insert(v.min(w), v.max(w)));
+                }
+            }
+            _ => {}
+        }
+    }
+    ops.chunks(batch_len.max(1)).map(<[EdgeOp]>::to_vec).collect()
+}
+
+#[test]
+fn incremental_matches_recount_rmat_p16_cannon() {
+    let el = tc_gen::rmat(5, 8, tc_gen::RmatParams::GRAPH500, 42).simplify();
+    let batches = scripted_batches(&el, 24);
+    assert!(batches.len() >= 4, "scripted stream produced too few batches");
+    check(&el, &batches, 16, Algo::Cannon);
+}
+
+#[test]
+fn incremental_matches_recount_rmat_p16_summa() {
+    let el = tc_gen::rmat(5, 8, tc_gen::RmatParams::GRAPH500, 7).simplify();
+    let batches = scripted_batches(&el, 24);
+    check(&el, &batches, 16, Algo::Summa(SummaGrid::new(4, 4)));
+}
+
+#[test]
+fn full_recounts_stay_pinned_without_oracle_calls() {
+    let el = tc_gen::er::gnm(20, 60, 9).simplify();
+    let csr = Csr::from_edge_list(&el);
+    let batches = scripted_batches(&el, 16);
+    let counts = Universe::try_run_config(4, &UniverseConfig::default(), |comm| {
+        let mut engine = Engine::cold_start(comm, &csr, Algo::Cannon, TcConfig::default())?;
+        for batch in &batches {
+            engine.apply_batch(comm, batch)?;
+        }
+        // The hot path must never recount: cold start is the only one.
+        assert_eq!(engine.full_recounts(), 1);
+        Ok(engine.triangles())
+    })
+    .expect("universe run");
+    let mut reference: BTreeSet<(u32, u32)> = el.edges.iter().copied().collect();
+    for batch in &batches {
+        apply_ref(&mut reference, batch);
+    }
+    let final_el = ref_edge_list(20, &reference);
+    let expected = tc_core::try_count_triangles(&final_el, 4, &TcConfig::default())
+        .expect("offline oracle")
+        .triangles;
+    assert!(counts.0.iter().all(|&c| c == expected), "replicated count wrong on some rank");
+}

@@ -1,0 +1,329 @@
+//! End-to-end service tests on the in-process fabric: a rank fleet
+//! runs [`tc_serve::serve_rank`] on a background thread while the
+//! test drives the Unix socket with [`tc_serve::Client`] — streaming
+//! update batches with read-your-writes count checks, analytic
+//! queries against serial oracles, typed protocol errors, admission
+//! control, and a clean shutdown.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tc_graph::{Csr, EdgeList};
+use tc_metrics::json::Value;
+use tc_metrics::MetricsSession;
+use tc_mps::{Universe, UniverseConfig};
+use tc_serve::{serve_rank, Client, Request, ServeConfig};
+
+fn sock_path(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tc-serve-{}-{label}.sock", std::process::id()))
+}
+
+fn ref_edge_list(n: usize, edges: &BTreeSet<(u32, u32)>) -> EdgeList {
+    EdgeList::new(n, edges.iter().copied().collect()).simplify()
+}
+
+/// Serial oracle: triangles of the reference edge set.
+fn serial_triangles(n: usize, edges: &BTreeSet<(u32, u32)>) -> u64 {
+    let csr = Csr::from_edge_list(&ref_edge_list(n, edges));
+    let mut t = 0u64;
+    for &(u, v) in edges {
+        let (nu, nv) = (csr.neighbors(u), csr.neighbors(v));
+        t += nu.iter().filter(|&&w| w > v && nv.binary_search(&w).is_ok()).count() as u64;
+    }
+    t
+}
+
+/// Serial oracle: common-neighbour count of one pair (present or not).
+fn serial_support(n: usize, edges: &BTreeSet<(u32, u32)>, u: u32, v: u32) -> u64 {
+    let csr = Csr::from_edge_list(&ref_edge_list(n, edges));
+    let (nu, nv) = (csr.neighbors(u), csr.neighbors(v));
+    nu.iter().filter(|w| nv.binary_search(w).is_ok()).count() as u64
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or_else(|| panic!("u64 field '{key}' in {v:?}"))
+}
+
+/// Extracts rank 0's value of one counter from a Prometheus exposition.
+fn prom_counter0(text: &str, name: &str) -> u64 {
+    let needle = format!("{name}{{rank=\"0\"}} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("no {needle:?} line in exposition:\n{text}"))
+        .trim()
+        .parse()
+        .expect("counter value parses")
+}
+
+/// A tiny deterministic generator for the update stream.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn service_streams_updates_and_answers_queries() {
+    let n = 30usize;
+    let el = tc_gen::er::gnm(n, 90, 11).simplify();
+    let csr = Csr::from_edge_list(&el);
+    let mut reference: BTreeSet<(u32, u32)> = el.edges.iter().copied().collect();
+
+    let sock = sock_path("e2e");
+    let session = MetricsSession::begin();
+    let ucfg = UniverseConfig { metrics: Some(session.handle()), ..UniverseConfig::default() };
+    let mut cfg = ServeConfig::new(sock.clone());
+    cfg.flush_ms = 150;
+    cfg.max_batch = 64;
+    cfg.tick_ms = 100;
+    cfg.metrics = Some(session.handle());
+
+    let server = std::thread::spawn(move || {
+        Universe::try_run_config(4, &ucfg, |comm| serve_rank(comm, &csr, &cfg))
+    });
+    let mut client =
+        Client::connect_retry(&sock, Duration::from_secs(30)).expect("service comes up");
+
+    // Cold start: the served count matches the serial oracle.
+    let reply = client.request(&Request::Count).expect("count");
+    assert_eq!(u64_field(&reply, "triangles"), serial_triangles(n, &reference));
+
+    let stats = client.request(&Request::Stats).expect("stats");
+    assert_eq!(u64_field(&stats, "vertices"), n as u64);
+    assert_eq!(u64_field(&stats, "edges"), reference.len() as u64);
+    assert_eq!(u64_field(&stats, "batches"), 0);
+    assert_eq!(u64_field(&stats, "full_recounts"), 1, "cold start is the only recount");
+
+    // Support of a present edge and of an absent pair.
+    let &(pu, pv) = reference.iter().next().expect("graph has edges");
+    let reply = client.request(&Request::Support { u: pu, v: pv }).expect("support");
+    assert_eq!(reply.get("present"), Some(&Value::Bool(true)));
+    assert_eq!(u64_field(&reply, "support"), serial_support(n, &reference, pu, pv));
+    let (au, av) = (0..n as u32)
+        .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+        .find(|p| !reference.contains(p))
+        .expect("graph is not complete");
+    let reply = client.request(&Request::Support { u: au, v: av }).expect("absent support");
+    assert_eq!(reply.get("present"), Some(&Value::Bool(false)));
+    assert_eq!(u64_field(&reply, "support"), serial_support(n, &reference, au, av));
+
+    // Typed protocol errors.
+    let err = client.request(&Request::Support { u: 3, v: 3 }).unwrap_err();
+    assert!(err.starts_with("bad_request"), "self-loop support: {err}");
+    let err = client
+        .request(&Request::Update { insert: vec![(0, n as u32)], delete: vec![] })
+        .unwrap_err();
+    assert!(err.starts_with("bad_request"), "out-of-range update: {err}");
+    let raw = client.request_raw("{\"op\":\"warp\"}").expect("reply to unknown op");
+    assert!(raw.contains("\"bad_request\""), "unknown op: {raw}");
+    let raw = client.request_raw("not json").expect("reply to junk");
+    assert!(raw.contains("\"bad_request\""), "junk line: {raw}");
+
+    // Stream >100 update batches. Every update is chased by a count,
+    // whose read barrier applies the buffer as exactly one batch and
+    // must observe the write (read-your-writes) — and the maintained
+    // count must track the serial oracle at every step.
+    let mut rng = Lcg(0xA5A5_5A5A);
+    let mut expected_batches = 0u64;
+    for round in 0..110 {
+        let mut insert = Vec::new();
+        let mut delete = Vec::new();
+        for _ in 0..(1 + rng.next() % 5) {
+            if rng.next() % 3 == 0 && !reference.is_empty() {
+                // Delete a currently-present edge.
+                let idx = rng.next() as usize % reference.len();
+                delete.push(*reference.iter().nth(idx).expect("index in range"));
+            } else {
+                let u = (rng.next() % n as u64) as u32;
+                let v = (rng.next() % n as u64) as u32;
+                if u == v {
+                    continue;
+                }
+                let e = (u.min(v), u.max(v));
+                if rng.next() % 4 == 0 {
+                    delete.push(e);
+                } else {
+                    insert.push(e);
+                }
+            }
+        }
+        if insert.is_empty() && delete.is_empty() {
+            insert.push((0, 1 + (round % 7)));
+        }
+        for &e in &insert {
+            reference.insert(e);
+        }
+        for &e in &delete {
+            reference.remove(&e);
+        }
+        let queued = insert.len() + delete.len();
+        let reply = client.request(&Request::Update { insert, delete }).expect("update accepted");
+        assert_eq!(u64_field(&reply, "queued"), queued as u64);
+        expected_batches += 1;
+        let reply = client.request(&Request::Count).expect("count after update");
+        assert_eq!(
+            u64_field(&reply, "triangles"),
+            serial_triangles(n, &reference),
+            "maintained count drifted from the serial oracle at round {round}"
+        );
+    }
+
+    // Deletes win over inserts of the same edge within one request.
+    let probe = *reference.iter().next().expect("edges survive the stream");
+    client
+        .request(&Request::Update { insert: vec![probe], delete: vec![probe] })
+        .expect("conflicting update accepted");
+    reference.remove(&probe);
+    expected_batches += 1;
+    let reply = client.request(&Request::Support { u: probe.0, v: probe.1 }).expect("support");
+    assert_eq!(reply.get("present"), Some(&Value::Bool(false)));
+
+    // Explicit flush applies the buffer (and is a no-op when empty).
+    client
+        .request(&Request::Update { insert: vec![probe], delete: vec![] })
+        .expect("re-insert accepted");
+    reference.insert(probe);
+    expected_batches += 1;
+    let reply = client.request(&Request::Flush).expect("flush");
+    assert_eq!(u64_field(&reply, "applied"), 1);
+    assert_eq!(u64_field(&reply, "triangles"), serial_triangles(n, &reference));
+    let reply = client.request(&Request::Flush).expect("empty flush");
+    assert_eq!(u64_field(&reply, "applied"), 0);
+
+    // Truss membership against the serial decomposition.
+    let final_el = ref_edge_list(n, &reference);
+    let decomp = tc_graph::truss::try_truss_decomposition(&final_el).expect("serial truss oracle");
+    for k in [2u32, 3, 4] {
+        let reply = client.request(&Request::Truss { k }).expect("truss");
+        let got: BTreeSet<(u32, u32)> = reply
+            .get("edges")
+            .and_then(Value::as_arr)
+            .expect("edges array")
+            .iter()
+            .map(|p| {
+                let p = p.as_arr().expect("pair");
+                (p[0].as_u64().unwrap() as u32, p[1].as_u64().unwrap() as u32)
+            })
+            .collect();
+        let want: BTreeSet<(u32, u32)> = decomp
+            .edges
+            .iter()
+            .zip(&decomp.trussness)
+            .filter(|&(_, &t)| t >= k)
+            .map(|(&e, _)| e)
+            .collect();
+        assert_eq!(got, want, "{k}-truss membership");
+    }
+
+    // The timed flush: buffer an update, issue no read, and wait past
+    // flush_ms. `metrics` is deliberately not a read barrier, so the
+    // batch counter it scrapes can only have moved if the timer fired.
+    let reply = client.request(&Request::Metrics).expect("metrics");
+    let prom = reply.get("prometheus").and_then(Value::as_str).expect("exposition text");
+    assert_eq!(prom_counter0(prom, "tc_serve_full_recounts"), 1);
+    let before = prom_counter0(prom, "tc_serve_batches_applied");
+    assert_eq!(before, expected_batches);
+    let fresh = (0..n as u32)
+        .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+        .find(|p| !reference.contains(p))
+        .expect("graph is not complete");
+    client
+        .request(&Request::Update { insert: vec![fresh], delete: vec![] })
+        .expect("buffered update");
+    reference.insert(fresh);
+    expected_batches += 1;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = client.request(&Request::Metrics).expect("metrics");
+        let prom = reply.get("prometheus").and_then(Value::as_str).expect("exposition text");
+        if prom_counter0(prom, "tc_serve_batches_applied") == expected_batches {
+            break;
+        }
+        assert!(Instant::now() < deadline, "timed flush never applied the buffered update");
+    }
+
+    // Final stats, then shutdown.
+    let stats = client.request(&Request::Stats).expect("final stats");
+    assert_eq!(u64_field(&stats, "batches"), expected_batches);
+    assert!(u64_field(&stats, "batches") > 100, "acceptance: >100 applied batches");
+    assert_eq!(u64_field(&stats, "edges"), reference.len() as u64);
+    assert_eq!(u64_field(&stats, "full_recounts"), 1, "hot path never recounts");
+    client.request(&Request::Shutdown).expect("shutdown");
+
+    let (reports, _stats) = server.join().expect("server thread").expect("universe run");
+    let final_count = serial_triangles(n, &reference);
+    assert_eq!(reports[0].batches, expected_batches);
+    assert_eq!(reports[0].full_recounts, 1);
+    assert_eq!(reports[0].rejected, 0);
+    assert!(reports[0].queries > 0);
+    for r in &reports {
+        assert_eq!(r.triangles, final_count, "count stays replicated across the fleet");
+    }
+
+    // The surviving connection is told the service is gone.
+    let err = client.request(&Request::Count).unwrap_err();
+    assert!(err.starts_with("shutting_down"), "post-shutdown request: {err}");
+    drop(session);
+}
+
+#[test]
+fn admission_control_rejects_over_capacity() {
+    let el = tc_gen::er::gnm(10, 20, 3).simplify();
+    let csr = Csr::from_edge_list(&el);
+    let sock = sock_path("gate");
+    let mut cfg = ServeConfig::new(sock.clone());
+    cfg.queue = 1;
+    cfg.tick_ms = 100;
+
+    let server = std::thread::spawn(move || {
+        Universe::try_run_config(4, &UniverseConfig::default(), |comm| serve_rank(comm, &csr, &cfg))
+    });
+    Client::connect_retry(&sock, Duration::from_secs(30)).expect("service comes up");
+
+    // Hammer the single-slot queue from many connections until one
+    // request bounces with the typed rejection.
+    let seen = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let workers: Vec<_> = (0..12)
+        .map(|_| {
+            let sock = sock.clone();
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                let Ok(mut c) = Client::connect(&sock) else { return };
+                while !seen.load(Ordering::Relaxed) && Instant::now() < deadline {
+                    match c.request(&Request::Count) {
+                        Ok(_) => {}
+                        Err(e) if e == "over_capacity" => {
+                            seen.store(true, Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert!(seen.load(Ordering::Relaxed), "no request was ever rejected over capacity");
+
+    // The queue drains once the hammering stops; shutdown may still
+    // race one straggler, so retry on the typed rejection.
+    let mut client = Client::connect(&sock).expect("fresh connection");
+    loop {
+        match client.request(&Request::Shutdown) {
+            Ok(_) => break,
+            Err(e) if e == "over_capacity" => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("shutdown failed: {e}"),
+        }
+    }
+    let (reports, _stats) = server.join().expect("server thread").expect("universe run");
+    assert!(reports[0].rejected >= 1, "rejections are tallied in the report");
+}
