@@ -26,6 +26,12 @@ pub struct ExpArgs {
     /// distributed run appends its full per-rank `tc-metrics-v1`
     /// snapshot as one JSON line.
     pub metrics: Option<String>,
+    /// Measured repetitions per configuration (≥ 1). Timings in the
+    /// emitted `tc-run-v2` record summarize all tries; deterministic
+    /// counters must agree across tries exactly.
+    pub tries: u64,
+    /// Discarded warm-up repetitions run before the measured tries.
+    pub warmup: u64,
 }
 
 impl Default for ExpArgs {
@@ -39,8 +45,20 @@ impl Default for ExpArgs {
             json: None,
             trace: None,
             metrics: None,
+            tries: 1,
+            warmup: 0,
         }
     }
+}
+
+/// Strict non-negative integer parse, mirroring the `MPS_*` env
+/// family: digits only — rejects empty strings, signs, whitespace and
+/// anything non-numeric.
+fn parse_count(flag: &str, v: &str) -> Result<u64, String> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bad {flag}: expected a non-negative integer, got {v:?}"));
+    }
+    v.parse().map_err(|e| format!("bad {flag}: {e}"))
 }
 
 impl ExpArgs {
@@ -53,7 +71,7 @@ impl ExpArgs {
                 eprintln!(
                     "usage: <bin> [--scale N] [--ranks a,b,c] [--preset NAME] \
                      [--seed S] [--csv PATH] [--json PATH] [--trace PATH] \
-                     [--metrics PATH]"
+                     [--metrics PATH] [--tries N] [--warmup K]"
                 );
                 std::process::exit(2);
             }
@@ -97,6 +115,13 @@ impl ExpArgs {
                 "--json" => out.json = Some(value("--json")?),
                 "--trace" => out.trace = Some(value("--trace")?),
                 "--metrics" => out.metrics = Some(value("--metrics")?),
+                "--tries" => {
+                    out.tries = parse_count("--tries", &value("--tries")?)?;
+                    if out.tries == 0 {
+                        return Err("bad --tries: need at least one measured try".into());
+                    }
+                }
+                "--warmup" => out.warmup = parse_count("--warmup", &value("--warmup")?)?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -148,6 +173,10 @@ mod tests {
             "/tmp/x.trace.json",
             "--metrics",
             "/tmp/x.metrics.json",
+            "--tries",
+            "5",
+            "--warmup",
+            "1",
         ])
         .unwrap();
         assert_eq!(a.scale, 10);
@@ -158,6 +187,28 @@ mod tests {
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(a.trace.as_deref(), Some("/tmp/x.trace.json"));
         assert_eq!(a.metrics.as_deref(), Some("/tmp/x.metrics.json"));
+        assert_eq!((a.tries, a.warmup), (5, 1));
+    }
+
+    #[test]
+    fn tries_and_warmup_default_to_single_cold_run() {
+        let a = parse(&[]).unwrap();
+        assert_eq!((a.tries, a.warmup), (1, 0));
+    }
+
+    #[test]
+    fn tries_and_warmup_parse_strictly() {
+        assert!(parse(&["--tries", "0"]).is_err());
+        assert!(parse(&["--tries", ""]).is_err());
+        assert!(parse(&["--tries", "+3"]).is_err());
+        assert!(parse(&["--tries", "-1"]).is_err());
+        assert!(parse(&["--tries", "3x"]).is_err());
+        assert!(parse(&["--tries", " 3"]).is_err());
+        assert!(parse(&["--tries"]).is_err());
+        assert!(parse(&["--warmup", "abc"]).is_err());
+        assert!(parse(&["--warmup", "1.5"]).is_err());
+        let a = parse(&["--tries", "3", "--warmup", "0"]).unwrap();
+        assert_eq!((a.tries, a.warmup), (3, 0));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Standalone benchmark-regression checker: compares two (or more)
-//! `tc-run-v1` JSON-lines reports produced by the experiment binaries'
-//! `--json` flag and fails on noise-adjusted regressions. The same
-//! logic is reachable as `tricount benchdiff`; see `tc_metrics::diff`
-//! for the matching and threshold rules.
+//! `tc-run-v2` JSON-lines reports (v1 reports are read as single-try
+//! runs) produced by the experiment binaries' `--json` flag and fails
+//! on noise-adjusted regressions. The same logic is reachable as
+//! `tricount benchdiff`; see `tc_metrics::diff` for the matching,
+//! effect-size, and threshold rules.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -6,7 +6,7 @@
 
 use tc_bench::args::ExpArgs;
 use tc_bench::table::Table;
-use tc_bench::{build_dataset, secs};
+use tc_bench::{build_dataset, timed_tries};
 
 fn main() {
     let args = ExpArgs::parse();
@@ -16,15 +16,13 @@ fn main() {
     );
     for preset in args.datasets() {
         let el = build_dataset(preset, args.seed);
-        let t0 = std::time::Instant::now();
-        let tri = tc_baselines::serial::count_default(&el);
-        let dt = t0.elapsed();
+        let (tri, stats) = timed_tries(&args, || tc_baselines::serial::count_default(&el));
         t.row(vec![
             preset.name(),
             el.num_vertices.to_string(),
             el.num_edges().to_string(),
             tri.to_string(),
-            secs(dt),
+            format!("{:.3}", stats.mean / 1e9),
         ]);
     }
     t.print();

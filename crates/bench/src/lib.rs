@@ -14,7 +14,10 @@
 //! - `--csv PATH` — also dump machine-readable rows,
 //! - `--json PATH` — append each table as one JSON-lines record,
 //! - `--trace PATH` — record every distributed run into one Chrome
-//!   trace-event file (open in Perfetto / chrome://tracing).
+//!   trace-event file (open in Perfetto / chrome://tracing),
+//! - `--tries N` — measured repetitions per configuration; timings in
+//!   the `tc-run-v2` report become mean/stddev/median summaries,
+//! - `--warmup K` — discarded warm-up repetitions before measuring.
 
 #![warn(missing_docs)]
 
@@ -101,6 +104,31 @@ pub fn count_summa(
         .unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Repeats a serial (single-process) measurement honoring `--warmup`
+/// and `--tries`: warm-up runs are discarded, each measured run's
+/// wall time is sampled, and the samples summarize into one
+/// [`tc_metrics::TimingStats`]. Returns the last run's output with
+/// the summary. For distributed runs use [`RunScope`], which also
+/// checks cross-try determinism.
+pub fn timed_tries<T>(
+    args: &args::ExpArgs,
+    mut f: impl FnMut() -> T,
+) -> (T, tc_metrics::TimingStats) {
+    for _ in 0..args.warmup {
+        f();
+    }
+    let tries = args.tries.max(1);
+    let mut samples = Vec::with_capacity(tries as usize);
+    let mut out = None;
+    for _ in 0..tries {
+        let t0 = std::time::Instant::now();
+        out = Some(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    let stats = tc_metrics::TimingStats::from_samples(&samples).expect("at least one try");
+    (out.expect("at least one try"), stats)
+}
+
 /// Appends one line to a JSON-lines report file.
 pub fn append_json_line(path: &str, line: &str) {
     use std::io::Write;
@@ -114,14 +142,21 @@ pub fn append_json_line(path: &str, line: &str) {
     }
 }
 
-/// Per-dataset measurement context for the experiment binaries.
+/// Per-dataset measurement context for the experiment binaries — the
+/// shared n-try repeat-runner.
 ///
-/// Each distributed run launched through its methods executes under a
-/// fresh `tc-metrics` session (only when `--json` or `--metrics` asks
-/// for output — otherwise the registry gate stays closed and every
-/// instrumentation point costs one relaxed atomic load). After each
-/// run it appends one `tc-run-v1` record to the `--json` report and,
-/// with `--metrics`, the full per-rank snapshot as one JSON line.
+/// Each configuration launched through its methods first executes
+/// `--warmup` discarded iterations (no tracing, no metrics), then
+/// `--tries` measured iterations, each under its own fresh
+/// `tc-metrics` session (only when `--json` or `--metrics` asks for
+/// output — otherwise the registry gate stays closed and every
+/// instrumentation point costs one relaxed atomic load). The measured
+/// tries aggregate into one `tc-run-v2` record per configuration:
+/// timings become [`tc_metrics::TimingStats`] summaries while
+/// deterministic counters and the triangle count must agree across
+/// tries exactly — any drift aborts the experiment. With `--metrics`,
+/// every try additionally appends its full per-rank snapshot as one
+/// JSON line.
 pub struct RunScope<'a> {
     args: &'a args::ExpArgs,
     trace: Option<&'a tc_trace::TraceHandle>,
@@ -138,42 +173,60 @@ impl<'a> RunScope<'a> {
         Self { args, trace, dataset: dataset.to_string() }
     }
 
-    /// Runs `f` under a fresh metrics session (when requested) and
-    /// reports the run record.
+    /// Runs `f` warmup+tries times, aggregates the measured tries and
+    /// reports the pooled run record. Returns the last try's output.
     fn measured<T>(
         &self,
         algorithm: &str,
         config: &str,
         ranks: usize,
-        triangles_of: impl FnOnce(&T) -> u64,
-        f: impl FnOnce(tc_mps::Observe<'_>) -> T,
+        triangles_of: impl Fn(&T) -> u64,
+        mut f: impl FnMut(tc_mps::Observe<'_>) -> T,
     ) -> T {
-        if self.args.json.is_none() && self.args.metrics.is_none() {
-            return f(tc_mps::Observe::trace(self.trace));
+        for _ in 0..self.args.warmup {
+            f(tc_mps::Observe::none());
         }
-        let session = tc_metrics::MetricsSession::begin();
-        let handle = session.handle();
-        let out = f(tc_mps::Observe {
-            trace: self.trace,
-            metrics: Some(&handle),
-            ..tc_mps::Observe::none()
+        if self.args.json.is_none() && self.args.metrics.is_none() {
+            let mut out = f(tc_mps::Observe::trace(self.trace));
+            for _ in 1..self.args.tries {
+                out = f(tc_mps::Observe::trace(self.trace));
+            }
+            return out;
+        }
+        let mut records = Vec::with_capacity(self.args.tries.max(1) as usize);
+        let mut out = None;
+        for _ in 0..self.args.tries.max(1) {
+            let session = tc_metrics::MetricsSession::begin();
+            let handle = session.handle();
+            let t = f(tc_mps::Observe {
+                trace: self.trace,
+                metrics: Some(&handle),
+                ..tc_mps::Observe::none()
+            });
+            let snap = session.finish();
+            records.push(tc_metrics::RunRecord::from_snapshot(
+                &self.dataset,
+                algorithm,
+                ranks as u64,
+                config,
+                triangles_of(&t),
+                &snap,
+            ));
+            if let Some(path) = &self.args.metrics {
+                append_json_line(path, &snap.to_json());
+            }
+            out = Some(t);
+        }
+        let rec = tc_metrics::RunRecord::aggregate(&records).unwrap_or_else(|e| {
+            panic!(
+                "non-deterministic repeats for {}/{algorithm}/p{ranks}/{config}: {e}",
+                self.dataset
+            )
         });
-        let snap = session.finish();
-        let rec = tc_metrics::RunRecord::from_snapshot(
-            &self.dataset,
-            algorithm,
-            ranks as u64,
-            config,
-            triangles_of(&out),
-            &snap,
-        );
         if let Some(path) = &self.args.json {
             append_json_line(path, &rec.to_json_line());
         }
-        if let Some(path) = &self.args.metrics {
-            append_json_line(path, &snap.to_json());
-        }
-        out
+        out.expect("at least one measured try")
     }
 
     /// Measured 2D Cannon count under `cfg` (`config` names the

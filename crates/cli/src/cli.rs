@@ -144,7 +144,7 @@ pub enum Command {
         chaos: Option<u64>,
         /// When set, write the final metrics snapshot here on exit.
         metrics: Option<PathBuf>,
-        /// When set, rank 0 appends one `tc-run-v1` record here on
+        /// When set, rank 0 appends one `tc-run-v2` record here on
         /// exit, distilled from the service-lifetime metrics session.
         json: Option<PathBuf>,
         /// Coalescing flush interval override (`MPS_SERVE_FLUSH_MS`).
@@ -200,6 +200,12 @@ pub enum Command {
         /// Raw arguments forwarded to the diff driver.
         args: Vec<String>,
     },
+    /// Render the per-commit perf-trend history (passthrough to
+    /// `tc_metrics::trend::cli_main`).
+    PerfTrend {
+        /// Raw arguments forwarded to the trend driver.
+        args: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -234,7 +240,10 @@ USAGE:
   tricount truss  <FILE|PRESET> [--ranks N] [--seed S]
   tricount tracecheck <FILE>
   tricount benchdiff <BASELINE.json> <CANDIDATE.json>... [--tol F]
-                  [--min-timing-ms F] [--deterministic-only] [--verdict-json FILE]
+                  [--sigmas F] [--min-effect F] [--min-timing-ms F]
+                  [--deterministic-only] [--verdict-json FILE]
+                  [--history FILE --commit SHA --date ISO]
+  tricount perftrend <HISTORY.jsonl> [--last N] [--html FILE]
   tricount help
 
 PRESETs: g500-sN, twitter-like-N, friendster-like-N (N = log2 vertices).
@@ -267,14 +276,24 @@ environment) the fleet is --ranks in-process threads; otherwise this
 process is ONE rank of a multi-process socket fleet and only rank 0
 binds --listen. The MPS_SERVE_{FLUSH_MS,MAX_BATCH,QUEUE,TICK_MS}
 environment family seeds the knobs; explicit flags win. With --json,
-rank 0 appends one tc-run-v1 record at shutdown (the sustained-workload
+rank 0 appends one tc-run-v2 record at shutdown (the sustained-workload
 analogue of the bench binaries' reports — serve.* counters nonzero,
 full_recounts pinned at the cold start).
 query speaks the service's line-delimited JSON protocol: it prints the
 raw reply line and exits 0 when the reply says ok, 1 otherwise (e.g.
 the typed over_capacity admission rejection).
-benchdiff compares tc-run-v1 reports produced by the bench binaries'
---json flag; exit 0 = pass, 1 = regression, 2 = usage/parse error.
+benchdiff compares tc-run-v2 reports produced by the bench binaries'
+--json flag (v1 reports still parse; their timings count as one try).
+Timings with repeat data are judged by effect size — Welch's t beyond
+--sigmas (default 3) AND a relative shift beyond --min-effect (default
+2%) — while single-shot rows fall back to the fixed --tol band, and
+deterministic counters stay exact. With --history (plus --commit and
+--date), a passing diff appends one tc-bench-history-v1 row per
+(run, timing) for perftrend. Exit 0 = pass, 1 = regression,
+2 = usage/parse error.
+perftrend renders the appended history as an ASCII sparkline table
+(plus a self-contained HTML/SVG page with --html), flagging the worst
+regression and best improvement across the last N commits.
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage/parse error,
 3 invalid input graph (truncated/corrupt/out-of-range).
@@ -341,6 +360,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Truss { input, ranks, seed })
         }
         "benchdiff" => Ok(Command::BenchDiff { args: it.cloned().collect() }),
+        "perftrend" => Ok(Command::PerfTrend { args: it.cloned().collect() }),
         "serve-rank" => {
             let input = parse_input(it.next().ok_or("serve-rank needs an input")?);
             let mut rank = None;
@@ -1135,6 +1155,21 @@ mod tests {
         match p(&["benchdiff", "base.json", "cand.json", "--tol", "0.1"]).unwrap() {
             Command::BenchDiff { args } => {
                 assert_eq!(args, vec!["base.json", "cand.json", "--tol", "0.1"])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn perftrend_passes_raw_args_through() {
+        match p(&["perftrend", "results/BENCH_HISTORY.jsonl", "--last", "10", "--html", "t.html"])
+            .unwrap()
+        {
+            Command::PerfTrend { args } => {
+                assert_eq!(
+                    args,
+                    vec!["results/BENCH_HISTORY.jsonl", "--last", "10", "--html", "t.html"]
+                )
             }
             other => panic!("{other:?}"),
         }

@@ -496,7 +496,7 @@ fn run(cmd: Command) -> Result<(), AppError> {
                     );
                 }
                 // The sustained-workload analogue of a bench run: one
-                // tc-run-v1 line keyed by `<dataset>/<algo>/pN/serve`,
+                // tc-run-v2 line keyed by `<dataset>/<algo>/pN/serve`,
                 // comparable with `tricount benchdiff`. Only rank 0
                 // writes it (in socket mode the snapshot holds this
                 // process's registry; the frontend tallies live there).
@@ -550,6 +550,9 @@ fn run(cmd: Command) -> Result<(), AppError> {
         }
         Command::BenchDiff { args } => {
             std::process::exit(tc_metrics::diff::cli_main(&args));
+        }
+        Command::PerfTrend { args } => {
+            std::process::exit(tc_metrics::trend::cli_main(&args));
         }
         Command::TraceCheck { file } => {
             let text =

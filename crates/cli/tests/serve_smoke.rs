@@ -227,11 +227,12 @@ fn drive(label: &str, extra: &[&str], rounds: usize) {
     }
     assert!(rank_log(label, 0).contains("full recounts : 1"));
 
-    // Rank 0 emitted exactly one tc-run-v1 record for the whole service
+    // Rank 0 emitted exactly one tc-run-v2 record for the whole service
     // lifetime: the serve.* counters carry the sustained workload and
     // the triangle anchor matches the final served count.
     let text = std::fs::read_to_string(&report_path).expect("run-record report written");
-    let recs = tc_metrics::RunRecord::parse_jsonl(&text).expect("parse tc-run-v1 report");
+    assert!(text.contains("\"schema\":\"tc-run-v2\""), "serve report uses v2 schema:\n{text}");
+    let recs = tc_metrics::RunRecord::parse_jsonl(&text).expect("parse tc-run-v2 report");
     assert_eq!(recs.len(), 1, "one record per service lifetime");
     let rec = &recs[0];
     assert_eq!(rec.config, "serve");

@@ -7,31 +7,52 @@
 //!   `counters`: ops, probes, bytes, tasks, …) must match *exactly* —
 //!   the generators are seeded and the kernels deterministic, so any
 //!   drift is a real behavior change, not noise;
-//! - **timings** are compared median-vs-median with a relative
-//!   tolerance, and sub-threshold durations are ignored entirely —
-//!   wall clocks on shared CI runners are noisy.
+//! - **timings** with repeat tries on both sides get an effect-size
+//!   verdict: a change only fails when the means are separated by
+//!   more than `--sigmas` combined standard errors (Welch's t — the
+//!   `mean ± k·se` intervals are disjoint) *and* the relative shift
+//!   exceeds `--min-effect`. Single-shot rows (tries = 1, e.g. from a
+//!   legacy `tc-run-v1` baseline) fall back to the fixed `--tol`
+//!   band on medians, and sub-threshold durations are ignored
+//!   entirely — wall clocks on shared CI runners are noisy.
 //!
 //! The driver ([`cli_main`]) backs both the `benchdiff` binary in
-//! `tc-bench` and the `tricount benchdiff` subcommand.
+//! `tc-bench` and the `tricount benchdiff` subcommand. With
+//! `--history` it also appends each blessed candidate's timing rows
+//! to the per-commit trend log that `tricount perftrend` renders.
 
 use std::collections::BTreeMap;
 
 use crate::report::RunRecord;
+use crate::stats::{self, TimingStats};
 
 /// Comparison tunables.
 #[derive(Debug, Clone)]
 pub struct DiffOptions {
-    /// Relative tolerance for timing regressions (0.25 = +25%).
+    /// Relative tolerance for timing regressions (0.25 = +25%) —
+    /// the fallback rule for rows without spread (tries = 1).
     pub tolerance: f64,
     /// Skip timing comparison entirely (cross-machine baselines).
     pub deterministic_only: bool,
-    /// Timings where both medians are below this are never compared.
+    /// Timings where both means are below this are never compared.
     pub min_timing_ns: u64,
+    /// Effect-size rule: a shift must exceed this many combined
+    /// standard errors (Welch's t) to count at all.
+    pub sigmas: f64,
+    /// Effect-size rule: and the relative mean shift must exceed this
+    /// fraction (statistically significant but trivial shifts pass).
+    pub min_effect: f64,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
-        Self { tolerance: 0.25, deterministic_only: false, min_timing_ns: 1_000_000 }
+        Self {
+            tolerance: 0.25,
+            deterministic_only: false,
+            min_timing_ns: 1_000_000,
+            sigmas: 3.0,
+            min_effect: 0.02,
+        }
     }
 }
 
@@ -183,15 +204,47 @@ fn group(records: &[RunRecord]) -> BTreeMap<String, Vec<&RunRecord>> {
     out
 }
 
-/// Median over repeats of the timing `name`, if any repeat has it.
-fn median_timing(repeats: &[&RunRecord], name: &str) -> Option<u64> {
-    let mut vals: Vec<u64> =
+/// Pools the timing `name` across repeat records of one key, if any
+/// repeat has it.
+fn pooled_timing(repeats: &[&RunRecord], name: &str) -> Option<TimingStats> {
+    let parts: Vec<TimingStats> =
         repeats.iter().filter_map(|r| r.timings_ns.get(name).copied()).collect();
-    if vals.is_empty() {
-        return None;
+    TimingStats::pool(&parts)
+}
+
+/// The timing verdict: effect size when both sides carry spread,
+/// fixed relative band on medians otherwise.
+fn timing_verdict(
+    base: &TimingStats,
+    cand: &TimingStats,
+    opts: &DiffOptions,
+) -> (RowStatus, String) {
+    if let Some(t) = stats::welch_t(base, cand) {
+        let rel = (cand.mean - base.mean) / base.mean.max(1.0);
+        if t > opts.sigmas && rel > opts.min_effect {
+            (
+                RowStatus::Fail,
+                format!("+{:.1}% slower (t={:.1} > {:.1}σ)", rel * 100.0, t, opts.sigmas),
+            )
+        } else if t < -opts.sigmas && rel < -opts.min_effect {
+            (RowStatus::Improved, format!("{:.1}% (t={:.1})", rel * 100.0, t))
+        } else {
+            (RowStatus::Pass, format!("indistinguishable (t={t:.1})"))
+        }
+    } else {
+        let (bm, cm) = (base.median, cand.median);
+        let delta = (cm as f64 - bm as f64) / (bm.max(1) as f64);
+        if delta > opts.tolerance {
+            (
+                RowStatus::Fail,
+                format!("+{:.1}% exceeds ±{:.0}% tolerance", delta * 100.0, opts.tolerance * 100.0),
+            )
+        } else if delta < -opts.tolerance {
+            (RowStatus::Improved, format!("{:.1}%", delta * 100.0))
+        } else {
+            (RowStatus::Pass, String::new())
+        }
     }
-    vals.sort_unstable();
-    Some(vals[vals.len() / 2])
 }
 
 /// Checks that every repeat of one key agrees on a deterministic
@@ -211,10 +264,6 @@ fn agreed<'a, T: PartialEq + Copy + std::fmt::Display>(
         }
     }
     Ok(found)
-}
-
-fn ns_to_ms(ns: u64) -> String {
-    format!("{:.3}ms", ns as f64 / 1e6)
 }
 
 /// Compares `cand` against `base`.
@@ -274,49 +323,33 @@ pub fn diff_reports(base: &[RunRecord], cand: &[RunRecord], opts: &DiffOptions) 
             );
         }
 
-        // Timings: median vs median within tolerance.
+        // Timings: effect size (or the tolerance fallback).
         if !opts.deterministic_only {
             let mut tnames: Vec<&String> = b[0].timings_ns.keys().collect();
             tnames.sort_unstable();
             for name in tnames {
-                let (Some(bm), Some(cm)) = (median_timing(b, name), median_timing(c, name)) else {
+                let (Some(bs), Some(cs)) = (pooled_timing(b, name), pooled_timing(c, name)) else {
                     continue;
                 };
-                if bm.max(cm) < opts.min_timing_ns {
+                if bs.mean.max(cs.mean) < opts.min_timing_ns as f64 {
                     ok_timings += 1;
                     continue;
                 }
-                let delta = (cm as f64 - bm as f64) / (bm.max(1) as f64);
-                if delta > opts.tolerance {
-                    push(
-                        &mut report,
-                        DiffRow {
-                            key: key.clone(),
-                            metric: name.clone(),
-                            base: ns_to_ms(bm),
-                            cand: ns_to_ms(cm),
-                            status: RowStatus::Fail,
-                            note: format!(
-                                "+{:.1}% exceeds ±{:.0}% tolerance",
-                                delta * 100.0,
-                                opts.tolerance * 100.0
-                            ),
-                        },
-                    );
-                } else if delta < -opts.tolerance {
-                    push(
-                        &mut report,
-                        DiffRow {
-                            key: key.clone(),
-                            metric: name.clone(),
-                            base: ns_to_ms(bm),
-                            cand: ns_to_ms(cm),
-                            status: RowStatus::Improved,
-                            note: format!("{:.1}%", delta * 100.0),
-                        },
-                    );
-                } else {
+                let (status, note) = timing_verdict(&bs, &cs, opts);
+                if status == RowStatus::Pass {
                     ok_timings += 1;
+                } else {
+                    push(
+                        &mut report,
+                        DiffRow {
+                            key: key.clone(),
+                            metric: name.clone(),
+                            base: bs.fmt_ms(),
+                            cand: cs.fmt_ms(),
+                            status,
+                            note,
+                        },
+                    );
                 }
             }
         }
@@ -389,6 +422,9 @@ pub fn cli_main(args: &[String]) -> i32 {
     let mut files: Vec<String> = Vec::new();
     let mut opts = DiffOptions::default();
     let mut verdict_json: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut commit: Option<String> = None;
+    let mut date: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -406,6 +442,22 @@ pub fn cli_main(args: &[String]) -> i32 {
                 };
                 opts.min_timing_ns = (v * 1e6) as u64;
             }
+            "--sigmas" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()).filter(|v| *v > 0.0)
+                else {
+                    eprintln!("benchdiff: --sigmas needs a positive number (e.g. 3)");
+                    return 2;
+                };
+                opts.sigmas = v;
+            }
+            "--min-effect" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()).filter(|v| *v >= 0.0)
+                else {
+                    eprintln!("benchdiff: --min-effect needs a non-negative fraction");
+                    return 2;
+                };
+                opts.min_effect = v;
+            }
             "--deterministic-only" => opts.deterministic_only = true,
             "--verdict-json" => {
                 let Some(p) = it.next() else {
@@ -413,6 +465,27 @@ pub fn cli_main(args: &[String]) -> i32 {
                     return 2;
                 };
                 verdict_json = Some(p.clone());
+            }
+            "--history" => {
+                let Some(p) = it.next() else {
+                    eprintln!("benchdiff: --history needs a path");
+                    return 2;
+                };
+                history = Some(p.clone());
+            }
+            "--commit" => {
+                let Some(p) = it.next() else {
+                    eprintln!("benchdiff: --commit needs a revision id");
+                    return 2;
+                };
+                commit = Some(p.clone());
+            }
+            "--date" => {
+                let Some(p) = it.next() else {
+                    eprintln!("benchdiff: --date needs an ISO date");
+                    return 2;
+                };
+                date = Some(p.clone());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -454,6 +527,10 @@ pub fn cli_main(args: &[String]) -> i32 {
         eprintln!("benchdiff: baseline {} contains no run records", files[0]);
         return 2;
     }
+    if history.is_some() && (commit.is_none() || date.is_none()) {
+        eprintln!("benchdiff: --history requires --commit and --date");
+        return 2;
+    }
     let report = diff_reports(&base, &cand, &opts);
     print!("{}", report.render());
     if let Some(path) = verdict_json {
@@ -463,6 +540,15 @@ pub fn cli_main(args: &[String]) -> i32 {
         }
     }
     if report.pass() {
+        if let (Some(path), Some(commit), Some(date)) = (history, commit, date) {
+            match crate::trend::append_history(&path, &cand, &commit, &date) {
+                Ok(n) => println!("benchdiff: appended {n} history rows to {path}"),
+                Err(e) => {
+                    eprintln!("benchdiff: {e}");
+                    return 2;
+                }
+            }
+        }
         0
     } else {
         1
@@ -471,16 +557,27 @@ pub fn cli_main(args: &[String]) -> i32 {
 
 const USAGE: &str = "usage: benchdiff <BASELINE.jsonl> <CANDIDATE.jsonl>... [options]
 
-Compares benchmark run records (schema tc-run-v1) matched by
-(dataset, algorithm, ranks, config). Deterministic counters and
-triangle counts must match exactly; timings compare median-vs-median
-within a relative tolerance.
+Compares benchmark run records (schema tc-run-v2, legacy tc-run-v1
+accepted) matched by (dataset, algorithm, ranks, config).
+Deterministic counters and triangle counts must match exactly.
+Timings with repeat tries on both sides use an effect-size verdict
+(Welch's t beyond --sigmas AND a relative shift beyond --min-effect);
+single-shot rows fall back to the fixed --tol band on medians.
 
 options:
-  --tol <frac>            timing tolerance (default 0.25 = ±25%)
+  --tol <frac>            fallback timing tolerance for tries=1 rows
+                          (default 0.25 = ±25%)
+  --sigmas <k>            effect-size threshold in combined standard
+                          errors (default 3)
+  --min-effect <frac>     minimum relative shift that counts
+                          (default 0.02 = 2%)
   --min-timing-ms <ms>    ignore timings below this (default 1.0)
   --deterministic-only    skip timing comparison (cross-machine)
   --verdict-json <path>   write machine-readable verdict
+  --history <path>        on PASS, append candidate timing rows to
+                          this trend log (requires --commit/--date)
+  --commit <rev>          commit id recorded in history rows
+  --date <iso>            ISO date recorded in history rows
 ";
 
 #[cfg(test)]
@@ -495,8 +592,20 @@ mod tests {
             config: "default".into(),
             triangles: 999,
             counters: [("tct.ops".to_string(), ops)].into_iter().collect(),
-            timings_ns: [("tct.wall".to_string(), wall_ms * 1_000_000)].into_iter().collect(),
+            timings_ns: [("tct.wall".to_string(), TimingStats::from_single(wall_ms * 1_000_000))]
+                .into_iter()
+                .collect(),
         }
+    }
+
+    /// One 5-try record whose wall timing summarizes `wall_ms`.
+    fn rec_tries(dataset: &str, wall_ms: &[u64]) -> RunRecord {
+        let ns: Vec<u64> = wall_ms.iter().map(|&m| m * 1_000_000).collect();
+        let mut r = rec(dataset, 100, wall_ms[0]);
+        r.timings_ns = [("tct.wall".to_string(), TimingStats::from_samples(&ns).unwrap())]
+            .into_iter()
+            .collect();
+        r
     }
 
     #[test]
@@ -602,5 +711,58 @@ mod tests {
     fn empty_intersection_is_not_a_pass() {
         let report = diff_reports(&[], &[], &DiffOptions::default());
         assert!(!report.pass());
+    }
+
+    #[test]
+    fn seeded_slowdown_fails_by_effect_size_at_five_tries() {
+        let base = vec![rec_tries("a", &[100, 101, 99, 100, 100])];
+        let cand = vec![rec_tries("a", &[200, 202, 198, 201, 199])];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass(), "{}", report.render());
+        assert!(report.render().contains("σ"), "{}", report.render());
+        // The unperturbed re-run of the same suite passes.
+        let rerun = vec![rec_tries("a", &[101, 100, 99, 102, 100])];
+        let report = diff_reports(&base, &rerun, &DiffOptions::default());
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    #[test]
+    fn noisy_but_equal_passes_where_fixed_band_fails() {
+        // +30% mean shift, swamped by a ±24 ms spread: the effect-size
+        // verdict keeps it (t ≈ 2.0 < 3σ)…
+        let base = vec![rec_tries("a", &[70, 85, 100, 115, 130])];
+        let cand = vec![rec_tries("a", &[100, 115, 130, 145, 160])];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(report.pass(), "{}", report.render());
+        // …while the same medians as single shots trip the old fixed
+        // ±25% band.
+        let base1 = vec![rec("a", 100, 100)];
+        let cand1 = vec![rec("a", 100, 130)];
+        let report = diff_reports(&base1, &cand1, &DiffOptions::default());
+        assert!(!report.pass(), "{}", report.render());
+        assert!(report.render().contains("tolerance"));
+    }
+
+    #[test]
+    fn tiny_but_significant_shifts_pass_min_effect() {
+        // 1% shift with microscopic spread: t is huge but the effect
+        // is below the 2% practical floor.
+        let base = vec![rec_tries("a", &[1000, 1000, 1000, 1001, 999])];
+        let cand = vec![rec_tries("a", &[1010, 1010, 1010, 1011, 1009])];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    #[test]
+    fn v1_baseline_diffs_against_v2_candidate() {
+        let v1 = r#"{"schema":"tc-run-v1","dataset":"a","algorithm":"2d","ranks":16,"config":"default","triangles":999,"counters":{"tct.ops":100},"timings_ns":{"tct.wall":100000000}}"#;
+        let base = RunRecord::parse_jsonl(v1).unwrap();
+        // v1 row has no spread, so the tolerance band governs.
+        let cand = vec![rec_tries("a", &[110, 111, 109, 110, 110])];
+        assert!(diff_reports(&base, &cand, &DiffOptions::default()).pass());
+        let cand = vec![rec_tries("a", &[140, 141, 139, 140, 140])];
+        let report = diff_reports(&base, &cand, &DiffOptions::default());
+        assert!(!report.pass(), "{}", report.render());
+        assert!(report.render().contains("tolerance"));
     }
 }

@@ -32,15 +32,18 @@ pub mod prometheus;
 pub mod registry;
 pub mod report;
 pub mod snapshot;
+pub mod stats;
+pub mod trend;
 
 pub use histogram::Log2Histogram;
 pub use mem::MemScope;
 pub use registry::{
-    counter_add, enabled, gauge_max, gauge_set, hist_record, values_recorded_total, MetricsHandle,
-    MetricsSession, RankGuard,
+    counter_add, enabled, gauge_max, gauge_set, hist_record, hist_touch, values_recorded_total,
+    MetricsHandle, MetricsSession, RankGuard,
 };
 pub use report::RunRecord;
 pub use snapshot::{MetricValue, MetricsSnapshot};
+pub use stats::{welch_t, TimingStats, Welford};
 
 /// Well-known metric names, shared by every instrumented layer so
 /// exporters, tests and docs agree on spelling.
@@ -174,11 +177,28 @@ pub mod names {
     /// Batch apply latency distribution (nanoseconds).
     pub const SERVE_BATCH_APPLY_NS: &str = "serve.batch_apply_ns";
 
-    /// Every deterministic `serve.*` counter, plus the `.count`/`.sum`
-    /// projections of the batch-size histogram. Benchmark records
-    /// default each of these to zero so an offline (batch) run *proves*
-    /// the service layer stayed out of the way, and service runs
-    /// always report the full family — present-and-zero, not absent.
+    // Per-query latency distributions (nanoseconds), one per query
+    // op. Pre-seeded by the service frontend so exports show every op
+    // at zero even before its first query — see [`SERVE_QUERY_LATENCY`].
+    pub const SERVE_QUERY_LATENCY_COUNT_NS: &str = "serve.query_latency.count_ns";
+    pub const SERVE_QUERY_LATENCY_SUPPORT_NS: &str = "serve.query_latency.support_ns";
+    pub const SERVE_QUERY_LATENCY_TRUSS_NS: &str = "serve.query_latency.truss_ns";
+    pub const SERVE_QUERY_LATENCY_STATS_NS: &str = "serve.query_latency.stats_ns";
+
+    /// Every per-query latency histogram the service records.
+    pub const SERVE_QUERY_LATENCY: &[&str] = &[
+        SERVE_QUERY_LATENCY_COUNT_NS,
+        SERVE_QUERY_LATENCY_SUPPORT_NS,
+        SERVE_QUERY_LATENCY_TRUSS_NS,
+        SERVE_QUERY_LATENCY_STATS_NS,
+    ];
+
+    /// Every deterministic `serve.*` counter, plus the `.count`
+    /// projections of the service histograms (batch size and the
+    /// per-op query latencies). Benchmark records default each of
+    /// these to zero so an offline (batch) run *proves* the service
+    /// layer stayed out of the way, and service runs always report
+    /// the full family — present-and-zero, not absent.
     pub const SERVE: &[&str] = &[
         SERVE_BATCHES_APPLIED,
         SERVE_EDGES_INSERTED,
@@ -192,5 +212,9 @@ pub mod names {
         SERVE_FULL_RECOUNTS,
         "serve.batch_size.count",
         "serve.batch_size.sum",
+        "serve.query_latency.count_ns.count",
+        "serve.query_latency.support_ns.count",
+        "serve.query_latency.truss_ns.count",
+        "serve.query_latency.stats_ns.count",
     ];
 }

@@ -284,6 +284,22 @@ fn hist_record_slow(name: &'static str, v: u64) {
     );
 }
 
+/// Ensures the histogram `name` exists (empty) without recording a
+/// sample, so exports show the series present-and-zero before its
+/// first observation.
+#[inline]
+pub fn hist_touch(name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    hist_touch_slow(name);
+}
+
+#[cold]
+fn hist_touch_slow(name: &'static str) {
+    with_slot(name, |_| {}, || Slot::Hist(Box::default()));
+}
+
 /// Accounts `bytes` as newly live under the memory scope `name`,
 /// updating its high-water mark. Pair with [`mem_release`] (or use
 /// [`crate::MemScope`], which does both).
@@ -392,6 +408,20 @@ pub(crate) mod tests {
         assert_eq!(h.sum(), 1001);
         // Peak was 128 live bytes, even though everything was freed.
         assert_eq!(snap.gauge(2, "buf"), Some(128));
+    }
+
+    #[test]
+    fn hist_touch_preseeds_empty_histogram() {
+        let _l = locked();
+        let session = MetricsSession::begin();
+        let handle = session.handle();
+        {
+            let _g = handle.register_rank(0);
+            hist_touch("lat.touched");
+        }
+        let snap = session.finish();
+        let h = snap.hist(0, "lat.touched").expect("touched hist present");
+        assert_eq!((h.count(), h.sum()), (0, 0));
     }
 
     #[test]

@@ -1,18 +1,31 @@
 //! Benchmark run records: the JSON-lines schema `benchdiff` consumes.
 //!
 //! Every bench binary (and `tricount count --json`) appends one
-//! `tc-run-v1` object per run. A report file may interleave other
+//! `tc-run-v2` object per run. A report file may interleave other
 //! line kinds (e.g. the table records bench binaries also emit);
 //! [`RunRecord::parse_jsonl`] picks out the run records and ignores
 //! the rest, but still insists every line is valid JSON.
+//!
+//! ## v1 → v2
+//!
+//! `tc-run-v1` stored each timing as one `u64` (a single shot).
+//! `tc-run-v2` stores a [`TimingStats`] object per timing —
+//! `{mean, stddev, min, max, median, tries}` over the harness's
+//! `--tries` repeats. The parser accepts both: v1 timings lift to
+//! `tries = 1` summaries, so old baselines keep diffing against new
+//! reports (via the fixed-tolerance fallback for spread-free rows).
 
 use std::collections::BTreeMap;
 
 use crate::json::{self, Value};
 use crate::snapshot::{MetricValue, MetricsSnapshot};
+use crate::stats::TimingStats;
 
 /// Run-record schema tag; bump on breaking layout changes.
-pub const RUN_SCHEMA: &str = "tc-run-v1";
+pub const RUN_SCHEMA: &str = "tc-run-v2";
+
+/// The previous single-shot schema, still accepted on input.
+pub const RUN_SCHEMA_V1: &str = "tc-run-v1";
 
 /// One benchmark run: identity key, deterministic counters, and
 /// noisy timings.
@@ -32,9 +45,10 @@ pub struct RunRecord {
     /// Deterministic quantities (ops, probes, bytes, tasks, …):
     /// `benchdiff` hard-fails on any drift.
     pub counters: BTreeMap<String, u64>,
-    /// Wall-clock style measurements in nanoseconds: compared as
-    /// medians with a relative tolerance.
-    pub timings_ns: BTreeMap<String, u64>,
+    /// Wall-clock style measurements in nanoseconds, summarized over
+    /// the harness's repeat tries: compared by effect size (or a
+    /// relative tolerance when no spread is available).
+    pub timings_ns: BTreeMap<String, TimingStats>,
 }
 
 impl RunRecord {
@@ -45,8 +59,10 @@ impl RunRecord {
     /// timing, everything else (ops, probes, bytes, tasks, sizes) is
     /// expected to be bit-identical across repeat runs. Counters are
     /// summed across ranks, gauges take the cluster maximum, and
-    /// histograms contribute their `count`/`sum` (or just the summed
-    /// nanoseconds for timing histograms).
+    /// histograms contribute their `count`/`sum` projections — the
+    /// sample count of a timing histogram is itself deterministic, so
+    /// it lands with the counters while the summed nanoseconds join
+    /// the timings.
     pub fn from_snapshot(
         dataset: &str,
         algorithm: &str,
@@ -69,7 +85,7 @@ impl RunRecord {
             match value {
                 MetricValue::Counter(v) => {
                     if name.ends_with("_ns") {
-                        timings_ns.insert(name, v);
+                        timings_ns.insert(name, TimingStats::from_single(v));
                     } else {
                         counters.insert(name, v);
                     }
@@ -79,7 +95,8 @@ impl RunRecord {
                 }
                 MetricValue::Hist(h) => {
                     if name.ends_with("_ns") {
-                        timings_ns.insert(format!("{name}.sum"), h.sum());
+                        counters.insert(format!("{name}.count"), h.count());
+                        timings_ns.insert(format!("{name}.sum"), TimingStats::from_single(h.sum()));
                     } else {
                         counters.insert(format!("{name}.count"), h.count());
                         counters.insert(format!("{name}.sum"), h.sum());
@@ -96,6 +113,50 @@ impl RunRecord {
             counters,
             timings_ns,
         }
+    }
+
+    /// Folds the per-try records of one measured run into a single
+    /// `tc-run-v2` record: timings summarize across tries, while the
+    /// identity fields, triangle count and every deterministic
+    /// counter must agree exactly (a drift across tries of the same
+    /// binary on the same input is a real nondeterminism bug, not
+    /// noise — the error names the drifting quantity).
+    pub fn aggregate(tries: &[RunRecord]) -> Result<RunRecord, String> {
+        let first = tries.first().ok_or("no tries to aggregate")?;
+        for r in &tries[1..] {
+            if r.key() != first.key() {
+                return Err(format!("tries mix run keys '{}' and '{}'", first.key(), r.key()));
+            }
+            if r.triangles != first.triangles {
+                return Err(format!(
+                    "triangle count drifted across tries ({} vs {})",
+                    first.triangles, r.triangles
+                ));
+            }
+            if r.counters != first.counters {
+                let name = first
+                    .counters
+                    .iter()
+                    .find(|(k, v)| r.counters.get(*k) != Some(v))
+                    .map(|(k, _)| k.clone())
+                    .or_else(|| {
+                        r.counters.keys().find(|k| !first.counters.contains_key(*k)).cloned()
+                    })
+                    .unwrap_or_else(|| "<unknown>".into());
+                return Err(format!("counter '{name}' drifted across tries"));
+            }
+        }
+        let mut timings_ns = BTreeMap::new();
+        let names: std::collections::BTreeSet<&String> =
+            tries.iter().flat_map(|r| r.timings_ns.keys()).collect();
+        for name in names {
+            let parts: Vec<TimingStats> =
+                tries.iter().filter_map(|r| r.timings_ns.get(name).copied()).collect();
+            if let Some(pooled) = TimingStats::pool(&parts) {
+                timings_ns.insert(name.clone(), pooled);
+            }
+        }
+        Ok(RunRecord { timings_ns, ..first.clone() })
     }
 
     /// The identity `benchdiff` matches runs by.
@@ -118,25 +179,35 @@ impl RunRecord {
         json::escape_into(&mut out, &self.config);
         out.push_str("\",\"triangles\":");
         out.push_str(&self.triangles.to_string());
-        for (section, map) in [("counters", &self.counters), ("timings_ns", &self.timings_ns)] {
-            out.push_str(&format!(",\"{section}\":{{"));
-            let mut first = true;
-            for (k, v) in map {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                out.push('"');
-                json::escape_into(&mut out, k);
-                out.push_str(&format!("\":{v}"));
+        out.push_str(",\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
             }
-            out.push('}');
+            first = false;
+            out.push('"');
+            json::escape_into(&mut out, k);
+            out.push_str(&format!("\":{v}"));
         }
-        out.push('}');
+        out.push_str("},\"timings_ns\":{");
+        let mut first = true;
+        for (k, s) in &self.timings_ns {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            json::escape_into(&mut out, k);
+            out.push_str("\":");
+            write_timing(&mut out, s);
+        }
+        out.push_str("}}");
         out
     }
 
-    /// Parses one already-parsed JSON object as a run record.
+    /// Parses one already-parsed JSON object as a run record (either
+    /// schema).
     pub fn from_value(v: &Value) -> Result<RunRecord, String> {
         let want_str = |key: &str| -> Result<String, String> {
             v.get(key)
@@ -149,32 +220,35 @@ impl RunRecord {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("run record missing integer '{key}'"))
         };
-        let map_of = |key: &str| -> Result<BTreeMap<String, u64>, String> {
-            let mut out = BTreeMap::new();
-            if let Some(members) = v.get(key).and_then(Value::as_obj) {
-                for (k, val) in members {
-                    let n = val
-                        .as_u64()
-                        .ok_or_else(|| format!("run record '{key}.{k}' is not a u64"))?;
-                    out.insert(k.clone(), n);
-                }
+        let mut counters = BTreeMap::new();
+        if let Some(members) = v.get("counters").and_then(Value::as_obj) {
+            for (k, val) in members {
+                let n = val
+                    .as_u64()
+                    .ok_or_else(|| format!("run record 'counters.{k}' is not a u64"))?;
+                counters.insert(k.clone(), n);
             }
-            Ok(out)
-        };
+        }
+        let mut timings_ns = BTreeMap::new();
+        if let Some(members) = v.get("timings_ns").and_then(Value::as_obj) {
+            for (k, val) in members {
+                timings_ns.insert(k.clone(), parse_timing(k, val)?);
+            }
+        }
         Ok(RunRecord {
             dataset: want_str("dataset")?,
             algorithm: want_str("algorithm")?,
             ranks: want_u64("ranks")?,
             config: want_str("config")?,
             triangles: want_u64("triangles")?,
-            counters: map_of("counters")?,
-            timings_ns: map_of("timings_ns")?,
+            counters,
+            timings_ns,
         })
     }
 
-    /// Extracts all run records from a JSON-lines report. Lines with
-    /// other schemas (or none) are skipped; malformed JSON is an
-    /// error.
+    /// Extracts all run records from a JSON-lines report — both
+    /// `tc-run-v2` and legacy `tc-run-v1` lines. Lines with other
+    /// schemas (or none) are skipped; malformed JSON is an error.
     pub fn parse_jsonl(text: &str) -> Result<Vec<RunRecord>, String> {
         let mut out = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -183,12 +257,58 @@ impl RunRecord {
                 continue;
             }
             let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            if v.get("schema").and_then(Value::as_str) == Some(RUN_SCHEMA) {
+            let schema = v.get("schema").and_then(Value::as_str);
+            if schema == Some(RUN_SCHEMA) || schema == Some(RUN_SCHEMA_V1) {
                 out.push(Self::from_value(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
             }
         }
         Ok(out)
     }
+}
+
+fn write_timing(out: &mut String, s: &TimingStats) {
+    out.push_str(&format!(
+        "{{\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{},\"median\":{},\"tries\":{}}}",
+        json::fmt_f64(s.mean),
+        json::fmt_f64(s.stddev),
+        s.min,
+        s.max,
+        s.median,
+        s.tries
+    ));
+}
+
+/// Parses one timing value: a bare `u64` (v1 single shot) or a v2
+/// stats object.
+fn parse_timing(name: &str, val: &Value) -> Result<TimingStats, String> {
+    if let Some(n) = val.as_u64() {
+        return Ok(TimingStats::from_single(n));
+    }
+    if val.as_obj().is_none() {
+        return Err(format!("run record 'timings_ns.{name}' is neither u64 nor stats object"));
+    }
+    let want_f64 = |key: &str| -> Result<f64, String> {
+        val.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("timing '{name}' missing number '{key}'"))
+    };
+    let want_u64 = |key: &str| -> Result<u64, String> {
+        val.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("timing '{name}' missing integer '{key}'"))
+    };
+    let tries = want_u64("tries")?;
+    if tries == 0 {
+        return Err(format!("timing '{name}' claims zero tries"));
+    }
+    Ok(TimingStats {
+        mean: want_f64("mean")?,
+        stddev: want_f64("stddev")?,
+        min: want_u64("min")?,
+        max: want_u64("max")?,
+        median: want_u64("median")?,
+        tries,
+    })
 }
 
 #[cfg(test)]
@@ -205,7 +325,12 @@ mod tests {
             counters: [("tct.ops".to_string(), 777u64), ("mps.bytes_sent".to_string(), 4096)]
                 .into_iter()
                 .collect(),
-            timings_ns: [("tct.wall".to_string(), 1_000_000u64)].into_iter().collect(),
+            timings_ns: [(
+                "tct.wall_ns".to_string(),
+                TimingStats::from_samples(&[1_000_000, 1_100_000, 900_000]).unwrap(),
+            )]
+            .into_iter()
+            .collect(),
         }
     }
 
@@ -213,8 +338,19 @@ mod tests {
     fn run_record_round_trips() {
         let rec = sample();
         let line = rec.to_json_line();
+        assert!(line.contains("\"schema\":\"tc-run-v2\""));
         let back = RunRecord::parse_jsonl(&line).unwrap();
         assert_eq!(back, vec![rec]);
+    }
+
+    #[test]
+    fn v1_timings_lift_to_single_try_summaries() {
+        let v1 = r#"{"schema":"tc-run-v1","dataset":"g500-s8","algorithm":"2d","ranks":16,"config":"default","triangles":9,"counters":{"tct.ops":7},"timings_ns":{"tct.wall_ns":5000000}}"#;
+        let recs = RunRecord::parse_jsonl(v1).unwrap();
+        assert_eq!(recs.len(), 1);
+        let t = recs[0].timings_ns.get("tct.wall_ns").unwrap();
+        assert_eq!(*t, TimingStats::from_single(5_000_000));
+        assert_eq!(t.tries, 1);
     }
 
     #[test]
@@ -242,10 +378,46 @@ mod tests {
         assert_eq!(rec.counters.get("tct.hash_slots"), Some(&128), "gauge takes max");
         assert_eq!(rec.counters.get("tct.shift_bytes.count"), Some(&2));
         assert_eq!(rec.counters.get("tct.shift_bytes.sum"), Some(&2048));
-        assert_eq!(rec.timings_ns.get("tct.wall_ns"), Some(&10_000));
-        assert_eq!(rec.timings_ns.get("tct.shift_compute_ns.sum"), Some(&1400));
+        // A timing histogram's sample count is deterministic and joins
+        // the counters; the summed nanoseconds stay a timing.
+        assert_eq!(rec.counters.get("tct.shift_compute_ns.count"), Some(&2));
+        assert_eq!(rec.timings_ns.get("tct.wall_ns"), Some(&TimingStats::from_single(10_000)));
+        assert_eq!(
+            rec.timings_ns.get("tct.shift_compute_ns.sum"),
+            Some(&TimingStats::from_single(1400))
+        );
         assert!(!rec.counters.contains_key("tct.wall_ns"));
         assert!(!rec.timings_ns.contains_key("tct.ops"));
+    }
+
+    #[test]
+    fn aggregate_summarizes_timings_and_guards_determinism() {
+        let mut tries = Vec::new();
+        for wall in [100u64, 110, 90] {
+            let mut r = sample();
+            r.timings_ns =
+                [("tct.wall_ns".to_string(), TimingStats::from_single(wall * 1_000_000))]
+                    .into_iter()
+                    .collect();
+            tries.push(r);
+        }
+        let agg = RunRecord::aggregate(&tries).unwrap();
+        let t = agg.timings_ns.get("tct.wall_ns").unwrap();
+        assert_eq!(t.tries, 3);
+        assert_eq!(t.median, 100 * 1_000_000);
+        assert_eq!(t.min, 90 * 1_000_000);
+        assert_eq!(t.max, 110 * 1_000_000);
+        assert!((t.mean - 100.0 * 1e6).abs() < 1e-3);
+        // Counter drift across tries is an error naming the counter.
+        let mut bad = tries.clone();
+        bad[1].counters.insert("tct.ops".into(), 778);
+        let err = RunRecord::aggregate(&bad).unwrap_err();
+        assert!(err.contains("tct.ops"), "{err}");
+        // Triangle drift too.
+        let mut bad = tries.clone();
+        bad[2].triangles = 1;
+        assert!(RunRecord::aggregate(&bad).unwrap_err().contains("triangle"));
+        assert!(RunRecord::aggregate(&[]).is_err());
     }
 
     #[test]

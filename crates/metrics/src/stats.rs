@@ -1,0 +1,301 @@
+//! Numerically stable summary statistics for repeated timings.
+//!
+//! The n-try benchmark harness measures every timing `--tries` times
+//! and distills the samples into a [`TimingStats`] (the `tc-run-v2`
+//! timing value). Accumulation uses Welford's online algorithm — the
+//! naive sum-of-squares formula cancels catastrophically at
+//! nanosecond magnitudes — and two partial accumulations merge
+//! exactly (Chan et al.), so pooling repeats is order-invariant.
+//!
+//! On top of the summaries sits the effect-size machinery `benchdiff`
+//! uses instead of a fixed tolerance band: [`welch_t`] computes
+//! Welch's t statistic for two summaries, and a difference only
+//! counts when the means are separated by more than `k` combined
+//! standard errors (equivalently: the `mean ± k·se` intervals are
+//! disjoint).
+
+/// Welford online accumulator: count, mean, and the centered second
+/// moment `M2 = Σ(x − mean)²`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Merges another accumulation into this one (Chan et al.'s
+    /// parallel update): the result equals accumulating both sample
+    /// streams into a single accumulator, up to float rounding.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let nf = n as f64;
+        self.mean += d * (other.n as f64 / nf);
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64 / nf);
+        self.n = n;
+    }
+
+    /// Samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            // m2 is non-negative up to rounding; clamp the rounding.
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Summary of one timing over `tries` repeat measurements — the
+/// timing value of a `tc-run-v2` record. A single-shot (v1) timing
+/// lifts to `tries = 1` with zero spread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Mean nanoseconds.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `tries < 2`).
+    pub stddev: f64,
+    /// Fastest try.
+    pub min: u64,
+    /// Slowest try.
+    pub max: u64,
+    /// Median try (upper median for even counts).
+    pub median: u64,
+    /// Number of measured tries behind this summary.
+    pub tries: u64,
+}
+
+impl TimingStats {
+    /// Summarizes a set of raw samples (`None` when empty).
+    pub fn from_samples(samples: &[u64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut w = Welford::new();
+        for &s in samples {
+            w.push(s as f64);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Self {
+            mean: w.mean(),
+            stddev: w.stddev(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median: sorted[sorted.len() / 2],
+            tries: samples.len() as u64,
+        })
+    }
+
+    /// Lifts a single-shot measurement (a `tc-run-v1` timing).
+    pub fn from_single(v: u64) -> Self {
+        Self { mean: v as f64, stddev: 0.0, min: v, max: v, median: v, tries: 1 }
+    }
+
+    /// Pools repeat summaries of the same timing into one.
+    ///
+    /// When every part is a single-shot sample the pool is exact
+    /// (including the median). Otherwise mean and variance merge
+    /// exactly via [`Welford::merge`], min/max fold, and the median —
+    /// not recoverable from summaries — is approximated by the median
+    /// of the part medians.
+    pub fn pool(parts: &[TimingStats]) -> Option<Self> {
+        match parts {
+            [] => None,
+            [one] => Some(*one),
+            _ if parts.iter().all(|p| p.tries == 1) => {
+                let samples: Vec<u64> = parts.iter().map(|p| p.median).collect();
+                Self::from_samples(&samples)
+            }
+            _ => {
+                let mut w = Welford::new();
+                let mut min = u64::MAX;
+                let mut max = 0u64;
+                let mut medians = Vec::with_capacity(parts.len());
+                for p in parts {
+                    w.merge(&Welford {
+                        n: p.tries,
+                        mean: p.mean,
+                        m2: p.stddev * p.stddev * (p.tries.saturating_sub(1)) as f64,
+                    });
+                    min = min.min(p.min);
+                    max = max.max(p.max);
+                    medians.push(p.median);
+                }
+                medians.sort_unstable();
+                Some(Self {
+                    mean: w.mean(),
+                    stddev: w.stddev(),
+                    min,
+                    max,
+                    median: medians[medians.len() / 2],
+                    tries: w.count(),
+                })
+            }
+        }
+    }
+
+    /// Renders as milliseconds for diff tables: `12.3±0.4ms (n=5)`,
+    /// or plain `12.3ms` for single-shot summaries.
+    pub fn fmt_ms(&self) -> String {
+        if self.tries <= 1 {
+            format!("{:.3}ms", self.mean / 1e6)
+        } else {
+            format!("{:.3}±{:.3}ms (n={})", self.mean / 1e6, self.stddev / 1e6, self.tries)
+        }
+    }
+}
+
+/// Welch's t statistic for the difference `cand − base`.
+///
+/// `None` unless both sides carry at least two tries and the
+/// combined standard error is positive (identical repeats or
+/// single-shot summaries carry no usable spread — callers fall back
+/// to the fixed tolerance band).
+pub fn welch_t(base: &TimingStats, cand: &TimingStats) -> Option<f64> {
+    if base.tries < 2 || cand.tries < 2 {
+        return None;
+    }
+    let se2 = base.stddev * base.stddev / base.tries as f64
+        + cand.stddev * cand.stddev / cand.tries as f64;
+    if se2 <= 0.0 || !se2.is_finite() {
+        return None;
+    }
+    Some((cand.mean - base.mean) / se2.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var =
+            samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+        (mean, if samples.len() < 2 { 0.0 } else { var })
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let samples = [100u64, 102, 98, 100, 110];
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s as f64);
+        }
+        let (mean, var) = naive(&samples);
+        assert!((w.mean() - mean).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let all = [5u64, 9, 1, 14, 2, 8, 3];
+        let mut whole = Welford::new();
+        for &s in &all {
+            whole.push(s as f64);
+        }
+        for cut in 0..=all.len() {
+            let (mut a, mut b) = (Welford::new(), Welford::new());
+            for &s in &all[..cut] {
+                a.push(s as f64);
+            }
+            for &s in &all[cut..] {
+                b.push(s as f64);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-9, "cut {cut}");
+            assert!((a.variance() - whole.variance()).abs() < 1e-9, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn timing_stats_summarize_and_lift() {
+        let s = TimingStats::from_samples(&[100, 300, 200]).unwrap();
+        assert_eq!((s.min, s.max, s.median, s.tries), (100, 300, 200, 3));
+        assert!((s.mean - 200.0).abs() < 1e-9);
+        let one = TimingStats::from_single(42);
+        assert_eq!((one.min, one.max, one.median, one.tries), (42, 42, 42, 1));
+        assert_eq!(one.stddev, 0.0);
+        assert!(TimingStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn pooling_single_shots_is_exact() {
+        let parts: Vec<TimingStats> =
+            [100u64, 102, 98].iter().map(|&v| TimingStats::from_single(v)).collect();
+        let pooled = TimingStats::pool(&parts).unwrap();
+        assert_eq!(pooled, TimingStats::from_samples(&[100, 102, 98]).unwrap());
+    }
+
+    #[test]
+    fn pooling_summaries_matches_pooled_samples() {
+        let a = [100u64, 110, 90, 105, 95];
+        let b = [200u64, 210, 190];
+        let pooled = TimingStats::pool(&[
+            TimingStats::from_samples(&a).unwrap(),
+            TimingStats::from_samples(&b).unwrap(),
+        ])
+        .unwrap();
+        let joined: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let direct = TimingStats::from_samples(&joined).unwrap();
+        assert_eq!(pooled.tries, direct.tries);
+        assert_eq!((pooled.min, pooled.max), (direct.min, direct.max));
+        assert!((pooled.mean - direct.mean).abs() < 1e-6);
+        assert!((pooled.stddev - direct.stddev).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welch_t_separates_real_shifts_and_ignores_noise() {
+        let base = TimingStats::from_samples(&[100, 101, 99, 100, 100]).unwrap();
+        let slow = TimingStats::from_samples(&[200, 202, 198, 201, 199]).unwrap();
+        assert!(welch_t(&base, &slow).unwrap() > 10.0);
+        // Same +30% mean shift, but swamped by spread: small t.
+        let noisy_base = TimingStats::from_samples(&[70, 85, 100, 115, 130]).unwrap();
+        let noisy_cand = TimingStats::from_samples(&[100, 115, 130, 145, 160]).unwrap();
+        let t = welch_t(&noisy_base, &noisy_cand).unwrap();
+        assert!(t > 0.0 && t < 3.0, "t={t}");
+        // Single-shot sides carry no spread.
+        assert!(welch_t(&TimingStats::from_single(5), &slow).is_none());
+        // Zero combined spread is unusable too.
+        let flat = TimingStats::from_samples(&[100, 100, 100]).unwrap();
+        assert!(welch_t(&flat, &flat).is_none());
+    }
+}

@@ -1,0 +1,656 @@
+//! Per-commit perf-trend history and the `perftrend` renderer.
+//!
+//! Every `benchdiff`-blessed suite run appends one
+//! `tc-bench-history-v1` JSON line per (run key, timing) to
+//! `results/BENCH_HISTORY.jsonl`, stamped with the commit id and ISO
+//! date the caller passes in (`--commit`/`--date` — this library
+//! never reads the clock, so records stay reproducible). The
+//! `tricount perftrend` subcommand ([`cli_main`]) renders the
+//! trajectory two ways: an ASCII sparkline table on stdout and a
+//! self-contained hand-rolled HTML/SVG page, flagging the worst
+//! regression and best improvement across the last N commits.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::report::RunRecord;
+use crate::stats::TimingStats;
+
+/// History-row schema tag; bump on breaking layout changes.
+pub const HISTORY_SCHEMA: &str = "tc-bench-history-v1";
+
+/// One (commit, run key, timing) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Commit id the suite ran at (any revision string).
+    pub commit: String,
+    /// ISO date of the run (caller-supplied; never `Date::now`).
+    pub date: String,
+    /// Run key: `dataset/algorithm/pN/config`.
+    pub key: String,
+    /// Timing name within the run record.
+    pub timing: String,
+    /// The timing's summary at that commit.
+    pub stats: TimingStats,
+}
+
+impl HistoryRow {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"schema\":\"");
+        out.push_str(HISTORY_SCHEMA);
+        for (k, v) in [
+            ("commit", &self.commit),
+            ("date", &self.date),
+            ("key", &self.key),
+            ("timing", &self.timing),
+        ] {
+            out.push_str("\",\"");
+            out.push_str(k);
+            out.push_str("\":\"");
+            json::escape_into(&mut out, v);
+        }
+        out.push_str(&format!(
+            "\",\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{},\"median\":{},\"tries\":{}}}",
+            json::fmt_f64(self.stats.mean),
+            json::fmt_f64(self.stats.stddev),
+            self.stats.min,
+            self.stats.max,
+            self.stats.median,
+            self.stats.tries
+        ));
+        out
+    }
+
+    /// Parses one already-parsed JSON object as a history row.
+    pub fn from_value(v: &Value) -> Result<HistoryRow, String> {
+        let want_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("history row missing string '{key}'"))
+        };
+        let want_f64 = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("history row missing number '{key}'"))
+        };
+        let want_u64 = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("history row missing integer '{key}'"))
+        };
+        Ok(HistoryRow {
+            commit: want_str("commit")?,
+            date: want_str("date")?,
+            key: want_str("key")?,
+            timing: want_str("timing")?,
+            stats: TimingStats {
+                mean: want_f64("mean")?,
+                stddev: want_f64("stddev")?,
+                min: want_u64("min")?,
+                max: want_u64("max")?,
+                median: want_u64("median")?,
+                tries: want_u64("tries")?.max(1),
+            },
+        })
+    }
+
+    /// Extracts all history rows from a JSON-lines log. Lines with
+    /// other schemas are skipped; malformed JSON is an error.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<HistoryRow>, String> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if v.get("schema").and_then(Value::as_str) == Some(HISTORY_SCHEMA) {
+                out.push(Self::from_value(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Distills run records into one history row per (key, timing),
+/// pooling repeat records of the same key.
+pub fn rows_from_records(records: &[RunRecord], commit: &str, date: &str) -> Vec<HistoryRow> {
+    let mut grouped: BTreeMap<(String, String), Vec<TimingStats>> = BTreeMap::new();
+    for r in records {
+        for (timing, s) in &r.timings_ns {
+            grouped.entry((r.key(), timing.clone())).or_default().push(*s);
+        }
+    }
+    grouped
+        .into_iter()
+        .filter_map(|((key, timing), parts)| {
+            TimingStats::pool(&parts).map(|stats| HistoryRow {
+                commit: commit.to_string(),
+                date: date.to_string(),
+                key,
+                timing,
+                stats,
+            })
+        })
+        .collect()
+}
+
+/// Appends one history row per (key, timing) of `records` to the
+/// JSON-lines log at `path`. Returns the number of rows appended.
+pub fn append_history(
+    path: &str,
+    records: &[RunRecord],
+    commit: &str,
+    date: &str,
+) -> Result<usize, String> {
+    use std::io::Write;
+    let rows = rows_from_records(records, commit, date);
+    let mut text = String::new();
+    for row in &rows {
+        text.push_str(&row.to_json_line());
+        text.push('\n');
+    }
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(text.as_bytes()))
+        .map_err(|e| format!("cannot append history to {path}: {e}"))?;
+    Ok(rows.len())
+}
+
+/// One series of the trend: a (key, timing) across commits.
+struct Series<'a> {
+    key: &'a str,
+    timing: &'a str,
+    /// One slot per commit in the window (`None` when that commit has
+    /// no observation for this series).
+    points: Vec<Option<&'a TimingStats>>,
+}
+
+impl Series<'_> {
+    fn label(&self) -> String {
+        format!("{} :: {}", self.key, self.timing)
+    }
+
+    /// Relative mean change first → last observed point, if at least
+    /// two points exist.
+    fn first_to_last(&self) -> Option<f64> {
+        let mut obs = self.points.iter().flatten();
+        let first = obs.next()?;
+        let last = obs.last()?;
+        Some((last.mean - first.mean) / first.mean.max(1.0))
+    }
+}
+
+/// The trend, resolved against a commit window.
+struct Trend<'a> {
+    /// (commit, date) in first-appearance order, windowed to last N.
+    commits: Vec<(&'a str, &'a str)>,
+    series: Vec<Series<'a>>,
+}
+
+fn resolve<'a>(rows: &'a [HistoryRow], last: usize) -> Trend<'a> {
+    let mut commits: Vec<(&str, &str)> = Vec::new();
+    for r in rows {
+        if !commits.iter().any(|(c, _)| *c == r.commit) {
+            commits.push((&r.commit, &r.date));
+        }
+    }
+    let skip = commits.len().saturating_sub(last.max(1));
+    let commits: Vec<(&str, &str)> = commits.into_iter().skip(skip).collect();
+    let mut series: BTreeMap<(&str, &str), Vec<Option<&TimingStats>>> = BTreeMap::new();
+    for r in rows {
+        let Some(slot) = commits.iter().position(|(c, _)| *c == r.commit) else {
+            continue;
+        };
+        let points = series.entry((&r.key, &r.timing)).or_insert_with(|| vec![None; commits.len()]);
+        points[slot] = Some(&r.stats);
+    }
+    let series =
+        series.into_iter().map(|((key, timing), points)| Series { key, timing, points }).collect();
+    Trend { commits, series }
+}
+
+/// A series label paired with its first-to-last relative change.
+type Mover = Option<(String, f64)>;
+
+/// The extreme movers: (worst regression, best improvement) — `None`
+/// when no series moved that way.
+fn extremes(trend: &Trend<'_>) -> (Mover, Mover) {
+    let mut worst: Mover = None;
+    let mut best: Mover = None;
+    for s in &trend.series {
+        let Some(delta) = s.first_to_last() else { continue };
+        if delta > 0.0 && worst.as_ref().is_none_or(|(_, d)| delta > *d) {
+            worst = Some((s.label(), delta));
+        }
+        if delta < 0.0 && best.as_ref().is_none_or(|(_, d)| delta < *d) {
+            best = Some((s.label(), delta));
+        }
+    }
+    (worst, best)
+}
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn sparkline(points: &[Option<&TimingStats>]) -> String {
+    let means: Vec<f64> = points.iter().flatten().map(|s| s.mean).collect();
+    let (lo, hi) = means
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &m| (lo.min(m), hi.max(m)));
+    points
+        .iter()
+        .map(|p| match p {
+            None => '·',
+            Some(_) if hi <= lo => SPARKS[3],
+            Some(s) => {
+                let level = ((s.mean - lo) / (hi - lo) * 7.0).round() as usize;
+                SPARKS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the ASCII sparkline table plus the movers summary.
+pub fn render_ascii(rows: &[HistoryRow], last: usize) -> String {
+    let trend = resolve(rows, last);
+    let mut out = String::new();
+    if trend.commits.is_empty() {
+        out.push_str("perftrend: no history rows\n");
+        return out;
+    }
+    let (first, last_commit) = (trend.commits[0], trend.commits[trend.commits.len() - 1]);
+    out.push_str(&format!(
+        "perf trend over {} commit{}: {} ({}) → {} ({})\n\n",
+        trend.commits.len(),
+        if trend.commits.len() == 1 { "" } else { "s" },
+        first.0,
+        first.1,
+        last_commit.0,
+        last_commit.1
+    ));
+    let label_w = trend.series.iter().map(|s| s.label().len()).max().unwrap_or(6).max(6);
+    out.push_str(&format!(
+        "{:<label_w$}  {:<width$}  {:>12}  {:>12}  {:>8}\n",
+        "series",
+        "trend",
+        "first",
+        "last",
+        "Δ",
+        width = trend.commits.len().max(5)
+    ));
+    for s in &trend.series {
+        let mut obs = s.points.iter().flatten();
+        let first = obs.next();
+        let last_p = s.points.iter().flatten().next_back();
+        let fmt = |p: Option<&&TimingStats>| {
+            p.map_or_else(|| "-".to_string(), |s| format!("{:.3}ms", s.mean / 1e6))
+        };
+        let delta =
+            s.first_to_last().map_or_else(|| "-".to_string(), |d| format!("{:+.1}%", d * 100.0));
+        out.push_str(&format!(
+            "{:<label_w$}  {:<width$}  {:>12}  {:>12}  {:>8}\n",
+            s.label(),
+            sparkline(&s.points),
+            fmt(first),
+            fmt(last_p),
+            delta,
+            width = trend.commits.len().max(5)
+        ));
+    }
+    let (worst, best) = extremes(&trend);
+    out.push('\n');
+    match worst {
+        Some((label, d)) => {
+            out.push_str(&format!("worst regression:  {label} ({:+.1}%)\n", d * 100.0))
+        }
+        None => out.push_str("worst regression:  none\n"),
+    }
+    match best {
+        Some((label, d)) => {
+            out.push_str(&format!("best improvement:  {label} ({:+.1}%)\n", d * 100.0))
+        }
+        None => out.push_str("best improvement:  none\n"),
+    }
+    out
+}
+
+/// Renders a self-contained HTML page: one inline SVG per series
+/// (mean line over the commit axis with a ±1 stddev band), plus the
+/// movers summary. No scripts, no external assets.
+pub fn render_html(rows: &[HistoryRow], last: usize) -> String {
+    let trend = resolve(rows, last);
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>tricount perf trend</title>\n<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+         color:#1a1a2e;background:#fafafa}\n\
+         h1{font-size:1.3rem}h2{font-size:0.95rem;font-family:ui-monospace,monospace;\
+         margin:1.5rem 0 0.25rem}\n\
+         .movers{background:#fff;border:1px solid #ddd;border-radius:6px;\
+         padding:0.75rem 1rem}\n\
+         .reg{color:#b02a2a}.imp{color:#1a7a4a}\n\
+         svg{background:#fff;border:1px solid #ddd;border-radius:6px}\n\
+         </style></head><body>\n<h1>tricount perf trend</h1>\n",
+    );
+    if trend.commits.is_empty() {
+        out.push_str("<p>No history rows.</p></body></html>\n");
+        return out;
+    }
+    let esc =
+        |s: &str| -> String { s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;") };
+    out.push_str(&format!(
+        "<p>{} commit{}: <code>{}</code> ({}) → <code>{}</code> ({})</p>\n",
+        trend.commits.len(),
+        if trend.commits.len() == 1 { "" } else { "s" },
+        esc(trend.commits[0].0),
+        esc(trend.commits[0].1),
+        esc(trend.commits[trend.commits.len() - 1].0),
+        esc(trend.commits[trend.commits.len() - 1].1),
+    ));
+    let (worst, best) = extremes(&trend);
+    out.push_str("<div class=\"movers\">");
+    match worst {
+        Some((label, d)) => out.push_str(&format!(
+            "<div class=\"reg\">worst regression: {} ({:+.1}%)</div>",
+            esc(&label),
+            d * 100.0
+        )),
+        None => out.push_str("<div>worst regression: none</div>"),
+    }
+    match best {
+        Some((label, d)) => out.push_str(&format!(
+            "<div class=\"imp\">best improvement: {} ({:+.1}%)</div>",
+            esc(&label),
+            d * 100.0
+        )),
+        None => out.push_str("<div>best improvement: none</div>"),
+    }
+    out.push_str("</div>\n");
+    for s in &trend.series {
+        out.push_str(&format!("<h2>{}</h2>\n", esc(&s.label())));
+        out.push_str(&series_svg(s, &trend.commits));
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// One series as an inline SVG: ±1σ band, mean polyline, point dots.
+fn series_svg(s: &Series<'_>, commits: &[(&str, &str)]) -> String {
+    const W: f64 = 720.0;
+    const H: f64 = 150.0;
+    const ML: f64 = 70.0; // left margin (y labels)
+    const MR: f64 = 12.0;
+    const MT: f64 = 10.0;
+    const MB: f64 = 24.0; // bottom margin (commit labels)
+    let obs: Vec<(usize, &TimingStats)> =
+        s.points.iter().enumerate().filter_map(|(i, p)| p.map(|st| (i, st))).collect();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, st) in &obs {
+        lo = lo.min(st.mean - st.stddev);
+        hi = hi.max(st.mean + st.stddev);
+    }
+    if !lo.is_finite() || hi <= lo {
+        let mid = obs.first().map_or(1.0, |(_, st)| st.mean);
+        lo = mid * 0.9 - 1.0;
+        hi = mid * 1.1 + 1.0;
+    }
+    let n = commits.len().max(2) as f64;
+    let x = |i: usize| ML + (W - ML - MR) * i as f64 / (n - 1.0);
+    let y = |v: f64| MT + (H - MT - MB) * (1.0 - (v - lo) / (hi - lo));
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         role=\"img\" aria-label=\"mean timing per commit\">\n"
+    );
+    // y-axis labels at the band extremes.
+    for v in [lo, (lo + hi) / 2.0, hi] {
+        svg.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.1}\" font-size=\"10\" fill=\"#777\" \
+             text-anchor=\"end\">{:.2}ms</text>\n",
+            ML - 6.0,
+            y(v) + 3.0,
+            v / 1e6
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" \
+             stroke=\"#eee\"/>\n",
+            y(v),
+            W - MR
+        ));
+    }
+    // ±1σ band.
+    if obs.len() > 1 {
+        let mut band = String::from("<polygon fill=\"#7aa6d622\" stroke=\"none\" points=\"");
+        for (i, st) in &obs {
+            band.push_str(&format!("{:.1},{:.1} ", x(*i), y(st.mean + st.stddev)));
+        }
+        for (i, st) in obs.iter().rev() {
+            band.push_str(&format!("{:.1},{:.1} ", x(*i), y(st.mean - st.stddev)));
+        }
+        band.push_str("\"/>\n");
+        svg.push_str(&band);
+    }
+    // Mean polyline.
+    if obs.len() > 1 {
+        let pts: Vec<String> =
+            obs.iter().map(|(i, st)| format!("{:.1},{:.1}", x(*i), y(st.mean))).collect();
+        svg.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"#2a5d9c\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            pts.join(" ")
+        ));
+    }
+    for (i, st) in &obs {
+        svg.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#2a5d9c\"><title>{}: \
+             {:.3}ms ±{:.3} (n={})</title></circle>\n",
+            x(*i),
+            y(st.mean),
+            commits[*i].0,
+            st.mean / 1e6,
+            st.stddev / 1e6,
+            st.tries
+        ));
+    }
+    // First/last commit labels.
+    svg.push_str(&format!(
+        "<text x=\"{ML}\" y=\"{:.0}\" font-size=\"10\" fill=\"#777\">{}</text>\n",
+        H - 8.0,
+        commits[0].0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"10\" fill=\"#777\" \
+         text-anchor=\"end\">{}</text>\n",
+        W - MR,
+        H - 8.0,
+        commits[commits.len() - 1].0
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Command-line driver behind `tricount perftrend`. `args` excludes
+/// the program / subcommand name. Returns the process exit code.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut file: Option<String> = None;
+    let mut last = 20usize;
+    let mut html: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--last" => {
+                let Some(v) = it.next().and_then(|s| s.parse::<usize>().ok()).filter(|v| *v > 0)
+                else {
+                    eprintln!("perftrend: --last needs a positive integer");
+                    return 2;
+                };
+                last = v;
+            }
+            "--html" => {
+                let Some(p) = it.next() else {
+                    eprintln!("perftrend: --html needs a path");
+                    return 2;
+                };
+                html = Some(p.clone());
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("perftrend: unknown flag '{other}'\n{USAGE}");
+                return 2;
+            }
+            path if file.is_none() => file = Some(path.to_string()),
+            extra => {
+                eprintln!("perftrend: unexpected argument '{extra}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("perftrend: need a history file\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perftrend: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let rows = match HistoryRow::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perftrend: {path}: {e}");
+            return 2;
+        }
+    };
+    if rows.is_empty() {
+        eprintln!("perftrend: {path} contains no {HISTORY_SCHEMA} rows");
+        return 2;
+    }
+    print!("{}", render_ascii(&rows, last));
+    if let Some(out) = html {
+        if let Err(e) = std::fs::write(&out, render_html(&rows, last)) {
+            eprintln!("perftrend: cannot write {out}: {e}");
+            return 2;
+        }
+        println!("perftrend: wrote {out}");
+    }
+    0
+}
+
+const USAGE: &str = "usage: tricount perftrend <HISTORY.jsonl> [options]
+
+Renders the per-commit perf trend recorded by `benchdiff --history`
+(schema tc-bench-history-v1): an ASCII sparkline table per
+(run, timing) series, flagging the worst regression and the best
+improvement across the commit window.
+
+options:
+  --last <n>      window: last N commits (default 20)
+  --html <path>   also write a self-contained HTML/SVG page
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(commit: &str, key: &str, timing: &str, means_ms: &[u64]) -> HistoryRow {
+        let ns: Vec<u64> = means_ms.iter().map(|&m| m * 1_000_000).collect();
+        HistoryRow {
+            commit: commit.into(),
+            date: format!("2026-08-0{}", (commit.len() % 9) + 1),
+            key: key.into(),
+            timing: timing.into(),
+            stats: TimingStats::from_samples(&ns).unwrap(),
+        }
+    }
+
+    #[test]
+    fn history_rows_round_trip() {
+        let r = row("abc1234", "g500-s8/2d/p16/default", "tct.wall_ns", &[100, 110, 90]);
+        let line = r.to_json_line();
+        assert!(line.contains(HISTORY_SCHEMA));
+        let back = HistoryRow::parse_jsonl(&line).unwrap();
+        assert_eq!(back, vec![r]);
+        // Foreign schemas are skipped, garbage is not.
+        let mixed = format!("{line}\n{{\"schema\":\"tc-run-v2\"}}\n");
+        assert_eq!(HistoryRow::parse_jsonl(&mixed).unwrap().len(), 1);
+        assert!(HistoryRow::parse_jsonl("nope\n").is_err());
+    }
+
+    #[test]
+    fn ascii_render_flags_movers() {
+        let rows = vec![
+            row("c1", "a/2d/p4/default", "tct.wall_ns", &[100, 100, 100]),
+            row("c1", "b/2d/p4/default", "tct.wall_ns", &[100, 100, 100]),
+            row("c2", "a/2d/p4/default", "tct.wall_ns", &[150, 150, 150]),
+            row("c2", "b/2d/p4/default", "tct.wall_ns", &[80, 80, 80]),
+        ];
+        let text = render_ascii(&rows, 20);
+        assert!(text.contains("2 commits"), "{text}");
+        assert!(
+            text.contains("worst regression:  a/2d/p4/default :: tct.wall_ns (+50.0%)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("best improvement:  b/2d/p4/default :: tct.wall_ns (-20.0%)"),
+            "{text}"
+        );
+        assert!(text.contains('█') && text.contains('▁'), "{text}");
+    }
+
+    #[test]
+    fn window_limits_commits() {
+        let rows: Vec<HistoryRow> = (0..5)
+            .map(|i| row(&format!("c{i}"), "a/2d/p4/x", "t_ns", &[100 + i, 100 + i]))
+            .collect();
+        let text = render_ascii(&rows, 2);
+        assert!(text.contains("2 commits"), "{text}");
+        assert!(text.contains("c3") && text.contains("c4"), "{text}");
+        assert!(!text.contains("c0 "), "{text}");
+    }
+
+    #[test]
+    fn html_is_self_contained_svg() {
+        let rows = vec![
+            row("c1", "a/2d/p4/default", "tct.wall_ns", &[100, 105, 95]),
+            row("c2", "a/2d/p4/default", "tct.wall_ns", &[120, 125, 115]),
+        ];
+        let html = render_html(&rows, 20);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<svg"), "{html}");
+        assert!(html.contains("polyline"), "{html}");
+        assert!(!html.contains("<script"), "no scripts: {html}");
+        assert!(html.contains("worst regression"), "{html}");
+    }
+
+    #[test]
+    fn rows_from_records_pool_repeats() {
+        let mut rec = RunRecord {
+            dataset: "a".into(),
+            algorithm: "2d".into(),
+            ranks: 4,
+            config: "default".into(),
+            triangles: 1,
+            counters: Default::default(),
+            timings_ns: [("tct.wall_ns".to_string(), TimingStats::from_single(100))]
+                .into_iter()
+                .collect(),
+        };
+        let mut rec2 = rec.clone();
+        rec2.timings_ns.insert("tct.wall_ns".into(), TimingStats::from_single(200));
+        rec.timings_ns.insert("tct.cpu_ns".into(), TimingStats::from_single(50));
+        let rows = rows_from_records(&[rec, rec2], "c9", "2026-08-08");
+        assert_eq!(rows.len(), 2);
+        let wall = rows.iter().find(|r| r.timing == "tct.wall_ns").unwrap();
+        assert_eq!(wall.stats.tries, 2);
+        assert_eq!(wall.commit, "c9");
+    }
+}

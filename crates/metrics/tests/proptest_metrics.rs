@@ -1,11 +1,13 @@
-//! Property tests for the log₂ histogram and the exporters: recording
-//! is order- and partition-invariant, quantile estimates bound the
-//! true quantile within one bucket, and the Prometheus exposition is a
-//! pure function of the JSON snapshot (round-tripping the snapshot
-//! through its parser reproduces the exposition byte-for-byte).
+//! Property tests for the log₂ histogram, the Welford accumulator and
+//! the exporters: recording is order- and partition-invariant,
+//! quantile estimates bound the true quantile within one bucket,
+//! Welford statistics agree with the naive two-pass formulas, and the
+//! Prometheus exposition is a pure function of the JSON snapshot
+//! (round-tripping the snapshot through its parser reproduces the
+//! exposition byte-for-byte).
 
 use proptest::prelude::*;
-use tc_metrics::{histogram, Log2Histogram, MetricValue, MetricsSnapshot};
+use tc_metrics::{histogram, Log2Histogram, MetricValue, MetricsSnapshot, TimingStats, Welford};
 
 fn recorded(samples: &[u64]) -> Log2Histogram {
     let mut h = Log2Histogram::new();
@@ -66,6 +68,93 @@ proptest! {
         prop_assert!(lo <= truth && truth <= hi, "{lo} <= {truth} <= {hi} (q={q})");
         let (blo, bhi) = histogram::bucket_bounds(histogram::bucket_index(truth));
         prop_assert!(lo >= blo && hi <= bhi, "bracket wider than one bucket");
+    }
+
+    /// Welford accumulation agrees with the naive two-pass mean and
+    /// sample variance on small inputs (timing-magnitude samples, up
+    /// to ~17 minutes in nanoseconds).
+    #[test]
+    fn welford_agrees_with_naive_two_pass(
+        samples in proptest::collection::vec(0u64..1_000_000_000_000, 1..100),
+    ) {
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.push(s as f64);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let var = if samples.len() < 2 {
+            0.0
+        } else {
+            samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0);
+        prop_assert_eq!(w.count(), samples.len() as u64);
+        prop_assert!(close(w.mean(), mean), "mean {} vs {}", w.mean(), mean);
+        prop_assert!(close(w.variance(), var), "var {} vs {}", w.variance(), var);
+    }
+
+    /// Welford merging is partition- and order-invariant: shuffling
+    /// the stream and splitting it anywhere, then merging the halves,
+    /// matches the single-stream accumulation.
+    #[test]
+    fn welford_merge_is_order_and_partition_invariant(
+        samples in proptest::collection::vec(0u64..1_000_000_000_000, 0..100),
+        cut_raw in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut whole = Welford::new();
+        for &s in &samples {
+            whole.push(s as f64);
+        }
+        let mut shuffled = samples.clone();
+        let mut state = seed;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let cut = cut_raw as usize % (shuffled.len() + 1);
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &s in &shuffled[..cut] {
+            a.push(s as f64);
+        }
+        for &s in &shuffled[cut..] {
+            b.push(s as f64);
+        }
+        a.merge(&b);
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!(close(a.mean(), whole.mean()), "mean {} vs {}", a.mean(), whole.mean());
+        prop_assert!(
+            close(a.variance(), whole.variance()),
+            "var {} vs {}", a.variance(), whole.variance()
+        );
+    }
+
+    /// Pooling per-record timing summaries preserves count, min/max
+    /// and (within float tolerance) mean and stddev of the combined
+    /// sample stream, regardless of how the stream is chunked.
+    #[test]
+    fn timing_stats_pool_matches_flat_summary(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000_000_000, 1..12),
+            1..8,
+        ),
+    ) {
+        let parts: Vec<TimingStats> =
+            chunks.iter().map(|c| TimingStats::from_samples(c).unwrap()).collect();
+        let pooled = TimingStats::pool(&parts).unwrap();
+        let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+        let direct = TimingStats::from_samples(&flat).unwrap();
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0);
+        prop_assert_eq!(pooled.tries, direct.tries);
+        prop_assert_eq!((pooled.min, pooled.max), (direct.min, direct.max));
+        prop_assert!(close(pooled.mean, direct.mean), "mean {} vs {}", pooled.mean, direct.mean);
+        prop_assert!(
+            close(pooled.stddev, direct.stddev),
+            "stddev {} vs {}", pooled.stddev, direct.stddev
+        );
     }
 
     /// Aggregates stay exact no matter what was recorded.

@@ -189,12 +189,43 @@ pub fn ok_truss(k: u32, edges: &[(u32, u32)]) -> String {
     out
 }
 
-/// Reply to `stats`.
-pub fn ok_stats(s: &crate::engine::StatsReply, pending: usize) -> String {
-    format!(
-        "{{\"ok\":true,\"vertices\":{},\"edges\":{},\"triangles\":{},\"batches\":{},\"full_recounts\":{},\"pending\":{pending}}}",
+/// Per-op query-latency summary carried in the `stats` reply: sample
+/// count plus the log₂-bucket brackets of the p50/p99 latencies
+/// (nanoseconds). Present — and zero — for every op even before its
+/// first query, matching the present-and-zero discipline of the
+/// `serve.*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStat {
+    /// Queries measured.
+    pub count: u64,
+    /// Bracket around the median latency.
+    pub p50: (u64, u64),
+    /// Bracket around the 99th-percentile latency.
+    pub p99: (u64, u64),
+}
+
+/// Reply to `stats`. `latency` lists one `(op, summary)` per query
+/// op, in reply order.
+pub fn ok_stats(
+    s: &crate::engine::StatsReply,
+    pending: usize,
+    latency: &[(&str, LatencyStat)],
+) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"vertices\":{},\"edges\":{},\"triangles\":{},\"batches\":{},\"full_recounts\":{},\"pending\":{pending},\"query_latency_ns\":{{",
         s.vertices, s.edges, s.triangles, s.batches, s.full_recounts
-    )
+    );
+    for (i, (op, l)) in latency.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{op}\":{{\"n\":{},\"p50\":[{},{}],\"p99\":[{},{}]}}",
+            l.count, l.p50.0, l.p50.1, l.p99.0, l.p99.1
+        ));
+    }
+    out.push_str("}}");
+    out
 }
 
 /// Reply to `metrics`: the Prometheus exposition as a JSON string.

@@ -345,8 +345,41 @@ fn collect_metrics(comm: &Comm, metrics: Option<&MetricsHandle>) -> MpsResult<Op
     Ok(Some(tc_metrics::prometheus::to_prometheus(&merged)))
 }
 
+/// Distills the live per-op latency histograms into the `stats`
+/// reply's summary. Every op is present — and zero — even before its
+/// first query (the frontend pre-seeds the histograms).
+fn query_latency_summary(
+    metrics: Option<&MetricsHandle>,
+) -> Vec<(&'static str, proto::LatencyStat)> {
+    let merged = metrics.map(|h| h.snapshot().merged()).unwrap_or_default();
+    [
+        ("count", m::SERVE_QUERY_LATENCY_COUNT_NS),
+        ("support", m::SERVE_QUERY_LATENCY_SUPPORT_NS),
+        ("truss", m::SERVE_QUERY_LATENCY_TRUSS_NS),
+        ("stats", m::SERVE_QUERY_LATENCY_STATS_NS),
+    ]
+    .into_iter()
+    .map(|(op, name)| {
+        let stat = match merged.get(name) {
+            Some(tc_metrics::MetricValue::Hist(h)) => proto::LatencyStat {
+                count: h.count(),
+                p50: h.quantile_bounds(0.5).unwrap_or((0, 0)),
+                p99: h.quantile_bounds(0.99).unwrap_or((0, 0)),
+            },
+            _ => proto::LatencyStat::default(),
+        };
+        (op, stat)
+    })
+    .collect()
+}
+
 /// The rank-0 service loop plus its listener/connection threads.
 fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+    // Pre-seed the per-op latency histograms so exports and the
+    // `stats` reply show every op from the first snapshot on.
+    for &name in m::SERVE_QUERY_LATENCY {
+        tc_metrics::hist_touch(name);
+    }
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(&cfg.listen);
     let listener = UnixListener::bind(&cfg.listen).unwrap_or_else(|e| {
@@ -407,6 +440,17 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
         let Some(job) = gate.pop(deadline.saturating_duration_since(now)) else {
             continue;
         };
+
+        // Per-query latency: reads are timed from dequeue to reply
+        // construction (includes the read barrier and the collective).
+        let latency_hist = match &job.req {
+            Request::Count => Some(m::SERVE_QUERY_LATENCY_COUNT_NS),
+            Request::Support { .. } => Some(m::SERVE_QUERY_LATENCY_SUPPORT_NS),
+            Request::Truss { .. } => Some(m::SERVE_QUERY_LATENCY_TRUSS_NS),
+            Request::Stats | Request::Metrics => Some(m::SERVE_QUERY_LATENCY_STATS_NS),
+            Request::Update { .. } | Request::Flush | Request::Shutdown => None,
+        };
+        let query_started = Instant::now();
 
         let reply = match job.req {
             Request::Update { insert, delete } => {
@@ -469,7 +513,7 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
                 last_fleet_cmd = Instant::now();
                 let s = engine.stats(comm)?;
                 report.queries += 1;
-                proto::ok_stats(&s, pending.len())
+                proto::ok_stats(&s, pending.len(), &query_latency_summary(cfg.metrics.as_ref()))
             }
             Request::Metrics => {
                 comm.bcast(0, &[OP_METRICS])?;
@@ -487,6 +531,9 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
                 break 'serve;
             }
         };
+        if let Some(name) = latency_hist {
+            tc_metrics::hist_record(name, query_started.elapsed().as_nanos() as u64);
+        }
         let _ = job.reply.send(reply);
     }
 

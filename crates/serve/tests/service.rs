@@ -227,6 +227,12 @@ fn service_streams_updates_and_answers_queries() {
     let reply = client.request(&Request::Metrics).expect("metrics");
     let prom = reply.get("prometheus").and_then(Value::as_str).expect("exposition text");
     assert_eq!(prom_counter0(prom, "tc_serve_full_recounts"), 1);
+    // The per-op latency histograms are pre-seeded: all four appear
+    // in the exposition whether or not the op has been queried.
+    for op in ["count_ns", "support_ns", "truss_ns", "stats_ns"] {
+        let series = format!("tc_serve_query_latency_{op}_count{{rank=\"0\"}}");
+        assert!(prom.contains(&series), "latency series {series} missing:\n{prom}");
+    }
     let before = prom_counter0(prom, "tc_serve_batches_applied");
     assert_eq!(before, expected_batches);
     let fresh = (0..n as u32)
@@ -255,6 +261,20 @@ fn service_streams_updates_and_answers_queries() {
     assert!(u64_field(&stats, "batches") > 100, "acceptance: >100 applied batches");
     assert_eq!(u64_field(&stats, "edges"), reference.len() as u64);
     assert_eq!(u64_field(&stats, "full_recounts"), 1, "hot path never recounts");
+    // Per-query latency summary: every op is present in the reply,
+    // and the ops this test exercised carry samples with sane
+    // quantile brackets.
+    let lat = stats.get("query_latency_ns").expect("latency object in stats reply");
+    for op in ["count", "support", "truss", "stats"] {
+        let l = lat.get(op).unwrap_or_else(|| panic!("latency summary for {op:?} in {lat:?}"));
+        let n_samples = u64_field(l, "n");
+        assert!(n_samples > 0, "{op} queries were measured (n={n_samples})");
+        let p50 = l.get("p50").and_then(Value::as_arr).expect("p50 bracket");
+        let (lo, hi) = (p50[0].as_u64().unwrap(), p50[1].as_u64().unwrap());
+        assert!(lo <= hi && hi > 0, "{op} p50 bracket is sane: [{lo},{hi}]");
+        let p99 = l.get("p99").and_then(Value::as_arr).expect("p99 bracket");
+        assert!(p99[0].as_u64().unwrap() >= lo, "{op} p99 at or above p50");
+    }
     client.request(&Request::Shutdown).expect("shutdown");
 
     let (reports, _stats) = server.join().expect("server thread").expect("universe run");

@@ -1,26 +1,61 @@
 //! End-to-end seeded-regression demonstration for `benchdiff`: two
-//! real pipeline runs produce JSON-lines reports through the bench
-//! harness (`RunScope`), an identical-run diff passes, and a seeded
-//! perturbation — one deterministic counter nudged, one timing
-//! inflated beyond tolerance — flips the verdict to FAIL.
+//! real 5-try pipeline runs produce `tc-run-v2` reports through the
+//! bench harness (`RunScope`), an identical-run diff passes, seeded
+//! perturbations — a drifted deterministic counter, a genuine 2×
+//! slowdown judged by effect size — flip the verdict to FAIL, a
+//! noisy-but-equal pair passes where the old fixed band would have
+//! failed, and a `tc-run-v1` baseline still diffs against a v2
+//! candidate.
 
 use tc_bench::args::ExpArgs;
 use tc_bench::RunScope;
 use tc_metrics::diff::{diff_reports, DiffOptions};
-use tc_metrics::RunRecord;
+use tc_metrics::{RunRecord, TimingStats};
 
 fn report(dir: &std::path::Path, name: &str, el: &tc_graph::EdgeList) -> Vec<RunRecord> {
     let path = dir.join(name);
-    let args = ExpArgs { json: Some(path.to_string_lossy().into_owned()), ..ExpArgs::default() };
+    let args = ExpArgs {
+        json: Some(path.to_string_lossy().into_owned()),
+        tries: 5,
+        warmup: 1,
+        ..ExpArgs::default()
+    };
     let rs = RunScope::new(&args, None, "rmat-s8");
     let r = rs.count_2d_default(el, 4);
     assert!(r.triangles > 0, "reference graph should contain triangles");
     let text = std::fs::read_to_string(&path).expect("report written");
+    assert!(text.contains("\"schema\":\"tc-run-v2\""), "harness emits v2 records: {text}");
     RunRecord::parse_jsonl(&text).expect("report parses")
 }
 
+/// Serializes a record the way the pre-stats harness did: same run
+/// key and counters, but `tc-run-v1` schema with bare-integer (median)
+/// timings.
+fn v1_line(rec: &RunRecord) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"tc-run-v1\",\"dataset\":\"{}\",\"algorithm\":\"{}\",\"ranks\":{},\
+         \"config\":\"{}\",\"triangles\":{},\"counters\":{{",
+        rec.dataset, rec.algorithm, rec.ranks, rec.config, rec.triangles
+    );
+    for (i, (k, v)) in rec.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+    out.push_str("},\"timings_ns\":{");
+    for (i, (k, s)) in rec.timings_ns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{}", s.median));
+    }
+    out.push_str("}}");
+    out
+}
+
 #[test]
-fn identical_runs_pass_and_seeded_regressions_fail() {
+fn five_try_runs_pass_and_seeded_regressions_fail() {
     let el = tc_gen::rmat(8, 8, tc_gen::RmatParams::GRAPH500, 7).simplify();
     let dir = std::env::temp_dir().join(format!("tc_benchdiff_e2e_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -28,16 +63,22 @@ fn identical_runs_pass_and_seeded_regressions_fail() {
     let base = report(&dir, "base.jsonl", &el);
     let cand = report(&dir, "cand.jsonl", &el);
     std::fs::remove_dir_all(&dir).ok();
-    assert_eq!(base.len(), 1);
+    assert_eq!(base.len(), 1, "five tries aggregate into one record");
     assert_eq!(base[0].key(), cand[0].key(), "same run key across repeats");
+    for s in base[0].timings_ns.values() {
+        assert_eq!(s.tries, 5, "timings summarize all measured tries");
+    }
 
-    // Generous timing tolerance: this test is about determinism, the
-    // runs are tiny and wall-clock noise on CI is unbounded.
-    let opts = DiffOptions { tolerance: 1000.0, ..DiffOptions::default() };
-    let report = diff_reports(&base, &cand, &opts);
-    assert!(report.pass(), "identical pipeline runs must pass:\n{}", report.render());
+    // Generous effect thresholds: this part of the test is about
+    // determinism, the runs are tiny and wall-clock noise on CI is
+    // unbounded — two honest re-runs may genuinely differ.
+    let noise_proof =
+        DiffOptions { tolerance: 1000.0, min_effect: 1000.0, ..DiffOptions::default() };
+    let rep = diff_reports(&base, &cand, &noise_proof);
+    assert!(rep.pass(), "identical pipeline runs must pass:\n{}", rep.render());
 
     // Seeded regression 1: one deterministic counter drifts by 1.
+    // The hard gate is exact — no amount of tolerance forgives it.
     let mut perturbed = cand.clone();
     let (name, v) = {
         let (name, v) = perturbed[0].counters.iter().next().expect("counters recorded");
@@ -45,17 +86,50 @@ fn identical_runs_pass_and_seeded_regressions_fail() {
     };
     perturbed[0].counters.insert(name, v + 1);
     assert!(
-        !diff_reports(&base, &perturbed, &opts).pass(),
+        !diff_reports(&base, &perturbed, &noise_proof).pass(),
         "a drifted deterministic counter must fail the diff"
     );
 
-    // Seeded regression 2: one timing inflated far beyond tolerance.
-    let mut slow = cand.clone();
-    let (name, v) = {
-        let (name, v) = slow[0].timings_ns.iter().next().expect("timings recorded");
-        (name.clone(), *v)
-    };
-    slow[0].timings_ns.insert(name, v.saturating_mul(1_000_000).max(u64::MAX / 2));
-    let opts = DiffOptions { tolerance: 0.25, ..DiffOptions::default() };
-    assert!(!diff_reports(&base, &slow, &opts).pass(), "an inflated timing must fail the diff");
+    // Seeded regression 2: a genuine 2× slowdown at 5 tries, judged
+    // by effect size under the default options. The timing spread is
+    // seeded so the verdict is deterministic on any machine.
+    let timing = base[0].timings_ns.keys().next().expect("timings recorded").clone();
+    let ms = |v: &[u64]| -> Vec<u64> { v.iter().map(|&x| x * 1_000_000).collect() };
+    let mut steady = base.clone();
+    steady[0]
+        .timings_ns
+        .insert(timing.clone(), TimingStats::from_samples(&ms(&[98, 99, 100, 101, 102])).unwrap());
+    let mut doubled = steady.clone();
+    doubled[0].timings_ns.insert(
+        timing.clone(),
+        TimingStats::from_samples(&ms(&[196, 198, 200, 202, 204])).unwrap(),
+    );
+    let defaults = DiffOptions::default();
+    let rep = diff_reports(&steady, &doubled, &defaults);
+    assert!(!rep.pass(), "a seeded 2x slowdown must fail by effect size:\n{}", rep.render());
+    let rep = diff_reports(&steady, &steady.clone(), &defaults);
+    assert!(rep.pass(), "the unperturbed re-run must pass:\n{}", rep.render());
+
+    // Noisy-but-equal: +30% mean shift swamped by spread. The old
+    // fixed ±25% band would have failed this; the effect-size verdict
+    // recognizes the overlap and passes.
+    let mut noisy_base = base.clone();
+    noisy_base[0]
+        .timings_ns
+        .insert(timing.clone(), TimingStats::from_samples(&ms(&[70, 85, 100, 115, 130])).unwrap());
+    let mut noisy_cand = base.clone();
+    noisy_cand[0].timings_ns.insert(
+        timing.clone(),
+        TimingStats::from_samples(&ms(&[100, 115, 130, 145, 160])).unwrap(),
+    );
+    let rep = diff_reports(&noisy_base, &noisy_cand, &defaults);
+    assert!(rep.pass(), "a noisy-but-equal pair must pass under effect size:\n{}", rep.render());
+
+    // Backward compatibility: a v1 baseline (single-shot timings)
+    // diffs against the v2 candidate via the tolerance fallback.
+    let v1 = RunRecord::parse_jsonl(&v1_line(&base[0])).expect("v1 line parses");
+    assert_eq!(v1.len(), 1);
+    assert_eq!(v1[0].timings_ns.values().next().map(|s| s.tries), Some(1));
+    let rep = diff_reports(&v1, &cand, &noise_proof);
+    assert!(rep.pass(), "v1 baseline must diff against v2 candidate:\n{}", rep.render());
 }
