@@ -32,6 +32,11 @@ pub struct ExpArgs {
     pub tries: u64,
     /// Discarded warm-up repetitions run before the measured tries.
     pub warmup: u64,
+    /// Intersection-kernel strategy override for the 2D/SUMMA runs.
+    /// `None` keeps each experiment's own default. Seeded by the
+    /// `TC_KERNEL` environment variable (strict parse) in [`ExpArgs::parse`];
+    /// an explicit `--kernel` flag wins over the environment.
+    pub kernel: Option<tc_core::KernelStrategy>,
 }
 
 impl Default for ExpArgs {
@@ -47,6 +52,7 @@ impl Default for ExpArgs {
             metrics: None,
             tries: 1,
             warmup: 0,
+            kernel: None,
         }
     }
 }
@@ -65,13 +71,21 @@ impl ExpArgs {
     /// Parses `std::env::args`, exiting with a usage message on error.
     pub fn parse() -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(mut a) => {
+                // The flag wins; TC_KERNEL fills the gap (strict: a
+                // garbage value panics loudly naming the variable).
+                if a.kernel.is_none() {
+                    a.kernel = tc_core::KernelStrategy::from_env();
+                }
+                a
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: <bin> [--scale N] [--ranks a,b,c] [--preset NAME] \
                      [--seed S] [--csv PATH] [--json PATH] [--trace PATH] \
-                     [--metrics PATH] [--tries N] [--warmup K]"
+                     [--metrics PATH] [--tries N] [--warmup K] \
+                     [--kernel auto|hash|merge|bitmap]"
                 );
                 std::process::exit(2);
             }
@@ -122,10 +136,20 @@ impl ExpArgs {
                     }
                 }
                 "--warmup" => out.warmup = parse_count("--warmup", &value("--warmup")?)?,
+                "--kernel" => out.kernel = Some(value("--kernel")?.parse()?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         Ok(out)
+    }
+
+    /// The paper configuration with this invocation's kernel override
+    /// applied — the base config every experiment should start from.
+    pub fn base_config(&self) -> tc_core::TcConfig {
+        match self.kernel {
+            Some(k) => tc_core::TcConfig::paper().with_kernel(k),
+            None => tc_core::TcConfig::paper(),
+        }
     }
 
     /// The datasets this invocation covers: the single `--preset`, or
@@ -209,6 +233,20 @@ mod tests {
         assert!(parse(&["--warmup", "1.5"]).is_err());
         let a = parse(&["--tries", "3", "--warmup", "0"]).unwrap();
         assert_eq!((a.tries, a.warmup), (3, 0));
+    }
+
+    #[test]
+    fn kernel_flag_parses_strictly_and_feeds_base_config() {
+        use tc_core::KernelStrategy;
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.kernel, None);
+        assert_eq!(a.base_config(), tc_core::TcConfig::paper());
+        let a = parse(&["--kernel", "bitmap"]).unwrap();
+        assert_eq!(a.kernel, Some(KernelStrategy::Bitmap));
+        assert_eq!(a.base_config().kernel, KernelStrategy::Bitmap);
+        assert!(parse(&["--kernel"]).is_err());
+        assert!(parse(&["--kernel", "simd"]).is_err());
+        assert!(parse(&["--kernel", "Hash"]).is_err(), "strict: no case folding");
     }
 
     #[test]

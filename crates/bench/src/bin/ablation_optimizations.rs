@@ -8,7 +8,7 @@ use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::secs;
 use tc_bench::table::Table;
-use tc_core::{Enumeration, TcConfig};
+use tc_core::{Enumeration, KernelStrategy, TcConfig};
 use tc_gen::Preset;
 
 fn main() {
@@ -23,14 +23,22 @@ fn main() {
     let el = build_dataset(preset, args.seed);
     let rs = tc_bench::RunScope::new(&args, th.as_ref(), &preset.name());
 
+    // The legacy variants honor the invocation's --kernel/TC_KERNEL
+    // override; the kernel-* rows force each intersection strategy so
+    // the kernel ablation is always present (CI gates on the bitmap
+    // row absorbing physical probe lookups relative to the hash row).
+    let base = args.base_config();
     let variants: Vec<(&str, TcConfig)> = vec![
-        ("all-optimizations", TcConfig::paper()),
-        ("no-doubly-sparse", TcConfig::paper().with_doubly_sparse(false)),
-        ("no-direct-hash", TcConfig::paper().with_direct_hash(false)),
-        ("no-early-break", TcConfig::paper().with_reverse_early_break(false)),
-        ("enumeration-ijk", TcConfig::paper().with_enumeration(Enumeration::Ijk)),
-        ("no-overlap", TcConfig::paper().with_overlap_shifts(false)),
+        ("all-optimizations", base),
+        ("no-doubly-sparse", base.with_doubly_sparse(false)),
+        ("no-direct-hash", base.with_direct_hash(false)),
+        ("no-early-break", base.with_reverse_early_break(false)),
+        ("enumeration-ijk", base.with_enumeration(Enumeration::Ijk)),
+        ("no-overlap", base.with_overlap_shifts(false)),
         ("unoptimized", TcConfig::unoptimized()),
+        ("kernel-hash", TcConfig::paper().with_kernel(KernelStrategy::Hash)),
+        ("kernel-merge", TcConfig::paper().with_kernel(KernelStrategy::Merge)),
+        ("kernel-bitmap", TcConfig::paper().with_kernel(KernelStrategy::Bitmap)),
     ];
 
     for &p in &args.ranks {

@@ -5,7 +5,7 @@
 use tc_bench::args::ExpArgs;
 use tc_bench::build_dataset;
 use tc_bench::table::Table;
-use tc_core::{SummaGrid, TcConfig};
+use tc_core::SummaGrid;
 use tc_gen::Preset;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         &format!("Ablation: Cannon vs SUMMA, {}", preset.name()),
         &["variant", "ranks", "ppt-model(s)", "tct-model(s)", "bytes-sent", "tasks"],
     );
-    let cfg = TcConfig::paper();
+    let cfg = args.base_config();
 
     let mut push = |name: String, r: tc_core::TcResult| {
         t.row(vec![

@@ -250,9 +250,12 @@ impl<'a> RunScope<'a> {
         )
     }
 
-    /// Measured 2D count with the default configuration.
+    /// Measured 2D count with the default configuration (honoring the
+    /// invocation's `--kernel`/`TC_KERNEL` strategy override — the
+    /// deterministic counters are strategy-invariant, so the run
+    /// record key stays `default`).
     pub fn count_2d_default(&self, el: &EdgeList, p: usize) -> tc_core::TcResult {
-        self.count_2d(el, p, &tc_core::TcConfig::default(), "default")
+        self.count_2d(el, p, &self.args.base_config(), "default")
     }
 
     /// Measured SUMMA count; the grid shape joins the config key.

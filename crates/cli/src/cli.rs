@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use tc_core::{Enumeration, SummaGrid, TcConfig};
+use tc_core::{Enumeration, KernelStrategy, SummaGrid, TcConfig};
 use tc_gen::Preset;
 
 /// Which counting algorithm to run.
@@ -218,19 +218,19 @@ USAGE:
   tricount count  <FILE|PRESET> [--algorithm 2d|summa|serial|shared|aop|push|psp|wedge]
                   [--ranks N] [--grid RxC] [--seed S] [--stats]
                   [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
-                  [--no-early-break] [--no-overlap] [--trace FILE] [--metrics FILE]
-                  [--chaos SEED]
+                  [--no-early-break] [--no-overlap] [--kernel auto|hash|merge|bitmap]
+                  [--trace FILE] [--metrics FILE] [--chaos SEED]
   tricount serve-rank <FILE|PRESET> [--rank N --peers EP0,EP1,...] [--epoch E]
                   [--algorithm 2d|summa] [--grid RxC] [--seed S] [--chaos SEED]
                   [--metrics FILE] [--trace FILE] [--enumeration jik|ijk]
                   [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
-                  [--no-overlap]
+                  [--no-overlap] [--kernel auto|hash|merge|bitmap]
   tricount serve  <FILE|PRESET> --listen SOCK [--ranks N] [--rank N --peers EP0,...]
                   [--epoch E] [--algorithm 2d|summa] [--grid RxC] [--seed S]
                   [--chaos SEED] [--metrics FILE] [--json FILE] [--flush-ms MS]
                   [--max-batch N] [--queue N] [--tick-ms MS] [--enumeration jik|ijk]
                   [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
-                  [--no-overlap]
+                  [--no-overlap] [--kernel auto|hash|merge|bitmap]
   tricount query  <SOCK> count|stats|metrics|flush|shutdown [--timeout-ms MS]
   tricount query  <SOCK> support <U> <V> | truss <K> [--timeout-ms MS]
   tricount query  <SOCK> update [--insert U:V,...] [--delete U:V,...]
@@ -254,6 +254,14 @@ chrome://tracing, or inspect with `tricount tracecheck FILE`.
 --metrics FILE writes the per-rank tc-metrics snapshot (counters, gauges,
 histograms) as schema-versioned JSON; with --trace it is also embedded in
 the trace document under \"tcMetrics\".
+--kernel picks the set-intersection strategy of the 2D/SUMMA per-shift
+kernel: auto (default; per-row/per-task dispatch between the hash probe,
+the vectorized sorted-merge, and packed bitmap rows for hubs), or one of
+hash|merge|bitmap to force a strategy — counts, per-edge supports, and
+every deterministic counter are identical under all four. The TC_KERNEL
+environment variable supplies the default (strict parse: an invalid
+value aborts at startup, like the MPS_* family); an explicit --kernel
+flag wins over it.
 --chaos SEED runs the distributed algorithms over a deliberately faulty
 fabric (a seeded, deterministic fault plan injecting delays, drops,
 duplicates, reorders, truncations, and bit-flips on every link); the
@@ -321,8 +329,14 @@ fn parse_input(s: &str) -> Input {
     }
 }
 
-/// Parses an argument vector (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, String> {
+/// Parses an argument vector (without the program name), with an
+/// environment-supplied kernel-strategy default (`TC_KERNEL`, resolved
+/// by the caller so parsing stays pure): it seeds the config of the
+/// counting commands, and an explicit `--kernel` flag overrides it.
+pub fn parse_with_env(
+    args: &[String],
+    env_kernel: Option<KernelStrategy>,
+) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = match it.next() {
         None => return Ok(Command::Help),
@@ -369,6 +383,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut algorithm = Algorithm::TwoD;
             let mut grid = None;
             let mut config = TcConfig::paper();
+            if let Some(k) = env_kernel {
+                config.kernel = k;
+            }
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut chaos = None;
             let mut metrics = None;
@@ -437,6 +454,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--no-direct-hash" => config.direct_hash = false,
                     "--no-early-break" => config.reverse_early_break = false,
                     "--no-overlap" => config.overlap_shifts = false,
+                    "--kernel" => {
+                        config.kernel = it
+                            .next()
+                            .ok_or("--kernel needs a value (auto|hash|merge|bitmap)")?
+                            .parse()?;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -474,6 +497,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut algorithm = Algorithm::TwoD;
             let mut grid = None;
             let mut config = TcConfig::paper();
+            if let Some(k) = env_kernel {
+                config.kernel = k;
+            }
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut chaos = None;
             let mut metrics = None;
@@ -586,6 +612,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--no-direct-hash" => config.direct_hash = false,
                     "--no-early-break" => config.reverse_early_break = false,
                     "--no-overlap" => config.overlap_shifts = false,
+                    "--kernel" => {
+                        config.kernel = it
+                            .next()
+                            .ok_or("--kernel needs a value (auto|hash|merge|bitmap)")?
+                            .parse()?;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -724,6 +756,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let mut ranks = 4usize;
             let mut grid = None;
             let mut config = TcConfig::paper();
+            if let Some(k) = env_kernel {
+                config.kernel = k;
+            }
             let mut seed = tc_gen::DEFAULT_SEED;
             let mut stats = false;
             let mut trace = None;
@@ -769,6 +804,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--no-direct-hash" => config.direct_hash = false,
                     "--no-early-break" => config.reverse_early_break = false,
                     "--no-overlap" => config.overlap_shifts = false,
+                    "--kernel" => {
+                        config.kernel = it
+                            .next()
+                            .ok_or("--kernel needs a value (auto|hash|merge|bitmap)")?
+                            .parse()?;
+                    }
                     "--stats" => stats = true,
                     "--trace" => {
                         trace = Some(PathBuf::from(it.next().ok_or("--trace needs a path")?))
@@ -844,7 +885,7 @@ mod tests {
     use super::*;
 
     fn p(args: &[&str]) -> Result<Command, String> {
-        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        parse_with_env(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>(), None)
     }
 
     #[test]
@@ -1183,6 +1224,52 @@ mod tests {
         }
         assert!(p(&["tracecheck"]).is_err());
         assert!(p(&["tracecheck", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn kernel_flag_parses_on_all_counting_commands() {
+        match p(&["count", "g500-s8", "--kernel", "bitmap"]).unwrap() {
+            Command::Count { config, .. } => assert_eq!(config.kernel, KernelStrategy::Bitmap),
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve-rank", "g500-s6", "--kernel", "merge"]).unwrap() {
+            Command::ServeRank { config, .. } => assert_eq!(config.kernel, KernelStrategy::Merge),
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve", "g500-s6", "--listen", "/tmp/a", "--kernel", "hash"]).unwrap() {
+            Command::Serve { config, .. } => assert_eq!(config.kernel, KernelStrategy::Hash),
+            other => panic!("{other:?}"),
+        }
+        // Default without flag or env: auto.
+        match p(&["count", "g500-s8"]).unwrap() {
+            Command::Count { config, .. } => assert_eq!(config.kernel, KernelStrategy::Auto),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["count", "g500-s8", "--kernel"]).is_err());
+        assert!(p(&["count", "g500-s8", "--kernel", "simd"]).is_err());
+        assert!(p(&["count", "g500-s8", "--kernel", "Bitmap"]).is_err(), "strict: no case folding");
+    }
+
+    #[test]
+    fn kernel_env_seeds_default_and_flag_wins() {
+        let pe = |args: &[&str], env: Option<KernelStrategy>| {
+            parse_with_env(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>(), env)
+        };
+        // Env alone sets the strategy.
+        match pe(&["count", "g500-s8"], Some(KernelStrategy::Merge)).unwrap() {
+            Command::Count { config, .. } => assert_eq!(config.kernel, KernelStrategy::Merge),
+            other => panic!("{other:?}"),
+        }
+        // An explicit flag overrides the env default.
+        match pe(&["count", "g500-s8", "--kernel", "hash"], Some(KernelStrategy::Merge)).unwrap() {
+            Command::Count { config, .. } => assert_eq!(config.kernel, KernelStrategy::Hash),
+            other => panic!("{other:?}"),
+        }
+        // The env seed reaches the service commands too.
+        match pe(&["serve-rank", "g500-s6"], Some(KernelStrategy::Bitmap)).unwrap() {
+            Command::ServeRank { config, .. } => assert_eq!(config.kernel, KernelStrategy::Bitmap),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

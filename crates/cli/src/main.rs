@@ -33,7 +33,9 @@ impl From<String> for AppError {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse(&args) {
+    // TC_KERNEL seeds the kernel-strategy default (strict parse: an
+    // invalid value panics here, before any work); --kernel overrides.
+    match cli::parse_with_env(&args, tc_core::KernelStrategy::from_env()) {
         Ok(cmd) => match run(cmd) {
             Ok(()) => {}
             Err(AppError::Input(msg)) => {

@@ -88,6 +88,40 @@ fn chaos_flag_still_counts_exactly() {
 }
 
 #[test]
+fn kernel_strategies_all_count_exactly() {
+    let line = |s: &str| {
+        s.lines().find(|l| l.starts_with("triangles")).map(str::to_string).expect("triangles line")
+    };
+    let base = run(&["count", "g500-s5", "--ranks", "4", "--seed", "7", "--kernel", "hash"]);
+    assert_eq!(base.status.code(), Some(0), "{}", stderr(&base));
+    for kernel in ["auto", "merge", "bitmap"] {
+        let out = run(&["count", "g500-s5", "--ranks", "4", "--seed", "7", "--kernel", kernel]);
+        assert_eq!(out.status.code(), Some(0), "--kernel {kernel}: {}", stderr(&out));
+        assert_eq!(line(&stdout(&out)), line(&stdout(&base)), "--kernel {kernel}");
+    }
+}
+
+#[test]
+fn kernel_env_seeds_the_run_and_garbage_aborts_loudly() {
+    // A valid TC_KERNEL is accepted and the run still counts exactly.
+    let ok = tricount()
+        .args(["count", "g500-s5", "--ranks", "4", "--seed", "7"])
+        .env("TC_KERNEL", "merge")
+        .output()
+        .expect("spawn tricount");
+    assert_eq!(ok.status.code(), Some(0), "{}", stderr(&ok));
+    // Garbage must abort before any work, naming the variable (the
+    // strict_env contract of the MPS_* family).
+    let bad = tricount()
+        .args(["count", "g500-s5", "--ranks", "4"])
+        .env("TC_KERNEL", "warp-drive")
+        .output()
+        .expect("spawn tricount");
+    assert_ne!(bad.status.code(), Some(0));
+    assert!(stderr(&bad).contains("TC_KERNEL"), "{}", stderr(&bad));
+}
+
+#[test]
 fn dead_link_from_env_is_runtime_exit_one() {
     let out = tricount()
         .args(["count", "g500-s5", "--ranks", "4"])

@@ -20,7 +20,7 @@ use tc_mps::{Comm, Grid, MpsError, MpsResult};
 use crate::blocks::{BlockView, SparseBlock, SparseBlockRef};
 use crate::config::TcConfig;
 use crate::count::count_shift;
-use crate::hashmap::IntersectMap;
+use crate::intersect::{KernelState, KernelStats};
 use crate::preprocess::PrepOutput;
 
 /// Per-rank outcome of the counting phase.
@@ -37,6 +37,8 @@ pub struct CountOutput {
     pub tasks: u64,
     /// Final intersection-map statistics.
     pub map_stats: crate::hashmap::MapStats,
+    /// Adaptive-kernel dispatch tallies (`tct.kernel.*`).
+    pub kernel_stats: KernelStats,
     /// When requested: `(a, b, support)` for every task of this rank,
     /// in degree-order labels, zero-support tasks included.
     pub per_edge: Option<Vec<(u32, u32, u64)>>,
@@ -71,7 +73,7 @@ fn compute_step<H: BlockView, P: BlockView>(
     task: &SparseBlock,
     hash: &H,
     probe: &P,
-    map: &mut IntersectMap,
+    ks: &mut KernelState,
     q: usize,
     cfg: &TcConfig,
     z: usize,
@@ -85,8 +87,8 @@ fn compute_step<H: BlockView, P: BlockView>(
         tc_trace::span(tc_trace::names::SHIFT_COMPUTE, tc_trace::Category::Shift)
             .arg("z", z as u64);
     let found = match hits.as_mut() {
-        None => count_shift(task, hash, probe, map, q, cfg, tasks),
-        Some(h) => crate::count::count_shift_recording(task, hash, probe, map, q, cfg, tasks, {
+        None => count_shift(task, hash, probe, ks, q, cfg, tasks),
+        Some(h) => crate::count::count_shift_recording(task, hash, probe, ks, q, cfg, tasks, {
             |idx, k| h.push((idx as u32, k))
         }),
     };
@@ -109,7 +111,7 @@ fn cannon_count_impl(
     let ublock_init = std::mem::replace(&mut prep.ublock, SparseBlock::empty(0));
     let lblock_init = std::mem::replace(&mut prep.lblock, SparseBlock::empty(0));
 
-    let mut map = IntersectMap::new(prep.max_hash_row, q);
+    let mut ks = KernelState::new(prep.max_hash_row, q);
     let mut local = 0u64;
     let mut tasks = 0u64;
     let mut shift_compute = Vec::with_capacity(q);
@@ -122,7 +124,7 @@ fn cannon_count_impl(
             &prep.task,
             &ublock_init,
             &lblock_init,
-            &mut map,
+            &mut ks,
             q,
             cfg,
             0,
@@ -175,7 +177,7 @@ fn cannon_count_impl(
                 &prep.task,
                 &hash,
                 &probe,
-                &mut map,
+                &mut ks,
                 q,
                 cfg,
                 z,
@@ -228,7 +230,7 @@ fn cannon_count_impl(
                 &prep.task,
                 &ublock,
                 &lblock,
-                &mut map,
+                &mut ks,
                 q,
                 cfg,
                 z,
@@ -259,11 +261,11 @@ fn cannon_count_impl(
         }
     }
 
-    tc_metrics::gauge_max(mnames::HASH_SLOTS, map.table_size() as u64);
+    tc_metrics::gauge_max(mnames::HASH_SLOTS, ks.map.table_size() as u64);
     tc_metrics::gauge_max(mnames::HASH_MAX_ROW, prep.max_hash_row as u64);
     tc_metrics::gauge_max(
         mnames::HASH_LOAD_PCT,
-        (prep.max_hash_row * 100 / map.table_size().max(1)) as u64,
+        (prep.max_hash_row * 100 / ks.map.table_size().max(1)) as u64,
     );
 
     let triangles = comm.allreduce_sum_u64(local)?;
@@ -276,7 +278,8 @@ fn cannon_count_impl(
         local_triangles: local,
         shift_compute,
         tasks,
-        map_stats: map.stats,
+        map_stats: ks.map.stats,
+        kernel_stats: ks.stats,
         per_edge,
     })
 }

@@ -16,6 +16,71 @@ pub enum Enumeration {
     Jik,
 }
 
+/// Which set-intersection strategy the per-shift kernel uses for each
+/// task (see `crate::intersect`).
+///
+/// Whatever the strategy, the row is always loaded into the
+/// [`crate::hashmap::IntersectMap`] first — its mode decision
+/// (direct vs probing) both gates the fast strategies and keeps the
+/// deterministic insert/row-mode counters identical across strategies.
+/// Merge and bitmap only ever replace *direct-mode* probes (which cost
+/// zero probe steps), so every legacy counter — triangles, supports,
+/// tasks, probes, lookups — is bit-identical under all four settings;
+/// rows that fall back to probing mode take the hash path regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// Per-row/per-task heuristic dispatch from row-length and density
+    /// stats: packed bit rows for hub rows, vectorized merge when the
+    /// hash row is not much longer than the probe candidates, hash
+    /// otherwise. The default.
+    Auto,
+    /// Always the paper's hash probe (the pre-adaptive behavior).
+    Hash,
+    /// Vectorized sorted-merge for every direct-mode row.
+    Merge,
+    /// Packed bit rows for every direct-mode row.
+    Bitmap,
+}
+
+impl KernelStrategy {
+    /// Environment variable consulted by the binaries (strict parse:
+    /// garbage panics at construction, like the `MPS_*` family).
+    pub const ENV: &'static str = "TC_KERNEL";
+
+    /// Resolves [`KernelStrategy::ENV`] via the same strict rules as
+    /// the `MPS_*` environment family: unset means `None`, anything
+    /// set must parse or the process panics loudly naming the
+    /// variable.
+    pub fn from_env() -> Option<Self> {
+        tc_mps::strict_env::<Self>(Self::ENV, "kernel strategy (auto|hash|merge|bitmap)")
+    }
+}
+
+impl std::str::FromStr for KernelStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "auto" => Self::Auto,
+            "hash" => Self::Hash,
+            "merge" => Self::Merge,
+            "bitmap" => Self::Bitmap,
+            other => return Err(format!("unknown kernel strategy {other:?}")),
+        })
+    }
+}
+
+impl std::fmt::Display for KernelStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Auto => "auto",
+            Self::Hash => "hash",
+            Self::Merge => "merge",
+            Self::Bitmap => "bitmap",
+        })
+    }
+}
+
 /// Knobs for [`crate::count_triangles`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcConfig {
@@ -38,6 +103,10 @@ pub struct TcConfig {
     /// deserialize-compute-reserialize schedule, kept for ablation.
     /// Default on.
     pub overlap_shifts: bool,
+    /// Set-intersection strategy for the per-shift kernel. Default
+    /// [`KernelStrategy::Auto`]; [`KernelStrategy::Hash`] is the
+    /// pre-adaptive behavior kept for the ablation.
+    pub kernel: KernelStrategy,
 }
 
 impl Default for TcConfig {
@@ -48,6 +117,7 @@ impl Default for TcConfig {
             direct_hash: true,
             reverse_early_break: true,
             overlap_shifts: true,
+            kernel: KernelStrategy::Auto,
         }
     }
 }
@@ -67,6 +137,7 @@ impl TcConfig {
             direct_hash: false,
             reverse_early_break: false,
             overlap_shifts: false,
+            kernel: KernelStrategy::Hash,
         }
     }
 
@@ -97,6 +168,12 @@ impl TcConfig {
     /// Builder-style toggle.
     pub fn with_overlap_shifts(mut self, on: bool) -> Self {
         self.overlap_shifts = on;
+        self
+    }
+
+    /// Builder-style strategy selection.
+    pub fn with_kernel(mut self, k: KernelStrategy) -> Self {
+        self.kernel = k;
         self
     }
 }
@@ -132,5 +209,31 @@ mod tests {
     fn overlap_toggle() {
         assert!(TcConfig::default().overlap_shifts);
         assert!(!TcConfig::default().with_overlap_shifts(false).overlap_shifts);
+    }
+
+    #[test]
+    fn kernel_strategy_parses_and_displays() {
+        for (s, k) in [
+            ("auto", KernelStrategy::Auto),
+            ("hash", KernelStrategy::Hash),
+            ("merge", KernelStrategy::Merge),
+            ("bitmap", KernelStrategy::Bitmap),
+        ] {
+            assert_eq!(s.parse::<KernelStrategy>().unwrap(), k);
+            assert_eq!(k.to_string(), s);
+        }
+        assert!("simd".parse::<KernelStrategy>().is_err());
+        assert!("".parse::<KernelStrategy>().is_err());
+        assert!("Auto".parse::<KernelStrategy>().is_err(), "strict: no case folding");
+    }
+
+    #[test]
+    fn kernel_defaults() {
+        assert_eq!(TcConfig::default().kernel, KernelStrategy::Auto);
+        // The ablation baseline pins the pre-adaptive kernel.
+        assert_eq!(TcConfig::unoptimized().kernel, KernelStrategy::Hash);
+        let c = TcConfig::paper().with_kernel(KernelStrategy::Bitmap);
+        assert_eq!(c.kernel, KernelStrategy::Bitmap);
+        assert!(c.direct_hash, "strategy choice leaves the other knobs alone");
     }
 }

@@ -53,7 +53,7 @@ pub fn count_rank_from(
     let out = crate::cannon::cannon_count(comm, prep, cfg)?;
     metrics.finish_tct(phase.finish()?);
 
-    metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+    metrics.record_kernel(&out.map_stats, &out.kernel_stats, out.tasks, out.local_triangles);
     metrics.record_shift_compute(out.shift_compute);
     Ok((out.triangles, metrics))
 }
@@ -78,7 +78,7 @@ fn per_edge_rank(
     let out = crate::cannon::cannon_count_per_edge(comm, prep, cfg)?;
     metrics.finish_tct(phase.finish()?);
 
-    metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+    metrics.record_kernel(&out.map_stats, &out.kernel_stats, out.tasks, out.local_triangles);
     metrics.record_shift_compute(out.shift_compute);
 
     // Gather label maps and per-task supports on rank 0 for the
@@ -389,7 +389,7 @@ pub fn try_count_triangles_from_root_observed(
         let out = crate::cannon::cannon_count(comm, prep, cfg)?;
         metrics.finish_tct(phase.finish()?);
 
-        metrics.record_kernel(&out.map_stats, out.tasks, out.local_triangles);
+        metrics.record_kernel(&out.map_stats, &out.kernel_stats, out.tasks, out.local_triangles);
         metrics.record_shift_compute(out.shift_compute);
         Ok((out.triangles, metrics))
     })?;

@@ -30,6 +30,12 @@ pub struct MapStats {
     pub lookups: u64,
     /// Extra probe steps beyond the home slot (inserts + lookups).
     pub probe_steps: u64,
+    /// Row loads satisfied from the still-loaded table because the
+    /// caller re-presented the identical row (see
+    /// [`IntersectMap::load_row`]). Replayed loads bump the other
+    /// counters exactly as a fresh load would, so this is purely
+    /// additive observability.
+    pub reused_rows: u64,
 }
 
 const HASH_MULT: u32 = 0x9e37_79b1;
@@ -47,8 +53,25 @@ pub struct IntersectMap {
     q: u32,
     /// Mode of the currently loaded row.
     direct: bool,
+    /// Identity of the currently loaded row — `(ptr, len, allow_direct)`
+    /// — plus the stat deltas its load produced, so an identical
+    /// consecutive load can be skipped and replayed. `None` whenever
+    /// the table contents can no longer be trusted to match (growth,
+    /// generation wrap, or an explicit cross-shift invalidation).
+    loaded: Option<LoadedRow>,
     /// Lifetime counters.
     pub stats: MapStats,
+}
+
+/// Cache key + replay record of the last [`IntersectMap::load_row`].
+#[derive(Debug, Clone, Copy)]
+struct LoadedRow {
+    ptr: usize,
+    len: usize,
+    allow_direct: bool,
+    direct: bool,
+    /// Probe steps the original (probing-mode) load charged.
+    insert_probe_steps: u64,
 }
 
 impl IntersectMap {
@@ -64,6 +87,7 @@ impl IntersectMap {
             shift: 32 - size.trailing_zeros(),
             q: q.max(1) as u32,
             direct: false,
+            loaded: None,
             stats: MapStats::default(),
         }
     }
@@ -71,6 +95,29 @@ impl IntersectMap {
     /// Table size.
     pub fn table_size(&self) -> usize {
         self.keys.len()
+    }
+
+    /// The hash transform divisor (the grid side `q` this map divides
+    /// keys by). The bitmap strategy indexes its bit rows by the same
+    /// transformed local column.
+    pub fn stride(&self) -> u32 {
+        self.q
+    }
+
+    /// Drops the consecutive-load cache. Must be called between shifts:
+    /// operand buffers are swapped, so a new row at a recycled address
+    /// must not replay as the old one.
+    pub fn invalidate_row_cache(&mut self) {
+        self.loaded = None;
+    }
+
+    /// Credits `n` lookups without touching the table, for strategies
+    /// that answer membership outside the map (merge, bitmap) but must
+    /// keep the deterministic lookup counter identical to what the
+    /// hash loop would have recorded.
+    #[inline]
+    pub fn credit_lookups(&mut self, n: u64) {
+        self.stats.lookups += n;
     }
 
     /// Grows the table so a `row_len`-entry row loads at ≤ 50%
@@ -88,6 +135,7 @@ impl IntersectMap {
         self.generation = 0;
         self.mask = (size - 1) as u32;
         self.shift = 32 - size.trailing_zeros();
+        self.loaded = None;
     }
 
     #[inline]
@@ -96,6 +144,7 @@ impl IntersectMap {
         if self.generation == 0 {
             self.stamps.fill(0);
             self.generation = 1;
+            self.loaded = None;
         }
     }
 
@@ -116,7 +165,33 @@ impl IntersectMap {
     /// assignment; on the first observed collision the row is reloaded
     /// in probing mode. With `allow_direct == false` every row uses
     /// probing (the ablation's "unmodified hashing routine").
+    ///
+    /// Consecutive loads of the *identical* row (same slice identity
+    /// and mode — rows are immutable within a shift) skip the table
+    /// rebuild: the contents are still loaded under the live
+    /// generation, so the load is replayed by bumping the stat
+    /// counters exactly as a fresh load would and counting one
+    /// [`MapStats::reused_rows`]. Callers must
+    /// [`IntersectMap::invalidate_row_cache`] when row storage may be
+    /// recycled (between shifts).
     pub fn load_row(&mut self, row: &[u32], allow_direct: bool) {
+        if let Some(c) = self.loaded {
+            if c.ptr == row.as_ptr() as usize
+                && c.len == row.len()
+                && c.allow_direct == allow_direct
+            {
+                self.stats.inserts += row.len() as u64;
+                if c.direct {
+                    self.stats.direct_rows += 1;
+                } else {
+                    self.stats.probed_rows += 1;
+                    self.stats.probe_steps += c.insert_probe_steps;
+                }
+                self.stats.reused_rows += 1;
+                self.direct = c.direct;
+                return;
+            }
+        }
         self.reserve_row(row.len());
         self.stats.inserts += row.len() as u64;
         if allow_direct {
@@ -134,6 +209,13 @@ impl IntersectMap {
             if clean {
                 self.direct = true;
                 self.stats.direct_rows += 1;
+                self.loaded = Some(LoadedRow {
+                    ptr: row.as_ptr() as usize,
+                    len: row.len(),
+                    allow_direct,
+                    direct: true,
+                    insert_probe_steps: 0,
+                });
                 return;
             }
         }
@@ -141,6 +223,7 @@ impl IntersectMap {
         self.bump_generation();
         self.direct = false;
         self.stats.probed_rows += 1;
+        let steps_before = self.stats.probe_steps;
         for &k in row {
             let mut s = self.hash_slot(k);
             while self.stamps[s as usize] == self.generation {
@@ -151,6 +234,13 @@ impl IntersectMap {
             self.stamps[s as usize] = self.generation;
             self.keys[s as usize] = k;
         }
+        self.loaded = Some(LoadedRow {
+            ptr: row.as_ptr() as usize,
+            len: row.len(),
+            allow_direct,
+            direct: false,
+            insert_probe_steps: self.stats.probe_steps - steps_before,
+        });
     }
 
     /// Whether the current row is served by the direct fast path.
@@ -291,5 +381,85 @@ mod tests {
         m.load_row(&[], true);
         assert!(m.is_direct());
         assert!(!m.contains(0));
+    }
+
+    #[test]
+    fn consecutive_identical_loads_replay_stats_exactly() {
+        // Regression (adaptive-kernel PR): re-presenting the identical
+        // row must skip the rebuild yet leave every legacy counter
+        // exactly as two fresh loads would — the counted reuse is what
+        // lets `auto` dispatch trust per-row amortization.
+        let row = vec![1u32, 4, 7, 10];
+        let mut twice = IntersectMap::new(8, 3);
+        twice.load_row(&row, true);
+        twice.load_row(&row, true);
+        let mut fresh = IntersectMap::new(8, 3);
+        fresh.load_row(&row, true);
+        let once = fresh.stats;
+        assert_eq!(twice.stats.reused_rows, 1);
+        assert_eq!(twice.stats.inserts, 2 * once.inserts);
+        assert_eq!(twice.stats.direct_rows, 2 * once.direct_rows);
+        assert_eq!(twice.stats.probed_rows, 0);
+        assert!(twice.is_direct());
+        assert!(twice.contains(7), "replayed load must leave the row queryable");
+        assert!(!twice.contains(13));
+
+        // An explicit invalidation (the between-shifts contract) forces
+        // a genuine reload.
+        twice.invalidate_row_cache();
+        twice.load_row(&row, true);
+        assert_eq!(twice.stats.reused_rows, 1);
+        assert_eq!(twice.stats.direct_rows, 3);
+    }
+
+    #[test]
+    fn probing_replay_recharges_insert_probe_steps() {
+        let mut m = IntersectMap::new(4, 1);
+        let target = m.hash_slot(1);
+        let other = (2..10_000u32).find(|&k| m.hash_slot(k) == target).expect("collision");
+        let row = vec![1, other];
+        m.load_row(&row, false);
+        let once = m.stats;
+        assert!(once.probe_steps > 0);
+        m.load_row(&row, false);
+        assert_eq!(m.stats.reused_rows, 1);
+        assert_eq!(m.stats.probed_rows, 2 * once.probed_rows);
+        assert_eq!(m.stats.probe_steps, 2 * once.probe_steps);
+        assert_eq!(m.stats.inserts, 2 * once.inserts);
+        assert!(m.contains(1) && m.contains(other));
+    }
+
+    #[test]
+    fn mode_change_defeats_the_reuse_cache() {
+        let row = vec![1u32, 4, 7];
+        let mut m = IntersectMap::new(8, 3);
+        m.load_row(&row, true);
+        m.load_row(&row, false); // same slice, different mode: reload
+        assert_eq!(m.stats.reused_rows, 0);
+        assert_eq!(m.stats.direct_rows, 1);
+        assert_eq!(m.stats.probed_rows, 1);
+        assert!(!m.is_direct());
+    }
+
+    #[test]
+    fn different_row_at_same_length_reloads() {
+        let a = vec![1u32, 4, 7];
+        let b = vec![10u32, 13, 16];
+        let mut m = IntersectMap::new(8, 3);
+        m.load_row(&a, true);
+        m.load_row(&b, true);
+        assert_eq!(m.stats.reused_rows, 0);
+        assert!(m.contains(10) && !m.contains(1));
+    }
+
+    #[test]
+    fn credited_lookups_count_without_probing() {
+        let mut m = IntersectMap::new(8, 1);
+        m.load_row(&[1, 2], true);
+        m.credit_lookups(5);
+        assert_eq!(m.stats.lookups, 5);
+        assert_eq!(m.stats.probe_steps, 0);
+        m.contains(1);
+        assert_eq!(m.stats.lookups, 6);
     }
 }

@@ -26,17 +26,19 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod blocks;
 pub mod cannon;
 pub mod config;
 pub mod count;
 pub mod driver;
 pub mod hashmap;
+pub mod intersect;
 pub mod metrics;
 pub mod preprocess;
 pub mod summa;
 
-pub use config::{Enumeration, TcConfig};
+pub use config::{Enumeration, KernelStrategy, TcConfig};
 pub use driver::{
     count_per_edge, count_rank_from, count_triangles, count_triangles_default,
     count_triangles_from_root, try_count_per_edge, try_count_per_edge_observed,
@@ -45,6 +47,7 @@ pub use driver::{
     try_count_triangles_from_root_traced, try_count_triangles_observed, try_count_triangles_socket,
     try_count_triangles_traced, EdgeSupport,
 };
+pub use intersect::{KernelState, KernelStats};
 pub use metrics::{CommPhase, PhaseSample, RankMetrics, TcResult};
 pub use preprocess::BlockInput;
 pub use summa::{

@@ -90,11 +90,18 @@ impl RankMetrics {
         tc_metrics::counter_add(mnames::TCT_COMM_NS, sample.comm.as_nanos() as u64);
     }
 
-    /// Records the intersection-kernel outcome (map statistics, task
-    /// count, locally found triangles) into both this struct and the
-    /// live metrics registry — one write path for both views, so the
-    /// deterministic counters cannot diverge.
-    pub fn record_kernel(&mut self, stats: &MapStats, tasks: u64, local_triangles: u64) {
+    /// Records the intersection-kernel outcome (map statistics,
+    /// adaptive-dispatch tallies, task count, locally found triangles)
+    /// into both this struct and the live metrics registry — one write
+    /// path for both views, so the deterministic counters cannot
+    /// diverge.
+    pub fn record_kernel(
+        &mut self,
+        stats: &MapStats,
+        kernel: &crate::intersect::KernelStats,
+        tasks: u64,
+        local_triangles: u64,
+    ) {
         self.tasks = tasks;
         self.probes = stats.probe_steps;
         self.lookups = stats.lookups;
@@ -109,6 +116,17 @@ impl RankMetrics {
         tc_metrics::counter_add(mnames::TCT_PROBED_ROWS, stats.probed_rows);
         tc_metrics::counter_add(mnames::TCT_OPS, self.tct_ops);
         tc_metrics::counter_add(mnames::TCT_TRIANGLES, local_triangles);
+        // Adaptive-kernel observability: which strategy served how
+        // many tasks/lookups. Purely additive — the legacy counters
+        // above stay bit-identical across strategies.
+        tc_metrics::counter_add(mnames::TCT_KERNEL_HASH_TASKS, kernel.hash_tasks);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_MERGE_TASKS, kernel.merge_tasks);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_BITMAP_TASKS, kernel.bitmap_tasks);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_BITMAP_ROWS, kernel.bitmap_rows);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_HASH_LOOKUPS, kernel.hash_lookups);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_MERGE_LOOKUPS, kernel.merge_lookups);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_BITMAP_LOOKUPS, kernel.bitmap_lookups);
+        tc_metrics::counter_add(mnames::TCT_KERNEL_MAP_REUSES, stats.reused_rows);
     }
 
     /// Stores the per-shift compute durations, feeding each sample

@@ -24,7 +24,7 @@ use tc_mps::{Comm, MpsResult, Observe, RecvRequest, SocketConfig, Universe};
 
 use crate::blocks::{SparseBlock, SparseBlockRef};
 use crate::config::{Enumeration, TcConfig};
-use crate::hashmap::IntersectMap;
+use crate::intersect::KernelState;
 use crate::metrics::{CommPhase, RankMetrics, TcResult};
 use crate::preprocess::{relabel_phase_from, BlockInput};
 
@@ -374,7 +374,7 @@ pub fn summa_rank_from(
         let phase = CommPhase::begin(comm, tc_trace::names::PHASE_TCT)?;
         // Panels are contiguous in k, so the map hashes raw ids
         // (stride 1) rather than the Cannon path's `k ÷ q` transform.
-        let mut map = IntersectMap::new(max_hash_row, 1);
+        let mut ks = KernelState::new(max_hash_row, 1);
         let mut local = 0u64;
         let mut tasks = 0u64;
         let row_members: Vec<usize> = (0..grid.pc).map(|yy| grid.rank_of(x, yy)).collect();
@@ -431,7 +431,7 @@ pub fn summa_rank_from(
                     &task,
                     &hash_block,
                     &probe_block,
-                    &mut map,
+                    &mut ks,
                     grid.pc,
                     cfg,
                     &mut tasks,
@@ -492,7 +492,7 @@ pub fn summa_rank_from(
                     &task,
                     &hash_block,
                     &probe_block,
-                    &mut map,
+                    &mut ks,
                     grid.pc,
                     cfg,
                     &mut tasks,
@@ -506,13 +506,13 @@ pub fn summa_rank_from(
         drop(panel_mem);
         metrics.finish_tct(phase.finish()?);
 
-        tc_metrics::gauge_max(mnames::HASH_SLOTS, map.table_size() as u64);
+        tc_metrics::gauge_max(mnames::HASH_SLOTS, ks.map.table_size() as u64);
         tc_metrics::gauge_max(mnames::HASH_MAX_ROW, max_hash_row as u64);
         tc_metrics::gauge_max(
             mnames::HASH_LOAD_PCT,
-            (max_hash_row * 100 / map.table_size().max(1)) as u64,
+            (max_hash_row * 100 / ks.map.table_size().max(1)) as u64,
         );
-        metrics.record_kernel(&map.stats, tasks, local);
+        metrics.record_kernel(&ks.map.stats, &ks.stats, tasks, local);
         metrics.record_shift_compute(shift_compute);
         Ok((triangles, metrics))
     }

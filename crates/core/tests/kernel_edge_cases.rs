@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use tc_baselines::serial;
 use tc_core::blocks::SparseBlock;
 use tc_core::count::count_shift;
-use tc_core::hashmap::IntersectMap;
+use tc_core::intersect::KernelState;
 use tc_core::{count_triangles, TcConfig};
 use tc_gen::er::gnm;
 use tc_gen::graph500;
@@ -37,9 +37,9 @@ fn kernel_count(el: &EdgeList, cfg: &TcConfig) -> u64 {
     let ublock = SparseBlock::from_pairs(n, 1, &mut u_pairs);
     let pblock = SparseBlock::from_pairs(n, 1, &mut p_pairs);
     let task = SparseBlock::from_pairs(n, 1, &mut t_pairs);
-    let mut map = IntersectMap::new(ublock.max_row_len(), 1);
+    let mut ks = KernelState::new(ublock.max_row_len(), 1);
     let mut tasks = 0u64;
-    count_shift(&task, &ublock, &pblock, &mut map, 1, cfg, &mut tasks)
+    count_shift(&task, &ublock, &pblock, &mut ks, 1, cfg, &mut tasks)
 }
 
 /// Adds `isolated` unreferenced vertices and, when `hub` is set, one

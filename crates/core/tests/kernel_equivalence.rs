@@ -1,0 +1,213 @@
+//! Kernel-strategy equivalence: every intersection strategy (auto,
+//! merge, bitmap) must be *observationally identical* to the paper's
+//! hash probe in everything but wall time — triangle counts, per-edge
+//! supports, task counts, probe/lookup/row-mode statistics, all exactly
+//! equal, on RMAT and Erdős–Rényi inputs (deformed with isolated
+//! vertices and a maximum-degree hub), across every square rank count
+//! and on rectangular SUMMA grids. Additionally, the `tct.kernel.*`
+//! observability counters must partition the legacy lookup counter and
+//! be present (and zero where a strategy never engages).
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use tc_core::{
+    try_count_per_edge, try_count_triangles, try_count_triangles_observed,
+    try_count_triangles_summa, KernelStrategy, SummaGrid, TcConfig,
+};
+use tc_gen::er::gnm;
+use tc_gen::{rmat, RmatParams};
+use tc_graph::EdgeList;
+use tc_mps::Observe;
+
+/// The metrics recording gate is process-global; tests that open a
+/// session must not overlap.
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn mlock() -> std::sync::MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const STRATEGIES: [KernelStrategy; 4] =
+    [KernelStrategy::Hash, KernelStrategy::Auto, KernelStrategy::Merge, KernelStrategy::Bitmap];
+
+fn cfg_of(k: KernelStrategy) -> TcConfig {
+    TcConfig::paper().with_kernel(k)
+}
+
+/// Adds `isolated` unreferenced vertices and, when `hub` is set, one
+/// vertex adjacent to every original vertex (the maximum-degree case —
+/// the row shape the bitmap strategy exists for).
+fn deform(el: EdgeList, isolated: usize, hub: bool) -> EdgeList {
+    let base = el.num_vertices;
+    let mut edges = el.edges;
+    let mut n = base + isolated;
+    if hub {
+        let h = n as u32;
+        edges.extend((0..base as u32).map(|v| (v, h)));
+        n += 1;
+    }
+    EdgeList::new(n, edges).simplify()
+}
+
+/// Runs every strategy on `el` at `p` ranks and asserts the full
+/// deterministic output matches the hash oracle.
+fn assert_strategies_equivalent(el: &EdgeList, p: usize) {
+    let oracle = try_count_triangles(el, p, &cfg_of(KernelStrategy::Hash)).expect("hash run");
+    for k in STRATEGIES {
+        let r = try_count_triangles(el, p, &cfg_of(k)).expect("strategy run");
+        assert_eq!(r.triangles, oracle.triangles, "{k} p={p}: triangles");
+        assert_eq!(r.total_tasks(), oracle.total_tasks(), "{k} p={p}: tasks");
+        assert_eq!(r.total_probes(), oracle.total_probes(), "{k} p={p}: probes");
+        assert_eq!(r.total_lookups(), oracle.total_lookups(), "{k} p={p}: lookups");
+        for (rank, (ra, rb)) in r.ranks.iter().zip(&oracle.ranks).enumerate() {
+            assert_eq!(ra.local_triangles, rb.local_triangles, "{k} p={p} rank {rank}: local");
+            assert_eq!(ra.tasks, rb.tasks, "{k} p={p} rank {rank}: tasks");
+            assert_eq!(ra.probes, rb.probes, "{k} p={p} rank {rank}: probes");
+            assert_eq!(ra.lookups, rb.lookups, "{k} p={p} rank {rank}: lookups");
+            assert_eq!(ra.direct_rows, rb.direct_rows, "{k} p={p} rank {rank}: direct rows");
+            assert_eq!(ra.probed_rows, rb.probed_rows, "{k} p={p} rank {rank}: probed rows");
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_on_rmat_with_hub() {
+    let el = deform(rmat(8, 6, RmatParams::GRAPH500, 7).simplify(), 3, true);
+    for p in [1usize, 4, 9, 16] {
+        assert_strategies_equivalent(&el, p);
+    }
+}
+
+#[test]
+fn strategies_agree_on_erdos_renyi() {
+    let el = deform(gnm(300, 1800, 21).simplify(), 5, false);
+    for p in [1usize, 4, 9, 16] {
+        assert_strategies_equivalent(&el, p);
+    }
+}
+
+#[test]
+fn strategies_agree_per_edge() {
+    // Per-edge supports exercise count_shift_recording: the merge
+    // visit path and the bitmap record loop must report exactly the
+    // hits the hash loop reports.
+    let el = deform(rmat(8, 5, RmatParams::GRAPH500, 33).simplify(), 2, true);
+    for p in [1usize, 4, 9, 16] {
+        let (ro, so) = try_count_per_edge(&el, p, &cfg_of(KernelStrategy::Hash)).expect("hash");
+        for k in STRATEGIES {
+            let (r, s) = try_count_per_edge(&el, p, &cfg_of(k)).expect("strategy");
+            assert_eq!(r.triangles, ro.triangles, "{k} p={p}");
+            assert_eq!(s, so, "{k} p={p}: per-edge supports diverged");
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_on_summa() {
+    // SUMMA hashes with stride 1 and contiguous panels — the other
+    // transform regime for the bitmap/merge candidate computation.
+    let el = deform(rmat(8, 6, RmatParams::GRAPH500, 11).simplify(), 4, true);
+    for (pr, pc) in [(1, 1), (2, 2), (2, 3), (3, 3), (4, 2)] {
+        let grid = SummaGrid::new(pr, pc);
+        let o = try_count_triangles_summa(&el, grid, &cfg_of(KernelStrategy::Hash)).expect("hash");
+        for k in STRATEGIES {
+            let r = try_count_triangles_summa(&el, grid, &cfg_of(k)).expect("strategy");
+            assert_eq!(r.triangles, o.triangles, "{k} {pr}x{pc}: triangles");
+            assert_eq!(r.total_tasks(), o.total_tasks(), "{k} {pr}x{pc}: tasks");
+            assert_eq!(r.total_probes(), o.total_probes(), "{k} {pr}x{pc}: probes");
+            assert_eq!(r.total_lookups(), o.total_lookups(), "{k} {pr}x{pc}: lookups");
+        }
+    }
+}
+
+/// Runs one strategy under a metrics session and returns (result,
+/// summed kernel-counter map).
+fn measured_run(el: &EdgeList, p: usize, k: KernelStrategy) -> (u64, u64, Vec<u64>) {
+    let session = tc_metrics::MetricsSession::begin();
+    let handle = session.handle();
+    let obs = Observe { metrics: Some(&handle), ..Observe::none() };
+    let r = try_count_triangles_observed(el, p, &cfg_of(k), obs).expect("run");
+    let snap = session.finish();
+    let sum = |name: &str| (0..p).map(|rank| snap.counter(rank, name).unwrap_or(0)).sum::<u64>();
+    let kernel: Vec<u64> = tc_metrics::names::TCT_KERNEL.iter().map(|n| sum(n)).collect();
+    (r.triangles, sum(tc_metrics::names::TCT_LOOKUPS), kernel)
+}
+
+#[test]
+fn kernel_counters_partition_lookups_and_report_strategy_mix() {
+    let _g = mlock();
+    let el = deform(rmat(8, 6, RmatParams::GRAPH500, 5).simplify(), 0, true);
+    let names = tc_metrics::names::TCT_KERNEL;
+    let idx = |n: &str| names.iter().position(|&x| x == n).expect("kernel counter name");
+    let (h_lk, m_lk, b_lk) = (
+        idx(tc_metrics::names::TCT_KERNEL_HASH_LOOKUPS),
+        idx(tc_metrics::names::TCT_KERNEL_MERGE_LOOKUPS),
+        idx(tc_metrics::names::TCT_KERNEL_BITMAP_LOOKUPS),
+    );
+    for p in [1usize, 4, 9] {
+        let mut triangles = Vec::new();
+        for k in STRATEGIES {
+            let (tri, lookups, kernel) = measured_run(&el, p, k);
+            triangles.push(tri);
+            // The strategy tallies partition the legacy counter exactly.
+            assert_eq!(
+                kernel[h_lk] + kernel[m_lk] + kernel[b_lk],
+                lookups,
+                "{k} p={p}: kernel lookup tallies must partition tct.lookups"
+            );
+            match k {
+                KernelStrategy::Hash => {
+                    assert_eq!(kernel[m_lk] + kernel[b_lk], 0, "p={p}: hash-only run");
+                }
+                KernelStrategy::Bitmap => {
+                    assert!(
+                        kernel[b_lk] > 0,
+                        "p={p}: the hub graph must engage the bitmap strategy"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(triangles.windows(2).all(|w| w[0] == w[1]), "p={p}: counts diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random graphs with random deformations, every square rank
+    /// count: all strategies must agree with the hash oracle on the
+    /// full deterministic output, including per-edge supports.
+    #[test]
+    fn strategies_agree_on_random_graphs(
+        scale in 5u32..8,
+        factor in 2usize..6,
+        seed in 0u64..1_000,
+        p_idx in 0usize..4,
+        use_er in any::<bool>(),
+        isolated in 0usize..6,
+        hub in any::<bool>(),
+    ) {
+        let p = [1usize, 4, 9, 16][p_idx];
+        let el = if use_er {
+            let n = 1usize << scale;
+            deform(gnm(n, n * factor, seed).simplify(), isolated, hub)
+        } else {
+            deform(rmat(scale, factor, RmatParams::GRAPH500, seed).simplify(), isolated, hub)
+        };
+        let oracle = try_count_triangles(&el, p, &cfg_of(KernelStrategy::Hash)).expect("hash");
+        let (po, so) = try_count_per_edge(&el, p, &cfg_of(KernelStrategy::Hash)).expect("hash pe");
+        prop_assert_eq!(po.triangles, oracle.triangles);
+        for k in [KernelStrategy::Auto, KernelStrategy::Merge, KernelStrategy::Bitmap] {
+            let r = try_count_triangles(&el, p, &cfg_of(k)).expect("strategy");
+            prop_assert_eq!(r.triangles, oracle.triangles);
+            prop_assert_eq!(r.total_tasks(), oracle.total_tasks());
+            prop_assert_eq!(r.total_probes(), oracle.total_probes());
+            prop_assert_eq!(r.total_lookups(), oracle.total_lookups());
+            let (pr, s) = try_count_per_edge(&el, p, &cfg_of(k)).expect("strategy pe");
+            prop_assert_eq!(pr.triangles, oracle.triangles);
+            prop_assert_eq!(&s, &so);
+        }
+    }
+}

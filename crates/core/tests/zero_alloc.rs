@@ -22,7 +22,7 @@ use std::cell::Cell;
 
 use tc_core::blocks::{SparseBlock, SparseBlockRef};
 use tc_core::count::count_shift;
-use tc_core::hashmap::IntersectMap;
+use tc_core::intersect::KernelState;
 use tc_core::TcConfig;
 use tc_mps::{Grid, Universe};
 
@@ -90,7 +90,7 @@ fn rotate_once(
     task: &SparseBlock,
     u_blob: &mut bytes::Bytes,
     l_blob: &mut bytes::Bytes,
-    map: &mut IntersectMap,
+    ks: &mut KernelState,
     cfg: &TcConfig,
 ) -> u64 {
     let q = grid.q();
@@ -101,7 +101,7 @@ fn rotate_once(
         let up = grid.shift_up_start(l_blob.clone());
         let hash = SparseBlockRef::from_blob(u_blob);
         let probe = SparseBlockRef::from_blob(l_blob);
-        local += count_shift(task, &hash, &probe, map, q, cfg, &mut tasks);
+        local += count_shift(task, &hash, &probe, ks, q, cfg, &mut tasks);
         *u_blob = left.wait().expect("left shift");
         *l_blob = up.wait().expect("up shift");
     }
@@ -117,7 +117,7 @@ fn steady_state_case(p: usize) {
         let task = mk_block(n, q, x, 1 + salt);
         let mut u_blob = mk_block(n, q, x, 2 + salt).to_blob();
         let mut l_blob = mk_block(n, q, x, 3 + salt).to_blob();
-        let mut map = IntersectMap::new(8, q);
+        let mut ks = KernelState::new(8, q);
 
         // Pre-stress the communication queues past their steady-state
         // peak: a rank may run ahead of its neighbours by up to q−1
@@ -141,13 +141,13 @@ fn steady_state_case(p: usize) {
 
         // Warm-up rotation: every blob's Arc is created, the map is
         // sized, the empty-Bytes singleton is initialized.
-        let warm = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut map, &cfg);
+        let warm = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut ks, &cfg);
 
         // Measured rotations: the steady state must not allocate.
         ARMED.with(|c| c.set(true));
         let before = allocs_here();
-        let r1 = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut map, &cfg);
-        let r2 = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut map, &cfg);
+        let r1 = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut ks, &cfg);
+        let r2 = rotate_once(&grid, &task, &mut u_blob, &mut l_blob, &mut ks, &cfg);
         let allocated = allocs_here() - before;
         (warm, r1, r2, allocated)
     });

@@ -73,12 +73,17 @@ impl RunRecord {
     ) -> Self {
         let mut counters = BTreeMap::new();
         let mut timings_ns = BTreeMap::new();
-        // Reliability and serve counters are present-and-zero by
-        // default: a chaos-off run proves the transport was inert, and
-        // an offline run proves the service layer never ran (benchdiff
-        // hard-fails if any of them ever drifts from the baseline's
-        // zero), rather than silently omitting the evidence.
-        for name in crate::names::MPS_RELIABILITY.iter().chain(crate::names::SERVE) {
+        // Reliability, serve, and adaptive-kernel counters are
+        // present-and-zero by default: a chaos-off run proves the
+        // transport was inert, an offline run proves the service layer
+        // never ran, and a hash-only run proves no fast path engaged
+        // (benchdiff hard-fails if any of them ever drifts from the
+        // baseline's zero), rather than silently omitting the evidence.
+        for name in crate::names::MPS_RELIABILITY
+            .iter()
+            .chain(crate::names::SERVE)
+            .chain(crate::names::TCT_KERNEL)
+        {
             counters.insert((*name).to_string(), 0);
         }
         for (name, value) in snap.merged() {
