@@ -155,6 +155,30 @@ pub enum Command {
         queue: Option<usize>,
         /// Idle heartbeat interval override (`MPS_SERVE_TICK_MS`).
         tick_ms: Option<u64>,
+        /// When set, run crash-recoverable: rank-local checkpoints +
+        /// WAL under this directory, epoch rejoin after peer crashes,
+        /// degraded-mode serving on rank 0. Requires socket mode.
+        state_dir: Option<PathBuf>,
+    },
+    /// Supervise a crash-recoverable multi-process serve fleet.
+    Supervise {
+        /// The graph argument, passed through verbatim to each rank's
+        /// `serve` child process.
+        input: String,
+        /// Unix-socket path the rank-0 frontend listens on.
+        listen: PathBuf,
+        /// Fleet state directory (epoch file, per-rank durability,
+        /// logs, pid files). Fabric endpoints live here too.
+        state_dir: PathBuf,
+        /// Fleet size.
+        ranks: usize,
+        /// Total crash budget before the fleet is declared dead.
+        max_restarts: u32,
+        /// Base of the exponential respawn backoff, in ms.
+        backoff_ms: u64,
+        /// Extra flags after `--`, passed through to every rank's
+        /// `serve` command (e.g. `--algorithm summa --seed 7`).
+        passthrough: Vec<String>,
     },
     /// Send one request to a running service and print the reply.
     Query {
@@ -226,11 +250,13 @@ USAGE:
                   [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
                   [--no-overlap] [--kernel auto|hash|merge|bitmap]
   tricount serve  <FILE|PRESET> --listen SOCK [--ranks N] [--rank N --peers EP0,...]
-                  [--epoch E] [--algorithm 2d|summa] [--grid RxC] [--seed S]
-                  [--chaos SEED] [--metrics FILE] [--json FILE] [--flush-ms MS]
-                  [--max-batch N] [--queue N] [--tick-ms MS] [--enumeration jik|ijk]
-                  [--no-doubly-sparse] [--no-direct-hash] [--no-early-break]
-                  [--no-overlap] [--kernel auto|hash|merge|bitmap]
+                  [--epoch E] [--state-dir DIR] [--algorithm 2d|summa] [--grid RxC]
+                  [--seed S] [--chaos SEED] [--metrics FILE] [--json FILE]
+                  [--flush-ms MS] [--max-batch N] [--queue N] [--tick-ms MS]
+                  [--enumeration jik|ijk] [--no-doubly-sparse] [--no-direct-hash]
+                  [--no-early-break] [--no-overlap] [--kernel auto|hash|merge|bitmap]
+  tricount supervise <FILE|PRESET> --listen SOCK --state-dir DIR [--ranks N]
+                  [--max-restarts N] [--backoff-ms MS] [-- SERVE-FLAGS...]
   tricount query  <SOCK> count|stats|metrics|flush|shutdown [--timeout-ms MS]
   tricount query  <SOCK> support <U> <V> | truss <K> [--timeout-ms MS]
   tricount query  <SOCK> update [--insert U:V,...] [--delete U:V,...]
@@ -287,9 +313,27 @@ environment family seeds the knobs; explicit flags win. With --json,
 rank 0 appends one tc-run-v2 record at shutdown (the sustained-workload
 analogue of the bench binaries' reports — serve.* counters nonzero,
 full_recounts pinned at the cold start).
+serve --state-dir DIR makes a socket fleet crash-recoverable: each rank
+checkpoints its adjacency block (CRC-checked snapshots, two generations
+kept) and write-ahead-logs every committed batch under DIR/rank-N; after
+a crash the respawned rank restores checkpoint + WAL, laggards are
+bridged from a peer's WAL tail, and an edge-set fingerprint allreduce
+verifies the rejoin before serving resumes. While a peer is down rank 0
+keeps answering: reads of clean state succeed, writes queue in a bounded
+buffer, everything else gets a typed {\"error\":\"degraded\"} reply with a
+retry_after_ms hint — never a hang. MPS_SERVE_CKPT_EVERY and
+MPS_SERVE_REJOIN_WAIT_MS tune the cadence and the rejoin deadline.
+supervise runs that fleet for you: it spawns one serve process per rank
+(endpoints DIR/fab-N.sock, logs DIR/rank-N.log, pids DIR/rank-N.pid),
+watches them, and respawns any crashed non-zero rank at a bumped epoch
+with exponential backoff, up to --max-restarts total crashes before
+declaring the fleet dead with a loud nonzero exit. Flags after -- pass
+through to every rank's serve command.
 query speaks the service's line-delimited JSON protocol: it prints the
-raw reply line and exits 0 when the reply says ok, 1 otherwise (e.g.
-the typed over_capacity admission rejection).
+raw reply line and exits 0 when the reply says ok, 4 when the service
+is degraded (a rank is down; retry after the hinted delay), and 1 on
+any other error reply (e.g. the typed over_capacity admission
+rejection).
 benchdiff compares tc-run-v2 reports produced by the bench binaries'
 --json flag (v1 reports still parse; their timings count as one try).
 Timings with repeat data are judged by effect size — Welch's t beyond
@@ -304,7 +348,8 @@ perftrend renders the appended history as an ASCII sparkline table
 regression and best improvement across the last N commits.
 
 EXIT CODES: 0 success, 1 runtime failure, 2 usage/parse error,
-3 invalid input graph (truncated/corrupt/out-of-range).
+3 invalid input graph (truncated/corrupt/out-of-range), 4 degraded
+service reply (query only; retry after the hinted delay).
 ";
 
 /// Parses a `U:V,U:V,...` edge list (the `query update` wire form).
@@ -508,10 +553,15 @@ pub fn parse_with_env(
             let mut max_batch = None;
             let mut queue = None;
             let mut tick_ms = None;
+            let mut state_dir = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--listen" => {
                         listen = Some(PathBuf::from(it.next().ok_or("--listen needs a path")?))
+                    }
+                    "--state-dir" => {
+                        state_dir =
+                            Some(PathBuf::from(it.next().ok_or("--state-dir needs a path")?))
                     }
                     "--ranks" => {
                         ranks = it
@@ -647,6 +697,65 @@ pub fn parse_with_env(
                 max_batch,
                 queue,
                 tick_ms,
+                state_dir,
+            })
+        }
+        "supervise" => {
+            let input = it.next().ok_or("supervise needs an input")?.clone();
+            let mut listen = None;
+            let mut state_dir = None;
+            let mut ranks = 4usize;
+            let mut max_restarts = 8u32;
+            let mut backoff_ms = 100u64;
+            let mut passthrough = Vec::new();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => {
+                        listen = Some(PathBuf::from(it.next().ok_or("--listen needs a path")?))
+                    }
+                    "--state-dir" => {
+                        state_dir =
+                            Some(PathBuf::from(it.next().ok_or("--state-dir needs a path")?))
+                    }
+                    "--ranks" => {
+                        ranks = it
+                            .next()
+                            .ok_or("--ranks needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad ranks: {e}"))?;
+                    }
+                    "--max-restarts" => {
+                        max_restarts = it
+                            .next()
+                            .ok_or("--max-restarts needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad restart budget: {e}"))?;
+                    }
+                    "--backoff-ms" => {
+                        backoff_ms = it
+                            .next()
+                            .ok_or("--backoff-ms needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad backoff: {e}"))?;
+                    }
+                    "--" => {
+                        passthrough = it.cloned().collect();
+                        break;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if ranks == 0 {
+                return Err("supervise needs at least one rank".into());
+            }
+            Ok(Command::Supervise {
+                input,
+                listen: listen.ok_or("supervise requires --listen SOCK")?,
+                state_dir: state_dir.ok_or("supervise requires --state-dir DIR")?,
+                ranks,
+                max_restarts,
+                backoff_ms,
+                passthrough,
             })
         }
         "query" => {
@@ -1136,6 +1245,104 @@ mod tests {
             "0",
             "--peers",
             "/tmp/p0,/tmp/p1",
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn serve_state_dir_parses() {
+        match p(&["serve", "g500-s6", "--listen", "/tmp/a", "--state-dir", "/tmp/fleet"]).unwrap() {
+            Command::Serve { state_dir, .. } => {
+                assert_eq!(state_dir, Some(PathBuf::from("/tmp/fleet")))
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve", "g500-s6", "--listen", "/tmp/a"]).unwrap() {
+            Command::Serve { state_dir, .. } => assert_eq!(state_dir, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "g500-s6", "--listen", "/tmp/a", "--state-dir"]).is_err());
+    }
+
+    #[test]
+    fn supervise_parses_with_passthrough() {
+        match p(&[
+            "supervise",
+            "g500-s6",
+            "--listen",
+            "/tmp/tc.sock",
+            "--state-dir",
+            "/tmp/fleet",
+            "--ranks",
+            "9",
+            "--max-restarts",
+            "3",
+            "--backoff-ms",
+            "50",
+            "--",
+            "--algorithm",
+            "summa",
+            "--seed",
+            "7",
+        ])
+        .unwrap()
+        {
+            Command::Supervise {
+                input,
+                listen,
+                state_dir,
+                ranks,
+                max_restarts,
+                backoff_ms,
+                passthrough,
+            } => {
+                assert_eq!(input, "g500-s6");
+                assert_eq!(listen, PathBuf::from("/tmp/tc.sock"));
+                assert_eq!(state_dir, PathBuf::from("/tmp/fleet"));
+                assert_eq!(ranks, 9);
+                assert_eq!(max_restarts, 3);
+                assert_eq!(backoff_ms, 50);
+                assert_eq!(passthrough, vec!["--algorithm", "summa", "--seed", "7"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervise_requires_listen_state_dir_and_ranks() {
+        assert!(p(&["supervise", "g500-s6", "--state-dir", "/tmp/f"]).is_err());
+        assert!(p(&["supervise", "g500-s6", "--listen", "/tmp/a"]).is_err());
+        assert!(p(&[
+            "supervise",
+            "g500-s6",
+            "--listen",
+            "/tmp/a",
+            "--state-dir",
+            "/tmp/f",
+            "--ranks",
+            "0",
+        ])
+        .is_err());
+        // Unknown flags before `--` are rejected; after it they pass.
+        assert!(p(&[
+            "supervise",
+            "g500-s6",
+            "--listen",
+            "/tmp/a",
+            "--state-dir",
+            "/tmp/f",
+            "--bogus",
+        ])
+        .is_err());
+        assert!(p(&[
+            "supervise",
+            "g500-s6",
+            "--listen",
+            "/tmp/a",
+            "--state-dir",
+            "/tmp/f",
+            "--",
+            "--bogus",
         ])
         .is_ok());
     }

@@ -374,11 +374,16 @@ fn run(cmd: Command) -> Result<(), AppError> {
             max_batch,
             queue,
             tick_ms,
+            state_dir,
         } => {
             let el = load(&input, seed)?;
             let csr = Csr::from_edge_list(&el);
-            let msession =
-                (metrics.is_some() || json.is_some()).then(tc_metrics::MetricsSession::begin);
+            // A crash-recoverable fleet (--state-dir) always meters:
+            // the rejoin/degraded counters are its observability
+            // surface, and the `metrics` query would otherwise serve
+            // an empty exposition.
+            let msession = (metrics.is_some() || json.is_some() || state_dir.is_some())
+                .then(tc_metrics::MetricsSession::begin);
             let mhandle = msession.as_ref().map(|s| s.handle());
             let plan = chaos.map(|cseed| {
                 eprintln!("# chaos: seed {cseed}, uniform p={CHAOS_P} on every link");
@@ -455,11 +460,32 @@ fn run(cmd: Command) -> Result<(), AppError> {
                     } else {
                         eprintln!("# rank {}/{p}: peer loop", sock.rank);
                     }
-                    let (report, _stats) = tc_mps::Universe::try_run_socket(&sock, |comm| {
-                        tc_serve::serve_rank(comm, &csr, &scfg)
-                    })
-                    .map_err(|e| e.to_string())?;
+                    let report = match &state_dir {
+                        Some(dir) => {
+                            // Crash-recoverable fleet: rank-local
+                            // durability, epoch rejoin, degraded mode.
+                            let fleet = tc_serve::FleetConfig::new(dir.clone()).env_overrides();
+                            tc_serve::serve_fleet(&csr, &scfg, &sock, &fleet)
+                                .map_err(|e| e.to_string())?
+                        }
+                        None => {
+                            let (report, _stats) =
+                                tc_mps::Universe::try_run_socket(&sock, |comm| {
+                                    tc_serve::serve_rank(comm, &csr, &scfg)
+                                })
+                                .map_err(|e| e.to_string())?;
+                            report
+                        }
+                    };
                     (sock.rank, report)
+                }
+                None if state_dir.is_some() => {
+                    return Err(AppError::Run(
+                        "--state-dir needs socket mode (give --rank/--peers or run under \
+                         `tricount supervise`); in-process fleets share one address space \
+                         and cannot lose a single rank"
+                            .into(),
+                    ));
                 }
                 None => {
                     eprintln!("# frontend on {} over {p} in-process ranks", scfg.listen.display());
@@ -533,6 +559,55 @@ fn run(cmd: Command) -> Result<(), AppError> {
             }
             Ok(())
         }
+        Command::Supervise {
+            input,
+            listen,
+            state_dir,
+            ranks,
+            max_restarts,
+            backoff_ms,
+            passthrough,
+        } => {
+            let program =
+                std::env::current_exe().map_err(|e| format!("cannot locate my own binary: {e}"))?;
+            let peers = tc_serve::supervisor::fleet_endpoints(&state_dir, ranks).join(",");
+            let mut serve_args = vec![
+                "serve".to_string(),
+                input,
+                "--listen".to_string(),
+                listen.display().to_string(),
+                "--state-dir".to_string(),
+                state_dir.display().to_string(),
+                "--peers".to_string(),
+                peers,
+            ];
+            serve_args.extend(passthrough);
+            let cfg = tc_serve::SupervisorConfig {
+                program,
+                serve_args,
+                state_dir,
+                ranks,
+                max_restarts,
+                backoff_base_ms: backoff_ms,
+                backoff_cap_ms: backoff_ms.saturating_mul(64).max(backoff_ms),
+            };
+            eprintln!(
+                "# supervising {ranks} ranks under {} (restart budget {max_restarts})",
+                cfg.state_dir.display()
+            );
+            match tc_serve::supervise(&cfg).map_err(|e| format!("supervisor: {e}"))? {
+                tc_serve::SuperviseOutcome::FrontendExited(0) => Ok(()),
+                tc_serve::SuperviseOutcome::FrontendExited(code) => {
+                    Err(AppError::Run(format!("rank 0 exited with code {code}")))
+                }
+                tc_serve::SuperviseOutcome::BudgetExhausted { rank, restarts } => {
+                    Err(AppError::Run(format!(
+                        "fleet dead: rank {rank} crashed past the restart budget \
+                         ({restarts} crashes, budget {max_restarts})"
+                    )))
+                }
+            }
+        }
         Command::Query { socket, request, timeout_ms } => {
             let mut client = tc_serve::Client::connect_retry(
                 &socket,
@@ -541,14 +616,24 @@ fn run(cmd: Command) -> Result<(), AppError> {
             .map_err(|e| format!("{}: {e}", socket.display()))?;
             let reply = client.request_raw(&request).map_err(|e| e.to_string())?;
             println!("{reply}");
-            let ok = tc_metrics::json::parse(&reply)
-                .ok()
+            let v = tc_metrics::json::parse(&reply).ok();
+            let ok = v
+                .as_ref()
                 .is_some_and(|v| matches!(v.get("ok"), Some(tc_metrics::json::Value::Bool(true))));
             if ok {
-                Ok(())
-            } else {
-                Err(AppError::Run("the service replied with an error (reply above)".into()))
+                return Ok(());
             }
+            // A degraded reply is an availability signal, not a
+            // protocol failure: its own exit code lets scripted
+            // callers branch on "retry later" without parsing JSON.
+            let degraded = v.as_ref().is_some_and(|v| {
+                v.get("error").and_then(tc_metrics::json::Value::as_str)
+                    == Some(tc_serve::proto::ERR_DEGRADED)
+            });
+            if degraded {
+                std::process::exit(4);
+            }
+            Err(AppError::Run("the service replied with an error (reply above)".into()))
         }
         Command::BenchDiff { args } => {
             std::process::exit(tc_metrics::diff::cli_main(&args));

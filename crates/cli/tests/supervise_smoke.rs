@@ -1,0 +1,242 @@
+//! Crash-recovery smoke test: `tricount supervise` runs a 4-process
+//! fleet; a non-zero rank is SIGKILLed mid-workload. The supervisor
+//! must respawn it at a bumped epoch, the respawned rank must restore
+//! checkpoint + WAL and rejoin, rank 0 must keep answering (typed
+//! `degraded` replies, exit code 4 from `tricount query`) through the
+//! outage, and every post-recovery answer must match the serial
+//! oracle with `full_recounts` still pinned at the cold start's 1.
+//! A second scenario exhausts the restart budget and asserts the
+//! fleet dies loudly. Logs land in
+//! `$CARGO_TARGET_TMPDIR/supervise-smoke/` for CI artifact upload.
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tc_graph::{Csr, EdgeList};
+use tc_metrics::json::Value;
+use tc_serve::supervisor::{read_epoch, read_pid, wait_for_respawn};
+use tc_serve::{Client, Request};
+
+fn tricount() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tricount"))
+}
+
+/// Fleet state directory (epoch file, rank logs, pid files) — doubles
+/// as the CI artifact directory.
+fn state_dir(label: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("supervise-smoke").join(label);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    dir
+}
+
+fn fleet_logs(dir: &Path) -> String {
+    let mut out = String::new();
+    for name in ["supervisor.log", "rank-0.log", "rank-1.log", "rank-2.log", "rank-3.log"] {
+        out.push_str(&format!(
+            "--- {name} ---\n{}",
+            std::fs::read_to_string(dir.join(name)).unwrap_or_default()
+        ));
+    }
+    out
+}
+
+/// Spawns `tricount supervise` with its own log file in the state dir.
+fn spawn_supervisor(dir: &Path, frontend: &Path, max_restarts: u32, backoff_ms: u64) -> Child {
+    let log = File::create(dir.join("supervisor.log")).expect("supervisor log");
+    tricount()
+        .args(["supervise", "g500-s6"])
+        .args(["--listen", &frontend.to_string_lossy()])
+        .args(["--state-dir", &dir.to_string_lossy()])
+        .args(["--ranks", "4"])
+        .args(["--max-restarts", &max_restarts.to_string()])
+        .args(["--backoff-ms", &backoff_ms.to_string()])
+        .args(["--", "--flush-ms", "10000", "--tick-ms", "200"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone().expect("clone log")))
+        .stderr(Stdio::from(log))
+        .spawn()
+        .expect("spawn supervisor")
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or_else(|| panic!("u64 field '{key}' in {v:?}"))
+}
+
+/// Serial oracle over the reference edge set.
+fn serial_triangles(n: usize, edges: &BTreeSet<(u32, u32)>) -> u64 {
+    let el = EdgeList::new(n, edges.iter().copied().collect()).simplify();
+    let csr = Csr::from_edge_list(&el);
+    let mut t = 0u64;
+    for &(u, v) in edges {
+        let (nu, nv) = (csr.neighbors(u), csr.neighbors(v));
+        t += nu.iter().filter(|&&w| w > v && nv.binary_search(&w).is_ok()).count() as u64;
+    }
+    t
+}
+
+/// The same graph every fleet process loads (`g500-s6`, default seed).
+fn initial_edges() -> (usize, BTreeSet<(u32, u32)>) {
+    let el = tc_gen::Preset::parse("g500-s6").expect("known preset").build(tc_gen::DEFAULT_SEED);
+    (el.num_vertices, el.edges.iter().copied().collect())
+}
+
+/// Applies a deterministic update round to the reference set and the
+/// service, then checks the served count against the oracle.
+fn update_round(client: &mut Client, n: usize, reference: &mut BTreeSet<(u32, u32)>, round: u32) {
+    let insert: Vec<(u32, u32)> = (0..3u32)
+        .map(|i| {
+            let u = (round * 7 + i * 3) % n as u32;
+            let v = (u + 1 + round % 5) % n as u32;
+            (u.min(v), u.max(v))
+        })
+        .filter(|&(u, v)| u != v)
+        .collect();
+    let delete = if round % 3 == 0 && !reference.is_empty() {
+        vec![*reference.iter().nth(round as usize % reference.len()).expect("index in range")]
+    } else {
+        Vec::new()
+    };
+    for &e in &insert {
+        reference.insert(e);
+    }
+    for &e in &delete {
+        reference.remove(&e);
+    }
+    client.request(&Request::Update { insert, delete }).expect("update accepted");
+    let reply = client.request(&Request::Count).expect("count after update");
+    assert_eq!(
+        u64_field(&reply, "triangles"),
+        serial_triangles(n, reference),
+        "served count drifted at round {round}"
+    );
+}
+
+fn sigkill(pid: u32) {
+    let status = Command::new("kill").args(["-9", &pid.to_string()]).status().expect("spawn kill");
+    assert!(status.success(), "kill -9 {pid} failed");
+}
+
+/// Waits for the supervisor to exit, with a hard deadline so a hung
+/// fleet fails the test instead of wedging CI.
+fn wait_with_deadline(child: &mut Child, timeout: Duration, dir: &Path) -> i32 {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait supervisor") {
+            return status.code().unwrap_or(-1);
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("supervisor did not exit within {timeout:?}:\n{}", fleet_logs(dir));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn supervised_fleet_survives_a_rank_kill() {
+    let dir = state_dir("kill");
+    let frontend = std::env::temp_dir().join(format!("tcsup-{}-kill.sock", std::process::id()));
+    let mut sup = spawn_supervisor(&dir, &frontend, 4, 2000);
+    let mut client = Client::connect_retry(&frontend, Duration::from_secs(120))
+        .unwrap_or_else(|e| panic!("frontend never came up: {e}\n{}", fleet_logs(&dir)));
+
+    let (n, mut reference) = initial_edges();
+    let reply = client.request(&Request::Count).expect("cold count");
+    assert_eq!(u64_field(&reply, "triangles"), serial_triangles(n, &reference));
+    for round in 0..8 {
+        update_round(&mut client, n, &mut reference, round);
+    }
+
+    // The crash: SIGKILL rank 1 via its recorded pid.
+    let pid = read_pid(&dir, 1).expect("rank 1 pid file");
+    sigkill(pid);
+
+    // During the outage the frontend must answer, not hang: a stats
+    // query (needs a collective) gets the typed `degraded` reply, and
+    // `tricount query` maps it to exit code 4. The 2 s respawn
+    // backoff keeps the window comfortably observable.
+    let mut saw_exit_4 = false;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        let out = tricount()
+            .args(["query", &frontend.to_string_lossy(), "stats", "--timeout-ms", "5000"])
+            .output()
+            .expect("spawn query");
+        if out.status.code() == Some(4) {
+            let text = String::from_utf8_lossy(&out.stdout);
+            assert!(text.contains("\"degraded\""), "exit 4 must print the degraded reply: {text}");
+            assert!(text.contains("retry_after_ms"), "degraded reply carries a retry hint: {text}");
+            saw_exit_4 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(saw_exit_4, "never saw a degraded (exit 4) reply:\n{}", fleet_logs(&dir));
+
+    // Degraded reads still answer from the last committed state, and
+    // degraded writes queue for the rejoin instead of being dropped.
+    let reply = client.request(&Request::Count).expect("degraded count answers");
+    assert_eq!(u64_field(&reply, "triangles"), serial_triangles(n, &reference));
+    let queued: Vec<(u32, u32)> = vec![(0, (n as u32) - 1), (1, (n as u32) - 2)];
+    for &e in &queued {
+        reference.insert(e);
+    }
+    client
+        .request(&Request::Update { insert: queued, delete: vec![] })
+        .expect("degraded update queues");
+
+    // Recovery: same rank id, new pid, bumped epoch.
+    assert!(
+        wait_for_respawn(&dir, 1, pid, Duration::from_secs(60)),
+        "rank 1 was never respawned:\n{}",
+        fleet_logs(&dir)
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        match client.request(&Request::Stats) {
+            Ok(v) if u64_field(&v, "recoveries") >= 1 => break v,
+            Ok(_) | Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(v) => panic!("rejoined but recoveries stayed 0: {v:?}\n{}", fleet_logs(&dir)),
+            Err(e) => panic!("stats never recovered: {e}\n{}", fleet_logs(&dir)),
+        }
+    };
+    // The queued writes flushed on the read barrier; nothing was lost
+    // and nothing was recounted.
+    assert_eq!(u64_field(&stats, "edges"), reference.len() as u64);
+    assert_eq!(u64_field(&stats, "full_recounts"), 1, "recovery must not recount");
+    assert_eq!(read_epoch(&dir), 1, "one crash, one epoch bump");
+
+    // Post-recovery rounds stay exact.
+    for round in 8..14 {
+        update_round(&mut client, n, &mut reference, round);
+    }
+
+    client.request(&Request::Shutdown).expect("shutdown");
+    let code = wait_with_deadline(&mut sup, Duration::from_secs(60), &dir);
+    assert_eq!(code, 0, "clean shutdown after recovery:\n{}", fleet_logs(&dir));
+}
+
+#[test]
+fn exhausted_restart_budget_kills_the_fleet_loudly() {
+    let dir = state_dir("budget");
+    let frontend = std::env::temp_dir().join(format!("tcsup-{}-budget.sock", std::process::id()));
+    let mut sup = spawn_supervisor(&dir, &frontend, 0, 100);
+    let mut client = Client::connect_retry(&frontend, Duration::from_secs(120))
+        .unwrap_or_else(|e| panic!("frontend never came up: {e}\n{}", fleet_logs(&dir)));
+    let (n, reference) = initial_edges();
+    let reply = client.request(&Request::Count).expect("cold count");
+    assert_eq!(u64_field(&reply, "triangles"), serial_triangles(n, &reference));
+
+    sigkill(read_pid(&dir, 2).expect("rank 2 pid file"));
+
+    let code = wait_with_deadline(&mut sup, Duration::from_secs(60), &dir);
+    assert_ne!(code, 0, "a dead fleet must not exit cleanly");
+    let logs = fleet_logs(&dir);
+    assert!(logs.contains("restart budget"), "the failure must name the budget:\n{logs}");
+}

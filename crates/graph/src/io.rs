@@ -145,8 +145,9 @@ pub fn write_binary_edges_path(el: &EdgeList, path: impl AsRef<Path>) -> Result<
 
 /// Reads `buf.len()` bytes starting at absolute offset `offset`,
 /// turning a short read into a [`IoError::Corrupt`] that names what
-/// was expected there.
-fn read_fully(
+/// was expected there. Shared by every hardened binary reader in the
+/// crate (edge lists here, adjacency snapshots in [`crate::adj`]).
+pub(crate) fn read_fully(
     r: &mut impl Read,
     buf: &mut [u8],
     offset: u64,
@@ -159,6 +160,64 @@ fn read_fully(
             IoError::Io(e)
         }
     })
+}
+
+/// Streaming CRC32c (Castagnoli) — the checksum behind the versioned
+/// binary snapshots in [`crate::adj`]. Same polynomial as the `tc-mps`
+/// wire frames, reimplemented here so the graph substrate stays
+/// dependency-free.
+#[derive(Debug, Clone)]
+pub struct Crc32c(u32);
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// A fresh checksum state.
+    pub fn new() -> Self {
+        Self(!0u32)
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.0 = (self.0 >> 8) ^ CRC32C_TABLE[((self.0 ^ byte as u32) & 0xff) as usize];
+        }
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+/// CRC32c of one slice.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut c = Crc32c::new();
+    c.update(data);
+    c.finish()
+}
+
+const CRC32C_TABLE: [u32; 256] = build_crc32c_table();
+
+const fn build_crc32c_table() -> [u32; 256] {
+    const POLY: u32 = 0x82F6_3B78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
 }
 
 /// Reads the compact binary format.
@@ -493,5 +552,16 @@ mod tests {
     fn matrix_market_rejects_truncated() {
         let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n";
         assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn crc32c_known_answer_and_streaming() {
+        // The canonical CRC32c check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        let mut c = Crc32c::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), 0xE306_9283, "streaming matches one-shot");
     }
 }

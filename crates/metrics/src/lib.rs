@@ -73,11 +73,16 @@ pub mod names {
     pub const MPS_REL_INJECTED_DELAYS: &str = "mps.rel.injected_delays";
     pub const MPS_REL_INJECTED_CORRUPTIONS: &str = "mps.rel.injected_corruptions";
     pub const MPS_REL_REORDER_EVICTED: &str = "mps.rel.reorder_evicted";
+    /// Per-link reliable-transport sequence-state resets performed when
+    /// a surviving rank reconnects at a bumped epoch (one per peer
+    /// link). Zero unless a rank crashed and the fleet rejoined.
+    pub const MPS_REL_EPOCH_RESETS: &str = "mps.rel.epoch_resets";
 
-    /// Every reliable-delivery counter. Benchmark records default each
-    /// of these to zero so a clean (chaos-off) run *proves* the
-    /// transport stayed out of the way — the counters are present and
-    /// zero, not merely absent.
+    /// Every reliable-delivery counter, plus the crash-recovery pair
+    /// ([`MPS_REL_EPOCH_RESETS`], [`MPS_FABRIC_REJOINS`]). Benchmark
+    /// records default each of these to zero so a clean (chaos-off,
+    /// crash-free) run *proves* the transport stayed out of the way —
+    /// the counters are present and zero, not merely absent.
     pub const MPS_RELIABILITY: &[&str] = &[
         MPS_REL_FRAMES_SENT,
         MPS_REL_RETRANSMITS,
@@ -92,6 +97,8 @@ pub mod names {
         MPS_REL_INJECTED_DELAYS,
         MPS_REL_INJECTED_CORRUPTIONS,
         MPS_REL_REORDER_EVICTED,
+        MPS_REL_EPOCH_RESETS,
+        MPS_FABRIC_REJOINS,
     ];
 
     // Socket fabric wire counters (fed by `tc_mps` only on the
@@ -105,6 +112,9 @@ pub mod names {
     pub const MPS_FABRIC_WIRE_BYTES_RECV: &str = "mps.fabric.wire_bytes_recv";
     pub const MPS_FABRIC_ACKS_SENT: &str = "mps.fabric.acks_sent";
     pub const MPS_FABRIC_NACKS_SENT: &str = "mps.fabric.nacks_sent";
+    /// Fleet rejoins: a surviving rank reconnected its socket fabric at
+    /// a bumped epoch after a peer crashed. Zero in crash-free runs.
+    pub const MPS_FABRIC_REJOINS: &str = "mps.fabric.rejoins";
 
     // Phase timings (per rank, nanoseconds).
     pub const PPT_WALL_NS: &str = "ppt.wall_ns";
@@ -200,6 +210,17 @@ pub mod names {
     /// steady state — the incremental path must never fall back to a
     /// recount on the hot path.
     pub const SERVE_FULL_RECOUNTS: &str = "serve.full_recounts";
+    /// Queries answered with a typed `degraded` reply because a peer
+    /// rank was down. Zero in crash-free runs.
+    pub const SERVE_DEGRADED_QUERIES: &str = "serve.degraded_queries";
+    /// Update batches buffered (or rejected) while a peer rank was
+    /// down instead of being applied immediately. Zero in crash-free
+    /// runs.
+    pub const SERVE_DEGRADED_UPDATES: &str = "serve.degraded_updates";
+    /// Rank recoveries completed: a respawned or surviving rank
+    /// restored durable state and passed the fingerprint check at a
+    /// bumped epoch. Zero in crash-free runs.
+    pub const SERVE_RECOVERIES: &str = "serve.recoveries";
     /// Normalized batch size distribution (net ops per applied batch).
     pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
     /// Batch apply latency distribution (nanoseconds).
@@ -238,6 +259,9 @@ pub mod names {
         SERVE_QUERIES_STATS,
         SERVE_REJECTED_QUERIES,
         SERVE_FULL_RECOUNTS,
+        SERVE_DEGRADED_QUERIES,
+        SERVE_DEGRADED_UPDATES,
+        SERVE_RECOVERIES,
         "serve.batch_size.count",
         "serve.batch_size.sum",
         "serve.query_latency.count_ns.count",

@@ -42,6 +42,13 @@ pub const CHAOS_DELAY_MAX_US_ENV: &str = "MPS_CHAOS_DELAY_MAX_US";
 pub const CHAOS_MAX_RETRIES_ENV: &str = "MPS_CHAOS_MAX_RETRIES";
 /// Restricts env-configured faults to a link list (`"0->1,2->3"`).
 pub const CHAOS_LINKS_ENV: &str = "MPS_CHAOS_LINKS";
+/// Rank to crash for [`FaultPlan::from_env`] (paired with
+/// [`CHAOS_CRASH_AT_ENV`]): that rank's process aborts at its nth
+/// transport send, simulating a SIGKILL at a deterministic point.
+pub const CHAOS_CRASH_RANK_ENV: &str = "MPS_CHAOS_CRASH_RANK";
+/// 1-based send ordinal at which [`CHAOS_CRASH_RANK_ENV`]'s process
+/// aborts (paired; setting only one of the two is an error).
+pub const CHAOS_CRASH_AT_ENV: &str = "MPS_CHAOS_CRASH_AT";
 
 /// Every variable of the `MPS_CHAOS_*` family (setting any of them
 /// activates [`FaultPlan::from_env`]).
@@ -56,6 +63,8 @@ pub const CHAOS_ENV_VARS: &[&str] = &[
     CHAOS_DELAY_MAX_US_ENV,
     CHAOS_MAX_RETRIES_ENV,
     CHAOS_LINKS_ENV,
+    CHAOS_CRASH_RANK_ENV,
+    CHAOS_CRASH_AT_ENV,
 ];
 
 /// One fault mode a link can exhibit.
@@ -206,6 +215,7 @@ pub struct FaultPlan {
     max_retries: u32,
     nack_base: Duration,
     nack_cap: Duration,
+    crash: Option<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -221,6 +231,7 @@ impl FaultPlan {
             max_retries: 16,
             nack_base: Duration::from_millis(1),
             nack_cap: Duration::from_millis(100),
+            crash: None,
         }
     }
 
@@ -266,6 +277,23 @@ impl FaultPlan {
         self.nack_base = base;
         self.nack_cap = cap.max(base);
         self
+    }
+
+    /// Crashes rank `rank`'s *process* (`std::process::abort`) at its
+    /// `nth` transport send (1-based) — the process-level fault behind
+    /// crash-recovery tests: the same seeded-determinism discipline as
+    /// link faults, but the fault is a SIGABRT instead of a lost frame.
+    /// Only meaningful on the multi-process socket backend; aborting a
+    /// thread-backed rank would take the whole test process down.
+    pub fn crash_at(mut self, rank: usize, nth: u64) -> Self {
+        assert!(nth > 0, "crash_at: the send ordinal is 1-based, 0 never fires");
+        self.crash = Some((rank, nth));
+        self
+    }
+
+    /// The `(rank, nth_send)` process-crash point, if one is planned.
+    pub fn crash_point(&self) -> Option<(usize, u64)> {
+        self.crash
     }
 
     /// The plan's seed.
@@ -395,6 +423,21 @@ impl FaultPlan {
         }
         if let Some(spec) = strict_env::<String>(CHAOS_LINKS_ENV, "link list") {
             plan = plan.with_restrict(parse_links(&spec));
+        }
+        let crash_rank = strict_env::<usize>(CHAOS_CRASH_RANK_ENV, "rank index");
+        let crash_at = strict_env::<u64>(CHAOS_CRASH_AT_ENV, "1-based send ordinal");
+        match (crash_rank, crash_at) {
+            (Some(rank), Some(nth)) => {
+                assert!(nth > 0, "{CHAOS_CRASH_AT_ENV}=0: the send ordinal is 1-based");
+                plan = plan.crash_at(rank, nth);
+            }
+            (None, None) => {}
+            (Some(_), None) => {
+                panic!("{CHAOS_CRASH_RANK_ENV} is set but {CHAOS_CRASH_AT_ENV} is not")
+            }
+            (None, Some(_)) => {
+                panic!("{CHAOS_CRASH_AT_ENV} is set but {CHAOS_CRASH_RANK_ENV} is not")
+            }
         }
         Some(plan)
     }
@@ -566,6 +609,19 @@ mod tests {
     #[should_panic(expected = "outside 0.0..=1.0")]
     fn out_of_range_probability_rejected() {
         let _ = FaultPlan::new(0).with_default(LinkFaults::uniform(1.5));
+    }
+
+    #[test]
+    fn crash_plan_is_carried() {
+        let plan = FaultPlan::new(9).crash_at(3, 17);
+        assert_eq!(plan.crash_point(), Some((3, 17)));
+        assert_eq!(FaultPlan::new(9).crash_point(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn crash_at_zero_rejected() {
+        let _ = FaultPlan::new(0).crash_at(1, 0);
     }
 
     #[test]

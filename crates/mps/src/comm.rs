@@ -266,9 +266,13 @@ impl Comm {
                 Ok(pkt.data)
             }
             AwaitOutcome::Matched(Err(err)) => Err(err),
-            AwaitOutcome::Failed(fail) => {
-                Err(MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() })
-            }
+            // A recoverable connection loss stays typed PeerDown all
+            // the way out, so session loops can tell "rejoin at the
+            // next epoch" apart from a genuine peer failure.
+            AwaitOutcome::Failed(fail) => Err(match fail.error {
+                MpsError::PeerDown { rank } => MpsError::PeerDown { rank },
+                _ => MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() },
+            }),
             AwaitOutcome::SourceFinished => Err(MpsError::PeerFailed {
                 rank: src,
                 msg: format!("terminated before sending tag {tag:#x}"),
@@ -340,7 +344,10 @@ impl Comm {
                 }
                 AwaitOutcome::Matched(Err(err)) => break Err(err),
                 AwaitOutcome::Failed(fail) => {
-                    break Err(MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() })
+                    break Err(match fail.error {
+                        MpsError::PeerDown { rank } => MpsError::PeerDown { rank },
+                        _ => MpsError::PeerFailed { rank: fail.rank, msg: fail.brief() },
+                    })
                 }
                 AwaitOutcome::SourceFinished => {
                     // The sender is gone, but its unacked frames are

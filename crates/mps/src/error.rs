@@ -66,6 +66,17 @@ pub enum MpsError {
         /// What was wrong with it.
         msg: String,
     },
+    /// A peer's connection dropped while the fabric was running in
+    /// recoverable mode: the process behind it is gone (crashed or
+    /// killed), but the universe is *restartable* — a supervisor can
+    /// respawn the rank and every survivor can rejoin at the next
+    /// epoch. Distinct from [`MpsError::PeerFailed`] (an orderly
+    /// application-level failure) so session loops can tell "respawn
+    /// and rejoin" apart from "give up".
+    PeerDown {
+        /// The rank whose connection was lost.
+        rank: usize,
+    },
     /// The reliable transport exhausted its retransmit budget for one
     /// frame: the link `src → dst` is lossier than the configured
     /// retry count can mask (e.g. a chaos plan dropping 100% of a
@@ -104,6 +115,9 @@ impl std::fmt::Display for MpsError {
             }
             MpsError::Protocol { rank, msg } => {
                 write!(f, "rank {rank}: protocol violation: {msg}")
+            }
+            MpsError::PeerDown { rank } => {
+                write!(f, "peer rank {rank} is down (connection lost in recoverable mode)")
             }
             MpsError::DeliveryFailed { src, dst, seq, attempts } => {
                 write!(
@@ -156,6 +170,11 @@ mod tests {
         assert!(p.to_string().contains("rank 2"));
         assert!(p.to_string().contains("protocol violation"));
         assert!(p.to_string().contains("(3,4)"));
+
+        let down = MpsError::PeerDown { rank: 5 };
+        let s = down.to_string();
+        assert!(s.contains("rank 5"), "{s}");
+        assert!(s.contains("down"), "{s}");
 
         let d = MpsError::DeliveryFailed { src: 1, dst: 6, seq: 42, attempts: 16 };
         let s = d.to_string();

@@ -88,6 +88,10 @@ const KIND_NACK: u8 = 2;
 const KIND_NOTHING: u8 = 3;
 const KIND_FIN: u8 = 4;
 const KIND_FAIL: u8 = 5;
+/// A recoverable-mode peer-loss notice: `u32` rank of the peer whose
+/// connection dropped. Unlike `FAIL` it is typed [`MpsError::PeerDown`]
+/// at every survivor, so session loops can rejoin instead of dying.
+const KIND_DOWN: u8 = 6;
 
 /// How often polling loops (dial retry, accept, drain, await-peers)
 /// re-check their condition.
@@ -252,6 +256,11 @@ pub(crate) struct SocketFabric {
     readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Own Unix socket path, removed at shutdown.
     unix_path: Option<PathBuf>,
+    /// Recoverable mode: a dead peer's connection loss is recorded as
+    /// the restartable [`MpsError::PeerDown`] instead of `PeerFailed`,
+    /// so a supervisor can respawn the rank and survivors can rejoin
+    /// at the next epoch.
+    recoverable: bool,
 }
 
 impl SocketFabric {
@@ -285,6 +294,11 @@ impl SocketFabric {
         }
 
         // Accept from every higher rank; the hello says who is calling.
+        // Each accepted connection must complete its handshake within
+        // the strict-parsed `MPS_HANDSHAKE_TIMEOUT_MS` budget: a
+        // stalled or half-open dialer is dropped (typed Timeout) and
+        // the accept loop keeps going instead of wedging forever.
+        let hs_budget = config.effective_handshake_timeout();
         if rank + 1 < size {
             listener.set_nonblocking(true).map_err(|e| io_error(rank, "listener", &e))?;
             let mut missing = size - rank - 1;
@@ -307,7 +321,17 @@ impl SocketFabric {
                     Err(e) => return Err(io_error(rank, "accept", &e)),
                 };
                 accepts += 1;
-                let (peer, stream) = handshake(rank, size, config.epoch, raw, None, deadline)?;
+                let hs_deadline = deadline.min(Instant::now() + hs_budget);
+                let (peer, stream) =
+                    match handshake(rank, size, config.epoch, raw, None, hs_deadline) {
+                        Ok(hello) => hello,
+                        Err(MpsError::Timeout { .. }) => {
+                            // Half-open/silent dialer: drop it and keep
+                            // accepting — the real peers are still due.
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                 handshakes += 1;
                 if peer <= rank || streams[peer].is_some() {
                     return Err(MpsError::Protocol {
@@ -354,7 +378,16 @@ impl SocketFabric {
             shutdown: AtomicBool::new(false),
             readers: Mutex::new(Vec::new()),
             unix_path,
+            recoverable: config.recoverable,
         });
+
+        // A reconnect at a bumped epoch is a rejoin: the per-link
+        // reliable-transport state (sender windows, dedup maps) was
+        // rebuilt from zero for the new epoch.
+        if config.recoverable && config.epoch > 0 {
+            tc_metrics::counter_add(tc_metrics::names::MPS_FABRIC_REJOINS, 1);
+            tc_metrics::counter_add(tc_metrics::names::MPS_REL_EPOCH_RESETS, (size - 1) as u64);
+        }
 
         for (peer, reader) in read_halves {
             let f = Arc::clone(&fabric);
@@ -373,6 +406,17 @@ impl SocketFabric {
         self.shutdown.load(Ordering::SeqCst)
             || self.finished[peer].load(Ordering::SeqCst)
             || self.failure().is_some()
+    }
+
+    /// The typed error recorded when `peer`'s connection drops on a
+    /// live universe: restartable `PeerDown` in recoverable mode, the
+    /// fatal `PeerFailed` otherwise.
+    fn peer_loss_error(&self, peer: usize, e: &std::io::Error) -> MpsError {
+        if self.recoverable {
+            MpsError::PeerDown { rank: peer }
+        } else {
+            MpsError::PeerFailed { rank: peer, msg: format!("connection to rank {peer} lost: {e}") }
+        }
     }
 
     /// Writes one wire message to `dst`. Write errors on a live
@@ -406,13 +450,7 @@ impl SocketFabric {
             }
             Err(e) => {
                 if !self.loss_is_benign(dst) {
-                    self.record_failure(
-                        self.rank,
-                        MpsError::PeerFailed {
-                            rank: dst,
-                            msg: format!("connection to rank {dst} lost: {e}"),
-                        },
-                    );
+                    self.record_failure(self.rank, self.peer_loss_error(dst, &e));
                 }
             }
         }
@@ -495,6 +533,15 @@ impl SocketFabric {
                         error: MpsError::PeerFailed { rank: failed, msg },
                     });
                 }
+                KIND_DOWN if body.len() == 4 => {
+                    let down = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+                    // Relayed peer loss: every survivor sees the same
+                    // typed, restartable PeerDown.
+                    self.store_failure(Failure {
+                        rank: down,
+                        error: MpsError::PeerDown { rank: down },
+                    });
+                }
                 _ => {
                     self.record_failure(
                         self.rank,
@@ -518,13 +565,7 @@ impl SocketFabric {
         if self.loss_is_benign(peer) {
             return;
         }
-        self.record_failure(
-            self.rank,
-            MpsError::PeerFailed {
-                rank: peer,
-                msg: format!("connection to rank {peer} lost: {e}"),
-            },
-        );
+        self.record_failure(self.rank, self.peer_loss_error(peer, e));
     }
 
     /// Stores the first failure and wakes the local rank; does not
@@ -664,16 +705,24 @@ impl Fabric for SocketFabric {
     }
 
     fn record_failure(&self, rank: usize, error: MpsError) {
-        let brief = Failure { rank, error: error.clone() }.brief();
+        // A peer loss broadcasts as typed DOWN (the rank number alone),
+        // everything else as FAIL with the brief; either way peers
+        // blocked in receives wake instead of running out their
+        // deadline.
+        let (kind, body) = match &error {
+            MpsError::PeerDown { rank: down } => (KIND_DOWN, (*down as u32).to_le_bytes().to_vec()),
+            _ => {
+                let brief = Failure { rank, error: error.clone() }.brief();
+                let mut body = Vec::with_capacity(4 + brief.len());
+                body.extend_from_slice(&(rank as u32).to_le_bytes());
+                body.extend_from_slice(brief.as_bytes());
+                (KIND_FAIL, body)
+            }
+        };
         self.store_failure(Failure { rank, error });
-        // First-failure broadcast, so peers blocked in receives wake
-        // with PeerFailed instead of running out their deadline.
-        let mut body = Vec::with_capacity(4 + brief.len());
-        body.extend_from_slice(&(rank as u32).to_le_bytes());
-        body.extend_from_slice(brief.as_bytes());
         for dst in 0..self.size {
             if dst != self.rank {
-                self.write_msg(dst, KIND_FAIL, &body);
+                self.write_msg(dst, kind, &body);
             }
         }
     }
@@ -868,19 +917,42 @@ fn handshake(
     if let Stream::Tcp(t) = &stream {
         let _ = t.set_nodelay(true);
     }
-    let remaining = deadline.saturating_duration_since(Instant::now()).max(POLL);
+    let started = Instant::now();
+    let remaining = deadline.saturating_duration_since(started).max(POLL);
     stream.set_read_timeout(Some(remaining)).map_err(|e| io_error(rank, "handshake", &e))?;
+    // A stalled peer (connected but silent, or half-open) surfaces as
+    // a typed Timeout naming it, distinct from protocol mismatches —
+    // the accept loop drops such dialers and keeps going.
+    let stall = |what: &str, e: &std::io::Error| {
+        use std::io::ErrorKind;
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            let who = match expect_peer {
+                Some(p) => format!("rank {p}"),
+                None => "an unidentified dialer (half-open connection?)".to_string(),
+            };
+            MpsError::Timeout {
+                rank,
+                src: expect_peer.unwrap_or(rank),
+                op: "handshake",
+                tag: 0,
+                waited: started.elapsed(),
+                report: format!("  handshake with {who} stalled in {what}"),
+            }
+        } else {
+            io_error(rank, &format!("handshake {what}"), e)
+        }
+    };
     let ours = encode_hello(epoch, size, rank);
     let theirs = {
         let mut buf = [0u8; HELLO_LEN];
         if expect_peer.is_some() {
             // Dialer: speak first, then listen.
-            stream.write_all(&ours).map_err(|e| io_error(rank, "handshake write", &e))?;
-            stream.read_exact(&mut buf).map_err(|e| io_error(rank, "handshake read", &e))?;
+            stream.write_all(&ours).map_err(|e| stall("write", &e))?;
+            stream.read_exact(&mut buf).map_err(|e| stall("read", &e))?;
         } else {
             // Acceptor: listen first, then answer.
-            stream.read_exact(&mut buf).map_err(|e| io_error(rank, "handshake read", &e))?;
-            stream.write_all(&ours).map_err(|e| io_error(rank, "handshake write", &e))?;
+            stream.read_exact(&mut buf).map_err(|e| stall("read", &e))?;
+            stream.write_all(&ours).map_err(|e| stall("write", &e))?;
         }
         buf
     };

@@ -78,9 +78,9 @@ mod universe;
 
 pub use blob::{blob_sections3, BlobBuilder, BlobReader};
 pub use chaos::{
-    FaultKind, FaultPlan, LinkFaults, CHAOS_BITFLIP_ENV, CHAOS_DELAY_ENV, CHAOS_DELAY_MAX_US_ENV,
-    CHAOS_DROP_ENV, CHAOS_DUPLICATE_ENV, CHAOS_ENV_VARS, CHAOS_LINKS_ENV, CHAOS_MAX_RETRIES_ENV,
-    CHAOS_REORDER_ENV, CHAOS_SEED_ENV, CHAOS_TRUNCATE_ENV,
+    FaultKind, FaultPlan, LinkFaults, CHAOS_BITFLIP_ENV, CHAOS_CRASH_AT_ENV, CHAOS_CRASH_RANK_ENV,
+    CHAOS_DELAY_ENV, CHAOS_DELAY_MAX_US_ENV, CHAOS_DROP_ENV, CHAOS_DUPLICATE_ENV, CHAOS_ENV_VARS,
+    CHAOS_LINKS_ENV, CHAOS_MAX_RETRIES_ENV, CHAOS_REORDER_ENV, CHAOS_SEED_ENV, CHAOS_TRUNCATE_ENV,
 };
 pub use comm::{waitall, Comm, RecvRequest, SendRequest, MAX_USER_TAG};
 pub use cputime::{thread_cpu_now, CpuTimer};
@@ -90,5 +90,5 @@ pub use pod::{Pod, PodArray};
 pub use stats::{CommStats, PhaseGuard, ReliabilityStats, Timings};
 pub use universe::{
     strict_env, Observe, SocketConfig, Universe, UniverseConfig, FABRIC_EPOCH_ENV,
-    FABRIC_PEERS_ENV, FABRIC_RANK_ENV, RECV_TIMEOUT_ENV,
+    FABRIC_PEERS_ENV, FABRIC_RANK_ENV, HANDSHAKE_TIMEOUT_MS_ENV, RECV_TIMEOUT_ENV,
 };

@@ -259,7 +259,16 @@ impl Transport {
             w.frames.push_back((seq, frame.clone()));
             (seq, frame)
         };
-        self.stats[src].frames_sent.fetch_add(1, Ordering::Relaxed);
+        let sent = self.stats[src].frames_sent.fetch_add(1, Ordering::Relaxed) + 1;
+        // Process-level chaos: abort this rank's process at its nth
+        // send, *before* the frame reaches the wire — the peer sees a
+        // hard connection loss, exactly like a SIGKILL mid-stream.
+        if let Some((crash_rank, nth)) = self.plan.crash_point() {
+            if crash_rank == src && sent == nth {
+                eprintln!("chaos: crashing rank {src} at send #{nth} (planned process fault)");
+                std::process::abort();
+            }
+        }
         self.transmit(sink, src, dst, seq, &frame, 0);
         Ok(())
     }

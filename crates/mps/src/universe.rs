@@ -46,7 +46,14 @@ pub const FABRIC_PEERS_ENV: &str = "MPS_FABRIC_PEERS";
 /// previous launch cannot join the universe. Defaults to 0.
 pub const FABRIC_EPOCH_ENV: &str = "MPS_FABRIC_EPOCH";
 
+/// Per-connection handshake budget in milliseconds for the socket
+/// backend's accept loop, so a stalled or half-open dialer cannot
+/// wedge the listener forever. Defaults to 10 s.
+pub const HANDSHAKE_TIMEOUT_MS_ENV: &str = "MPS_HANDSHAKE_TIMEOUT_MS";
+
 const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The one strict parser behind every `MPS_*` environment knob
 /// (`MPS_RECV_TIMEOUT_MS`, the `MPS_CHAOS_*` family, and the
@@ -344,6 +351,15 @@ pub struct SocketConfig {
     /// Launch epoch: handshakes reject peers from a different epoch,
     /// so a stale process of a previous run cannot join.
     pub epoch: u64,
+    /// Recoverable mode: a peer's lost connection surfaces as
+    /// [`MpsError::PeerDown`] (a supervisor may respawn the rank and
+    /// every survivor rejoin at a bumped epoch) instead of the fatal
+    /// [`MpsError::PeerFailed`]. Off by default — batch runs should
+    /// die loudly.
+    pub recoverable: bool,
+    /// Per-connection handshake budget for the accept loop. `None`
+    /// means [`HANDSHAKE_TIMEOUT_MS_ENV`] or the 10 s default.
+    pub handshake_timeout: Option<Duration>,
     /// The per-universe tunables (deadline, trace, metrics, chaos).
     /// A chaos plan here injects faults into the *socket* wire layer.
     pub universe: UniverseConfig,
@@ -352,7 +368,29 @@ pub struct SocketConfig {
 impl SocketConfig {
     /// A config with epoch 0 and default universe tunables.
     pub fn new(rank: usize, peers: Vec<String>) -> Self {
-        Self { rank, peers, epoch: 0, universe: UniverseConfig::default() }
+        Self {
+            rank,
+            peers,
+            epoch: 0,
+            recoverable: false,
+            handshake_timeout: None,
+            universe: UniverseConfig::default(),
+        }
+    }
+
+    /// The handshake budget one inbound connection may consume before
+    /// the accept loop drops it and moves on: the explicit field wins,
+    /// then [`HANDSHAKE_TIMEOUT_MS_ENV`], then 10 s.
+    ///
+    /// # Panics (at universe construction)
+    ///
+    /// When the field is `None` and the environment variable is set to
+    /// something that does not parse as a `u64` millisecond count.
+    pub fn effective_handshake_timeout(&self) -> Duration {
+        self.handshake_timeout.unwrap_or_else(|| {
+            strict_env::<u64>(HANDSHAKE_TIMEOUT_MS_ENV, "millisecond count")
+                .map_or(DEFAULT_HANDSHAKE_TIMEOUT, Duration::from_millis)
+        })
     }
 
     /// Builds a config from the `MPS_FABRIC_*` environment family, or
@@ -385,7 +423,14 @@ impl SocketConfig {
             peers.len()
         );
         let epoch = strict_env::<u64>(FABRIC_EPOCH_ENV, "unsigned integer epoch").unwrap_or(0);
-        Some(Self { rank, peers, epoch, universe: UniverseConfig::default() })
+        Some(Self {
+            rank,
+            peers,
+            epoch,
+            recoverable: false,
+            handshake_timeout: None,
+            universe: UniverseConfig::default(),
+        })
     }
 }
 

@@ -274,3 +274,61 @@ fn socket_config_from_env_roundtrip() {
     std::env::remove_var(tc_mps::FABRIC_PEERS_ENV);
     std::env::remove_var(tc_mps::FABRIC_EPOCH_ENV);
 }
+
+/// Regression: a dialer that connects and then says nothing must not
+/// wedge the accept loop. Rank 0 gets a silent connection strictly
+/// before the real peer dials (rank 1 is held back until the saboteur
+/// owns a connection, so the race is deterministic); with a
+/// per-connection handshake deadline the saboteur is dropped and the
+/// mesh still forms.
+#[test]
+fn stalled_dialer_cannot_wedge_the_accept_loop() {
+    let peers = unix_endpoints(2);
+    let ep0 = peers[0].clone();
+    let saboteur_in = std::sync::atomic::AtomicBool::new(false);
+    let cfg = |rank: usize| {
+        let mut cfg = SocketConfig::new(rank, peers.clone());
+        cfg.universe = short_timeout();
+        cfg.handshake_timeout = Some(Duration::from_millis(200));
+        cfg
+    };
+    let results = std::thread::scope(|s| {
+        let rank0 = s.spawn(|| Universe::try_run_socket(&cfg(0), workload));
+        // The saboteur: connect to rank 0 the moment it binds, then
+        // hold the socket open without a single handshake byte.
+        let saboteur_in = &saboteur_in;
+        let saboteur = s.spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                match std::os::unix::net::UnixStream::connect(&ep0) {
+                    Ok(stream) => {
+                        saboteur_in.store(true, Ordering::SeqCst);
+                        // Outlive the 200 ms handshake budget by far.
+                        std::thread::sleep(Duration::from_millis(1200));
+                        drop(stream);
+                        return true;
+                    }
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => return false,
+                }
+            }
+        });
+        let rank1 = s.spawn(|| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !saboteur_in.load(Ordering::SeqCst) {
+                assert!(std::time::Instant::now() < deadline, "saboteur never connected");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Universe::try_run_socket(&cfg(1), workload)
+        });
+        assert!(saboteur.join().expect("saboteur thread"), "saboteur never got a connection");
+        vec![rank0.join().expect("rank 0 thread"), rank1.join().expect("rank 1 thread")]
+    });
+    let in_process = Universe::try_run(2, workload).expect("in-process reference");
+    for (rank, res) in results.into_iter().enumerate() {
+        let (value, _stats) = res.unwrap_or_else(|e| panic!("rank {rank} failed: {e}"));
+        assert_eq!(value, in_process[rank], "rank {rank} workload value");
+    }
+}

@@ -48,6 +48,7 @@
 //! rank applies the same delta and the count stays replicated.
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::time::Instant;
 
 use tc_core::{count_rank_from, summa_rank_from, BlockInput, SummaGrid, TcConfig};
@@ -55,6 +56,8 @@ use tc_graph::truss::try_truss_decomposition;
 use tc_graph::{AdjStore, Block1D, Csr, EdgeList};
 use tc_metrics::names as m;
 use tc_mps::{Comm, MpsResult};
+
+use crate::wal::{decode_records, encode_records, CkptMeta, Durability, WalRecord};
 
 /// Which offline 2D kernel backs cold starts (and the recount
 /// oracle).
@@ -144,6 +147,42 @@ pub struct Engine {
     cfg: TcConfig,
     batches_applied: u64,
     full_recounts: u64,
+    /// Replicated fingerprint of the global edge set, maintained
+    /// incrementally from the net insert/delete lists.
+    hash: u64,
+    /// Rank-local durability (checkpoints + WAL); `None` outside
+    /// supervised fleets.
+    dur: Option<Durability>,
+    /// Checkpoint cadence, in committed batches.
+    ckpt_every: u64,
+}
+
+/// Mixing hash of one canonical edge, summed (wrapping) into the
+/// global edge-set fingerprint. splitmix64 of the packed endpoints:
+/// cheap, stateless, and the wrapping sum commutes, so every rank
+/// arrives at the same fingerprint regardless of batch composition.
+pub fn edge_fingerprint(u: u32, v: u32) -> u64 {
+    let (a, b) = (u.min(v), u.max(v));
+    let mut z = (((a as u64) << 32) | b as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// This rank's additive share of the global fingerprint: each edge
+/// `(u, v)` with `u < v` is hashed exactly once, by the owner of `u`.
+/// The wrapping allreduce-sum of the shares equals the fingerprint of
+/// the whole edge set.
+pub fn local_fingerprint(store: &AdjStore) -> u64 {
+    let mut acc = 0u64;
+    for (u, row) in store.owned_rows() {
+        for &w in row {
+            if w > u {
+                acc = acc.wrapping_add(edge_fingerprint(u, w));
+            }
+        }
+    }
+    acc
 }
 
 /// `|a ∩ b|` for two sorted ascending slices.
@@ -225,10 +264,239 @@ impl Engine {
         let block = Block1D::new(n, comm.size());
         let (lo, hi) = block.range(comm.rank());
         let store = AdjStore::from_csr_block(csr, lo, hi);
-        let mut engine =
-            Engine { n, block, store, count: 0, algo, cfg, batches_applied: 0, full_recounts: 0 };
+        let mut engine = Engine {
+            n,
+            block,
+            store,
+            count: 0,
+            algo,
+            cfg,
+            batches_applied: 0,
+            full_recounts: 0,
+            hash: 0,
+            dur: None,
+            ckpt_every: 0,
+        };
         engine.recount(comm)?;
+        engine.refresh_hash(comm)?;
         Ok(engine)
+    }
+
+    /// Builds or restores every rank's engine for one supervised-fleet
+    /// session, leaving the fleet in a **consistent, committed** state:
+    ///
+    /// 1. each rank restores its newest readable checkpoint + WAL tail
+    ///    (rank-local, no collectives);
+    /// 2. if nobody has durable state, the fleet cold-starts and lays
+    ///    down generation-0 checkpoints;
+    /// 3. otherwise ranks without state (a process that died before
+    ///    its first checkpoint) rebuild seq 0 from the input CSR, the
+    ///    most advanced rank broadcasts the WAL records laggards are
+    ///    missing (the lists are global, so any rank's WAL bridges any
+    ///    other's gap — and a batch interrupted mid-commit is settled
+    ///    the same way: committed anywhere ⇒ committed everywhere),
+    ///    and every rank replays to the same seq;
+    /// 4. the replicated edge-set fingerprint is verified by a
+    ///    wrapping allreduce — on any mismatch, or an unbridgeable
+    ///    gap, the full 2D recount is the correctness oracle.
+    ///
+    /// Returns the engine plus whether this rank restored from disk.
+    pub fn resume_or_cold_start(
+        comm: &Comm,
+        csr: &Csr,
+        algo: Algo,
+        cfg: TcConfig,
+        state_dir: &Path,
+        ckpt_every: u64,
+    ) -> MpsResult<(Engine, bool)> {
+        let mut dur = Durability::open(state_dir)
+            .unwrap_or_else(|e| panic!("cannot open state dir {}: {e}", state_dir.display()));
+        let n = csr.num_vertices();
+        let block = Block1D::new(n, comm.size());
+        let (lo, hi) = block.range(comm.rank());
+        let restored = dur.restore().unwrap_or_else(|e| {
+            panic!("cannot scan state dir {}: {e}", state_dir.display());
+        });
+        // A snapshot from a different fleet shape is another rank's
+        // state; treat it as absent rather than corrupting the mesh.
+        let restored = restored.filter(|r| r.store.range() == (lo as u32, hi as u32));
+
+        let have = u64::from(restored.is_some());
+        if comm.allreduce_sum_u64(have)? == 0 {
+            let mut engine = Engine::cold_start(comm, csr, algo, cfg)?;
+            engine.attach_durability(dur, ckpt_every);
+            return Ok((engine, false));
+        }
+
+        let recovered = restored.is_some();
+        let (store, meta) = match restored {
+            Some(r) => (r.store, r.meta),
+            None => (
+                AdjStore::from_csr_block(csr, lo, hi),
+                CkptMeta { seq: 0, count: 0, hash: 0, recounts: 0 },
+            ),
+        };
+        let mut engine = Engine {
+            n,
+            block,
+            store,
+            count: meta.count,
+            algo,
+            cfg,
+            batches_applied: meta.seq,
+            full_recounts: meta.recounts,
+            hash: meta.hash,
+            dur: Some(dur),
+            ckpt_every,
+        };
+        if !recovered {
+            // A cold-rebuilt rank has no WAL generation yet; anchor
+            // one at its seq-0 snapshot so the bridge records (and
+            // every later batch) have a home. Superseded by the
+            // re-anchor checkpoint once the bridge lands.
+            engine.checkpoint_now();
+        }
+
+        // Settle every rank at the frontier: the lowest most-advanced
+        // rank broadcasts the records past the slowest rank's seq.
+        let seq_max = comm.allreduce_max_u64(meta.seq)?;
+        let seq_min = comm.allreduce_min_u64(meta.seq)?;
+        let authority_key = if meta.seq == seq_max { comm.rank() as u64 } else { u64::MAX };
+        let authority = comm.allreduce_min_u64(authority_key)? as usize;
+        let mut bridged = false;
+        if seq_min < seq_max {
+            let tail = if comm.rank() == authority {
+                let recs = engine
+                    .dur
+                    .as_ref()
+                    .expect("resync keeps durability attached")
+                    .records_since(seq_min)
+                    .unwrap_or_else(|e| panic!("cannot read WAL tail: {e}"));
+                // The bridge must cover (seq_min, seq_max] without
+                // holes; retention may have pruned too far back.
+                let contiguous = recs.iter().zip(seq_min + 1..).all(|(r, want)| r.seq == want)
+                    && recs.last().is_some_and(|r| r.seq == seq_max);
+                encode_records(if contiguous { &recs } else { &[] })
+            } else {
+                Vec::new()
+            };
+            let tail = comm.bcast(authority, &tail)?;
+            let records = decode_records(&tail);
+            // An unbridgeable gap means a laggard's edges are simply
+            // gone — no recount over inconsistent stores can invent
+            // them. Die loudly; the supervisor's restart budget turns
+            // repeated failures into a declared-dead fleet. In
+            // practice the skew at rejoin is at most one batch (no
+            // rank commits while a peer is down), far inside the
+            // two-generation WAL retention.
+            assert!(
+                !records.is_empty(),
+                "rank {}: WAL bridge for ({seq_min}, {seq_max}] is unavailable; \
+                 durable state cannot be reconciled",
+                comm.rank()
+            );
+            for rec in &records {
+                engine.apply_committed(rec);
+            }
+            bridged = true;
+        }
+
+        // Replicate the lifetime recount total (a freshly rebuilt rank
+        // starts at 0; the authority's value is the fleet's history).
+        engine.full_recounts = comm.bcast_val(authority, engine.full_recounts)?;
+        engine.verify_fingerprint(comm)?;
+        if bridged || engine.batches_applied == 0 {
+            // Laggards (and cold-rebuilt ranks, which have no WAL yet)
+            // re-anchor with a fresh generation checkpoint.
+            engine.checkpoint_now();
+        }
+        Ok((engine, recovered))
+    }
+
+    /// Attaches rank-local durability and lays down the generation
+    /// checkpoint anchoring the WAL. `ckpt_every = 0` disables the
+    /// periodic cadence (a checkpoint still anchors each generation).
+    pub fn attach_durability(&mut self, dur: Durability, ckpt_every: u64) {
+        self.dur = Some(dur);
+        self.ckpt_every = ckpt_every;
+        self.checkpoint_now();
+    }
+
+    /// Writes a checkpoint of the current committed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a state-dir write failure — a supervised rank with a
+    /// broken disk must die loudly, not serve undurable answers.
+    fn checkpoint_now(&mut self) {
+        let meta = CkptMeta {
+            seq: self.batches_applied,
+            count: self.count,
+            hash: self.hash,
+            recounts: self.full_recounts,
+        };
+        if let Some(dur) = self.dur.as_mut() {
+            dur.checkpoint(&self.store, meta)
+                .unwrap_or_else(|e| panic!("checkpoint at seq {} failed: {e}", meta.seq));
+        }
+    }
+
+    /// Applies one already-committed batch bridged from another
+    /// rank's WAL: net lists onto the store (edges with no owned
+    /// endpoint are no-ops), committed counters verbatim, and an
+    /// append to this rank's own WAL so the catch-up is durable.
+    fn apply_committed(&mut self, rec: &WalRecord) {
+        if rec.seq != self.batches_applied + 1 {
+            return;
+        }
+        for &(u, v) in &rec.deletes {
+            self.store.delete(u, v).expect("bridged delete is in range");
+        }
+        for &(u, v) in &rec.inserts {
+            self.store.insert(u, v).expect("bridged insert is in range");
+        }
+        self.batches_applied = rec.seq;
+        self.count = rec.count_after;
+        self.hash = rec.hash_after;
+        if let Some(dur) = self.dur.as_mut() {
+            dur.append(rec).unwrap_or_else(|e| panic!("WAL append at seq {} failed: {e}", rec.seq));
+        }
+    }
+
+    /// Recomputes the replicated edge-set fingerprint from the live
+    /// stores (wrapping allreduce of the per-rank shares).
+    fn refresh_hash(&mut self, comm: &Comm) -> MpsResult<u64> {
+        let shares = comm.allreduce(&[local_fingerprint(&self.store)], |a, b| {
+            *a = a.wrapping_add(*b);
+        })?;
+        self.hash = shares[0];
+        Ok(self.hash)
+    }
+
+    /// Compares the live fingerprint against the tracked one; on a
+    /// mismatch the full 2D recount settles the count and the hash is
+    /// rebuilt — zero wrong answers even if replay went sideways.
+    fn verify_fingerprint(&mut self, comm: &Comm) -> MpsResult<()> {
+        let live = comm.allreduce(&[local_fingerprint(&self.store)], |a, b| {
+            *a = a.wrapping_add(*b);
+        })?[0];
+        let expected = comm.bcast_val(0, self.hash)?;
+        if live != expected || self.hash != expected {
+            eprintln!(
+                "rank {}: fingerprint mismatch after resync (live {live:#018x}, expected \
+                 {expected:#018x}); falling back to a full 2D recount",
+                comm.rank()
+            );
+            self.recount(comm)?;
+            self.refresh_hash(comm)?;
+            self.checkpoint_now();
+        }
+        Ok(())
+    }
+
+    /// Replicated fingerprint of the global edge set.
+    pub fn fingerprint(&self) -> u64 {
+        self.hash
     }
 
     /// Global triangle count (replicated; current as of the last
@@ -337,6 +605,32 @@ impl Engine {
         let created = sums[3] - sums[4] + sums[5];
         self.count = self.count + created - destroyed;
         self.batches_applied += 1;
+        for &(u, v) in &inserts {
+            self.hash = self.hash.wrapping_add(edge_fingerprint(u, v));
+        }
+        for &(u, v) in &deletes {
+            self.hash = self.hash.wrapping_sub(edge_fingerprint(u, v));
+        }
+
+        // Commit point for durability: the batch is in the WAL before
+        // the frontend can acknowledge it to any client.
+        if self.dur.is_some() {
+            let rec = WalRecord {
+                seq: self.batches_applied,
+                count_after: self.count,
+                hash_after: self.hash,
+                inserts: inserts.clone(),
+                deletes: deletes.clone(),
+            };
+            self.dur
+                .as_mut()
+                .expect("checked above")
+                .append(&rec)
+                .unwrap_or_else(|e| panic!("WAL append at seq {} failed: {e}", rec.seq));
+            if self.ckpt_every > 0 && self.batches_applied % self.ckpt_every == 0 {
+                self.checkpoint_now();
+            }
+        }
 
         if me == 0 {
             tc_metrics::counter_add(m::SERVE_BATCHES_APPLIED, 1);
@@ -527,5 +821,22 @@ mod tests {
     fn intersect_sorted_counts_common_entries() {
         assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), 2);
         assert_eq!(intersect_sorted(&[], &[1, 2]), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_net_mutations_exactly() {
+        let mut store = AdjStore::new(8, 0, 8);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4)] {
+            store.insert(u, v).unwrap();
+        }
+        let mut tracked = local_fingerprint(&store);
+        store.insert(2, 5).unwrap();
+        tracked = tracked.wrapping_add(edge_fingerprint(2, 5));
+        store.delete(0, 1).unwrap();
+        tracked = tracked.wrapping_sub(edge_fingerprint(0, 1));
+        assert_eq!(tracked, local_fingerprint(&store));
+        // Orientation-independent: (u, v) and (v, u) hash alike.
+        assert_eq!(edge_fingerprint(3, 9), edge_fingerprint(9, 3));
+        assert_ne!(edge_fingerprint(3, 9), edge_fingerprint(3, 8));
     }
 }

@@ -19,8 +19,16 @@
 //!   typed error vocabulary;
 //! - [`service`] — the rank-0 frontend (Unix-socket listener,
 //!   bounded admission queue, batch coalescing, heartbeat ticks) and
-//!   the peer command loop, entered through [`serve_rank`];
-//! - [`client`] — a minimal blocking [`Client`] for CLIs and tests.
+//!   the peer command loop, entered through [`serve_rank`]; the
+//!   crash-recoverable variant [`serve_fleet`] layers degraded-mode
+//!   serving and epoch rejoin on top;
+//! - [`client`] — a minimal blocking [`Client`] for CLIs and tests;
+//! - [`wal`] — rank-local durability: versioned CRC-checked
+//!   checkpoints of the adjacency block plus a write-ahead log of
+//!   committed batches ([`Durability`]);
+//! - [`supervisor`] — the process supervisor behind
+//!   `tricount supervise`: spawn a per-rank fleet, respawn crashed
+//!   ranks at a bumped epoch under a bounded restart budget.
 
 #![warn(missing_docs)]
 
@@ -28,8 +36,15 @@ pub mod client;
 pub mod engine;
 pub mod proto;
 pub mod service;
+pub mod supervisor;
+pub mod wal;
 
 pub use client::Client;
-pub use engine::{Algo, BatchOutcome, EdgeOp, Engine, StatsReply, SupportReply};
+pub use engine::{
+    edge_fingerprint, local_fingerprint, Algo, BatchOutcome, EdgeOp, Engine, StatsReply,
+    SupportReply,
+};
 pub use proto::Request;
-pub use service::{serve_rank, ServeConfig, ServeReport};
+pub use service::{serve_fleet, serve_rank, FleetConfig, ServeConfig, ServeReport};
+pub use supervisor::{supervise, SuperviseOutcome, SupervisorConfig};
+pub use wal::{CkptMeta, Durability, WalRecord};

@@ -28,6 +28,18 @@ pub const ERR_OVER_CAPACITY: &str = "over_capacity";
 pub const ERR_BAD_REQUEST: &str = "bad_request";
 /// The service is tearing down.
 pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// A fleet rank is down: collective reads cannot run until the
+/// supervisor respawns it. The reply carries `rank_down` and a
+/// `retry_after_ms` hint — clients back off instead of hanging.
+pub const ERR_DEGRADED: &str = "degraded";
+
+/// The typed degraded-mode reply: which rank is down and when a
+/// retry is likely to succeed.
+pub fn degraded_line(rank_down: usize, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{ERR_DEGRADED}\",\"rank_down\":{rank_down},\"retry_after_ms\":{retry_after_ms}}}"
+    )
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -205,14 +217,16 @@ pub struct LatencyStat {
 }
 
 /// Reply to `stats`. `latency` lists one `(op, summary)` per query
-/// op, in reply order.
+/// op, in reply order; `recoveries` counts the rank-crash rejoins the
+/// frontend has survived (0 outside supervised fleets).
 pub fn ok_stats(
     s: &crate::engine::StatsReply,
     pending: usize,
+    recoveries: u64,
     latency: &[(&str, LatencyStat)],
 ) -> String {
     let mut out = format!(
-        "{{\"ok\":true,\"vertices\":{},\"edges\":{},\"triangles\":{},\"batches\":{},\"full_recounts\":{},\"pending\":{pending},\"query_latency_ns\":{{",
+        "{{\"ok\":true,\"vertices\":{},\"edges\":{},\"triangles\":{},\"batches\":{},\"full_recounts\":{},\"pending\":{pending},\"recoveries\":{recoveries},\"query_latency_ns\":{{",
         s.vertices, s.edges, s.triangles, s.batches, s.full_recounts
     );
     for (i, (op, l)) in latency.iter().enumerate() {
@@ -306,5 +320,17 @@ mod tests {
         assert_eq!(error_line(ERR_OVER_CAPACITY, ""), "{\"ok\":false,\"error\":\"over_capacity\"}");
         let with_detail = error_line(ERR_BAD_REQUEST, "vertex 9 out of range");
         assert!(with_detail.contains("\"detail\":\"vertex 9 out of range\""));
+    }
+
+    #[test]
+    fn degraded_line_names_the_down_rank_and_a_retry_hint() {
+        let line = degraded_line(3, 500);
+        assert_eq!(
+            line,
+            "{\"ok\":false,\"error\":\"degraded\",\"rank_down\":3,\"retry_after_ms\":500}"
+        );
+        let v = tc_metrics::json::parse(&line).unwrap();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some(ERR_DEGRADED));
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_u64), Some(500));
     }
 }

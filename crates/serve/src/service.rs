@@ -37,7 +37,7 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -46,10 +46,11 @@ use tc_core::TcConfig;
 use tc_graph::Csr;
 use tc_metrics::names as m;
 use tc_metrics::{MetricsHandle, MetricsSnapshot};
-use tc_mps::{strict_env, Comm, MpsResult};
+use tc_mps::{strict_env, Comm, MpsError, MpsResult, SocketConfig, Universe};
 
 use crate::engine::{Algo, EdgeOp, Engine};
 use crate::proto::{self, Request};
+use crate::supervisor::read_epoch;
 
 /// `MPS_SERVE_*`: coalescing flush interval (milliseconds).
 pub const SERVE_FLUSH_MS_ENV: &str = "MPS_SERVE_FLUSH_MS";
@@ -59,6 +60,11 @@ pub const SERVE_MAX_BATCH_ENV: &str = "MPS_SERVE_MAX_BATCH";
 pub const SERVE_QUEUE_ENV: &str = "MPS_SERVE_QUEUE";
 /// `MPS_SERVE_*`: idle heartbeat interval (milliseconds).
 pub const SERVE_TICK_MS_ENV: &str = "MPS_SERVE_TICK_MS";
+/// `MPS_SERVE_*`: fleet checkpoint cadence (committed batches).
+pub const SERVE_CKPT_EVERY_ENV: &str = "MPS_SERVE_CKPT_EVERY";
+/// `MPS_SERVE_*`: how long a survivor waits for the supervisor to
+/// bump the fleet epoch before giving the crash up as fatal (ms).
+pub const SERVE_REJOIN_WAIT_MS_ENV: &str = "MPS_SERVE_REJOIN_WAIT_MS";
 
 // Fleet opcodes, broadcast from rank 0.
 const OP_TICK: u32 = 1;
@@ -125,6 +131,43 @@ impl ServeConfig {
         }
         if let Some(v) = strict_env::<u64>(SERVE_TICK_MS_ENV, "millisecond count") {
             self.tick_ms = v.max(1);
+        }
+        self
+    }
+}
+
+/// Supervised-fleet tunables on top of [`ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet state directory: the epoch file, per-rank durability
+    /// subdirectories, and (under a supervisor) logs and pid files.
+    pub state_dir: PathBuf,
+    /// Checkpoint cadence in committed batches (the WAL is truncated
+    /// at each checkpoint; smaller means faster restores, more
+    /// snapshot writes). 0 disables the periodic cadence.
+    pub ckpt_every: u64,
+    /// How long a survivor waits for the supervisor to bump the
+    /// epoch after a peer crash before declaring the fleet dead.
+    pub rejoin_wait_ms: u64,
+    /// The `retry_after_ms` hint degraded replies carry.
+    pub degraded_retry_ms: u64,
+}
+
+impl FleetConfig {
+    /// Defaults: checkpoint every 64 batches, wait up to 60 s for a
+    /// respawn, hint clients to retry after 500 ms.
+    pub fn new(state_dir: PathBuf) -> Self {
+        Self { state_dir, ckpt_every: 64, rejoin_wait_ms: 60_000, degraded_retry_ms: 500 }
+    }
+
+    /// Applies the `MPS_SERVE_*` fleet knobs on top of the current
+    /// values (strict-env discipline: malformed values panic).
+    pub fn env_overrides(mut self) -> Self {
+        if let Some(v) = strict_env::<u64>(SERVE_CKPT_EVERY_ENV, "batch count") {
+            self.ckpt_every = v;
+        }
+        if let Some(v) = strict_env::<u64>(SERVE_REJOIN_WAIT_MS_ENV, "millisecond count") {
+            self.rejoin_wait_ms = v.max(1);
         }
         self
     }
@@ -273,6 +316,203 @@ pub fn serve_rank(comm: &Comm, csr: &Csr, cfg: &ServeConfig) -> MpsResult<ServeR
     }
 }
 
+/// How one degraded window ended.
+enum DegradedEnd {
+    /// The supervisor bumped the epoch: rejoin the fleet.
+    Rejoin,
+    /// A client asked for shutdown while degraded.
+    Shutdown,
+    /// No respawn arrived inside the rejoin budget.
+    GaveUp,
+}
+
+/// Serves clients from rank 0 alone while a peer rank is down:
+/// `count` answers from the last committed state when no writes are
+/// buffered, updates queue into the (bounded) coalescing buffer, and
+/// everything needing a collective gets the typed `degraded` reply
+/// with a retry-after hint — a request never hangs on a dead rank.
+fn degraded_serve(
+    fs: &mut FrontState,
+    cfg: &ServeConfig,
+    fleet: &FleetConfig,
+    last_epoch: u64,
+    down_rank: usize,
+) -> DegradedEnd {
+    // Connection threads have no metrics lane; the degraded loop runs
+    // outside any universe, so it binds rank 0's lane itself.
+    let _lane = cfg.metrics.as_ref().map(|h| h.register_rank(0));
+    let deadline = Instant::now() + Duration::from_millis(fleet.rejoin_wait_ms);
+    // While nothing can flush, the buffer is capped at a full
+    // admission queue's worth of maximal batches.
+    let buffer_cap = cfg.max_batch.saturating_mul(cfg.queue).max(cfg.max_batch);
+    loop {
+        if read_epoch(&fleet.state_dir) > last_epoch {
+            return DegradedEnd::Rejoin;
+        }
+        if Instant::now() >= deadline {
+            return DegradedEnd::GaveUp;
+        }
+        let rejected = fs.gate.take_rejected();
+        if rejected > 0 {
+            tc_metrics::counter_add(m::SERVE_REJECTED_QUERIES, rejected);
+            fs.report.rejected += rejected;
+        }
+        let Some(job) = fs.gate.pop(Duration::from_millis(50)) else {
+            continue;
+        };
+        let reply = match job.req {
+            // The committed count is replicated and rank-0-local; it
+            // is exact as long as no writes are waiting on the fleet.
+            Request::Count if fs.pending.is_empty() => {
+                fs.report.queries += 1;
+                tc_metrics::counter_add(m::SERVE_QUERIES_COUNT, 1);
+                proto::ok_count(fs.report.triangles)
+            }
+            Request::Update { ref insert, ref delete } => {
+                match validate_edges(fs.vertices, insert.iter().chain(delete)) {
+                    Err(detail) => proto::error_line(proto::ERR_BAD_REQUEST, &detail),
+                    Ok(()) => {
+                        let queued = insert.len() + delete.len();
+                        if fs.pending.len() + queued > buffer_cap {
+                            proto::error_line(proto::ERR_OVER_CAPACITY, "degraded buffer is full")
+                        } else {
+                            fs.pending.extend(insert.iter().map(|&(u, v)| EdgeOp::insert(u, v)));
+                            fs.pending.extend(delete.iter().map(|&(u, v)| EdgeOp::delete(u, v)));
+                            fs.oldest.get_or_insert_with(Instant::now);
+                            tc_metrics::counter_add(m::SERVE_DEGRADED_UPDATES, queued as u64);
+                            proto::ok_queued(queued, fs.pending.len())
+                        }
+                    }
+                }
+            }
+            Request::Shutdown => {
+                let _ = job.reply.send(proto::ok_shutdown());
+                return DegradedEnd::Shutdown;
+            }
+            // Everything else needs the whole fleet.
+            _ => {
+                fs.report.queries += 1;
+                tc_metrics::counter_add(m::SERVE_DEGRADED_QUERIES, 1);
+                proto::degraded_line(down_rank, fleet.degraded_retry_ms)
+            }
+        };
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Blocks until the epoch file exceeds `last` (the supervisor bumped
+/// it for a respawn) or the budget runs out.
+fn wait_for_epoch_bump(state_dir: &Path, last: u64, wait_ms: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(wait_ms);
+    while Instant::now() < deadline {
+        if read_epoch(state_dir) > last {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// Runs this rank of a **supervised, crash-recoverable** fleet: an
+/// outer loop of socket-fabric sessions, one per fleet epoch.
+///
+/// Every session starts from durable state
+/// ([`Engine::resume_or_cold_start`]): checkpoint + WAL replay, a
+/// cross-rank resync to the committed frontier, and a fingerprint
+/// allreduce guarding against divergence. When a peer process dies,
+/// the session ends with [`MpsError::PeerDown`]; rank 0 keeps its
+/// listener and serves degraded replies while waiting for the
+/// supervisor to bump the epoch file, peers just wait, and everyone
+/// reconnects at the new epoch. A clean `shutdown` ends the loop.
+pub fn serve_fleet(
+    csr: &Csr,
+    cfg: &ServeConfig,
+    sock: &SocketConfig,
+    fleet: &FleetConfig,
+) -> MpsResult<ServeReport> {
+    let rank = sock.rank;
+    let rank_dir = fleet.state_dir.join(format!("rank-{rank}"));
+    let mut fs = (rank == 0).then(|| front_bind(cfg));
+    if let Some(f) = fs.as_mut() {
+        f.degraded_retry_ms = fleet.degraded_retry_ms;
+    }
+    loop {
+        let epoch = read_epoch(&fleet.state_dir).max(sock.epoch);
+        let mut sc = sock.clone();
+        sc.epoch = epoch;
+        sc.recoverable = true;
+        let session_fs = &mut fs;
+        let result = Universe::try_run_socket(&sc, |comm| {
+            let (mut engine, recovered) = Engine::resume_or_cold_start(
+                comm,
+                csr,
+                cfg.algo,
+                cfg.tc,
+                &rank_dir,
+                fleet.ckpt_every,
+            )?;
+            if recovered && epoch > 0 {
+                tc_metrics::counter_add(m::SERVE_RECOVERIES, 1);
+            }
+            if let Some(fs) = session_fs.as_mut() {
+                if epoch > sock.epoch {
+                    fs.recoveries += 1;
+                }
+                frontend_session(comm, &mut engine, cfg, fs)?;
+                Ok(ServeReport::default())
+            } else {
+                peer_loop(comm, &mut engine, cfg)
+            }
+        });
+        match result {
+            Ok((peer_report, _stats)) => {
+                return Ok(match fs.take() {
+                    Some(f) => front_teardown(f, &cfg.listen),
+                    None => peer_report,
+                });
+            }
+            Err(MpsError::PeerDown { rank: down }) => {
+                eprintln!(
+                    "rank {rank}: peer rank {down} is down (epoch {epoch}); awaiting supervised respawn"
+                );
+                if let Some(f) = fs.as_mut() {
+                    match degraded_serve(f, cfg, fleet, epoch, down) {
+                        DegradedEnd::Rejoin => continue,
+                        DegradedEnd::Shutdown => {
+                            return Ok(front_teardown(
+                                fs.take().expect("frontend state exists"),
+                                &cfg.listen,
+                            ));
+                        }
+                        DegradedEnd::GaveUp => {
+                            front_teardown(fs.take().expect("frontend state exists"), &cfg.listen);
+                            return Err(MpsError::PeerDown { rank: down });
+                        }
+                    }
+                } else if wait_for_epoch_bump(&fleet.state_dir, epoch, fleet.rejoin_wait_ms) {
+                    continue;
+                } else {
+                    return Err(MpsError::PeerDown { rank: down });
+                }
+            }
+            Err(e) => {
+                // A second crash can race the reconnect handshake: if
+                // the supervisor moved the epoch on while this session
+                // was forming, retry at the newer epoch instead of
+                // dying on the stale one.
+                if read_epoch(&fleet.state_dir) > epoch {
+                    eprintln!("rank {rank}: session at epoch {epoch} superseded ({e}); rejoining");
+                    continue;
+                }
+                if let Some(f) = fs.take() {
+                    front_teardown(f, &cfg.listen);
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// Peer ranks: decode broadcast commands, run the collective half.
 fn peer_loop(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
     loop {
@@ -373,8 +613,30 @@ fn query_latency_summary(
     .collect()
 }
 
-/// The rank-0 service loop plus its listener/connection threads.
-fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+/// The frontend state that must **outlive** one fleet session: the
+/// listener and its admission gate (bound once, so client
+/// connections survive a rank crash), the coalescing buffer (ops
+/// accepted while degraded apply after the rejoin), and the running
+/// report. `triangles` inside the report is only ever updated at a
+/// commit point, so degraded `count` reads can answer from it.
+struct FrontState {
+    gate: Arc<Gate>,
+    listener_thread: std::thread::JoinHandle<()>,
+    pending: Vec<EdgeOp>,
+    oldest: Option<Instant>,
+    report: ServeReport,
+    /// Rank-crash rejoins this frontend has survived.
+    recoveries: u64,
+    /// Vertex count, cached so degraded-mode validation needs no
+    /// engine.
+    vertices: usize,
+    /// Retry hint (ms) stamped on `degraded` replies, including the
+    /// in-flight request that first observed the crash.
+    degraded_retry_ms: u64,
+}
+
+/// Binds the listener and starts the accept loop.
+fn front_bind(cfg: &ServeConfig) -> FrontState {
     // Pre-seed the per-op latency histograms so exports and the
     // `stats` reply show every op from the first snapshot on.
     for &name in m::SERVE_QUERY_LATENCY {
@@ -397,33 +659,81 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
             std::thread::spawn(move || handle_conn(stream, gate));
         }
     });
+    FrontState {
+        gate,
+        listener_thread,
+        pending: Vec::new(),
+        oldest: None,
+        report: ServeReport::default(),
+        recoveries: 0,
+        vertices: 0,
+        degraded_retry_ms: 500,
+    }
+}
 
+/// Stops admission, fails queued jobs, wakes the accept loop with a
+/// throwaway connection, reclaims the socket path, and hands back the
+/// lifetime report.
+fn front_teardown(fs: FrontState, listen: &Path) -> ServeReport {
+    fs.gate.close();
+    let _ = UnixStream::connect(listen);
+    let _ = fs.listener_thread.join();
+    let _ = std::fs::remove_file(listen);
+    fs.report
+}
+
+/// The rank-0 service loop plus its listener/connection threads (the
+/// single-session form used outside supervised fleets).
+fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<ServeReport> {
+    let mut fs = front_bind(cfg);
+    let res = frontend_session(comm, engine, cfg, &mut fs);
+    let report = front_teardown(fs, &cfg.listen);
+    res.map(|_| report)
+}
+
+/// One session of the rank-0 service loop over an established
+/// communicator. Returns `Ok(true)` when a `shutdown` request ended
+/// the service; a peer crash surfaces as `Err(MpsError::PeerDown)`
+/// with the frontend state intact for degraded serving.
+fn frontend_session(
+    comm: &Comm,
+    engine: &mut Engine,
+    cfg: &ServeConfig,
+    fs: &mut FrontState,
+) -> MpsResult<bool> {
+    fs.vertices = engine.num_vertices();
+    fs.report.triangles = engine.triangles();
+    fs.report.full_recounts = engine.full_recounts();
     let flush_after = Duration::from_millis(cfg.flush_ms);
     let tick_after = Duration::from_millis(cfg.tick_ms);
-    let mut pending: Vec<EdgeOp> = Vec::new();
-    let mut oldest: Option<Instant> = None;
     let mut last_fleet_cmd = Instant::now();
-    let mut report = ServeReport::default();
 
     // Applies the coalesced buffer as one broadcast batch.
     macro_rules! flush_pending {
         () => {{
-            flush_buffer(comm, engine, &mut pending, &mut oldest, &mut last_fleet_cmd, &mut report)?
+            flush_buffer(
+                comm,
+                engine,
+                &mut fs.pending,
+                &mut fs.oldest,
+                &mut last_fleet_cmd,
+                &mut fs.report,
+            )?
         }};
     }
 
-    'serve: loop {
-        let rejected = gate.take_rejected();
+    loop {
+        let rejected = fs.gate.take_rejected();
         if rejected > 0 {
             tc_metrics::counter_add(m::SERVE_REJECTED_QUERIES, rejected);
-            report.rejected += rejected;
+            fs.report.rejected += rejected;
         }
 
         // Aged-buffer and heartbeat deadlines are checked every turn,
         // busy or idle: a sustained stream of purely local queries
         // (`count` needs no collective) must neither starve peers of
         // heartbeats nor let the coalescing buffer age unapplied.
-        if oldest.is_some_and(|t| Instant::now() >= t + flush_after) {
+        if fs.oldest.is_some_and(|t| Instant::now() >= t + flush_after) {
             flush_pending!();
         }
         if Instant::now() >= last_fleet_cmd + tick_after {
@@ -433,11 +743,11 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
 
         let now = Instant::now();
         let tick_deadline = last_fleet_cmd + tick_after;
-        let deadline = match oldest {
+        let deadline = match fs.oldest {
             Some(t) => tick_deadline.min(t + flush_after),
             None => tick_deadline,
         };
-        let Some(job) = gate.pop(deadline.saturating_duration_since(now)) else {
+        let Some(job) = fs.gate.pop(deadline.saturating_duration_since(now)) else {
             continue;
         };
 
@@ -451,102 +761,118 @@ fn frontend(comm: &Comm, engine: &mut Engine, cfg: &ServeConfig) -> MpsResult<Se
             Request::Update { .. } | Request::Flush | Request::Shutdown => None,
         };
         let query_started = Instant::now();
+        let Job { req, reply: reply_tx } = job;
 
-        let reply = match job.req {
-            Request::Update { insert, delete } => {
-                match validate_edges(engine.num_vertices(), insert.iter().chain(&delete)) {
-                    Err(detail) => proto::error_line(proto::ERR_BAD_REQUEST, &detail),
-                    Ok(()) => {
-                        let queued = insert.len() + delete.len();
-                        // Deletes are pushed after inserts so they win
-                        // within one request.
-                        pending.extend(insert.iter().map(|&(u, v)| EdgeOp::insert(u, v)));
-                        pending.extend(delete.iter().map(|&(u, v)| EdgeOp::delete(u, v)));
-                        oldest.get_or_insert_with(Instant::now);
-                        let depth = pending.len();
-                        if depth >= cfg.max_batch {
-                            flush_pending!();
+        // `None` means a clean shutdown ended the session. Errors are
+        // answered below before they propagate: the request that first
+        // observes a crash still gets a typed reply — never a hang.
+        let outcome = (|| -> MpsResult<Option<String>> {
+            Ok(Some(match req {
+                Request::Update { insert, delete } => {
+                    match validate_edges(engine.num_vertices(), insert.iter().chain(&delete)) {
+                        Err(detail) => proto::error_line(proto::ERR_BAD_REQUEST, &detail),
+                        Ok(()) => {
+                            let queued = insert.len() + delete.len();
+                            // Deletes are pushed after inserts so they win
+                            // within one request.
+                            fs.pending.extend(insert.iter().map(|&(u, v)| EdgeOp::insert(u, v)));
+                            fs.pending.extend(delete.iter().map(|&(u, v)| EdgeOp::delete(u, v)));
+                            fs.oldest.get_or_insert_with(Instant::now);
+                            let depth = fs.pending.len();
+                            if depth >= cfg.max_batch {
+                                flush_pending!();
+                            }
+                            proto::ok_queued(queued, depth.min(fs.pending.len()))
                         }
-                        proto::ok_queued(queued, depth.min(pending.len()))
                     }
                 }
-            }
-            Request::Flush => {
-                let applied = flush_pending!();
-                proto::ok_applied(applied, engine.triangles())
-            }
-            Request::Count => {
-                flush_pending!();
-                report.queries += 1;
-                tc_metrics::counter_add(m::SERVE_QUERIES_COUNT, 1);
-                proto::ok_count(engine.triangles())
-            }
-            Request::Support { u, v } => {
-                if u == v
-                    || u as usize >= engine.num_vertices()
-                    || v as usize >= engine.num_vertices()
-                {
-                    proto::error_line(
-                        proto::ERR_BAD_REQUEST,
-                        &format!("({u}, {v}) is not a valid vertex pair"),
-                    )
-                } else {
-                    flush_pending!();
-                    comm.bcast(0, &[OP_SUPPORT, u, v])?;
-                    last_fleet_cmd = Instant::now();
-                    let r = engine.query_support(comm, u, v)?.expect("rank 0 gets the reply");
-                    report.queries += 1;
-                    proto::ok_support(r.support, r.present)
+                Request::Flush => {
+                    let applied = flush_pending!();
+                    proto::ok_applied(applied, engine.triangles())
                 }
+                Request::Count => {
+                    flush_pending!();
+                    fs.report.queries += 1;
+                    tc_metrics::counter_add(m::SERVE_QUERIES_COUNT, 1);
+                    proto::ok_count(engine.triangles())
+                }
+                Request::Support { u, v } => {
+                    if u == v
+                        || u as usize >= engine.num_vertices()
+                        || v as usize >= engine.num_vertices()
+                    {
+                        proto::error_line(
+                            proto::ERR_BAD_REQUEST,
+                            &format!("({u}, {v}) is not a valid vertex pair"),
+                        )
+                    } else {
+                        flush_pending!();
+                        comm.bcast(0, &[OP_SUPPORT, u, v])?;
+                        last_fleet_cmd = Instant::now();
+                        let r = engine.query_support(comm, u, v)?.expect("rank 0 gets the reply");
+                        fs.report.queries += 1;
+                        proto::ok_support(r.support, r.present)
+                    }
+                }
+                Request::Truss { k } => {
+                    flush_pending!();
+                    comm.bcast(0, &[OP_TRUSS, k])?;
+                    last_fleet_cmd = Instant::now();
+                    let members = engine.query_truss(comm, k)?.expect("rank 0 gets the reply");
+                    fs.report.queries += 1;
+                    proto::ok_truss(k, &members)
+                }
+                Request::Stats => {
+                    flush_pending!();
+                    comm.bcast(0, &[OP_STATS])?;
+                    last_fleet_cmd = Instant::now();
+                    let s = engine.stats(comm)?;
+                    fs.report.queries += 1;
+                    proto::ok_stats(
+                        &s,
+                        fs.pending.len(),
+                        fs.recoveries,
+                        &query_latency_summary(cfg.metrics.as_ref()),
+                    )
+                }
+                Request::Metrics => {
+                    comm.bcast(0, &[OP_METRICS])?;
+                    last_fleet_cmd = Instant::now();
+                    let text = collect_metrics(comm, cfg.metrics.as_ref())?
+                        .expect("rank 0 gets the exposition");
+                    fs.report.queries += 1;
+                    tc_metrics::counter_add(m::SERVE_QUERIES_STATS, 1);
+                    proto::ok_metrics(&text)
+                }
+                Request::Shutdown => {
+                    flush_pending!();
+                    comm.bcast(0, &[OP_SHUTDOWN])?;
+                    return Ok(None);
+                }
+            }))
+        })();
+
+        let reply = match outcome {
+            Ok(Some(reply)) => reply,
+            Ok(None) => {
+                let _ = reply_tx.send(proto::ok_shutdown());
+                fs.report.triangles = engine.triangles();
+                fs.report.full_recounts = engine.full_recounts();
+                return Ok(true);
             }
-            Request::Truss { k } => {
-                flush_pending!();
-                comm.bcast(0, &[OP_TRUSS, k])?;
-                last_fleet_cmd = Instant::now();
-                let members = engine.query_truss(comm, k)?.expect("rank 0 gets the reply");
-                report.queries += 1;
-                proto::ok_truss(k, &members)
-            }
-            Request::Stats => {
-                flush_pending!();
-                comm.bcast(0, &[OP_STATS])?;
-                last_fleet_cmd = Instant::now();
-                let s = engine.stats(comm)?;
-                report.queries += 1;
-                proto::ok_stats(&s, pending.len(), &query_latency_summary(cfg.metrics.as_ref()))
-            }
-            Request::Metrics => {
-                comm.bcast(0, &[OP_METRICS])?;
-                last_fleet_cmd = Instant::now();
-                let text = collect_metrics(comm, cfg.metrics.as_ref())?
-                    .expect("rank 0 gets the exposition");
-                report.queries += 1;
-                tc_metrics::counter_add(m::SERVE_QUERIES_STATS, 1);
-                proto::ok_metrics(&text)
-            }
-            Request::Shutdown => {
-                flush_pending!();
-                comm.bcast(0, &[OP_SHUTDOWN])?;
-                let _ = job.reply.send(proto::ok_shutdown());
-                break 'serve;
+            Err(e) => {
+                if let MpsError::PeerDown { rank } = &e {
+                    tc_metrics::counter_add(m::SERVE_DEGRADED_QUERIES, 1);
+                    let _ = reply_tx.send(proto::degraded_line(*rank, fs.degraded_retry_ms));
+                }
+                return Err(e);
             }
         };
         if let Some(name) = latency_hist {
             tc_metrics::hist_record(name, query_started.elapsed().as_nanos() as u64);
         }
-        let _ = job.reply.send(reply);
+        let _ = reply_tx.send(reply);
     }
-
-    // Teardown: stop admitting, fail queued jobs, wake the accept
-    // loop with a throwaway connection, reclaim the socket path.
-    gate.close();
-    let _ = UnixStream::connect(&cfg.listen);
-    let _ = listener_thread.join();
-    let _ = std::fs::remove_file(&cfg.listen);
-
-    report.triangles = engine.triangles();
-    report.full_recounts = engine.full_recounts();
-    Ok(report)
 }
 
 /// Broadcasts and applies the coalesced buffer as one batch.
@@ -567,11 +893,27 @@ fn flush_buffer(
     *oldest = None;
     let mut msg = vec![OP_APPLY];
     encode_ops(&mut msg, &ops);
-    comm.bcast(0, &msg)?;
-    *last_fleet_cmd = Instant::now();
-    engine.apply_batch(comm, &ops)?;
-    report.batches += 1;
-    Ok(1)
+    let res = comm.bcast(0, &msg).and_then(|_| {
+        *last_fleet_cmd = Instant::now();
+        engine.apply_batch(comm, &ops)
+    });
+    match res {
+        Ok(_) => {
+            report.batches += 1;
+            report.triangles = engine.triangles();
+            Ok(1)
+        }
+        Err(e) => {
+            // A crash interrupted the batch. Put the ops back: after
+            // the rejoin they re-apply, and if the batch already
+            // committed anywhere (resync settles that) the net-effect
+            // normalization makes the re-apply a no-op — exactly-once
+            // either way.
+            *pending = ops;
+            *oldest = Some(Instant::now());
+            Err(e)
+        }
+    }
 }
 
 /// Rejects pairs that cannot name an edge of this graph.
